@@ -1,0 +1,61 @@
+"""E1 (Fig. 1) — holistic monitoring + ODA pipeline feasibility.
+
+Claim quantified: a continuous monitoring pipeline with in-line
+analytics is complete (no sample loss), timely (sub-second end-to-end
+lag), cheap (<1% agent CPU), and supports the visualize / diagnose /
+forecast roles of Fig. 1 at interactive latencies.
+"""
+
+from conftest import run_once
+
+from repro.experiments.pipeline_exp import run_pipeline_scenario, run_sampling_tradeoff
+from repro.experiments.report import render_table
+
+
+def test_pipeline_64_nodes(benchmark):
+    row = run_once(
+        benchmark,
+        run_pipeline_scenario,
+        seed=0,
+        n_nodes=64,
+        horizon_s=3600.0,
+    )
+    print()
+    print(render_table([row], title="E1 — monitoring + ODA pipeline (64 nodes, 1 h)"))
+    assert row["completeness"] > 0.99
+    assert row["e2e_lag_s"] < 1.0
+    assert row["overhead_cpu_frac"] < 0.01
+    assert row["anomaly_recall"] >= 0.75
+    # interactive analytics: visualize/diagnose/forecast under a second each
+    assert row["visualize_ms"] < 1000.0
+    assert row["forecast_ms"] < 1000.0
+
+
+def test_pipeline_scales_to_256_nodes(benchmark):
+    row = run_once(
+        benchmark,
+        run_pipeline_scenario,
+        seed=1,
+        n_nodes=256,
+        metrics_per_node=4,
+        horizon_s=1800.0,
+    )
+    print()
+    print(render_table([row], title="E1 — pipeline at 256 nodes"))
+    assert row["completeness"] > 0.99
+    assert row["series"] == 256 * 4
+
+
+def test_sampling_period_tradeoff(benchmark):
+    """E1b: the monitoring design dial — reaction time vs overhead."""
+    rows = run_once(benchmark, run_sampling_tradeoff, seed=0)
+    print()
+    print(render_table(rows, title="E1b — sampling period trade-off"))
+    assert all(r["detected_frac"] == 1.0 for r in rows)
+    # detection latency grows with the period...
+    latencies = [r["detect_latency_s"] for r in rows]
+    assert latencies == sorted(latencies)
+    # ...while monitoring cost falls
+    costs = [r["overhead_cpu_frac"] for r in rows]
+    assert costs == sorted(costs, reverse=True)
+    assert latencies[-1] > 10 * latencies[0]

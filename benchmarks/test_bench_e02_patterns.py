@@ -1,0 +1,98 @@
+"""E2 (Fig. 2) — MAPE-K design-pattern trade-offs.
+
+Claims quantified:
+* master-worker: decision latency grows linearly with managed count
+  (limited scalability); a master failure stops *all* control.
+* coordinated: constant local latency; failure of one local loop only
+  loses that element; aggressive decentralized compensation oscillates.
+* hierarchical: latency bounded by group size; a group-head failure is
+  contained to its group.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.patterns_exp import PatternScenarioConfig, run_pattern_scenario
+from repro.experiments.report import render_table
+
+
+def _run(benchmark, **kw):
+    return run_once(benchmark, run_pattern_scenario, PatternScenarioConfig(**kw))
+
+
+def test_scalability_sweep(benchmark):
+    def sweep():
+        rows = []
+        for pattern in ("classical", "master-worker", "coordinated", "hierarchical"):
+            for n in (8, 32, 128):
+                rows.append(
+                    run_pattern_scenario(
+                        PatternScenarioConfig(
+                            seed=1, pattern=pattern, n_elements=n,
+                            horizon_s=600.0, settle_s=200.0,
+                        )
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["pattern", "n", "latency_s", "messages_total", "bias", "osc_std"],
+        title="E2 — scalability sweep",
+    ))
+    by = {(r["pattern"], r["n"]): r for r in rows}
+    # master-worker latency grows with N; hierarchical/coordinated stay flat
+    assert by[("master-worker", 128)]["latency_s"] > 3 * by[("master-worker", 8)]["latency_s"]
+    assert by[("hierarchical", 128)]["latency_s"] == pytest.approx(
+        by[("hierarchical", 8)]["latency_s"]
+    )
+    assert by[("coordinated", 128)]["latency_s"] == pytest.approx(
+        by[("coordinated", 8)]["latency_s"]
+    )
+
+
+def test_robustness_under_controller_failure(benchmark):
+    def run_all():
+        return [
+            run_pattern_scenario(
+                PatternScenarioConfig(
+                    seed=2, pattern=p, n_elements=32, horizon_s=900.0,
+                    inject_failure_at=300.0,
+                )
+            )
+            for p in ("master-worker", "coordinated", "hierarchical")
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows, columns=["pattern", "uncontrolled_frac", "bias", "osc_std"],
+        title="E2 — controller failure at t=300s",
+    ))
+    by = {r["pattern"]: r for r in rows}
+    assert by["master-worker"]["uncontrolled_frac"] == 1.0
+    assert by["coordinated"]["uncontrolled_frac"] < 0.1
+    assert 0.1 < by["hierarchical"]["uncontrolled_frac"] < 0.5
+
+
+def test_coordinated_stability_cliff(benchmark):
+    def sweep():
+        return [
+            dict(
+                comp_gain=cg,
+                osc_std=run_pattern_scenario(
+                    PatternScenarioConfig(
+                        seed=3, pattern="coordinated", n_elements=16,
+                        horizon_s=900.0, comp_gain=cg,
+                    )
+                )["osc_std"],
+            )
+            for cg in (0.1, 1.0, 3.0)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E2 — coordinated stability vs comp_gain"))
+    assert rows[-1]["osc_std"] > 100 * rows[0]["osc_std"]  # instability cliff

@@ -1,0 +1,42 @@
+"""E4 — Maintenance case: continuity of running jobs.
+
+Claim quantified: checkpointing ahead of announced maintenance windows
+preserves nearly all in-flight work (lost node-hours collapse) and the
+affected workload finishes sooner.
+"""
+
+from conftest import run_once
+
+from repro.experiments.maintenance_exp import run_maintenance_scenario
+from repro.experiments.report import render_table
+
+
+def test_maintenance_case(benchmark):
+    def run_both():
+        return [run_maintenance_scenario(with_loop=w, seed=0) for w in (False, True)]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E4 — maintenance window at t=8000s, 8 long jobs"))
+    without, with_loop = rows
+    assert with_loop["lost_node_hours"] < 0.2 * without["lost_node_hours"]
+    assert with_loop["checkpoints_saved"] >= 1
+    assert without["checkpoints_saved"] == 0
+    assert with_loop["makespan_s"] < without["makespan_s"]
+
+
+def test_maintenance_short_notice(benchmark):
+    """Even a 30-minute announcement lead still saves most of the work."""
+    def run_both():
+        return [
+            run_maintenance_scenario(
+                with_loop=w, seed=1, announce_lead_s=1800.0, checkpoint_cost_s=120.0
+            )
+            for w in (False, True)
+        ]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E4 — short (30 min) announcement lead"))
+    without, with_loop = rows
+    assert with_loop["lost_node_hours"] < 0.5 * without["lost_node_hours"]

@@ -1,0 +1,74 @@
+"""E8 — "having a human in the loop limits the speed of response".
+
+Claim quantified: the value of the Scheduler-case response decays
+monotonically (in shape) with the operator's median reaction latency;
+autonomous response is the zero-latency limit.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.scheduler_case import (
+    SchedulerScenarioConfig,
+    run_scheduler_scenario,
+)
+
+
+def test_human_latency_sweep(benchmark):
+    latencies = [0.0, 300.0, 1800.0, 7200.0, 28800.0]
+
+    def sweep():
+        rows = []
+        for latency in latencies:
+            if latency == 0.0:
+                cfg = SchedulerScenarioConfig(
+                    seed=0, mode="autonomous", n_jobs=24, n_nodes=12, horizon_s=300_000.0
+                )
+            else:
+                cfg = SchedulerScenarioConfig(
+                    seed=0, mode="human", n_jobs=24, n_nodes=12, horizon_s=300_000.0,
+                    human_median_latency_s=latency, human_availability=0.9,
+                )
+            row = run_scheduler_scenario(cfg)
+            rows.append(
+                {
+                    "median_latency_s": latency,
+                    "completion_rate": row["completion_rate"],
+                    "wasted_nh": row["wasted_nh"],
+                    "ext_granted": row["ext_granted"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E8 — response value vs operator latency"))
+    # endpoint comparison: instant response ≫ 8-hour response
+    assert rows[0]["completion_rate"] > rows[-1]["completion_rate"] + 0.3
+    # broad monotone shape: each 24× latency step should not help
+    assert rows[1]["completion_rate"] >= rows[3]["completion_rate"]
+
+
+def test_availability_matters_too(benchmark):
+    def run_two():
+        out = []
+        for availability in (1.0, 0.3):
+            row = run_scheduler_scenario(
+                SchedulerScenarioConfig(
+                    seed=1, mode="human", n_jobs=20, n_nodes=10, horizon_s=300_000.0,
+                    human_median_latency_s=600.0, human_availability=availability,
+                )
+            )
+            out.append(
+                {
+                    "availability": availability,
+                    "completion_rate": row["completion_rate"],
+                    "dropped": row.get("human_dropped", 0.0),
+                }
+            )
+        return out
+
+    rows = benchmark.pedantic(run_two, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E8 — operator availability"))
+    assert rows[0]["completion_rate"] >= rows[1]["completion_rate"]

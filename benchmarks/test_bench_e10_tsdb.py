@@ -1,0 +1,65 @@
+"""E10 — MODA storage design points (Section IV).
+
+Measures the raw time-series path (insert rates at cardinality, window
+query and downsample latency) and the model-metadata path (knowledge
+registry and plan-outcome records) the paper says future MODA storage
+must serve simultaneously.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.tsdb_exp import run_knowledge_ops, run_tsdb_ingest, run_tsdb_queries
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def test_ingest_scaling(benchmark):
+    def sweep():
+        return [
+            run_tsdb_ingest(seed=0, n_series=256, batch_size=b) for b in (1, 64, 512)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="E10 — ingest throughput vs batch size"))
+    assert rows[0]["inserts_per_s"] > 100_000  # point inserts
+    assert rows[-1]["inserts_per_s"] > 5 * rows[0]["inserts_per_s"]  # batching wins
+
+
+def test_query_latency(benchmark):
+    row = run_once(benchmark, run_tsdb_queries, seed=0, n_series=256)
+    print()
+    print(render_table([row], title="E10 — query/downsample latency"))
+    assert row["query_us"] < 1000.0
+    assert row["downsample_us"] < 10_000.0
+
+
+def test_knowledge_metadata_ops(benchmark):
+    row = run_once(benchmark, run_knowledge_ops)
+    print()
+    print(render_table([row], title="E10 — knowledge/model metadata ops"))
+    assert row["model_register_us"] < 1000.0
+    assert row["plan_record_assess_us"] < 1000.0
+
+
+def test_point_insert_microbenchmark(benchmark):
+    store = TimeSeriesStore(default_capacity=100_000)
+    key = SeriesKey.of("m", node="n0")
+    state = {"t": 0.0}
+
+    def insert():
+        state["t"] += 1.0
+        store.insert(key, state["t"], 1.0)
+
+    benchmark(insert)
+    assert store.total_inserts > 0
+
+
+def test_window_query_microbenchmark(benchmark):
+    store = TimeSeriesStore(default_capacity=10_000)
+    key = SeriesKey.of("m", node="n0")
+    times = np.arange(10_000, dtype=float)
+    store.insert_batch(key, times, np.sin(times))
+    benchmark(lambda: store.query(key, 2_500.0, 7_500.0))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fig. 2 live: the four MAPE-K patterns on one regulation task.
+
+Runs classical, master-worker, coordinated, and hierarchical control of
+the same drifting fleet (a power-cap-style task), then injects a
+controller failure into each decentralized pattern to show the
+containment differences the paper describes.
+
+Run:  python examples/pattern_comparison.py
+"""
+
+from repro.experiments import render_table
+from repro.experiments.patterns_exp import PatternScenarioConfig, run_pattern_scenario
+
+
+def main() -> None:
+    print("Regulating 64 drifting elements to a global cap, per pattern:\n")
+    rows = [
+        run_pattern_scenario(
+            PatternScenarioConfig(seed=5, pattern=p, n_elements=64, horizon_s=900.0)
+        )
+        for p in ("classical", "master-worker", "coordinated", "hierarchical")
+    ]
+    print(render_table(
+        rows,
+        columns=["pattern", "latency_s", "messages_total", "bias", "osc_std"],
+        title="healthy operation",
+    ))
+
+    print("\nNow kill one controller component at t=300s:\n")
+    rows = [
+        run_pattern_scenario(
+            PatternScenarioConfig(
+                seed=5, pattern=p, n_elements=64, horizon_s=900.0, inject_failure_at=300.0
+            )
+        )
+        for p in ("master-worker", "coordinated", "hierarchical")
+    ]
+    print(render_table(
+        rows,
+        columns=["pattern", "uncontrolled_frac", "bias", "osc_std"],
+        title="after controller failure (master / one local loop / one group head)",
+    ))
+    print(
+        "\nreading: master-worker loses everything with its master;\n"
+        "coordinated loses one element; hierarchical loses one group\n"
+        "while the top level re-shares the target over survivors."
+    )
+
+
+if __name__ == "__main__":
+    main()

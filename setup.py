@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` on toolchains without the ``wheel``
+package (offline environments); ``pip install -e .`` works wherever a
+modern setuptools/wheel pair is available.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

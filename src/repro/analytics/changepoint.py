@@ -1,0 +1,72 @@
+"""Online changepoint detection.
+
+Page–Hinkley is the standard streaming test for abrupt mean changes and
+is the workhorse behind the OST loop (detecting a bandwidth regime
+change) and the knowledge-assessment logic (detecting progress-rate
+phase changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected mean shift at ``time`` with cumulative evidence ``magnitude``."""
+
+    time: float
+    value: float
+    magnitude: float
+    direction: str  # "up" | "down"
+
+
+class PageHinkley:
+    """Two-sided Page–Hinkley test.
+
+    ``delta`` is the magnitude tolerance (changes smaller than this are
+    ignored); ``threshold`` (λ) controls the detection/false-alarm
+    trade-off.  After a detection the statistics reset so successive
+    changes can be caught.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 50.0, min_samples: int = 10) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._mt = 0.0  # cumulative (x - mean - delta), for upward shifts
+        self._mt_min = 0.0
+        self._ut = 0.0  # cumulative (mean - x - delta), for downward shifts
+        self._ut_min = 0.0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def update(self, t: float, value: float) -> Optional[ChangePoint]:
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._mt += value - self._mean - self.delta
+        self._mt_min = min(self._mt_min, self._mt)
+        self._ut += self._mean - value - self.delta
+        self._ut_min = min(self._ut_min, self._ut)
+        if self._n < self.min_samples:
+            return None
+        up_stat = self._mt - self._mt_min
+        down_stat = self._ut - self._ut_min
+        if up_stat > self.threshold or down_stat > self.threshold:
+            direction = "up" if up_stat >= down_stat else "down"
+            magnitude = max(up_stat, down_stat)
+            self.reset()
+            return ChangePoint(t, value, magnitude, direction)
+        return None

@@ -1,0 +1,93 @@
+"""Behavioral characterization of applications.
+
+A :class:`BehaviorFingerprint` condenses one run's telemetry into a small
+named feature vector (utilization, I/O, progress statistics).  The OST,
+I/O-QoS, and Misconfiguration cases all rely on "storage/retrieval of
+behavioral attributes ... to have a reference for expected operation";
+fingerprints are that reference, and they double as the feature vectors
+for :class:`~repro.analytics.similarity.RunHistory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class BehaviorFingerprint:
+    """Summary features of one job's observed behaviour."""
+
+    job_id: str
+    app_name: str
+    features: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, key: str, default: float = float("nan")) -> float:
+        return self.features.get(key, default)
+
+
+_SUMMARY_SUFFIXES = ("mean", "std", "p95")
+
+
+def _summarize(values: np.ndarray) -> Dict[str, float]:
+    if values.size == 0:
+        return {}
+    return {
+        "mean": float(np.mean(values)),
+        "std": float(np.std(values)),
+        "p95": float(np.percentile(values, 95)),
+    }
+
+
+def fingerprint_from_store(
+    store: TimeSeriesStore,
+    job_id: str,
+    app_name: str,
+    t0: float,
+    t1: float,
+    metrics: Mapping[str, SeriesKey],
+) -> BehaviorFingerprint:
+    """Build a fingerprint from TSDB windows.
+
+    ``metrics`` maps feature prefixes to series keys, e.g.
+    ``{"cpu": SeriesKey.of("node_cpu_util", node="n1"), ...}``; each
+    contributes ``<prefix>_mean/std/p95`` features.
+    """
+    features: Dict[str, float] = {}
+    for prefix, key in metrics.items():
+        _, values = store.query(key, t0, t1)
+        for suffix, value in _summarize(values).items():
+            features[f"{prefix}_{suffix}"] = value
+    return BehaviorFingerprint(job_id, app_name, features)
+
+
+def fingerprint_distance(
+    a: BehaviorFingerprint,
+    b: BehaviorFingerprint,
+    scales: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Normalized Euclidean distance over shared features.
+
+    ``scales`` supplies per-feature normalization constants (e.g. fleet
+    std); features missing a scale use the larger magnitude of the two
+    values, making the distance unit-free.  Returns ``inf`` when the
+    fingerprints share no features.
+    """
+    shared = sorted(set(a.features) & set(b.features))
+    if not shared:
+        return float("inf")
+    total = 0.0
+    for key in shared:
+        va, vb = a.features[key], b.features[key]
+        if scales and key in scales and scales[key] > 0:
+            scale = scales[key]
+        else:
+            scale = max(abs(va), abs(vb), 1e-12)
+        diff = (va - vb) / scale
+        total += diff * diff
+    return float(np.sqrt(total / len(shared)))

@@ -1,0 +1,120 @@
+"""Seasonal-aware anomaly detection.
+
+HPC facility telemetry (power, temperature, load) carries strong
+diurnal/weekly seasonality; a plain z-score detector either fires on
+every morning ramp-up or needs thresholds so wide it misses real
+events.  :class:`SeasonalBaseline` learns a per-phase (e.g. hour-of-day)
+mean/std profile online; :class:`SeasonalAnomalyDetector` then scores
+each sample against *its phase's* baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analytics.anomaly import Anomaly, AnomalyDetector
+from repro.analytics.streaming import RunningStats
+
+DAY_S = 86_400.0
+
+
+class SeasonalBaseline:
+    """Per-phase running mean/std over a repeating period.
+
+    ``period_s`` is the season length (a day by default) split into
+    ``n_bins`` phases; each sample updates the statistics of the bin its
+    timestamp falls into.
+    """
+
+    def __init__(self, period_s: float = DAY_S, n_bins: int = 24) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if n_bins <= 0:
+            raise ValueError("n_bins must be positive")
+        self.period_s = period_s
+        self.n_bins = n_bins
+        self._bins: List[RunningStats] = [RunningStats() for _ in range(n_bins)]
+        self._bin_seasons: List[set] = [set() for _ in range(n_bins)]
+
+    def bin_index(self, t: float) -> int:
+        phase = (t % self.period_s) / self.period_s
+        return min(self.n_bins - 1, int(phase * self.n_bins))
+
+    def update(self, t: float, value: float) -> None:
+        idx = self.bin_index(t)
+        self._bins[idx].update(value)
+        self._bin_seasons[idx].add(int(t // self.period_s))
+
+    def seasons_seen(self, t: float) -> int:
+        """Distinct seasons contributing to the bin containing ``t``."""
+        return len(self._bin_seasons[self.bin_index(t)])
+
+    def stats_at(self, t: float) -> RunningStats:
+        return self._bins[self.bin_index(t)]
+
+    def expected(self, t: float) -> Optional[float]:
+        """Baseline mean for the phase containing ``t``; None when unseen."""
+        stats = self.stats_at(t)
+        return stats.mean if stats.n > 0 else None
+
+    def coverage(self) -> float:
+        """Fraction of bins with at least two samples (trained enough)."""
+        return sum(1 for b in self._bins if b.n >= 2) / self.n_bins
+
+
+class SeasonalAnomalyDetector(AnomalyDetector):
+    """Z-score against the sample's seasonal-phase baseline.
+
+    Detection for a bin is suppressed until it has ``min_per_bin``
+    observations drawn from at least ``min_seasons`` distinct seasons —
+    a single pass through the day must only train, because within-bin
+    statistics from one pass reflect the signal's local trend, not its
+    cross-day variability.  Anomalous samples are excluded from the
+    baseline (as in :class:`~repro.analytics.anomaly.ZScoreDetector`).
+    """
+
+    name = "seasonal-zscore"
+
+    def __init__(
+        self,
+        *,
+        period_s: float = DAY_S,
+        n_bins: int = 24,
+        threshold: float = 4.0,
+        min_per_bin: int = 3,
+        min_seasons: int = 2,
+        min_std: float = 1e-9,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_per_bin < 2:
+            raise ValueError("min_per_bin must be >= 2")
+        if min_seasons < 1:
+            raise ValueError("min_seasons must be >= 1")
+        self.baseline = SeasonalBaseline(period_s, n_bins)
+        self.threshold = threshold
+        self.min_per_bin = min_per_bin
+        self.min_seasons = min_seasons
+        self.min_std = min_std
+
+    def update(self, t: float, value: float) -> Optional[Anomaly]:
+        stats = self.baseline.stats_at(t)
+        if stats.n < self.min_per_bin or self.baseline.seasons_seen(t) < self.min_seasons:
+            self.baseline.update(t, value)
+            return None
+        std = stats.std
+        if std != std or std < self.min_std:  # NaN or degenerate
+            std = self.min_std
+        z = (value - stats.mean) / std
+        if abs(z) >= self.threshold:
+            return Anomaly(
+                t,
+                value,
+                abs(z),
+                self.name,
+                f"z={z:.2f} vs phase baseline {stats.mean:.3g}±{std:.3g} "
+                f"(bin {self.baseline.bin_index(t)})",
+            )
+        self.baseline.update(t, value)
+        return None

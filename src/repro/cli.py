@@ -1,0 +1,78 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``experiments [--quick] [--seeds ...]`` — regenerate every experiment
+  table (the EXPERIMENTS.md content).
+* ``list`` — enumerate experiments with their paper anchors.
+* ``version`` — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+EXPERIMENT_INDEX = [
+    ("E1", "Fig. 1", "holistic monitoring + ODA pipeline"),
+    ("E2", "Fig. 2", "MAPE-K pattern scalability/stability/robustness"),
+    ("E3", "Fig. 3 / §III", "Scheduler case vs baselines"),
+    ("E4", "§III case 1", "Maintenance: job continuity via checkpoints"),
+    ("E5", "§III case 2", "I/O QoS adaptation"),
+    ("E6", "§III case 3", "OST failover"),
+    ("E7", "§III case 4", "Misconfiguration detect/advise/fix"),
+    ("E8", "§I", "value of response vs human latency"),
+    ("E9", "§IV", "small continual vs large batch models"),
+    ("E10", "§IV", "TSDB + model-metadata storage paths"),
+    ("E11", "§III.iv", "trust/guard budget sweep"),
+    ("E12", "§II i–ii", "component interchange matrix"),
+]
+
+
+def cmd_list() -> int:
+    width = max(len(anchor) for _, anchor, _ in EXPERIMENT_INDEX)
+    for exp_id, anchor, title in EXPERIMENT_INDEX:
+        print(f"{exp_id:4s} {anchor:{width}s}  {title}")
+    return 0
+
+
+def cmd_version() -> int:
+    from repro import __version__
+
+    print(__version__)
+    return 0
+
+
+def cmd_experiments(quick: bool, seeds: List[int]) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(quick=quick, seeds=seeds)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAPE-K autonomy loops for HPC MODA (CLUSTER 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    exp = sub.add_parser("experiments", help="regenerate every experiment table")
+    exp.add_argument("--quick", action="store_true", help="reduced problem sizes")
+    exp.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
+    sub.add_parser("list", help="list experiments and their paper anchors")
+    sub.add_parser("version", help="print the package version")
+    args = parser.parse_args(argv)
+
+    if args.command == "experiments":
+        return cmd_experiments(args.quick, args.seeds)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "version":
+        return cmd_version()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

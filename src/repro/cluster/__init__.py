@@ -1,0 +1,53 @@
+"""Simulated HPC cluster substrate.
+
+Models the managed system of the paper's Scheduler, Maintenance, and
+Misconfiguration use cases: compute nodes, a SLURM-like scheduler with
+FCFS + EASY backfill and a walltime-extension hook, iterative
+applications that emit progress markers, checkpoint/restart, maintenance
+windows, and failure injection.
+
+The scheduler deliberately exposes exactly the actuator surface the
+paper's Execute phase uses: ``request_extension`` (which may deny or
+shorten, like ``scontrol update TimeLimit`` under site policy) and
+checkpoint signalling.
+"""
+
+from repro.cluster.node import Node, NodeSpec, NodeState
+from repro.cluster.power import PowerModel
+from repro.cluster.job import Job, JobState
+from repro.cluster.application import ApplicationProfile, LaunchConfig, RunningApp
+from repro.cluster.checkpoint import CheckpointRecord, CheckpointStore
+from repro.cluster.scheduler import (
+    ExtensionPolicy,
+    ExtensionResponse,
+    Reservation,
+    Scheduler,
+    SchedulerConfig,
+)
+from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
+from repro.cluster.failures import FailureInjector
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+__all__ = [
+    "ApplicationProfile",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "Cluster",
+    "ClusterConfig",
+    "ExtensionPolicy",
+    "ExtensionResponse",
+    "FailureInjector",
+    "Job",
+    "JobState",
+    "LaunchConfig",
+    "MaintenanceEvent",
+    "MaintenanceManager",
+    "Node",
+    "NodeSpec",
+    "NodeState",
+    "PowerModel",
+    "Reservation",
+    "RunningApp",
+    "Scheduler",
+    "SchedulerConfig",
+]

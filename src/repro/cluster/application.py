@@ -1,0 +1,445 @@
+"""Iterative application models.
+
+The paper's Monitor phase reads progress "via markers that could be
+output by an application (e.g., simulation time-step)".  An
+:class:`ApplicationProfile` describes an iterative code — total steps,
+nominal step rate, per-phase rate changes, marker cadence, checkpoint
+cost — and :class:`RunningApp` simulates one execution of it:
+
+* progress integrates a piecewise-constant step rate,
+* markers are emitted every ``marker_period_s`` (rank-0 style),
+* checkpoints freeze progress for ``checkpoint_cost_s`` then record the
+  saved step,
+* launch misconfiguration (thread/core mismatch, disabled GPU offload)
+  and external factors (I/O contention) scale the effective rate.
+
+Rate variability is the phenomenon the Analyze phase must survive, so
+noise, phase changes, and external slowdowns are first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
+
+#: Relative throughput penalty applied per-unit oversubscription ratio.
+OVERSUBSCRIPTION_PENALTY = 0.2
+
+
+@dataclass(frozen=True)
+class PhaseChange:
+    """From ``at_fraction`` of total steps onward, multiply the rate."""
+
+    at_fraction: float
+    rate_multiplier: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be in [0, 1]")
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be positive")
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Static description of an application's execution behaviour."""
+
+    name: str
+    total_steps: float
+    base_step_rate: float  # steps/second at nominal configuration
+    rate_noise_std: float = 0.0  # relative noise per marker interval
+    phases: Tuple[PhaseChange, ...] = ()
+    marker_period_s: float = 30.0
+    checkpoint_cost_s: float = 60.0
+    supports_checkpoint: bool = True
+    uses_gpu: bool = False
+    io_every_s: Optional[float] = None  # periodic I/O phase cadence
+    io_size_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if self.base_step_rate <= 0:
+            raise ValueError("base_step_rate must be positive")
+        if self.rate_noise_std < 0:
+            raise ValueError("rate_noise_std must be >= 0")
+        if self.marker_period_s <= 0:
+            raise ValueError("marker_period_s must be positive")
+        if sorted(self.phases, key=lambda p: p.at_fraction) != list(self.phases):
+            raise ValueError("phases must be sorted by at_fraction")
+
+    def phase_multiplier(self, fraction: float) -> float:
+        """Rate multiplier of the phase segment containing ``fraction``."""
+        mult = 1.0
+        for phase in self.phases:
+            if fraction >= phase.at_fraction:
+                mult = phase.rate_multiplier
+            else:
+                break
+        return mult
+
+    def nominal_runtime_s(self) -> float:
+        """Runtime at nominal configuration, integrating phase changes."""
+        boundaries = [0.0] + [p.at_fraction for p in self.phases] + [1.0]
+        total = 0.0
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            if hi <= lo:
+                continue
+            steps = (hi - lo) * self.total_steps
+            total += steps / (self.base_step_rate * self.phase_multiplier(lo))
+        return total
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """User launch configuration — the misconfiguration surface."""
+
+    threads: Optional[int] = None  # None = auto (matches allocated cores)
+    gpu_offload_enabled: bool = True
+    library_paths: Tuple[str, ...] = ("site-blas", "site-mpi")
+    expected_libraries: Tuple[str, ...] = ("site-blas",)
+
+    def compute_multiplier(self, cores: int, uses_gpu: bool) -> float:
+        """Effective throughput multiplier for this config on ``cores``.
+
+        * threads < cores: idle cores → ``threads/cores``
+        * threads > cores: context-switch thrash → ``cores/threads`` with
+          an extra :data:`OVERSUBSCRIPTION_PENALTY`
+        * GPU app with offload disabled: falls back to CPU at 20%
+        * missing expected libraries: generic fallback at 60%
+        """
+        mult = 1.0
+        threads = self.threads if self.threads is not None else cores
+        if threads <= 0:
+            raise ValueError("threads must be positive when set")
+        if threads < cores:
+            mult *= threads / cores
+        elif threads > cores:
+            mult *= (cores / threads) * (1.0 - OVERSUBSCRIPTION_PENALTY)
+        if uses_gpu and not self.gpu_offload_enabled:
+            mult *= 0.2
+        missing = [lib for lib in self.expected_libraries if lib not in self.library_paths]
+        if missing:
+            mult *= 0.6
+        return mult
+
+
+class IoClient:
+    """Protocol for application output phases (duck-typed; documentation).
+
+    The storage substrate provides implementations (e.g.
+    :class:`repro.storage.client.AppIoClient`); keeping only this
+    protocol here avoids a cluster→storage dependency.
+    """
+
+    def write(self, size_mb: float, on_done: Callable) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class RunningApp:
+    """One live execution of an application on allocated nodes.
+
+    The scheduler creates a ``RunningApp`` when a job starts; autonomy
+    loops interact with it through its hooks:
+
+    * :meth:`begin_checkpoint` — the Maintenance/Scheduler response hook
+    * :meth:`set_external_multiplier` — I/O-contention coupling
+    * :meth:`apply_thread_fix` — the Misconfiguration on-the-fly fix
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        job_id: str,
+        profile: ApplicationProfile,
+        *,
+        cores: int,
+        launch: Optional[LaunchConfig] = None,
+        channel: Optional[ProgressMarkerChannel] = None,
+        rng: Optional[np.random.Generator] = None,
+        on_complete: Optional[Callable[["RunningApp"], None]] = None,
+        on_checkpoint: Optional[Callable[["RunningApp", float], None]] = None,
+        start_step: float = 0.0,
+        io_client: Optional["IoClient"] = None,
+    ) -> None:
+        self.engine = engine
+        self.job_id = job_id
+        self.profile = profile
+        self.cores = cores
+        self.launch = launch if launch is not None else LaunchConfig()
+        self.channel = channel
+        self.rng = rng
+        self.on_complete = on_complete
+        self.on_checkpoint = on_checkpoint
+
+        self.steps_done = float(start_step)
+        self.last_checkpoint_step = float(start_step)
+        self.external_multiplier = 1.0
+        self._config_multiplier = self.launch.compute_multiplier(cores, profile.uses_gpu)
+        self._noise_factor = 1.0
+        self._last_advance: Optional[float] = None
+        self._pauses: set = set()  # "checkpoint" / "io" — progress frozen
+        self._running = False
+        self.completed = False
+        self._task: Optional[PeriodicTask] = None
+        self._io_task: Optional[PeriodicTask] = None
+        self._completion_event = None
+        self.checkpoint_count = 0
+        self.io_client = io_client
+        self.io_count = 0
+        self.io_blocked_s = 0.0
+        self._io_started_at: Optional[float] = None
+
+    @property
+    def _frozen(self) -> bool:
+        return bool(self._pauses)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError(f"app for job {self.job_id} already running")
+        self._running = True
+        self._last_advance = self.engine.now
+        self._emit_marker()
+        self._task = self.engine.every(
+            self.profile.marker_period_s,
+            self._tick,
+            start_at=self.engine.now + self.profile.marker_period_s,
+            label=f"app-{self.job_id}",
+        )
+        if self.profile.io_every_s is not None and self.io_client is not None:
+            self._io_task = self.engine.every(
+                self.profile.io_every_s,
+                self._begin_io,
+                start_at=self.engine.now + self.profile.io_every_s,
+                label=f"app-io-{self.job_id}",
+            )
+        self._resample_noise()
+        self._maybe_schedule_completion()
+
+    def stop(self) -> float:
+        """Halt execution (kill); returns the final step count."""
+        if self._running:
+            self._advance(self.engine.now)
+            self._running = False
+        if self._task is not None:
+            self._task.stop()
+        if self._io_task is not None:
+            self._io_task.stop()
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        return self.steps_done
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------- progress
+    @property
+    def progress_fraction(self) -> float:
+        return min(1.0, self.steps_done / self.profile.total_steps)
+
+    def current_rate(self) -> float:
+        """Effective step rate right now (steps/second)."""
+        if self._frozen or not self._running:
+            return 0.0
+        return (
+            self.profile.base_step_rate
+            * self.profile.phase_multiplier(self.progress_fraction)
+            * self._config_multiplier
+            * self.external_multiplier
+            * self._noise_factor
+        )
+
+    def _resample_noise(self) -> None:
+        if self.profile.rate_noise_std > 0 and self.rng is not None:
+            draw = self.rng.normal(1.0, self.profile.rate_noise_std)
+            self._noise_factor = max(0.05, float(draw))
+        else:
+            self._noise_factor = 1.0
+
+    def _advance(self, to: float) -> None:
+        if self._last_advance is None:
+            self._last_advance = to
+            return
+        dt = to - self._last_advance
+        if dt > 0 and not self._frozen:
+            self.steps_done = min(
+                self.profile.total_steps, self.steps_done + self.current_rate() * dt
+            )
+        self._last_advance = to
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._advance(self.engine.now)
+        self._emit_marker()
+        if self.steps_done >= self.profile.total_steps:
+            self._complete()
+            return
+        self._resample_noise()
+        self._maybe_schedule_completion()
+
+    def _maybe_schedule_completion(self) -> None:
+        """Schedule exact completion when it lands before the next tick."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        rate = self.current_rate()
+        if rate <= 0:
+            return
+        remaining = self.profile.total_steps - self.steps_done
+        eta = remaining / rate
+        if eta <= self.profile.marker_period_s:
+            self._completion_event = self.engine.schedule(
+                eta, self._finish_exactly, label=f"app-complete-{self.job_id}"
+            )
+
+    def _finish_exactly(self) -> None:
+        self._completion_event = None
+        if not self._running:
+            return
+        self._advance(self.engine.now)
+        self.steps_done = self.profile.total_steps
+        self._complete()
+
+    def _complete(self) -> None:
+        self._running = False
+        self.completed = True
+        if self._task is not None:
+            self._task.stop()
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self._emit_marker()
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def _emit_marker(self) -> None:
+        if self.channel is not None:
+            self.channel.emit(
+                ProgressMarker(
+                    self.job_id, self.engine.now, self.steps_done, self.profile.total_steps
+                )
+            )
+
+    # ----------------------------------------------------------------- hooks
+    def begin_checkpoint(self) -> bool:
+        """Start an asynchronous checkpoint; returns False if unsupported.
+
+        Progress freezes for ``checkpoint_cost_s``; on completion the
+        current step becomes the restart point and ``on_checkpoint``
+        fires.  A kill during the freeze loses the in-flight checkpoint,
+        and a checkpoint cannot start while an I/O phase is blocking.
+        """
+        if not self.profile.supports_checkpoint or not self._running or self._frozen:
+            return False
+        self._advance(self.engine.now)
+        self._pauses.add("checkpoint")
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self.engine.schedule(
+            self.profile.checkpoint_cost_s, self._end_checkpoint, label=f"ckpt-{self.job_id}"
+        )
+        return True
+
+    def _end_checkpoint(self) -> None:
+        if not self._running:
+            return  # killed mid-checkpoint: nothing saved
+        self._pauses.discard("checkpoint")
+        self._last_advance = self.engine.now
+        self.last_checkpoint_step = self.steps_done
+        self.checkpoint_count += 1
+        self._maybe_schedule_completion()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self, self.steps_done)
+
+    # -------------------------------------------------------------- I/O phase
+    def _begin_io(self) -> None:
+        """Start a blocking output phase through the I/O client.
+
+        Progress freezes until the filesystem reports completion — so
+        filesystem contention directly stretches the application's
+        effective runtime (the coupling the I/O-QoS case exploits).
+        """
+        if not self._running or self._frozen:
+            return  # skip overlapping phases (previous write still going)
+        self._advance(self.engine.now)
+        self._pauses.add("io")
+        self._io_started_at = self.engine.now
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self.io_client.write(self.profile.io_size_mb, self._end_io)
+
+    def _end_io(self, *_args) -> None:
+        if not self._running:
+            return
+        self._pauses.discard("io")
+        self._last_advance = self.engine.now
+        self.io_count += 1
+        if self._io_started_at is not None:
+            self.io_blocked_s += self.engine.now - self._io_started_at
+            self._io_started_at = None
+        self._maybe_schedule_completion()
+
+    def set_external_multiplier(self, multiplier: float) -> None:
+        """Apply an external slowdown/speedup (e.g. I/O contention)."""
+        if multiplier < 0:
+            raise ValueError("multiplier must be >= 0")
+        self._advance(self.engine.now)
+        self.external_multiplier = multiplier
+        self._maybe_schedule_completion()
+
+    def apply_thread_fix(self, threads: int) -> None:
+        """On-the-fly thread-count correction (Misconfiguration response)."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self._reconfigure(
+            LaunchConfig(
+                threads=threads,
+                gpu_offload_enabled=self.launch.gpu_offload_enabled,
+                library_paths=self.launch.library_paths,
+                expected_libraries=self.launch.expected_libraries,
+            )
+        )
+
+    def apply_library_fix(self) -> None:
+        """Prepend the expected site libraries (Misconfiguration response)."""
+        missing = tuple(
+            lib for lib in self.launch.expected_libraries
+            if lib not in self.launch.library_paths
+        )
+        self._reconfigure(
+            LaunchConfig(
+                threads=self.launch.threads,
+                gpu_offload_enabled=self.launch.gpu_offload_enabled,
+                library_paths=missing + self.launch.library_paths,
+                expected_libraries=self.launch.expected_libraries,
+            )
+        )
+
+    def _reconfigure(self, launch: LaunchConfig) -> None:
+        self._advance(self.engine.now)
+        self.launch = launch
+        self._config_multiplier = launch.compute_multiplier(self.cores, self.profile.uses_gpu)
+        self._maybe_schedule_completion()
+
+    def remaining_seconds_nominal(self) -> float:
+        """Oracle remaining time at the current deterministic rate."""
+        rate = (
+            self.profile.base_step_rate
+            * self.profile.phase_multiplier(self.progress_fraction)
+            * self._config_multiplier
+            * self.external_multiplier
+        )
+        if rate <= 0:
+            return float("inf")
+        return (self.profile.total_steps - self.steps_done) / rate

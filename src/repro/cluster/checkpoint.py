@@ -1,0 +1,55 @@
+"""Checkpoint records and storage.
+
+Checkpoints are the response hook shared by the Scheduler and
+Maintenance cases.  The store keeps the newest checkpoint per
+``(user, app)`` so a resubmitted job can restart from saved progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One saved checkpoint: identity, saved step, and when it was taken."""
+
+    job_id: str
+    user: str
+    app_name: str
+    step: float
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("step must be >= 0")
+
+
+class CheckpointStore:
+    """Newest-wins checkpoint store keyed by ``(user, app_name)``."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[Tuple[str, str], CheckpointRecord] = {}
+        self.total_saved = 0
+
+    def save(self, record: CheckpointRecord) -> None:
+        key = (record.user, record.app_name)
+        existing = self._latest.get(key)
+        if existing is None or record.time >= existing.time:
+            self._latest[key] = record
+        self.total_saved += 1
+
+    def latest(self, user: str, app_name: str) -> Optional[CheckpointRecord]:
+        return self._latest.get((user, app_name))
+
+    def restart_step(self, user: str, app_name: str) -> float:
+        """Step to restart from; 0 when no checkpoint exists."""
+        record = self.latest(user, app_name)
+        return record.step if record is not None else 0.0
+
+    def discard(self, user: str, app_name: str) -> None:
+        self._latest.pop((user, app_name), None)
+
+    def __len__(self) -> int:
+        return len(self._latest)

@@ -1,0 +1,153 @@
+"""Cluster facade: nodes + scheduler + telemetry wiring in one object.
+
+``Cluster`` assembles the pieces every experiment needs — a node fleet,
+the scheduler, the progress-marker channel, a time-series store fed by
+per-node sensors — so examples and benchmarks construct one object and
+submit jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.maintenance import MaintenanceManager
+from repro.cluster.node import Node, NodeSpec, NodeState
+from repro.cluster.power import PowerModel
+from repro.cluster.scheduler import Scheduler, SchedulerConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.telemetry.collector import CollectionPipeline
+from repro.telemetry.markers import ProgressMarkerChannel
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.sensor import CallableSensor
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for assembling a simulated cluster."""
+
+    n_nodes: int = 16
+    node_spec: NodeSpec = field(default_factory=NodeSpec)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    telemetry_period_s: float = 10.0
+    telemetry_groups: int = 2
+    telemetry_hop_latency_s: float = 0.1
+    enable_telemetry: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.telemetry_groups <= 0:
+            raise ValueError("telemetry_groups must be positive")
+
+
+class Cluster:
+    """Assembled simulated HPC system."""
+
+    def __init__(self, engine: Engine, config: Optional[ClusterConfig] = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ClusterConfig()
+        self.rngs = RngRegistry(seed=self.config.seed)
+        self.nodes: List[Node] = [
+            Node(f"n{idx:04d}", self.config.node_spec) for idx in range(self.config.n_nodes)
+        ]
+        self.store = TimeSeriesStore()
+        self.markers = ProgressMarkerChannel(mirror_store=self.store)
+        self.checkpoints = CheckpointStore()
+        self.scheduler = Scheduler(
+            engine,
+            self.nodes,
+            config=self.config.scheduler,
+            marker_channel=self.markers,
+            checkpoint_store=self.checkpoints,
+            rng=self.rngs.stream("scheduler"),
+        )
+        self.maintenance = MaintenanceManager(engine, self.scheduler)
+        self.power_model = PowerModel()
+        self.samplers: List[Sampler] = []
+        self.pipeline: Optional[CollectionPipeline] = None
+        if self.config.enable_telemetry:
+            self._wire_telemetry()
+
+    # ------------------------------------------------------------ telemetry
+    def _wire_telemetry(self) -> None:
+        cfg = self.config
+        self.pipeline = CollectionPipeline(
+            self.engine,
+            self.store,
+            hop_latency=cfg.telemetry_hop_latency_s,
+            ingest_latency=cfg.telemetry_hop_latency_s,
+        )
+        aggregators = self.pipeline.build(cfg.telemetry_groups)
+        for idx, node in enumerate(self.nodes):
+            agg = aggregators[idx % cfg.telemetry_groups]
+            sampler = Sampler(
+                self.engine,
+                agg,
+                period=cfg.telemetry_period_s,
+                rng=self.rngs.stream(f"sampler-{node.node_id}"),
+                name=f"sampler-{node.node_id}",
+            )
+            sampler.add_sensors(
+                [
+                    CallableSensor(
+                        SeriesKey.of("node_cpu_util", node=node.node_id),
+                        self._util_reader(node),
+                    ),
+                    CallableSensor(
+                        SeriesKey.of("node_power_watts", node=node.node_id),
+                        self._power_reader(node),
+                    ),
+                ]
+            )
+            sampler.start()
+            self.samplers.append(sampler)
+        # scheduler queue-length gauge through the same pipeline
+        queue_sampler = Sampler(
+            self.engine,
+            aggregators[0],
+            period=cfg.telemetry_period_s,
+            name="sampler-sched",
+        )
+        queue_sampler.add_sensor(
+            CallableSensor(
+                SeriesKey.of("sched_queue_length"),
+                lambda now: float(self.scheduler.queue_length),
+            )
+        )
+        queue_sampler.start()
+        self.samplers.append(queue_sampler)
+
+    def node_cpu_util(self, node: Node) -> float:
+        """Current utilization: the running app's effective intensity."""
+        if node.state is not NodeState.UP or node.running_job_id is None:
+            return 0.0
+        app = self.scheduler.app(node.running_job_id)
+        if app is None:
+            return 0.0
+        base = app.profile.base_step_rate
+        rate = app.current_rate()
+        if base <= 0:
+            return 0.0
+        return min(1.0, rate / base)
+
+    def _util_reader(self, node: Node):
+        return lambda now: self.node_cpu_util(node)
+
+    def _power_reader(self, node: Node):
+        return lambda now: self.power_model.node_power(node, self.node_cpu_util(node))
+
+    # ------------------------------------------------------------- shortcuts
+    def submit(self, job) -> None:
+        self.scheduler.submit(job)
+
+    def run(self, until: float) -> float:
+        return self.engine.run(until=until)
+
+    def node_ids(self) -> List[str]:
+        return [n.node_id for n in self.nodes]

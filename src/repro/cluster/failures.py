@@ -1,0 +1,87 @@
+"""Failure injection.
+
+Exponentially distributed node failures with fixed repair times —
+enough to exercise the robustness claims of the decentralized MAPE-K
+patterns (experiment E2) and the resilience discussion of Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.scheduler import Scheduler
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected failure: node, when, and which job it killed."""
+
+    node_id: str
+    time: float
+    killed_job_id: Optional[str]
+
+
+class FailureInjector:
+    """Injects node failures at exponential inter-arrival times.
+
+    ``mtbf_node_s`` is the per-node mean time between failures; the
+    cluster-wide failure rate scales with node count.  Failed nodes
+    repair after ``repair_time_s``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        rng: np.random.Generator,
+        *,
+        mtbf_node_s: float = 30 * 86400.0,
+        repair_time_s: float = 4 * 3600.0,
+    ) -> None:
+        if mtbf_node_s <= 0:
+            raise ValueError("mtbf_node_s must be positive")
+        if repair_time_s <= 0:
+            raise ValueError("repair_time_s must be positive")
+        self.engine = engine
+        self.scheduler = scheduler
+        self.rng = rng
+        self.mtbf_node_s = mtbf_node_s
+        self.repair_time_s = repair_time_s
+        self.records: List[FailureRecord] = []
+        self._active = False
+
+    def start(self) -> None:
+        self._active = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _cluster_rate(self) -> float:
+        n_up = sum(
+            1 for n in self.scheduler.nodes.values() if n.state.value == "up"
+        )
+        return max(1, n_up) / self.mtbf_node_s
+
+    def _schedule_next(self) -> None:
+        if not self._active:
+            return
+        delay = float(self.rng.exponential(1.0 / self._cluster_rate()))
+        self.engine.schedule(delay, self._fail_random_node, label="failure")
+
+    def _fail_random_node(self) -> None:
+        if not self._active:
+            return
+        up_nodes = [n.node_id for n in self.scheduler.nodes.values() if n.state.value == "up"]
+        if up_nodes:
+            victim_node = up_nodes[int(self.rng.integers(len(up_nodes)))]
+            killed = self.scheduler.fail_node(victim_node)
+            self.records.append(FailureRecord(victim_node, self.engine.now, killed))
+            self.engine.schedule(
+                self.repair_time_s, self.scheduler.repair_node, victim_node, label="repair"
+            )
+        self._schedule_next()

@@ -1,0 +1,149 @@
+"""Job lifecycle.
+
+A job is a resource request wrapping an application profile.  The
+lifecycle follows production schedulers::
+
+    PENDING -> RUNNING -> COMPLETED            (reached its final step)
+                        | TIMEOUT              (killed at the walltime limit)
+                        | FAILED               (node failure)
+                        | KILLED_MAINTENANCE   (maintenance window)
+              CANCELLED                        (never started)
+
+``TIMEOUT`` is the state the Scheduler autonomy loop exists to prevent.
+Extension bookkeeping lives here so trust metrics (extension counts,
+overhang) can be computed per job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.application import ApplicationProfile, LaunchConfig
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"
+    FAILED = "failed"
+    KILLED_MAINTENANCE = "killed_maintenance"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    {
+        JobState.COMPLETED,
+        JobState.TIMEOUT,
+        JobState.FAILED,
+        JobState.KILLED_MAINTENANCE,
+        JobState.CANCELLED,
+    }
+)
+
+
+@dataclass
+class ExtensionGrant:
+    """One walltime-extension interaction and its outcome."""
+
+    requested_s: float
+    granted_s: float
+    time: float
+
+    @property
+    def denied(self) -> bool:
+        return self.granted_s <= 0.0
+
+    @property
+    def shortened(self) -> bool:
+        return 0.0 < self.granted_s < self.requested_s
+
+
+class Job:
+    """One scheduled unit of work."""
+
+    def __init__(
+        self,
+        job_id: str,
+        user: str,
+        profile: ApplicationProfile,
+        *,
+        n_nodes: int = 1,
+        walltime_request_s: float = 3600.0,
+        submit_time: float = 0.0,
+        priority: int = 0,
+        launch: Optional[LaunchConfig] = None,
+        restart_step: float = 0.0,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if walltime_request_s <= 0:
+            raise ValueError("walltime_request_s must be positive")
+        if restart_step < 0:
+            raise ValueError("restart_step must be >= 0")
+        self.job_id = job_id
+        self.user = user
+        self.profile = profile
+        self.n_nodes = n_nodes
+        self.walltime_request_s = walltime_request_s
+        self.submit_time = submit_time
+        self.priority = priority
+        self.launch = launch if launch is not None else LaunchConfig()
+        self.restart_step = restart_step
+
+        self.state = JobState.PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.assigned_nodes: List[str] = []
+        self.time_limit_s = walltime_request_s  # may grow through extensions
+        self.extensions: List[ExtensionGrant] = []
+        self.final_step: Optional[float] = None
+        self.was_backfilled = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute kill time under the current limit (running jobs only)."""
+        if self.start_time is None:
+            return None
+        return self.start_time + self.time_limit_s
+
+    @property
+    def extension_count(self) -> int:
+        return sum(1 for e in self.extensions if not e.denied)
+
+    @property
+    def total_extension_s(self) -> float:
+        return sum(e.granted_s for e in self.extensions)
+
+    def record_extension(self, requested_s: float, granted_s: float, time: float) -> None:
+        self.extensions.append(ExtensionGrant(requested_s, granted_s, time))
+        if granted_s > 0:
+            self.time_limit_s += granted_s
+
+    def node_seconds(self) -> float:
+        """Consumed node-seconds (0 for jobs that never started)."""
+        if self.runtime is None:
+            return 0.0
+        return self.runtime * self.n_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.job_id} {self.state.value} n={self.n_nodes}>"

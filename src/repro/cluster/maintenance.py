@@ -1,0 +1,88 @@
+"""Maintenance events (use case 1, Section III).
+
+A maintenance event is announced ``announce_lead_s`` before its window.
+On announcement the manager places a scheduler reservation (so new jobs
+avoid the window); when the window opens, jobs still running on affected
+nodes are killed — unless an autonomy loop checkpointed and/or drained
+them first.  That gap between announcement and window is exactly where
+the Maintenance loop acts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.job import JobState
+from repro.cluster.node import NodeState
+from repro.cluster.scheduler import Reservation, Scheduler
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """One maintenance window on a set of nodes."""
+
+    nodes: frozenset
+    t_start: float
+    duration_s: float
+    announce_lead_s: float = 3600.0
+    label: str = "maintenance"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.announce_lead_s < 0:
+            raise ValueError("announce_lead_s must be >= 0")
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.duration_s
+
+    @property
+    def t_announce(self) -> float:
+        return max(0.0, self.t_start - self.announce_lead_s)
+
+
+class MaintenanceManager:
+    """Schedules announcement/start/end transitions for maintenance events.
+
+    ``on_announce`` hooks receive the event at announcement time — this
+    is the sensor the Maintenance autonomy loop subscribes to.
+    """
+
+    def __init__(self, engine: Engine, scheduler: Scheduler) -> None:
+        self.engine = engine
+        self.scheduler = scheduler
+        self.events: List[MaintenanceEvent] = []
+        self.on_announce: List[Callable[[MaintenanceEvent], None]] = []
+        self.jobs_killed_by_maintenance = 0
+
+    def schedule_event(self, event: MaintenanceEvent) -> None:
+        unknown = [n for n in event.nodes if n not in self.scheduler.nodes]
+        if unknown:
+            raise ValueError(f"maintenance references unknown nodes: {unknown}")
+        self.events.append(event)
+        self.engine.schedule_at(event.t_announce, self._announce, event, label="maint-announce")
+        self.engine.schedule_at(event.t_start, self._begin, event, label="maint-begin")
+        self.engine.schedule_at(event.t_end, self._end, event, label="maint-end")
+
+    def _announce(self, event: MaintenanceEvent) -> None:
+        self.scheduler.add_reservation(
+            Reservation(event.nodes, event.t_start, event.t_end, label=event.label)
+        )
+        for hook in self.on_announce:
+            hook(event)
+
+    def _begin(self, event: MaintenanceEvent) -> None:
+        for node_id in event.nodes:
+            node = self.scheduler.nodes[node_id]
+            victim = node.running_job_id
+            if victim is not None:
+                if self.scheduler.kill_job(victim, JobState.KILLED_MAINTENANCE):
+                    self.jobs_killed_by_maintenance += 1
+            node.state = NodeState.MAINTENANCE
+
+    def _end(self, event: MaintenanceEvent) -> None:
+        for node_id in event.nodes:
+            self.scheduler.set_node_state(node_id, NodeState.UP)

@@ -1,0 +1,82 @@
+"""Compute nodes.
+
+Whole-node allocation (the common HPC configuration): a node runs at
+most one job at a time.  Node state drives both the scheduler's
+allocatable set and the telemetry sensors (utilization, power).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class NodeState(enum.Enum):
+    UP = "up"
+    DOWN = "down"  # failed, awaiting repair
+    DRAINING = "draining"  # running job may finish; no new work (maintenance)
+    MAINTENANCE = "maintenance"  # actively serviced
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware inventory of one node."""
+
+    cores: int = 32
+    gpus: int = 0
+    mem_gb: float = 128.0
+    idle_watts: float = 150.0
+    peak_watts: float = 550.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.peak_watts < self.idle_watts:
+            raise ValueError("peak_watts must be >= idle_watts")
+
+
+class Node:
+    """One compute node: identity, spec, state, and current occupant."""
+
+    def __init__(self, node_id: str, spec: NodeSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.state = NodeState.UP
+        self.running_job_id: Optional[str] = None
+        # accounting
+        self.busy_seconds = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def is_allocatable(self) -> bool:
+        return self.state is NodeState.UP and self.running_job_id is None
+
+    @property
+    def is_busy(self) -> bool:
+        return self.running_job_id is not None
+
+    def assign(self, job_id: str, now: float) -> None:
+        if not self.is_allocatable:
+            raise RuntimeError(
+                f"node {self.node_id} not allocatable "
+                f"(state={self.state.value}, job={self.running_job_id})"
+            )
+        self.running_job_id = job_id
+        self._busy_since = now
+
+    def release(self, now: float) -> None:
+        if self.running_job_id is None:
+            raise RuntimeError(f"node {self.node_id} has no job to release")
+        self.running_job_id = None
+        if self._busy_since is not None:
+            self.busy_seconds += now - self._busy_since
+            self._busy_since = None
+
+    def accumulated_busy_seconds(self, now: float) -> float:
+        """Busy time including the in-flight assignment."""
+        extra = (now - self._busy_since) if self._busy_since is not None else 0.0
+        return self.busy_seconds + extra
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} {self.state.value} job={self.running_job_id}>"

@@ -1,0 +1,28 @@
+"""Node and cluster power models.
+
+A linear utilization→power model per node — coarse but sufficient for
+the holistic-monitoring pipeline (facility metrics in Fig. 1) and for
+energy accounting in experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.node import Node, NodeState
+
+
+class PowerModel:
+    """Linear power model: ``idle + util * (peak - idle)`` per node."""
+
+    def node_power(self, node: Node, cpu_util: float) -> float:
+        """Instantaneous node power in watts for a given utilization."""
+        if node.state is NodeState.DOWN:
+            return 0.0
+        util = min(1.0, max(0.0, cpu_util))
+        spec = node.spec
+        return spec.idle_watts + util * (spec.peak_watts - spec.idle_watts)
+
+    def cluster_power(self, nodes: Iterable[Node], util_lookup) -> float:
+        """Aggregate power; ``util_lookup(node) -> float`` supplies utilization."""
+        return sum(self.node_power(n, util_lookup(n)) for n in nodes)

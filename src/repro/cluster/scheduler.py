@@ -1,0 +1,475 @@
+"""SLURM-like scheduler: FCFS + EASY backfill, walltime enforcement,
+and the walltime-extension hook the paper's Execute phase uses.
+
+The extension API deliberately mirrors the paper's description of the
+Scheduler case: *"the scheduler may deny the request or provide a
+shorter extension than requested"*.  Site policy (extension budgets,
+random denial), reservation conflicts (maintenance windows), and the
+requested amount all shape the grant.
+
+Scheduling passes are event-driven (submit/finish/repair/extension) and
+coalesced through a zero-delay engine event so deep callback recursion
+cannot occur.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.cluster.application import RunningApp
+from repro.cluster.checkpoint import CheckpointRecord, CheckpointStore
+from repro.cluster.job import Job, JobState
+from repro.cluster.node import Node, NodeState
+from repro.sim.engine import Engine
+from repro.sim.rng import _name_entropy
+from repro.telemetry.markers import ProgressMarkerChannel
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """Nodes unavailable during [t_start, t_end) — maintenance windows."""
+
+    nodes: frozenset
+    t_start: float
+    t_end: float
+    label: str = "maintenance"
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("t_end must be after t_start")
+
+    def covers(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    def intersects(self, t0: float, t1: float) -> bool:
+        return self.t_start < t1 and t0 < self.t_end
+
+
+@dataclass(frozen=True)
+class ExtensionResponse:
+    """Outcome of a walltime-extension request."""
+
+    requested_s: float
+    granted_s: float
+    reason: str
+
+    @property
+    def denied(self) -> bool:
+        return self.granted_s <= 0.0
+
+    @property
+    def shortened(self) -> bool:
+        return 0.0 < self.granted_s < self.requested_s
+
+
+@dataclass
+class ExtensionPolicy:
+    """Site policy for extension requests (the trust controls of §III.iv).
+
+    ``max_extensions_per_job`` and ``max_total_extension_s`` are the
+    "limits on the number and overall time of extensions for a single
+    application" the paper proposes; ``deny_prob`` models opaque
+    site-side denials the loop must tolerate.
+    """
+
+    max_extensions_per_job: int = 3
+    max_total_extension_s: float = 7200.0
+    deny_prob: float = 0.0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.max_extensions_per_job < 0:
+            raise ValueError("max_extensions_per_job must be >= 0")
+        if self.max_total_extension_s < 0:
+            raise ValueError("max_total_extension_s must be >= 0")
+        if not 0.0 <= self.deny_prob <= 1.0:
+            raise ValueError("deny_prob must be in [0, 1]")
+        if self.deny_prob > 0 and self.rng is None:
+            raise ValueError("rng required when deny_prob is set")
+
+    def evaluate(self, job: Job, requested_s: float, conflict_cap_s: float) -> ExtensionResponse:
+        """Grant amount given policy budgets and the reservation cap."""
+        if requested_s <= 0:
+            return ExtensionResponse(requested_s, 0.0, "non-positive request")
+        if job.extension_count >= self.max_extensions_per_job:
+            return ExtensionResponse(requested_s, 0.0, "extension count budget exhausted")
+        budget_left = self.max_total_extension_s - job.total_extension_s
+        if budget_left <= 0:
+            return ExtensionResponse(requested_s, 0.0, "extension time budget exhausted")
+        if self.deny_prob > 0 and self.rng.random() < self.deny_prob:
+            return ExtensionResponse(requested_s, 0.0, "site policy denial")
+        granted = min(requested_s, budget_left, conflict_cap_s)
+        if granted <= 0:
+            return ExtensionResponse(requested_s, 0.0, "reservation conflict")
+        reason = "granted" if granted == requested_s else "shortened"
+        return ExtensionResponse(requested_s, granted, reason)
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduler behaviour switches."""
+
+    backfill: bool = True
+    extension_policy: ExtensionPolicy = field(default_factory=ExtensionPolicy)
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters the experiment harness reports."""
+
+    submitted: int = 0
+    started: int = 0
+    completed: int = 0
+    timeout: int = 0
+    failed: int = 0
+    killed_maintenance: int = 0
+    backfilled: int = 0
+    extensions_requested: int = 0
+    extensions_granted: int = 0
+    extensions_denied: int = 0
+    extensions_shortened: int = 0
+    extension_seconds_granted: float = 0.0
+    overhang_node_seconds: float = 0.0  # granted-but-unused limit × nodes
+
+
+class Scheduler:
+    """Event-driven FCFS + EASY-backfill scheduler over whole nodes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: Sequence[Node],
+        *,
+        config: Optional[SchedulerConfig] = None,
+        marker_channel: Optional[ProgressMarkerChannel] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        rng: Optional[np.random.Generator] = None,
+        io_client_factory: Optional[Callable[[Job], object]] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("scheduler needs at least one node")
+        self.engine = engine
+        self.nodes: Dict[str, Node] = {n.node_id: n for n in nodes}
+        if len(self.nodes) != len(nodes):
+            raise ValueError("duplicate node ids")
+        self.config = config if config is not None else SchedulerConfig()
+        self.marker_channel = marker_channel
+        self.checkpoint_store = checkpoint_store
+        self.rng = rng
+        self.io_client_factory = io_client_factory
+        # one draw at construction keeps per-job app streams reproducible
+        # and independent of job start order
+        self._app_seed = int(rng.integers(0, 2**31)) if rng is not None else None
+
+        self.jobs: Dict[str, Job] = {}
+        self._queue: List[Job] = []
+        self._apps: Dict[str, RunningApp] = {}
+        self._kill_events: Dict[str, object] = {}
+        self.reservations: List[Reservation] = []
+        self.stats = SchedulerStats()
+        self._pass_scheduled = False
+        self.on_job_end: List[Callable[[Job], None]] = []
+        self.on_job_start: List[Callable[[Job], None]] = []
+
+    # ----------------------------------------------------------- submission
+    def submit(self, job: Job) -> None:
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        job.submit_time = self.engine.now
+        self.jobs[job.job_id] = job
+        self._queue.append(job)
+        self.stats.submitted += 1
+        self._trigger_pass()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; running jobs cannot be cancelled here."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.PENDING:
+            return False
+        self._queue.remove(job)
+        job.state = JobState.CANCELLED
+        job.end_time = self.engine.now
+        return True
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def running_jobs(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.state is JobState.RUNNING]
+
+    def app(self, job_id: str) -> Optional[RunningApp]:
+        """The live application of a running job (loop monitor access)."""
+        return self._apps.get(job_id)
+
+    # --------------------------------------------------------- reservations
+    def add_reservation(self, res: Reservation) -> None:
+        unknown = [n for n in res.nodes if n not in self.nodes]
+        if unknown:
+            raise ValueError(f"reservation references unknown nodes: {unknown}")
+        self.reservations.append(res)
+        self._trigger_pass()
+        # jobs blocked purely by this window become placeable when it ends
+        self.engine.schedule_at(
+            max(self.engine.now, res.t_end), self._trigger_pass, label="res-end"
+        )
+
+    def _node_blocked(self, node_id: str, t0: float, t1: float) -> bool:
+        return any(
+            r.covers(node_id) and r.intersects(t0, t1) for r in self.reservations
+        )
+
+    def _eligible_nodes(self, duration_s: float) -> List[Node]:
+        now = self.engine.now
+        return [
+            n
+            for n in self.nodes.values()
+            if n.is_allocatable and not self._node_blocked(n.node_id, now, now + duration_s)
+        ]
+
+    # ----------------------------------------------------------- scheduling
+    def _trigger_pass(self) -> None:
+        """Coalesce scheduling passes into one zero-delay event."""
+        if self._pass_scheduled:
+            return
+        self._pass_scheduled = True
+        self.engine.schedule(0.0, self._run_pass, priority=10, label="sched-pass")
+
+    def _run_pass(self) -> None:
+        self._pass_scheduled = False
+        self._schedule()
+
+    def _schedule(self) -> None:
+        now = self.engine.now
+        self._queue.sort(key=lambda j: (-j.priority, j.submit_time, j.job_id))
+        started_any = True
+        while started_any and self._queue:
+            started_any = False
+            head = self._queue[0]
+            eligible = self._eligible_nodes(head.time_limit_s)
+            if len(eligible) >= head.n_nodes:
+                self._start_job(head, eligible[: head.n_nodes], backfilled=False)
+                started_any = True
+                continue
+            if self.config.backfill:
+                self._backfill(head, eligible)
+            break
+
+    def _backfill(self, head: Job, eligible_for_head: List[Node]) -> None:
+        """EASY backfill: later jobs may start if they cannot delay ``head``."""
+        now = self.engine.now
+        free_now = len(eligible_for_head)
+        shadow_time, extra_at_shadow = self._shadow(head, free_now)
+        for job in list(self._queue[1:]):
+            eligible = self._eligible_nodes(job.time_limit_s)
+            if len(eligible) < job.n_nodes:
+                continue
+            fits_before_shadow = now + job.time_limit_s <= shadow_time
+            fits_beside_head = job.n_nodes <= extra_at_shadow
+            if fits_before_shadow or fits_beside_head:
+                self._start_job(job, eligible[: job.n_nodes], backfilled=True)
+                if fits_beside_head:
+                    extra_at_shadow -= job.n_nodes
+
+    def _shadow(self, head: Job, free_now: int) -> tuple[float, int]:
+        """Earliest time ``head`` could start, and spare nodes at that time.
+
+        Uses running jobs' current time limits (the information a real
+        EASY scheduler has).  Reservations are ignored for the *count*
+        (approximation); per-node reservation checks still gate actual
+        placement.
+        """
+        need = head.n_nodes - free_now
+        if need <= 0:
+            return self.engine.now, free_now - head.n_nodes
+        ends = sorted(
+            ((j.deadline, j.n_nodes) for j in self.running_jobs()), key=lambda x: x[0]
+        )
+        freed = 0
+        for deadline, n in ends:
+            freed += n
+            if freed >= need:
+                return deadline, free_now + freed - head.n_nodes
+        return math.inf, 0
+
+    def _start_job(self, job: Job, nodes: List[Node], *, backfilled: bool) -> None:
+        now = self.engine.now
+        self._queue.remove(job)
+        job.state = JobState.RUNNING
+        job.start_time = now
+        job.was_backfilled = backfilled
+        job.assigned_nodes = [n.node_id for n in nodes]
+        for n in nodes:
+            n.assign(job.job_id, now)
+        app_rng = None
+        if self._app_seed is not None:
+            # stable per-job stream: (scheduler seed, sha256(job id))
+            app_rng = np.random.default_rng([self._app_seed, *_name_entropy(job.job_id)])
+        io_client = None
+        if self.io_client_factory is not None and job.profile.io_every_s is not None:
+            io_client = self.io_client_factory(job)
+        app = RunningApp(
+            self.engine,
+            job.job_id,
+            job.profile,
+            cores=nodes[0].spec.cores,
+            launch=job.launch,
+            channel=self.marker_channel,
+            rng=app_rng,
+            on_complete=self._on_app_complete,
+            on_checkpoint=self._on_app_checkpoint,
+            start_step=job.restart_step,
+            io_client=io_client,
+        )
+        self._apps[job.job_id] = app
+        app.start()
+        self._kill_events[job.job_id] = self.engine.schedule_at(
+            job.deadline, self._walltime_kill, job.job_id, label=f"kill-{job.job_id}"
+        )
+        self.stats.started += 1
+        if backfilled:
+            self.stats.backfilled += 1
+        for hook in self.on_job_start:
+            hook(job)
+
+    # ------------------------------------------------------------- endings
+    def _on_app_complete(self, app: RunningApp) -> None:
+        job = self.jobs[app.job_id]
+        self._end_job(job, JobState.COMPLETED)
+
+    def _on_app_checkpoint(self, app: RunningApp, step: float) -> None:
+        if self.checkpoint_store is not None:
+            job = self.jobs[app.job_id]
+            self.checkpoint_store.save(
+                CheckpointRecord(job.job_id, job.user, job.profile.name, step, self.engine.now)
+            )
+
+    def _walltime_kill(self, job_id: str) -> None:
+        self._kill_events.pop(job_id, None)
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return
+        self._end_job(job, JobState.TIMEOUT)
+
+    def kill_job(self, job_id: str, state: JobState) -> bool:
+        """External kill (maintenance/failure paths)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return False
+        self._end_job(job, state)
+        return True
+
+    def _end_job(self, job: Job, state: JobState) -> None:
+        now = self.engine.now
+        app = self._apps.pop(job.job_id, None)
+        if app is not None:
+            job.final_step = app.stop()
+        kill_ev = self._kill_events.pop(job.job_id, None)
+        if kill_ev is not None:
+            kill_ev.cancel()
+        job.state = state
+        job.end_time = now
+        for node_id in job.assigned_nodes:
+            node = self.nodes[node_id]
+            if node.running_job_id == job.job_id:
+                node.release(now)
+        # overhang: limit the job held beyond its actual use, per node
+        unused = max(0.0, (job.deadline or now) - now)
+        self.stats.overhang_node_seconds += unused * job.n_nodes
+        if state is JobState.COMPLETED:
+            self.stats.completed += 1
+        elif state is JobState.TIMEOUT:
+            self.stats.timeout += 1
+        elif state is JobState.FAILED:
+            self.stats.failed += 1
+        elif state is JobState.KILLED_MAINTENANCE:
+            self.stats.killed_maintenance += 1
+        for hook in self.on_job_end:
+            hook(job)
+        self._trigger_pass()
+
+    # ------------------------------------------------------ extension hook
+    def request_extension(self, job_id: str, extra_s: float) -> ExtensionResponse:
+        """The Execute-phase actuator: ask for more walltime.
+
+        Returns the (possibly shortened or denied) grant and applies it:
+        the kill event moves to the new deadline.
+        """
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return ExtensionResponse(extra_s, 0.0, "job not running")
+        self.stats.extensions_requested += 1
+        response = self.config.extension_policy.evaluate(
+            job, extra_s, self._extension_conflict_cap(job)
+        )
+        job.record_extension(response.requested_s, response.granted_s, self.engine.now)
+        if response.denied:
+            self.stats.extensions_denied += 1
+            return response
+        self.stats.extensions_granted += 1
+        if response.shortened:
+            self.stats.extensions_shortened += 1
+        self.stats.extension_seconds_granted += response.granted_s
+        kill_ev = self._kill_events.get(job_id)
+        if kill_ev is not None:
+            kill_ev.cancel()
+        self._kill_events[job_id] = self.engine.schedule_at(
+            job.deadline, self._walltime_kill, job_id, label=f"kill-{job_id}"
+        )
+        return response
+
+    def _extension_conflict_cap(self, job: Job) -> float:
+        """Max extension before the job collides with a reservation."""
+        deadline = job.deadline
+        cap = math.inf
+        for res in self.reservations:
+            if res.t_start < deadline:
+                continue  # already violated or past; placement prevented this
+            for node_id in job.assigned_nodes:
+                if res.covers(node_id):
+                    cap = min(cap, res.t_start - deadline)
+                    break
+        return cap
+
+    # ------------------------------------------------------ checkpoint hook
+    def signal_checkpoint(self, job_id: str) -> bool:
+        """Ask a running job to checkpoint (Maintenance/Scheduler response)."""
+        app = self._apps.get(job_id)
+        if app is None:
+            return False
+        return app.begin_checkpoint()
+
+    # ----------------------------------------------------------- node state
+    def fail_node(self, node_id: str) -> Optional[str]:
+        """Fail a node; the running job (if any) dies.  Returns its id."""
+        node = self.nodes[node_id]
+        victim = node.running_job_id
+        if victim is not None:
+            self.kill_job(victim, JobState.FAILED)
+        node.state = NodeState.DOWN
+        return victim
+
+    def repair_node(self, node_id: str) -> None:
+        node = self.nodes[node_id]
+        node.state = NodeState.UP
+        self._trigger_pass()
+
+    def set_node_state(self, node_id: str, state: NodeState) -> None:
+        self.nodes[node_id].state = state
+        if state is NodeState.UP:
+            self._trigger_pass()
+
+    # ------------------------------------------------------------- metrics
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy node-seconds over available node-seconds since ``since``."""
+        now = self.engine.now
+        horizon = max(1e-12, now - since)
+        busy = sum(n.accumulated_busy_seconds(now) for n in self.nodes.values())
+        return busy / (horizon * len(self.nodes))
+
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.is_terminal]

@@ -1,0 +1,100 @@
+"""MAPE-K autonomy loops for MODA — the paper's primary contribution.
+
+This package provides the formalized loop machinery the paper proposes:
+
+* typed contracts between Monitor, Analyze, Plan, and Execute components
+  (:mod:`~repro.core.types`, :mod:`~repro.core.component`) so components
+  are interchangeable (methodology question ii),
+* a :class:`~repro.core.knowledge.KnowledgeBase` with plan-outcome
+  assessment and refinement (the K, including "assess the Knowledge
+  about the success of the Plan"),
+* the :class:`~repro.core.loop.MAPEKLoop` engine with per-phase latency
+  modelling,
+* the four decentralization patterns of Fig. 2
+  (:mod:`~repro.core.patterns`),
+* decision confidence measures and safety guards (Section IV / trust),
+* human-in-the-loop and human-on-the-loop adapters,
+* an audit trail with explanations.
+"""
+
+from repro.core.types import (
+    Action,
+    AnalysisReport,
+    ExecutionResult,
+    LoopIteration,
+    Observation,
+    Plan,
+    Symptom,
+)
+from repro.core.component import Analyzer, Assessor, Executor, Monitor, Planner
+from repro.core.knowledge import KnowledgeBase, PlanOutcome
+from repro.core.loop import MAPEKLoop, PhaseLatency
+from repro.core.bus import MessageBus
+from repro.core.guards import (
+    ActionBudgetGuard,
+    ActionKindGuard,
+    ConfidenceGuard,
+    Guard,
+    RateLimitGuard,
+)
+from repro.core.confidence import combined_confidence, interval_confidence, success_confidence
+from repro.core.audit import AuditEvent, AuditTrail
+from repro.core.humanloop import (
+    ContingencyPolicy,
+    HumanInTheLoopExecutor,
+    HumanOnTheLoopNotifier,
+    HumanResponseModel,
+)
+from repro.core.persistence import load_knowledge, save_knowledge
+from repro.core.registry import ComponentRegistry
+from repro.core.patterns import (
+    CoordinatedController,
+    DriftingElement,
+    HierarchicalController,
+    MasterWorkerController,
+    PatternController,
+    classical_loop_for,
+)
+
+__all__ = [
+    "Action",
+    "ActionBudgetGuard",
+    "ActionKindGuard",
+    "AnalysisReport",
+    "Analyzer",
+    "Assessor",
+    "AuditEvent",
+    "AuditTrail",
+    "ComponentRegistry",
+    "ConfidenceGuard",
+    "ContingencyPolicy",
+    "CoordinatedController",
+    "DriftingElement",
+    "ExecutionResult",
+    "Executor",
+    "Guard",
+    "HierarchicalController",
+    "HumanInTheLoopExecutor",
+    "HumanOnTheLoopNotifier",
+    "HumanResponseModel",
+    "KnowledgeBase",
+    "LoopIteration",
+    "MAPEKLoop",
+    "MasterWorkerController",
+    "MessageBus",
+    "Monitor",
+    "Observation",
+    "PatternController",
+    "PhaseLatency",
+    "Plan",
+    "PlanOutcome",
+    "Planner",
+    "RateLimitGuard",
+    "Symptom",
+    "classical_loop_for",
+    "combined_confidence",
+    "interval_confidence",
+    "load_knowledge",
+    "save_knowledge",
+    "success_confidence",
+]

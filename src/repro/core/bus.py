@@ -1,0 +1,55 @@
+"""Message bus between loop components.
+
+Decentralized patterns exchange observations, intents, and actions over
+a network; the bus models per-message latency and loss and counts
+traffic so experiment E2 can report message volume per pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+
+
+class MessageBus:
+    """Point-to-point message delivery with latency/loss."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        latency_s: float = 0.01,
+        loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError("loss_prob must be in [0, 1]")
+        if loss_prob > 0 and rng is None:
+            raise ValueError("rng required when loss_prob is set")
+        self.engine = engine
+        self.latency_s = latency_s
+        self.loss_prob = loss_prob
+        self.rng = rng
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.messages_delivered = 0
+
+    def send(self, payload: Any, on_delivery: Callable[[Any], None]) -> None:
+        """Deliver ``payload`` to ``on_delivery`` after the bus latency."""
+        self.messages_sent += 1
+        if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
+            self.messages_lost += 1
+            return
+        if self.latency_s > 0:
+            self.engine.schedule(self.latency_s, self._deliver, payload, on_delivery, label="bus")
+        else:
+            self._deliver(payload, on_delivery)
+
+    def _deliver(self, payload: Any, on_delivery: Callable[[Any], None]) -> None:
+        self.messages_delivered += 1
+        on_delivery(payload)

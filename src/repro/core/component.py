@@ -1,0 +1,73 @@
+"""Abstract MAPE-K components.
+
+Each phase is one small interface over the typed contracts in
+:mod:`repro.core.types`.  Implementations live next to their managed
+systems (see :mod:`repro.loops`); the loop engine and patterns only
+depend on these ABCs — that separation is methodology question i
+("high-level components with distinct responsibilities").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.types import AnalysisReport, ExecutionResult, Observation, Plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.knowledge import KnowledgeBase
+
+
+class Monitor(abc.ABC):
+    """Collects data about an element of interest."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def observe(self, now: float) -> Optional[Observation]:
+        """Snapshot the managed element; ``None`` when nothing to report."""
+
+
+class Analyzer(abc.ABC):
+    """Turns observations into diagnoses and forecasts."""
+
+    name: str = "analyzer"
+
+    @abc.abstractmethod
+    def analyze(self, observation: Observation, knowledge: "KnowledgeBase") -> AnalysisReport:
+        """Interpret the observation against Knowledge."""
+
+
+class Planner(abc.ABC):
+    """Chooses a response given the analysis."""
+
+    name: str = "planner"
+
+    @abc.abstractmethod
+    def plan(self, report: AnalysisReport, knowledge: "KnowledgeBase") -> Plan:
+        """Produce a (possibly empty) plan."""
+
+
+class Executor(abc.ABC):
+    """Carries out planned actions through response hooks."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def execute(self, plan: Plan, knowledge: "KnowledgeBase") -> list[ExecutionResult]:
+        """Apply every action; report per-action honored/refused results."""
+
+
+class Assessor(abc.ABC):
+    """Closes the loop on Knowledge: scores past plans against reality.
+
+    Runs at the start of each cycle, before new analysis — the paper's
+    "Assess the Knowledge about the success of the Plan and refine the
+    Knowledge through subsequent Monitoring".
+    """
+
+    name: str = "assessor"
+
+    @abc.abstractmethod
+    def assess(self, observation: Observation, knowledge: "KnowledgeBase") -> None:
+        """Update plan-outcome records / models from the new observation."""

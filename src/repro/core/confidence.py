@@ -1,0 +1,59 @@
+"""Decision confidence measures.
+
+Section IV: "our analyses will also be expanded to include determination
+of confidence in the models for decision-making".  Two orthogonal
+signals are combined:
+
+* **interval confidence** — how tight the forecaster's prediction
+  interval is relative to the decision horizon (a sharp forecast earns
+  trust, a vague one does not);
+* **success confidence** — the Laplace-smoothed success rate of this
+  loop's recent plans from the knowledge base (a loop whose plans keep
+  failing should hesitate).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analytics.forecast import ForecastResult
+from repro.core.knowledge import KnowledgeBase
+
+
+def interval_confidence(result: ForecastResult, horizon_s: float) -> float:
+    """Map prediction-interval width to [0, 1].
+
+    Width equal to 0 → 1.0; width equal to ``horizon_s`` → ~0.37; wider
+    decays exponentially.  ``horizon_s`` should be the decision-relevant
+    scale (e.g. remaining allocation time).
+    """
+    if horizon_s <= 0:
+        return 0.0
+    width = max(0.0, result.interval_width)
+    return math.exp(-width / horizon_s)
+
+
+def success_confidence(knowledge: KnowledgeBase, last_n: int = 20) -> float:
+    """Laplace-smoothed honored-and-effective rate of recent plans."""
+    outcomes = [o for o in knowledge.plan_outcomes if o.score is not None][-last_n:]
+    successes = sum(1 for o in outcomes if o.score is not None and o.score >= 0.5)
+    # Laplace prior of one success and one failure keeps cold-start at 0.5
+    return (successes + 1) / (len(outcomes) + 2)
+
+
+def combined_confidence(
+    forecast: Optional[ForecastResult],
+    knowledge: KnowledgeBase,
+    horizon_s: float,
+    *,
+    forecast_weight: float = 0.6,
+) -> float:
+    """Weighted blend of interval and success confidence in [0, 1]."""
+    if not 0.0 <= forecast_weight <= 1.0:
+        raise ValueError("forecast_weight must be in [0, 1]")
+    success = success_confidence(knowledge)
+    if forecast is None:
+        return (1.0 - forecast_weight) * success
+    interval = interval_confidence(forecast, horizon_s)
+    return forecast_weight * interval + (1.0 - forecast_weight) * success

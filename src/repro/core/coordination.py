@@ -1,0 +1,69 @@
+"""Coordination helpers for decentralized MAPE-K patterns.
+
+The fully decentralized pattern exchanges state with peers; this module
+provides the ring topology used by default and ``NeighborView``, each
+element's possibly-stale picture of its neighborhood — staleness is the
+mechanism behind the pattern's instability risks (Fig. 2c discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def ring_neighbors(n: int, i: int, k: int = 1) -> List[int]:
+    """Indices of the ``k`` nearest neighbours on each side of ``i`` in a ring.
+
+    With ``k=1`` on ``n=5``: neighbours of 0 are [4, 1].
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= i < n:
+        raise ValueError(f"i={i} out of range for n={n}")
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    out: List[int] = []
+    for d in range(1, k + 1):
+        out.append((i - d) % n)
+        out.append((i + d) % n)
+    # dedupe while preserving order (small rings can wrap onto themselves)
+    seen = set()
+    uniq = []
+    for j in out:
+        if j != i and j not in seen:
+            seen.add(j)
+            uniq.append(j)
+    return sorted(uniq)
+
+
+@dataclass
+class _Entry:
+    value: float
+    time: float
+
+
+class NeighborView:
+    """One element's last-known states of its peers, with staleness."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _Entry] = {}
+
+    def update(self, peer: int, value: float, time: float) -> None:
+        self._entries[peer] = _Entry(value, time)
+
+    def get(self, peer: int) -> Optional[float]:
+        entry = self._entries.get(peer)
+        return entry.value if entry is not None else None
+
+    def known_values(self) -> List[float]:
+        return [e.value for e in self._entries.values()]
+
+    def staleness(self, now: float) -> float:
+        """Age of the oldest entry; 0 when empty."""
+        if not self._entries:
+            return 0.0
+        return max(now - e.time for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

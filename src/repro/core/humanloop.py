@@ -1,0 +1,229 @@
+"""Human-in-the-loop and human-on-the-loop adapters.
+
+The paper's core motivation: "having a human in the loop limits the
+speed of response and consequently, the opportunities for
+feedback-driven improvements".  To quantify that (experiment E8), the
+human is modelled as a decision channel with reaction latency,
+availability, and error:
+
+* :class:`HumanInTheLoopExecutor` wraps any Executor — plans wait for a
+  simulated operator; unavailable operators drop the plan (by the time
+  they see it, it is stale), and a distracted operator occasionally
+  rejects a good plan.
+* :class:`HumanOnTheLoopNotifier` implements the complementary pattern
+  of Section IV: the loop acts autonomously and the human receives
+  notifications with explanations, able to observe effects without
+  gating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.audit import AuditTrail
+from repro.core.component import Executor
+from repro.core.knowledge import KnowledgeBase
+from repro.core.types import ExecutionResult, Plan
+from repro.sim.engine import Engine
+
+
+class ContingencyPolicy:
+    """A safe fallback executed when the human is absent or too slow.
+
+    Section IV: decision-making "would then also include execution of
+    contingency plans for when the humans are absent".  The policy wraps
+    an executor and an optional plan transform — e.g. the Scheduler case
+    downgrades "request_extension" to the safer "signal_checkpoint"
+    before executing without approval.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        *,
+        transform: Optional[Callable[[Plan], Plan]] = None,
+    ) -> None:
+        self.executor = executor
+        self.transform = transform
+        self.invocations = 0
+
+    def execute(self, plan: Plan, knowledge: KnowledgeBase) -> List[ExecutionResult]:
+        self.invocations += 1
+        if self.transform is not None:
+            plan = self.transform(plan)
+        return self.executor.execute(plan, knowledge)
+
+
+@dataclass
+class HumanResponseModel:
+    """Statistical model of operator response behaviour.
+
+    ``median_latency_s`` and ``latency_sigma`` parameterize a lognormal
+    reaction time (median ~ minutes-to-hours in practice);
+    ``availability`` is the probability the operator is present when a
+    request lands; ``approve_prob`` is the chance a correct plan is
+    approved rather than second-guessed.
+    """
+
+    median_latency_s: float = 900.0
+    latency_sigma: float = 0.8
+    availability: float = 0.7
+    approve_prob: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.median_latency_s < 0:
+            raise ValueError("median_latency_s must be >= 0")
+        if self.latency_sigma < 0:
+            raise ValueError("latency_sigma must be >= 0")
+        for name in ("availability", "approve_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    def sample_latency(self, rng: np.random.Generator) -> float:
+        if self.median_latency_s == 0:
+            return 0.0
+        return float(
+            self.median_latency_s * np.exp(rng.normal(0.0, self.latency_sigma))
+        )
+
+
+class HumanInTheLoopExecutor(Executor):
+    """Executor wrapper that routes every plan through a simulated human.
+
+    Plans execute only after the operator's reaction latency, and only
+    if the operator was available and approved.  Results of deferred
+    executions are recorded on the knowledge base when they happen (the
+    wrapped call returns immediately with a "queued for approval"
+    placeholder, honest to how ticket-driven operations behave).
+    """
+
+    name = "human-in-the-loop"
+
+    def __init__(
+        self,
+        engine: Engine,
+        inner: Executor,
+        model: HumanResponseModel,
+        rng: np.random.Generator,
+        *,
+        audit: Optional[AuditTrail] = None,
+        contingency: Optional[ContingencyPolicy] = None,
+        contingency_after_s: Optional[float] = None,
+    ) -> None:
+        if contingency_after_s is not None and contingency_after_s < 0:
+            raise ValueError("contingency_after_s must be >= 0")
+        self.engine = engine
+        self.inner = inner
+        self.model = model
+        self.rng = rng
+        self.audit = audit
+        self.contingency = contingency
+        self.contingency_after_s = contingency_after_s
+        self.plans_queued = 0
+        self.plans_executed = 0
+        self.plans_dropped_unavailable = 0
+        self.plans_rejected = 0
+        self.contingency_executions = 0
+        self.total_approval_latency_s = 0.0
+
+    def execute(self, plan: Plan, knowledge: KnowledgeBase) -> List[ExecutionResult]:
+        self.plans_queued += 1
+        now = self.engine.now
+        if self.rng.random() >= self.model.availability:
+            self.plans_dropped_unavailable += 1
+            if self.contingency is not None:
+                # "execution of contingency plans for when the humans are
+                # absent" — act immediately through the safe fallback
+                self.contingency_executions += 1
+                self._note(now, "operator unavailable; executing contingency plan")
+                results = self.contingency.execute(plan, knowledge)
+                knowledge.record_plan(plan, results)
+                return results
+            self._note(now, "operator unavailable; request expired in queue")
+            return [
+                ExecutionResult(a, now, honored=False, detail="operator unavailable")
+                for a in plan.actions
+            ]
+        if self.rng.random() >= self.model.approve_prob:
+            self.plans_rejected += 1
+            self._note(now, "operator rejected the plan")
+            return [
+                ExecutionResult(a, now, honored=False, detail="operator rejected")
+                for a in plan.actions
+            ]
+        latency = self.model.sample_latency(self.rng)
+        self.total_approval_latency_s += latency
+        if (
+            self.contingency is not None
+            and self.contingency_after_s is not None
+            and latency > self.contingency_after_s
+        ):
+            # approval would land too late: the contingency deadline fires
+            # first and the (late) approval is ignored
+            self.contingency_executions += 1
+            self.engine.schedule(
+                self.contingency_after_s, self._contingency_fires, plan, knowledge,
+                label="human-contingency",
+            )
+            self._note(now, f"approval ETA {latency:.0f}s exceeds contingency "
+                            f"deadline {self.contingency_after_s:.0f}s")
+            return [
+                ExecutionResult(
+                    a, now, honored=False,
+                    detail=f"contingency armed (deadline {self.contingency_after_s:.0f}s)",
+                )
+                for a in plan.actions
+            ]
+        self.engine.schedule(
+            latency, self._approved, plan, knowledge, label="human-approval"
+        )
+        return [
+            ExecutionResult(a, now, honored=False, detail=f"queued for approval (~{latency:.0f}s)")
+            for a in plan.actions
+        ]
+
+    def _contingency_fires(self, plan: Plan, knowledge: KnowledgeBase) -> None:
+        results = self.contingency.execute(plan, knowledge)
+        knowledge.record_plan(plan, results)
+        self._note(self.engine.now, "contingency plan executed (operator too slow)")
+
+    def _approved(self, plan: Plan, knowledge: KnowledgeBase) -> None:
+        self.plans_executed += 1
+        results = self.inner.execute(plan, knowledge)
+        knowledge.record_plan(plan, results)
+        self._note(self.engine.now, f"operator approved; {len(results)} action(s) executed")
+
+    def _note(self, time: float, message: str) -> None:
+        if self.audit is not None:
+            self.audit.record(time, self.name, "human", message)
+
+
+class HumanOnTheLoopNotifier:
+    """Notification stream for autonomous loops (Section IV).
+
+    Call :meth:`notify` after decisions; the human reads explanations
+    asynchronously.  ``unacknowledged`` models the operator's queue.
+    """
+
+    def __init__(self, audit: AuditTrail, *, digest_period_s: float = 3600.0) -> None:
+        if digest_period_s <= 0:
+            raise ValueError("digest_period_s must be positive")
+        self.audit = audit
+        self.digest_period_s = digest_period_s
+        self.notifications = 0
+        self.unacknowledged = 0
+
+    def notify(self, time: float, loop: str, message: str, **data) -> None:
+        self.audit.record(time, loop, "notify", message, data=data)
+        self.notifications += 1
+        self.unacknowledged += 1
+
+    def acknowledge_all(self) -> int:
+        """Operator catches up on the queue; returns how many were read."""
+        n = self.unacknowledged
+        self.unacknowledged = 0
+        return n

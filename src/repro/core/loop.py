@@ -1,0 +1,192 @@
+"""The MAPE-K loop engine.
+
+``MAPEKLoop`` wires Monitor → Analyze → Plan → (guards) → Execute over a
+:class:`~repro.core.knowledge.KnowledgeBase`, iterating on a fixed
+period.  Per-phase latencies model where computation/actuation time is
+spent: the Analyze+Plan delay means execution acts on a *stale*
+observation — the fundamental cost that motivates the paper's interest
+in low-latency in-situ analytics.
+
+An optional Assessor runs first in every cycle, scoring earlier plans
+against the fresh observation (Knowledge refinement).  Guards run
+between Plan and Execute and implement the trust controls of
+methodology question iv; vetoed actions are recorded, audited, and
+never executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.audit import AuditTrail
+from repro.core.component import Analyzer, Assessor, Executor, Monitor, Planner
+from repro.core.guards import Guard
+from repro.core.knowledge import KnowledgeBase
+from repro.core.types import LoopIteration, Observation, Plan
+from repro.sim.engine import Engine, PeriodicTask
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Simulated time each phase consumes before its output is available."""
+
+    monitor_s: float = 0.0
+    analyze_s: float = 0.0
+    plan_s: float = 0.0
+    execute_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("monitor_s", "analyze_s", "plan_s", "execute_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def decision_delay(self) -> float:
+        """Delay between observation and the execute call."""
+        return self.monitor_s + self.analyze_s + self.plan_s
+
+
+class MAPEKLoop:
+    """One autonomy loop instance."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        *,
+        monitor: Monitor,
+        analyzer: Analyzer,
+        planner: Planner,
+        executor: Executor,
+        knowledge: Optional[KnowledgeBase] = None,
+        assessor: Optional[Assessor] = None,
+        guards: Sequence[Guard] = (),
+        period_s: float = 60.0,
+        phase_latency: PhaseLatency = PhaseLatency(),
+        audit: Optional[AuditTrail] = None,
+        keep_iterations: int = 256,
+        on_iteration: Optional[Callable[[LoopIteration], None]] = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.engine = engine
+        self.name = name
+        self.monitor = monitor
+        self.analyzer = analyzer
+        self.planner = planner
+        self.executor = executor
+        self.knowledge = knowledge if knowledge is not None else KnowledgeBase()
+        self.assessor = assessor
+        self.guards = list(guards)
+        self.period_s = period_s
+        self.phase_latency = phase_latency
+        self.audit = audit
+        self.keep_iterations = keep_iterations
+        self.on_iteration = on_iteration
+
+        self.iterations: List[LoopIteration] = []
+        self.iterations_run = 0
+        self.actions_executed = 0
+        self.actions_vetoed = 0
+        self._task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, *, start_at: Optional[float] = None) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError(f"loop {self.name!r} already started")
+        self._task = self.engine.every(
+            self.period_s, self._begin_cycle, start_at=start_at, label=f"loop-{self.name}"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.stopped
+
+    # ---------------------------------------------------------------- cycle
+    def _begin_cycle(self) -> None:
+        now = self.engine.now
+        iteration = LoopIteration(index=self.iterations_run, t_monitor=now)
+        self.iterations_run += 1
+        observation = self.monitor.observe(now)
+        iteration.observation = observation
+        if observation is None:
+            iteration.t_complete = now
+            self._finish(iteration)
+            return
+        if self.assessor is not None:
+            self.assessor.assess(observation, self.knowledge)
+        delay = self.phase_latency.decision_delay
+        if delay > 0:
+            self.engine.schedule(delay, self._decide, iteration, observation, label=f"loop-{self.name}")
+        else:
+            self._decide(iteration, observation)
+
+    def _decide(self, iteration: LoopIteration, observation: Observation) -> None:
+        report = self.analyzer.analyze(observation, self.knowledge)
+        iteration.report = report
+        plan = self.planner.plan(report, self.knowledge)
+        for guard in self.guards:
+            plan, vetoed = guard.filter(plan, self.knowledge, self.engine.now)
+            iteration.vetoed.extend(vetoed)
+        self.actions_vetoed += len(iteration.vetoed)
+        iteration.plan = plan
+        self._audit_decision(iteration)
+        if plan.empty:
+            iteration.t_complete = self.engine.now
+            self._finish(iteration)
+            return
+        if self.phase_latency.execute_s > 0:
+            self.engine.schedule(
+                self.phase_latency.execute_s, self._execute, iteration, plan, label=f"loop-{self.name}"
+            )
+        else:
+            self._execute(iteration, plan)
+
+    def _execute(self, iteration: LoopIteration, plan: Plan) -> None:
+        results = self.executor.execute(plan, self.knowledge)
+        iteration.results = results
+        iteration.t_complete = self.engine.now
+        self.actions_executed += len(results)
+        self.knowledge.record_plan(plan, results)
+        if self.audit is not None:
+            for r in results:
+                self.audit.record(
+                    self.engine.now,
+                    self.name,
+                    "execute",
+                    f"{r.action.kind}({r.action.target}) "
+                    f"{'honored' if r.honored else 'refused'}: {r.detail}",
+                )
+        self._finish(iteration)
+
+    def _finish(self, iteration: LoopIteration) -> None:
+        self.iterations.append(iteration)
+        if len(self.iterations) > self.keep_iterations:
+            del self.iterations[: len(self.iterations) - self.keep_iterations]
+        if self.on_iteration is not None:
+            self.on_iteration(iteration)
+
+    def _audit_decision(self, iteration: LoopIteration) -> None:
+        if self.audit is None or iteration.plan is None:
+            return
+        plan = iteration.plan
+        if plan.actions or iteration.vetoed:
+            self.audit.record(
+                self.engine.now,
+                self.name,
+                "plan",
+                plan.rationale or f"{len(plan.actions)} action(s) planned",
+                data={"confidence": plan.confidence, "vetoed": len(iteration.vetoed)},
+            )
+
+    # ---------------------------------------------------------------- stats
+    def mean_cycle_latency(self) -> Optional[float]:
+        lats = [it.latency for it in self.iterations if it.latency is not None]
+        if not lats:
+            return None
+        return sum(lats) / len(lats)

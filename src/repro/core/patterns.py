@@ -1,0 +1,499 @@
+"""The four MAPE-K design patterns of Fig. 2, made measurable.
+
+All four patterns regulate the same concrete task so their trade-offs
+can be compared quantitatively (experiment E2): ``N`` drifting scalar
+elements (think per-node power under a cluster-wide cap) must be held
+at a global target, per-element fair share, despite a persistent upward
+disturbance.
+
+=================  =============================================  ==========
+Pattern            Structure                                      Fig. 2
+=================  =============================================  ==========
+classical          one full MAPE-K loop per (single) element      (a)
+master-worker      per-element Monitor/Execute, central A+P        (b)
+coordinated        full local loops + peer gossip                  (c)
+hierarchical       group controllers + slow top-level rebalancer   (d)
+=================  =============================================  ==========
+
+What the paper claims, and what the benchmark measures:
+
+* master-worker "suffers from limited scalability" — its decision
+  latency grows with N (central analyze/plan cost) and all traffic hits
+  one point;
+* coordinated has "potential of good scalability and robustness, but
+  decentralized Plan policies may suffer from instability" — constant
+  local latency, but the overlapping compensation term (``comp_gain``)
+  over stale gossip causes oscillation when pushed;
+* hierarchical "aim[s] to improve scalability without compromising
+  stability" — bounded group size keeps latency constant, and only the
+  slow top level moves global targets.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bus import MessageBus
+from repro.core.component import Analyzer, Executor, Monitor, Planner
+from repro.core.coordination import NeighborView, ring_neighbors
+from repro.core.knowledge import KnowledgeBase
+from repro.core.loop import MAPEKLoop, PhaseLatency
+from repro.core.types import Action, AnalysisReport, ExecutionResult, Observation, Plan
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class DriftingElement:
+    """One managed element: scalar state under persistent disturbance."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        element_id: str,
+        rng: np.random.Generator,
+        *,
+        initial: float = 100.0,
+        drift_mu: float = 0.3,
+        drift_std: float = 1.0,
+        disturb_period_s: float = 1.0,
+    ) -> None:
+        if disturb_period_s <= 0:
+            raise ValueError("disturb_period_s must be positive")
+        self.engine = engine
+        self.element_id = element_id
+        self.rng = rng
+        self.x = float(initial)
+        self.drift_mu = drift_mu
+        self.drift_std = drift_std
+        self.disturb_period_s = disturb_period_s
+        self.actuations = 0
+        self._task: Optional[PeriodicTask] = None
+
+    def start_disturbance(self) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError("disturbance already running")
+        self._task = self.engine.every(
+            self.disturb_period_s, self._disturb, label=f"disturb-{self.element_id}"
+        )
+
+    def stop_disturbance(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _disturb(self) -> None:
+        self.x += float(self.rng.normal(self.drift_mu, self.drift_std))
+
+    def read(self) -> float:
+        return self.x
+
+    def actuate(self, delta: float) -> None:
+        self.x += float(delta)
+        self.actuations += 1
+
+
+class PatternController(abc.ABC):
+    """Common interface over the four pattern implementations."""
+
+    pattern_name: str = "pattern"
+
+    def __init__(self, engine: Engine, elements: Sequence[DriftingElement], target_total: float) -> None:
+        if not elements:
+            raise ValueError("need at least one element")
+        self.engine = engine
+        self.elements = list(elements)
+        self.target_total = float(target_total)
+        self.cycles = 0
+
+    @abc.abstractmethod
+    def start(self) -> None: ...
+
+    @abc.abstractmethod
+    def stop(self) -> None: ...
+
+    @abc.abstractmethod
+    def nominal_decision_latency(self) -> float:
+        """Observation-to-actuation delay under this pattern's structure."""
+
+    @abc.abstractmethod
+    def messages_sent(self) -> int: ...
+
+    def aggregate(self) -> float:
+        return sum(e.read() for e in self.elements)
+
+    def fair_share(self) -> float:
+        return self.target_total / len(self.elements)
+
+    def control_error(self) -> float:
+        """Absolute aggregate error right now."""
+        return abs(self.aggregate() - self.target_total)
+
+
+# --------------------------------------------------------------------------
+# (a) classical: a genuine MAPEKLoop over a single element
+# --------------------------------------------------------------------------
+
+
+class _ElementMonitor(Monitor):
+    def __init__(self, element: DriftingElement) -> None:
+        self.element = element
+        self.name = f"monitor-{element.element_id}"
+
+    def observe(self, now: float) -> Observation:
+        return Observation(now, self.name, values={"x": self.element.read()})
+
+
+class _SetpointAnalyzer(Analyzer):
+    name = "setpoint-analyzer"
+
+    def __init__(self, setpoint: float) -> None:
+        self.setpoint = setpoint
+
+    def analyze(self, observation: Observation, knowledge: KnowledgeBase) -> AnalysisReport:
+        error = self.setpoint - observation.values["x"]
+        return AnalysisReport(
+            observation.time, self.name, metrics={"error": error}, confidence=1.0
+        )
+
+
+class _ProportionalPlanner(Planner):
+    name = "proportional-planner"
+
+    def __init__(self, element_id: str, gain: float = 0.5, deadband: float = 0.5) -> None:
+        self.element_id = element_id
+        self.gain = gain
+        self.deadband = deadband
+
+    def plan(self, report: AnalysisReport, knowledge: KnowledgeBase) -> Plan:
+        error = report.metrics["error"]
+        if abs(error) <= self.deadband:
+            return Plan(report.time, self.name)
+        action = Action(
+            "adjust", self.element_id, params={"delta": self.gain * error},
+            rationale=f"error={error:.2f}",
+        )
+        return Plan(report.time, self.name, actions=(action,), rationale=action.rationale)
+
+
+class _ElementExecutor(Executor):
+    def __init__(self, element: DriftingElement) -> None:
+        self.element = element
+        self.name = f"executor-{element.element_id}"
+
+    def execute(self, plan: Plan, knowledge: KnowledgeBase) -> List[ExecutionResult]:
+        results = []
+        for action in plan.actions:
+            self.element.actuate(action.param("delta"))
+            results.append(ExecutionResult(action, plan.time, honored=True))
+        return results
+
+
+def classical_loop_for(
+    engine: Engine,
+    element: DriftingElement,
+    setpoint: float,
+    *,
+    period_s: float = 10.0,
+    gain: float = 0.5,
+    deadband: float = 0.5,
+    phase_latency: PhaseLatency = PhaseLatency(),
+) -> MAPEKLoop:
+    """Fig. 2a: one self-contained MAPE-K loop managing one element."""
+    return MAPEKLoop(
+        engine,
+        f"classical-{element.element_id}",
+        monitor=_ElementMonitor(element),
+        analyzer=_SetpointAnalyzer(setpoint),
+        planner=_ProportionalPlanner(element.element_id, gain, deadband),
+        executor=_ElementExecutor(element),
+        period_s=period_s,
+        phase_latency=phase_latency,
+    )
+
+
+# --------------------------------------------------------------------------
+# (b) master-worker
+# --------------------------------------------------------------------------
+
+
+class MasterWorkerController(PatternController):
+    """Decentralized Monitor/Execute, centralized Analyze+Plan.
+
+    Per cycle: every worker ships its observation to the master (N
+    messages), the master plans globally after a per-element analysis
+    cost (the scalability bottleneck), then ships one action per element
+    back (N messages).  Actions therefore land ``2·hop + c·N`` after the
+    observations were taken.
+    """
+
+    pattern_name = "master-worker"
+
+    def __init__(
+        self,
+        engine: Engine,
+        elements: Sequence[DriftingElement],
+        target_total: float,
+        *,
+        period_s: float = 10.0,
+        gain: float = 0.5,
+        bus: Optional[MessageBus] = None,
+        central_cost_per_element_s: float = 0.002,
+    ) -> None:
+        super().__init__(engine, elements, target_total)
+        self.period_s = period_s
+        self.gain = gain
+        self.bus = bus if bus is not None else MessageBus(engine, latency_s=0.01)
+        self.central_cost_per_element_s = central_cost_per_element_s
+        self.central_alive = True
+        self._task: Optional[PeriodicTask] = None
+        self._pending: Dict[int, float] = {}
+
+    def start(self) -> None:
+        self._task = self.engine.every(self.period_s, self._cycle, label="mw-cycle")
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def kill_central(self) -> None:
+        """Master failure: all control stops (the robustness weak point)."""
+        self.central_alive = False
+
+    def _cycle(self) -> None:
+        if not self.central_alive:
+            return
+        self.cycles += 1
+        self._pending = {}
+        expected = len(self.elements)
+        for idx, element in enumerate(self.elements):
+            self.bus.send(
+                (idx, element.read()),
+                lambda payload, expected=expected: self._receive(payload, expected),
+            )
+
+    def _receive(self, payload, expected: int) -> None:
+        idx, value = payload
+        self._pending[idx] = value
+        if len(self._pending) == expected:
+            snapshot = dict(self._pending)
+            cost = self.central_cost_per_element_s * expected
+            self.engine.schedule(cost, self._plan_and_dispatch, snapshot, label="mw-plan")
+
+    def _plan_and_dispatch(self, snapshot: Dict[int, float]) -> None:
+        if not self.central_alive:
+            return
+        fair = self.fair_share()
+        for idx, observed in snapshot.items():
+            delta = self.gain * (fair - observed)
+            element = self.elements[idx]
+            self.bus.send(delta, lambda d, e=element: e.actuate(d))
+
+    def nominal_decision_latency(self) -> float:
+        return 2 * self.bus.latency_s + self.central_cost_per_element_s * len(self.elements)
+
+    def messages_sent(self) -> int:
+        return self.bus.messages_sent
+
+
+# --------------------------------------------------------------------------
+# (c) fully decentralized, coordinated
+# --------------------------------------------------------------------------
+
+
+class CoordinatedController(PatternController):
+    """Full local loops with ring gossip (Fig. 2c).
+
+    Each element regulates itself to the fair share (``gain``) and
+    additionally compensates the *global* error it infers from its
+    stale neighborhood view (``comp_gain``).  Because all elements
+    compensate the same perceived error concurrently, large
+    ``comp_gain`` over-corrects in aggregate — the pattern's documented
+    instability mode.
+    """
+
+    pattern_name = "coordinated"
+
+    def __init__(
+        self,
+        engine: Engine,
+        elements: Sequence[DriftingElement],
+        target_total: float,
+        *,
+        period_s: float = 10.0,
+        gain: float = 0.5,
+        comp_gain: float = 0.3,
+        neighbors_k: int = 1,
+        bus: Optional[MessageBus] = None,
+        local_cost_s: float = 0.002,
+    ) -> None:
+        super().__init__(engine, elements, target_total)
+        self.period_s = period_s
+        self.gain = gain
+        self.comp_gain = comp_gain
+        self.neighbors_k = neighbors_k
+        self.bus = bus if bus is not None else MessageBus(engine, latency_s=0.01)
+        self.local_cost_s = local_cost_s
+        n = len(elements)
+        self.alive = [True] * n
+        self.views = [NeighborView() for _ in range(n)]
+        self._neighbors = [ring_neighbors(n, i, neighbors_k) for i in range(n)]
+        self._tasks: List[PeriodicTask] = []
+
+    def start(self) -> None:
+        for i in range(len(self.elements)):
+            self._tasks.append(
+                self.engine.every(self.period_s, lambda i=i: self._local_cycle(i), label=f"coord-{i}")
+            )
+
+    def stop(self) -> None:
+        for t in self._tasks:
+            t.stop()
+
+    def kill_local(self, i: int) -> None:
+        """Local controller failure: only element ``i`` loses control."""
+        self.alive[i] = False
+
+    def _local_cycle(self, i: int) -> None:
+        if not self.alive[i]:
+            return
+        self.cycles += 1
+        now = self.engine.now
+        x = self.elements[i].read()
+        # gossip own state to ring neighbours
+        for j in self._neighbors[i]:
+            self.bus.send(
+                (i, x, now), lambda payload, j=j: self.views[j].update(payload[0], payload[1], payload[2])
+            )
+        # plan from the (stale) local view
+        fair = self.fair_share()
+        nbhd = [x] + self.views[i].known_values()
+        est_mean = sum(nbhd) / len(nbhd)
+        delta = self.gain * (fair - x) + self.comp_gain * (fair - est_mean)
+        self.engine.schedule(
+            self.local_cost_s, self.elements[i].actuate, delta, label=f"coord-act-{i}"
+        )
+
+    def nominal_decision_latency(self) -> float:
+        return self.local_cost_s  # control path is purely local
+
+    def messages_sent(self) -> int:
+        return self.bus.messages_sent
+
+    def alive_fraction(self) -> float:
+        return sum(self.alive) / len(self.alive)
+
+
+# --------------------------------------------------------------------------
+# (d) hierarchical
+# --------------------------------------------------------------------------
+
+
+class HierarchicalController(PatternController):
+    """Group controllers under a slow top-level rebalancer (Fig. 2d).
+
+    Each group head runs master-worker over its ``group_size`` elements
+    toward its group target; the top level re-divides the global target
+    over *alive* groups every ``top_period_s`` (separation of concerns
+    and time scales).  Group-local latency is bounded by the group size,
+    independent of N.
+    """
+
+    pattern_name = "hierarchical"
+
+    def __init__(
+        self,
+        engine: Engine,
+        elements: Sequence[DriftingElement],
+        target_total: float,
+        *,
+        group_size: int = 8,
+        period_s: float = 10.0,
+        top_period_s: float = 50.0,
+        gain: float = 0.5,
+        bus: Optional[MessageBus] = None,
+        local_cost_per_element_s: float = 0.002,
+    ) -> None:
+        super().__init__(engine, elements, target_total)
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        self.group_size = group_size
+        self.period_s = period_s
+        self.top_period_s = top_period_s
+        self.gain = gain
+        self.bus = bus if bus is not None else MessageBus(engine, latency_s=0.01)
+        self.local_cost_per_element_s = local_cost_per_element_s
+        self.groups: List[List[int]] = [
+            list(range(start, min(start + group_size, len(elements))))
+            for start in range(0, len(elements), group_size)
+        ]
+        self.group_alive = [True] * len(self.groups)
+        n_groups = len(self.groups)
+        self.group_targets = [
+            self.target_total * len(g) / len(elements) for g in self.groups
+        ]
+        self._tasks: List[PeriodicTask] = []
+
+    def start(self) -> None:
+        for gi in range(len(self.groups)):
+            self._tasks.append(
+                self.engine.every(self.period_s, lambda gi=gi: self._group_cycle(gi), label=f"hier-g{gi}")
+            )
+        self._tasks.append(self.engine.every(self.top_period_s, self._top_cycle, label="hier-top"))
+
+    def stop(self) -> None:
+        for t in self._tasks:
+            t.stop()
+
+    def kill_group_head(self, gi: int) -> None:
+        """Group-head failure: only that group loses local control."""
+        self.group_alive[gi] = False
+
+    def _group_cycle(self, gi: int) -> None:
+        if not self.group_alive[gi]:
+            return
+        self.cycles += 1
+        members = self.groups[gi]
+        # collect member states (one message per member); plan once the
+        # last observation arrives, after the per-element analysis cost
+        snapshot: Dict[int, float] = {}
+        expected = len(members)
+        cost = self.local_cost_per_element_s * expected
+
+        def receive(payload) -> None:
+            snapshot[payload[0]] = payload[1]
+            if len(snapshot) == expected:
+                self.engine.schedule(
+                    cost, self._group_plan, gi, dict(snapshot), label=f"hier-plan-{gi}"
+                )
+
+        for i in members:
+            self.bus.send((i, self.elements[i].read()), receive)
+
+    def _group_plan(self, gi: int, snapshot: Dict[int, float]) -> None:
+        if not self.group_alive[gi] or not snapshot:
+            return
+        members = self.groups[gi]
+        per_member_target = self.group_targets[gi] / len(members)
+        for i, observed in snapshot.items():
+            delta = self.gain * (per_member_target - observed)
+            element = self.elements[i]
+            self.bus.send(delta, lambda d, e=element: e.actuate(d))
+
+    def _top_cycle(self) -> None:
+        # group sums reported upward (one message per alive group)
+        alive_groups = [gi for gi in range(len(self.groups)) if self.group_alive[gi]]
+        if not alive_groups:
+            return
+        alive_elements = sum(len(self.groups[gi]) for gi in alive_groups)
+        for gi in alive_groups:
+            group_sum = sum(self.elements[i].read() for i in self.groups[gi])
+            self.bus.send((gi, group_sum), lambda p: None)  # reporting traffic
+            # fair share of the global target over alive capacity
+            self.group_targets[gi] = self.target_total * len(self.groups[gi]) / alive_elements
+
+    def nominal_decision_latency(self) -> float:
+        return 2 * self.bus.latency_s + self.local_cost_per_element_s * self.group_size
+
+    def messages_sent(self) -> int:
+        return self.bus.messages_sent

@@ -1,0 +1,117 @@
+"""Knowledge persistence.
+
+The K in MAPE-K outlives any single loop deployment: run histories and
+plan-effectiveness records accumulated this week seed next week's
+priors.  This module serializes the durable parts of a
+:class:`~repro.core.knowledge.KnowledgeBase` — scalar facts, run
+history, and assessed plan-outcome summaries — to JSON and back.
+
+Live model objects are deliberately *not* serialized (models are
+re-trained from data); their registry metadata is.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.analytics.similarity import JobRecord
+from repro.core.knowledge import KnowledgeBase
+
+FORMAT_VERSION = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _serializable_facts(knowledge: KnowledgeBase) -> Dict[str, Any]:
+    """Facts with JSON-scalar values; others are skipped (session-local)."""
+    return {
+        key: value
+        for key, value in knowledge.facts().items()
+        if isinstance(value, _JSON_SCALARS)
+    }
+
+
+def save_knowledge(knowledge: KnowledgeBase, path: Union[str, Path]) -> Dict[str, int]:
+    """Write the durable knowledge to ``path``; returns section counts."""
+    records = [
+        {
+            "job_id": r.job_id,
+            "app_name": r.app_name,
+            "features": dict(r.features),
+            "runtime_s": r.runtime_s,
+            "succeeded": r.succeeded,
+            "tags": list(r.tags),
+        }
+        for r in knowledge.run_history.records()
+    ]
+    outcomes = [
+        {
+            "time": o.plan.time,
+            "source": o.plan.source,
+            "n_actions": len(o.plan.actions),
+            "honored": o.honored,
+            "score": o.score,
+        }
+        for o in knowledge.plan_outcomes
+        if o.score is not None
+    ]
+    models = [
+        {
+            "name": name,
+            "kind": knowledge.model(name).kind,
+            "trained_at": knowledge.model(name).trained_at,
+            "metadata": dict(knowledge.model(name).metadata),
+        }
+        for name in knowledge.models()
+    ]
+    payload = {
+        "version": FORMAT_VERSION,
+        "facts": _serializable_facts(knowledge),
+        "run_history": records,
+        "plan_outcomes": outcomes,
+        "model_metadata": models,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return {
+        "facts": len(payload["facts"]),
+        "run_history": len(records),
+        "plan_outcomes": len(outcomes),
+        "model_metadata": len(models),
+    }
+
+
+def load_knowledge(path: Union[str, Path]) -> KnowledgeBase:
+    """Rebuild a knowledge base from a file written by :func:`save_knowledge`.
+
+    Plan outcomes are restored as summary facts
+    (``restored_outcomes`` / ``restored_effectiveness``) rather than
+    fake Plan objects — downstream confidence measures read history
+    through those aggregates on cold start.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported knowledge format version: {version!r}")
+    knowledge = KnowledgeBase()
+    for key, value in payload.get("facts", {}).items():
+        knowledge.remember(key, value)
+    for rec in payload.get("run_history", []):
+        knowledge.run_history.add(
+            JobRecord(
+                rec["job_id"],
+                rec["app_name"],
+                rec["features"],
+                rec["runtime_s"],
+                rec.get("succeeded", True),
+                tuple(rec.get("tags", ())),
+            )
+        )
+    outcomes = payload.get("plan_outcomes", [])
+    if outcomes:
+        scores = [o["score"] for o in outcomes if o.get("score") is not None]
+        knowledge.remember("restored_outcomes", len(outcomes))
+        if scores:
+            knowledge.remember("restored_effectiveness", sum(scores) / len(scores))
+    return knowledge

@@ -1,0 +1,58 @@
+"""Component registry — interchangeability by name.
+
+Methodology question ii asks what interfaces make components
+interchangeable.  The registry is the runtime half of the answer:
+implementations register factories under ``(role, name)``, and a loop
+assembled from registry lookups can swap any phase implementation
+without code changes (exercised by experiment E12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Canonical role names for MAPE-K phases plus forecaster plugins.
+ROLES = ("monitor", "analyzer", "planner", "executor", "assessor", "forecaster", "guard")
+
+
+class ComponentRegistry:
+    """Factory registry keyed by ``(role, name)``."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[Tuple[str, str], Callable[..., Any]] = {}
+
+    def register(self, role: str, name: str, factory: Callable[..., Any]) -> None:
+        if role not in ROLES:
+            raise ValueError(f"unknown role {role!r}; choose from {ROLES}")
+        key = (role, name)
+        if key in self._factories:
+            raise ValueError(f"{role}/{name} already registered")
+        self._factories[key] = factory
+
+    def create(self, role: str, name: str, **kwargs: Any) -> Any:
+        factory = self._factories.get((role, name))
+        if factory is None:
+            raise KeyError(
+                f"no {role} named {name!r}; available: {self.names(role)}"
+            )
+        return factory(**kwargs)
+
+    def names(self, role: str) -> List[str]:
+        return sorted(n for (r, n) in self._factories if r == role)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._factories
+
+
+def default_registry() -> ComponentRegistry:
+    """Registry pre-loaded with the analytics forecasters.
+
+    The use-case loops (``repro.loops``) register their own components
+    on import via :func:`repro.loops.register_components`.
+    """
+    from repro.analytics.forecast import _FORECASTERS
+
+    registry = ComponentRegistry()
+    for name, cls in _FORECASTERS.items():
+        registry.register("forecaster", name, cls)
+    return registry

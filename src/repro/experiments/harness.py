@@ -1,0 +1,36 @@
+"""Replication helpers: run a scenario over seeds, aggregate rows."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+
+def replicate(
+    fn: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+) -> List[Dict[str, float]]:
+    """Run ``fn(seed)`` for each seed; collect the result rows."""
+    return [dict(fn(seed)) for seed in seeds]
+
+
+def aggregate_rows(rows: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Mean of numeric keys across replications; ``<key>_std`` companions.
+
+    Non-numeric values are taken from the first row unchanged.
+    """
+    if not rows:
+        return {}
+    out: Dict[str, float] = {}
+    keys = rows[0].keys()
+    for key in keys:
+        values = [r.get(key) for r in rows]
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            arr = np.asarray(values, dtype=float)
+            out[key] = float(arr.mean())
+            if len(rows) > 1:
+                out[f"{key}_std"] = float(arr.std(ddof=1))
+        else:
+            out[key] = values[0]
+    return out

@@ -1,0 +1,117 @@
+"""Stakeholder incentive reports (methodology question v).
+
+The paper: "Adopting an autonomy loop that increases their jobs'
+execution success would incentivize users.  Additional statistics, such
+as increase in completed and decrease in resubmitted jobs, would
+incentivize administrators to deploy it."
+
+:func:`incentive_report` turns a (baseline, with-loop) pair of
+scheduler-scenario rows into exactly those statistics, phrased per
+stakeholder, ready for a deployment proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+
+@dataclass(frozen=True)
+class IncentiveStatement:
+    """One stakeholder-facing statistic with its before/after evidence."""
+
+    audience: str  # "users" | "administrators"
+    statement: str
+    before: float
+    after: float
+
+    @property
+    def improved(self) -> bool:
+        return self.after != self.before
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:.0f}%"
+
+
+def incentive_report(
+    baseline: Mapping[str, float],
+    with_loop: Mapping[str, float],
+) -> List[IncentiveStatement]:
+    """Build the question-v statistics from two scenario rows.
+
+    Both rows must come from
+    :func:`repro.experiments.scheduler_case.run_scheduler_scenario`
+    (or share its keys: ``completion_rate``, ``completed``, ``timeout``,
+    ``resubmissions``, ``wasted_nh``, ``overhang_nh``).
+    """
+    out: List[IncentiveStatement] = []
+    # ---- users: execution success -------------------------------------
+    b, a = baseline["completion_rate"], with_loop["completion_rate"]
+    out.append(
+        IncentiveStatement(
+            "users",
+            f"job success rate rises from {_pct(b)} to {_pct(a)}",
+            b,
+            a,
+        )
+    )
+    b, a = baseline["timeout"], with_loop["timeout"]
+    out.append(
+        IncentiveStatement(
+            "users",
+            f"jobs lost to walltime kills drop from {b:.0f} to {a:.0f}",
+            b,
+            a,
+        )
+    )
+    # ---- administrators: throughput and churn ---------------------------
+    b, a = baseline["completed"], with_loop["completed"]
+    out.append(
+        IncentiveStatement(
+            "administrators",
+            f"completed jobs increase from {b:.0f} to {a:.0f}",
+            b,
+            a,
+        )
+    )
+    b, a = baseline["resubmissions"], with_loop["resubmissions"]
+    out.append(
+        IncentiveStatement(
+            "administrators",
+            f"resubmitted jobs decrease from {b:.0f} to {a:.0f}",
+            b,
+            a,
+        )
+    )
+    b, a = baseline["wasted_nh"], with_loop["wasted_nh"]
+    out.append(
+        IncentiveStatement(
+            "administrators",
+            f"wasted node-hours drop from {b:.1f} to {a:.1f}",
+            b,
+            a,
+        )
+    )
+    # the cost side operators will ask about (trust, question iv)
+    b, a = baseline["overhang_nh"], with_loop["overhang_nh"]
+    out.append(
+        IncentiveStatement(
+            "administrators",
+            f"extension overhang (idle hold) changes from {b:.1f} to {a:.1f} node-hours",
+            b,
+            a,
+        )
+    )
+    return out
+
+
+def render_incentives(statements: List[IncentiveStatement]) -> str:
+    """Human-readable, per-audience rendering."""
+    lines: List[str] = []
+    for audience in ("users", "administrators"):
+        lines.append(f"for {audience}:")
+        for s in statements:
+            if s.audience == audience:
+                lines.append(f"  - {s.statement}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Evaluation metrics shared by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class JobOutcomeSummary:
+    """Aggregate job outcomes of one scheduler run."""
+
+    n_submitted: int
+    n_completed: int
+    n_timeout: int
+    n_failed: int
+    n_killed_maintenance: int
+    completion_rate: float
+    wasted_node_hours: float
+    mean_wait_s: float
+    utilization: float
+    extensions_requested: int
+    extensions_granted: int
+    extensions_denied: int
+    extension_hours_granted: float
+    overhang_node_hours: float
+
+    @staticmethod
+    def from_scheduler(scheduler: Scheduler, horizon_s: float) -> "JobOutcomeSummary":
+        jobs = list(scheduler.jobs.values())
+        terminal = [j for j in jobs if j.is_terminal]
+        completed = [j for j in terminal if j.state is JobState.COMPLETED]
+        lost = [
+            j
+            for j in terminal
+            if j.state in (JobState.TIMEOUT, JobState.FAILED, JobState.KILLED_MAINTENANCE)
+        ]
+        wasted = sum(j.node_seconds() for j in lost) / 3600.0
+        waits = [j.wait_time for j in jobs if j.wait_time is not None]
+        stats = scheduler.stats
+        return JobOutcomeSummary(
+            n_submitted=stats.submitted,
+            n_completed=stats.completed,
+            n_timeout=stats.timeout,
+            n_failed=stats.failed,
+            n_killed_maintenance=stats.killed_maintenance,
+            completion_rate=(len(completed) / len(terminal)) if terminal else 0.0,
+            wasted_node_hours=wasted,
+            mean_wait_s=float(np.mean(waits)) if waits else 0.0,
+            utilization=scheduler.utilization(),
+            extensions_requested=stats.extensions_requested,
+            extensions_granted=stats.extensions_granted,
+            extensions_denied=stats.extensions_denied,
+            extension_hours_granted=stats.extension_seconds_granted / 3600.0,
+            overhang_node_hours=stats.overhang_node_seconds / 3600.0,
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "submitted": self.n_submitted,
+            "completed": self.n_completed,
+            "timeout": self.n_timeout,
+            "maint_killed": self.n_killed_maintenance,
+            "completion_rate": round(self.completion_rate, 3),
+            "wasted_nh": round(self.wasted_node_hours, 2),
+            "mean_wait_s": round(self.mean_wait_s, 1),
+            "utilization": round(self.utilization, 3),
+            "ext_req": self.extensions_requested,
+            "ext_granted": self.extensions_granted,
+            "ext_hours": round(self.extension_hours_granted, 2),
+            "overhang_nh": round(self.overhang_node_hours, 2),
+        }
+
+
+def detection_metrics(
+    predicted: Iterable[Tuple[str, str]],
+    actual: Iterable[Tuple[str, str]],
+) -> Dict[str, float]:
+    """Precision/recall/F1 over ``(entity, label)`` pairs."""
+    pred = set(predicted)
+    act = set(actual)
+    tp = len(pred & act)
+    fp = len(pred - act)
+    fn = len(act - pred)
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {
+        "tp": float(tp),
+        "fp": float(fp),
+        "fn": float(fn),
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }
+
+
+def latency_summary(durations: Sequence[float]) -> Dict[str, float]:
+    """Mean/percentile/CV summary of a latency sample."""
+    if not durations:
+        return {"n": 0.0}
+    arr = np.asarray(durations, dtype=float)
+    mean = float(arr.mean())
+    return {
+        "n": float(arr.size),
+        "mean_s": mean,
+        "p50_s": float(np.percentile(arr, 50)),
+        "p95_s": float(np.percentile(arr, 95)),
+        "p99_s": float(np.percentile(arr, 99)),
+        "cv": float(arr.std() / mean) if mean > 0 else float("nan"),
+    }

@@ -1,0 +1,221 @@
+"""Holistic-monitoring pipeline scenario (experiment E1, Fig. 1).
+
+Builds the full telemetry stack over N nodes, streams synthetic
+facility/hardware signals with injected anomalies, runs the three ODA
+functions of Fig. 1 — visualize (downsampled queries), diagnose (anomaly
+detection), forecast (trend extrapolation) — and reports pipeline
+throughput, end-to-end lag, analytics latency, overhead, and detection
+quality.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analytics.anomaly import ZScoreDetector
+from repro.analytics.forecast import OLSForecaster
+from repro.sim import Engine, RngRegistry
+from repro.telemetry.collector import CollectionPipeline
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.overhead import MonitoringOverheadModel
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.sensor import CallableSensor
+from repro.telemetry.synthetic import SpikeSpec, SyntheticSeriesSpec, render_series
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def run_pipeline_scenario(
+    *,
+    seed: int = 0,
+    n_nodes: int = 64,
+    metrics_per_node: int = 4,
+    sample_period_s: float = 5.0,
+    horizon_s: float = 3600.0,
+    n_anomalies: int = 8,
+) -> Dict[str, float]:
+    engine = Engine()
+    rngs = RngRegistry(seed=seed)
+    store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
+    pipeline = CollectionPipeline(engine, store, hop_latency=0.1, ingest_latency=0.1)
+    aggregators = pipeline.build(max(1, n_nodes // 16))
+
+    rng = rngs.stream("signals")
+    anomaly_times = sorted(
+        float(t) for t in rng.uniform(horizon_s * 0.2, horizon_s * 0.9, size=n_anomalies)
+    )
+    anomaly_nodes = [int(rng.integers(n_nodes)) for _ in anomaly_times]
+
+    samplers: List[Sampler] = []
+    grid = np.arange(0.0, horizon_s + sample_period_s, sample_period_s)
+    signal_cache: Dict[str, np.ndarray] = {}
+    for node_idx in range(n_nodes):
+        sampler = Sampler(
+            engine,
+            aggregators[node_idx % len(aggregators)],
+            period=sample_period_s,
+            rng=rngs.stream(f"sampler-{node_idx}"),
+            jitter_std=0.05,
+            per_sample_cost_s=1e-4,
+            name=f"sampler-{node_idx}",
+        )
+        for metric_idx in range(metrics_per_node):
+            spec = SyntheticSeriesSpec(
+                base=400.0 + 20.0 * metric_idx,
+                diurnal_amplitude=30.0,
+                noise_std=4.0,
+                ar1_coeff=0.7,
+                spikes=[
+                    SpikeSpec(t, magnitude=120.0, duration=120.0)
+                    for t, n in zip(anomaly_times, anomaly_nodes)
+                    if n == node_idx and metric_idx == 0
+                ],
+            )
+            series = render_series(grid, spec, rngs.fork("signal", node_idx * 100 + metric_idx))
+            key = SeriesKey.of(f"metric{metric_idx}", node=f"n{node_idx:03d}")
+            signal_cache[str(key)] = series
+
+            def reader(now: float, _series=series) -> float:
+                idx = min(len(_series) - 1, int(now / sample_period_s))
+                return float(_series[idx])
+
+            sampler.add_sensor(CallableSensor(key, reader))
+        sampler.start()
+        samplers.append(sampler)
+
+    engine.run(until=horizon_s)
+
+    # --- Fig. 1 "visualize": downsampled dashboard queries ---------------
+    t0 = time.perf_counter()
+    for node_idx in range(min(16, n_nodes)):
+        key = SeriesKey.of("metric0", node=f"n{node_idx:03d}")
+        store.downsample(key, 0.0, horizon_s, step=60.0, agg="mean")
+    visualize_ms = (time.perf_counter() - t0) * 1e3
+
+    # --- Fig. 1 "diagnose": anomaly detection over every node ------------
+    t0 = time.perf_counter()
+    detected: List[tuple] = []
+    for node_idx in range(n_nodes):
+        key = SeriesKey.of("metric0", node=f"n{node_idx:03d}")
+        times, values = store.query(key, 0.0, horizon_s)
+        det = ZScoreDetector(window=60, threshold=5.0)
+        for t, v in zip(times, values):
+            a = det.update(t, v)
+            if a is not None:
+                detected.append((node_idx, t))
+    diagnose_ms = (time.perf_counter() - t0) * 1e3
+
+    # detection quality vs ground truth (match within the spike window)
+    truth = list(zip(anomaly_nodes, anomaly_times))
+    hits = 0
+    for node, t_true in truth:
+        if any(n == node and t_true <= t <= t_true + 180.0 for n, t in detected):
+            hits += 1
+    recall = hits / len(truth) if truth else 1.0
+
+    # --- Fig. 1 "forecast": per-node trend extrapolation ------------------
+    t0 = time.perf_counter()
+    for node_idx in range(min(16, n_nodes)):
+        key = SeriesKey.of("metric0", node=f"n{node_idx:03d}")
+        times, values = store.query(key, horizon_s - 1800.0, horizon_s)
+        fc = OLSForecaster(window=64)
+        for t, v in zip(times, values):
+            fc.update(t, v)
+    forecast_ms = (time.perf_counter() - t0) * 1e3
+
+    overhead = MonitoringOverheadModel(samplers, aggregators).report(horizon_s)
+    expected_samples = n_nodes * metrics_per_node * (horizon_s / sample_period_s)
+    return {
+        "seed": seed,
+        "n_nodes": float(n_nodes),
+        "series": float(store.cardinality()),
+        "samples_ingested": float(store.total_inserts),
+        "ingest_rate_per_s": store.total_inserts / horizon_s,
+        "completeness": store.total_inserts / expected_samples,
+        "e2e_lag_s": pipeline.end_to_end_latency,
+        "visualize_ms": visualize_ms,
+        "diagnose_ms": diagnose_ms,
+        "forecast_ms": forecast_ms,
+        "anomaly_recall": recall,
+        "anomalies_detected": float(len(detected)),
+        "overhead_cpu_frac": overhead.cpu_fraction_per_agent,
+        "net_bytes_per_node_s": overhead.bytes_per_agent_per_s,
+    }
+
+
+def run_sampling_tradeoff(
+    *,
+    seed: int = 0,
+    n_nodes: int = 16,
+    periods_s=(1.0, 5.0, 15.0, 60.0),
+    horizon_s: float = 3600.0,
+    event_magnitude: float = 150.0,
+    event_duration_s: float = 600.0,
+) -> List[Dict[str, float]]:
+    """Monitoring design dial: sampling period vs. overhead vs. reaction.
+
+    One sustained event is injected per node; for each sampling period we
+    report the monitoring cost (CPU fraction, network bytes) and the
+    *detection latency* — how long after onset the z-score detector first
+    fires.  Slow sampling is cheap but blind; this sweep quantifies the
+    knee operators must pick (a design decision Fig. 1 leaves open).
+    """
+    rows: List[Dict[str, float]] = []
+    for period in periods_s:
+        rngs = RngRegistry(seed=seed)
+        engine = Engine()
+        store = TimeSeriesStore(default_capacity=int(horizon_s / period) + 16)
+        pipeline = CollectionPipeline(engine, store, hop_latency=0.1, ingest_latency=0.1)
+        aggregators = pipeline.build(max(1, n_nodes // 16))
+        rng = rngs.stream("events")
+        onsets = rng.uniform(horizon_s * 0.4, horizon_s * 0.7, size=n_nodes)
+        grid = np.arange(0.0, horizon_s + period, period)
+        samplers: List[Sampler] = []
+        for node_idx in range(n_nodes):
+            spec = SyntheticSeriesSpec(
+                base=400.0,
+                noise_std=4.0,
+                spikes=[SpikeSpec(float(onsets[node_idx]), event_magnitude, event_duration_s)],
+            )
+            series = render_series(grid, spec, rngs.fork("sig", node_idx))
+            key = SeriesKey.of("m", node=f"n{node_idx:03d}")
+
+            def reader(now: float, _series=series, _p=period) -> float:
+                return float(_series[min(len(_series) - 1, int(now / _p))])
+
+            sampler = Sampler(
+                engine,
+                aggregators[node_idx % len(aggregators)],
+                period=period,
+                per_sample_cost_s=1e-4,
+                name=f"s{node_idx}",
+            )
+            sampler.add_sensor(CallableSensor(key, reader))
+            sampler.start()
+            samplers.append(sampler)
+        engine.run(until=horizon_s)
+
+        latencies = []
+        for node_idx in range(n_nodes):
+            key = SeriesKey.of("m", node=f"n{node_idx:03d}")
+            times, values = store.query(key, 0.0, horizon_s)
+            det = ZScoreDetector(window=max(10, int(300.0 / period)), threshold=5.0)
+            onset = float(onsets[node_idx])
+            for t, v in zip(times, values):
+                if det.update(t, v) is not None and t >= onset:
+                    latencies.append(t - onset)
+                    break
+        overhead = MonitoringOverheadModel(samplers, aggregators).report(horizon_s)
+        rows.append(
+            {
+                "period_s": period,
+                "detected_frac": len(latencies) / n_nodes,
+                "detect_latency_s": float(np.mean(latencies)) if latencies else float("inf"),
+                "overhead_cpu_frac": overhead.cpu_fraction_per_agent,
+                "net_bytes_per_node_s": overhead.bytes_per_agent_per_s,
+                "samples_total": float(store.total_inserts),
+            }
+        )
+    return rows

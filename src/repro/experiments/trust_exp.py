@@ -1,0 +1,57 @@
+"""Trust-control experiment (E11, methodology question iv).
+
+Sweeps the loop-side extension budgets ("limits on the number and
+overall time of extensions for a single application") and reports the
+trade the paper says operators must see before they trust autonomy:
+jobs rescued vs. extension overhang (granted-but-unused limit, the
+proxy for untaken backfill opportunities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.scheduler_case import (
+    SchedulerScenarioConfig,
+    run_scheduler_scenario,
+)
+
+
+def run_trust_sweep(
+    *,
+    seed: int = 0,
+    budgets: List[int] = (0, 1, 2, 3, 5),
+    budget_total_s: float = 14_400.0,
+    n_jobs: int = 24,
+    n_nodes: int = 12,
+    horizon_s: float = 300_000.0,
+) -> List[Dict[str, float]]:
+    rows = []
+    for budget in budgets:
+        if budget == 0:
+            cfg = SchedulerScenarioConfig(
+                seed=seed, mode="none", n_jobs=n_jobs, n_nodes=n_nodes, horizon_s=horizon_s
+            )
+        else:
+            cfg = SchedulerScenarioConfig(
+                seed=seed,
+                mode="autonomous",
+                n_jobs=n_jobs,
+                n_nodes=n_nodes,
+                horizon_s=horizon_s,
+                budget_max_extensions=budget,
+                budget_max_total_s=budget_total_s,
+            )
+        row = run_scheduler_scenario(cfg)
+        rows.append(
+            {
+                "max_extensions": float(budget),
+                "completion_rate": row["completion_rate"],
+                "wasted_nh": row["wasted_nh"],
+                "ext_granted": row["ext_granted"],
+                "ext_hours": row["ext_hours"],
+                "overhang_nh": row["overhang_nh"],
+                "mean_wait_s": row["mean_wait_s"],
+            }
+        )
+    return rows

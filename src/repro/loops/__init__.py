@@ -1,0 +1,51 @@
+"""The five Section III use cases as concrete MAPE-K autonomy loops.
+
+Each module assembles Monitor/Analyzer/Planner/Executor implementations
+for one managed system, plus a manager that attaches loops to the
+substrate:
+
+* :mod:`scheduler_loop` — the paper's initial case (Fig. 3): walltime
+  extension with checkpoint fallback.
+* :mod:`maintenance_loop` — checkpoint jobs ahead of maintenance windows.
+* :mod:`io_qos_loop` — AIMD adaptation of QoS token buckets.
+* :mod:`ost_loop` — detect slow OSTs, close and reopen files elsewhere.
+* :mod:`misconfig_loop` — detect misconfigured jobs, advise or fix.
+"""
+
+from repro.loops.scheduler_loop import (
+    ExtensionPlanner,
+    JobProgressMonitor,
+    ProgressAnalyzer,
+    SchedulerCaseConfig,
+    SchedulerCaseManager,
+    SchedulerExecutor,
+)
+from repro.loops.maintenance_loop import MaintenanceCaseManager, MaintenancePlanner
+from repro.loops.io_qos_loop import IoQosConfig, IoQosManagerLoop
+from repro.loops.ost_loop import OstCaseConfig, OstCaseManager
+from repro.loops.misconfig_loop import MisconfigCaseConfig, MisconfigCaseManager
+
+__all__ = [
+    "ExtensionPlanner",
+    "IoQosConfig",
+    "IoQosManagerLoop",
+    "JobProgressMonitor",
+    "MaintenanceCaseManager",
+    "MaintenancePlanner",
+    "MisconfigCaseConfig",
+    "MisconfigCaseManager",
+    "OstCaseConfig",
+    "OstCaseManager",
+    "ProgressAnalyzer",
+    "SchedulerCaseConfig",
+    "SchedulerCaseManager",
+    "SchedulerExecutor",
+]
+
+
+def register_components(registry) -> None:
+    """Register use-case components for swap-by-name (question ii / E12)."""
+    registry.register("monitor", "job-progress", JobProgressMonitor)
+    registry.register("analyzer", "progress", ProgressAnalyzer)
+    registry.register("planner", "extension", ExtensionPlanner)
+    registry.register("executor", "scheduler", SchedulerExecutor)

@@ -1,0 +1,229 @@
+"""The I/O QoS use case (Section III case 2).
+
+Goal: "adapt QoS parameters based on the current application performance
+and system I/O load to decrease interference, reduce tail latency, and
+provide more consistent results for deadline dependent workflows."
+
+The loop protects one *deadline tenant* (a workflow whose writes must
+land within a latency target) by adapting the token-bucket allocations
+of best-effort tenants with an AIMD policy: when the deadline tenant's
+recent latency violates its target, background allocations shrink
+multiplicatively; when the system is comfortably healthy, they recover
+additively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.audit import AuditTrail
+from repro.core.component import Analyzer, Executor, Monitor, Planner
+from repro.core.knowledge import KnowledgeBase
+from repro.core.loop import MAPEKLoop
+from repro.core.types import (
+    Action,
+    AnalysisReport,
+    ExecutionResult,
+    Observation,
+    Plan,
+    Symptom,
+)
+from repro.sim.engine import Engine
+from repro.storage.client import PeriodicWriter
+from repro.storage.filesystem import ParallelFileSystem
+
+
+@dataclass
+class IoQosConfig:
+    """Targets and AIMD parameters for the I/O-QoS loop."""
+
+    deadline_tenant: str = "workflow"
+    latency_target_s: float = 2.0
+    headroom_fraction: float = 0.5  # recovery when worst <= fraction × target
+    recent_window: int = 5
+    decrease_factor: float = 0.5
+    increase_mbps: float = 50.0
+    min_rate_mbps: float = 50.0
+    max_rate_mbps: float = 2000.0
+    loop_period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if self.latency_target_s <= 0:
+            raise ValueError("latency_target_s must be positive")
+        if not 0.0 < self.headroom_fraction < 1.0:
+            raise ValueError("headroom_fraction must be in (0, 1)")
+
+
+class IoLoadMonitor(Monitor):
+    """Observes the deadline tenant's recent latency and system I/O load."""
+
+    name = "io-load-monitor"
+
+    def __init__(
+        self, fs: ParallelFileSystem, writers: Sequence[PeriodicWriter], config: IoQosConfig
+    ) -> None:
+        self.fs = fs
+        self.writers = {w.client_id: w for w in writers}
+        self.config = config
+
+    def observe(self, now: float) -> Optional[Observation]:
+        deadline_writer = self.writers.get(self.config.deadline_tenant)
+        if deadline_writer is None or not deadline_writer.transfers:
+            return None
+        recent = deadline_writer.transfers[-self.config.recent_window :]
+        latencies = [t.duration for t in recent]
+        values = {
+            "deadline_p_latency": float(np.max(latencies)),
+            "deadline_mean_latency": float(np.mean(latencies)),
+            "fs_load": self.fs.load_fraction(),
+        }
+        return Observation(now, self.name, values=values, context={"recent_n": len(recent)})
+
+
+class QosAnalyzer(Analyzer):
+    """Diagnoses latency-target violations and spare headroom."""
+
+    name = "qos-analyzer"
+
+    def __init__(self, config: IoQosConfig) -> None:
+        self.config = config
+
+    def analyze(self, observation: Observation, knowledge: KnowledgeBase) -> AnalysisReport:
+        worst = observation.values["deadline_p_latency"]
+        target = self.config.latency_target_s
+        symptoms = []
+        if worst > target:
+            severity = min(1.0, (worst - target) / target)
+            symptoms.append(
+                Symptom(
+                    "latency_violation",
+                    severity,
+                    evidence=f"worst recent latency {worst:.2f}s > target {target:.2f}s",
+                )
+            )
+        elif worst <= self.config.headroom_fraction * target:
+            symptoms.append(
+                Symptom("headroom", 0.1, evidence=f"worst latency {worst:.2f}s well under target")
+            )
+        return AnalysisReport(
+            observation.time,
+            self.name,
+            tuple(symptoms),
+            metrics={"worst_latency": worst, "fs_load": observation.values["fs_load"]},
+            confidence=min(1.0, observation.context.get("recent_n", 0) / self.config.recent_window),
+        )
+
+
+class AimdQosPlanner(Planner):
+    """AIMD over background tenants' sustained rates."""
+
+    name = "aimd-qos-planner"
+
+    def __init__(self, config: IoQosConfig, background_tenants: Sequence[str]) -> None:
+        self.config = config
+        self.background = list(background_tenants)
+
+    def plan(self, report: AnalysisReport, knowledge: KnowledgeBase) -> Plan:
+        cfg = self.config
+        actions = []
+        if report.has_symptom("latency_violation"):
+            for tenant in self.background:
+                current = knowledge.recall(f"rate:{tenant}", cfg.max_rate_mbps)
+                new_rate = max(cfg.min_rate_mbps, current * cfg.decrease_factor)
+                if new_rate < current:
+                    actions.append(
+                        Action(
+                            "set_qos_rate",
+                            tenant,
+                            params={"rate_mbps": new_rate},
+                            rationale=f"violation: throttle {tenant} {current:.0f}→{new_rate:.0f} MB/s",
+                        )
+                    )
+        elif report.has_symptom("headroom"):
+            for tenant in self.background:
+                current = knowledge.recall(f"rate:{tenant}", cfg.max_rate_mbps)
+                new_rate = min(cfg.max_rate_mbps, current + cfg.increase_mbps)
+                if new_rate > current:
+                    actions.append(
+                        Action(
+                            "set_qos_rate",
+                            tenant,
+                            params={"rate_mbps": new_rate},
+                            rationale=f"headroom: restore {tenant} {current:.0f}→{new_rate:.0f} MB/s",
+                        )
+                    )
+        rationale = "; ".join(a.rationale for a in actions)
+        return Plan(report.time, self.name, tuple(actions), report.confidence, rationale)
+
+
+class QosExecutor(Executor):
+    """Applies allocation changes through the filesystem's QoS manager."""
+
+    name = "qos-executor"
+
+    def __init__(self, fs: ParallelFileSystem, *, burst_factor_s: float = 2.0) -> None:
+        self.fs = fs
+        self.burst_factor_s = burst_factor_s
+
+    def execute(self, plan: Plan, knowledge: KnowledgeBase) -> List[ExecutionResult]:
+        now = self.fs.engine.now
+        results = []
+        for action in plan.actions:
+            if action.kind != "set_qos_rate":
+                results.append(ExecutionResult(action, now, honored=False, detail="unknown kind"))
+                continue
+            rate = action.param("rate_mbps")
+            burst = rate * self.burst_factor_s
+            self.fs.qos.set_allocation(action.target, rate, burst, now=now)
+            knowledge.remember(f"rate:{action.target}", rate)
+            results.append(
+                ExecutionResult(
+                    action, now, honored=True, detail=f"rate={rate:.0f} MB/s burst={burst:.0f} MB"
+                )
+            )
+        return results
+
+
+class IoQosManagerLoop:
+    """Assembled I/O-QoS autonomy loop over a filesystem and its tenants."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: ParallelFileSystem,
+        writers: Sequence[PeriodicWriter],
+        *,
+        config: Optional[IoQosConfig] = None,
+        audit: Optional[AuditTrail] = None,
+    ) -> None:
+        self.config = config if config is not None else IoQosConfig()
+        background = [
+            w.client_id for w in writers if w.client_id != self.config.deadline_tenant
+        ]
+        knowledge = KnowledgeBase()
+        self.loop = MAPEKLoop(
+            engine,
+            "io-qos-case",
+            monitor=IoLoadMonitor(fs, writers, self.config),
+            analyzer=QosAnalyzer(self.config),
+            planner=AimdQosPlanner(self.config, background),
+            executor=QosExecutor(fs),
+            knowledge=knowledge,
+            period_s=self.config.loop_period_s,
+            audit=audit,
+        )
+
+    def start(self) -> None:
+        self.loop.start()
+
+    def stop(self) -> None:
+        self.loop.stop()
+
+    @property
+    def adjustments(self) -> int:
+        return self.loop.actions_executed

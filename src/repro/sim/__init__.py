@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every other subsystem in this repository (cluster, storage, telemetry,
+MAPE-K loops) runs on top of this engine.  The engine is intentionally
+minimal: a time-ordered event queue with stable tie-breaking, periodic
+tasks, and named seeded random streams so that every experiment in the
+benchmark harness is exactly reproducible.
+"""
+
+from repro.sim.engine import Engine, Event, PeriodicTask, SimTimeError, StopSimulation
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Engine",
+    "Event",
+    "PeriodicTask",
+    "RngRegistry",
+    "SimTimeError",
+    "StopSimulation",
+]

@@ -1,0 +1,32 @@
+"""Parallel-filesystem substrate (Lustre-like).
+
+Models the managed system of the paper's OST and I/O-QoS use cases:
+object storage targets (OSTs) with health states, striped files, a
+shared-bandwidth contention model, token-bucket QoS shaping per tenant,
+and interference/tail-latency accounting.
+
+The actuator surface matches the paper: per-OST health is observable
+through achieved-bandwidth telemetry, files can be closed and re-opened
+on different OSTs (``restripe``), and QoS parameters are adjustable at
+run time.
+"""
+
+from repro.storage.ost import OST, OstState
+from repro.storage.qos import QoSManager, TokenBucket
+from repro.storage.filesystem import ParallelFileSystem, StripedFile, Transfer
+from repro.storage.client import AppIoClient, PeriodicWriter
+from repro.storage.interference import InterferenceReport, interference_report
+
+__all__ = [
+    "AppIoClient",
+    "InterferenceReport",
+    "OST",
+    "OstState",
+    "ParallelFileSystem",
+    "PeriodicWriter",
+    "QoSManager",
+    "StripedFile",
+    "TokenBucket",
+    "Transfer",
+    "interference_report",
+]

@@ -1,0 +1,129 @@
+"""Periodic I/O clients.
+
+``PeriodicWriter`` emulates an application's checkpoint-style write
+pattern: every ``period_s`` it writes ``size_mb`` to its striped file.
+It is the application side of the OST use case: the loop tells it to
+``avoid_osts`` and it closes/reopens (restripes) its file accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.sim.engine import Engine, PeriodicTask
+from repro.storage.filesystem import ParallelFileSystem, Transfer
+
+
+class AppIoClient:
+    """Adapter giving a cluster application a file on this filesystem.
+
+    Implements the ``write(size_mb, on_done)`` protocol that
+    :class:`repro.cluster.application.RunningApp` uses for its blocking
+    I/O phases; the file is created lazily on first write.
+    """
+
+    def __init__(
+        self,
+        fs: ParallelFileSystem,
+        client_id: str,
+        *,
+        stripe_count: int = 2,
+    ) -> None:
+        self.fs = fs
+        self.client_id = client_id
+        self.stripe_count = stripe_count
+        self._file = None
+        self.writes = 0
+
+    def write(self, size_mb: float, on_done: Callable[[Transfer], None]) -> None:
+        if self._file is None:
+            self._file = self.fs.create_file(
+                f"{self.client_id}-output", self.client_id, self.stripe_count
+            )
+        self.writes += 1
+        self.fs.write(self.client_id, self._file.name, size_mb, on_done)
+
+    @property
+    def file(self):
+        return self._file
+
+
+class PeriodicWriter:
+    """Writes ``size_mb`` every ``period_s`` through the filesystem.
+
+    Overlapping writes are skipped (a real app blocks on its I/O phase);
+    the skip count is visible for diagnostics.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: ParallelFileSystem,
+        client_id: str,
+        *,
+        size_mb: float = 512.0,
+        period_s: float = 60.0,
+        stripe_count: int = 2,
+        on_transfer: Optional[Callable[[Transfer], None]] = None,
+    ) -> None:
+        if size_mb <= 0:
+            raise ValueError("size_mb must be positive")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.engine = engine
+        self.fs = fs
+        self.client_id = client_id
+        self.size_mb = size_mb
+        self.period_s = period_s
+        self.on_transfer = on_transfer
+        self.file = fs.create_file(f"{client_id}-out", client_id, stripe_count)
+        self.transfers: List[Transfer] = []
+        self.skipped_writes = 0
+        self._in_flight = False
+        self._avoid: Set[str] = set()
+        self._restripe_pending = False
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self, *, start_at: Optional[float] = None) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError(f"writer {self.client_id} already started")
+        self._task = self.engine.every(
+            self.period_s, self._write_once, start_at=start_at, label=f"writer-{self.client_id}"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _write_once(self) -> None:
+        if self._in_flight:
+            self.skipped_writes += 1
+            return
+        if self._restripe_pending:
+            self.fs.restripe_file(self.file.name, avoid=self._avoid)
+            self._restripe_pending = False
+        self._in_flight = True
+        self.fs.write(self.client_id, self.file.name, self.size_mb, self._done)
+
+    def _done(self, transfer: Transfer) -> None:
+        self._in_flight = False
+        self.transfers.append(transfer)
+        if self.on_transfer is not None:
+            self.on_transfer(transfer)
+
+    # ------------------------------------------------------------ loop hook
+    def avoid_osts(self, osts: Set[str]) -> None:
+        """Close files on the given OSTs and reopen elsewhere (OST response).
+
+        The restripe happens just before the next write, mirroring an
+        application that finishes its current I/O phase first.
+        """
+        self._avoid = set(osts)
+        self._restripe_pending = True
+
+    def recent_bandwidth_mbps(self, n: int = 5) -> Optional[float]:
+        """Mean achieved bandwidth over the last ``n`` transfers."""
+        if not self.transfers:
+            return None
+        recent = self.transfers[-n:]
+        return sum(t.achieved_mbps for t in recent) / len(recent)

@@ -1,0 +1,256 @@
+"""Striped parallel filesystem with contention and QoS shaping.
+
+Write path: a transfer's physical bandwidth is the sum of fair shares
+across its file's stripe OSTs at start time (quasi-static approximation:
+the rate is fixed when the transfer begins).  QoS shaping adds a floor
+on duration from the tenant's token bucket.  The slower of the two
+governs.
+
+The filesystem exposes exactly the observables and hooks the OST and
+I/O-QoS loops need: per-OST achieved-bandwidth EWMAs and queue depths,
+per-client transfer logs (for tail latency), ``restripe_file`` (the
+close-and-reopen-elsewhere response), and the QoS manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.analytics.streaming import Ewma
+from repro.sim.engine import Engine
+from repro.storage.ost import OST, OstState
+from repro.storage.qos import QoSManager
+
+
+@dataclass
+class StripedFile:
+    """A file striped over a set of OSTs."""
+
+    name: str
+    owner: str
+    stripe_osts: List[str]
+    restripe_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.stripe_osts:
+            raise ValueError("file needs at least one stripe OST")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One completed write, for interference/tail-latency analysis."""
+
+    transfer_id: int
+    client: str
+    file_name: str
+    size_mb: float
+    t_start: float
+    t_end: float
+    physical_rate_mbps: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def achieved_mbps(self) -> float:
+        return self.size_mb / self.duration if self.duration > 0 else float("inf")
+
+
+class ParallelFileSystem:
+    """Lustre-like filesystem over a set of OSTs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        osts: Sequence[OST],
+        *,
+        qos: Optional[QoSManager] = None,
+        bandwidth_ewma_alpha: float = 0.3,
+    ) -> None:
+        if not osts:
+            raise ValueError("filesystem needs at least one OST")
+        self.engine = engine
+        self.osts: Dict[str, OST] = {o.ost_id: o for o in osts}
+        if len(self.osts) != len(osts):
+            raise ValueError("duplicate OST ids")
+        self.qos = qos if qos is not None else QoSManager()
+        self.files: Dict[str, StripedFile] = {}
+        self.transfers: List[Transfer] = []
+        self._transfer_ids = itertools.count()
+        self._placement_cursor = 0
+        self._ost_bw_ewma: Dict[str, Ewma] = {
+            o: Ewma(bandwidth_ewma_alpha) for o in self.osts
+        }
+        self.bytes_written_mb = 0.0
+
+    # ------------------------------------------------------------ placement
+    def create_file(
+        self,
+        name: str,
+        owner: str,
+        stripe_count: int = 2,
+        avoid: Optional[Set[str]] = None,
+    ) -> StripedFile:
+        """Create a file striped over ``stripe_count`` usable OSTs.
+
+        Placement is round-robin over usable OSTs excluding ``avoid``
+        (the paper's "explicitly request to avoid that OST" hook).
+        """
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        stripes = self._pick_osts(stripe_count, avoid or set())
+        f = StripedFile(name, owner, stripes)
+        self.files[name] = f
+        return f
+
+    def _pick_osts(self, stripe_count: int, avoid: Set[str]) -> List[str]:
+        if stripe_count <= 0:
+            raise ValueError("stripe_count must be positive")
+        clean = [o.ost_id for o in self.osts.values() if o.usable and o.ost_id not in avoid]
+        if len(clean) >= stripe_count:
+            picked = []
+            for i in range(stripe_count):
+                picked.append(clean[(self._placement_cursor + i) % len(clean)])
+            self._placement_cursor = (self._placement_cursor + stripe_count) % len(clean)
+            return picked
+        # avoidance is best-effort: fall back onto avoided-but-usable OSTs
+        # (highest effective rate first) rather than failing the reopen —
+        # only a true capacity shortage is an error
+        fallback = sorted(
+            (o for o in self.osts.values() if o.usable and o.ost_id in avoid),
+            key=lambda o: (-o.effective_rate_mbps, o.ost_id),
+        )
+        picked = clean + [o.ost_id for o in fallback[: stripe_count - len(clean)]]
+        if len(picked) < stripe_count:
+            raise ValueError(
+                f"cannot stripe over {stripe_count} OSTs: only {len(picked)} usable"
+            )
+        return picked
+
+    def restripe_file(self, name: str, avoid: Optional[Set[str]] = None) -> StripedFile:
+        """Close and reopen the file on different OSTs (the OST response)."""
+        f = self.files.get(name)
+        if f is None:
+            raise KeyError(f"unknown file {name!r}")
+        stripes = self._pick_osts(len(f.stripe_osts), avoid or set())
+        f.stripe_osts = stripes
+        f.restripe_count += 1
+        return f
+
+    # --------------------------------------------------------------- writes
+    def write(
+        self,
+        client: str,
+        file_name: str,
+        size_mb: float,
+        on_done: Optional[Callable[[Transfer], None]] = None,
+    ) -> float:
+        """Start a write; returns its projected duration in seconds.
+
+        The duration is ``max(physical, qos-shaped)``; the completion is
+        scheduled on the engine and ``on_done`` receives the
+        :class:`Transfer` record.
+        """
+        if size_mb <= 0:
+            raise ValueError("size_mb must be positive")
+        f = self.files.get(file_name)
+        if f is None:
+            raise KeyError(f"unknown file {file_name!r}")
+        now = self.engine.now
+        tid = next(self._transfer_ids)
+        stripe_osts = [self.osts[o] for o in f.stripe_osts if self.osts[o].usable]
+        if not stripe_osts:
+            raise RuntimeError(f"no usable OSTs for file {file_name!r}")
+        # each stripe carries an equal share; the write completes when the
+        # slowest stripe does (striping semantics), so a degraded OST
+        # bottlenecks the whole transfer
+        stripe_size = size_mb / len(stripe_osts)
+        shares = {o.ost_id: o.share_for_new_transfer() for o in stripe_osts}
+        physical_duration = max(stripe_size / share for share in shares.values())
+        physical_rate = size_mb / physical_duration
+        shaped_duration = self.qos.shaped_duration(client, size_mb, now)
+        duration = max(physical_duration, shaped_duration)
+        self.qos.consume(client, size_mb, now)
+        for o in stripe_osts:
+            o.active_transfers.add(tid)
+        # a QoS-shaped transfer only occupies the devices for its physical
+        # service time — shaping delays completion, it does not hog OSTs
+        self.engine.schedule(
+            min(physical_duration, duration),
+            self._release_osts,
+            tid,
+            list(shares),
+            label="fs-release",
+        )
+        self.engine.schedule(
+            duration,
+            self._finish_write,
+            tid,
+            client,
+            f,
+            size_mb,
+            now,
+            physical_rate,
+            shares,
+            on_done,
+            label="fs-write",
+        )
+        return duration
+
+    def _release_osts(self, tid: int, ost_ids: List[str]) -> None:
+        for ost_id in ost_ids:
+            ost = self.osts.get(ost_id)
+            if ost is not None:
+                ost.active_transfers.discard(tid)
+
+    def _finish_write(
+        self,
+        tid: int,
+        client: str,
+        f: StripedFile,
+        size_mb: float,
+        t_start: float,
+        physical_rate: float,
+        shares: Dict[str, float],
+        on_done: Optional[Callable[[Transfer], None]],
+    ) -> None:
+        now = self.engine.now
+        transfer = Transfer(tid, client, f.name, size_mb, t_start, now, physical_rate)
+        self.transfers.append(transfer)
+        self.bytes_written_mb += size_mb
+        stripe_size = size_mb / len(shares)
+        # attribute each OST the service rate it delivered while the data
+        # physically moved — NOT scaled by QoS shaping, which stretches the
+        # transfer for tenant-policy reasons that say nothing about device
+        # health (a throttled tenant must not make its OSTs look sick)
+        for ost_id, share in shares.items():
+            ost = self.osts.get(ost_id)
+            if ost is None:
+                continue
+            ost.bytes_written_mb += stripe_size
+            self._ost_bw_ewma[ost_id].update(share)
+        if on_done is not None:
+            on_done(transfer)
+
+    # -------------------------------------------------------------- sensing
+    def ost_bandwidth_mbps(self, ost_id: str) -> float:
+        """EWMA of recent achieved per-stripe bandwidth on an OST."""
+        return self._ost_bw_ewma[ost_id].value
+
+    def ost_pending_ops(self, ost_id: str) -> int:
+        return len(self.osts[ost_id].active_transfers)
+
+    def load_fraction(self) -> float:
+        """Aggregate demand proxy: active transfers per OST, clamped to 1."""
+        total_active = sum(len(o.active_transfers) for o in self.osts.values())
+        return min(1.0, total_active / max(1, len(self.osts)))
+
+    def client_transfers(self, client: str) -> List[Transfer]:
+        return [t for t in self.transfers if t.client == client]
+
+    # -------------------------------------------------------------- control
+    def set_ost_state(self, ost_id: str, state: OstState, degradation_factor: float = 1.0) -> None:
+        self.osts[ost_id].set_state(state, degradation_factor)

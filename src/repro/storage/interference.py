@@ -1,0 +1,72 @@
+"""I/O interference and tail-latency accounting.
+
+The I/O-QoS case targets "decrease interference, reduce tail latency,
+and provide more consistent results for deadline dependent workflows".
+This module turns a filesystem transfer log into exactly those numbers:
+per-client latency percentiles, slowdown vs. an isolation baseline, and
+consistency (coefficient of variation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.storage.filesystem import Transfer
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """Latency/interference summary for one client."""
+
+    client: str
+    n_transfers: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    cv: float  # coefficient of variation — the "consistency" metric
+    slowdown_vs_isolation: Optional[float]
+
+
+def _percentiles(durations: np.ndarray) -> tuple[float, float, float]:
+    return (
+        float(np.percentile(durations, 50)),
+        float(np.percentile(durations, 95)),
+        float(np.percentile(durations, 99)),
+    )
+
+
+def interference_report(
+    transfers: Sequence[Transfer],
+    client: str,
+    *,
+    isolation_duration_s: Optional[float] = None,
+) -> InterferenceReport:
+    """Build a report for ``client`` from a transfer log.
+
+    ``isolation_duration_s`` is the duration the same write would take on
+    an idle system (size / unshared bandwidth); when provided, mean
+    slowdown is reported.
+    """
+    durations = np.array([t.duration for t in transfers if t.client == client])
+    if durations.size == 0:
+        nan = float("nan")
+        return InterferenceReport(client, 0, nan, nan, nan, nan, nan, None)
+    mean = float(np.mean(durations))
+    p50, p95, p99 = _percentiles(durations)
+    cv = float(np.std(durations) / mean) if mean > 0 else float("nan")
+    slowdown = mean / isolation_duration_s if isolation_duration_s else None
+    return InterferenceReport(client, int(durations.size), mean, p50, p95, p99, cv, slowdown)
+
+
+def deadline_miss_rate(
+    transfers: Sequence[Transfer], client: str, deadline_s: float
+) -> Optional[float]:
+    """Fraction of the client's transfers exceeding ``deadline_s``."""
+    durations = [t.duration for t in transfers if t.client == client]
+    if not durations:
+        return None
+    return sum(1 for d in durations if d > deadline_s) / len(durations)

@@ -1,0 +1,59 @@
+"""Object storage targets.
+
+An OST serves data at ``nominal_rate_mbps`` when healthy; a degraded OST
+(failing disk, RAID rebuild, controller fault — the paper's "poorly
+performing OST") serves at a fraction of that.  Concurrent transfers
+share the effective rate equally (fair-share approximation of Lustre's
+request scheduling).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Set
+
+
+class OstState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+class OST:
+    """One object storage target."""
+
+    def __init__(self, ost_id: str, nominal_rate_mbps: float = 1000.0) -> None:
+        if nominal_rate_mbps <= 0:
+            raise ValueError("nominal_rate_mbps must be positive")
+        self.ost_id = ost_id
+        self.nominal_rate_mbps = nominal_rate_mbps
+        self.state = OstState.HEALTHY
+        self.degradation_factor = 1.0
+        self.active_transfers: Set[int] = set()  # transfer ids
+        self.bytes_written_mb = 0.0
+
+    @property
+    def effective_rate_mbps(self) -> float:
+        """Service rate accounting for health state."""
+        if self.state is OstState.FAILED:
+            return 0.0
+        if self.state is OstState.DEGRADED:
+            return self.nominal_rate_mbps * self.degradation_factor
+        return self.nominal_rate_mbps
+
+    @property
+    def usable(self) -> bool:
+        return self.state is not OstState.FAILED
+
+    def set_state(self, state: OstState, degradation_factor: float = 1.0) -> None:
+        if not 0.0 < degradation_factor <= 1.0 and state is OstState.DEGRADED:
+            raise ValueError("degradation_factor must be in (0, 1] when degrading")
+        self.state = state
+        self.degradation_factor = degradation_factor if state is OstState.DEGRADED else 1.0
+
+    def share_for_new_transfer(self) -> float:
+        """Bandwidth a new transfer would get on this OST right now."""
+        return self.effective_rate_mbps / (len(self.active_transfers) + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OST {self.ost_id} {self.state.value} active={len(self.active_transfers)}>"

@@ -1,0 +1,115 @@
+"""Token-bucket QoS shaping.
+
+The I/O-QoS use case adapts "QoS parameters based on the current
+application performance and system I/O load".  Each tenant owns a token
+bucket: ``rate_mbps`` is the sustained allocation, ``burst_mb`` the
+credit that absorbs short bursts.  The bucket answers the classic
+shaping question — how long must a transfer of S MB take under this
+allocation — and both parameters are adjustable at run time (the loop's
+actuator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class TokenBucket:
+    """Standard token bucket with lazy refill.
+
+    Invariants (property-tested):
+      * the level never exceeds ``burst_mb`` nor drops below 0,
+      * over any long window, consumption cannot exceed
+        ``rate_mbps * window + burst_mb``.
+    """
+
+    def __init__(self, rate_mbps: float, burst_mb: float, *, now: float = 0.0) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        if burst_mb < 0:
+            raise ValueError("burst_mb must be >= 0")
+        self.rate_mbps = rate_mbps
+        self.burst_mb = burst_mb
+        self._level = burst_mb  # start full
+        self._last_refill = now
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise ValueError(f"time went backwards: {now} < {self._last_refill}")
+        self._level = min(self.burst_mb, self._level + (now - self._last_refill) * self.rate_mbps)
+        self._last_refill = now
+
+    def level(self, now: float) -> float:
+        """Current credit in MB."""
+        self._refill(now)
+        return self._level
+
+    def shaped_duration(self, size_mb: float, now: float) -> float:
+        """Seconds the bucket needs to supply ``size_mb`` starting at ``now``."""
+        if size_mb < 0:
+            raise ValueError("size_mb must be >= 0")
+        self._refill(now)
+        deficit = size_mb - self._level
+        return max(0.0, deficit / self.rate_mbps)
+
+    def consume(self, size_mb: float, now: float) -> None:
+        """Debit ``size_mb``; the level may go negative transiently only
+        through :meth:`shaped_duration` timing, so clamp at zero here."""
+        if size_mb < 0:
+            raise ValueError("size_mb must be >= 0")
+        self._refill(now)
+        self._level = max(0.0, self._level - size_mb)
+
+    def set_rate(self, rate_mbps: float) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        self.rate_mbps = rate_mbps
+
+    def set_burst(self, burst_mb: float, now: float) -> None:
+        if burst_mb < 0:
+            raise ValueError("burst_mb must be >= 0")
+        self._refill(now)
+        self.burst_mb = burst_mb
+        self._level = min(self._level, burst_mb)
+
+
+class QoSManager:
+    """Per-tenant QoS allocations; tenants without a bucket are unshaped."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.adjustments = 0  # how many times a loop retuned parameters
+
+    def set_allocation(self, tenant: str, rate_mbps: float, burst_mb: float, *, now: float = 0.0) -> None:
+        existing = self._buckets.get(tenant)
+        if existing is None:
+            self._buckets[tenant] = TokenBucket(rate_mbps, burst_mb, now=now)
+        else:
+            existing.set_rate(rate_mbps)
+            existing.set_burst(burst_mb, now)
+        self.adjustments += 1
+
+    def remove_allocation(self, tenant: str) -> None:
+        self._buckets.pop(tenant, None)
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        return self._buckets.get(tenant)
+
+    def allocation(self, tenant: str) -> Optional[tuple[float, float]]:
+        b = self._buckets.get(tenant)
+        return (b.rate_mbps, b.burst_mb) if b is not None else None
+
+    def shaped_duration(self, tenant: str, size_mb: float, now: float) -> float:
+        """Shaping delay floor for a transfer; 0 for unshaped tenants."""
+        b = self._buckets.get(tenant)
+        if b is None:
+            return 0.0
+        return b.shaped_duration(size_mb, now)
+
+    def consume(self, tenant: str, size_mb: float, now: float) -> None:
+        b = self._buckets.get(tenant)
+        if b is not None:
+            b.consume(size_mb, now)
+
+    def tenants(self) -> list[str]:
+        return sorted(self._buckets)

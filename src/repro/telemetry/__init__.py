@@ -1,0 +1,50 @@
+"""Holistic monitoring substrate (the "Monitor" layer of Fig. 1).
+
+This package models a site telemetry stack of the LDMS / DCDB / Examon
+class: sensors exposing facility, hardware, system-software, and
+application metrics; periodic samplers with jitter, dropout, and overhead;
+a collector/aggregation tree with per-hop transport latency; and a
+NumPy-backed in-memory time-series store that the analytics layer queries.
+
+The stack deliberately reproduces the *operational* properties that gate
+autonomy-loop reaction time: finite sampling rates, collection latency,
+and metric cardinality.
+"""
+
+from repro.telemetry.metric import MetricCatalog, MetricKind, MetricSpec, SeriesKey
+from repro.telemetry.tsdb import RingBuffer, TimeSeriesStore
+from repro.telemetry.sensor import CallableSensor, Sensor
+from repro.telemetry.sampler import Sample, Sampler
+from repro.telemetry.collector import Aggregator, Collector, CollectionPipeline
+from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
+from repro.telemetry.synthetic import SyntheticSeriesSpec, render_series
+from repro.telemetry.derived import (
+    DerivedMetricSpec,
+    DerivedMetricsService,
+    standard_cluster_aggregates,
+)
+from repro.telemetry.overhead import MonitoringOverheadModel
+
+__all__ = [
+    "Aggregator",
+    "CallableSensor",
+    "CollectionPipeline",
+    "Collector",
+    "DerivedMetricSpec",
+    "DerivedMetricsService",
+    "MetricCatalog",
+    "MetricKind",
+    "MetricSpec",
+    "MonitoringOverheadModel",
+    "ProgressMarker",
+    "ProgressMarkerChannel",
+    "RingBuffer",
+    "Sample",
+    "Sampler",
+    "Sensor",
+    "SeriesKey",
+    "SyntheticSeriesSpec",
+    "TimeSeriesStore",
+    "render_series",
+    "standard_cluster_aggregates",
+]

@@ -1,0 +1,160 @@
+"""Collection pipeline: aggregation tree with transport latency.
+
+Production monitoring stacks forward samples through one or more
+aggregation hops before they land in queryable storage; the end-to-end
+delay is a hard floor on autonomy-loop reaction time.  The pipeline here
+models each hop as a fixed latency plus optional loss, and counts
+messages and bytes so experiment E1/E2 can report transport volume.
+
+Topology::
+
+    Sampler -> Aggregator (level N) -> ... -> Collector (root) -> TimeSeriesStore
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.telemetry.sampler import Sample
+from repro.telemetry.tsdb import TimeSeriesStore
+
+#: Approximate wire size of one encoded sample (metric id, ts, value, labels).
+SAMPLE_WIRE_BYTES = 64
+
+
+class Collector:
+    """Root of the pipeline: writes arriving samples into the store.
+
+    Samples are written ``ingest_latency`` seconds after submission,
+    modelling the final commit delay.  ``latest_arrival_lag`` reports the
+    observed end-to-end lag of the most recent batch for diagnostics.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: TimeSeriesStore,
+        *,
+        ingest_latency: float = 0.0,
+        name: str = "root-collector",
+    ) -> None:
+        if ingest_latency < 0:
+            raise ValueError("ingest_latency must be >= 0")
+        self.engine = engine
+        self.store = store
+        self.ingest_latency = ingest_latency
+        self.name = name
+        self.batches_received = 0
+        self.samples_ingested = 0
+        self.latest_arrival_lag = 0.0
+
+    def submit(self, samples: List[Sample]) -> None:
+        self.batches_received += 1
+        if self.ingest_latency > 0:
+            self.engine.schedule(self.ingest_latency, self._commit, samples, label=self.name)
+        else:
+            self._commit(samples)
+
+    def _commit(self, samples: List[Sample]) -> None:
+        now = self.engine.now
+        for s in samples:
+            self.store.insert(s.key, s.time, s.value)
+            self.samples_ingested += 1
+            self.latest_arrival_lag = now - s.time
+
+
+class Aggregator:
+    """Intermediate hop: forwards batches downstream after a delay.
+
+    ``loss_prob`` drops whole batches (network loss / agent crash);
+    ``fan_in`` is bookkeeping for topology reports.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        downstream,
+        *,
+        forward_latency: float = 0.05,
+        loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "aggregator",
+    ) -> None:
+        if forward_latency < 0:
+            raise ValueError("forward_latency must be >= 0")
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError("loss_prob must be within [0, 1]")
+        if loss_prob > 0 and rng is None:
+            raise ValueError("rng required when loss_prob is set")
+        self.engine = engine
+        self.downstream = downstream
+        self.forward_latency = forward_latency
+        self.loss_prob = loss_prob
+        self.rng = rng
+        self.name = name
+        self.batches_forwarded = 0
+        self.batches_lost = 0
+        self.bytes_forwarded = 0
+
+    def submit(self, samples: List[Sample]) -> None:
+        if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
+            self.batches_lost += 1
+            return
+        self.batches_forwarded += 1
+        self.bytes_forwarded += len(samples) * SAMPLE_WIRE_BYTES
+        if self.forward_latency > 0:
+            self.engine.schedule(self.forward_latency, self.downstream.submit, samples, label=self.name)
+        else:
+            self.downstream.submit(samples)
+
+
+class CollectionPipeline:
+    """Convenience builder for a two-level tree (rack aggregators → root).
+
+    ``build(n_groups)`` returns one aggregator per group, all feeding the
+    shared root collector.  Samplers attach to their group's aggregator.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: TimeSeriesStore,
+        *,
+        hop_latency: float = 0.05,
+        ingest_latency: float = 0.05,
+        loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.engine = engine
+        self.root = Collector(engine, store, ingest_latency=ingest_latency)
+        self.hop_latency = hop_latency
+        self.loss_prob = loss_prob
+        self.rng = rng
+        self.aggregators: List[Aggregator] = []
+
+    def build(self, n_groups: int) -> List[Aggregator]:
+        if n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        self.aggregators = [
+            Aggregator(
+                self.engine,
+                self.root,
+                forward_latency=self.hop_latency,
+                loss_prob=self.loss_prob,
+                rng=self.rng,
+                name=f"agg-{i}",
+            )
+            for i in range(n_groups)
+        ]
+        return self.aggregators
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Nominal pipeline delay (hop + ingest), excluding sampling period."""
+        return self.hop_latency + self.root.ingest_latency
+
+    def total_bytes(self) -> int:
+        return sum(a.bytes_forwarded for a in self.aggregators)

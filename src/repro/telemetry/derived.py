@@ -1,0 +1,95 @@
+"""Derived cluster-level metrics.
+
+Site dashboards and global autonomy loops consume *aggregates* (total
+power, mean utilization, queue depth), not per-node series.
+``DerivedMetricsService`` periodically computes configurable aggregates
+over the store's raw series and writes them back as first-class derived
+series — the "analysis products become data" pattern of production MODA
+stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class DerivedMetricSpec:
+    """One aggregate: source metric → ``agg`` over a window → output key."""
+
+    source_metric: str
+    agg: str  # any TimeSeriesStore aggregator: mean/sum/max/p95/...
+    output: SeriesKey
+    window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+class DerivedMetricsService:
+    """Computes derived series on a fixed cadence."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: TimeSeriesStore,
+        specs: List[DerivedMetricSpec],
+        *,
+        period_s: float = 60.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not specs:
+            raise ValueError("need at least one derived metric spec")
+        self.engine = engine
+        self.store = store
+        self.specs = list(specs)
+        self.period_s = period_s
+        self.samples_written = 0
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self, *, start_at: Optional[float] = None) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError("derived metrics service already started")
+        self._task = self.engine.every(
+            self.period_s, self._compute, start_at=start_at, label="derived-metrics"
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _compute(self) -> None:
+        now = self.engine.now
+        for spec in self.specs:
+            value = self.store.aggregate_across(
+                spec.source_metric, now - spec.window_s, now, spec.agg
+            )
+            if value is None:
+                continue
+            self.store.insert(spec.output, now, value)
+            self.samples_written += 1
+
+
+def standard_cluster_aggregates() -> List[DerivedMetricSpec]:
+    """The aggregates every site dashboard wants."""
+    return [
+        DerivedMetricSpec(
+            "node_power_watts", "sum", SeriesKey.of("cluster_power_watts"), window_s=60.0
+        ),
+        DerivedMetricSpec(
+            "node_cpu_util", "mean", SeriesKey.of("cluster_cpu_util"), window_s=60.0
+        ),
+        DerivedMetricSpec(
+            "node_cpu_util", "p95", SeriesKey.of("cluster_cpu_util_p95"), window_s=60.0
+        ),
+        DerivedMetricSpec(
+            "node_temp_celsius", "max", SeriesKey.of("cluster_temp_max"), window_s=60.0
+        ),
+    ]

@@ -1,0 +1,82 @@
+"""Application progress markers.
+
+The paper's Scheduler case monitors progress "via markers that could be
+output by an application (e.g., simulation time-step)", suggesting the
+application's rank 0 periodically drops its current time-step to a file
+or memory region.  :class:`ProgressMarkerChannel` emulates that side
+channel: applications ``emit`` markers, monitors ``read_since`` them.
+
+Markers are kept separate from the TSDB on purpose — in production they
+live in a job-private file, not the site telemetry store — but a bridge
+is provided for loops that prefer TSDB queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class ProgressMarker:
+    """One progress record: job, emission time, step count, optional total."""
+
+    job_id: str
+    time: float
+    step: float
+    total_steps: Optional[float] = None
+
+    @property
+    def fraction_done(self) -> Optional[float]:
+        if self.total_steps is None or self.total_steps <= 0:
+            return None
+        return min(1.0, self.step / self.total_steps)
+
+
+class ProgressMarkerChannel:
+    """Per-job append-only marker streams with cursor reads."""
+
+    def __init__(self, mirror_store: Optional[TimeSeriesStore] = None) -> None:
+        self._markers: Dict[str, List[ProgressMarker]] = {}
+        self._mirror = mirror_store
+        self.total_emitted = 0
+
+    def emit(self, marker: ProgressMarker) -> None:
+        stream = self._markers.setdefault(marker.job_id, [])
+        if stream and marker.time < stream[-1].time:
+            raise ValueError(
+                f"marker for job {marker.job_id} at t={marker.time} is older than "
+                f"last marker at t={stream[-1].time}"
+            )
+        stream.append(marker)
+        self.total_emitted += 1
+        if self._mirror is not None:
+            self._mirror.insert(
+                SeriesKey.of("job_progress_steps", job=marker.job_id), marker.time, marker.step
+            )
+
+    def read_all(self, job_id: str) -> List[ProgressMarker]:
+        return list(self._markers.get(job_id, ()))
+
+    def read_since(self, job_id: str, t: float) -> List[ProgressMarker]:
+        """Markers with ``time > t`` (exclusive cursor semantics)."""
+        return [m for m in self._markers.get(job_id, ()) if m.time > t]
+
+    def last(self, job_id: str) -> Optional[ProgressMarker]:
+        stream = self._markers.get(job_id)
+        return stream[-1] if stream else None
+
+    def jobs(self) -> List[str]:
+        return sorted(self._markers)
+
+    def drop_job(self, job_id: str) -> None:
+        """Discard a finished job's stream (bounded memory)."""
+        self._markers.pop(job_id, None)
+
+    def as_arrays(self, job_id: str) -> Tuple[List[float], List[float]]:
+        """(times, steps) lists for analytics convenience."""
+        stream = self._markers.get(job_id, ())
+        return [m.time for m in stream], [m.step for m in stream]

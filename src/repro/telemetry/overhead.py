@@ -1,0 +1,62 @@
+"""Monitoring overhead accounting.
+
+The paper's Section IV argues for co-locating analytics near compute; the
+perennial counterargument is monitoring overhead.  This model aggregates
+the simulated costs already tracked by samplers and aggregators into the
+two numbers operators ask for: fraction of node compute consumed, and
+network volume per node per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.telemetry.collector import Aggregator
+from repro.telemetry.sampler import Sampler
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Aggregated monitoring cost over an observation window."""
+
+    window_s: float
+    n_agents: int
+    cpu_seconds: float
+    cpu_fraction_per_agent: float
+    bytes_total: int
+    bytes_per_agent_per_s: float
+    samples_emitted: int
+    samples_dropped: int
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.samples_emitted + self.samples_dropped
+        return self.samples_dropped / total if total else 0.0
+
+
+class MonitoringOverheadModel:
+    """Collects overhead from pipeline components into an :class:`OverheadReport`."""
+
+    def __init__(self, samplers: Iterable[Sampler], aggregators: Iterable[Aggregator]) -> None:
+        self.samplers = list(samplers)
+        self.aggregators = list(aggregators)
+
+    def report(self, window_s: float) -> OverheadReport:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        n = max(1, len(self.samplers))
+        cpu = sum(s.overhead_cpu_s for s in self.samplers)
+        emitted = sum(s.samples_emitted for s in self.samplers)
+        dropped = sum(s.samples_dropped for s in self.samplers)
+        nbytes = sum(a.bytes_forwarded for a in self.aggregators)
+        return OverheadReport(
+            window_s=window_s,
+            n_agents=len(self.samplers),
+            cpu_seconds=cpu,
+            cpu_fraction_per_agent=cpu / (n * window_s),
+            bytes_total=nbytes,
+            bytes_per_agent_per_s=nbytes / (n * window_s),
+            samples_emitted=emitted,
+            samples_dropped=dropped,
+        )

@@ -1,0 +1,129 @@
+"""Periodic samplers.
+
+A sampler owns a set of sensors on one "agent" (typically one node),
+polls them every ``period`` seconds with optional jitter, and emits
+:class:`Sample` records into a :class:`~repro.telemetry.collector.Collector`.
+Dropout models agent-side sample loss; the overhead model accounts for
+the compute the agent steals from the host (Fig. 1 feasibility, E1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.sensor import Sensor
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One collected data point travelling through the pipeline."""
+
+    key: SeriesKey
+    time: float
+    value: float
+
+
+class Sampler:
+    """Polls sensors periodically and forwards samples downstream.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine providing time and scheduling.
+    sink:
+        Any object with ``submit(samples: list[Sample]) -> None``.
+    period:
+        Sampling period in seconds.
+    jitter_std:
+        Std-dev of Gaussian jitter applied to each firing (seconds).
+    dropout_prob:
+        Probability an entire sampling round is lost before submission.
+    per_sample_cost_s:
+        Simulated CPU seconds consumed per sensor read (overhead model).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: "SampleSink",
+        *,
+        period: float = 1.0,
+        jitter_std: float = 0.0,
+        dropout_prob: float = 0.0,
+        per_sample_cost_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "sampler",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= dropout_prob <= 1.0:
+            raise ValueError("dropout_prob must be within [0, 1]")
+        if (jitter_std > 0 or dropout_prob > 0) and rng is None:
+            raise ValueError("rng required when jitter_std or dropout_prob is set")
+        self.engine = engine
+        self.sink = sink
+        self.period = period
+        self.jitter_std = jitter_std
+        self.dropout_prob = dropout_prob
+        self.per_sample_cost_s = per_sample_cost_s
+        self.rng = rng
+        self.name = name
+        self._sensors: List[Sensor] = []
+        self._task: Optional[PeriodicTask] = None
+        self.samples_emitted = 0
+        self.samples_dropped = 0
+        self.overhead_cpu_s = 0.0
+
+    def add_sensor(self, sensor: Sensor) -> None:
+        self._sensors.append(sensor)
+
+    def add_sensors(self, sensors: Iterable[Sensor]) -> None:
+        for s in sensors:
+            self.add_sensor(s)
+
+    @property
+    def sensor_count(self) -> int:
+        return len(self._sensors)
+
+    def start(self, *, start_at: Optional[float] = None) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError(f"sampler {self.name!r} already started")
+        jitter_fn = None
+        if self.jitter_std > 0:
+            jitter_fn = lambda: float(self.rng.normal(0.0, self.jitter_std))
+        self._task = self.engine.every(
+            self.period, self._collect_round, start_at=start_at, jitter_fn=jitter_fn, label=self.name
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _collect_round(self) -> None:
+        now = self.engine.now
+        batch: List[Sample] = []
+        for sensor in self._sensors:
+            value = sensor.read(now)
+            self.overhead_cpu_s += self.per_sample_cost_s
+            if value is None:
+                continue
+            batch.append(Sample(sensor.key, now, value))
+        if not batch:
+            return
+        if self.dropout_prob > 0 and self.rng.random() < self.dropout_prob:
+            self.samples_dropped += len(batch)
+            return
+        self.samples_emitted += len(batch)
+        self.sink.submit(batch)
+
+
+class SampleSink:
+    """Minimal sink interface (duck-typed; this class is documentation)."""
+
+    def submit(self, samples: List[Sample]) -> None:  # pragma: no cover
+        raise NotImplementedError

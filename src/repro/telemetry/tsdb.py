@@ -1,0 +1,283 @@
+"""In-memory time-series store backed by NumPy ring buffers.
+
+The store is the "K-adjacent" raw-data layer of the MODA stack: samplers
+append points, analytics issue window queries, downsampling, and rate
+computations.  Design goals, in order:
+
+1. **Append speed** — a single ``O(1)`` write into a pre-allocated pair of
+   arrays (insert rate is the storage concern called out in Section IV of
+   the paper).
+2. **Query as arrays** — window queries return NumPy views/copies that the
+   analytics layer consumes without further conversion.
+3. **Bounded memory** — fixed per-series capacity with overwrite-oldest
+   semantics, matching production ring-buffer collectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.metric import SeriesKey
+
+_AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": np.mean,
+    "min": np.min,
+    "max": np.max,
+    "sum": np.sum,
+    "last": lambda a: float(a[-1]),
+    "count": lambda a: float(a.size),
+    "p50": lambda a: float(np.percentile(a, 50)),
+    "p95": lambda a: float(np.percentile(a, 95)),
+    "p99": lambda a: float(np.percentile(a, 99)),
+}
+
+
+class RingBuffer:
+    """Fixed-capacity (timestamp, value) ring buffer.
+
+    Timestamps must be appended in non-decreasing order (the collection
+    pipeline guarantees arrival-order per series); violating this raises,
+    because silently unsorted buffers would corrupt window queries.
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_head", "_count", "_written")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._times = np.empty(self.capacity, dtype=np.float64)
+        self._values = np.empty(self.capacity, dtype=np.float64)
+        self._head = 0  # next write position
+        self._count = 0  # valid entries
+        self._written = 0  # total appends ever
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_appended(self) -> int:
+        """Total points ever appended (including overwritten ones)."""
+        return self._written
+
+    def append(self, t: float, v: float) -> None:
+        if self._count and t < self.last_time():
+            raise ValueError(
+                f"out-of-order append: t={t} < last={self.last_time()}"
+            )
+        self._times[self._head] = t
+        self._values[self._head] = v
+        self._head = (self._head + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        self._written += 1
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Bulk append of already-sorted arrays."""
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise ValueError("times and values must have the same shape")
+        if times.size == 0:
+            return
+        if np.any(np.diff(times) < 0):
+            raise ValueError("bulk append requires sorted timestamps")
+        if self._count and times[0] < self.last_time():
+            raise ValueError("bulk append overlaps existing data")
+        n = times.size
+        if n >= self.capacity:
+            # Only the trailing window survives.
+            self._times[:] = times[-self.capacity:]
+            self._values[:] = values[-self.capacity:]
+            self._head = 0
+            self._count = self.capacity
+            self._written += n
+            return
+        end = self._head + n
+        if end <= self.capacity:
+            self._times[self._head:end] = times
+            self._values[self._head:end] = values
+        else:
+            split = self.capacity - self._head
+            self._times[self._head:] = times[:split]
+            self._values[self._head:] = values[:split]
+            self._times[: end % self.capacity] = times[split:]
+            self._values[: end % self.capacity] = values[split:]
+        self._head = end % self.capacity
+        self._count = min(self._count + n, self.capacity)
+        self._written += n
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All stored points in time order as ``(times, values)`` copies."""
+        if self._count < self.capacity:
+            return self._times[: self._count].copy(), self._values[: self._count].copy()
+        idx = np.arange(self._head, self._head + self.capacity) % self.capacity
+        return self._times[idx], self._values[idx]
+
+    def last_time(self) -> float:
+        if self._count == 0:
+            raise IndexError("empty ring buffer")
+        return float(self._times[(self._head - 1) % self.capacity])
+
+    def last_value(self) -> float:
+        if self._count == 0:
+            raise IndexError("empty ring buffer")
+        return float(self._values[(self._head - 1) % self.capacity])
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Points with ``t0 <= t <= t1`` in time order."""
+        times, values = self.arrays()
+        lo = np.searchsorted(times, t0, side="left")
+        hi = np.searchsorted(times, t1, side="right")
+        return times[lo:hi], values[lo:hi]
+
+
+@dataclass
+class SeriesStats:
+    """Summary statistics for one series over a window (query helper)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def from_values(values: np.ndarray) -> "SeriesStats":
+        if values.size == 0:
+            return SeriesStats(0, float("nan"), float("nan"), float("nan"), float("nan"))
+        return SeriesStats(
+            int(values.size),
+            float(np.mean(values)),
+            float(np.std(values)),
+            float(np.min(values)),
+            float(np.max(values)),
+        )
+
+
+class TimeSeriesStore:
+    """Map of :class:`SeriesKey` → :class:`RingBuffer` with query helpers."""
+
+    def __init__(self, default_capacity: int = 4096) -> None:
+        if default_capacity <= 0:
+            raise ValueError("default_capacity must be positive")
+        self.default_capacity = int(default_capacity)
+        self._series: Dict[SeriesKey, RingBuffer] = {}
+        self._capacity_overrides: Dict[str, int] = {}
+        self.total_inserts = 0
+
+    # ------------------------------------------------------------ management
+    def set_capacity(self, metric: str, capacity: int) -> None:
+        """Per-metric capacity override applied to new series."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity_overrides[metric] = int(capacity)
+
+    def _buffer(self, key: SeriesKey) -> RingBuffer:
+        buf = self._series.get(key)
+        if buf is None:
+            cap = self._capacity_overrides.get(key.metric, self.default_capacity)
+            buf = RingBuffer(cap)
+            self._series[key] = buf
+        return buf
+
+    # --------------------------------------------------------------- writing
+    def insert(self, key: SeriesKey, t: float, value: float) -> None:
+        self._buffer(key).append(t, value)
+        self.total_inserts += 1
+
+    def insert_batch(self, key: SeriesKey, times: np.ndarray, values: np.ndarray) -> None:
+        self._buffer(key).extend(times, values)
+        self.total_inserts += int(np.asarray(times).size)
+
+    # --------------------------------------------------------------- reading
+    def has(self, key: SeriesKey) -> bool:
+        buf = self._series.get(key)
+        return buf is not None and len(buf) > 0
+
+    def series_keys(self, metric: Optional[str] = None) -> list[SeriesKey]:
+        keys = (k for k in self._series if metric is None or k.metric == metric)
+        return sorted(keys, key=str)
+
+    def cardinality(self) -> int:
+        """Number of distinct live series (the Section IV design concern)."""
+        return len(self._series)
+
+    def latest(self, key: SeriesKey) -> Optional[Tuple[float, float]]:
+        buf = self._series.get(key)
+        if buf is None or len(buf) == 0:
+            return None
+        return buf.last_time(), buf.last_value()
+
+    def query(self, key: SeriesKey, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Window query; empty arrays when the series is absent."""
+        buf = self._series.get(key)
+        if buf is None:
+            return np.empty(0), np.empty(0)
+        return buf.window(t0, t1)
+
+    def stats(self, key: SeriesKey, t0: float, t1: float) -> SeriesStats:
+        _, values = self.query(key, t0, t1)
+        return SeriesStats.from_values(values)
+
+    def rate(self, key: SeriesKey, t0: float, t1: float) -> Optional[float]:
+        """Average per-second increase over a window (for COUNTER metrics)."""
+        times, values = self.query(key, t0, t1)
+        if times.size < 2 or times[-1] == times[0]:
+            return None
+        return float((values[-1] - values[0]) / (times[-1] - times[0]))
+
+    def downsample(
+        self,
+        key: SeriesKey,
+        t0: float,
+        t1: float,
+        step: float,
+        agg: str = "mean",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregate the window into ``step``-second bins.
+
+        Returns bin-start times and aggregated values; empty bins are
+        dropped (matching PromQL-style range-vector semantics).
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        try:
+            fn = _AGGREGATORS[agg]
+        except KeyError:
+            raise ValueError(f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}") from None
+        times, values = self.query(key, t0, t1)
+        if times.size == 0:
+            return np.empty(0), np.empty(0)
+        bins = np.floor((times - t0) / step).astype(np.int64)
+        out_t, out_v = [], []
+        for b in np.unique(bins):
+            mask = bins == b
+            out_t.append(t0 + b * step)
+            out_v.append(fn(values[mask]))
+        return np.asarray(out_t, dtype=np.float64), np.asarray(out_v, dtype=np.float64)
+
+    def aggregate_across(
+        self,
+        metric: str,
+        t0: float,
+        t1: float,
+        agg: str = "mean",
+    ) -> Optional[float]:
+        """Aggregate all points of all series of one metric over a window."""
+        try:
+            fn = _AGGREGATORS[agg]
+        except KeyError:
+            raise ValueError(f"unknown aggregator {agg!r}") from None
+        chunks = []
+        for key in self._series:
+            if key.metric != metric:
+                continue
+            _, values = self.query(key, t0, t1)
+            if values.size:
+                chunks.append(values)
+        if not chunks:
+            return None
+        return float(fn(np.concatenate(chunks)))

@@ -1,0 +1,40 @@
+"""Workload generation and trace datasets.
+
+Synthetic-but-calibrated job populations for the experiments: application
+archetypes with realistic variability, Poisson job arrivals with user
+walltime misestimation (the phenomenon the Scheduler case exists to
+absorb), resubmission policies, and exportable trace datasets (the
+paper's open-datasets commitment, methodology question iii).
+"""
+
+from repro.workloads.archetypes import (
+    ArchetypeSpec,
+    adaptive_mesh_app,
+    io_heavy_app,
+    ml_training_app,
+    simulation_app,
+    standard_mix,
+)
+from repro.workloads.generator import (
+    MisestimationModel,
+    ResubmitPolicy,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.workloads.traces import export_job_trace, export_marker_dataset, load_job_trace
+
+__all__ = [
+    "ArchetypeSpec",
+    "MisestimationModel",
+    "ResubmitPolicy",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "adaptive_mesh_app",
+    "export_job_trace",
+    "export_marker_dataset",
+    "io_heavy_app",
+    "load_job_trace",
+    "ml_training_app",
+    "simulation_app",
+    "standard_mix",
+]

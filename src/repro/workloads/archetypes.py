@@ -1,0 +1,111 @@
+"""Application archetypes.
+
+Each archetype is a factory drawing a randomized
+:class:`~repro.cluster.application.ApplicationProfile` from a
+distribution that mimics one class of HPC workload:
+
+* ``simulation_app`` — steady iterative solver (LAMMPS/CFD-like) with
+  mild step-rate noise.
+* ``adaptive_mesh_app`` — refinement phases slow the step rate as the
+  run progresses (the forecasting stress case).
+* ``ml_training_app`` — GPU training; epochs as steps; large checkpoint.
+* ``io_heavy_app`` — periodic heavy output phases (couples to storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.application import ApplicationProfile, PhaseChange
+
+
+@dataclass(frozen=True)
+class ArchetypeSpec:
+    """A named archetype with a sampling weight."""
+
+    name: str
+    factory: Callable[[np.random.Generator], ApplicationProfile]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+def simulation_app(rng: np.random.Generator) -> ApplicationProfile:
+    """Steady iterative simulation: runtime ~ lognormal hours."""
+    runtime_s = float(rng.lognormal(mean=np.log(3600.0), sigma=0.5))
+    rate = float(rng.uniform(0.5, 4.0))  # steps/s
+    return ApplicationProfile(
+        name="simulation",
+        total_steps=runtime_s * rate,
+        base_step_rate=rate,
+        rate_noise_std=float(rng.uniform(0.02, 0.10)),
+        marker_period_s=30.0,
+        checkpoint_cost_s=float(rng.uniform(30.0, 120.0)),
+    )
+
+
+def adaptive_mesh_app(rng: np.random.Generator) -> ApplicationProfile:
+    """AMR-style run: the mesh refines and steps get slower over time."""
+    runtime_s = float(rng.lognormal(mean=np.log(5400.0), sigma=0.4))
+    rate = float(rng.uniform(0.5, 2.0))
+    slow1 = float(rng.uniform(0.5, 0.8))
+    slow2 = slow1 * float(rng.uniform(0.5, 0.9))
+    phases = (
+        PhaseChange(float(rng.uniform(0.3, 0.5)), slow1),
+        PhaseChange(float(rng.uniform(0.6, 0.8)), slow2),
+    )
+    return ApplicationProfile(
+        name="adaptive-mesh",
+        total_steps=runtime_s * rate,
+        base_step_rate=rate,
+        rate_noise_std=float(rng.uniform(0.05, 0.15)),
+        phases=phases,
+        marker_period_s=30.0,
+        checkpoint_cost_s=float(rng.uniform(60.0, 180.0)),
+    )
+
+
+def ml_training_app(rng: np.random.Generator) -> ApplicationProfile:
+    """GPU training run: epoch markers, chunky checkpoints."""
+    epochs = float(rng.integers(50, 400))
+    epoch_s = float(rng.uniform(20.0, 120.0))
+    return ApplicationProfile(
+        name="ml-training",
+        total_steps=epochs,
+        base_step_rate=1.0 / epoch_s,
+        rate_noise_std=float(rng.uniform(0.02, 0.08)),
+        marker_period_s=max(30.0, epoch_s),
+        checkpoint_cost_s=float(rng.uniform(60.0, 240.0)),
+        uses_gpu=True,
+    )
+
+
+def io_heavy_app(rng: np.random.Generator) -> ApplicationProfile:
+    """Output-dominated workload with periodic heavy writes."""
+    runtime_s = float(rng.lognormal(mean=np.log(2700.0), sigma=0.4))
+    rate = float(rng.uniform(1.0, 3.0))
+    return ApplicationProfile(
+        name="io-heavy",
+        total_steps=runtime_s * rate,
+        base_step_rate=rate,
+        rate_noise_std=float(rng.uniform(0.05, 0.12)),
+        marker_period_s=30.0,
+        checkpoint_cost_s=float(rng.uniform(120.0, 300.0)),
+        io_every_s=float(rng.uniform(300.0, 900.0)),
+        io_size_mb=float(rng.uniform(512.0, 4096.0)),
+    )
+
+
+def standard_mix() -> List[ArchetypeSpec]:
+    """The default job mix used across experiments."""
+    return [
+        ArchetypeSpec("simulation", simulation_app, weight=0.45),
+        ArchetypeSpec("adaptive-mesh", adaptive_mesh_app, weight=0.25),
+        ArchetypeSpec("ml-training", ml_training_app, weight=0.15),
+        ArchetypeSpec("io-heavy", io_heavy_app, weight=0.15),
+    ]

@@ -1,0 +1,192 @@
+"""Job arrival generation with walltime misestimation and resubmission.
+
+Users systematically misestimate walltimes; the generator models the
+requested walltime as the true nominal runtime scaled by a lognormal
+factor.  Under-estimates (factor < 1 after safety behaviour) are the
+jobs the Scheduler loop rescues; over-estimates create the backfill
+slack the trust metrics care about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.job import Job, JobState
+from repro.cluster.scheduler import Scheduler
+from repro.sim.engine import Engine
+from repro.workloads.archetypes import ArchetypeSpec, standard_mix
+
+
+@dataclass
+class MisestimationModel:
+    """Requested walltime = nominal runtime × lognormal(mu, sigma) factor.
+
+    ``mu`` < 0 biases toward underestimation.  The factor is clipped to
+    ``[min_factor, max_factor]``; a floor walltime avoids degenerate
+    requests.
+    """
+
+    mu: float = 0.0
+    sigma: float = 0.35
+    min_factor: float = 0.4
+    max_factor: float = 4.0
+    floor_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.min_factor <= 0 or self.max_factor < self.min_factor:
+            raise ValueError("need 0 < min_factor <= max_factor")
+
+    def request_for(self, nominal_runtime_s: float, rng: np.random.Generator) -> float:
+        factor = float(np.exp(rng.normal(self.mu, self.sigma)))
+        factor = min(self.max_factor, max(self.min_factor, factor))
+        return max(self.floor_s, nominal_runtime_s * factor)
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape of a generated workload."""
+
+    n_jobs: int = 50
+    arrival_rate_per_s: float = 1.0 / 120.0
+    mix: Sequence[ArchetypeSpec] = field(default_factory=standard_mix)
+    misestimation: MisestimationModel = field(default_factory=MisestimationModel)
+    max_nodes_per_job: int = 4
+    user_pool: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ValueError("n_jobs must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if not self.mix:
+            raise ValueError("mix must be non-empty")
+
+
+class WorkloadGenerator:
+    """Submits a Poisson stream of jobs drawn from the archetype mix."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        rng: np.random.Generator,
+        spec: Optional[WorkloadSpec] = None,
+        *,
+        id_prefix: str = "job",
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler
+        self.rng = rng
+        self.spec = spec if spec is not None else WorkloadSpec()
+        self.id_prefix = id_prefix
+        self.jobs: List[Job] = []
+        self._weights = np.array([a.weight for a in self.spec.mix], dtype=float)
+        self._weights /= self._weights.sum()
+        self._counter = itertools.count()
+
+    def start(self) -> None:
+        """Schedule all arrivals up front (Poisson process)."""
+        t = 0.0
+        for _ in range(self.spec.n_jobs):
+            t += float(self.rng.exponential(1.0 / self.spec.arrival_rate_per_s))
+            self.engine.schedule_at(
+                max(t, self.engine.now), self._submit_one, label="workload-arrival"
+            )
+
+    def _submit_one(self) -> None:
+        job = self.make_job()
+        self.jobs.append(job)
+        self.scheduler.submit(job)
+
+    def make_job(self) -> Job:
+        spec = self.spec
+        idx = int(self.rng.choice(len(spec.mix), p=self._weights))
+        profile = spec.mix[idx].factory(self.rng)
+        nominal = profile.nominal_runtime_s()
+        walltime = spec.misestimation.request_for(nominal, self.rng)
+        n_nodes = int(self.rng.integers(1, spec.max_nodes_per_job + 1))
+        user = f"user{int(self.rng.integers(spec.user_pool))}"
+        return Job(
+            f"{self.id_prefix}-{next(self._counter):04d}",
+            user,
+            profile,
+            n_nodes=n_nodes,
+            walltime_request_s=walltime,
+        )
+
+    def underestimated_jobs(self) -> List[Job]:
+        """Jobs whose request was below their nominal runtime."""
+        return [
+            j for j in self.jobs if j.walltime_request_s < j.profile.nominal_runtime_s()
+        ]
+
+
+class ResubmitPolicy:
+    """Resubmits lost jobs, restarting from checkpoints when available.
+
+    Mirrors user behaviour after a timeout or maintenance kill: resubmit
+    the same work (new job id), with the same — typically still wrong —
+    walltime request, restarting from the newest checkpoint.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        *,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        max_resubmits_per_job: int = 2,
+        resubmit_delay_s: float = 300.0,
+        resubmit_states: Sequence[JobState] = (
+            JobState.TIMEOUT,
+            JobState.KILLED_MAINTENANCE,
+        ),
+    ) -> None:
+        if max_resubmits_per_job < 0:
+            raise ValueError("max_resubmits_per_job must be >= 0")
+        self.engine = engine
+        self.scheduler = scheduler
+        self.checkpoint_store = checkpoint_store
+        self.max_resubmits_per_job = max_resubmits_per_job
+        self.resubmit_delay_s = resubmit_delay_s
+        self.resubmit_states = frozenset(resubmit_states)
+        self.resubmissions = 0
+        self._attempts: Dict[str, int] = {}
+        self._origin: Dict[str, str] = {}  # resubmitted id -> original id
+        scheduler.on_job_end.append(self._job_ended)
+
+    def _root_id(self, job_id: str) -> str:
+        return self._origin.get(job_id, job_id)
+
+    def _job_ended(self, job: Job) -> None:
+        if job.state not in self.resubmit_states:
+            return
+        root = self._root_id(job.job_id)
+        attempts = self._attempts.get(root, 0)
+        if attempts >= self.max_resubmits_per_job:
+            return
+        self._attempts[root] = attempts + 1
+        restart_step = 0.0
+        if self.checkpoint_store is not None:
+            restart_step = self.checkpoint_store.restart_step(job.user, job.profile.name)
+        new_id = f"{root}-r{attempts + 1}"
+        self._origin[new_id] = root
+        clone = Job(
+            new_id,
+            job.user,
+            job.profile,
+            n_nodes=job.n_nodes,
+            walltime_request_s=job.walltime_request_s,
+            priority=job.priority,
+            launch=job.launch,
+            restart_step=restart_step,
+        )
+        self.resubmissions += 1
+        self.engine.schedule(
+            self.resubmit_delay_s, self.scheduler.submit, clone, label="resubmit"
+        )

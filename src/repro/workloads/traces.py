@@ -1,0 +1,96 @@
+"""Trace datasets — the open-data answer to methodology question iii.
+
+The paper commits to "release the exploratory datasets used to gain
+insight into the variation of progress markers and run-time variation
+as open datasets".  These helpers export exactly those two datasets
+from a simulation — a job outcome trace and a progress-marker dataset —
+as plain CSV, and load them back.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.cluster.job import Job
+from repro.telemetry.markers import ProgressMarkerChannel
+
+JOB_TRACE_FIELDS = [
+    "job_id",
+    "user",
+    "app_name",
+    "n_nodes",
+    "submit_time",
+    "start_time",
+    "end_time",
+    "walltime_request_s",
+    "time_limit_s",
+    "state",
+    "final_step",
+    "total_steps",
+    "extensions",
+    "extension_seconds",
+]
+
+
+def export_job_trace(jobs: Iterable[Job], path: Union[str, Path]) -> int:
+    """Write a job outcome trace as CSV; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=JOB_TRACE_FIELDS)
+        writer.writeheader()
+        for job in jobs:
+            writer.writerow(
+                {
+                    "job_id": job.job_id,
+                    "user": job.user,
+                    "app_name": job.profile.name,
+                    "n_nodes": job.n_nodes,
+                    "submit_time": f"{job.submit_time:.3f}",
+                    "start_time": "" if job.start_time is None else f"{job.start_time:.3f}",
+                    "end_time": "" if job.end_time is None else f"{job.end_time:.3f}",
+                    "walltime_request_s": f"{job.walltime_request_s:.3f}",
+                    "time_limit_s": f"{job.time_limit_s:.3f}",
+                    "state": job.state.value,
+                    "final_step": "" if job.final_step is None else f"{job.final_step:.3f}",
+                    "total_steps": f"{job.profile.total_steps:.3f}",
+                    "extensions": job.extension_count,
+                    "extension_seconds": f"{job.total_extension_s:.3f}",
+                }
+            )
+            rows += 1
+    return rows
+
+
+def load_job_trace(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """Read a job trace CSV back as a list of string dicts."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def export_marker_dataset(
+    channel: ProgressMarkerChannel,
+    path: Union[str, Path],
+    job_ids: Sequence[str] = (),
+) -> int:
+    """Write the progress-marker dataset as CSV; returns the row count."""
+    path = Path(path)
+    ids = list(job_ids) if job_ids else channel.jobs()
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["job_id", "time", "step", "total_steps"])
+        for job_id in ids:
+            for marker in channel.read_all(job_id):
+                writer.writerow(
+                    [
+                        marker.job_id,
+                        f"{marker.time:.3f}",
+                        f"{marker.step:.3f}",
+                        "" if marker.total_steps is None else f"{marker.total_steps:.3f}",
+                    ]
+                )
+                rows += 1
+    return rows

@@ -1,0 +1,180 @@
+"""Tests for anomaly detectors and changepoint detection."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.anomaly import (
+    CusumDetector,
+    EwmaControlChart,
+    MadDetector,
+    ZScoreDetector,
+)
+from repro.analytics.changepoint import PageHinkley
+
+
+def feed(detector, values, t0=0.0, dt=1.0):
+    """Feed values; return list of (index, anomaly)."""
+    out = []
+    for i, v in enumerate(values):
+        a = detector.update(t0 + i * dt, float(v))
+        if a is not None:
+            out.append((i, a))
+    return out
+
+
+def quiet_then_spike(n_quiet=100, spike=50.0, rng=None, noise=1.0):
+    rng = rng or np.random.default_rng(0)
+    base = rng.normal(10.0, noise, size=n_quiet)
+    return np.concatenate([base, [10.0 + spike]])
+
+
+class TestZScoreDetector:
+    def test_detects_spike(self):
+        det = ZScoreDetector(window=50, threshold=4.0)
+        hits = feed(det, quiet_then_spike())
+        assert len(hits) == 1
+        idx, anomaly = hits[0]
+        assert idx == 100
+        assert anomaly.score > 4.0
+        assert anomaly.kind == "zscore"
+
+    def test_no_false_positives_on_quiet_signal(self):
+        rng = np.random.default_rng(1)
+        det = ZScoreDetector(window=50, threshold=5.0)
+        hits = feed(det, rng.normal(10, 1, size=1000))
+        assert len(hits) <= 2  # ~5-sigma events are vanishingly rare
+
+    def test_cold_start_suppressed(self):
+        det = ZScoreDetector(window=50, threshold=3.0)
+        # huge jump during warmup must not fire
+        hits = feed(det, [1.0] * 10 + [100.0])
+        assert hits == []
+
+    def test_level_shift_keeps_firing(self):
+        rng = np.random.default_rng(2)
+        det = ZScoreDetector(window=20, threshold=4.0)
+        values = list(rng.normal(10, 0.5, 30)) + [50.0] * 5
+        hits = feed(det, values)
+        # anomalous values never enter the window, so every shifted
+        # sample keeps firing
+        shifted_hits = [i for i, _ in hits if i >= 30]
+        assert shifted_hits == [30, 31, 32, 33, 34]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ZScoreDetector(threshold=0.0)
+
+
+class TestMadDetector:
+    def test_detects_spike_with_contaminated_window(self):
+        rng = np.random.default_rng(3)
+        det = MadDetector(window=50, threshold=6.0)
+        base = list(rng.normal(10, 1, size=60))
+        base[30] = 100.0  # prior outlier inside the window
+        base.append(200.0)
+        hits = feed(det, base)
+        assert any(i == 60 for i, _ in hits)
+
+    def test_quiet_signal_clean(self):
+        rng = np.random.default_rng(4)
+        det = MadDetector(window=50, threshold=8.0)
+        hits = feed(det, rng.normal(0, 1, size=500))
+        assert len(hits) <= 1
+
+
+class TestEwmaControlChart:
+    def test_detects_drift(self):
+        rng = np.random.default_rng(5)
+        det = EwmaControlChart(alpha=0.2, L=3.5, warmup=50)
+        quiet = rng.normal(10, 1, size=100)
+        drifted = rng.normal(14, 1, size=50)  # 4-sigma mean shift
+        hits = feed(det, np.concatenate([quiet, drifted]))
+        # detection must land shortly after the shift begins; occasional
+        # boundary noise before is tolerated but must be rare
+        in_shift = [i for i, _ in hits if i >= 100]
+        assert in_shift and in_shift[0] <= 120
+        assert len([i for i, _ in hits if i < 100]) <= 2
+
+    def test_quiet_signal_mostly_clean(self):
+        rng = np.random.default_rng(6)
+        det = EwmaControlChart(alpha=0.2, L=3.5, warmup=50)
+        hits = feed(det, rng.normal(10, 1, size=500))
+        assert len(hits) < 10
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            EwmaControlChart(warmup=1)
+
+
+class TestCusumDetector:
+    def test_detects_small_persistent_shift(self):
+        rng = np.random.default_rng(7)
+        det = CusumDetector(k=0.5, h=5.0, warmup=50)
+        quiet = rng.normal(10, 1, size=200)
+        shifted = rng.normal(11.5, 1, size=100)  # 1.5 sigma shift
+        hits = feed(det, np.concatenate([quiet, shifted]))
+        # detection shortly after the shift; rare boundary alarms tolerated
+        in_shift = [i for i, _ in hits if i >= 200]
+        assert in_shift and in_shift[0] <= 230
+        assert len([i for i, _ in hits if i < 200]) <= 2
+
+    def test_detects_downward_shift(self):
+        rng = np.random.default_rng(8)
+        det = CusumDetector(k=0.5, h=5.0, warmup=50)
+        data = np.concatenate([rng.normal(10, 1, 200), rng.normal(8, 1, 100)])
+        hits = feed(det, data)
+        assert hits
+        assert "down" in hits[0][1].detail
+
+    def test_resets_after_alarm(self):
+        rng = np.random.default_rng(9)
+        det = CusumDetector(k=0.5, h=4.0, warmup=30)
+        data = np.concatenate(
+            [rng.normal(10, 1, 100), rng.normal(14, 1, 50), rng.normal(14, 1, 50)]
+        )
+        hits = feed(det, data)
+        assert len(hits) >= 2  # fires, resets, fires again on sustained shift
+
+
+class TestPageHinkley:
+    def test_detects_mean_increase(self):
+        rng = np.random.default_rng(10)
+        ph = PageHinkley(delta=0.05, threshold=20.0)
+        data = np.concatenate([rng.normal(5, 0.5, 200), rng.normal(8, 0.5, 100)])
+        cps = [ph.update(float(i), v) for i, v in enumerate(data)]
+        detections = [c for c in cps if c is not None]
+        assert detections
+        first = detections[0]
+        assert first.direction == "up"
+        assert first.time >= 200
+
+    def test_detects_mean_decrease(self):
+        rng = np.random.default_rng(11)
+        ph = PageHinkley(delta=0.05, threshold=20.0)
+        data = np.concatenate([rng.normal(5, 0.5, 200), rng.normal(2, 0.5, 100)])
+        detections = [c for i, v in enumerate(data) if (c := ph.update(float(i), v))]
+        assert detections
+        assert detections[0].direction == "down"
+
+    def test_stationary_signal_no_detection(self):
+        rng = np.random.default_rng(12)
+        ph = PageHinkley(delta=0.1, threshold=50.0)
+        detections = [
+            c for i, v in enumerate(rng.normal(5, 0.5, 2000)) if (c := ph.update(float(i), v))
+        ]
+        assert detections == []
+
+    def test_resets_after_detection(self):
+        rng = np.random.default_rng(13)
+        ph = PageHinkley(delta=0.02, threshold=10.0)
+        data = np.concatenate(
+            [rng.normal(0, 0.2, 100), rng.normal(3, 0.2, 100), rng.normal(6, 0.2, 100)]
+        )
+        detections = [c for i, v in enumerate(data) if (c := ph.update(float(i), v))]
+        assert len(detections) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)

@@ -1,0 +1,70 @@
+"""Tests for behavioral fingerprints."""
+
+import math
+
+import pytest
+
+from repro.analytics.fingerprint import (
+    BehaviorFingerprint,
+    fingerprint_distance,
+    fingerprint_from_store,
+)
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def test_fingerprint_from_store_summaries():
+    store = TimeSeriesStore()
+    k = SeriesKey.of("node_cpu_util", node="n1")
+    for t, v in enumerate([0.5, 0.6, 0.7, 0.8]):
+        store.insert(k, float(t), v)
+    fp = fingerprint_from_store(store, "j1", "lmp", 0, 10, {"cpu": k})
+    assert fp.get("cpu_mean") == pytest.approx(0.65)
+    assert fp.get("cpu_p95") == pytest.approx(0.785)
+    assert "cpu_std" in fp.features
+
+
+def test_fingerprint_missing_series_empty_features():
+    store = TimeSeriesStore()
+    fp = fingerprint_from_store(
+        store, "j1", "lmp", 0, 10, {"cpu": SeriesKey.of("node_cpu_util", node="nope")}
+    )
+    assert fp.features == {}
+
+
+def test_distance_zero_for_identical():
+    a = BehaviorFingerprint("a", "app", {"x": 1.0, "y": 2.0})
+    b = BehaviorFingerprint("b", "app", {"x": 1.0, "y": 2.0})
+    assert fingerprint_distance(a, b) == pytest.approx(0.0)
+
+
+def test_distance_positive_for_different():
+    a = BehaviorFingerprint("a", "app", {"x": 1.0})
+    b = BehaviorFingerprint("b", "app", {"x": 2.0})
+    assert fingerprint_distance(a, b) > 0.0
+
+
+def test_distance_inf_without_shared_features():
+    a = BehaviorFingerprint("a", "app", {"x": 1.0})
+    b = BehaviorFingerprint("b", "app", {"y": 1.0})
+    assert math.isinf(fingerprint_distance(a, b))
+
+
+def test_distance_uses_scales():
+    a = BehaviorFingerprint("a", "app", {"x": 0.0})
+    b = BehaviorFingerprint("b", "app", {"x": 10.0})
+    d_raw = fingerprint_distance(a, b)
+    d_scaled = fingerprint_distance(a, b, scales={"x": 100.0})
+    assert d_scaled < d_raw
+
+
+def test_distance_only_shared_features_counted():
+    a = BehaviorFingerprint("a", "app", {"x": 1.0, "only_a": 99.0})
+    b = BehaviorFingerprint("b", "app", {"x": 1.0, "only_b": -99.0})
+    assert fingerprint_distance(a, b) == pytest.approx(0.0)
+
+
+def test_get_default():
+    fp = BehaviorFingerprint("a", "app", {})
+    assert math.isnan(fp.get("missing"))
+    assert fp.get("missing", 5.0) == 5.0

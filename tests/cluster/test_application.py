@@ -1,0 +1,244 @@
+"""Tests for application profiles and running-app simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.application import (
+    ApplicationProfile,
+    LaunchConfig,
+    PhaseChange,
+    RunningApp,
+)
+from repro.sim import Engine
+from repro.telemetry.markers import ProgressMarkerChannel
+
+
+def profile(**overrides):
+    defaults = dict(
+        name="mini-app",
+        total_steps=1000.0,
+        base_step_rate=1.0,  # 1000 s nominal runtime
+        marker_period_s=30.0,
+        checkpoint_cost_s=50.0,
+    )
+    defaults.update(overrides)
+    return ApplicationProfile(**defaults)
+
+
+def run_app(prof, until, *, cores=32, launch=None, channel=None, start_step=0.0, engine=None):
+    eng = engine or Engine()
+    done = []
+    app = RunningApp(
+        eng,
+        "j1",
+        prof,
+        cores=cores,
+        launch=launch,
+        channel=channel,
+        on_complete=lambda a: done.append(eng.now),
+        start_step=start_step,
+    )
+    app.start()
+    eng.run(until=until)
+    return app, done, eng
+
+
+class TestApplicationProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile(total_steps=0)
+        with pytest.raises(ValueError):
+            profile(base_step_rate=0)
+        with pytest.raises(ValueError):
+            profile(marker_period_s=0)
+
+    def test_phases_must_be_sorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            profile(phases=(PhaseChange(0.5, 2.0), PhaseChange(0.2, 1.0)))
+
+    def test_phase_multiplier_segments(self):
+        p = profile(phases=(PhaseChange(0.5, 2.0), PhaseChange(0.8, 0.5)))
+        assert p.phase_multiplier(0.0) == 1.0
+        assert p.phase_multiplier(0.49) == 1.0
+        assert p.phase_multiplier(0.5) == 2.0
+        assert p.phase_multiplier(0.79) == 2.0
+        assert p.phase_multiplier(0.9) == 0.5
+
+    def test_nominal_runtime_without_phases(self):
+        assert profile().nominal_runtime_s() == pytest.approx(1000.0)
+
+    def test_nominal_runtime_with_phases(self):
+        # first half at rate 1, second half at rate 2 → 500 + 250
+        p = profile(phases=(PhaseChange(0.5, 2.0),))
+        assert p.nominal_runtime_s() == pytest.approx(750.0)
+
+
+class TestLaunchConfig:
+    def test_default_is_nominal(self):
+        assert LaunchConfig().compute_multiplier(32, uses_gpu=False) == 1.0
+
+    def test_undersubscription(self):
+        cfg = LaunchConfig(threads=8)
+        assert cfg.compute_multiplier(32, uses_gpu=False) == pytest.approx(0.25)
+
+    def test_oversubscription_penalty(self):
+        cfg = LaunchConfig(threads=64)
+        assert cfg.compute_multiplier(32, uses_gpu=False) == pytest.approx(0.5 * 0.8)
+
+    def test_gpu_offload_disabled(self):
+        cfg = LaunchConfig(gpu_offload_enabled=False)
+        assert cfg.compute_multiplier(32, uses_gpu=True) == pytest.approx(0.2)
+        assert cfg.compute_multiplier(32, uses_gpu=False) == 1.0
+
+    def test_missing_library(self):
+        cfg = LaunchConfig(library_paths=("generic",), expected_libraries=("site-blas",))
+        assert cfg.compute_multiplier(32, uses_gpu=False) == pytest.approx(0.6)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(threads=-1).compute_multiplier(32, uses_gpu=False)
+
+
+class TestRunningApp:
+    def test_completes_at_nominal_runtime(self):
+        app, done, eng = run_app(profile(), until=2000.0)
+        assert app.completed
+        assert done == [pytest.approx(1000.0)]
+        assert app.steps_done == 1000.0
+
+    def test_markers_emitted_on_cadence(self):
+        ch = ProgressMarkerChannel()
+        app, _, _ = run_app(profile(), until=100.0, channel=ch)
+        markers = ch.read_all("j1")
+        times = [m.time for m in markers]
+        assert times[:4] == [0.0, 30.0, 60.0, 90.0]
+        steps = [m.step for m in markers]
+        assert steps == sorted(steps)
+
+    def test_final_marker_at_completion(self):
+        ch = ProgressMarkerChannel()
+        app, _, _ = run_app(profile(), until=2000.0, channel=ch)
+        last = ch.last("j1")
+        assert last.step == 1000.0
+        assert last.time == pytest.approx(1000.0)
+
+    def test_misconfigured_launch_slows_progress(self):
+        slow_launch = LaunchConfig(threads=8)  # 0.25x on 32 cores
+        app, done, _ = run_app(profile(), until=8000.0, launch=slow_launch)
+        assert done == [pytest.approx(4000.0)]
+
+    def test_restart_from_checkpoint_step(self):
+        app, done, _ = run_app(profile(), until=2000.0, start_step=500.0)
+        assert done == [pytest.approx(500.0)]  # only half the work left
+
+    def test_stop_freezes_progress(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32)
+        app.start()
+        eng.run(until=400.0)
+        final = app.stop()
+        assert final == pytest.approx(400.0, rel=0.01)
+        eng.run(until=1000.0)
+        assert app.steps_done == final
+        assert not app.completed
+
+    def test_external_multiplier_slows(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32)
+        app.start()
+        eng.schedule(500.0, app.set_external_multiplier, 0.5)
+        eng.run(until=3000.0)
+        # 500 steps at rate 1.0, then 500 steps at 0.5 → total 1500 s
+        assert app.completed
+        assert app.steps_done == 1000.0
+
+    def test_phase_change_affects_rate(self):
+        p = profile(phases=(PhaseChange(0.5, 2.0),))
+        app, done, _ = run_app(p, until=2000.0)
+        assert done == [pytest.approx(750.0, rel=0.01)]
+
+    def test_checkpoint_pauses_and_records(self):
+        eng = Engine()
+        records = []
+        app = RunningApp(
+            eng,
+            "j1",
+            profile(),
+            cores=32,
+            on_checkpoint=lambda a, step: records.append((eng.now, step)),
+        )
+        app.start()
+        eng.schedule(300.0, app.begin_checkpoint)
+        eng.run(until=3000.0)
+        assert len(records) == 1
+        ckpt_time, ckpt_step = records[0]
+        assert ckpt_time == pytest.approx(350.0)  # 300 + 50 cost
+        assert ckpt_step == pytest.approx(300.0, rel=0.01)
+        assert app.last_checkpoint_step == ckpt_step
+        # completion delayed by the checkpoint cost
+        assert app.completed
+
+    def test_checkpoint_unsupported(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(supports_checkpoint=False), cores=32)
+        app.start()
+        assert app.begin_checkpoint() is False
+
+    def test_kill_during_checkpoint_loses_it(self):
+        eng = Engine()
+        records = []
+        app = RunningApp(
+            eng, "j1", profile(), cores=32, on_checkpoint=lambda a, s: records.append(s)
+        )
+        app.start()
+        eng.schedule(300.0, app.begin_checkpoint)
+        eng.schedule(320.0, app.stop)  # mid-checkpoint
+        eng.run(until=1000.0)
+        assert records == []
+        assert app.last_checkpoint_step == 0.0
+
+    def test_thread_fix_speeds_up(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32, launch=LaunchConfig(threads=8))
+        app.start()
+        eng.schedule(1000.0, app.apply_thread_fix, 32)
+        eng.run(until=5000.0)
+        # 1000 s at 0.25 rate = 250 steps; remaining 750 at rate 1 → done at 1750
+        assert app.completed
+        assert eng.now >= 1750.0
+
+    def test_noise_requires_rng_else_deterministic(self):
+        app, done, _ = run_app(profile(rate_noise_std=0.5), until=2000.0)
+        assert done == [pytest.approx(1000.0)]  # no rng → no noise applied
+
+    def test_noisy_progress_still_completes(self):
+        eng = Engine()
+        rng = np.random.default_rng(1)
+        app = RunningApp(eng, "j1", profile(rate_noise_std=0.2), cores=32, rng=rng)
+        app.start()
+        eng.run(until=5000.0)
+        assert app.completed
+        assert app.steps_done == 1000.0
+
+    def test_double_start_raises(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32)
+        app.start()
+        with pytest.raises(RuntimeError):
+            app.start()
+
+    def test_progress_fraction(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32)
+        app.start()
+        eng.run(until=250.0)
+        app._advance(eng.now)
+        assert app.progress_fraction == pytest.approx(0.25, rel=0.02)
+
+    def test_remaining_seconds_nominal(self):
+        eng = Engine()
+        app = RunningApp(eng, "j1", profile(), cores=32)
+        app.start()
+        eng.run(until=400.0)
+        app._advance(eng.now)
+        assert app.remaining_seconds_nominal() == pytest.approx(600.0, rel=0.02)

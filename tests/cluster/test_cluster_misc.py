@@ -1,0 +1,262 @@
+"""Tests for nodes, jobs, power, checkpoints, maintenance, failures, facade."""
+
+import pytest
+
+from repro.cluster.application import ApplicationProfile
+from repro.cluster.checkpoint import CheckpointRecord, CheckpointStore
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureInjector
+from repro.cluster.job import Job, JobState
+from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
+from repro.cluster.node import Node, NodeSpec, NodeState
+from repro.cluster.power import PowerModel
+from repro.cluster.scheduler import Scheduler
+from repro.sim import Engine, RngRegistry
+from repro.telemetry.metric import SeriesKey
+
+
+def prof(runtime=500.0):
+    return ApplicationProfile("app", runtime, 1.0, marker_period_s=50.0)
+
+
+class TestNode:
+    def test_assign_release_accounting(self):
+        n = Node("n0", NodeSpec())
+        n.assign("j1", now=10.0)
+        assert n.is_busy and not n.is_allocatable
+        n.release(now=60.0)
+        assert n.busy_seconds == 50.0
+        assert n.is_allocatable
+
+    def test_double_assign_raises(self):
+        n = Node("n0", NodeSpec())
+        n.assign("j1", 0.0)
+        with pytest.raises(RuntimeError):
+            n.assign("j2", 1.0)
+
+    def test_release_idle_raises(self):
+        with pytest.raises(RuntimeError):
+            Node("n0", NodeSpec()).release(0.0)
+
+    def test_down_node_not_allocatable(self):
+        n = Node("n0", NodeSpec())
+        n.state = NodeState.DOWN
+        assert not n.is_allocatable
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(idle_watts=500, peak_watts=100)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job("j", "u", prof(), n_nodes=0)
+        with pytest.raises(ValueError):
+            Job("j", "u", prof(), walltime_request_s=0)
+        with pytest.raises(ValueError):
+            Job("j", "u", prof(), restart_step=-1)
+
+    def test_extension_bookkeeping(self):
+        j = Job("j", "u", prof(), walltime_request_s=1000.0)
+        j.record_extension(300.0, 300.0, time=500.0)
+        j.record_extension(300.0, 0.0, time=700.0)  # denied
+        j.record_extension(400.0, 200.0, time=800.0)  # shortened
+        assert j.extension_count == 2
+        assert j.total_extension_s == 500.0
+        assert j.time_limit_s == 1500.0
+        assert j.extensions[1].denied
+        assert j.extensions[2].shortened
+
+    def test_derived_times(self):
+        j = Job("j", "u", prof(), walltime_request_s=1000.0, submit_time=100.0)
+        assert j.wait_time is None
+        j.start_time = 150.0
+        assert j.wait_time == 50.0
+        assert j.deadline == 1150.0
+        j.end_time = 500.0
+        assert j.runtime == 350.0
+        assert j.node_seconds() == 350.0
+
+
+class TestPowerModel:
+    def test_idle_and_peak(self):
+        pm = PowerModel()
+        n = Node("n0", NodeSpec(idle_watts=100, peak_watts=500))
+        assert pm.node_power(n, 0.0) == 100.0
+        assert pm.node_power(n, 1.0) == 500.0
+        assert pm.node_power(n, 0.5) == 300.0
+
+    def test_down_node_zero_power(self):
+        pm = PowerModel()
+        n = Node("n0", NodeSpec())
+        n.state = NodeState.DOWN
+        assert pm.node_power(n, 1.0) == 0.0
+
+    def test_util_clamped(self):
+        pm = PowerModel()
+        n = Node("n0", NodeSpec(idle_watts=100, peak_watts=500))
+        assert pm.node_power(n, 2.0) == 500.0
+        assert pm.node_power(n, -1.0) == 100.0
+
+    def test_cluster_power(self):
+        pm = PowerModel()
+        nodes = [Node(f"n{i}", NodeSpec(idle_watts=100, peak_watts=500)) for i in range(3)]
+        total = pm.cluster_power(nodes, lambda n: 0.0)
+        assert total == 300.0
+
+
+class TestCheckpointStore:
+    def test_newest_wins(self):
+        store = CheckpointStore()
+        store.save(CheckpointRecord("j1", "u", "app", step=100.0, time=10.0))
+        store.save(CheckpointRecord("j2", "u", "app", step=200.0, time=20.0))
+        assert store.latest("u", "app").step == 200.0
+        assert store.restart_step("u", "app") == 200.0
+
+    def test_missing_returns_zero(self):
+        assert CheckpointStore().restart_step("u", "app") == 0.0
+
+    def test_discard(self):
+        store = CheckpointStore()
+        store.save(CheckpointRecord("j1", "u", "app", 100.0, 10.0))
+        store.discard("u", "app")
+        assert store.latest("u", "app") is None
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointRecord("j", "u", "a", step=-1.0, time=0.0)
+
+
+class TestMaintenance:
+    def _setup(self, announce_lead=500.0):
+        eng = Engine()
+        nodes = [Node(f"n{i}", NodeSpec()) for i in range(2)]
+        sched = Scheduler(eng, nodes)
+        mgr = MaintenanceManager(eng, sched)
+        return eng, sched, mgr
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            MaintenanceEvent(frozenset({"n0"}), 100.0, duration_s=0.0)
+
+    def test_unknown_nodes_rejected(self):
+        eng, sched, mgr = self._setup()
+        with pytest.raises(ValueError, match="unknown nodes"):
+            mgr.schedule_event(MaintenanceEvent(frozenset({"zz"}), 100.0, 50.0))
+
+    def test_running_job_killed_at_window_start(self):
+        eng, sched, mgr = self._setup()
+        job = Job("j1", "u", prof(runtime=5000.0), walltime_request_s=6000.0)
+        sched.submit(job)
+        mgr.schedule_event(
+            MaintenanceEvent(frozenset({"n0", "n1"}), 1000.0, 500.0, announce_lead_s=200.0)
+        )
+        eng.run(until=3000.0)
+        assert job.state is JobState.KILLED_MAINTENANCE
+        assert mgr.jobs_killed_by_maintenance == 1
+
+    def test_nodes_recover_after_window(self):
+        eng, sched, mgr = self._setup()
+        mgr.schedule_event(MaintenanceEvent(frozenset({"n0"}), 100.0, 50.0, announce_lead_s=50.0))
+        eng.run(until=120.0)
+        assert sched.nodes["n0"].state is NodeState.MAINTENANCE
+        eng.run(until=200.0)
+        assert sched.nodes["n0"].state is NodeState.UP
+
+    def test_announcement_fires_hooks_and_reserves(self):
+        eng, sched, mgr = self._setup()
+        announced = []
+        mgr.on_announce.append(announced.append)
+        mgr.schedule_event(
+            MaintenanceEvent(frozenset({"n0"}), 1000.0, 500.0, announce_lead_s=400.0)
+        )
+        eng.run(until=700.0)
+        assert len(announced) == 1
+        assert len(sched.reservations) == 1
+        assert sched.reservations[0].t_start == 1000.0
+
+    def test_new_jobs_avoid_reserved_window(self):
+        eng, sched, mgr = self._setup()
+        mgr.schedule_event(
+            MaintenanceEvent(frozenset({"n0", "n1"}), 500.0, 500.0, announce_lead_s=500.0)
+        )
+        eng.run(until=10.0)
+        # job would overlap the window → must wait until after maintenance
+        job = Job("j1", "u", prof(runtime=600.0), walltime_request_s=800.0)
+        sched.submit(job)
+        eng.run(until=5000.0)
+        assert job.start_time >= 1000.0
+        assert job.state is JobState.COMPLETED
+
+
+class TestFailureInjector:
+    def test_failures_injected_and_repaired(self):
+        eng = Engine()
+        nodes = [Node(f"n{i}", NodeSpec()) for i in range(4)]
+        sched = Scheduler(eng, nodes)
+        rng = RngRegistry(seed=3).stream("fail")
+        inj = FailureInjector(
+            eng, sched, rng, mtbf_node_s=1000.0, repair_time_s=100.0
+        )
+        inj.start()
+        eng.run(until=2000.0)
+        assert len(inj.records) > 0
+        # by the horizon, early failures have been repaired
+        assert any(n.state is NodeState.UP for n in nodes)
+
+    def test_validation(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        rng = RngRegistry(seed=0).stream("f")
+        with pytest.raises(ValueError):
+            FailureInjector(eng, sched, rng, mtbf_node_s=0.0)
+
+    def test_stop_halts_injection(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node(f"n{i}", NodeSpec()) for i in range(4)])
+        rng = RngRegistry(seed=4).stream("f")
+        inj = FailureInjector(eng, sched, rng, mtbf_node_s=500.0, repair_time_s=50.0)
+        inj.start()
+        eng.run(until=1000.0)
+        count = len(inj.records)
+        inj.stop()
+        eng.run(until=5000.0)
+        assert len(inj.records) == count
+
+
+class TestClusterFacade:
+    def test_assembly_and_job_flow(self):
+        eng = Engine()
+        cluster = Cluster(eng, ClusterConfig(n_nodes=4, telemetry_period_s=50.0))
+        job = Job("j1", "u", prof(runtime=300.0), walltime_request_s=500.0)
+        cluster.submit(job)
+        cluster.run(until=1000.0)
+        assert job.state is JobState.COMPLETED
+        # telemetry flowed into the store
+        key = SeriesKey.of("node_cpu_util", node="n0000")
+        times, values = cluster.store.query(key, 0, 1000)
+        assert times.size > 0
+        assert values.max() > 0.5  # busy while the job ran
+
+    def test_progress_markers_mirrored(self):
+        eng = Engine()
+        cluster = Cluster(eng, ClusterConfig(n_nodes=2))
+        job = Job("j1", "u", prof(runtime=300.0), walltime_request_s=500.0)
+        cluster.submit(job)
+        cluster.run(until=1000.0)
+        key = SeriesKey.of("job_progress_steps", job="j1")
+        times, steps = cluster.store.query(key, 0, 1000)
+        assert steps[-1] == 300.0
+
+    def test_telemetry_disabled(self):
+        eng = Engine()
+        cluster = Cluster(eng, ClusterConfig(n_nodes=2, enable_telemetry=False))
+        assert cluster.samplers == []
+        assert cluster.pipeline is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=0)

@@ -1,0 +1,138 @@
+"""Edge-case tests for scheduler reservations, extensions, and accounting."""
+
+import math
+
+import pytest
+
+from repro.cluster.application import ApplicationProfile
+from repro.cluster.job import Job, JobState
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Reservation, Scheduler
+from repro.sim import Engine
+
+
+def prof(runtime=1000.0, **kw):
+    defaults = dict(marker_period_s=100.0)
+    defaults.update(kw)
+    return ApplicationProfile("app", runtime, 1.0, **defaults)
+
+
+class TestReservationEdges:
+    def test_reservation_validation(self):
+        with pytest.raises(ValueError):
+            Reservation(frozenset({"n0"}), 100.0, 100.0)  # empty window
+
+    def test_reservation_unknown_node(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        with pytest.raises(ValueError, match="unknown"):
+            sched.add_reservation(Reservation(frozenset({"zz"}), 10.0, 20.0))
+
+    def test_job_fits_exactly_before_reservation(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        sched.add_reservation(Reservation(frozenset({"n0"}), 1000.0, 2000.0))
+        # walltime 1000 → window [0, 1000) does not intersect [1000, 2000)
+        job = Job("j1", "u", prof(runtime=500.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.run(until=5000.0)
+        assert job.start_time == 0.0
+        assert job.state is JobState.COMPLETED
+
+    def test_job_overlapping_reservation_waits(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        sched.add_reservation(Reservation(frozenset({"n0"}), 500.0, 1500.0))
+        job = Job("j1", "u", prof(runtime=600.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.run(until=5000.0)
+        assert job.start_time >= 1500.0
+        assert job.state is JobState.COMPLETED
+
+    def test_extension_cap_uses_earliest_reservation(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        job = Job("j1", "u", prof(runtime=5000.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.run(until=1.0)
+        sched.add_reservation(Reservation(frozenset({"n0"}), 2000.0, 3000.0))
+        sched.add_reservation(Reservation(frozenset({"n0"}), 1400.0, 1600.0))
+        responses = []
+        eng.schedule(900.0, lambda: responses.append(sched.request_extension("j1", 5000.0)))
+        eng.run(until=1200.0)
+        # deadline 1000; earliest conflicting reservation starts at 1400
+        assert responses[0].granted_s == pytest.approx(400.0)
+
+    def test_reservation_on_other_nodes_does_not_cap(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec()), Node("n1", NodeSpec())])
+        job = Job("j1", "u", prof(runtime=5000.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.run(until=1.0)
+        other = "n1" if job.assigned_nodes == ["n0"] else "n0"
+        sched.add_reservation(Reservation(frozenset({other}), 1200.0, 2000.0))
+        responses = []
+        eng.schedule(900.0, lambda: responses.append(sched.request_extension("j1", 500.0)))
+        eng.run(until=1200.0)
+        assert responses[0].granted_s == 500.0
+
+
+class TestExtensionEdges:
+    def test_nonpositive_request_denied(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        job = Job("j1", "u", prof(runtime=5000.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.run(until=1.0)
+        response = sched.request_extension("j1", 0.0)
+        assert response.denied
+        assert "non-positive" in response.reason
+
+    def test_extension_after_extension(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        job = Job("j1", "u", prof(runtime=2500.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.schedule(900.0, sched.request_extension, "j1", 800.0)
+        eng.schedule(1700.0, sched.request_extension, "j1", 800.0)
+        eng.run(until=10_000.0)
+        assert job.state is JobState.COMPLETED
+        assert job.extension_count == 2
+        assert job.time_limit_s == pytest.approx(2600.0)
+
+    def test_denied_extension_does_not_move_deadline(self):
+        from repro.cluster.scheduler import ExtensionPolicy, SchedulerConfig
+
+        eng = Engine()
+        policy = ExtensionPolicy(max_extensions_per_job=0)
+        sched = Scheduler(
+            eng, [Node("n0", NodeSpec())], config=SchedulerConfig(extension_policy=policy)
+        )
+        job = Job("j1", "u", prof(runtime=2000.0), walltime_request_s=1000.0)
+        sched.submit(job)
+        eng.schedule(900.0, sched.request_extension, "j1", 800.0)
+        eng.run(until=5000.0)
+        assert job.state is JobState.TIMEOUT
+        assert job.end_time == pytest.approx(1000.0)
+
+
+class TestAccountingEdges:
+    def test_utilization_with_since(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        job = Job("j1", "u", prof(runtime=500.0), walltime_request_s=600.0)
+        sched.submit(job)
+        eng.run(until=1000.0)
+        # full window: 500/1000; later window baseline shifts
+        assert sched.utilization(since=0.0) == pytest.approx(0.5, rel=0.01)
+
+    def test_finished_jobs_listing(self):
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        j1 = Job("j1", "u", prof(runtime=100.0), walltime_request_s=200.0)
+        j2 = Job("j2", "u", prof(runtime=100_000.0), walltime_request_s=200_000.0)
+        sched.submit(j1)
+        sched.submit(j2)
+        eng.run(until=1000.0)
+        finished = sched.finished_jobs()
+        assert [j.job_id for j in finished] == ["j1"]

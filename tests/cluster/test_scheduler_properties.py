@@ -1,0 +1,96 @@
+"""Property-based tests: scheduler invariants under randomized workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.application import ApplicationProfile
+from repro.cluster.job import Job, JobState, TERMINAL_STATES
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler
+from repro.sim import Engine
+
+job_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=50.0, max_value=2000.0),   # true runtime
+        st.floats(min_value=0.5, max_value=2.0),       # walltime factor
+        st.integers(min_value=1, max_value=3),         # nodes
+        st.floats(min_value=0.0, max_value=3000.0),    # submit time
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_and_run(specs, n_nodes=4):
+    eng = Engine()
+    sched = Scheduler(eng, [Node(f"n{i}", NodeSpec()) for i in range(n_nodes)])
+    violations = []
+
+    def check(_job):
+        busy = sum(1 for n in sched.nodes.values() if n.is_busy)
+        expected = sum(j.n_nodes for j in sched.running_jobs())
+        if busy != expected:
+            violations.append((eng.now, busy, expected))
+        for job in sched.running_jobs():
+            owned = [
+                n for n in sched.nodes.values() if n.running_job_id == job.job_id
+            ]
+            if len(owned) != job.n_nodes:
+                violations.append((eng.now, job.job_id, len(owned)))
+
+    sched.on_job_start.append(check)
+    sched.on_job_end.append(check)
+    jobs = []
+    for i, (runtime, factor, n, submit) in enumerate(specs):
+        profile = ApplicationProfile(f"app{i}", runtime, 1.0, marker_period_s=100.0)
+        job = Job(
+            f"j{i}", "u", profile,
+            n_nodes=n, walltime_request_s=max(60.0, runtime * factor),
+        )
+        jobs.append(job)
+        eng.schedule_at(submit, sched.submit, job)
+    eng.run(until=500_000.0)
+    return eng, sched, jobs, violations
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_no_oversubscription_and_all_jobs_terminal(specs):
+    eng, sched, jobs, violations = build_and_run(specs)
+    assert violations == []
+    # every job reaches a terminal state within the generous horizon
+    assert all(j.state in TERMINAL_STATES for j in jobs)
+    # all nodes released at the end
+    assert all(not n.is_busy for n in sched.nodes.values())
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_no_job_exceeds_its_limit(specs):
+    _, _, jobs, _ = build_and_run(specs)
+    for job in jobs:
+        if job.runtime is not None:
+            # runtime never exceeds the (unextended) limit plus scheduling slop
+            assert job.runtime <= job.time_limit_s + 1e-6
+
+
+@given(job_specs)
+@settings(max_examples=40, deadline=None)
+def test_conservation_of_jobs(specs):
+    _, sched, jobs, _ = build_and_run(specs)
+    stats = sched.stats
+    terminal_counts = (
+        stats.completed + stats.timeout + stats.failed + stats.killed_maintenance
+    )
+    assert stats.submitted == len(jobs)
+    assert terminal_counts == len(jobs)
+
+
+@given(job_specs)
+@settings(max_examples=30, deadline=None)
+def test_generous_walltime_means_completion(specs):
+    """Jobs whose request covers their runtime always complete."""
+    _, _, jobs, _ = build_and_run(specs)
+    for job in jobs:
+        if job.walltime_request_s >= job.profile.nominal_runtime_s() + 1.0:
+            assert job.state is JobState.COMPLETED

@@ -1,0 +1,138 @@
+"""Tests for contingency policies (Section IV: humans absent)."""
+
+import pytest
+
+from repro.core.component import Executor
+from repro.core.humanloop import (
+    ContingencyPolicy,
+    HumanInTheLoopExecutor,
+    HumanResponseModel,
+)
+from repro.core.knowledge import KnowledgeBase
+from repro.core.types import Action, ExecutionResult, Plan
+from repro.sim import Engine, RngRegistry
+
+
+class RecordingExecutor(Executor):
+    name = "recording"
+
+    def __init__(self):
+        self.plans = []
+
+    def execute(self, plan, knowledge):
+        self.plans.append(plan)
+        return [ExecutionResult(a, 0.0, honored=True) for a in plan.actions]
+
+
+def extension_plan():
+    return Plan(0.0, "p", actions=(Action("request_extension", "j1", params={"extra_s": 600.0}),))
+
+
+def downgrade_to_checkpoint(plan: Plan) -> Plan:
+    actions = tuple(
+        Action("signal_checkpoint", a.target, rationale="contingency downgrade")
+        if a.kind == "request_extension"
+        else a
+        for a in plan.actions
+    )
+    return Plan(plan.time, plan.source, actions, plan.confidence, "contingency")
+
+
+class TestContingencyPolicy:
+    def test_transform_applied(self):
+        inner = RecordingExecutor()
+        policy = ContingencyPolicy(inner, transform=downgrade_to_checkpoint)
+        results = policy.execute(extension_plan(), KnowledgeBase())
+        assert inner.plans[0].actions[0].kind == "signal_checkpoint"
+        assert results[0].honored
+        assert policy.invocations == 1
+
+    def test_no_transform_passthrough(self):
+        inner = RecordingExecutor()
+        policy = ContingencyPolicy(inner)
+        policy.execute(extension_plan(), KnowledgeBase())
+        assert inner.plans[0].actions[0].kind == "request_extension"
+
+
+class TestHumanWithContingency:
+    def test_unavailable_operator_triggers_contingency(self):
+        eng = Engine()
+        primary = RecordingExecutor()
+        fallback = RecordingExecutor()
+        human = HumanInTheLoopExecutor(
+            eng,
+            primary,
+            HumanResponseModel(availability=0.0),
+            RngRegistry(seed=1).stream("h"),
+            contingency=ContingencyPolicy(fallback, transform=downgrade_to_checkpoint),
+        )
+        knowledge = KnowledgeBase()
+        results = human.execute(extension_plan(), knowledge)
+        assert human.contingency_executions == 1
+        assert fallback.plans and fallback.plans[0].actions[0].kind == "signal_checkpoint"
+        assert primary.plans == []
+        assert results[0].honored  # the contingency acted
+        assert knowledge.plan_outcomes  # recorded for assessment
+
+    def test_slow_operator_beaten_by_deadline(self):
+        eng = Engine()
+        primary = RecordingExecutor()
+        fallback = RecordingExecutor()
+        human = HumanInTheLoopExecutor(
+            eng,
+            primary,
+            HumanResponseModel(
+                median_latency_s=10_000.0, latency_sigma=0.0, availability=1.0
+            ),
+            RngRegistry(seed=2).stream("h"),
+            contingency=ContingencyPolicy(fallback),
+            contingency_after_s=600.0,
+        )
+        human.execute(extension_plan(), KnowledgeBase())
+        eng.run(until=20_000.0)
+        assert fallback.plans  # contingency fired at the deadline
+        assert primary.plans == []  # late approval was ignored
+        assert human.contingency_executions == 1
+
+    def test_fast_operator_preempts_contingency(self):
+        eng = Engine()
+        primary = RecordingExecutor()
+        fallback = RecordingExecutor()
+        human = HumanInTheLoopExecutor(
+            eng,
+            primary,
+            HumanResponseModel(median_latency_s=60.0, latency_sigma=0.0, availability=1.0),
+            RngRegistry(seed=3).stream("h"),
+            contingency=ContingencyPolicy(fallback),
+            contingency_after_s=600.0,
+        )
+        human.execute(extension_plan(), KnowledgeBase())
+        eng.run(until=20_000.0)
+        assert primary.plans  # approval landed in time
+        assert fallback.plans == []
+        assert human.contingency_executions == 0
+
+    def test_no_contingency_preserves_old_behaviour(self):
+        eng = Engine()
+        primary = RecordingExecutor()
+        human = HumanInTheLoopExecutor(
+            eng,
+            primary,
+            HumanResponseModel(availability=0.0),
+            RngRegistry(seed=4).stream("h"),
+        )
+        results = human.execute(extension_plan(), KnowledgeBase())
+        assert not results[0].honored
+        assert human.plans_dropped_unavailable == 1
+
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            HumanInTheLoopExecutor(
+                eng,
+                RecordingExecutor(),
+                HumanResponseModel(),
+                RngRegistry(seed=5).stream("h"),
+                contingency=ContingencyPolicy(RecordingExecutor()),
+                contingency_after_s=-1.0,
+            )

@@ -1,0 +1,124 @@
+"""Tests for safety guards."""
+
+import pytest
+
+from repro.core.guards import (
+    ActionBudgetGuard,
+    ActionKindGuard,
+    ConfidenceGuard,
+    RateLimitGuard,
+)
+from repro.core.knowledge import KnowledgeBase
+from repro.core.types import Action, Plan
+
+
+def plan_with(*actions, confidence=1.0):
+    return Plan(0.0, "test", actions=tuple(actions), confidence=confidence)
+
+
+K = KnowledgeBase()
+
+
+class TestActionBudgetGuard:
+    def test_allows_within_budget(self):
+        g = ActionBudgetGuard(max_actions_per_target=2, max_amount_per_target=1000.0)
+        a = Action("extend", "j1", params={"extra_s": 400.0})
+        filtered, vetoed = g.filter(plan_with(a), K, 0.0)
+        assert filtered.actions == (a,)
+        assert vetoed == []
+
+    def test_vetoes_beyond_count(self):
+        g = ActionBudgetGuard(max_actions_per_target=1)
+        a = Action("extend", "j1", params={"extra_s": 10.0})
+        g.filter(plan_with(a), K, 0.0)
+        filtered, vetoed = g.filter(plan_with(a), K, 1.0)
+        assert filtered.empty
+        assert vetoed == [a]
+
+    def test_vetoes_beyond_amount(self):
+        g = ActionBudgetGuard(max_actions_per_target=10, max_amount_per_target=500.0)
+        a1 = Action("extend", "j1", params={"extra_s": 400.0})
+        a2 = Action("extend", "j1", params={"extra_s": 200.0})
+        g.filter(plan_with(a1), K, 0.0)
+        _, vetoed = g.filter(plan_with(a2), K, 1.0)
+        assert vetoed == [a2]
+        assert g.spent("j1") == (1, 400.0)
+
+    def test_budgets_are_per_target(self):
+        g = ActionBudgetGuard(max_actions_per_target=1)
+        a1 = Action("extend", "j1", params={"extra_s": 10.0})
+        a2 = Action("extend", "j2", params={"extra_s": 10.0})
+        g.filter(plan_with(a1), K, 0.0)
+        filtered, vetoed = g.filter(plan_with(a2), K, 1.0)
+        assert not filtered.empty and vetoed == []
+
+    def test_kind_scoping(self):
+        g = ActionBudgetGuard(kinds={"extend"}, max_actions_per_target=0)
+        other = Action("checkpoint", "j1")
+        filtered, vetoed = g.filter(plan_with(other), K, 0.0)
+        assert not filtered.empty and vetoed == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionBudgetGuard(max_actions_per_target=-1)
+        with pytest.raises(ValueError):
+            ActionBudgetGuard(max_amount_per_target=-1.0)
+
+
+class TestRateLimitGuard:
+    def test_first_action_allowed_then_limited(self):
+        g = RateLimitGuard(min_interval_s=100.0)
+        a = Action("extend", "j1")
+        _, v1 = g.filter(plan_with(a), K, 0.0)
+        _, v2 = g.filter(plan_with(a), K, 50.0)
+        _, v3 = g.filter(plan_with(a), K, 150.0)
+        assert v1 == [] and v2 == [a] and v3 == []
+
+    def test_kind_target_scoped(self):
+        g = RateLimitGuard(min_interval_s=100.0)
+        a1 = Action("extend", "j1")
+        a2 = Action("extend", "j2")
+        g.filter(plan_with(a1), K, 0.0)
+        _, vetoed = g.filter(plan_with(a2), K, 1.0)
+        assert vetoed == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimitGuard(min_interval_s=-1.0)
+
+
+class TestConfidenceGuard:
+    def test_blocks_low_confidence_plan(self):
+        g = ConfidenceGuard(min_confidence=0.7)
+        a = Action("extend", "j1")
+        filtered, vetoed = g.filter(plan_with(a, confidence=0.5), K, 0.0)
+        assert filtered.empty and vetoed == [a]
+
+    def test_passes_confident_plan(self):
+        g = ConfidenceGuard(min_confidence=0.7)
+        a = Action("extend", "j1")
+        filtered, vetoed = g.filter(plan_with(a, confidence=0.9), K, 0.0)
+        assert not filtered.empty and vetoed == []
+
+    def test_empty_plan_passes(self):
+        g = ConfidenceGuard(min_confidence=0.99)
+        filtered, vetoed = g.filter(plan_with(confidence=0.1), K, 0.0)
+        assert filtered.empty and vetoed == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceGuard(min_confidence=1.5)
+
+
+class TestActionKindGuard:
+    def test_whitelist(self):
+        g = ActionKindGuard(allowed={"notify"})
+        ok = Action("notify", "u1")
+        bad = Action("reboot", "n1")
+        filtered, vetoed = g.filter(plan_with(ok, bad), K, 0.0)
+        assert filtered.actions == (ok,)
+        assert vetoed == [bad]
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            ActionKindGuard(allowed=set())

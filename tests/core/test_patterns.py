@@ -1,0 +1,240 @@
+"""Tests for the four Fig. 2 MAPE-K design patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordination import NeighborView, ring_neighbors
+from repro.core.patterns import (
+    CoordinatedController,
+    DriftingElement,
+    HierarchicalController,
+    MasterWorkerController,
+    classical_loop_for,
+)
+from repro.sim import Engine, RngRegistry
+
+
+def make_elements(eng, n, seed=0, drift_mu=0.3, drift_std=0.5):
+    rngs = RngRegistry(seed=seed)
+    elements = []
+    for i in range(n):
+        e = DriftingElement(
+            eng,
+            f"e{i}",
+            rngs.fork("element", i),
+            initial=100.0,
+            drift_mu=drift_mu,
+            drift_std=drift_std,
+            disturb_period_s=1.0,
+        )
+        e.start_disturbance()
+        elements.append(e)
+    return elements
+
+
+class TestRingNeighbors:
+    def test_basic_ring(self):
+        assert ring_neighbors(5, 0) == [1, 4]
+        assert ring_neighbors(5, 2) == [1, 3]
+
+    def test_k2(self):
+        assert ring_neighbors(6, 0, k=2) == [1, 2, 4, 5]
+
+    def test_small_ring_dedup(self):
+        assert ring_neighbors(2, 0, k=3) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_neighbors(0, 0)
+        with pytest.raises(ValueError):
+            ring_neighbors(5, 9)
+
+
+class TestNeighborView:
+    def test_update_and_staleness(self):
+        v = NeighborView()
+        assert v.staleness(100.0) == 0.0
+        v.update(1, 5.0, time=10.0)
+        v.update(2, 7.0, time=50.0)
+        assert v.get(1) == 5.0
+        assert v.get(9) is None
+        assert sorted(v.known_values()) == [5.0, 7.0]
+        assert v.staleness(100.0) == 90.0
+        assert len(v) == 2
+
+
+class TestDriftingElement:
+    def test_drifts_upward(self):
+        eng = Engine()
+        (e,) = make_elements(eng, 1, drift_mu=1.0, drift_std=0.1)
+        eng.run(until=100.0)
+        assert e.read() > 150.0  # ~100 + 100*1.0
+
+    def test_actuation(self):
+        eng = Engine()
+        e = DriftingElement(eng, "e", np.random.default_rng(0))
+        e.actuate(-20.0)
+        assert e.read() == 80.0
+        assert e.actuations == 1
+
+    def test_double_disturbance_start_raises(self):
+        eng = Engine()
+        (e,) = make_elements(eng, 1)
+        with pytest.raises(RuntimeError):
+            e.start_disturbance()
+
+
+class TestClassicalLoop:
+    def test_regulates_single_element(self):
+        eng = Engine()
+        (e,) = make_elements(eng, 1, drift_mu=0.5, drift_std=0.2)
+        loop = classical_loop_for(eng, e, setpoint=100.0, period_s=5.0, gain=0.8)
+        loop.start()
+        eng.run(until=600.0)
+        assert abs(e.read() - 100.0) < 10.0
+
+    def test_without_control_element_drifts(self):
+        eng = Engine()
+        (e,) = make_elements(eng, 1, drift_mu=0.5, drift_std=0.2)
+        eng.run(until=600.0)
+        assert abs(e.read() - 100.0) > 100.0
+
+
+class TestMasterWorker:
+    def test_regulates_aggregate(self):
+        eng = Engine()
+        elements = make_elements(eng, 8)
+        ctrl = MasterWorkerController(eng, elements, target_total=800.0, period_s=5.0, gain=0.8)
+        ctrl.start()
+        eng.run(until=600.0)
+        assert ctrl.control_error() < 40.0  # within 5% of 800
+
+    def test_latency_grows_with_n(self):
+        eng = Engine()
+        small = MasterWorkerController(eng, make_elements(eng, 4), 400.0)
+        big = MasterWorkerController(eng, make_elements(eng, 64, seed=1), 6400.0)
+        assert big.nominal_decision_latency() > small.nominal_decision_latency()
+
+    def test_messages_two_per_element_per_cycle(self):
+        eng = Engine()
+        elements = make_elements(eng, 4, drift_mu=5.0)  # force corrections
+        ctrl = MasterWorkerController(eng, elements, 400.0, period_s=10.0)
+        ctrl.start()
+        eng.run(until=95.0)
+        # 10 cycles × (4 obs + 4 actions)
+        assert ctrl.messages_sent() == 10 * 8
+
+    def test_master_failure_stops_all_control(self):
+        eng = Engine()
+        elements = make_elements(eng, 8, drift_mu=0.5)
+        ctrl = MasterWorkerController(eng, elements, 800.0, period_s=5.0, gain=0.8)
+        ctrl.start()
+        eng.schedule(100.0, ctrl.kill_central)
+        eng.run(until=600.0)
+        # uncontrolled drift after the kill: aggregate way above target
+        assert ctrl.control_error() > 100.0
+
+    def test_needs_elements(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            MasterWorkerController(eng, [], 0.0)
+
+
+class TestCoordinated:
+    def test_regulates_aggregate(self):
+        eng = Engine()
+        elements = make_elements(eng, 8)
+        ctrl = CoordinatedController(
+            eng, elements, 800.0, period_s=5.0, gain=0.8, comp_gain=0.2
+        )
+        ctrl.start()
+        eng.run(until=600.0)
+        assert ctrl.control_error() < 40.0
+
+    def test_local_latency_constant_in_n(self):
+        eng = Engine()
+        small = CoordinatedController(eng, make_elements(eng, 4), 400.0)
+        big = CoordinatedController(eng, make_elements(eng, 64, seed=1), 6400.0)
+        assert big.nominal_decision_latency() == small.nominal_decision_latency()
+
+    def test_single_controller_failure_is_contained(self):
+        eng = Engine()
+        elements = make_elements(eng, 8, drift_mu=0.5)
+        ctrl = CoordinatedController(eng, elements, 800.0, period_s=5.0, gain=0.8)
+        ctrl.start()
+        eng.schedule(100.0, ctrl.kill_local, 0)
+        eng.run(until=600.0)
+        # element 0 drifts; the others stay near their fair share
+        others_ok = [abs(e.read() - 100.0) < 20.0 for e in elements[1:]]
+        assert all(others_ok)
+        assert abs(elements[0].read() - 100.0) > 50.0
+        assert ctrl.alive_fraction() == pytest.approx(7 / 8)
+
+    def test_aggressive_compensation_oscillates(self):
+        """High comp_gain over stale gossip destabilizes the aggregate."""
+
+        def aggregate_std(comp_gain):
+            eng = Engine()
+            elements = make_elements(eng, 16, drift_mu=0.2, drift_std=0.2)
+            ctrl = CoordinatedController(
+                eng, elements, 1600.0, period_s=5.0, gain=0.6, comp_gain=comp_gain
+            )
+            ctrl.start()
+            samples = []
+            eng.every(5.0, lambda: samples.append(ctrl.aggregate()), start_at=300.0)
+            eng.run(until=900.0)
+            return float(np.std(samples))
+
+        calm = aggregate_std(0.1)
+        wild = aggregate_std(3.0)
+        assert wild > 2.0 * calm
+
+
+class TestHierarchical:
+    def test_regulates_aggregate(self):
+        eng = Engine()
+        elements = make_elements(eng, 16)
+        ctrl = HierarchicalController(
+            eng, elements, 1600.0, group_size=4, period_s=5.0, top_period_s=25.0, gain=0.8
+        )
+        ctrl.start()
+        eng.run(until=600.0)
+        assert ctrl.control_error() < 80.0
+
+    def test_groups_partition_elements(self):
+        eng = Engine()
+        elements = make_elements(eng, 10)
+        ctrl = HierarchicalController(eng, elements, 1000.0, group_size=4)
+        flat = [i for g in ctrl.groups for i in g]
+        assert sorted(flat) == list(range(10))
+        assert [len(g) for g in ctrl.groups] == [4, 4, 2]
+
+    def test_latency_independent_of_n(self):
+        eng = Engine()
+        small = HierarchicalController(eng, make_elements(eng, 8), 800.0, group_size=4)
+        big = HierarchicalController(eng, make_elements(eng, 64, seed=1), 6400.0, group_size=4)
+        assert big.nominal_decision_latency() == small.nominal_decision_latency()
+
+    def test_group_head_failure_contained_to_group(self):
+        eng = Engine()
+        elements = make_elements(eng, 16, drift_mu=0.5)
+        ctrl = HierarchicalController(
+            eng, elements, 1600.0, group_size=4, period_s=5.0, gain=0.8
+        )
+        ctrl.start()
+        eng.schedule(100.0, ctrl.kill_group_head, 0)
+        eng.run(until=600.0)
+        # after the kill, the top level re-shares the global target over the
+        # 12 alive elements: their new setpoint is 1600/12
+        new_share = 1600.0 / 12
+        dead_group = [abs(elements[i].read() - 100.0) for i in ctrl.groups[0]]
+        live_groups = [
+            abs(elements[i].read() - new_share) for g in ctrl.groups[1:] for i in g
+        ]
+        assert min(dead_group) > 30.0  # group 0 uncontrolled, keeps drifting
+        assert max(live_groups) < 20.0  # others regulated to the new share
+
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            HierarchicalController(eng, make_elements(eng, 4), 400.0, group_size=0)

@@ -1,0 +1,89 @@
+"""Tests for knowledge persistence."""
+
+import json
+
+import pytest
+
+from repro.analytics.similarity import JobRecord
+from repro.core.knowledge import KnowledgeBase, ModelEntry
+from repro.core.persistence import load_knowledge, save_knowledge
+from repro.core.types import Action, ExecutionResult, Plan
+
+
+def populated_knowledge():
+    k = KnowledgeBase()
+    k.remember("site", "cluster-a")
+    k.remember("walltime_default_s", 3600.0)
+    k.remember("live_handle", object())  # non-serializable, must be skipped
+    k.run_history.add(
+        JobRecord("j1", "solver", {"n_nodes": 2.0, "steps": 100.0}, 1234.5, True, ("tag",))
+    )
+    k.run_history.add(JobRecord("j2", "solver", {"n_nodes": 4.0}, 999.0, False))
+    k.register_model(
+        ModelEntry("ttc", model=object(), kind="forecaster", trained_at=5.0, metadata={"mae": 0.1})
+    )
+    action = Action("extend", "j1", params={"extra_s": 100.0})
+    for score in (0.9, 0.4):
+        outcome = k.record_plan(
+            Plan(1.0, "planner", actions=(action,)),
+            [ExecutionResult(action, 1.0, honored=True)],
+        )
+        k.assess_outcome(outcome, score, now=2.0)
+    k.record_plan(Plan(3.0, "planner"), [])  # unassessed → not persisted
+    return k
+
+
+def test_save_reports_counts(tmp_path):
+    counts = save_knowledge(populated_knowledge(), tmp_path / "k.json")
+    assert counts == {
+        "facts": 2,  # the object() fact is skipped
+        "run_history": 2,
+        "plan_outcomes": 2,
+        "model_metadata": 1,
+    }
+
+
+def test_roundtrip_facts_and_history(tmp_path):
+    path = tmp_path / "k.json"
+    save_knowledge(populated_knowledge(), path)
+    restored = load_knowledge(path)
+    assert restored.recall("site") == "cluster-a"
+    assert restored.recall("walltime_default_s") == 3600.0
+    assert restored.recall("live_handle") is None
+    assert len(restored.run_history) == 2
+    rec = restored.run_history.records("solver")[0]
+    assert rec.runtime_s == 1234.5
+    assert rec.tags == ("tag",)
+
+
+def test_roundtrip_outcome_summary(tmp_path):
+    path = tmp_path / "k.json"
+    save_knowledge(populated_knowledge(), path)
+    restored = load_knowledge(path)
+    assert restored.recall("restored_outcomes") == 2
+    assert restored.recall("restored_effectiveness") == pytest.approx(0.65)
+
+
+def test_restored_history_drives_predictions(tmp_path):
+    path = tmp_path / "k.json"
+    save_knowledge(populated_knowledge(), path)
+    restored = load_knowledge(path)
+    prediction = restored.run_history.predict_runtime({"n_nodes": 2.0}, app_name="solver")
+    assert prediction is not None
+    mean, _ = prediction
+    assert mean == pytest.approx(1234.5)  # only the successful run counts
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "k.json"
+    path.write_text(json.dumps({"version": 99}))
+    with pytest.raises(ValueError, match="version"):
+        load_knowledge(path)
+
+
+def test_file_is_stable_json(tmp_path):
+    path = tmp_path / "k.json"
+    save_knowledge(populated_knowledge(), path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert {"facts", "run_history", "plan_outcomes", "model_metadata"} <= set(payload)

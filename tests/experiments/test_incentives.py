@@ -1,0 +1,72 @@
+"""Tests for the question-v incentive report."""
+
+import pytest
+
+from repro.experiments.incentives import (
+    IncentiveStatement,
+    incentive_report,
+    render_incentives,
+)
+from repro.experiments.scheduler_case import (
+    SchedulerScenarioConfig,
+    run_scheduler_scenario,
+)
+
+
+def fake_row(**overrides):
+    base = dict(
+        completion_rate=0.2,
+        completed=5.0,
+        timeout=20.0,
+        resubmissions=15.0,
+        wasted_nh=100.0,
+        overhang_nh=2.0,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestIncentiveReport:
+    def test_statements_cover_paper_statistics(self):
+        statements = incentive_report(
+            fake_row(),
+            fake_row(completion_rate=0.9, completed=23.0, timeout=2.0,
+                     resubmissions=1.0, wasted_nh=5.0, overhang_nh=4.0),
+        )
+        texts = " | ".join(s.statement for s in statements)
+        # the two statistics the paper names explicitly
+        assert "completed jobs increase from 5 to 23" in texts
+        assert "resubmitted jobs decrease from 15 to 1" in texts
+        # plus the user-facing success framing
+        assert "success rate rises from 20% to 90%" in texts
+        audiences = {s.audience for s in statements}
+        assert audiences == {"users", "administrators"}
+
+    def test_improved_flag(self):
+        same = IncentiveStatement("users", "x", 1.0, 1.0)
+        better = IncentiveStatement("users", "x", 1.0, 2.0)
+        assert not same.improved
+        assert better.improved
+
+    def test_render_groups_by_audience(self):
+        text = render_incentives(incentive_report(fake_row(), fake_row(completed=9.0)))
+        lines = text.splitlines()
+        assert lines[0] == "for users:"
+        assert "for administrators:" in lines
+        assert sum(1 for ln in lines if ln.startswith("  - ")) == 6
+
+    def test_from_real_scenario_rows(self):
+        baseline = run_scheduler_scenario(
+            SchedulerScenarioConfig(seed=5, mode="none", n_jobs=14, n_nodes=8,
+                                    horizon_s=200_000.0)
+        )
+        with_loop = run_scheduler_scenario(
+            SchedulerScenarioConfig(seed=5, mode="autonomous", n_jobs=14, n_nodes=8,
+                                    horizon_s=200_000.0)
+        )
+        statements = incentive_report(baseline, with_loop)
+        # the deployment case the paper predicts: users and admins both win
+        success = next(s for s in statements if "success rate" in s.statement)
+        resub = next(s for s in statements if "resubmitted" in s.statement)
+        assert success.after > success.before
+        assert resub.after <= resub.before

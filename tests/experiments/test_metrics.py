@@ -1,0 +1,71 @@
+"""Direct tests for JobOutcomeSummary and report formatting."""
+
+import pytest
+
+from repro.cluster.application import ApplicationProfile
+from repro.cluster.job import Job
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler
+from repro.experiments.metrics import JobOutcomeSummary
+from repro.experiments.report import _fmt, render_table
+from repro.sim import Engine
+
+
+def run_mixed_workload():
+    eng = Engine()
+    sched = Scheduler(eng, [Node(f"n{i}", NodeSpec()) for i in range(4)])
+    ok = Job("ok", "u", ApplicationProfile("a", 500.0, 1.0, marker_period_s=100.0),
+             walltime_request_s=1000.0)
+    late = Job("late", "u", ApplicationProfile("b", 5000.0, 1.0, marker_period_s=100.0),
+               walltime_request_s=1000.0)
+    rescued = Job("rescued", "u", ApplicationProfile("c", 1500.0, 1.0, marker_period_s=100.0),
+                  walltime_request_s=1000.0)
+    for j in (ok, late, rescued):
+        sched.submit(j)
+    eng.schedule(900.0, sched.request_extension, "rescued", 800.0)
+    eng.run(until=10_000.0)
+    return eng, sched
+
+
+class TestJobOutcomeSummary:
+    def test_counts_and_rates(self):
+        eng, sched = run_mixed_workload()
+        summary = JobOutcomeSummary.from_scheduler(sched, horizon_s=10_000.0)
+        assert summary.n_submitted == 3
+        assert summary.n_completed == 2  # ok + rescued
+        assert summary.n_timeout == 1  # late
+        assert summary.completion_rate == pytest.approx(2 / 3)
+        assert summary.extensions_granted == 1
+        assert summary.extension_hours_granted == pytest.approx(800.0 / 3600.0)
+
+    def test_wasted_node_hours_counts_lost_runtime(self):
+        eng, sched = run_mixed_workload()
+        summary = JobOutcomeSummary.from_scheduler(sched, horizon_s=10_000.0)
+        # the timed-out job burned its full 1000 s on one node
+        assert summary.wasted_node_hours == pytest.approx(1000.0 / 3600.0)
+
+    def test_as_row_is_flat_and_rounded(self):
+        eng, sched = run_mixed_workload()
+        row = JobOutcomeSummary.from_scheduler(sched, horizon_s=10_000.0).as_row()
+        assert row["submitted"] == 3
+        assert isinstance(row["completion_rate"], float)
+        assert set(row) >= {"completed", "timeout", "wasted_nh", "ext_granted"}
+
+
+class TestReportFormatting:
+    def test_fmt_bools_and_nan(self):
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+        assert _fmt(float("nan")) == "nan"
+
+    def test_fmt_large_and_small_floats(self):
+        assert _fmt(123456.0) == "1.23e+05"
+        assert _fmt(0.0001) == "0.0001"
+        assert _fmt(1.5) == "1.5"
+        assert _fmt(2.0) == "2"
+
+    def test_table_missing_cells_render_empty(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[2].endswith(" ")  # empty b cell padded

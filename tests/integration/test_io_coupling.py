@@ -1,0 +1,153 @@
+"""Integration tests: application I/O phases coupled to the filesystem."""
+
+import pytest
+
+from repro.cluster.application import ApplicationProfile, RunningApp
+from repro.cluster.job import Job, JobState
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler
+from repro.sim import Engine
+from repro.storage import OST, AppIoClient, ParallelFileSystem, PeriodicWriter
+
+
+def io_profile(runtime=1000.0, io_every=200.0, io_mb=1000.0, **kw):
+    return ApplicationProfile(
+        "io-app",
+        total_steps=runtime,
+        base_step_rate=1.0,
+        marker_period_s=50.0,
+        io_every_s=io_every,
+        io_size_mb=io_mb,
+        **kw,
+    )
+
+
+def make_fs(eng, n_osts=4, rate=1000.0):
+    return ParallelFileSystem(eng, [OST(f"ost{i}", rate) for i in range(n_osts)])
+
+
+class TestAppIoClient:
+    def test_lazy_file_creation_and_write(self):
+        eng = Engine()
+        fs = make_fs(eng)
+        client = AppIoClient(fs, "j1", stripe_count=2)
+        assert client.file is None
+        done = []
+        client.write(1000.0, done.append)
+        assert client.file is not None
+        eng.run(until=5.0)
+        assert len(done) == 1
+        assert client.writes == 1
+
+
+class TestRunningAppIo:
+    def test_io_phases_pause_progress(self):
+        eng = Engine()
+        fs = make_fs(eng, rate=1000.0)
+        client = AppIoClient(fs, "j1", stripe_count=2)
+        app = RunningApp(eng, "j1", io_profile(), cores=32, io_client=client)
+        app.start()
+        eng.run(until=10_000.0)
+        assert app.completed
+        # 1000 s compute + 4 io phases (t=200,400,...) of 0.5 s each
+        assert app.io_count >= 4
+        assert app.io_blocked_s == pytest.approx(app.io_count * 0.5, rel=0.01)
+        assert eng.now >= 1000.0 + app.io_blocked_s - 1.0
+
+    def test_slow_filesystem_stretches_runtime(self):
+        eng_fast = Engine()
+        fast_fs = make_fs(eng_fast, rate=2000.0)
+        app_fast = RunningApp(
+            eng_fast, "j1", io_profile(), cores=32,
+            io_client=AppIoClient(fast_fs, "j1"),
+        )
+        app_fast.start()
+        eng_fast.run(until=50_000.0)
+
+        eng_slow = Engine()
+        slow_fs = make_fs(eng_slow, rate=20.0)  # badly contended site
+        app_slow = RunningApp(
+            eng_slow, "j1", io_profile(), cores=32,
+            io_client=AppIoClient(slow_fs, "j1"),
+        )
+        app_slow.start()
+        eng_slow.run(until=50_000.0)
+
+        assert app_fast.completed and app_slow.completed
+        assert app_slow.io_blocked_s > 10 * app_fast.io_blocked_s
+
+    def test_no_io_without_client(self):
+        eng = Engine()
+        done = []
+        app = RunningApp(
+            eng, "j1", io_profile(), cores=32, on_complete=lambda a: done.append(eng.now)
+        )  # no client → io spec ignored
+        app.start()
+        eng.run(until=5000.0)
+        assert app.completed
+        assert app.io_count == 0
+        assert done == [pytest.approx(1000.0)]
+
+    def test_checkpoint_blocked_during_io(self):
+        eng = Engine()
+        fs = make_fs(eng, rate=10.0)  # io phases last ~50 s
+        client = AppIoClient(fs, "j1", stripe_count=2)
+        app = RunningApp(eng, "j1", io_profile(io_mb=1000.0), cores=32, io_client=client)
+        app.start()
+        eng.run(until=210.0)  # inside the first io phase (starts at t=200)
+        assert app.begin_checkpoint() is False
+
+    def test_overlapping_io_skipped(self):
+        eng = Engine()
+        fs = make_fs(eng, rate=1.0)  # one write takes ~500 s > io_every
+        client = AppIoClient(fs, "j1", stripe_count=2)
+        app = RunningApp(eng, "j1", io_profile(io_every=200.0), cores=32, io_client=client)
+        app.start()
+        eng.run(until=2000.0)
+        # only non-overlapping phases actually wrote
+        assert client.writes < 10
+
+    def test_kill_during_io_freezes_steps(self):
+        eng = Engine()
+        fs = make_fs(eng, rate=10.0)
+        client = AppIoClient(fs, "j1", stripe_count=2)
+        app = RunningApp(eng, "j1", io_profile(), cores=32, io_client=client)
+        app.start()
+        eng.run(until=210.0)  # mid-io
+        final = app.stop()
+        assert final == pytest.approx(200.0, rel=0.02)
+        eng.run(until=5000.0)
+        assert app.steps_done == final
+
+
+class TestSchedulerIoFactory:
+    def test_scheduler_wires_io_clients(self):
+        eng = Engine()
+        fs = make_fs(eng, rate=1000.0)
+        sched = Scheduler(
+            eng,
+            [Node("n0", NodeSpec())],
+            io_client_factory=lambda job: AppIoClient(fs, job.job_id),
+        )
+        job = Job("j1", "u", io_profile(), walltime_request_s=5000.0)
+        sched.submit(job)
+        eng.run(until=10_000.0)
+        assert job.state is JobState.COMPLETED
+        app_writes = [t for t in fs.transfers if t.client == "j1"]
+        assert len(app_writes) >= 4
+
+    def test_non_io_jobs_get_no_client(self):
+        eng = Engine()
+        fs = make_fs(eng)
+        created = []
+
+        def factory(job):
+            client = AppIoClient(fs, job.job_id)
+            created.append(client)
+            return client
+
+        sched = Scheduler(eng, [Node("n0", NodeSpec())], io_client_factory=factory)
+        profile = ApplicationProfile("plain", 200.0, 1.0)  # no io_every_s
+        sched.submit(Job("j1", "u", profile, walltime_request_s=500.0))
+        eng.run(until=1000.0)
+        assert created == []

@@ -1,0 +1,226 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimTimeError, StopSimulation
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(5.0, order.append, "b")
+    eng.schedule(1.0, order.append, "a")
+    eng.schedule(9.0, order.append, "c")
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    eng = Engine()
+    order = []
+    for tag in ["first", "second", "third"]:
+        eng.schedule(2.0, order.append, tag)
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_breaks_ties_before_seq():
+    eng = Engine()
+    order = []
+    eng.schedule(1.0, order.append, "late", priority=5)
+    eng.schedule(1.0, order.append, "early", priority=-5)
+    eng.run()
+    assert order == ["early", "late"]
+
+
+def test_now_advances_to_event_time():
+    eng = Engine()
+    seen = []
+    eng.schedule(3.5, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [3.5]
+    assert eng.now == 3.5
+
+
+def test_run_until_executes_events_at_horizon():
+    eng = Engine()
+    hits = []
+    eng.schedule(10.0, hits.append, "at-horizon")
+    eng.schedule(10.5, hits.append, "beyond")
+    end = eng.run(until=10.0)
+    assert hits == ["at-horizon"]
+    assert end == 10.0
+    # the "beyond" event is still queued
+    assert eng.pending_count() == 1
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    end = eng.run(until=50.0)
+    assert end == 50.0
+    assert eng.now == 50.0
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimTimeError):
+        eng.schedule_at(1.0, lambda: None)
+
+
+def test_schedule_nan_raises():
+    eng = Engine()
+    with pytest.raises(SimTimeError):
+        eng.schedule_at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.events_executed == 0
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.schedule(1.0, lambda: order.append("nested"))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert order == ["first", "nested"]
+
+
+def test_zero_delay_self_schedule_is_allowed():
+    eng = Engine()
+    count = [0]
+
+    def again():
+        count[0] += 1
+        if count[0] < 3:
+            eng.schedule(0.0, again)
+
+    eng.schedule(0.0, again)
+    eng.run()
+    assert count[0] == 3
+
+
+def test_stop_simulation_exception_stops_run():
+    eng = Engine()
+    seen = []
+
+    def boom():
+        seen.append("boom")
+        raise StopSimulation
+
+    eng.schedule(1.0, boom)
+    eng.schedule(2.0, seen.append, "never")
+    eng.run()
+    assert seen == ["boom"]
+    assert eng.now == 1.0
+
+
+def test_max_events_limits_run():
+    eng = Engine()
+    for i in range(10):
+        eng.schedule(float(i), lambda: None)
+    eng.run(max_events=4)
+    assert eng.events_executed == 4
+
+
+def test_run_is_not_reentrant():
+    eng = Engine()
+
+    def nested():
+        eng.run()
+
+    eng.schedule(1.0, nested)
+    with pytest.raises(RuntimeError):
+        eng.run()
+
+
+def test_peek_skips_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert eng.peek() == 2.0
+
+
+def test_drain_cancels_by_label():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, "keep", label="keep")
+    eng.schedule(1.0, fired.append, "drop", label="drop")
+    ncancelled = eng.drain(labels=["drop"])
+    assert ncancelled == 1
+    eng.run()
+    assert fired == ["keep"]
+
+
+def test_trace_hook_sees_events():
+    eng = Engine()
+    seen = []
+    eng.add_trace_hook(lambda ev: seen.append(ev.time))
+    eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    eng.run()
+    assert seen == [1.0, 2.0]
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        eng = Engine()
+        ticks = []
+        eng.every(10.0, lambda: ticks.append(eng.now))
+        eng.run(until=35.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+    def test_start_at_offset(self):
+        eng = Engine()
+        ticks = []
+        eng.every(10.0, lambda: ticks.append(eng.now), start_at=5.0)
+        eng.run(until=30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_returning_false_stops(self):
+        eng = Engine()
+        ticks = []
+
+        def tick():
+            ticks.append(eng.now)
+            return len(ticks) < 2
+
+        eng.every(1.0, tick)
+        eng.run(until=10.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_stop_cancels_future_firing(self):
+        eng = Engine()
+        ticks = []
+        task = eng.every(1.0, lambda: ticks.append(eng.now))
+        eng.schedule(2.5, task.stop)
+        eng.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert task.stopped
+
+    def test_rejects_nonpositive_period(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.every(0.0, lambda: None)
+
+    def test_jitter_applied(self):
+        eng = Engine()
+        ticks = []
+        eng.every(10.0, lambda: ticks.append(eng.now), jitter_fn=lambda: 0.5)
+        eng.run(until=30.0)
+        # each firing is shifted +0.5 relative to nominal cadence
+        assert ticks == pytest.approx([0.5, 11.0, 21.5])

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+priorities = st.integers(min_value=-5, max_value=5)
+
+
+@given(st.lists(times, min_size=1, max_size=100))
+def test_execution_order_is_time_sorted(schedule_times):
+    eng = Engine()
+    executed = []
+    for t in schedule_times:
+        eng.schedule_at(t, lambda t=t: executed.append(t))
+    eng.run()
+    assert executed == sorted(schedule_times)
+    assert eng.events_executed == len(schedule_times)
+
+
+@given(st.lists(st.tuples(times, priorities), min_size=1, max_size=100))
+def test_execution_order_time_then_priority_then_seq(entries):
+    eng = Engine()
+    executed = []
+    for seq, (t, prio) in enumerate(entries):
+        eng.schedule_at(t, lambda key=(t, prio, seq): executed.append(key), priority=prio)
+    eng.run()
+    assert executed == sorted(executed)
+
+
+@given(
+    st.lists(times, min_size=1, max_size=60),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_run_until_partitions_events(schedule_times, horizon):
+    eng = Engine()
+    fired = []
+    for t in schedule_times:
+        eng.schedule_at(t, lambda t=t: fired.append(t))
+    eng.run(until=horizon)
+    expected = sorted(t for t in schedule_times if t <= horizon)
+    assert fired == expected
+    # the rest remain queued
+    assert eng.pending_count() == len(schedule_times) - len(expected)
+
+
+@given(st.lists(times, min_size=2, max_size=60), st.data())
+def test_cancellation_removes_exactly_those_events(schedule_times, data):
+    eng = Engine()
+    fired = []
+    events = [
+        eng.schedule_at(t, lambda i=i: fired.append(i)) for i, t in enumerate(schedule_times)
+    ]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1), max_size=len(events))
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    eng.run()
+    assert sorted(fired) == sorted(set(range(len(events))) - to_cancel)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0, allow_nan=False), min_size=1, max_size=30))
+def test_clock_never_goes_backwards(delays):
+    eng = Engine()
+    observed = []
+
+    def chain(remaining):
+        observed.append(eng.now)
+        if remaining:
+            eng.schedule(remaining[0], chain, remaining[1:])
+
+    eng.schedule(delays[0], chain, delays[1:])
+    eng.run()
+    assert observed == sorted(observed)

@@ -1,0 +1,115 @@
+"""Tests for the derived-metrics service."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.telemetry.derived import (
+    DerivedMetricSpec,
+    DerivedMetricsService,
+    standard_cluster_aggregates,
+)
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def feed_node_power(store, n_nodes=4, until=300.0, step=10.0, watts=400.0):
+    t = 0.0
+    while t <= until:
+        for i in range(n_nodes):
+            store.insert(SeriesKey.of("node_power_watts", node=f"n{i}"), t, watts)
+        t += step
+    return store
+
+
+class TestDerivedMetricsService:
+    def test_sum_aggregate_written(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        out = SeriesKey.of("cluster_power_watts")
+        service = DerivedMetricsService(
+            eng,
+            store,
+            [DerivedMetricSpec("node_power_watts", "sum", out, window_s=60.0)],
+            period_s=60.0,
+        )
+        service.start(start_at=60.0)
+
+        def feed():
+            for i in range(4):
+                store.insert(
+                    SeriesKey.of("node_power_watts", node=f"n{i}"), eng.now, 400.0
+                )
+
+        eng.every(10.0, feed)
+        eng.run(until=300.0)
+        times, values = store.query(out, 0, 300)
+        assert times.size == 5  # t = 60,120,...,300... (start_at=60, period 60)
+        # 4 nodes × 6 samples in the window × 400 W summed
+        assert values[0] == pytest.approx(4 * 6 * 400.0)
+        assert service.samples_written == times.size
+
+    def test_mean_aggregate(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        out = SeriesKey.of("cluster_cpu_util")
+        service = DerivedMetricsService(
+            eng,
+            store,
+            [DerivedMetricSpec("node_cpu_util", "mean", out, window_s=120.0)],
+            period_s=120.0,
+        )
+        service.start(start_at=120.0)
+        eng.every(
+            30.0,
+            lambda: [
+                store.insert(SeriesKey.of("node_cpu_util", node="a"), eng.now, 1.0),
+                store.insert(SeriesKey.of("node_cpu_util", node="b"), eng.now, 0.0),
+            ],
+        )
+        eng.run(until=600.0)
+        _, values = store.query(out, 0, 600)
+        assert values.size > 0
+        assert all(v == pytest.approx(0.5) for v in values)
+
+    def test_missing_source_skipped(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        out = SeriesKey.of("ghost_agg")
+        service = DerivedMetricsService(
+            eng, store, [DerivedMetricSpec("ghost", "mean", out)], period_s=60.0
+        )
+        service.start()
+        eng.run(until=300.0)
+        assert service.samples_written == 0
+        assert not store.has(out)
+
+    def test_standard_aggregates_shape(self):
+        specs = standard_cluster_aggregates()
+        assert {s.output.metric for s in specs} == {
+            "cluster_power_watts",
+            "cluster_cpu_util",
+            "cluster_cpu_util_p95",
+            "cluster_temp_max",
+        }
+
+    def test_validation(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        with pytest.raises(ValueError):
+            DerivedMetricsService(eng, store, [], period_s=60.0)
+        with pytest.raises(ValueError):
+            DerivedMetricsService(
+                eng, store, standard_cluster_aggregates(), period_s=0.0
+            )
+        with pytest.raises(ValueError):
+            DerivedMetricSpec("m", "mean", SeriesKey.of("o"), window_s=0.0)
+
+    def test_double_start_raises(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        service = DerivedMetricsService(
+            eng, store, standard_cluster_aggregates(), period_s=60.0
+        )
+        service.start()
+        with pytest.raises(RuntimeError):
+            service.start()

@@ -1,0 +1,75 @@
+"""Tests for the progress-marker channel."""
+
+import pytest
+
+from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def test_emit_and_read_all():
+    ch = ProgressMarkerChannel()
+    ch.emit(ProgressMarker("j1", 0.0, 0))
+    ch.emit(ProgressMarker("j1", 10.0, 5))
+    markers = ch.read_all("j1")
+    assert [m.step for m in markers] == [0, 5]
+    assert ch.total_emitted == 2
+
+
+def test_read_since_exclusive():
+    ch = ProgressMarkerChannel()
+    for t, s in [(0.0, 0), (10.0, 5), (20.0, 10)]:
+        ch.emit(ProgressMarker("j1", t, s))
+    assert [m.step for m in ch.read_since("j1", 10.0)] == [10]
+    assert [m.step for m in ch.read_since("j1", -1.0)] == [0, 5, 10]
+
+
+def test_last():
+    ch = ProgressMarkerChannel()
+    assert ch.last("j1") is None
+    ch.emit(ProgressMarker("j1", 1.0, 2))
+    assert ch.last("j1").step == 2
+
+
+def test_out_of_order_emit_raises():
+    ch = ProgressMarkerChannel()
+    ch.emit(ProgressMarker("j1", 10.0, 5))
+    with pytest.raises(ValueError, match="older"):
+        ch.emit(ProgressMarker("j1", 5.0, 6))
+
+
+def test_streams_are_per_job():
+    ch = ProgressMarkerChannel()
+    ch.emit(ProgressMarker("j1", 10.0, 5))
+    ch.emit(ProgressMarker("j2", 1.0, 1))  # earlier time, different job → fine
+    assert ch.jobs() == ["j1", "j2"]
+
+
+def test_fraction_done():
+    assert ProgressMarker("j", 0.0, 50, total_steps=200).fraction_done == pytest.approx(0.25)
+    assert ProgressMarker("j", 0.0, 500, total_steps=200).fraction_done == 1.0
+    assert ProgressMarker("j", 0.0, 50).fraction_done is None
+
+
+def test_mirror_to_store():
+    store = TimeSeriesStore()
+    ch = ProgressMarkerChannel(mirror_store=store)
+    ch.emit(ProgressMarker("j1", 5.0, 3))
+    assert store.latest(SeriesKey.of("job_progress_steps", job="j1")) == (5.0, 3.0)
+
+
+def test_drop_job():
+    ch = ProgressMarkerChannel()
+    ch.emit(ProgressMarker("j1", 0.0, 0))
+    ch.drop_job("j1")
+    assert ch.read_all("j1") == []
+    ch.drop_job("never-existed")  # no error
+
+
+def test_as_arrays():
+    ch = ProgressMarkerChannel()
+    ch.emit(ProgressMarker("j1", 0.0, 0))
+    ch.emit(ProgressMarker("j1", 10.0, 4))
+    times, steps = ch.as_arrays("j1")
+    assert times == [0.0, 10.0]
+    assert steps == [0, 4]

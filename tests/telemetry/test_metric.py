@@ -1,0 +1,79 @@
+"""Tests for metric specs, series keys, and the catalog."""
+
+import pytest
+
+from repro.telemetry.metric import (
+    MetricCatalog,
+    MetricKind,
+    MetricSpec,
+    SeriesKey,
+    standard_catalog,
+)
+
+
+class TestSeriesKey:
+    def test_of_sorts_labels(self):
+        k1 = SeriesKey.of("m", b="2", a="1")
+        k2 = SeriesKey.of("m", a="1", b="2")
+        assert k1 == k2
+        assert hash(k1) == hash(k2)
+
+    def test_label_lookup(self):
+        k = SeriesKey.of("m", node="n01")
+        assert k.label("node") == "n01"
+        assert k.label("missing") is None
+
+    def test_with_labels_overrides(self):
+        k = SeriesKey.of("m", node="n01")
+        k2 = k.with_labels(node="n02", job="j1")
+        assert k2.label("node") == "n02"
+        assert k2.label("job") == "j1"
+        # original untouched
+        assert k.label("node") == "n01"
+
+    def test_str_rendering(self):
+        assert str(SeriesKey.of("power")) == "power"
+        assert str(SeriesKey.of("power", node="n1")) == "power{node=n1}"
+
+    def test_non_string_label_values_coerced(self):
+        k = SeriesKey.of("m", idx=3)
+        assert k.label("idx") == "3"
+
+
+class TestMetricCatalog:
+    def test_register_and_get(self):
+        cat = MetricCatalog()
+        spec = MetricSpec("watts", "W")
+        cat.register(spec)
+        assert cat.get("watts") is spec
+        assert "watts" in cat
+
+    def test_idempotent_reregistration(self):
+        cat = MetricCatalog()
+        spec = MetricSpec("watts", "W")
+        cat.register(spec)
+        cat.register(MetricSpec("watts", "W"))  # identical → fine
+        assert len(cat) == 1
+
+    def test_conflicting_reregistration_raises(self):
+        cat = MetricCatalog()
+        cat.register(MetricSpec("watts", "W"))
+        with pytest.raises(ValueError, match="different spec"):
+            cat.register(MetricSpec("watts", "kW"))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            MetricCatalog().get("nope")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSpec("", "W")
+
+    def test_standard_catalog_has_progress_metric(self):
+        cat = standard_catalog()
+        assert "job_progress_steps" in cat
+        assert cat.get("job_progress_steps").kind is MetricKind.COUNTER
+
+    def test_names_sorted(self):
+        cat = MetricCatalog([MetricSpec("zz", "u"), MetricSpec("aa", "u")])
+        assert cat.names() == ["aa", "zz"]

@@ -1,0 +1,189 @@
+"""Tests for sensors, samplers, collectors, and the assembled pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, RngRegistry
+from repro.telemetry.collector import Aggregator, CollectionPipeline, Collector
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.sampler import Sample, Sampler
+from repro.telemetry.sensor import CallableSensor, ConstantSensor
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+class _ListSink:
+    def __init__(self):
+        self.batches = []
+
+    def submit(self, samples):
+        self.batches.append(samples)
+
+
+class TestSensors:
+    def test_callable_sensor_reads_fn(self):
+        k = SeriesKey.of("m")
+        s = CallableSensor(k, lambda now: now * 2)
+        assert s.read(3.0) == 6.0
+
+    def test_callable_sensor_noise(self):
+        rng = RngRegistry(seed=1).stream("s")
+        s = CallableSensor(SeriesKey.of("m"), lambda now: 100.0, noise_std=1.0, rng=rng)
+        vals = [s.read(0.0) for _ in range(200)]
+        assert np.std(vals) > 0.5
+        assert abs(np.mean(vals) - 100.0) < 0.5
+
+    def test_callable_sensor_fault(self):
+        rng = RngRegistry(seed=2).stream("s")
+        s = CallableSensor(SeriesKey.of("m"), lambda now: 1.0, fault_prob=1.0, rng=rng)
+        assert s.read(0.0) is None
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="rng required"):
+            CallableSensor(SeriesKey.of("m"), lambda now: 1.0, noise_std=1.0)
+
+    def test_fn_none_propagates(self):
+        s = CallableSensor(SeriesKey.of("m"), lambda now: None)
+        assert s.read(0.0) is None
+
+    def test_constant_sensor(self):
+        s = ConstantSensor(SeriesKey.of("m"), 42.0)
+        assert s.read(123.0) == 42.0
+
+
+class TestSampler:
+    def test_samples_at_period(self):
+        eng = Engine()
+        sink = _ListSink()
+        sampler = Sampler(eng, sink, period=10.0)
+        sampler.add_sensor(ConstantSensor(SeriesKey.of("m"), 1.0))
+        sampler.start()
+        eng.run(until=35.0)
+        assert len(sink.batches) == 4  # t = 0, 10, 20, 30
+        assert sampler.samples_emitted == 4
+
+    def test_batch_contains_all_sensors(self):
+        eng = Engine()
+        sink = _ListSink()
+        sampler = Sampler(eng, sink, period=10.0)
+        sampler.add_sensors(
+            [ConstantSensor(SeriesKey.of("a"), 1.0), ConstantSensor(SeriesKey.of("b"), 2.0)]
+        )
+        sampler.start()
+        eng.run(until=0.0)
+        assert len(sink.batches) == 1
+        assert {s.key.metric for s in sink.batches[0]} == {"a", "b"}
+
+    def test_failed_sensor_skipped(self):
+        eng = Engine()
+        sink = _ListSink()
+        sampler = Sampler(eng, sink, period=10.0)
+        sampler.add_sensor(CallableSensor(SeriesKey.of("dead"), lambda now: None))
+        sampler.add_sensor(ConstantSensor(SeriesKey.of("ok"), 1.0))
+        sampler.start()
+        eng.run(until=0.0)
+        assert [s.key.metric for s in sink.batches[0]] == ["ok"]
+
+    def test_dropout_loses_rounds(self):
+        eng = Engine()
+        sink = _ListSink()
+        rng = RngRegistry(seed=3).stream("drop")
+        sampler = Sampler(eng, sink, period=1.0, dropout_prob=1.0, rng=rng)
+        sampler.add_sensor(ConstantSensor(SeriesKey.of("m"), 1.0))
+        sampler.start()
+        eng.run(until=5.0)
+        assert sink.batches == []
+        assert sampler.samples_dropped == 6
+
+    def test_overhead_accumulates(self):
+        eng = Engine()
+        sampler = Sampler(eng, _ListSink(), period=1.0, per_sample_cost_s=0.001)
+        sampler.add_sensor(ConstantSensor(SeriesKey.of("m"), 1.0))
+        sampler.start()
+        eng.run(until=9.0)
+        assert sampler.overhead_cpu_s == pytest.approx(0.010)
+
+    def test_double_start_raises(self):
+        eng = Engine()
+        sampler = Sampler(eng, _ListSink(), period=1.0)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_stop_halts_sampling(self):
+        eng = Engine()
+        sink = _ListSink()
+        sampler = Sampler(eng, sink, period=1.0)
+        sampler.add_sensor(ConstantSensor(SeriesKey.of("m"), 1.0))
+        sampler.start()
+        eng.schedule(2.5, sampler.stop)
+        eng.run(until=10.0)
+        assert len(sink.batches) == 3
+
+
+class TestCollector:
+    def test_zero_latency_writes_immediately(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        k = SeriesKey.of("m")
+        coll.submit([Sample(k, 0.0, 5.0)])
+        assert store.latest(k) == (0.0, 5.0)
+
+    def test_ingest_latency_defers_write(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store, ingest_latency=2.0)
+        k = SeriesKey.of("m")
+        eng.schedule(1.0, coll.submit, [Sample(k, 1.0, 5.0)])
+        eng.run(until=2.0)
+        assert store.latest(k) is None  # not yet committed
+        eng.run(until=3.0)
+        assert store.latest(k) == (1.0, 5.0)
+        assert coll.latest_arrival_lag == pytest.approx(2.0)
+
+    def test_aggregator_forwards_with_latency(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        agg = Aggregator(eng, coll, forward_latency=1.5)
+        k = SeriesKey.of("m")
+        eng.schedule(0.0, agg.submit, [Sample(k, 0.0, 1.0)])
+        eng.run(until=1.0)
+        assert store.latest(k) is None
+        eng.run(until=2.0)
+        assert store.latest(k) == (0.0, 1.0)
+        assert agg.bytes_forwarded > 0
+
+    def test_aggregator_loss(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        rng = RngRegistry(seed=5).stream("loss")
+        agg = Aggregator(eng, coll, forward_latency=0.0, loss_prob=1.0, rng=rng)
+        agg.submit([Sample(SeriesKey.of("m"), 0.0, 1.0)])
+        assert agg.batches_lost == 1
+        assert store.cardinality() == 0
+
+
+class TestCollectionPipeline:
+    def test_end_to_end(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        pipe = CollectionPipeline(eng, store, hop_latency=0.1, ingest_latency=0.1)
+        aggs = pipe.build(2)
+        k = SeriesKey.of("node_power_watts", node="n0")
+        sampler = Sampler(eng, aggs[0], period=1.0)
+        sampler.add_sensor(ConstantSensor(k, 400.0))
+        sampler.start()
+        eng.run(until=5.5)
+        times, values = store.query(k, 0, 10)
+        assert times.size == 6
+        assert np.all(values == 400.0)
+        assert pipe.end_to_end_latency == pytest.approx(0.2)
+        assert pipe.total_bytes() > 0
+
+    def test_build_rejects_zero_groups(self):
+        eng = Engine()
+        pipe = CollectionPipeline(eng, TimeSeriesStore())
+        with pytest.raises(ValueError):
+            pipe.build(0)

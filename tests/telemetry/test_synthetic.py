@@ -1,0 +1,126 @@
+"""Tests for synthetic telemetry generation and overhead accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, RngRegistry
+from repro.telemetry.collector import CollectionPipeline
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.overhead import MonitoringOverheadModel
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.sensor import ConstantSensor
+from repro.telemetry.synthetic import (
+    DAY_S,
+    LevelShiftSpec,
+    SpikeSpec,
+    SyntheticSeriesSpec,
+    node_power_spec,
+    node_temperature_spec,
+    render_series,
+)
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(seed=11).stream("synthetic")
+
+
+def test_base_only(rng):
+    spec = SyntheticSeriesSpec(base=50.0, noise_std=0.0)
+    values = render_series(np.arange(10.0), spec, rng)
+    np.testing.assert_array_equal(values, np.full(10, 50.0))
+
+
+def test_diurnal_period(rng):
+    spec = SyntheticSeriesSpec(base=0.0, diurnal_amplitude=10.0, noise_std=0.0)
+    t = np.array([0.0, DAY_S / 4, DAY_S / 2])
+    v = render_series(t, spec, rng)
+    assert v[0] == pytest.approx(0.0, abs=1e-9)
+    assert v[1] == pytest.approx(10.0)
+    assert v[2] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_drift(rng):
+    spec = SyntheticSeriesSpec(base=0.0, drift_per_day=24.0, noise_std=0.0)
+    v = render_series(np.array([0.0, DAY_S / 2, DAY_S]), spec, rng)
+    np.testing.assert_allclose(v, [0.0, 12.0, 24.0])
+
+
+def test_spike_window(rng):
+    spec = SyntheticSeriesSpec(
+        base=0.0, noise_std=0.0, spikes=[SpikeSpec(time=100.0, magnitude=50.0, duration=10.0)]
+    )
+    t = np.array([99.0, 100.0, 105.0, 110.0])
+    v = render_series(t, spec, rng)
+    np.testing.assert_allclose(v, [0.0, 50.0, 50.0, 0.0])
+
+
+def test_level_shift(rng):
+    spec = SyntheticSeriesSpec(
+        base=10.0, noise_std=0.0, level_shifts=[LevelShiftSpec(time=50.0, magnitude=5.0)]
+    )
+    v = render_series(np.array([0.0, 49.0, 50.0, 100.0]), spec, rng)
+    np.testing.assert_allclose(v, [10.0, 10.0, 15.0, 15.0])
+
+
+def test_ar1_noise_is_autocorrelated(rng):
+    spec = SyntheticSeriesSpec(base=0.0, noise_std=1.0, ar1_coeff=0.95)
+    v = render_series(np.arange(5000.0), spec, rng)
+    lag1 = np.corrcoef(v[:-1], v[1:])[0, 1]
+    assert lag1 > 0.8
+
+
+def test_white_noise_not_autocorrelated(rng):
+    spec = SyntheticSeriesSpec(base=0.0, noise_std=1.0, ar1_coeff=0.0)
+    v = render_series(np.arange(5000.0), spec, rng)
+    lag1 = np.corrcoef(v[:-1], v[1:])[0, 1]
+    assert abs(lag1) < 0.1
+
+
+def test_clipping(rng):
+    spec = SyntheticSeriesSpec(base=0.0, noise_std=10.0, clip_min=-1.0, clip_max=1.0)
+    v = render_series(np.arange(100.0), spec, rng)
+    assert np.all(v >= -1.0) and np.all(v <= 1.0)
+
+
+def test_invalid_ar1_raises():
+    with pytest.raises(ValueError):
+        SyntheticSeriesSpec(ar1_coeff=1.0)
+
+
+def test_anomaly_times_sorted(rng):
+    spec = SyntheticSeriesSpec(
+        spikes=[SpikeSpec(200.0, 1.0)], level_shifts=[LevelShiftSpec(100.0, 1.0)]
+    )
+    assert spec.anomaly_times() == [100.0, 200.0]
+
+
+def test_plausible_specs(rng):
+    for factory in (node_power_spec, node_temperature_spec):
+        spec = factory(rng)
+        v = render_series(np.arange(0.0, 3600.0, 10.0), spec, rng)
+        assert np.all(np.isfinite(v))
+
+
+def test_overhead_report():
+    eng = Engine()
+    store = TimeSeriesStore()
+    pipe = CollectionPipeline(eng, store, hop_latency=0.0, ingest_latency=0.0)
+    aggs = pipe.build(1)
+    sampler = Sampler(eng, aggs[0], period=1.0, per_sample_cost_s=0.002)
+    sampler.add_sensor(ConstantSensor(SeriesKey.of("m", node="a"), 1.0))
+    sampler.start()
+    eng.run(until=99.0)
+    model = MonitoringOverheadModel([sampler], aggs)
+    report = model.report(window_s=100.0)
+    assert report.n_agents == 1
+    assert report.cpu_fraction_per_agent == pytest.approx(0.002, rel=0.01)
+    assert report.bytes_total == 100 * 64
+    assert report.drop_rate == 0.0
+
+
+def test_overhead_rejects_bad_window():
+    model = MonitoringOverheadModel([], [])
+    with pytest.raises(ValueError):
+        model.report(0.0)

@@ -1,0 +1,234 @@
+"""Unit tests for the ring buffer and time-series store."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import RingBuffer, SeriesStats, TimeSeriesStore
+
+
+class TestRingBuffer:
+    def test_append_and_read_back(self):
+        rb = RingBuffer(8)
+        for t in range(5):
+            rb.append(float(t), float(t) * 10)
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(values, [0, 10, 20, 30, 40])
+
+    def test_wraparound_keeps_latest(self):
+        rb = RingBuffer(4)
+        for t in range(10):
+            rb.append(float(t), float(t))
+        times, _ = rb.arrays()
+        np.testing.assert_array_equal(times, [6, 7, 8, 9])
+        assert len(rb) == 4
+        assert rb.total_appended == 10
+
+    def test_out_of_order_append_raises(self):
+        rb = RingBuffer(4)
+        rb.append(5.0, 1.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            rb.append(4.0, 1.0)
+
+    def test_equal_time_append_allowed(self):
+        rb = RingBuffer(4)
+        rb.append(5.0, 1.0)
+        rb.append(5.0, 2.0)
+        assert len(rb) == 2
+
+    def test_window_query(self):
+        rb = RingBuffer(16)
+        for t in range(10):
+            rb.append(float(t), float(t))
+        times, values = rb.window(2.5, 6.0)
+        np.testing.assert_array_equal(times, [3, 4, 5, 6])
+
+    def test_window_inclusive_bounds(self):
+        rb = RingBuffer(16)
+        for t in range(5):
+            rb.append(float(t), float(t))
+        times, _ = rb.window(1.0, 3.0)
+        np.testing.assert_array_equal(times, [1, 2, 3])
+
+    def test_last_time_value(self):
+        rb = RingBuffer(4)
+        rb.append(1.0, 10.0)
+        rb.append(2.0, 20.0)
+        assert rb.last_time() == 2.0
+        assert rb.last_value() == 20.0
+
+    def test_empty_last_raises(self):
+        rb = RingBuffer(4)
+        with pytest.raises(IndexError):
+            rb.last_time()
+        with pytest.raises(IndexError):
+            rb.last_value()
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_extend_bulk(self):
+        rb = RingBuffer(8)
+        rb.extend(np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 30.0]))
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [1, 2, 3])
+        np.testing.assert_array_equal(values, [10, 20, 30])
+
+    def test_extend_larger_than_capacity_keeps_tail(self):
+        rb = RingBuffer(4)
+        rb.extend(np.arange(10.0), np.arange(10.0) * 2)
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [6, 7, 8, 9])
+        np.testing.assert_array_equal(values, [12, 14, 16, 18])
+
+    def test_extend_wraps_correctly(self):
+        rb = RingBuffer(5)
+        rb.extend(np.array([0.0, 1.0, 2.0]), np.zeros(3))
+        rb.extend(np.array([3.0, 4.0, 5.0, 6.0]), np.ones(4))
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [2, 3, 4, 5, 6])
+        np.testing.assert_array_equal(values, [0, 1, 1, 1, 1])
+
+    def test_extend_unsorted_raises(self):
+        rb = RingBuffer(8)
+        with pytest.raises(ValueError, match="sorted"):
+            rb.extend(np.array([2.0, 1.0]), np.array([0.0, 0.0]))
+
+    def test_extend_overlap_raises(self):
+        rb = RingBuffer(8)
+        rb.append(5.0, 0.0)
+        with pytest.raises(ValueError, match="overlaps"):
+            rb.extend(np.array([4.0]), np.array([0.0]))
+
+    def test_extend_empty_noop(self):
+        rb = RingBuffer(8)
+        rb.extend(np.empty(0), np.empty(0))
+        assert len(rb) == 0
+
+    def test_extend_shape_mismatch(self):
+        rb = RingBuffer(8)
+        with pytest.raises(ValueError, match="same shape"):
+            rb.extend(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestTimeSeriesStore:
+    def _key(self, **labels):
+        return SeriesKey.of("m", **labels)
+
+    def test_insert_query_roundtrip(self):
+        store = TimeSeriesStore()
+        k = self._key(node="a")
+        for t in range(10):
+            store.insert(k, float(t), float(t) ** 2)
+        times, values = store.query(k, 2.0, 4.0)
+        np.testing.assert_array_equal(times, [2, 3, 4])
+        np.testing.assert_array_equal(values, [4, 9, 16])
+
+    def test_query_missing_series_returns_empty(self):
+        store = TimeSeriesStore()
+        times, values = store.query(self._key(), 0, 10)
+        assert times.size == 0 and values.size == 0
+
+    def test_latest(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        assert store.latest(k) is None
+        store.insert(k, 1.0, 5.0)
+        store.insert(k, 2.0, 7.0)
+        assert store.latest(k) == (2.0, 7.0)
+
+    def test_cardinality_counts_distinct_series(self):
+        store = TimeSeriesStore()
+        store.insert(self._key(node="a"), 0.0, 1.0)
+        store.insert(self._key(node="b"), 0.0, 1.0)
+        store.insert(self._key(node="a"), 1.0, 1.0)
+        assert store.cardinality() == 2
+
+    def test_rate_on_counter(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        for t in range(11):
+            store.insert(k, float(t), float(t) * 3)  # 3 units/s
+        assert store.rate(k, 0, 10) == pytest.approx(3.0)
+
+    def test_rate_insufficient_points(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        store.insert(k, 0.0, 1.0)
+        assert store.rate(k, 0, 10) is None
+
+    def test_downsample_mean(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        for t in range(10):
+            store.insert(k, float(t), float(t))
+        times, values = store.downsample(k, 0.0, 10.0, step=5.0, agg="mean")
+        np.testing.assert_array_equal(times, [0.0, 5.0])
+        np.testing.assert_array_equal(values, [2.0, 7.0])
+
+    def test_downsample_drops_empty_bins(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        store.insert(k, 0.0, 1.0)
+        store.insert(k, 20.0, 2.0)
+        times, _ = store.downsample(k, 0.0, 30.0, step=5.0)
+        np.testing.assert_array_equal(times, [0.0, 20.0])
+
+    def test_downsample_unknown_agg_raises(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            store.downsample(self._key(), 0, 1, 1.0, agg="median-ish")
+
+    def test_downsample_nonpositive_step_raises(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValueError, match="step"):
+            store.downsample(self._key(), 0, 1, 0.0)
+
+    def test_stats(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            store.insert(k, float(t), v)
+        s = store.stats(k, 0, 3)
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_stats_empty(self):
+        store = TimeSeriesStore()
+        s = store.stats(self._key(), 0, 1)
+        assert s.count == 0
+        assert np.isnan(s.mean)
+
+    def test_aggregate_across_series(self):
+        store = TimeSeriesStore()
+        store.insert(SeriesKey.of("power", node="a"), 0.0, 100.0)
+        store.insert(SeriesKey.of("power", node="b"), 0.0, 300.0)
+        assert store.aggregate_across("power", 0, 1, "mean") == pytest.approx(200.0)
+        assert store.aggregate_across("power", 0, 1, "max") == pytest.approx(300.0)
+        assert store.aggregate_across("other", 0, 1) is None
+
+    def test_capacity_override(self):
+        store = TimeSeriesStore(default_capacity=100)
+        store.set_capacity("m", 2)
+        k = self._key()
+        for t in range(5):
+            store.insert(k, float(t), float(t))
+        times, _ = store.query(k, 0, 10)
+        np.testing.assert_array_equal(times, [3, 4])
+
+    def test_total_inserts_counted(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        store.insert(k, 0.0, 1.0)
+        store.insert_batch(k, np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert store.total_inserts == 3
+
+    def test_series_keys_filter_by_metric(self):
+        store = TimeSeriesStore()
+        store.insert(SeriesKey.of("a", n="1"), 0.0, 0.0)
+        store.insert(SeriesKey.of("b", n="1"), 0.0, 0.0)
+        assert [k.metric for k in store.series_keys("a")] == ["a"]
+        assert len(store.series_keys()) == 2

@@ -1,0 +1,28 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_INDEX, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E12" in out
+    assert "Scheduler case" in out
+
+
+def test_version_command(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == "1.0.0"
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "experiments" in capsys.readouterr().out
+
+
+def test_index_covers_all_experiments():
+    ids = [e[0] for e in EXPERIMENT_INDEX]
+    assert ids == [f"E{i}" for i in range(1, 13)]

@@ -1,0 +1,196 @@
+"""Tests for archetypes, workload generation, resubmission, traces."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import CheckpointRecord, CheckpointStore
+from repro.cluster.job import JobState
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler
+from repro.sim import Engine, RngRegistry
+from repro.workloads.archetypes import (
+    adaptive_mesh_app,
+    io_heavy_app,
+    ml_training_app,
+    simulation_app,
+    standard_mix,
+)
+from repro.workloads.generator import (
+    MisestimationModel,
+    ResubmitPolicy,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.workloads.traces import export_job_trace, export_marker_dataset, load_job_trace
+from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(seed=1).stream("test")
+
+
+class TestArchetypes:
+    @pytest.mark.parametrize(
+        "factory", [simulation_app, adaptive_mesh_app, ml_training_app, io_heavy_app]
+    )
+    def test_profiles_valid_and_varied(self, factory, rng):
+        profiles = [factory(rng) for _ in range(10)]
+        runtimes = [p.nominal_runtime_s() for p in profiles]
+        assert all(r > 0 for r in runtimes)
+        assert np.std(runtimes) > 0  # randomized, not constant
+
+    def test_adaptive_mesh_slows_down(self, rng):
+        p = adaptive_mesh_app(rng)
+        assert len(p.phases) == 2
+        assert p.phases[0].rate_multiplier < 1.0
+        assert p.phases[1].rate_multiplier < p.phases[0].rate_multiplier
+
+    def test_ml_training_uses_gpu(self, rng):
+        assert ml_training_app(rng).uses_gpu
+
+    def test_standard_mix_weights(self):
+        mix = standard_mix()
+        assert len(mix) == 4
+        assert abs(sum(a.weight for a in mix) - 1.0) < 1e-9
+
+
+class TestMisestimation:
+    def test_biased_underestimation(self, rng):
+        model = MisestimationModel(mu=-0.5, sigma=0.1)
+        requests = [model.request_for(10_000.0, rng) for _ in range(100)]
+        assert np.median(requests) < 10_000.0
+
+    def test_clipping(self, rng):
+        model = MisestimationModel(mu=0.0, sigma=5.0, min_factor=0.5, max_factor=2.0)
+        for _ in range(50):
+            req = model.request_for(10_000.0, rng)
+            assert 5_000.0 <= req <= 20_000.0
+
+    def test_floor(self, rng):
+        model = MisestimationModel(floor_s=1000.0)
+        assert model.request_for(10.0, rng) == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MisestimationModel(min_factor=0.0)
+
+
+class TestWorkloadGenerator:
+    def _gen(self, n_jobs=10, seed=0):
+        eng = Engine()
+        sched = Scheduler(eng, [Node(f"n{i}", NodeSpec()) for i in range(8)])
+        rng = RngRegistry(seed=seed).stream("wl")
+        gen = WorkloadGenerator(eng, sched, rng, WorkloadSpec(n_jobs=n_jobs))
+        return eng, sched, gen
+
+    def test_submits_requested_count(self):
+        eng, sched, gen = self._gen(n_jobs=12)
+        gen.start()
+        eng.run(until=1e7)
+        assert len(gen.jobs) == 12
+        assert sched.stats.submitted == 12
+
+    def test_deterministic_under_seed(self):
+        _, _, gen1 = self._gen(seed=5)
+        _, _, gen2 = self._gen(seed=5)
+        j1 = gen1.make_job()
+        j2 = gen2.make_job()
+        assert j1.profile.name == j2.profile.name
+        assert j1.walltime_request_s == j2.walltime_request_s
+
+    def test_underestimated_subset(self):
+        eng, sched, gen = self._gen(n_jobs=30)
+        gen.start()
+        eng.run(until=1e7)
+        under = gen.underestimated_jobs()
+        assert 0 < len(under) <= 30
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_jobs=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(mix=[])
+
+
+class TestResubmitPolicy:
+    def test_timeout_resubmitted_with_checkpoint(self):
+        from repro.cluster.application import ApplicationProfile
+        from repro.cluster.job import Job
+
+        eng = Engine()
+        store = CheckpointStore()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())], checkpoint_store=store)
+        policy = ResubmitPolicy(
+            eng, sched, checkpoint_store=store, max_resubmits_per_job=2, resubmit_delay_s=10.0
+        )
+        profile = ApplicationProfile("app", 3000.0, 1.0, marker_period_s=60.0, checkpoint_cost_s=30.0)
+        job = Job("j1", "u", profile, walltime_request_s=1000.0)
+        sched.submit(job)
+        # checkpoint before the timeout so the resubmit restarts warm
+        eng.schedule(800.0, sched.signal_checkpoint, "j1")
+        eng.run(until=20_000.0)
+        assert job.state is JobState.TIMEOUT
+        assert policy.resubmissions >= 1
+        clones = [j for j in sched.jobs.values() if j.job_id.startswith("j1-r")]
+        assert clones
+        assert clones[0].restart_step > 0.0  # warm restart
+
+    def test_resubmit_limit(self):
+        from repro.cluster.application import ApplicationProfile
+        from repro.cluster.job import Job
+
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        policy = ResubmitPolicy(eng, sched, max_resubmits_per_job=1, resubmit_delay_s=10.0)
+        profile = ApplicationProfile("app", 1e6, 1.0)  # can never finish
+        job = Job("j1", "u", profile, walltime_request_s=500.0)
+        sched.submit(job)
+        eng.run(until=50_000.0)
+        assert policy.resubmissions == 1  # chain stops after the limit
+
+    def test_completed_jobs_not_resubmitted(self):
+        from repro.cluster.application import ApplicationProfile
+        from repro.cluster.job import Job
+
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        policy = ResubmitPolicy(eng, sched, resubmit_delay_s=10.0)
+        profile = ApplicationProfile("app", 100.0, 1.0)
+        job = Job("j1", "u", profile, walltime_request_s=500.0)
+        sched.submit(job)
+        eng.run(until=10_000.0)
+        assert policy.resubmissions == 0
+
+
+class TestTraces:
+    def test_job_trace_roundtrip(self, tmp_path):
+        from repro.cluster.application import ApplicationProfile
+        from repro.cluster.job import Job
+
+        eng = Engine()
+        sched = Scheduler(eng, [Node("n0", NodeSpec())])
+        profile = ApplicationProfile("app", 200.0, 1.0)
+        job = Job("j1", "u", profile, walltime_request_s=400.0)
+        sched.submit(job)
+        eng.run(until=1000.0)
+        path = tmp_path / "trace.csv"
+        n = export_job_trace([job], path)
+        assert n == 1
+        rows = load_job_trace(path)
+        assert rows[0]["job_id"] == "j1"
+        assert rows[0]["state"] == "completed"
+        assert float(rows[0]["final_step"]) == 200.0
+
+    def test_marker_dataset_export(self, tmp_path):
+        channel = ProgressMarkerChannel()
+        for t in range(5):
+            channel.emit(ProgressMarker("j1", float(t) * 10, float(t), total_steps=100.0))
+        path = tmp_path / "markers.csv"
+        n = export_marker_dataset(channel, path)
+        assert n == 5
+        content = path.read_text().splitlines()
+        assert content[0] == "job_id,time,step,total_steps"
+        assert len(content) == 6
