@@ -5,6 +5,9 @@
 * ``experiments [--quick] [--seeds ...]`` — regenerate every experiment
   table (the EXPERIMENTS.md content).
 * ``list`` — enumerate experiments with their paper anchors.
+* ``query "<expr>"`` — run a short simulated shift and evaluate a metric
+  query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
+  the vectorized query engine with tiered rollups.
 * ``version`` — print the package version.
 """
 
@@ -27,6 +30,7 @@ EXPERIMENT_INDEX = [
     ("E10", "§IV", "TSDB + model-metadata storage paths"),
     ("E11", "§III.iv", "trust/guard budget sweep"),
     ("E12", "§II i–ii", "component interchange matrix"),
+    ("E13", "§IV", "query engine: tiered rollups + cache vs raw scans"),
 ]
 
 
@@ -51,6 +55,51 @@ def cmd_experiments(quick: bool, seeds: List[int]) -> int:
     return 0
 
 
+def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
+    """Simulate a short shift, then serve ``expr`` from the query engine."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.query import QueryCache, QueryEngine, QueryParseError, RollupManager
+    from repro.sim import Engine, RngRegistry
+    from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(n_nodes=nodes, telemetry_period_s=10.0, seed=seed))
+    generator = WorkloadGenerator(
+        engine,
+        cluster.scheduler,
+        RngRegistry(seed=seed).stream("workload"),
+        WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
+    )
+    generator.start()
+    rollups = RollupManager(cluster.store, resolutions=(60.0, 600.0))
+    rollups.attach(engine)
+    engine.run(until=horizon)
+
+    qe = QueryEngine(cluster.store, rollups=rollups, cache=QueryCache())
+    try:
+        result = qe.query(expr, at=horizon)
+    except QueryParseError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"# {result.query.to_expr()}")
+    print(f"# window=[{result.t0:g}, {result.t1:g}]s source={result.source} "
+          f"series={len(result.series)}")
+    for series in result.series:
+        if series.values.size == 1:
+            print(f"{series!s:30s} {series.values[0]:.4f}")
+            continue
+        head = ", ".join(f"{v:.3f}" for v in series.values[:8])
+        tail = ", …" if series.values.size > 8 else ""
+        print(f"{series!s:30s} n={series.values.size:4d} [{head}{tail}]")
+    if not result.series:
+        print("(no matching data — try `mean(node_cpu_util[600s] by 60s)`)")
+    stats = qe.stats()
+    print(f"# engine: raw={stats['served_raw']:.0f} rollup={stats['served_rollup']:.0f} "
+          f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
+          f"store_series={cluster.store.cardinality()}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,11 +110,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     exp.add_argument("--quick", action="store_true", help="reduced problem sizes")
     exp.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     sub.add_parser("list", help="list experiments and their paper anchors")
+    qry = sub.add_parser("query", help="evaluate a metric query over a simulated shift")
+    qry.add_argument("expr", help='e.g. \'mean(node_cpu_util[600s] by 60s) group by (node)\'')
+    qry.add_argument("--nodes", type=int, default=16)
+    qry.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
+    qry.add_argument("--seed", type=int, default=7)
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
     if args.command == "experiments":
         return cmd_experiments(args.quick, args.seeds)
+    if args.command == "query":
+        return cmd_query(args.expr, args.nodes, args.horizon, args.seed)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

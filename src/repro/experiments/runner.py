@@ -169,6 +169,14 @@ def run_all(quick: bool = False, seeds: List[int] = (0, 1, 2)) -> None:
     # ------------------------------------------------------------- E12
     _p(render_table(run_interchange_matrix(), title="E12 — component interchange matrix"))
 
+    # ------------------------------------------------------------- E13
+    from repro.experiments.query_exp import run_query_scan_comparison
+
+    _p(render_table(
+        [run_query_scan_comparison(seed=0, n_series=128 if quick else 512)],
+        title="E13 — query engine vs naive raw scans",
+    ))
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)

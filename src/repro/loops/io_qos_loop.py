@@ -31,9 +31,12 @@ from repro.core.types import (
     Plan,
     Symptom,
 )
+from repro.query.engine import QueryEngine
 from repro.sim.engine import Engine
 from repro.storage.client import PeriodicWriter
 from repro.storage.filesystem import ParallelFileSystem
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
 
 
 @dataclass
@@ -44,6 +47,9 @@ class IoQosConfig:
     latency_target_s: float = 2.0
     headroom_fraction: float = 0.5  # recovery when worst <= fraction × target
     recent_window: int = 5
+    #: telemetry window the monitor queries; None → recent_window × the
+    #: deadline tenant's write period (≈ the last recent_window writes)
+    observation_window_s: Optional[float] = None
     decrease_factor: float = 0.5
     increase_mbps: float = 50.0
     min_rate_mbps: float = 50.0
@@ -60,29 +66,81 @@ class IoQosConfig:
 
 
 class IoLoadMonitor(Monitor):
-    """Observes the deadline tenant's recent latency and system I/O load."""
+    """Observes the deadline tenant's recent latency and system I/O load.
+
+    The monitor is a small telemetry pipeline of its own: completed
+    transfers are published into a time-series store as
+    ``io_write_latency_s{client=...}`` (plus ``fs_load_fraction``), and
+    the observation is then *queried back* through the query engine —
+    the same serving path dashboards use — instead of peeking at writer
+    internals.
+    """
 
     name = "io-load-monitor"
 
     def __init__(
-        self, fs: ParallelFileSystem, writers: Sequence[PeriodicWriter], config: IoQosConfig
+        self,
+        fs: ParallelFileSystem,
+        writers: Sequence[PeriodicWriter],
+        config: IoQosConfig,
+        *,
+        query_engine: Optional[QueryEngine] = None,
     ) -> None:
         self.fs = fs
         self.writers = {w.client_id: w for w in writers}
         self.config = config
+        # Instant queries end at a fresh `now` each tick: caching would
+        # serve sub-quantum stale observations, so the default is uncached.
+        self.query_engine = (
+            query_engine
+            if query_engine is not None
+            else QueryEngine(TimeSeriesStore(), enable_cache=False)
+        )
+        self.store = self.query_engine.store
+        self._ingested = {w.client_id: 0 for w in writers}
+        self._load_key = SeriesKey.of("fs_load_fraction")
+
+    def _window_s(self, deadline_writer: PeriodicWriter) -> float:
+        if self.config.observation_window_s is not None:
+            return self.config.observation_window_s
+        return self.config.recent_window * deadline_writer.period_s
+
+    def _ingest(self, now: float) -> None:
+        """Publish transfers completed since the last observation."""
+        for client_id, writer in self.writers.items():
+            start = self._ingested[client_id]
+            for transfer in writer.transfers[start:]:
+                self.store.insert(
+                    SeriesKey.of("io_write_latency_s", client=client_id),
+                    transfer.t_end,
+                    transfer.duration,
+                )
+            self._ingested[client_id] = len(writer.transfers)
+        self.store.insert(self._load_key, now, self.fs.load_fraction())
 
     def observe(self, now: float) -> Optional[Observation]:
         deadline_writer = self.writers.get(self.config.deadline_tenant)
         if deadline_writer is None or not deadline_writer.transfers:
             return None
-        recent = deadline_writer.transfers[-self.config.recent_window :]
-        latencies = [t.duration for t in recent]
+        self._ingest(now)
+        window = self._window_s(deadline_writer)
+        selector = f'io_write_latency_s{{client="{self.config.deadline_tenant}"}}[{window:g}s]'
+        worst = self.query_engine.scalar(f"max({selector})", at=now)
+        mean = self.query_engine.scalar(f"mean({selector})", at=now)
+        count = self.query_engine.scalar(f"count({selector})", at=now)
+        if worst is None or mean is None:
+            # stalled tenant: no transfer landed inside the window — fall
+            # back to its most recent completions so the loop still reacts
+            recent = deadline_writer.transfers[-self.config.recent_window :]
+            latencies = [t.duration for t in recent]
+            worst, mean, count = float(np.max(latencies)), float(np.mean(latencies)), len(recent)
+        fs_load = self.query_engine.scalar(f"last(fs_load_fraction[{window:g}s])", at=now)
         values = {
-            "deadline_p_latency": float(np.max(latencies)),
-            "deadline_mean_latency": float(np.mean(latencies)),
-            "fs_load": self.fs.load_fraction(),
+            "deadline_p_latency": float(worst),
+            "deadline_mean_latency": float(mean),
+            "fs_load": float(fs_load) if fs_load is not None else self.fs.load_fraction(),
         }
-        return Observation(now, self.name, values=values, context={"recent_n": len(recent)})
+        return Observation(now, self.name, values=values, context={"recent_n": int(count)})
 
 
 class QosAnalyzer(Analyzer):
@@ -200,16 +258,19 @@ class IoQosManagerLoop:
         *,
         config: Optional[IoQosConfig] = None,
         audit: Optional[AuditTrail] = None,
+        query_engine: Optional[QueryEngine] = None,
     ) -> None:
         self.config = config if config is not None else IoQosConfig()
         background = [
             w.client_id for w in writers if w.client_id != self.config.deadline_tenant
         ]
         knowledge = KnowledgeBase()
+        self.monitor = IoLoadMonitor(fs, writers, self.config, query_engine=query_engine)
+        self.query_engine = self.monitor.query_engine
         self.loop = MAPEKLoop(
             engine,
             "io-qos-case",
-            monitor=IoLoadMonitor(fs, writers, self.config),
+            monitor=self.monitor,
             analyzer=QosAnalyzer(self.config),
             planner=AimdQosPlanner(self.config, background),
             executor=QosExecutor(fs),

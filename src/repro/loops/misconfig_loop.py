@@ -14,6 +14,7 @@ the rule's suggestion.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -38,8 +39,9 @@ from repro.core.types import (
     Plan,
     Symptom,
 )
+from repro.query.engine import QueryEngine
+from repro.query.model import LabelMatcher, MetricQuery
 from repro.sim.engine import Engine
-from repro.telemetry.metric import SeriesKey
 from repro.telemetry.tsdb import TimeSeriesStore
 
 
@@ -59,14 +61,33 @@ class MisconfigCaseConfig:
 
 
 class JobConfigMonitor(Monitor):
-    """Builds JobConfigViews for running jobs from config + telemetry."""
+    """Builds JobConfigViews for running jobs from config + telemetry.
+
+    Utilization summaries come from the query engine: one grouped query
+    per job (``mean(node_cpu_util{node=~"..."}[window]) group by (node)``)
+    instead of a hand-rolled window scan per node.
+    """
 
     name = "job-config-monitor"
 
-    def __init__(self, scheduler: Scheduler, store: TimeSeriesStore, config: MisconfigCaseConfig) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        store: TimeSeriesStore,
+        config: MisconfigCaseConfig,
+        *,
+        query_engine: Optional[QueryEngine] = None,
+    ) -> None:
         self.scheduler = scheduler
         self.store = store
         self.config = config
+        # Observation windows end at a fresh `now` each tick — run uncached
+        # by default so just-ingested telemetry is never served stale.
+        self.query_engine = (
+            query_engine
+            if query_engine is not None
+            else QueryEngine(store, enable_cache=False)
+        )
 
     def observe(self, now: float) -> Optional[Observation]:
         views = []
@@ -83,13 +104,19 @@ class JobConfigMonitor(Monitor):
         )
 
     def _view(self, job, now: float, age: float) -> JobConfigView:
-        t0 = now - min(age, self.config.observation_window_s)
-        utils = []
-        for node_id in job.assigned_nodes:
-            key = SeriesKey.of("node_cpu_util", node=node_id)
-            stats = self.store.stats(key, t0, now)
-            if stats.count:
-                utils.append(stats.mean)
+        window_s = min(age, self.config.observation_window_s)
+        utils: List[float] = []
+        if window_s > 0 and job.assigned_nodes:  # zero-age jobs have no window yet
+            node_pattern = "|".join(re.escape(n) for n in job.assigned_nodes)
+            query = MetricQuery(
+                "node_cpu_util",
+                agg="mean",
+                matchers=(LabelMatcher("node", "=~", node_pattern),),
+                range_s=window_s,
+                group_by=("node",),
+            )
+            result = self.query_engine.query(query, at=now)
+            utils = [float(s.values[-1]) for s in result.series]
         cpu_util = sum(utils) / len(utils) if utils else float("nan")
         node = self.scheduler.nodes[job.assigned_nodes[0]]
         threads = job.launch.threads if job.launch.threads is not None else node.spec.cores
@@ -262,13 +289,21 @@ class MisconfigCaseManager:
         config: Optional[MisconfigCaseConfig] = None,
         audit: Optional[AuditTrail] = None,
         notifier: Optional[HumanOnTheLoopNotifier] = None,
+        query_engine: Optional[QueryEngine] = None,
     ) -> None:
         self.config = config if config is not None else MisconfigCaseConfig()
+        self.query_engine = (
+            query_engine
+            if query_engine is not None
+            else QueryEngine(store, enable_cache=False)
+        )
         self.executor = FixOrNotifyExecutor(engine, scheduler, notifier)
         self.loop = MAPEKLoop(
             engine,
             "misconfig-case",
-            monitor=JobConfigMonitor(scheduler, store, self.config),
+            monitor=JobConfigMonitor(
+                scheduler, store, self.config, query_engine=self.query_engine
+            ),
             analyzer=MisconfigLoopAnalyzer(),
             planner=InformOrFixPlanner(self.config),
             executor=self.executor,

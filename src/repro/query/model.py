@@ -1,0 +1,139 @@
+"""Declarative query model for the metric serving layer.
+
+A :class:`MetricQuery` names *what* to compute — metric, label
+selection, time range, bin step, aggregator, and grouping — and leaves
+*how* (raw scan vs. rollup tier, caching) to the engine.  Queries have a
+canonical compact string form::
+
+    mean(node_cpu_util{node=~"n0.*"}[300s] by 30s) group by (node)
+
+which :func:`repro.query.parser.parse_query` round-trips.
+
+Semantics (shared by the engine and the brute-force reference):
+
+* **Selection** — series of ``metric`` whose labels satisfy every
+  matcher (``=``, ``!=``, ``=~``, ``!~``; regexes are fully anchored).
+* **Grouping** — matching series partition by their ``group_by`` label
+  values (missing label → ``""``); empty ``group_by`` pools everything
+  into one output series.
+* **Range queries** (``step_s`` set) use half-open bins aligned to the
+  absolute time grid: bin ``k`` covers ``[k·step, (k+1)·step)`` and the
+  evaluated window is every bin overlapping ``[t0, t1]``.  Grid
+  alignment is what makes rollup-tier serving exact.
+* **Instant queries** (``step_s`` unset) aggregate the inclusive window
+  ``[t0, t1]`` into a single value stamped at ``t0``.
+* **Aggregation** pools samples across the group's series (``mean``,
+  ``sum``, ``min``, ``max``, ``count``, ``last``, ``p50/p95/p99``), or
+  for ``rate`` sums per-series counter-reset-aware increase rates.
+* Empty bins and sample-less groups are dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.query.kernels import ALL_AGGS
+from repro.telemetry.metric import SeriesKey
+
+#: Every aggregator a query may name (kernel aggs plus counter rate).
+QUERY_AGGS = ALL_AGGS + ("rate",)
+
+_MATCH_OPS = ("=", "!=", "=~", "!~")
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+@dataclass(frozen=True)
+class LabelMatcher:
+    """One label constraint: ``name op "value"``."""
+
+    name: str
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _MATCH_OPS:
+            raise ValueError(f"unknown matcher op {self.op!r}; choose from {_MATCH_OPS}")
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"invalid label name {self.name!r}")
+        if self.op in ("=~", "!~"):
+            try:
+                re.compile(self.value)
+            except re.error as exc:
+                raise ValueError(f"invalid regex {self.value!r}: {exc}") from None
+
+    def matches(self, label_value: Optional[str]) -> bool:
+        """Test one series' label value (``None`` = label absent → "")."""
+        actual = label_value if label_value is not None else ""
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        matched = re.fullmatch(self.value, actual) is not None
+        return matched if self.op == "=~" else not matched
+
+    def __str__(self) -> str:
+        return f'{self.name}{self.op}"{self.value}"'
+
+
+@dataclass(frozen=True)
+class MetricQuery:
+    """A declarative metric query (see module docstring for semantics)."""
+
+    metric: str
+    agg: str = "mean"
+    matchers: Tuple[LabelMatcher, ...] = ()
+    range_s: Optional[float] = None  # window length; None = full retention
+    step_s: Optional[float] = None  # bin width; None = instant query
+    group_by: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.metric):
+            raise ValueError(f"invalid metric name {self.metric!r}")
+        if self.agg not in QUERY_AGGS:
+            raise ValueError(f"unknown aggregator {self.agg!r}; choose from {sorted(QUERY_AGGS)}")
+        if self.range_s is not None and self.range_s <= 0:
+            raise ValueError("range_s must be positive")
+        if self.step_s is not None and self.step_s <= 0:
+            raise ValueError("step_s must be positive")
+        for name in self.group_by:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid group_by label {name!r}")
+
+    # ----------------------------------------------------------- selection
+    def matches(self, key: SeriesKey) -> bool:
+        """Whether one series key satisfies metric name and all matchers."""
+        if key.metric != self.metric:
+            return False
+        return all(m.matches(key.label(m.name)) for m in self.matchers)
+
+    def group_key(self, key: SeriesKey) -> Tuple[Tuple[str, str], ...]:
+        """The output-series identity of one input series."""
+        return tuple((name, key.label(name) or "") for name in self.group_by)
+
+    # ---------------------------------------------------------- canonical
+    def to_expr(self) -> str:
+        """Canonical compact string form (parses back to an equal query)."""
+        sel = self.metric
+        if self.matchers:
+            sel += "{" + ",".join(str(m) for m in self.matchers) + "}"
+        if self.range_s is not None:
+            sel += f"[{_fmt_seconds(self.range_s)}]"
+        if self.step_s is not None:
+            sel += f" by {_fmt_seconds(self.step_s)}"
+        expr = f"{self.agg}({sel})"
+        if self.group_by:
+            expr += " group by (" + ",".join(self.group_by) + ")"
+        return expr
+
+    def __str__(self) -> str:
+        return self.to_expr()
+
+
+def _fmt_seconds(seconds: float) -> str:
+    """Render a duration compactly (``90.0`` → ``"90s"``)."""
+    if seconds == int(seconds):
+        return f"{int(seconds)}s"
+    return f"{seconds}s"

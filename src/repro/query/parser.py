@@ -1,0 +1,112 @@
+"""Parser for the compact metric query syntax.
+
+Grammar (whitespace-tolerant)::
+
+    expr     := agg "(" selector [range] ["by" step] ")" ["group" "by" "(" names ")"]
+    selector := metric ["{" matcher ("," matcher)* "}"]
+    matcher  := name ("=" | "!=" | "=~" | "!~") '"' value '"'
+    range    := "[" duration "]"
+    step     := duration
+    duration := number ["s" | "m" | "h"]        (default seconds)
+
+Examples::
+
+    mean(node_cpu_util{node=~"n0.*"}[300s] by 30s)
+    rate(job_progress_steps{job="j7"}[10m])
+    p95(node_power_watts[1h] by 60s) group by (node)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.query.model import LabelMatcher, MetricQuery
+
+_DURATION_RE = re.compile(r"(\d+(?:\.\d+)?)\s*([smh]?)\Z")
+_UNIT_SECONDS = {"": 1.0, "s": 1.0, "m": 60.0, "h": 3600.0}
+
+
+class QueryParseError(ValueError):
+    """Raised when an expression does not match the query grammar."""
+
+    def __init__(self, expr: str, message: str) -> None:
+        super().__init__(f"cannot parse query {expr!r}: {message}")
+        self.expr = expr
+
+
+def parse_duration(text: str) -> float:
+    """``"300s" | "5m" | "1h" | "90"`` → seconds."""
+    m = _DURATION_RE.match(text.strip())
+    if m is None:
+        raise ValueError(f"invalid duration {text!r}")
+    return float(m.group(1)) * _UNIT_SECONDS[m.group(2)]
+
+
+# Matcher blocks may contain "}" and "," inside quoted values (regex
+# quantifiers like n[0-9]{2}, alternations like "a,b"), so the block is
+# matched quote-aware and then re-parsed matcher by matcher.
+_EXPR_RE = re.compile(
+    r"""\s*
+    (?P<agg>[a-z][a-z0-9]*)\s*
+    \(\s*
+      (?P<metric>[A-Za-z_][A-Za-z0-9_]*)\s*
+      (?:\{(?P<matchers>(?:[^"{}]|"[^"]*")*)\}\s*)?
+      (?:\[(?P<range>[^\]]+)\]\s*)?
+      (?:by\s+(?P<step>[0-9][0-9.]*[smh]?)\s*)?
+    \)\s*
+    (?:group\s+by\s*\(\s*(?P<group>[^)]*)\)\s*)?
+    \Z""",
+    re.VERBOSE,
+)
+
+_MATCHER_ITEM_RE = re.compile(
+    r'\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?P<op>=~|!~|!=|=)\s*"(?P<value>[^"]*)"\s*'
+)
+
+
+def _parse_matchers(expr: str, text: str) -> Tuple[LabelMatcher, ...]:
+    if not text.strip():
+        return ()
+    matchers: List[LabelMatcher] = []
+    pos = 0
+    while True:
+        m = _MATCHER_ITEM_RE.match(text, pos)
+        if m is None:
+            raise QueryParseError(expr, f"bad label matcher at {text[pos:].strip()!r}")
+        try:
+            matchers.append(LabelMatcher(m.group("name"), m.group("op"), m.group("value")))
+        except ValueError as exc:
+            raise QueryParseError(expr, str(exc)) from None
+        pos = m.end()
+        if pos >= len(text):
+            return tuple(matchers)
+        if text[pos] != ",":
+            raise QueryParseError(expr, f"expected ',' between matchers near {text[pos:]!r}")
+        pos += 1
+
+
+def parse_query(expr: str) -> MetricQuery:
+    """Parse a compact query expression into a :class:`MetricQuery`."""
+    m = _EXPR_RE.match(expr)
+    if m is None:
+        raise QueryParseError(expr, "does not match agg(metric{...}[range] by step)")
+    group_by: Tuple[str, ...] = ()
+    if m.group("group") is not None:
+        names = [g.strip() for g in m.group("group").split(",") if g.strip()]
+        if not names:
+            raise QueryParseError(expr, "empty group by ()")
+        group_by = tuple(names)
+    try:
+        return MetricQuery(
+            metric=m.group("metric"),
+            agg=m.group("agg"),
+            matchers=_parse_matchers(expr, m.group("matchers") or ""),
+            range_s=parse_duration(m.group("range")) if m.group("range") else None,
+            step_s=parse_duration(m.group("step")) if m.group("step") else None,
+            group_by=group_by,
+        )
+    except ValueError as exc:
+        if isinstance(exc, QueryParseError):
+            raise
+        raise QueryParseError(expr, str(exc)) from None

@@ -1,0 +1,172 @@
+"""Brute-force reference evaluator for the query semantics.
+
+Implements exactly the semantics of :mod:`repro.query.model` with plain
+Python loops over raw samples — per bin, per sample, no NumPy
+vectorization and no rollups.  Two jobs:
+
+* the **oracle** the property tests compare the engine against, and
+* the **naive raw-scan baseline** the E13 benchmark measures the
+  tiered/vectorized engine's speedup over.
+
+Keep this module boring: clarity over speed is the whole point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.query.engine import QueryResult, ResultSeries
+from repro.query.model import MetricQuery
+from repro.query.parser import parse_query
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q))
+
+
+def _aggregate(agg: str, samples: List[Tuple[float, float, int]]) -> float:
+    """Aggregate pooled ``(time, value, order)`` samples of one bin."""
+    values = [v for _, v, _ in samples]
+    if agg == "mean":
+        return sum(values) / len(values)
+    if agg == "sum":
+        return sum(values)
+    if agg == "count":
+        return float(len(values))
+    if agg == "min":
+        return min(values)
+    if agg == "max":
+        return max(values)
+    if agg == "last":
+        # latest sample wins; ties broken by input order (later wins)
+        best = max(samples, key=lambda s: (s[0], s[2]))
+        return best[1]
+    if agg == "p50":
+        return _percentile(values, 50.0)
+    if agg == "p95":
+        return _percentile(values, 95.0)
+    if agg == "p99":
+        return _percentile(values, 99.0)
+    raise ValueError(f"unknown aggregator {agg!r}")
+
+
+def evaluate_naive(
+    store: TimeSeriesStore, q: Union[str, MetricQuery], *, at: float
+) -> QueryResult:
+    """Evaluate ``q`` over the store's raw data the slow, obvious way."""
+    if isinstance(q, str):
+        q = parse_query(q)
+    t1 = float(at)
+
+    keys = sorted((k for k in store.series_keys(q.metric) if q.matches(k)), key=str)
+    if q.range_s is not None:
+        t0 = t1 - q.range_s
+    else:
+        firsts = []
+        for key in keys:
+            times, _ = store.query(key, -np.inf, t1)
+            if times.size:
+                firsts.append(float(times[0]))
+        t0 = min(firsts) if firsts else t1
+
+    groups: Dict[Tuple[Tuple[str, str], ...], List[SeriesKey]] = {}
+    for key in keys:
+        groups.setdefault(q.group_key(key), []).append(key)
+
+    series: List[ResultSeries] = []
+    for labels in sorted(groups):
+        member_keys = sorted(groups[labels], key=str)
+        if q.step_s is None:
+            out = _instant(store, q, member_keys, t0, t1)
+        elif q.agg == "rate":
+            out = _range_rate(store, q, member_keys, t0, t1)
+        else:
+            out = _range_agg(store, q, member_keys, t0, t1)
+        if out[0]:
+            series.append(
+                ResultSeries(labels, np.asarray(out[0], dtype=np.float64), np.asarray(out[1]))
+            )
+    return QueryResult(q, t0, t1, tuple(series), "naive")
+
+
+def _collect(
+    store: TimeSeriesStore, keys: Sequence[SeriesKey], t0: float, t1: float, *, inclusive: bool
+) -> List[Tuple[float, float, int]]:
+    """Pooled ``(time, value, order)`` samples, sample by sample."""
+    pooled: List[Tuple[float, float, int]] = []
+    order = 0
+    for key in keys:
+        times, values = store.query(key, t0, t1)
+        for t, v in zip(times, values):
+            if not inclusive and t >= t1:
+                continue
+            pooled.append((float(t), float(v), order))
+            order += 1
+    return pooled
+
+
+def _range_agg(store, q, keys, t0, t1):
+    step = q.step_s
+    first_bin = math.floor(t0 / step)
+    last_bin = math.floor(t1 / step)
+    grid_t0 = first_bin * step
+    t1_excl = (last_bin + 1) * step
+    pooled = _collect(store, keys, grid_t0, t1_excl, inclusive=False)
+    out_t, out_v = [], []
+    for b in range(int(last_bin - first_bin + 1)):
+        lo = grid_t0 + b * step
+        hi = lo + step
+        members = [s for s in pooled if lo <= s[0] < hi]
+        if members:
+            out_t.append(lo)
+            out_v.append(_aggregate(q.agg, members))
+    return out_t, out_v
+
+
+def _range_rate(store, q, keys, t0, t1):
+    step = q.step_s
+    first_bin = math.floor(t0 / step)
+    last_bin = math.floor(t1 / step)
+    grid_t0 = first_bin * step
+    t1_excl = (last_bin + 1) * step
+    n_bins = int(last_bin - first_bin + 1)
+    increase = [0.0] * n_bins
+    touched = [False] * n_bins
+    for key in keys:
+        times, values = store.query(key, grid_t0, t1_excl)
+        kept = [(float(t), float(v)) for t, v in zip(times, values) if t < t1_excl]
+        for (t_prev, v_prev), (t_cur, v_cur) in zip(kept, kept[1:]):
+            delta = v_cur - v_prev
+            inc = delta if delta >= 0 else v_cur  # counter reset
+            b = int(math.floor((t_cur - grid_t0) / step))
+            increase[b] += inc
+            touched[b] = True
+    out_t = [grid_t0 + b * step for b in range(n_bins) if touched[b]]
+    out_v = [increase[b] / step for b in range(n_bins) if touched[b]]
+    return out_t, out_v
+
+
+def _instant(store, q, keys, t0, t1):
+    if q.agg == "rate":
+        span = t1 - t0
+        if span <= 0:
+            return [], []
+        total = 0.0
+        any_delta = False
+        for key in keys:
+            _, values = store.query(key, t0, t1)
+            vals = [float(v) for v in values]
+            for v_prev, v_cur in zip(vals, vals[1:]):
+                delta = v_cur - v_prev
+                total += delta if delta >= 0 else v_cur
+                any_delta = True
+        return ([t0], [total / span]) if any_delta else ([], [])
+    pooled = _collect(store, keys, t0, t1, inclusive=True)
+    if not pooled:
+        return [], []
+    return [t0], [_aggregate(q.agg, pooled)]

@@ -1,0 +1,271 @@
+"""Tiered rollups: continuous folding of raw series into coarse bins.
+
+Production MODA stores (DCDB, LRZ's ODA deployment) keep raw telemetry
+briefly and serve long-range queries from downsampled *rollups*.  This
+module reproduces that design: a :class:`RollupManager` owns a cascade
+of :class:`RollupTier` resolutions (e.g. 10s → 60s → 600s).  Tier 0
+folds complete bins out of the raw ring buffers; each coarser tier folds
+from the tier below it, so raw data is read exactly once per sample no
+matter how many tiers exist.
+
+Each rollup row stores the *partial statistics* ``(sum, count, min,
+max, last_t, last_v)`` of one time-grid-aligned bin, which is exactly
+what :class:`repro.query.kernels.PartialBins` merges — so a query served
+from a tier (plus the raw tail past the tier's watermark) is
+bit-for-bit identical to a raw scan for every partial-servable
+aggregator.
+
+Folding should outpace raw ring wraparound (``fold_period_s`` well
+under ``capacity × sample_period`` of the raw store); samples that wrap
+away unfolded are lost to the rollups, same as in any real collector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.query.kernels import PARTIAL_AGGS, PartialBins
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import (
+    TimeSeriesStore,
+    ring_extend,
+    ring_gather,
+    ring_window_ranges,
+)
+
+#: Column names of one rollup row, in storage order.
+ROW_COLUMNS = ("time", "sum", "count", "min", "max", "last_t", "last_v")
+
+
+class _StatRing:
+    """Fixed-capacity ring of rollup rows (column-oriented NumPy arrays).
+
+    Wraparound writes and windowed reads are the shared ring helpers
+    from :mod:`repro.telemetry.tsdb`, applied across the row columns in
+    parallel — the wrap invariants live in one place for both raw
+    sample buffers and rollup rows.
+    """
+
+    __slots__ = ("capacity", "_cols", "_head", "_count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._cols = {name: np.empty(self.capacity, dtype=np.float64) for name in ROW_COLUMNS}
+        self._head = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append_rows(self, cols: Dict[str, np.ndarray]) -> None:
+        """Bulk-append time-ordered rows (caller guarantees ordering)."""
+        self._head, self._count = ring_extend(
+            (self._cols[name] for name in ROW_COLUMNS),
+            self._head,
+            self._count,
+            (cols[name] for name in ROW_COLUMNS),
+        )
+
+    def ordered(self) -> Dict[str, np.ndarray]:
+        """All rows in time order (copies)."""
+        return self.window(-np.inf, np.inf)
+
+    def window(self, t0: float, t1: float) -> Dict[str, np.ndarray]:
+        """Rows whose bin start lies in the half-open range ``[t0, t1)``,
+        copying only the selected rows."""
+        ranges = ring_window_ranges(
+            self._cols["time"], self._head, self._count, t0, t1, right_inclusive=False
+        )
+        return {name: ring_gather(arr, ranges) for name, arr in self._cols.items()}
+
+
+class RollupTier:
+    """All series of one resolution, plus per-series fold watermarks."""
+
+    def __init__(self, resolution_s: float, capacity: int = 4096) -> None:
+        if resolution_s <= 0:
+            raise ValueError("resolution_s must be positive")
+        self.resolution_s = float(resolution_s)
+        self.capacity = int(capacity)
+        self._rings: Dict[SeriesKey, _StatRing] = {}
+        #: end of the last complete bin folded, per series
+        self._watermark: Dict[SeriesKey, float] = {}
+        self.rows_written = 0
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._rings.values())
+
+    def watermark(self, key: SeriesKey) -> Optional[float]:
+        return self._watermark.get(key)
+
+    def window(self, key: SeriesKey, t0: float, t1: float) -> Optional[Dict[str, np.ndarray]]:
+        ring = self._rings.get(key)
+        if ring is None or len(ring) == 0:
+            return None
+        return ring.window(t0, t1)
+
+    def _append(self, key: SeriesKey, cols: Dict[str, np.ndarray], new_watermark: float) -> None:
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = _StatRing(self.capacity)
+        ring.append_rows(cols)
+        self._watermark[key] = new_watermark
+        self.rows_written += int(cols["time"].size)
+
+
+def _partial_to_rows(partial: PartialBins, grid_t0: float, resolution: float) -> Dict[str, np.ndarray]:
+    nz = partial.nonempty()
+    return {
+        "time": grid_t0 + nz * resolution,
+        "sum": partial.sum[nz],
+        "count": partial.count[nz],
+        "min": partial.vmin[nz],
+        "max": partial.vmax[nz],
+        "last_t": partial.last_t[nz],
+        "last_v": partial.last_v[nz],
+    }
+
+
+class RollupManager:
+    """A cascade of rollup tiers continuously folded from a raw store."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        resolutions: Sequence[float] = (10.0, 60.0, 600.0),
+        *,
+        capacity: int = 4096,
+    ) -> None:
+        if not resolutions:
+            raise ValueError("need at least one rollup resolution")
+        res = sorted(float(r) for r in resolutions)
+        if len(set(res)) != len(res):
+            raise ValueError("duplicate rollup resolutions")
+        for fine, coarse in zip(res, res[1:]):
+            if coarse % fine != 0.0:
+                raise ValueError(
+                    f"each tier must be a multiple of the previous: {coarse} % {fine} != 0"
+                )
+        self.store = store
+        self.tiers: List[RollupTier] = [RollupTier(r, capacity) for r in res]
+        self.folds = 0
+        self._task = None
+
+    # ------------------------------------------------------------- folding
+    def fold(self, now: float) -> int:
+        """Fold all complete bins up to ``now`` through every tier.
+
+        Returns the number of rollup rows written.  Idempotent per bin:
+        re-folding the same ``now`` writes nothing new.
+        """
+        written = 0
+        for key in self.store.series_keys():
+            written += self._fold_tier0(key, now)
+        for fine, coarse in zip(self.tiers, self.tiers[1:]):
+            for key in self.store.series_keys():
+                written += self._fold_cascade(key, fine, coarse)
+        self.folds += 1
+        return written
+
+    def _fold_tier0(self, key: SeriesKey, now: float) -> int:
+        tier = self.tiers[0]
+        res = tier.resolution_s
+        boundary = math.floor(now / res) * res  # end of last complete bin
+        start = tier.watermark(key)
+        if start is None:
+            first = self.store.earliest_time(key)
+            if first is None:
+                return 0
+            start = math.floor(first / res) * res
+        if boundary <= start:
+            return 0
+        times, values = self.store.query(key, start, boundary)
+        keep = times < boundary  # half-open bins; query() is inclusive
+        times, values = times[keep], values[keep]
+        if times.size == 0:
+            tier._watermark[key] = boundary
+            return 0
+        n_bins = int(round((boundary - start) / res))
+        bin_idx = np.floor((times - start) / res).astype(np.int64)
+        partial = PartialBins(n_bins)
+        partial.add_samples(bin_idx, times, values)
+        rows = _partial_to_rows(partial, start, res)
+        tier._append(key, rows, boundary)
+        return int(rows["time"].size)
+
+    def _fold_cascade(self, key: SeriesKey, fine: RollupTier, coarse: RollupTier) -> int:
+        fine_wm = fine.watermark(key)
+        if fine_wm is None:
+            return 0
+        res = coarse.resolution_s
+        boundary = math.floor(fine_wm / res) * res
+        start = coarse.watermark(key)
+        if start is None:
+            rows = fine.window(key, -np.inf, np.inf)
+            if rows is None or rows["time"].size == 0:
+                return 0
+            start = math.floor(rows["time"][0] / res) * res
+        if boundary <= start:
+            return 0
+        rows = fine.window(key, start, boundary)
+        if rows is None or rows["time"].size == 0:
+            coarse._watermark[key] = boundary
+            return 0
+        n_bins = int(round((boundary - start) / res))
+        bin_idx = np.floor((rows["time"] - start) / res).astype(np.int64)
+        partial = PartialBins(n_bins)
+        partial.add_rows(
+            bin_idx,
+            rows["sum"],
+            rows["count"],
+            rows["min"],
+            rows["max"],
+            rows["last_t"],
+            rows["last_v"],
+        )
+        out = _partial_to_rows(partial, start, res)
+        coarse._append(key, out, boundary)
+        return int(out["time"].size)
+
+    # ---------------------------------------------------------- scheduling
+    def attach(self, engine, period_s: Optional[float] = None, *, start_at=None) -> None:
+        """Drive folding from a simulation engine on a fixed cadence."""
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError("rollup manager already attached")
+        period = period_s if period_s is not None else self.tiers[0].resolution_s
+        self._task = engine.every(
+            period, lambda: self.fold(engine.now), start_at=start_at, label="rollup-fold"
+        )
+
+    def detach(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    # ------------------------------------------------------ tier selection
+    def tier_for(self, step_s: Optional[float], agg: str) -> Optional[RollupTier]:
+        """Coarsest tier that can serve ``(step, agg)`` exactly, if any.
+
+        A tier qualifies when the query is a range query whose step is a
+        multiple of the tier resolution and the aggregator is servable
+        from partial statistics.  ``None`` → the engine scans raw.
+        """
+        if step_s is None or agg not in PARTIAL_AGGS:
+            return None
+        best = None
+        for tier in self.tiers:
+            if tier.resolution_s <= step_s and step_s % tier.resolution_s == 0.0:
+                best = tier
+        return best
+
+    def stats(self) -> Dict[str, float]:
+        """Rows and watermark coverage per tier (for dashboards/benchmarks)."""
+        out: Dict[str, float] = {"folds": float(self.folds)}
+        for tier in self.tiers:
+            out[f"tier_{int(tier.resolution_s)}s_rows"] = float(len(tier))
+        return out

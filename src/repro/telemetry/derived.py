@@ -5,17 +5,23 @@ power, mean utilization, queue depth), not per-node series.
 ``DerivedMetricsService`` periodically computes configurable aggregates
 over the store's raw series and writes them back as first-class derived
 series — the "analysis products become data" pattern of production MODA
-stacks.
+stacks.  Aggregation goes through the query engine
+(:class:`repro.query.QueryEngine`), i.e. each spec is evaluated as the
+instant query ``agg(source_metric[window])``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.sim.engine import Engine, PeriodicTask
 from repro.telemetry.metric import SeriesKey
 from repro.telemetry.tsdb import TimeSeriesStore
+
+if TYPE_CHECKING:  # deferred at runtime: telemetry must not import query eagerly
+    from repro.query.engine import QueryEngine
+    from repro.query.model import MetricQuery
 
 
 @dataclass(frozen=True)
@@ -31,6 +37,12 @@ class DerivedMetricSpec:
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
 
+    def to_query(self) -> "MetricQuery":
+        """The instant query this spec evaluates each tick."""
+        from repro.query.model import MetricQuery
+
+        return MetricQuery(self.source_metric, agg=self.agg, range_s=self.window_s)
+
 
 class DerivedMetricsService:
     """Computes derived series on a fixed cadence."""
@@ -42,14 +54,25 @@ class DerivedMetricsService:
         specs: List[DerivedMetricSpec],
         *,
         period_s: float = 60.0,
+        query_engine: Optional["QueryEngine"] = None,
     ) -> None:
+        from repro.query.engine import QueryEngine
+
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         if not specs:
             raise ValueError("need at least one derived metric spec")
         self.engine = engine
         self.store = store
+        # Derived windows end at a fresh `now` every tick, so caching
+        # would only accumulate dead entries — run the engine uncached.
+        self.query_engine = (
+            query_engine
+            if query_engine is not None
+            else QueryEngine(store, enable_cache=False)
+        )
         self.specs = list(specs)
+        self._queries = [spec.to_query() for spec in self.specs]
         self.period_s = period_s
         self.samples_written = 0
         self._task: Optional[PeriodicTask] = None
@@ -67,10 +90,8 @@ class DerivedMetricsService:
 
     def _compute(self) -> None:
         now = self.engine.now
-        for spec in self.specs:
-            value = self.store.aggregate_across(
-                spec.source_metric, now - spec.window_s, now, spec.agg
-            )
+        for spec, query in zip(self.specs, self._queries):
+            value = self.query_engine.scalar(query, at=now)
             if value is None:
                 continue
             self.store.insert(spec.output, now, value)

@@ -22,6 +22,89 @@ import numpy as np
 
 from repro.telemetry.metric import SeriesKey
 
+# --------------------------------------------------------------------------
+# Shared ring machinery.  A "ring" here is a set of parallel fixed-capacity
+# arrays written at a common head; RingBuffer (raw samples) and the rollup
+# layer's column rings both build on these helpers so the wraparound
+# invariants live in exactly one place.
+
+
+def ring_extend(
+    arrays: Iterable[np.ndarray],
+    head: int,
+    count: int,
+    new_cols: Iterable[np.ndarray],
+) -> Tuple[int, int]:
+    """Bulk-append parallel columns into parallel ring arrays.
+
+    Returns the new ``(head, count)``.  Handles the three write shapes:
+    whole-ring replacement (``n >= capacity``), contiguous, and split
+    across the wrap point.  Callers validate ordering/overlap.
+    """
+    arrays = list(arrays)
+    new_cols = list(new_cols)
+    capacity = arrays[0].shape[0]
+    n = int(new_cols[0].size)
+    if n == 0:
+        return head, count
+    if n >= capacity:
+        for dst, src in zip(arrays, new_cols):
+            dst[:] = src[-capacity:]
+        return 0, capacity
+    end = head + n
+    if end <= capacity:
+        for dst, src in zip(arrays, new_cols):
+            dst[head:end] = src
+    else:
+        split = capacity - head
+        for dst, src in zip(arrays, new_cols):
+            dst[head:] = src[:split]
+            dst[: end % capacity] = src[split:]
+    return end % capacity, min(count + n, capacity)
+
+
+def ring_window_ranges(
+    times: np.ndarray,
+    head: int,
+    count: int,
+    t0: float,
+    t1: float,
+    *,
+    right_inclusive: bool,
+) -> list[Tuple[int, int]]:
+    """Absolute ``[lo, hi)`` index ranges of the window ``t0..t1``.
+
+    A wrapped ring is two independently sorted segments (``[head:]``
+    then ``[:head]``, every timestamp of the first <= the second), so
+    each can be binary-searched on its own — the window costs
+    O(log capacity + answer), never a full-ring copy.
+    """
+    side = "right" if right_inclusive else "left"
+    capacity = times.shape[0]
+    if count < capacity:
+        seg = times[:count]
+        lo = int(np.searchsorted(seg, t0, side="left"))
+        hi = int(np.searchsorted(seg, t1, side=side))
+        return [(lo, hi)]
+    seg1, seg2 = times[head:], times[:head]
+    return [
+        (head + int(np.searchsorted(seg1, t0, side="left")),
+         head + int(np.searchsorted(seg1, t1, side=side))),
+        (int(np.searchsorted(seg2, t0, side="left")),
+         int(np.searchsorted(seg2, t1, side=side))),
+    ]
+
+
+def ring_gather(arr: np.ndarray, ranges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Copy the selected index ranges of one ring array, in order."""
+    parts = [arr[lo:hi] for lo, hi in ranges if hi > lo]
+    if not parts:
+        return np.empty(0, dtype=arr.dtype)
+    if len(parts) == 1:
+        return parts[0].copy()
+    return np.concatenate(parts)
+
+
 _AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
     "mean": np.mean,
     "min": np.min,
@@ -86,28 +169,10 @@ class RingBuffer:
             raise ValueError("bulk append requires sorted timestamps")
         if self._count and times[0] < self.last_time():
             raise ValueError("bulk append overlaps existing data")
-        n = times.size
-        if n >= self.capacity:
-            # Only the trailing window survives.
-            self._times[:] = times[-self.capacity:]
-            self._values[:] = values[-self.capacity:]
-            self._head = 0
-            self._count = self.capacity
-            self._written += n
-            return
-        end = self._head + n
-        if end <= self.capacity:
-            self._times[self._head:end] = times
-            self._values[self._head:end] = values
-        else:
-            split = self.capacity - self._head
-            self._times[self._head:] = times[:split]
-            self._values[self._head:] = values[:split]
-            self._times[: end % self.capacity] = times[split:]
-            self._values[: end % self.capacity] = values[split:]
-        self._head = end % self.capacity
-        self._count = min(self._count + n, self.capacity)
-        self._written += n
+        self._head, self._count = ring_extend(
+            (self._times, self._values), self._head, self._count, (times, values)
+        )
+        self._written += times.size
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """All stored points in time order as ``(times, values)`` copies."""
@@ -115,6 +180,14 @@ class RingBuffer:
             return self._times[: self._count].copy(), self._values[: self._count].copy()
         idx = np.arange(self._head, self._head + self.capacity) % self.capacity
         return self._times[idx], self._values[idx]
+
+    def first_time(self) -> float:
+        """Oldest retained timestamp, O(1)."""
+        if self._count == 0:
+            raise IndexError("empty ring buffer")
+        if self._count < self.capacity:
+            return float(self._times[0])
+        return float(self._times[self._head])
 
     def last_time(self) -> float:
         if self._count == 0:
@@ -127,11 +200,16 @@ class RingBuffer:
         return float(self._values[(self._head - 1) % self.capacity])
 
     def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
-        """Points with ``t0 <= t <= t1`` in time order."""
-        times, values = self.arrays()
-        lo = np.searchsorted(times, t0, side="left")
-        hi = np.searchsorted(times, t1, side="right")
-        return times[lo:hi], values[lo:hi]
+        """Points with ``t0 <= t <= t1`` in time order.
+
+        Copies only the selected span, not the whole buffer — window
+        queries are the hottest read path in the store, and narrow
+        windows (loop observations, rollup tails) should cost O(answer).
+        """
+        ranges = ring_window_ranges(
+            self._times, self._head, self._count, t0, t1, right_inclusive=True
+        )
+        return ring_gather(self._times, ranges), ring_gather(self._values, ranges)
 
 
 @dataclass
@@ -211,6 +289,13 @@ class TimeSeriesStore:
             return None
         return buf.last_time(), buf.last_value()
 
+    def earliest_time(self, key: SeriesKey) -> Optional[float]:
+        """Oldest retained timestamp of a series, O(1); None when empty."""
+        buf = self._series.get(key)
+        if buf is None or len(buf) == 0:
+            return None
+        return buf.first_time()
+
     def query(self, key: SeriesKey, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
         """Window query; empty arrays when the series is absent."""
         buf = self._series.get(key)
@@ -223,11 +308,20 @@ class TimeSeriesStore:
         return SeriesStats.from_values(values)
 
     def rate(self, key: SeriesKey, t0: float, t1: float) -> Optional[float]:
-        """Average per-second increase over a window (for COUNTER metrics)."""
+        """Average per-second increase over a window (for COUNTER metrics).
+
+        Counter resets (the process restarted and the counter dropped)
+        are clamped to per-segment positive increases: a drop contributes
+        the post-reset value rather than a negative delta, so restarts
+        never produce negative or understated rates.
+        """
+        from repro.query.kernels import counter_increase
+
         times, values = self.query(key, t0, t1)
         if times.size < 2 or times[-1] == times[0]:
             return None
-        return float((values[-1] - values[0]) / (times[-1] - times[0]))
+        total = float(np.sum(counter_increase(values)))
+        return total / float(times[-1] - times[0])
 
     def downsample(
         self,
@@ -244,20 +338,16 @@ class TimeSeriesStore:
         """
         if step <= 0:
             raise ValueError("step must be positive")
-        try:
-            fn = _AGGREGATORS[agg]
-        except KeyError:
-            raise ValueError(f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}") from None
+        if agg not in _AGGREGATORS:
+            raise ValueError(f"unknown aggregator {agg!r}; choose from {sorted(_AGGREGATORS)}")
+        from repro.query.kernels import grouped_aggregate
+
         times, values = self.query(key, t0, t1)
         if times.size == 0:
             return np.empty(0), np.empty(0)
         bins = np.floor((times - t0) / step).astype(np.int64)
-        out_t, out_v = [], []
-        for b in np.unique(bins):
-            mask = bins == b
-            out_t.append(t0 + b * step)
-            out_v.append(fn(values[mask]))
-        return np.asarray(out_t, dtype=np.float64), np.asarray(out_v, dtype=np.float64)
+        nz_bins, out_v = grouped_aggregate(bins, values, agg, times=times)
+        return t0 + nz_bins * step, out_v
 
     def aggregate_across(
         self,

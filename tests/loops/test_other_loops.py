@@ -259,6 +259,20 @@ class TestMisconfigLoop:
         assert case.fixes_applied == 0
         assert case.notifications_sent == 0
 
+    def test_judge_immediately_deployment_survives_zero_age(self):
+        """min_runtime_s=0 can observe a job the tick it starts (age 0)."""
+        eng = Engine()
+        store = TimeSeriesStore()
+        sched = Scheduler(eng, [Node("n0", NodeSpec(cores=8))])
+        case = MisconfigCaseManager(
+            eng, sched, store,
+            config=MisconfigCaseConfig(loop_period_s=60.0, min_runtime_s=0.0),
+        )
+        case.start()
+        profile = ApplicationProfile("app", 20000.0, 1.0)
+        sched.submit(Job("j1", "u", profile, walltime_request_s=30000.0))
+        eng.run(until=300.0)  # must not raise on the zero-width window
+
     def test_wrong_library_fixed_online(self):
         launch = LaunchConfig(
             library_paths=("generic-blas",), expected_libraries=("site-blas",)

@@ -1,0 +1,151 @@
+"""Tests for the vectorized binned-aggregation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.query.kernels import PartialBins, counter_increase, grouped_aggregate
+
+
+def _naive_grouped(bin_idx, values, fn):
+    out_b, out_v = [], []
+    for b in np.unique(bin_idx):
+        out_b.append(b)
+        out_v.append(fn(values[bin_idx == b]))
+    return np.asarray(out_b), np.asarray(out_v, dtype=float)
+
+
+class TestGroupedAggregate:
+    @pytest.mark.parametrize(
+        "agg,fn",
+        [
+            ("mean", np.mean),
+            ("sum", np.sum),
+            ("min", np.min),
+            ("max", np.max),
+            ("count", lambda a: float(a.size)),
+            ("p50", lambda a: np.percentile(a, 50)),
+            ("p95", lambda a: np.percentile(a, 95)),
+            ("p99", lambda a: np.percentile(a, 99)),
+        ],
+    )
+    def test_matches_naive_per_bin_loop(self, agg, fn):
+        rng = np.random.default_rng(1)
+        bin_idx = rng.integers(0, 40, size=1000)
+        values = rng.normal(size=1000)
+        nz, got = grouped_aggregate(bin_idx, values, agg)
+        ref_b, ref_v = _naive_grouped(bin_idx, values, fn)
+        np.testing.assert_array_equal(nz, ref_b)
+        np.testing.assert_allclose(got, ref_v, rtol=1e-12)
+
+    def test_sparse_large_bins(self):
+        bin_idx = np.array([0, 10_000_000, 10_000_000])
+        nz, got = grouped_aggregate(bin_idx, np.array([1.0, 2.0, 4.0]), "mean")
+        np.testing.assert_array_equal(nz, [0, 10_000_000])
+        np.testing.assert_allclose(got, [1.0, 3.0])
+
+    def test_last_takes_latest_time(self):
+        bin_idx = np.array([0, 0, 1, 1])
+        times = np.array([1.0, 2.0, 5.0, 4.0])
+        values = np.array([10.0, 20.0, 30.0, 40.0])
+        _, got = grouped_aggregate(bin_idx, values, "last", times=times)
+        np.testing.assert_array_equal(got, [20.0, 30.0])
+
+    def test_last_tie_breaks_by_input_order(self):
+        bin_idx = np.zeros(3, dtype=np.int64)
+        times = np.array([1.0, 2.0, 2.0])
+        values = np.array([10.0, 20.0, 30.0])
+        _, got = grouped_aggregate(bin_idx, values, "last", times=times)
+        np.testing.assert_array_equal(got, [30.0])
+
+    def test_last_requires_times(self):
+        with pytest.raises(ValueError, match="requires sample times"):
+            grouped_aggregate(np.zeros(2, dtype=np.int64), np.ones(2), "last")
+
+    def test_empty_input(self):
+        nz, got = grouped_aggregate(np.empty(0, dtype=np.int64), np.empty(0), "mean")
+        assert nz.size == 0 and got.size == 0
+
+    def test_unknown_agg(self):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            grouped_aggregate(np.zeros(1, dtype=np.int64), np.ones(1), "mode")
+
+
+class TestCounterIncrease:
+    def test_monotonic(self):
+        np.testing.assert_array_equal(
+            counter_increase(np.array([1.0, 3.0, 6.0])), [2.0, 3.0]
+        )
+
+    def test_reset_clamped_to_new_value(self):
+        # counter restarts: 100 -> 5 contributes 5, not -95
+        np.testing.assert_array_equal(
+            counter_increase(np.array([90.0, 100.0, 5.0, 25.0])), [10.0, 5.0, 20.0]
+        )
+
+    def test_short_series(self):
+        assert counter_increase(np.array([1.0])).size == 0
+        assert counter_increase(np.empty(0)).size == 0
+
+
+class TestPartialBins:
+    def test_samples_then_finalize_matches_direct(self):
+        rng = np.random.default_rng(2)
+        times = np.sort(rng.uniform(0, 100, size=500))
+        values = rng.normal(size=500)
+        bin_idx = (times // 10).astype(np.int64)
+        partial = PartialBins(10)
+        partial.add_samples(bin_idx, times, values)
+        for agg in ("mean", "sum", "count", "min", "max", "last"):
+            nz, got = partial.finalize(agg)
+            ref_b, ref_v = grouped_aggregate(bin_idx, values, agg, times=times)
+            np.testing.assert_array_equal(nz, ref_b)
+            np.testing.assert_allclose(got, ref_v, rtol=1e-12)
+
+    def test_rows_merge_is_exact(self):
+        """Pre-aggregated fine bins + raw tail == a flat raw scan."""
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0, 120, size=600))
+        values = rng.normal(size=600)
+        # fine partial over 12 bins of 10s, folded into 2 coarse bins of 60s
+        fine = PartialBins(12)
+        fine.add_samples((times // 10).astype(np.int64), times, values)
+        nz = fine.nonempty()
+        coarse = PartialBins(2)
+        coarse.add_rows(
+            nz // 6,
+            fine.sum[nz],
+            fine.count[nz],
+            fine.vmin[nz],
+            fine.vmax[nz],
+            fine.last_t[nz],
+            fine.last_v[nz],
+        )
+        direct = PartialBins(2)
+        direct.add_samples((times // 60).astype(np.int64), times, values)
+        for agg in ("mean", "sum", "count", "min", "max", "last"):
+            _, got = coarse.finalize(agg)
+            _, ref = direct.finalize(agg)
+            np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_incremental_adds_accumulate(self):
+        partial = PartialBins(2)
+        partial.add_samples(np.array([0]), np.array([1.0]), np.array([5.0]))
+        partial.add_samples(np.array([0, 1]), np.array([2.0, 3.0]), np.array([7.0, 1.0]))
+        nz, means = partial.finalize("mean")
+        np.testing.assert_array_equal(nz, [0, 1])
+        np.testing.assert_allclose(means, [6.0, 1.0])
+
+    def test_percentile_not_servable(self):
+        partial = PartialBins(1)
+        with pytest.raises(ValueError, match="cannot be served"):
+            partial.finalize("p95")
+
+    def test_empty_bins_dropped(self):
+        partial = PartialBins(5)
+        partial.add_samples(np.array([1, 3]), np.array([10.0, 30.0]), np.array([1.0, 2.0]))
+        nz, _ = partial.finalize("count")
+        np.testing.assert_array_equal(nz, [1, 3])
+
+    def test_nonpositive_bins_rejected(self):
+        with pytest.raises(ValueError):
+            PartialBins(0)

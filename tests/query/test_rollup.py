@@ -1,0 +1,193 @@
+"""Tests for rollup tiers: folding, cascading, watermarks, retention."""
+
+import numpy as np
+import pytest
+
+from repro.query.cache import QueryCache
+from repro.query.rollup import RollupManager, _StatRing
+from repro.sim import Engine
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def filled_store(points=300, step=1.0):
+    store = TimeSeriesStore(default_capacity=8192)
+    key = SeriesKey.of("m", node="a")
+    times = np.arange(points, dtype=float) * step
+    store.insert_batch(key, times, np.sin(times))
+    return store, key
+
+
+class TestFolding:
+    def test_fold_only_complete_bins(self):
+        store, key = filled_store(points=95)
+        roll = RollupManager(store, resolutions=(10.0,))
+        roll.fold(95.0)
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], np.arange(0.0, 90.0, 10.0))
+        assert roll.tiers[0].watermark(key) == 90.0
+
+    def test_fold_is_idempotent(self):
+        store, key = filled_store()
+        roll = RollupManager(store, resolutions=(10.0,))
+        first = roll.fold(300.0)
+        assert first > 0
+        assert roll.fold(300.0) == 0  # nothing new
+
+    def test_incremental_fold_equals_single_fold(self):
+        store_a, key = filled_store()
+        roll_a = RollupManager(store_a, resolutions=(10.0,))
+        for now in (40.0, 123.0, 300.0):
+            roll_a.fold(now)
+        store_b, _ = filled_store()
+        roll_b = RollupManager(store_b, resolutions=(10.0,))
+        roll_b.fold(300.0)
+        rows_a = roll_a.tiers[0].window(key, 0.0, 1e9)
+        rows_b = roll_b.tiers[0].window(key, 0.0, 1e9)
+        for col in rows_a:
+            np.testing.assert_allclose(rows_a[col], rows_b[col], rtol=1e-12)
+
+    def test_rollup_row_statistics(self):
+        store = TimeSeriesStore()
+        key = SeriesKey.of("m")
+        store.insert_batch(
+            key, np.array([0.0, 3.0, 7.0, 12.0]), np.array([4.0, 2.0, 6.0, 1.0])
+        )
+        roll = RollupManager(store, resolutions=(10.0,))
+        roll.fold(20.0)
+        rows = roll.tiers[0].window(key, 0.0, 20.0)
+        np.testing.assert_array_equal(rows["time"], [0.0, 10.0])
+        np.testing.assert_array_equal(rows["sum"], [12.0, 1.0])
+        np.testing.assert_array_equal(rows["count"], [3.0, 1.0])
+        np.testing.assert_array_equal(rows["min"], [2.0, 1.0])
+        np.testing.assert_array_equal(rows["max"], [6.0, 1.0])
+        np.testing.assert_array_equal(rows["last_v"], [6.0, 1.0])
+        np.testing.assert_array_equal(rows["last_t"], [7.0, 12.0])
+
+
+class TestCascade:
+    def test_coarse_tier_folds_from_fine(self):
+        store, key = filled_store(points=700)
+        roll = RollupManager(store, resolutions=(10.0, 100.0))
+        roll.fold(700.0)
+        fine = roll.tiers[0].window(key, 0.0, 1e9)
+        coarse = roll.tiers[1].window(key, 0.0, 1e9)
+        assert coarse["time"].size == 7
+        # coarse sums/counts must equal regrouped fine sums/counts
+        np.testing.assert_allclose(
+            coarse["sum"],
+            [np.sum(fine["sum"][(fine["time"] // 100) == b]) for b in range(7)],
+            rtol=1e-12,
+        )
+        assert roll.tiers[1].watermark(key) == 700.0
+
+    def test_resolutions_must_nest(self):
+        store, _ = filled_store()
+        with pytest.raises(ValueError, match="multiple"):
+            RollupManager(store, resolutions=(10.0, 25.0))
+
+    def test_tier_for_prefers_coarsest_exact(self):
+        store, _ = filled_store()
+        roll = RollupManager(store, resolutions=(10.0, 60.0, 600.0))
+        assert roll.tier_for(600.0, "mean").resolution_s == 600.0
+        assert roll.tier_for(120.0, "mean").resolution_s == 60.0
+        assert roll.tier_for(90.0, "mean").resolution_s == 10.0
+        assert roll.tier_for(5.0, "mean") is None  # finer than any tier
+        assert roll.tier_for(600.0, "p95") is None  # needs raw samples
+        assert roll.tier_for(None, "mean") is None  # instant queries scan raw
+
+
+class TestRetention:
+    def test_tier_ring_keeps_tail(self):
+        store, key = filled_store(points=2000)
+        roll = RollupManager(store, resolutions=(10.0,), capacity=50)
+        roll.fold(2000.0)
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        assert rows["time"].size == 50
+        np.testing.assert_array_equal(rows["time"], np.arange(1500.0, 2000.0, 10.0))
+
+    def test_tier_outlives_raw_ring(self):
+        """Rollups retain history the raw ring has already overwritten."""
+        store = TimeSeriesStore(default_capacity=100)
+        key = SeriesKey.of("m")
+        roll = RollupManager(store, resolutions=(10.0,), capacity=1000)
+        t = 0.0
+        for _ in range(20):
+            times = np.arange(t, t + 50.0)
+            store.insert_batch(key, times, np.ones(50))
+            t += 50.0
+            roll.fold(t)  # fold before the ring wraps
+        raw_times, _ = store.query(key, -np.inf, np.inf)
+        assert raw_times[0] == 900.0  # raw kept only the last 100 samples
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        assert rows["time"][0] == 0.0  # rollups kept everything
+
+
+class TestAttach:
+    def test_attach_folds_on_cadence(self):
+        engine = Engine()
+        store = TimeSeriesStore()
+        key = SeriesKey.of("m")
+        engine.every(1.0, lambda: store.insert(key, engine.now, 1.0))
+        roll = RollupManager(store, resolutions=(10.0,))
+        roll.attach(engine)
+        engine.run(until=100.0)
+        # folds fired on cadence; all complete 10s bins are rolled up
+        assert roll.tiers[0].watermark(key) == 100.0
+        assert roll.tiers[0].window(key, 0.0, 1e9)["time"].size == 10
+        with pytest.raises(RuntimeError):
+            roll.attach(engine)
+        roll.detach()
+
+
+class TestStatRing:
+    def test_append_larger_than_capacity(self):
+        ring = _StatRing(4)
+        cols = {
+            name: np.arange(10.0)
+            for name in ("time", "sum", "count", "min", "max", "last_t", "last_v")
+        }
+        ring.append_rows(cols)
+        np.testing.assert_array_equal(ring.ordered()["time"], [6.0, 7.0, 8.0, 9.0])
+
+    def test_wraparound_split_write(self):
+        ring = _StatRing(5)
+        mk = lambda a: {
+            name: np.asarray(a, dtype=float)
+            for name in ("time", "sum", "count", "min", "max", "last_t", "last_v")
+        }
+        ring.append_rows(mk([0.0, 1.0, 2.0]))
+        ring.append_rows(mk([3.0, 4.0, 5.0, 6.0]))
+        np.testing.assert_array_equal(ring.ordered()["time"], [2.0, 3.0, 4.0, 5.0, 6.0])
+
+
+class TestQueryCacheUnit:
+    def test_lru_eviction(self):
+        cache = QueryCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh a
+        cache.put(("c",), 3)  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = QueryCache()
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_invalidate(self):
+        cache = QueryCache()
+        cache.put("k", 42)
+        cache.invalidate()
+        assert cache.get("k") is None
+
+    def test_quantized_keys(self):
+        k1 = QueryCache.make_key("expr", 0.0, 60.0, 30.0)
+        k2 = QueryCache.make_key("expr", 10.0, 89.0, 30.0)
+        k3 = QueryCache.make_key("expr", 0.0, 95.0, 30.0)
+        assert k1 == k2 and k1 != k3

@@ -58,6 +58,16 @@ class TestRingBuffer:
         assert rb.last_time() == 2.0
         assert rb.last_value() == 20.0
 
+    def test_first_time_tracks_overwrites(self):
+        rb = RingBuffer(4)
+        rb.append(1.0, 0.0)
+        assert rb.first_time() == 1.0
+        for t in range(2, 10):
+            rb.append(float(t), 0.0)
+        assert rb.first_time() == 6.0  # oldest surviving sample after wrap
+        with pytest.raises(IndexError):
+            RingBuffer(2).first_time()
+
     def test_empty_last_raises(self):
         rb = RingBuffer(4)
         with pytest.raises(IndexError):
@@ -112,6 +122,53 @@ class TestRingBuffer:
         with pytest.raises(ValueError, match="same shape"):
             rb.extend(np.array([1.0]), np.array([1.0, 2.0]))
 
+    def test_extend_exactly_capacity(self):
+        """n == capacity takes the replace-everything path."""
+        rb = RingBuffer(4)
+        rb.append(0.0, -1.0)
+        rb.extend(np.array([1.0, 2.0, 3.0, 4.0]), np.array([10.0, 20.0, 30.0, 40.0]))
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [1, 2, 3, 4])
+        np.testing.assert_array_equal(values, [10, 20, 30, 40])
+        assert len(rb) == 4
+        assert rb.total_appended == 5
+
+    def test_extend_split_write_lands_on_both_sides(self):
+        """A wrapping extend writes the tail then the head, in order."""
+        rb = RingBuffer(6)
+        rb.extend(np.arange(4.0), np.arange(4.0) * 10)  # head at 4
+        rb.extend(np.arange(4.0, 8.0), np.arange(4.0, 8.0) * 10)  # splits 2/2
+        times, values = rb.arrays()
+        np.testing.assert_array_equal(times, [2, 3, 4, 5, 6, 7])
+        np.testing.assert_array_equal(values, [20, 30, 40, 50, 60, 70])
+
+    def test_extend_overlap_rejected_after_wrap(self):
+        rb = RingBuffer(3)
+        rb.extend(np.arange(10.0), np.zeros(10))  # wrapped; last_time == 9
+        with pytest.raises(ValueError, match="overlaps"):
+            rb.extend(np.array([8.5]), np.array([0.0]))
+        rb.extend(np.array([9.0]), np.array([1.0]))  # equal time is allowed
+        assert rb.last_value() == 1.0
+
+    def test_window_after_multiple_full_wraps(self):
+        rb = RingBuffer(8)
+        for t in range(50):  # wraps 6+ times
+            rb.append(float(t), float(t) * 2)
+        times, values = rb.window(44.0, 47.0)
+        np.testing.assert_array_equal(times, [44, 45, 46, 47])
+        np.testing.assert_array_equal(values, [88, 90, 92, 94])
+        # window wider than retention clamps to stored range
+        times, _ = rb.window(0.0, 100.0)
+        np.testing.assert_array_equal(times, np.arange(42, 50))
+
+    def test_window_after_wrapping_extends(self):
+        rb = RingBuffer(5)
+        for start in (0, 3, 6, 9):
+            rb.extend(np.arange(float(start), float(start) + 3), np.full(3, float(start)))
+        times, values = rb.window(7.0, 11.0)
+        np.testing.assert_array_equal(times, [7, 8, 9, 10, 11])
+        np.testing.assert_array_equal(values, [6, 6, 9, 9, 9])
+
 
 class TestTimeSeriesStore:
     def _key(self, **labels):
@@ -159,6 +216,23 @@ class TestTimeSeriesStore:
         store.insert(k, 0.0, 1.0)
         assert store.rate(k, 0, 10) is None
 
+    def test_rate_clamps_counter_reset(self):
+        """A restart (counter drops) must not yield a negative rate."""
+        store = TimeSeriesStore()
+        k = self._key()
+        samples = [(0.0, 0.0), (10.0, 100.0), (20.0, 10.0), (30.0, 110.0)]
+        for t, v in samples:
+            store.insert(k, t, v)
+        # increases: 100, then 10 (post-reset value), then 100 → 210 / 30 s
+        assert store.rate(k, 0, 30) == pytest.approx(7.0)
+
+    def test_rate_all_resets_still_nonnegative(self):
+        store = TimeSeriesStore()
+        k = self._key()
+        for t, v in [(0.0, 50.0), (10.0, 40.0), (20.0, 30.0)]:
+            store.insert(k, t, v)
+        assert store.rate(k, 0, 20) == pytest.approx((40.0 + 30.0) / 20.0)
+
     def test_downsample_mean(self):
         store = TimeSeriesStore()
         k = self._key()
@@ -175,6 +249,35 @@ class TestTimeSeriesStore:
         store.insert(k, 20.0, 2.0)
         times, _ = store.downsample(k, 0.0, 30.0, step=5.0)
         np.testing.assert_array_equal(times, [0.0, 20.0])
+
+    def test_downsample_matches_naive_loop_for_all_aggs(self):
+        """The vectorized path must agree with a per-bin reference loop."""
+        rng = np.random.default_rng(5)
+        store = TimeSeriesStore()
+        k = self._key()
+        times = np.sort(rng.uniform(0.0, 500.0, size=400))
+        values = rng.normal(100.0, 25.0, size=400)
+        store.insert_batch(k, times, values)
+        naive_fns = {
+            "mean": np.mean,
+            "sum": np.sum,
+            "min": np.min,
+            "max": np.max,
+            "count": lambda a: float(a.size),
+            "last": lambda a: float(a[-1]),
+            "p50": lambda a: float(np.percentile(a, 50)),
+            "p95": lambda a: float(np.percentile(a, 95)),
+            "p99": lambda a: float(np.percentile(a, 99)),
+        }
+        t0, t1, step = 13.0, 487.0, 37.0
+        w_times, w_values = store.query(k, t0, t1)
+        bins = np.floor((w_times - t0) / step).astype(np.int64)
+        for agg, fn in naive_fns.items():
+            got_t, got_v = store.downsample(k, t0, t1, step=step, agg=agg)
+            want_t = [t0 + b * step for b in np.unique(bins)]
+            want_v = [fn(w_values[bins == b]) for b in np.unique(bins)]
+            np.testing.assert_allclose(got_t, want_t, rtol=1e-12)
+            np.testing.assert_allclose(got_v, want_v, rtol=1e-12)
 
     def test_downsample_unknown_agg_raises(self):
         store = TimeSeriesStore()

@@ -8,7 +8,7 @@ from repro.cli import EXPERIMENT_INDEX, main
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "E1" in out and "E12" in out
+    assert "E1" in out and "E13" in out
     assert "Scheduler case" in out
 
 
@@ -25,4 +25,28 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 13)]
+    assert ids == [f"E{i}" for i in range(1, 14)]
+
+
+def test_query_command(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s)", "--nodes", "4", "--horizon", "900",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "source=" in out
+    assert "# engine:" in out
+
+
+def test_query_command_group_by(capsys):
+    assert main([
+        "query",
+        'max(node_power_watts{node=~"n00.*"}[600s]) group by (node)',
+        "--nodes", "4", "--horizon", "900",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "node=" in out
+
+
+def test_query_command_parse_error(capsys):
+    assert main(["query", "not a query", "--nodes", "2", "--horizon", "60"]) == 2
+    assert "cannot parse" in capsys.readouterr().err
