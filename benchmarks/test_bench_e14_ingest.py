@@ -1,0 +1,37 @@
+"""E14 — columnar ingest pipeline vs the seed per-object path (§IV).
+
+Section IV makes insert rate a first-class storage concern; the paper's
+holistic-monitoring premise (E1) needs full-system sample movement that
+does not melt at thousands of nodes.  This benchmark drives the same
+deterministic workload through both ingest paths — per-object
+``Sample``/``insert`` vs ``SensorBank`` → ``SampleBatch`` →
+``append_batch`` — asserting bit-identical stores, a ≥5× throughput
+win at 1024 nodes × 8 metrics, and that the full E1 scenario at 1024
+nodes fits inside the seed path's 256-node wall-clock budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ingest_exp import run_e1_scale_check, run_ingest_benchmark
+from repro.experiments.report import render_table
+
+
+def test_columnar_ingest_5x_over_seed_path(benchmark):
+    row = run_once(benchmark, run_ingest_benchmark, seed=0)
+    print()
+    print(render_table([row], title="E14 — columnar vs per-object ingest (1024 nodes × 8 metrics)"))
+    assert row["n_nodes"] == 1024
+    assert row["metrics_per_node"] == 8
+    assert row["match"] == 1.0  # both paths stored identical series
+    assert row["event_reduction"] >= 4.0  # coalesced scheduling
+    assert row["speedup"] >= 5.0
+
+
+def test_e1_at_1024_nodes_within_256_node_budget(benchmark):
+    row = run_once(benchmark, run_e1_scale_check, seed=0)
+    print()
+    print(render_table([row], title="E14 — E1 scale check: columnar@1024 vs seed@256"))
+    assert row["node_scale_factor"] == 4.0
+    assert row["legacy_completeness"] > 0.99
+    assert row["columnar_completeness"] > 0.99
+    assert row["within_budget"] == 1.0

@@ -8,6 +8,8 @@
 * ``query "<expr>"`` — run a short simulated shift and evaluate a metric
   query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
   the vectorized query engine with tiered rollups.
+* ``bench-ingest`` — run the E14 ingest benchmark (columnar pipeline vs
+  the per-object seed path), optionally writing a JSON artifact.
 * ``version`` — print the package version.
 """
 
@@ -31,6 +33,7 @@ EXPERIMENT_INDEX = [
     ("E11", "§III.iv", "trust/guard budget sweep"),
     ("E12", "§II i–ii", "component interchange matrix"),
     ("E13", "§IV", "query engine: tiered rollups + cache vs raw scans"),
+    ("E14", "§IV", "columnar ingest pipeline vs per-object seed path"),
 ]
 
 
@@ -100,6 +103,34 @@ def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
     return 0
 
 
+def cmd_bench_ingest(
+    nodes: int, metrics: int, horizon: float, json_path: Optional[str]
+) -> int:
+    """Run the E14 ingest benchmark and print (optionally dump) the row."""
+    import json
+
+    from repro.experiments.ingest_exp import run_ingest_benchmark
+    from repro.experiments.report import render_table
+
+    row = run_ingest_benchmark(
+        n_nodes=nodes, metrics_per_node=metrics, horizon_s=horizon
+    )
+    print(render_table([row], title="E14 — columnar vs per-object ingest"))
+    if row["match"] != 1.0:
+        print("ERROR: columnar and per-object stores diverged", file=sys.stderr)
+        return 1
+    print(
+        f"speedup: {row['speedup']:.2f}x "
+        f"({row['legacy_samples_per_s']:.0f} -> {row['columnar_samples_per_s']:.0f} samples/s), "
+        f"events reduced {row['event_reduction']:.1f}x"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -115,6 +146,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     qry.add_argument("--nodes", type=int, default=16)
     qry.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
     qry.add_argument("--seed", type=int, default=7)
+    bench = sub.add_parser("bench-ingest", help="run the E14 ingest benchmark")
+    bench.add_argument("--nodes", type=int, default=1024)
+    bench.add_argument("--metrics", type=int, default=8, help="metrics per node")
+    bench.add_argument("--horizon", type=float, default=180.0, help="simulated seconds")
+    bench.add_argument("--json", dest="json_path", default=None, help="write row as JSON")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
@@ -122,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiments(args.quick, args.seeds)
     if args.command == "query":
         return cmd_query(args.expr, args.nodes, args.horizon, args.seed)
+    if args.command == "bench-ingest":
+        return cmd_bench_ingest(args.nodes, args.metrics, args.horizon, args.json_path)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

@@ -18,11 +18,13 @@ from repro.cluster.power import PowerModel
 from repro.cluster.scheduler import Scheduler, SchedulerConfig
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
+import numpy as np
+
 from repro.telemetry.collector import CollectionPipeline
 from repro.telemetry.markers import ProgressMarkerChannel
 from repro.telemetry.metric import SeriesKey
-from repro.telemetry.sampler import Sampler
-from repro.telemetry.sensor import CallableSensor
+from repro.telemetry.sampler import SamplingGroup
+from repro.telemetry.sensor import SensorBank
 from repro.telemetry.tsdb import TimeSeriesStore
 
 
@@ -69,13 +71,15 @@ class Cluster:
         )
         self.maintenance = MaintenanceManager(engine, self.scheduler)
         self.power_model = PowerModel()
-        self.samplers: List[Sampler] = []
+        self.samplers: List[SamplingGroup] = []
         self.pipeline: Optional[CollectionPipeline] = None
         if self.config.enable_telemetry:
             self._wire_telemetry()
 
     # ------------------------------------------------------------ telemetry
     def _wire_telemetry(self) -> None:
+        """Columnar telemetry: one sensor bank per node, one sampling
+        group per aggregation subtree, batches end to end."""
         cfg = self.config
         self.pipeline = CollectionPipeline(
             self.engine,
@@ -84,44 +88,43 @@ class Cluster:
             ingest_latency=cfg.telemetry_hop_latency_s,
         )
         aggregators = self.pipeline.build(cfg.telemetry_groups)
-        for idx, node in enumerate(self.nodes):
-            agg = aggregators[idx % cfg.telemetry_groups]
-            sampler = Sampler(
+        registry = self.pipeline.registry
+        for g, agg in enumerate(aggregators):
+            group = SamplingGroup(
                 self.engine,
                 agg,
                 period=cfg.telemetry_period_s,
-                rng=self.rngs.stream(f"sampler-{node.node_id}"),
-                name=f"sampler-{node.node_id}",
+                name=f"telemetry-group-{g}",
             )
-            sampler.add_sensors(
-                [
-                    CallableSensor(
-                        SeriesKey.of("node_cpu_util", node=node.node_id),
-                        self._util_reader(node),
-                    ),
-                    CallableSensor(
-                        SeriesKey.of("node_power_watts", node=node.node_id),
-                        self._power_reader(node),
-                    ),
-                ]
-            )
-            sampler.start()
-            self.samplers.append(sampler)
+            for node in self.nodes[g :: cfg.telemetry_groups]:
+                group.add_bank(
+                    SensorBank(
+                        [
+                            SeriesKey.of("node_cpu_util", node=node.node_id),
+                            SeriesKey.of("node_power_watts", node=node.node_id),
+                        ],
+                        self._node_reader(node),
+                        registry=registry,
+                    )
+                )
+            group.start()
+            self.samplers.append(group)
         # scheduler queue-length gauge through the same pipeline
-        queue_sampler = Sampler(
+        queue_group = SamplingGroup(
             self.engine,
             aggregators[0],
             period=cfg.telemetry_period_s,
-            name="sampler-sched",
+            name="telemetry-sched",
         )
-        queue_sampler.add_sensor(
-            CallableSensor(
-                SeriesKey.of("sched_queue_length"),
-                lambda now: float(self.scheduler.queue_length),
+        queue_group.add_bank(
+            SensorBank(
+                [SeriesKey.of("sched_queue_length")],
+                lambda now: np.array([float(self.scheduler.queue_length)]),
+                registry=registry,
             )
         )
-        queue_sampler.start()
-        self.samplers.append(queue_sampler)
+        queue_group.start()
+        self.samplers.append(queue_group)
 
     def node_cpu_util(self, node: Node) -> float:
         """Current utilization: the running app's effective intensity."""
@@ -136,11 +139,12 @@ class Cluster:
             return 0.0
         return min(1.0, rate / base)
 
-    def _util_reader(self, node: Node):
-        return lambda now: self.node_cpu_util(node)
+    def _node_reader(self, node: Node):
+        def read(now: float) -> np.ndarray:
+            util = self.node_cpu_util(node)
+            return np.array([util, self.power_model.node_power(node, util)])
 
-    def _power_reader(self, node: Node):
-        return lambda now: self.power_model.node_power(node, self.node_cpu_util(node))
+        return read
 
     # ------------------------------------------------------------- shortcuts
     def submit(self, job) -> None:

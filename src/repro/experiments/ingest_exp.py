@@ -1,0 +1,213 @@
+"""Ingest-throughput experiment (E14, Section IV).
+
+PR 1 made the *read* path vectorized; this experiment measures the
+*write* path: the columnar ingest pipeline (``SensorBank`` →
+``SampleBatch`` → coalescing aggregator tree → bulk ``append_batch``)
+against the seed per-object path (one ``Sample`` dataclass per sensor
+per tick, per-sampler events, point-by-point commits) on an identical
+workload.  Both modes run the same deterministic sensors with no
+jitter/noise/loss, so the stores they produce must be bit-identical —
+the benchmark asserts that, making the comparison purely about moving
+cost.
+
+``run_e1_scale_check`` is the scaling acceptance: the full E1 scenario
+(analytics included) at 1024 nodes on the columnar path must fit within
+the wall-clock the seed path spends at 256 nodes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.pipeline_exp import run_pipeline_scenario
+from repro.sim import Engine
+from repro.telemetry.collector import CollectionPipeline
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.sampler import Sampler, SamplingGroup
+from repro.telemetry.sensor import CallableSensor, SensorBank
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def _node_keys(node_idx: int, metrics_per_node: int) -> List[SeriesKey]:
+    return [
+        SeriesKey.of(f"metric{m}", node=f"n{node_idx:04d}")
+        for m in range(metrics_per_node)
+    ]
+
+
+def _run_mode(
+    ingest: str,
+    *,
+    n_nodes: int,
+    metrics_per_node: int,
+    sample_period_s: float,
+    horizon_s: float,
+    group_size: int,
+    commit_ticks: int = 6,
+) -> Tuple[TimeSeriesStore, float, int]:
+    """One pipeline run; returns ``(store, ingest_wall_s, events)``."""
+    engine = Engine()
+    store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
+    commit_interval = commit_ticks * sample_period_s if ingest == "columnar" else None
+    pipeline = CollectionPipeline(
+        engine, store, hop_latency=0.1, ingest_latency=0.1, commit_interval_s=commit_interval
+    )
+    n_groups = max(1, n_nodes // group_size)
+    aggregators = pipeline.build(n_groups)
+
+    # Deterministic per-(node, metric) readout: base level plus a slow
+    # tick ramp, computed with identical float ops in both modes.
+    def node_bases(node_idx: int) -> np.ndarray:
+        return 100.0 + node_idx * 0.25 + np.arange(metrics_per_node) * 10.0
+
+    fronts: List = []
+    if ingest == "legacy":
+        for node_idx in range(n_nodes):
+            sampler = Sampler(
+                engine,
+                aggregators[node_idx % n_groups],
+                period=sample_period_s,
+                name=f"sampler-{node_idx}",
+            )
+            bases = node_bases(node_idx)
+            for metric_idx, key in enumerate(_node_keys(node_idx, metrics_per_node)):
+                def reader(now: float, _b=bases, _m=metric_idx, _p=sample_period_s) -> float:
+                    return _b[_m] + 0.001 * int(now / _p)
+
+                sampler.add_sensor(CallableSensor(key, reader))
+            fronts.append(sampler)
+    else:
+        registry = pipeline.registry
+        for g in range(n_groups):
+            group = SamplingGroup(
+                engine, aggregators[g], period=sample_period_s, name=f"group-{g}"
+            )
+            for node_idx in range(g, n_nodes, n_groups):
+                bases = node_bases(node_idx)
+
+                def read_all(now: float, _b=bases, _p=sample_period_s) -> np.ndarray:
+                    return _b + 0.001 * int(now / _p)
+
+                group.add_bank(
+                    SensorBank(
+                        _node_keys(node_idx, metrics_per_node), read_all, registry=registry
+                    )
+                )
+            fronts.append(group)
+
+    wall_t0 = time.perf_counter()
+    for front in fronts:
+        front.start()
+    engine.run(until=horizon_s)
+    for front in fronts:
+        front.stop()
+    engine.run(until=horizon_s + 0.5 + (commit_interval or 0.0))
+    pipeline.root.flush()
+    wall = time.perf_counter() - wall_t0
+    return store, wall, engine.events_executed
+
+
+def run_ingest_benchmark(
+    *,
+    seed: int = 0,
+    n_nodes: int = 1024,
+    metrics_per_node: int = 8,
+    sample_period_s: float = 5.0,
+    horizon_s: float = 180.0,
+    group_size: int = 16,
+    repeats: int = 2,
+) -> Dict[str, float]:
+    """Columnar vs per-object ingest at scale; asserts stored equivalence.
+
+    ``seed`` is accepted for harness uniformity; the workload is
+    deterministic so both modes must produce identical stores.  Each
+    mode runs ``repeats`` times and the fastest wall is reported (the
+    usual best-of-N guard against scheduler noise on shared runners).
+    """
+    del seed  # deterministic scenario
+    kwargs = dict(
+        n_nodes=n_nodes,
+        metrics_per_node=metrics_per_node,
+        sample_period_s=sample_period_s,
+        horizon_s=horizon_s,
+        group_size=group_size,
+    )
+    legacy_store, legacy_wall, legacy_events = _run_mode("legacy", **kwargs)
+    col_store, col_wall, col_events = _run_mode("columnar", **kwargs)
+    for _ in range(max(0, repeats - 1)):
+        _, wall, _ = _run_mode("legacy", **kwargs)
+        legacy_wall = min(legacy_wall, wall)
+        _, wall, _ = _run_mode("columnar", **kwargs)
+        col_wall = min(col_wall, wall)
+
+    legacy_keys = legacy_store.series_keys()
+    match = legacy_store.cardinality() == col_store.cardinality()
+    for key in legacy_keys:
+        lt, lv = legacy_store.query(key, -np.inf, np.inf)
+        ct, cv = col_store.query(key, -np.inf, np.inf)
+        if not (np.array_equal(lt, ct) and np.array_equal(lv, cv)):
+            match = False
+            break
+
+    samples = float(legacy_store.total_inserts)
+    return {
+        "n_nodes": float(n_nodes),
+        "metrics_per_node": float(metrics_per_node),
+        "samples": samples,
+        "legacy_wall_s": legacy_wall,
+        "columnar_wall_s": col_wall,
+        "legacy_samples_per_s": samples / legacy_wall,
+        "columnar_samples_per_s": float(col_store.total_inserts) / col_wall,
+        "speedup": legacy_wall / col_wall,
+        "legacy_events": float(legacy_events),
+        "columnar_events": float(col_events),
+        "event_reduction": legacy_events / max(1, col_events),
+        "match": float(match),
+    }
+
+
+def run_e1_scale_check(
+    *,
+    seed: int = 0,
+    baseline_nodes: int = 256,
+    scaled_nodes: int = 1024,
+    metrics_per_node: int = 4,
+    horizon_s: float = 1800.0,
+) -> Dict[str, float]:
+    """Full E1 at ``scaled_nodes`` (columnar + batch analytics) vs the
+    seed configuration at ``baseline_nodes`` (per-object ingest,
+    per-point diagnose): the scaled run must fit in the seed budget."""
+    t0 = time.perf_counter()
+    legacy_row = run_pipeline_scenario(
+        seed=seed,
+        n_nodes=baseline_nodes,
+        metrics_per_node=metrics_per_node,
+        horizon_s=horizon_s,
+        ingest="legacy",
+        diagnose="pointwise",
+    )
+    legacy_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    columnar_row = run_pipeline_scenario(
+        seed=seed,
+        n_nodes=scaled_nodes,
+        metrics_per_node=metrics_per_node,
+        horizon_s=horizon_s,
+        ingest="columnar",
+    )
+    columnar_wall = time.perf_counter() - t0
+    return {
+        "baseline_nodes": float(baseline_nodes),
+        "scaled_nodes": float(scaled_nodes),
+        "node_scale_factor": scaled_nodes / baseline_nodes,
+        "legacy_wall_s": legacy_wall,
+        "columnar_wall_s": columnar_wall,
+        "budget_ratio": columnar_wall / legacy_wall,
+        "within_budget": float(columnar_wall <= legacy_wall),
+        "legacy_completeness": legacy_row["completeness"],
+        "columnar_completeness": columnar_row["completeness"],
+        "columnar_ingest_rate_per_s": columnar_row["ingest_rate_per_s"],
+    }

@@ -6,12 +6,25 @@ functions of Fig. 1 — visualize (downsampled queries), diagnose (anomaly
 detection), forecast (trend extrapolation) — and reports pipeline
 throughput, end-to-end lag, analytics latency, overhead, and detection
 quality.
+
+Two ingest modes share the scenario:
+
+* ``"columnar"`` (default) — one :class:`SensorBank` per node reading
+  all its metrics in a single vectorized call, one
+  :class:`SamplingGroup` per aggregation subtree (one engine event per
+  group per tick), batched hops, and interval-coalesced bulk commits.
+* ``"legacy"`` — the per-object seed path: one :class:`Sampler` per
+  node, one ``Sample`` dataclass per sensor per tick, point-by-point
+  commits.  Kept as the baseline the E14 benchmark measures against.
+
+Ground-truth signals and anomaly injection draw from identical RNG
+streams in both modes, so the modes differ only in how samples move.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -20,47 +33,39 @@ from repro.analytics.forecast import OLSForecaster
 from repro.sim import Engine, RngRegistry
 from repro.telemetry.collector import CollectionPipeline
 from repro.telemetry.metric import SeriesKey
-from repro.telemetry.overhead import MonitoringOverheadModel
-from repro.telemetry.sampler import Sampler
-from repro.telemetry.sensor import CallableSensor
+from repro.telemetry.sampler import Sampler, SamplingGroup
+from repro.telemetry.sensor import CallableSensor, SensorBank
 from repro.telemetry.synthetic import SpikeSpec, SyntheticSeriesSpec, render_series
 from repro.telemetry.tsdb import TimeSeriesStore
 
 
-def run_pipeline_scenario(
+def _build_frontends(
     *,
-    seed: int = 0,
-    n_nodes: int = 64,
-    metrics_per_node: int = 4,
-    sample_period_s: float = 5.0,
-    horizon_s: float = 3600.0,
-    n_anomalies: int = 8,
-) -> Dict[str, float]:
-    engine = Engine()
-    rngs = RngRegistry(seed=seed)
-    store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
-    pipeline = CollectionPipeline(engine, store, hop_latency=0.1, ingest_latency=0.1)
-    aggregators = pipeline.build(max(1, n_nodes // 16))
+    engine: Engine,
+    pipeline: CollectionPipeline,
+    rngs: RngRegistry,
+    ingest: str,
+    n_nodes: int,
+    metrics_per_node: int,
+    sample_period_s: float,
+    horizon_s: float,
+    jitter_std: float,
+    per_sample_cost_s: float,
+    anomaly_times: List[float],
+    anomaly_nodes: List[int],
+) -> List:
+    """Wire sampling front-ends for the requested ingest mode.
 
-    rng = rngs.stream("signals")
-    anomaly_times = sorted(
-        float(t) for t in rng.uniform(horizon_s * 0.2, horizon_s * 0.9, size=n_anomalies)
-    )
-    anomaly_nodes = [int(rng.integers(n_nodes)) for _ in anomaly_times]
-
-    samplers: List[Sampler] = []
+    Returns the list of front-ends (per-node ``Sampler`` or per-group
+    ``SamplingGroup``); signals are pre-rendered on the sampling grid
+    from mode-independent RNG streams.
+    """
+    aggregators = pipeline.aggregators
     grid = np.arange(0.0, horizon_s + sample_period_s, sample_period_s)
-    signal_cache: Dict[str, np.ndarray] = {}
-    for node_idx in range(n_nodes):
-        sampler = Sampler(
-            engine,
-            aggregators[node_idx % len(aggregators)],
-            period=sample_period_s,
-            rng=rngs.stream(f"sampler-{node_idx}"),
-            jitter_std=0.05,
-            per_sample_cost_s=1e-4,
-            name=f"sampler-{node_idx}",
-        )
+    n_groups = len(aggregators)
+
+    def node_signals(node_idx: int) -> np.ndarray:
+        rows = []
         for metric_idx in range(metrics_per_node):
             spec = SyntheticSeriesSpec(
                 base=400.0 + 20.0 * metric_idx,
@@ -73,19 +78,131 @@ def run_pipeline_scenario(
                     if n == node_idx and metric_idx == 0
                 ],
             )
-            series = render_series(grid, spec, rngs.fork("signal", node_idx * 100 + metric_idx))
-            key = SeriesKey.of(f"metric{metric_idx}", node=f"n{node_idx:03d}")
-            signal_cache[str(key)] = series
+            rows.append(
+                render_series(grid, spec, rngs.fork("signal", node_idx * 100 + metric_idx))
+            )
+        return np.stack(rows)
 
-            def reader(now: float, _series=series) -> float:
-                idx = min(len(_series) - 1, int(now / sample_period_s))
-                return float(_series[idx])
+    def node_keys(node_idx: int) -> List[SeriesKey]:
+        return [
+            SeriesKey.of(f"metric{m}", node=f"n{node_idx:03d}")
+            for m in range(metrics_per_node)
+        ]
 
-            sampler.add_sensor(CallableSensor(key, reader))
-        sampler.start()
-        samplers.append(sampler)
+    fronts: List = []
+    if ingest == "legacy":
+        for node_idx in range(n_nodes):
+            signals = node_signals(node_idx)
+            sampler = Sampler(
+                engine,
+                aggregators[node_idx % n_groups],
+                period=sample_period_s,
+                rng=rngs.stream(f"sampler-{node_idx}"),
+                jitter_std=jitter_std,
+                per_sample_cost_s=per_sample_cost_s,
+                name=f"sampler-{node_idx}",
+            )
+            for metric_idx, key in enumerate(node_keys(node_idx)):
+                row = signals[metric_idx]
 
+                def reader(now: float, _row=row, _p=sample_period_s) -> float:
+                    return float(_row[min(len(_row) - 1, int(now / _p))])
+
+                sampler.add_sensor(CallableSensor(key, reader))
+            sampler.start()
+            fronts.append(sampler)
+        return fronts
+
+    if ingest != "columnar":
+        raise ValueError(f"unknown ingest mode {ingest!r}; use 'columnar' or 'legacy'")
+    registry = pipeline.registry
+    last_col = len(grid) - 1
+    for g in range(n_groups):
+        group = SamplingGroup(
+            engine,
+            aggregators[g],
+            period=sample_period_s,
+            rng=rngs.stream(f"group-{g}"),
+            jitter_std=jitter_std,
+            per_sample_cost_s=per_sample_cost_s,
+            name=f"group-{g}",
+        )
+        for node_idx in range(g, n_nodes, n_groups):
+            signals = node_signals(node_idx)
+
+            def read_all(now: float, _m=signals, _p=sample_period_s) -> np.ndarray:
+                return _m[:, min(last_col, int(now / _p))]
+
+            group.add_bank(
+                SensorBank(node_keys(node_idx), read_all, registry=registry)
+            )
+        group.start()
+        fronts.append(group)
+    return fronts
+
+
+def run_pipeline_scenario(
+    *,
+    seed: int = 0,
+    n_nodes: int = 64,
+    metrics_per_node: int = 4,
+    sample_period_s: float = 5.0,
+    horizon_s: float = 3600.0,
+    n_anomalies: int = 8,
+    ingest: str = "columnar",
+    diagnose: str = "scan",
+    commit_interval_s: Optional[float] = None,
+) -> Dict[str, float]:
+    """Run E1.  ``ingest`` picks the sample-movement path; ``diagnose``
+    picks the anomaly sweep — ``"scan"`` (batch z-score pass) or
+    ``"pointwise"`` (the seed idiom: one detector update per sample),
+    kept so the E14 scale check can measure the original configuration
+    as its wall-clock budget."""
+    engine = Engine()
+    rngs = RngRegistry(seed=seed)
+    store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
+    if commit_interval_s is None and ingest == "columnar":
+        commit_interval_s = 4.0 * sample_period_s
+    pipeline = CollectionPipeline(
+        engine,
+        store,
+        hop_latency=0.1,
+        ingest_latency=0.1,
+        commit_interval_s=commit_interval_s if ingest == "columnar" else None,
+    )
+    pipeline.build(max(1, n_nodes // 16))
+
+    rng = rngs.stream("signals")
+    anomaly_times = sorted(
+        float(t) for t in rng.uniform(horizon_s * 0.2, horizon_s * 0.9, size=n_anomalies)
+    )
+    anomaly_nodes = [int(rng.integers(n_nodes)) for _ in anomaly_times]
+
+    fronts = _build_frontends(
+        engine=engine,
+        pipeline=pipeline,
+        rngs=rngs,
+        ingest=ingest,
+        n_nodes=n_nodes,
+        metrics_per_node=metrics_per_node,
+        sample_period_s=sample_period_s,
+        horizon_s=horizon_s,
+        jitter_std=0.05,
+        per_sample_cost_s=1e-4,
+        anomaly_times=anomaly_times,
+        anomaly_nodes=anomaly_nodes,
+    )
+    # clock starts after signal rendering / frontend construction so
+    # ingest_wall_s measures sample movement, not synthetic-data setup
+    wall_t0 = time.perf_counter()
     engine.run(until=horizon_s)
+    # Drain in-flight hops/commits so the tail tick is not lost to the
+    # horizon cut, then force the root's coalescing buffer out.
+    for front in fronts:
+        front.stop()
+    engine.run(until=horizon_s + pipeline.end_to_end_latency + (commit_interval_s or 0.0))
+    pipeline.root.flush()
+    ingest_wall_s = time.perf_counter() - wall_t0
 
     # --- Fig. 1 "visualize": downsampled dashboard queries ---------------
     t0 = time.perf_counter()
@@ -95,16 +212,22 @@ def run_pipeline_scenario(
     visualize_ms = (time.perf_counter() - t0) * 1e3
 
     # --- Fig. 1 "diagnose": anomaly detection over every node ------------
+    if diagnose not in ("scan", "pointwise"):
+        raise ValueError(f"unknown diagnose mode {diagnose!r}")
     t0 = time.perf_counter()
     detected: List[tuple] = []
     for node_idx in range(n_nodes):
         key = SeriesKey.of("metric0", node=f"n{node_idx:03d}")
         times, values = store.query(key, 0.0, horizon_s)
         det = ZScoreDetector(window=60, threshold=5.0)
-        for t, v in zip(times, values):
-            a = det.update(t, v)
-            if a is not None:
-                detected.append((node_idx, t))
+        if diagnose == "scan":
+            for anomaly in det.scan(times, values):
+                detected.append((node_idx, anomaly.time))
+        else:
+            for t, v in zip(times, values):
+                a = det.update(t, v)
+                if a is not None:
+                    detected.append((node_idx, t))
     diagnose_ms = (time.perf_counter() - t0) * 1e3
 
     # detection quality vs ground truth (match within the spike window)
@@ -125,7 +248,11 @@ def run_pipeline_scenario(
             fc.update(t, v)
     forecast_ms = (time.perf_counter() - t0) * 1e3
 
-    overhead = MonitoringOverheadModel(samplers, aggregators).report(horizon_s)
+    # per-agent CPU overhead via the explicit accessor (agent-weighted)
+    n_agents = sum(f.agent_count for f in fronts)
+    overhead_cpu_frac = (
+        sum(f.overhead_cpu_frac(horizon_s) * f.agent_count for f in fronts) / n_agents
+    )
     expected_samples = n_nodes * metrics_per_node * (horizon_s / sample_period_s)
     return {
         "seed": seed,
@@ -133,6 +260,7 @@ def run_pipeline_scenario(
         "series": float(store.cardinality()),
         "samples_ingested": float(store.total_inserts),
         "ingest_rate_per_s": store.total_inserts / horizon_s,
+        "ingest_wall_s": ingest_wall_s,
         "completeness": store.total_inserts / expected_samples,
         "e2e_lag_s": pipeline.end_to_end_latency,
         "visualize_ms": visualize_ms,
@@ -140,8 +268,8 @@ def run_pipeline_scenario(
         "forecast_ms": forecast_ms,
         "anomaly_recall": recall,
         "anomalies_detected": float(len(detected)),
-        "overhead_cpu_frac": overhead.cpu_fraction_per_agent,
-        "net_bytes_per_node_s": overhead.bytes_per_agent_per_s,
+        "overhead_cpu_frac": overhead_cpu_frac,
+        "net_bytes_per_node_s": pipeline.total_bytes() / (n_agents * horizon_s),
     }
 
 
@@ -203,18 +331,18 @@ def run_sampling_tradeoff(
             times, values = store.query(key, 0.0, horizon_s)
             det = ZScoreDetector(window=max(10, int(300.0 / period)), threshold=5.0)
             onset = float(onsets[node_idx])
-            for t, v in zip(times, values):
-                if det.update(t, v) is not None and t >= onset:
-                    latencies.append(t - onset)
+            for anomaly in det.scan(times, values):
+                if anomaly.time >= onset:
+                    latencies.append(anomaly.time - onset)
                     break
-        overhead = MonitoringOverheadModel(samplers, aggregators).report(horizon_s)
+        mean_cpu_frac = float(np.mean([s.overhead_cpu_frac(horizon_s) for s in samplers]))
         rows.append(
             {
                 "period_s": period,
                 "detected_frac": len(latencies) / n_nodes,
                 "detect_latency_s": float(np.mean(latencies)) if latencies else float("inf"),
-                "overhead_cpu_frac": overhead.cpu_fraction_per_agent,
-                "net_bytes_per_node_s": overhead.bytes_per_agent_per_s,
+                "overhead_cpu_frac": mean_cpu_frac,
+                "net_bytes_per_node_s": pipeline.total_bytes() / (n_nodes * horizon_s),
                 "samples_total": float(store.total_inserts),
             }
         )

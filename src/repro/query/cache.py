@@ -5,9 +5,12 @@ on a fixed cadence; caching keyed on the *canonical* expression plus a
 **quantized** evaluation window turns that steady state into pure hits.
 Windows are quantized to the query step (instant queries to
 ``instant_quantum_s``), so two evaluations issued within the same
-quantum share an entry — results may therefore be stale by up to one
-quantum inside the current partial bin, the classic trade production
-query frontends make.
+quantum share an entry.  Staleness is bounded by **version-keying**:
+the engine passes the store's per-metric write epoch into
+:meth:`QueryCache.make_key`, so the moment new samples for a metric
+commit, every subsequent evaluation misses the pre-commit entries and
+recomputes — a cached result can never hide data that has already
+landed inside its window.
 
 Cached arrays are frozen (``writeable = False``) so one consumer cannot
 corrupt another's hit.
@@ -35,10 +38,17 @@ class QueryCache:
         return len(self._entries)
 
     @staticmethod
-    def make_key(expr: str, t0: float, t1: float, quantum: float) -> Tuple[str, int, int]:
-        """Cache key: canonical expression + window quantized to ``quantum``."""
+    def make_key(
+        expr: str, t0: float, t1: float, quantum: float, version: int = 0
+    ) -> Tuple[str, int, int, int]:
+        """Cache key: canonical expression + quantized window + data version.
+
+        ``version`` is the writer-side epoch of the queried data (the
+        store's per-metric write counter); bumping it invalidates every
+        earlier entry for the expression without an explicit purge.
+        """
         q = quantum if quantum > 0 else 1.0
-        return (expr, int(t0 // q), int(t1 // q))
+        return (expr, int(t0 // q), int(t1 // q), int(version))
 
     def get(self, key: Hashable):
         entry = self._entries.get(key)

@@ -135,7 +135,14 @@ class QueryEngine:
         quantum = q.step_s if q.step_s is not None else self.instant_quantum_s
         cache_key = None
         if self.cache is not None:
-            cache_key = QueryCache.make_key(expr, at - (q.range_s or 0.0), at, quantum)
+            # Version-key on the metric's write epoch: any commit touching
+            # this metric mints a new key, so a query issued after new
+            # samples landed inside the window can never serve the stale
+            # pre-commit tail.  Old-epoch entries age out of the LRU.
+            cache_key = QueryCache.make_key(
+                expr, at - (q.range_s or 0.0), at, quantum,
+                version=self.store.metric_epoch(q.metric),
+            )
             hit = self.cache.get(cache_key)
             if hit is not None:
                 return dataclasses.replace(hit, source="cache")

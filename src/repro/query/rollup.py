@@ -15,9 +15,15 @@ from a tier (plus the raw tail past the tier's watermark) is
 bit-for-bit identical to a raw scan for every partial-servable
 aggregator.
 
-Folding should outpace raw ring wraparound (``fold_period_s`` well
-under ``capacity × sample_period`` of the raw store); samples that wrap
-away unfolded are lost to the rollups, same as in any real collector.
+Tier 0 is fed **directly from committed batches**: the manager registers
+an ingest listener on the store and buffers the columnar ``(series_id,
+time, value)`` stream; ``fold`` consumes that buffer, so a fold's cost
+is proportional to *new* data, and raw rings are scanned only once per
+series (the first fold, to bootstrap data committed before the manager
+existed).  Folding should still outpace raw ring wraparound for that
+bootstrap case (``fold_period_s`` well under ``capacity ×
+sample_period``); samples that wrap away before the first fold are lost
+to the rollups, same as in any real collector.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.query.kernels import PARTIAL_AGGS, PartialBins
+from repro.telemetry.batch import sort_series_columns
 from repro.telemetry.metric import SeriesKey
 from repro.telemetry.tsdb import (
     TimeSeriesStore,
@@ -133,7 +140,7 @@ def _partial_to_rows(partial: PartialBins, grid_t0: float, resolution: float) ->
 
 
 class RollupManager:
-    """A cascade of rollup tiers continuously folded from a raw store."""
+    """A cascade of rollup tiers continuously folded from ingested batches."""
 
     def __init__(
         self,
@@ -141,6 +148,7 @@ class RollupManager:
         resolutions: Sequence[float] = (10.0, 60.0, 600.0),
         *,
         capacity: int = 4096,
+        ingest_buffer_cap: int = 1 << 18,
     ) -> None:
         if not resolutions:
             raise ValueError("need at least one rollup resolution")
@@ -155,7 +163,32 @@ class RollupManager:
         self.store = store
         self.tiers: List[RollupTier] = [RollupTier(r, capacity) for r in res]
         self.folds = 0
+        self.late_samples_dropped = 0
         self._task = None
+        #: committed-but-unfolded columns, newest last: ``(ids, times, values)``
+        self._buffered: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered_rows = 0
+        #: earliest sample time the listener ever saw, per series
+        self._listener_floor: Dict[SeriesKey, float] = {}
+        self._buffer_cap = int(ingest_buffer_cap)
+        store.add_ingest_listener(self._on_ingest)
+
+    # -------------------------------------------------------------- ingest
+    def _on_ingest(self, ids: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        """Store listener: queue committed columns for the next fold.
+
+        If folding falls far behind ingest the buffer is drained early
+        (complete bins folded, open-bin tail kept), bounding memory
+        without ever rescanning raw rings.
+        """
+        self._buffered.append((ids, times, values))
+        self._buffered_rows += int(ids.size)
+        if self._buffered_rows > self._buffer_cap:
+            res = self.tiers[0].resolution_s
+            # chunks are sorted by (series, time), so the true max is a
+            # per-chunk .max(), not the last element
+            max_t = max(float(chunk[1].max()) for chunk in self._buffered if chunk[1].size)
+            self._fold_tier0_all(math.floor(max_t / res) * res)
 
     # ------------------------------------------------------------- folding
     def fold(self, now: float) -> int:
@@ -164,19 +197,96 @@ class RollupManager:
         Returns the number of rollup rows written.  Idempotent per bin:
         re-folding the same ``now`` writes nothing new.
         """
-        written = 0
-        for key in self.store.series_keys():
-            written += self._fold_tier0(key, now)
+        res = self.tiers[0].resolution_s
+        written = self._fold_tier0_all(math.floor(now / res) * res)
         for fine, coarse in zip(self.tiers, self.tiers[1:]):
             for key in self.store.series_keys():
                 written += self._fold_cascade(key, fine, coarse)
         self.folds += 1
         return written
 
-    def _fold_tier0(self, key: SeriesKey, now: float) -> int:
+    def _fold_tier0_all(self, boundary: float) -> int:
+        """Advance tier 0 to ``boundary`` from the ingest buffer.
+
+        A series folds purely from buffered columns once its *listener
+        floor* — the earliest sample time the listener ever saw for it —
+        lies strictly below its watermark: from then on, every unfolded
+        sample is guaranteed to be in the buffer (per-series timestamps
+        are monotone, so pre-listener data is all older than the floor).
+        Until that handoff point (data committed before this manager
+        existed, or a series first seen mid-fold) the region is folded
+        with a raw-ring scan, exactly like the pre-columnar manager, and
+        that series' buffered rows are discarded for the fold — the raw
+        scan already covers them, since the listener fires post-commit.
+        """
+        tier = self.tiers[0]
+        written = 0
+        if self._buffered:
+            chunks, self._buffered = self._buffered, []
+            self._buffered_rows = 0
+            if len(chunks) == 1:
+                ids, times, values = chunks[0]
+            else:
+                ids = np.concatenate([c[0] for c in chunks])
+                times = np.concatenate([c[1] for c in chunks])
+                values = np.concatenate([c[2] for c in chunks])
+            complete = times < boundary
+            if not complete.all():
+                keep = ~complete
+                self._buffered.append((ids[keep], times[keep], values[keep]))
+                self._buffered_rows = int(keep.sum())
+                ids, times, values = ids[complete], times[complete], values[complete]
+            if ids.size:
+                ids, times, values, starts, ends = sort_series_columns(ids, times, values)
+                registry = self.store.registry
+                for lo, hi in zip(starts.tolist(), ends.tolist()):
+                    key = registry.key_for(int(ids[lo]))
+                    floor_t = self._listener_floor.get(key)
+                    if floor_t is None:
+                        floor_t = float(times[lo])
+                        self._listener_floor[key] = floor_t
+                    wm = tier.watermark(key)
+                    if wm is not None and floor_t < wm:
+                        written += self._fold_tier0_segment(
+                            key, times[lo:hi], values[lo:hi], boundary
+                        )
+        for key in self.store.series_keys():
+            wm = tier.watermark(key)
+            if wm is not None and wm >= boundary:
+                continue
+            floor_t = self._listener_floor.get(key)
+            if wm is not None and floor_t is not None and floor_t < wm:
+                tier._watermark[key] = boundary  # buffer path covered it
+            else:
+                written += self._fold_tier0_rawscan(key, boundary)
+        return written
+
+    def _fold_tier0_segment(
+        self, key: SeriesKey, times: np.ndarray, values: np.ndarray, boundary: float
+    ) -> int:
+        """Fold one series' buffered columns (time-sorted, all < boundary)."""
         tier = self.tiers[0]
         res = tier.resolution_s
-        boundary = math.floor(now / res) * res  # end of last complete bin
+        wm = tier.watermark(key)
+        if times[-1] < wm:
+            self.late_samples_dropped += int(times.size)
+            return 0
+        if times[0] < wm:
+            cut = int(np.searchsorted(times, wm, side="left"))
+            self.late_samples_dropped += cut
+            times, values = times[cut:], values[cut:]
+        bin_idx = np.floor(times / res).astype(np.int64)
+        base = int(bin_idx[0])
+        partial = PartialBins(int(bin_idx[-1]) - base + 1)
+        partial.add_samples(bin_idx - base, times, values)
+        rows = _partial_to_rows(partial, base * res, res)
+        tier._append(key, rows, boundary)
+        return int(rows["time"].size)
+
+    def _fold_tier0_rawscan(self, key: SeriesKey, boundary: float) -> int:
+        """Raw-ring scan fold: pre-listener data (the bootstrap path)."""
+        tier = self.tiers[0]
+        res = tier.resolution_s
         start = tier.watermark(key)
         if start is None:
             first = self.store.earliest_time(key)

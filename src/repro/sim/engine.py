@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 
@@ -32,12 +31,11 @@ class StopSimulation(Exception):
     """
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    priority: int
-    seq: int
-    event: "Event" = field(compare=False)
+# Queue entries are plain ``(time, priority, seq, event)`` tuples: ``seq``
+# is unique per engine, so tuple comparison never reaches the event, and
+# heap pushes/pops cost C-level tuple compares instead of dataclass
+# ``__lt__`` dispatch — this is the hottest allocation in large
+# simulations (every scheduled sample, hop, and commit passes through).
 
 
 class Event:
@@ -156,7 +154,7 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self.events_executed = 0
         self._running = False
@@ -197,7 +195,7 @@ class Engine:
             raise SimTimeError(f"cannot schedule at t={time} (now is t={self._now})")
         self._seq += 1
         event = Event(float(time), priority, self._seq, fn, args, kwargs, label=label)
-        heapq.heappush(self._queue, _QueueEntry(event.time, priority, event.seq, event))
+        heapq.heappush(self._queue, (event.time, priority, event.seq, event))
         return event
 
     def every(
@@ -222,15 +220,14 @@ class Engine:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._queue and self._queue[0].event.cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if the queue is empty."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            event = entry.event
+            event = heapq.heappop(self._queue)[3]
             if event.cancelled:
                 continue
             self._now = event.time
@@ -281,14 +278,14 @@ class Engine:
 
     def pending_count(self) -> int:
         """Number of non-cancelled events still queued (O(n); diagnostics)."""
-        return sum(1 for entry in self._queue if not entry.event.cancelled)
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
 
     def drain(self, labels: Optional[Iterable[str]] = None) -> int:
         """Cancel pending events (optionally only those with given labels)."""
         wanted = set(labels) if labels is not None else None
         cancelled = 0
         for entry in self._queue:
-            ev = entry.event
+            ev = entry[3]
             if ev.cancelled:
                 continue
             if wanted is None or ev.label in wanted:

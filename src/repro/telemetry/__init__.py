@@ -12,9 +12,10 @@ and metric cardinality.
 """
 
 from repro.telemetry.metric import MetricCatalog, MetricKind, MetricSpec, SeriesKey
+from repro.telemetry.batch import Sample, SampleBatch, SeriesRegistry
 from repro.telemetry.tsdb import RingBuffer, TimeSeriesStore
-from repro.telemetry.sensor import CallableSensor, Sensor
-from repro.telemetry.sampler import Sample, Sampler
+from repro.telemetry.sensor import CallableSensor, Sensor, SensorBank
+from repro.telemetry.sampler import Sampler, SamplingGroup
 from repro.telemetry.collector import Aggregator, Collector, CollectionPipeline
 from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
 from repro.telemetry.synthetic import SyntheticSeriesSpec, render_series
@@ -40,9 +41,13 @@ __all__ = [
     "ProgressMarkerChannel",
     "RingBuffer",
     "Sample",
+    "SampleBatch",
     "Sampler",
+    "SamplingGroup",
     "Sensor",
+    "SensorBank",
     "SeriesKey",
+    "SeriesRegistry",
     "SyntheticSeriesSpec",
     "TimeSeriesStore",
     "render_series",

@@ -6,31 +6,48 @@ delay is a hard floor on autonomy-loop reaction time.  The pipeline here
 models each hop as a fixed latency plus optional loss, and counts
 messages and bytes so experiment E1/E2 can report transport volume.
 
+The native currency is the columnar
+:class:`~repro.telemetry.batch.SampleBatch`: aggregators **coalesce**
+every child batch arriving within one forwarding window into a single
+concatenated batch per hop, and the root collector commits through
+:meth:`~repro.telemetry.tsdb.TimeSeriesStore.append_batch` — one bulk
+write per flush instead of one Python call per point.  Legacy
+``list[Sample]`` submissions are still accepted at every hop; without
+commit coalescing they keep the seed path's point-by-point commit
+semantics (the E14 baseline), while an interval-coalescing root packs
+them into batches at flush time.
+
 Topology::
 
-    Sampler -> Aggregator (level N) -> ... -> Collector (root) -> TimeSeriesStore
+    SensorBank/Sampler -> Aggregator (level N) -> ... -> Collector (root) -> TimeSeriesStore
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.sim.engine import Engine
-from repro.telemetry.sampler import Sample
+from repro.telemetry.batch import Sample, SampleBatch
 from repro.telemetry.tsdb import TimeSeriesStore
 
 #: Approximate wire size of one encoded sample (metric id, ts, value, labels).
 SAMPLE_WIRE_BYTES = 64
+
+Submission = Union[SampleBatch, List[Sample]]
 
 
 class Collector:
     """Root of the pipeline: writes arriving samples into the store.
 
     Samples are written ``ingest_latency`` seconds after submission,
-    modelling the final commit delay.  ``latest_arrival_lag`` reports the
-    observed end-to-end lag of the most recent batch for diagnostics.
+    modelling the final commit delay.  With ``commit_interval_s`` set,
+    the root additionally coalesces submissions: everything arriving
+    within one interval is committed as a single columnar bulk append
+    (the LDMS-style store-side batching that makes high-rate ingest
+    cheap).  ``latest_arrival_lag`` reports the *maximum* end-to-end lag
+    across the most recently committed batch.
     """
 
     def __init__(
@@ -39,38 +56,98 @@ class Collector:
         store: TimeSeriesStore,
         *,
         ingest_latency: float = 0.0,
+        commit_interval_s: Optional[float] = None,
         name: str = "root-collector",
     ) -> None:
         if ingest_latency < 0:
             raise ValueError("ingest_latency must be >= 0")
+        if commit_interval_s is not None and commit_interval_s <= 0:
+            raise ValueError("commit_interval_s must be positive when set")
         self.engine = engine
         self.store = store
         self.ingest_latency = ingest_latency
+        self.commit_interval_s = commit_interval_s
         self.name = name
         self.batches_received = 0
+        self.commits = 0
         self.samples_ingested = 0
         self.latest_arrival_lag = 0.0
+        self._pending: List[Submission] = []
+        self._flush_scheduled = False
 
-    def submit(self, samples: List[Sample]) -> None:
+    def submit(self, samples: Submission) -> None:
         self.batches_received += 1
+        if self.commit_interval_s is not None:
+            self._pending.append(samples)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                delay = max(self.ingest_latency, self.commit_interval_s)
+                self.engine.schedule(delay, self._flush_pending, label=self.name)
+            return
         if self.ingest_latency > 0:
             self.engine.schedule(self.ingest_latency, self._commit, samples, label=self.name)
         else:
             self._commit(samples)
 
-    def _commit(self, samples: List[Sample]) -> None:
-        now = self.engine.now
-        for s in samples:
-            self.store.insert(s.key, s.time, s.value)
-            self.samples_ingested += 1
-            self.latest_arrival_lag = now - s.time
+    def flush(self) -> None:
+        """Commit everything pending immediately (end-of-run drain)."""
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, []
+        if pending:
+            self._commit(self._merge(pending))
+
+    def _merge(self, pending: List[Submission]) -> Submission:
+        """Concatenate queued submissions; lists are packed into a batch."""
+        if len(pending) == 1:
+            return pending[0]
+        batches: List[SampleBatch] = []
+        for sub in pending:
+            if isinstance(sub, SampleBatch):
+                batches.append(sub)
+            else:
+                batches.append(SampleBatch.from_samples(sub, self.store.registry))
+        return SampleBatch.concat(batches)
+
+    def _commit(self, samples: Submission) -> None:
+        n = len(samples)
+        if n == 0:
+            return
+        if isinstance(samples, SampleBatch):
+            self.store.append_batch(samples.series_ids, samples.times, samples.values)
+            oldest = float(samples.times.min())
+        else:
+            # Legacy per-object submissions keep the seed path's
+            # point-by-point commit semantics (and cost) — they are the
+            # baseline the E14 benchmark measures the columnar path
+            # against.
+            oldest = samples[0].time
+            for s in samples:
+                self.store.insert(s.key, s.time, s.value)
+                if s.time < oldest:
+                    oldest = s.time
+        self.commits += 1
+        self.samples_ingested += n
+        # Lag accounting once per commit, against the *oldest* sample in
+        # the batch — the worst-case end-to-end delay, not whichever
+        # sample happened to be last in submission order.
+        self.latest_arrival_lag = float(self.engine.now - oldest)
 
 
 class Aggregator:
-    """Intermediate hop: forwards batches downstream after a delay.
+    """Intermediate hop: concatenates child batches, forwards after a delay.
 
-    ``loss_prob`` drops whole batches (network loss / agent crash);
-    ``fan_in`` is bookkeeping for topology reports.
+    Submissions arriving while a forwarding window is open are merged
+    and sent with one hop event per window, however many children fed
+    it: columnar submissions concatenate into a single downstream
+    ``SampleBatch``, and legacy list submissions (which carry no series
+    ids to merge by) coalesce into a single downstream list — so a
+    window emits at most one message per submission kind.  ``loss_prob``
+    drops whole child batches before they enter the window (network
+    loss / agent crash); byte and message counters track both
+    directions so loss accounting stays exact.
     """
 
     def __init__(
@@ -95,20 +172,55 @@ class Aggregator:
         self.loss_prob = loss_prob
         self.rng = rng
         self.name = name
+        self.batches_received = 0
         self.batches_forwarded = 0
         self.batches_lost = 0
         self.bytes_forwarded = 0
+        self.bytes_lost = 0
+        self.samples_forwarded = 0
+        self.samples_lost = 0
+        self._pending: List[Submission] = []
+        self._flush_scheduled = False
 
-    def submit(self, samples: List[Sample]) -> None:
+    def submit(self, samples: Submission) -> None:
+        n = len(samples)
         if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
             self.batches_lost += 1
+            self.samples_lost += n
+            self.bytes_lost += n * SAMPLE_WIRE_BYTES
             return
-        self.batches_forwarded += 1
-        self.bytes_forwarded += len(samples) * SAMPLE_WIRE_BYTES
-        if self.forward_latency > 0:
-            self.engine.schedule(self.forward_latency, self.downstream.submit, samples, label=self.name)
-        else:
-            self.downstream.submit(samples)
+        self.batches_received += 1
+        if self.forward_latency <= 0:
+            self._forward([samples])
+            return
+        self._pending.append(samples)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.engine.schedule(self.forward_latency, self._flush, label=self.name)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, []
+        if pending:
+            self._forward(pending)
+
+    def _forward(self, pending: List[Submission]) -> None:
+        lists = [s for s in pending if not isinstance(s, SampleBatch)]
+        batches = [s for s in pending if isinstance(s, SampleBatch)]
+        if lists:
+            merged_list: List[Sample] = lists[0] if len(lists) == 1 else [
+                s for sub in lists for s in sub
+            ]
+            self.batches_forwarded += 1
+            self.samples_forwarded += len(merged_list)
+            self.bytes_forwarded += len(merged_list) * SAMPLE_WIRE_BYTES
+            self.downstream.submit(merged_list)
+        if batches:
+            merged = SampleBatch.concat(batches)
+            self.batches_forwarded += 1
+            self.samples_forwarded += len(merged)
+            self.bytes_forwarded += len(merged) * SAMPLE_WIRE_BYTES
+            self.downstream.submit(merged)
 
 
 class CollectionPipeline:
@@ -116,6 +228,8 @@ class CollectionPipeline:
 
     ``build(n_groups)`` returns one aggregator per group, all feeding the
     shared root collector.  Samplers attach to their group's aggregator.
+    ``registry`` exposes the store's series-id intern table for wiring
+    :class:`~repro.telemetry.sensor.SensorBank` producers.
     """
 
     def __init__(
@@ -125,15 +239,22 @@ class CollectionPipeline:
         *,
         hop_latency: float = 0.05,
         ingest_latency: float = 0.05,
+        commit_interval_s: Optional[float] = None,
         loss_prob: float = 0.0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.engine = engine
-        self.root = Collector(engine, store, ingest_latency=ingest_latency)
+        self.root = Collector(
+            engine, store, ingest_latency=ingest_latency, commit_interval_s=commit_interval_s
+        )
         self.hop_latency = hop_latency
         self.loss_prob = loss_prob
         self.rng = rng
         self.aggregators: List[Aggregator] = []
+
+    @property
+    def registry(self):
+        return self.root.store.registry
 
     def build(self, n_groups: int) -> List[Aggregator]:
         if n_groups <= 0:

@@ -2,9 +2,15 @@
 
 The paper's Section IV argues for co-locating analytics near compute; the
 perennial counterargument is monitoring overhead.  This model aggregates
-the simulated costs already tracked by samplers and aggregators into the
-two numbers operators ask for: fraction of node compute consumed, and
-network volume per node per second.
+the simulated costs already tracked by sampling front-ends and
+aggregators into the two numbers operators ask for: fraction of node
+compute consumed, and network volume per node per second.
+
+Both sampling front-ends work here: a per-node
+:class:`~repro.telemetry.sampler.Sampler` represents one agent, while a
+columnar :class:`~repro.telemetry.sampler.SamplingGroup` represents one
+agent per member bank (``agent_count``), so CPU fractions stay
+per-node regardless of how sampling is scheduled.
 """
 
 from __future__ import annotations
@@ -13,7 +19,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.telemetry.collector import Aggregator
-from repro.telemetry.sampler import Sampler
 
 
 @dataclass(frozen=True)
@@ -36,23 +41,29 @@ class OverheadReport:
 
 
 class MonitoringOverheadModel:
-    """Collects overhead from pipeline components into an :class:`OverheadReport`."""
+    """Collects overhead from pipeline components into an :class:`OverheadReport`.
 
-    def __init__(self, samplers: Iterable[Sampler], aggregators: Iterable[Aggregator]) -> None:
+    ``samplers`` may mix :class:`Sampler` and :class:`SamplingGroup`
+    instances — anything exposing ``agent_count``, ``overhead_cpu_s``,
+    ``samples_emitted``, and ``samples_dropped``.
+    """
+
+    def __init__(self, samplers: Iterable, aggregators: Iterable[Aggregator]) -> None:
         self.samplers = list(samplers)
         self.aggregators = list(aggregators)
 
     def report(self, window_s: float) -> OverheadReport:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        n = max(1, len(self.samplers))
+        n_agents = sum(getattr(s, "agent_count", 1) for s in self.samplers)
+        n = max(1, n_agents)
         cpu = sum(s.overhead_cpu_s for s in self.samplers)
         emitted = sum(s.samples_emitted for s in self.samplers)
         dropped = sum(s.samples_dropped for s in self.samplers)
         nbytes = sum(a.bytes_forwarded for a in self.aggregators)
         return OverheadReport(
             window_s=window_s,
-            n_agents=len(self.samplers),
+            n_agents=n_agents,
             cpu_seconds=cpu,
             cpu_fraction_per_agent=cpu / (n * window_s),
             bytes_total=nbytes,

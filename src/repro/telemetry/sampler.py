@@ -1,63 +1,53 @@
 """Periodic samplers.
 
-A sampler owns a set of sensors on one "agent" (typically one node),
-polls them every ``period`` seconds with optional jitter, and emits
-:class:`Sample` records into a :class:`~repro.telemetry.collector.Collector`.
-Dropout models agent-side sample loss; the overhead model accounts for
-the compute the agent steals from the host (Fig. 1 feasibility, E1).
+Two sampling front-ends share this module:
+
+* :class:`Sampler` — the legacy per-object agent: owns :class:`Sensor`
+  objects on one node, polls them every ``period`` seconds, and emits a
+  ``list[Sample]`` per round.  Kept as a thin adapter; everything
+  downstream accepts it unchanged.
+* :class:`SamplingGroup` — the columnar agent group: owns
+  :class:`~repro.telemetry.sensor.SensorBank` objects for many nodes,
+  fires **one** engine event per tick for the whole group, and emits a
+  single concatenated :class:`~repro.telemetry.batch.SampleBatch`.  This
+  is the scalable path: at N nodes × M metrics a tick costs one event
+  and one batch instead of N events and N·M ``Sample`` objects.
+
+Dropout models agent-side sample loss; it is decided *before* sensors
+are polled, so a lost round costs no simulated sensor CPU, and the
+overhead model (Fig. 1 feasibility, E1) charges ``per_sample_cost_s``
+only for sensors actually read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.sim.engine import Engine, PeriodicTask
-from repro.telemetry.metric import SeriesKey
-from repro.telemetry.sensor import Sensor
+from repro.telemetry.batch import Sample, SampleBatch
+from repro.telemetry.metric import SeriesKey  # noqa: F401  (re-export convenience)
+from repro.telemetry.sensor import Sensor, SensorBank
+
+__all__ = ["Sample", "SampleSink", "Sampler", "SamplingGroup"]
 
 
-@dataclass(frozen=True)
-class Sample:
-    """One collected data point travelling through the pipeline."""
-
-    key: SeriesKey
-    time: float
-    value: float
-
-
-class Sampler:
-    """Polls sensors periodically and forwards samples downstream.
-
-    Parameters
-    ----------
-    engine:
-        Simulation engine providing time and scheduling.
-    sink:
-        Any object with ``submit(samples: list[Sample]) -> None``.
-    period:
-        Sampling period in seconds.
-    jitter_std:
-        Std-dev of Gaussian jitter applied to each firing (seconds).
-    dropout_prob:
-        Probability an entire sampling round is lost before submission.
-    per_sample_cost_s:
-        Simulated CPU seconds consumed per sensor read (overhead model).
-    """
+class _PeriodicAgentBase:
+    """Shared scheduling + overhead accounting for sampling front-ends."""
 
     def __init__(
         self,
         engine: Engine,
         sink: "SampleSink",
         *,
-        period: float = 1.0,
-        jitter_std: float = 0.0,
-        dropout_prob: float = 0.0,
-        per_sample_cost_s: float = 0.0,
-        rng: Optional[np.random.Generator] = None,
-        name: str = "sampler",
+        period: float,
+        jitter_std: float,
+        dropout_prob: float,
+        per_sample_cost_s: float,
+        rng: Optional[np.random.Generator],
+        name: str,
     ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
@@ -73,11 +63,89 @@ class Sampler:
         self.per_sample_cost_s = per_sample_cost_s
         self.rng = rng
         self.name = name
-        self._sensors: List[Sensor] = []
         self._task: Optional[PeriodicTask] = None
         self.samples_emitted = 0
         self.samples_dropped = 0
         self.overhead_cpu_s = 0.0
+
+    def start(self, *, start_at: Optional[float] = None) -> None:
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError(f"{type(self).__name__} {self.name!r} already started")
+        jitter_fn = None
+        if self.jitter_std > 0:
+            jitter_fn = lambda: float(self.rng.normal(0.0, self.jitter_std))
+        self._task = self.engine.every(
+            self.period, self._collect_round, start_at=start_at, jitter_fn=jitter_fn, label=self.name
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+
+    def _collect_round(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def agent_count(self) -> int:
+        """Number of monitored agents (nodes) this front-end stands for."""
+        return 1
+
+    def overhead_cpu_frac(self, window_s: float) -> float:
+        """Fraction of one agent's compute consumed over ``window_s``.
+
+        The explicit accessor experiments should use instead of dividing
+        ``overhead_cpu_s`` by hand: it normalizes by the number of
+        agents represented, so per-node :class:`Sampler` and many-node
+        :class:`SamplingGroup` report on the same scale.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        return self.overhead_cpu_s / (self.agent_count * window_s)
+
+
+class Sampler(_PeriodicAgentBase):
+    """Polls per-object sensors periodically and forwards sample lists.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine providing time and scheduling.
+    sink:
+        Any object with ``submit(samples: list[Sample]) -> None``.
+    period:
+        Sampling period in seconds.
+    jitter_std:
+        Std-dev of Gaussian jitter applied to each firing (seconds).
+    dropout_prob:
+        Probability an entire sampling round is lost before the sensors
+        are polled (no samples, no overhead charged).
+    per_sample_cost_s:
+        Simulated CPU seconds consumed per sensor actually read.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: "SampleSink",
+        *,
+        period: float = 1.0,
+        jitter_std: float = 0.0,
+        dropout_prob: float = 0.0,
+        per_sample_cost_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "sampler",
+    ) -> None:
+        super().__init__(
+            engine,
+            sink,
+            period=period,
+            jitter_std=jitter_std,
+            dropout_prob=dropout_prob,
+            per_sample_cost_s=per_sample_cost_s,
+            rng=rng,
+            name=name,
+        )
+        self._sensors: List[Sensor] = []
 
     def add_sensor(self, sensor: Sensor) -> None:
         self._sensors.append(sensor)
@@ -90,21 +158,12 @@ class Sampler:
     def sensor_count(self) -> int:
         return len(self._sensors)
 
-    def start(self, *, start_at: Optional[float] = None) -> None:
-        if self._task is not None and not self._task.stopped:
-            raise RuntimeError(f"sampler {self.name!r} already started")
-        jitter_fn = None
-        if self.jitter_std > 0:
-            jitter_fn = lambda: float(self.rng.normal(0.0, self.jitter_std))
-        self._task = self.engine.every(
-            self.period, self._collect_round, start_at=start_at, jitter_fn=jitter_fn, label=self.name
-        )
-
-    def stop(self) -> None:
-        if self._task is not None:
-            self._task.stop()
-
     def _collect_round(self) -> None:
+        if not self._sensors:
+            return
+        if self.dropout_prob > 0 and self.rng.random() < self.dropout_prob:
+            self.samples_dropped += len(self._sensors)
+            return
         now = self.engine.now
         batch: List[Sample] = []
         for sensor in self._sensors:
@@ -115,15 +174,154 @@ class Sampler:
             batch.append(Sample(sensor.key, now, value))
         if not batch:
             return
-        if self.dropout_prob > 0 and self.rng.random() < self.dropout_prob:
-            self.samples_dropped += len(batch)
-            return
         self.samples_emitted += len(batch)
         self.sink.submit(batch)
 
 
-class SampleSink:
-    """Minimal sink interface (duck-typed; this class is documentation)."""
+class SamplingGroup(_PeriodicAgentBase):
+    """Coalesced columnar sampling for a group of nodes.
 
-    def submit(self, samples: List[Sample]) -> None:  # pragma: no cover
+    One :class:`SamplingGroup` typically mirrors one aggregation subtree
+    (e.g. a rack): each member :class:`SensorBank` is one node's sensor
+    set.  Per tick the group fires a single engine event, reads every
+    bank vectorized, and submits **one** concatenated
+    :class:`SampleBatch` to its sink.
+
+    ``dropout_prob`` is applied per bank per round (agent-side loss is a
+    per-node phenomenon) with a single vectorized draw; dropped banks
+    are not polled and accrue no overhead.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: "SampleSink",
+        *,
+        period: float = 1.0,
+        jitter_std: float = 0.0,
+        dropout_prob: float = 0.0,
+        per_sample_cost_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "sampling-group",
+    ) -> None:
+        super().__init__(
+            engine,
+            sink,
+            period=period,
+            jitter_std=jitter_std,
+            dropout_prob=dropout_prob,
+            per_sample_cost_s=per_sample_cost_s,
+            rng=rng,
+            name=name,
+        )
+        self.banks: List[SensorBank] = []
+        self.rounds = 0
+        self._layout_banks = -1  # bank count the cached layout was built for
+        self._all_ids: Optional[np.ndarray] = None
+        self._offsets: List[int] = []
+
+    def add_bank(self, bank: SensorBank) -> None:
+        self.banks.append(bank)
+
+    def add_banks(self, banks: Iterable[SensorBank]) -> None:
+        for bank in banks:
+            self.add_bank(bank)
+
+    @property
+    def agent_count(self) -> int:
+        return len(self.banks)
+
+    @property
+    def sensor_count(self) -> int:
+        return sum(bank.size for bank in self.banks)
+
+    def _refresh_layout(self) -> None:
+        """Precompute the group's concatenated id column and bank slices."""
+        offsets = [0]
+        for bank in self.banks:
+            offsets.append(offsets[-1] + bank.size)
+        self._offsets = offsets
+        self._all_ids = np.concatenate([bank.series_ids for bank in self.banks])
+        self._layout_banks = len(self.banks)
+        self._validated = False
+        self._readers = []
+
+    def _build_readers(self, now: float, values: np.ndarray) -> None:
+        """First round: read every bank through the checked path (shape
+        validation), then cache per-bank readers — transform-free banks
+        are called through their raw ``read_fn`` on later rounds, which
+        skips a wrapper frame per bank per tick."""
+        offsets = self._offsets
+        readers = []
+        for i, bank in enumerate(self.banks):
+            values[offsets[i] : offsets[i + 1]] = bank.read_values(now, copy=False)
+            fn = bank.read_fn if bank.is_plain else (
+                lambda t, _b=bank: _b.read_values(t, copy=False)
+            )
+            readers.append((fn, offsets[i], offsets[i + 1]))
+        self._readers = readers
+        self._validated = True
+
+    def _collect_round(self) -> None:
+        if not self.banks:
+            return
+        self.rounds += 1
+        now = self.engine.now
+        if self.dropout_prob > 0:
+            self._collect_round_with_dropout(now)
+            return
+        # Fast path: every bank reads into one preallocated column, so a
+        # round costs one engine event and one batch for the whole group.
+        if self._layout_banks != len(self.banks):
+            self._refresh_layout()
+        total = self._offsets[-1]
+        values = np.empty(total, dtype=np.float64)
+        if not self._validated:
+            self._build_readers(now, values)
+        else:
+            for fn, lo, hi in self._readers:
+                values[lo:hi] = fn(now)
+        self.overhead_cpu_s += self.per_sample_cost_s * total
+        if math.isfinite(values.sum()):
+            batch = SampleBatch._trusted(
+                self._all_ids, np.full(total, now, dtype=np.float64), values
+            )
+        else:  # some readings unavailable: drop the NaN rows
+            valid = np.isfinite(values)
+            ids = self._all_ids[valid]
+            batch = SampleBatch._trusted(
+                ids, np.full(ids.size, now, dtype=np.float64), values[valid]
+            )
+            if not len(batch):
+                return
+        self.samples_emitted += len(batch)
+        self.sink.submit(batch)
+
+    def _collect_round_with_dropout(self, now: float) -> None:
+        """Slow path: per-bank agent loss decided before polling."""
+        dropped = self.rng.random(len(self.banks)) < self.dropout_prob
+        batches: List[SampleBatch] = []
+        for i, bank in enumerate(self.banks):
+            if dropped[i]:
+                self.samples_dropped += bank.size
+                continue
+            batch = bank.read(now)
+            self.overhead_cpu_s += self.per_sample_cost_s * bank.size
+            if len(batch):
+                batches.append(batch)
+        if not batches:
+            return
+        merged = SampleBatch.concat(batches)
+        self.samples_emitted += len(merged)
+        self.sink.submit(merged)
+
+
+class SampleSink:
+    """Minimal sink interface (duck-typed; this class is documentation).
+
+    ``submit`` accepts either a legacy ``list[Sample]`` or a columnar
+    :class:`SampleBatch`.
+    """
+
+    def submit(self, samples) -> None:  # pragma: no cover
         raise NotImplementedError

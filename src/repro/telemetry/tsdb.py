@@ -16,11 +16,17 @@ computations.  Design goals, in order:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.batch import SeriesRegistry, sort_series_columns
 from repro.telemetry.metric import SeriesKey
+
+#: Signature of an ingest listener: ``(series_ids, times, values)`` where the
+#: arrays are parallel, grouped by series id, and time-sorted within each
+#: series.  Receivers must treat the arrays as read-only.
+IngestListener = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
 
 # --------------------------------------------------------------------------
 # Shared ring machinery.  A "ring" here is a set of parallel fixed-capacity
@@ -174,6 +180,42 @@ class RingBuffer:
         )
         self._written += times.size
 
+    def _extend_sorted(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Hot-path bulk append for pre-validated float64 arrays.
+
+        The caller (``TimeSeriesStore.append_batch``) has already sorted
+        the segment and checked dtype/shape, so only the cross-call
+        overlap invariant is enforced here.  The two-array ring write is
+        inlined: per-series segments in a commit are typically a handful
+        of points, and the generic :func:`ring_extend` list/zip plumbing
+        would dominate the cost at that size.
+        """
+        n = times.size
+        if n == 0:
+            return
+        if self._count and times[0] < self._times[(self._head - 1) % self.capacity]:
+            raise ValueError("bulk append overlaps existing data")
+        capacity = self.capacity
+        head = self._head
+        if n >= capacity:
+            self._times[:] = times[-capacity:]
+            self._values[:] = values[-capacity:]
+            self._head, self._count = 0, capacity
+        else:
+            end = head + n
+            if end <= capacity:
+                self._times[head:end] = times
+                self._values[head:end] = values
+            else:
+                split = capacity - head
+                self._times[head:] = times[:split]
+                self._values[head:] = values[:split]
+                self._times[: end % capacity] = times[split:]
+                self._values[: end % capacity] = values[split:]
+            self._head = end % capacity
+            self._count = min(self._count + n, capacity)
+        self._written += n
+
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """All stored points in time order as ``(times, values)`` copies."""
         if self._count < self.capacity:
@@ -236,14 +278,33 @@ class SeriesStats:
 
 
 class TimeSeriesStore:
-    """Map of :class:`SeriesKey` → :class:`RingBuffer` with query helpers."""
+    """Map of :class:`SeriesKey` → :class:`RingBuffer` with query helpers.
+
+    The store owns the :class:`~repro.telemetry.batch.SeriesRegistry`
+    that interns keys to dense integer ids — the columnar pipeline moves
+    ``series_ids`` arrays and resolves keys only here, on commit.  Every
+    write path (scalar, per-series bulk, columnar batch) additionally:
+
+    * bumps a per-metric **write epoch** (used by the query layer to
+      version-key cached results, so a commit inside a cached window
+      invalidates exactly that metric's entries), and
+    * notifies registered **ingest listeners** with the committed
+      columns, which is how rollup folding consumes new data without
+      rescanning raw rings.
+    """
 
     def __init__(self, default_capacity: int = 4096) -> None:
         if default_capacity <= 0:
             raise ValueError("default_capacity must be positive")
         self.default_capacity = int(default_capacity)
+        self.registry = SeriesRegistry()
         self._series: Dict[SeriesKey, RingBuffer] = {}
+        #: series id → (buffer, metric) cache so the columnar commit path
+        #: hashes a small int instead of a SeriesKey per segment
+        self._id_buffers: Dict[int, Tuple[RingBuffer, str]] = {}
         self._capacity_overrides: Dict[str, int] = {}
+        self._metric_epoch: Dict[str, int] = {}
+        self._listeners: List[IngestListener] = []
         self.total_inserts = 0
 
     # ------------------------------------------------------------ management
@@ -253,6 +314,19 @@ class TimeSeriesStore:
             raise ValueError("capacity must be positive")
         self._capacity_overrides[metric] = int(capacity)
 
+    def add_ingest_listener(self, listener: IngestListener) -> None:
+        """Register a callback invoked after every committed write.
+
+        Listeners receive ``(series_ids, times, values)`` grouped by
+        series and time-sorted within each series; the arrays are owned
+        by the store's commit and must not be mutated.
+        """
+        self._listeners.append(listener)
+
+    def metric_epoch(self, metric: str) -> int:
+        """Monotone counter bumped by every write touching ``metric``."""
+        return self._metric_epoch.get(metric, 0)
+
     def _buffer(self, key: SeriesKey) -> RingBuffer:
         buf = self._series.get(key)
         if buf is None:
@@ -261,14 +335,92 @@ class TimeSeriesStore:
             self._series[key] = buf
         return buf
 
+    def _buffer_for_id(self, sid: int) -> Tuple[RingBuffer, str]:
+        """Resolve and cache the ``(buffer, metric)`` entry for a series id."""
+        key = self.registry.key_for(sid)
+        entry = (self._buffer(key), key.metric)
+        self._id_buffers[sid] = entry
+        return entry
+
     # --------------------------------------------------------------- writing
+    def _record_commit(self, metrics: Iterable[str]) -> None:
+        """Bump the write epoch of every touched metric."""
+        epochs = self._metric_epoch
+        for metric in metrics:
+            epochs[metric] = epochs.get(metric, 0) + 1
+
+    def _notify(self, ids: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        """Deliver committed columns to every ingest listener."""
+        for listener in self._listeners:
+            listener(ids, times, values)
+
     def insert(self, key: SeriesKey, t: float, value: float) -> None:
         self._buffer(key).append(t, value)
         self.total_inserts += 1
+        self._record_commit((key.metric,))
+        if self._listeners:
+            self._notify(
+                np.array([self.registry.id_for(key)], dtype=np.int64),
+                np.array([t], dtype=np.float64),
+                np.array([value], dtype=np.float64),
+            )
 
     def insert_batch(self, key: SeriesKey, times: np.ndarray, values: np.ndarray) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
         self._buffer(key).extend(times, values)
-        self.total_inserts += int(np.asarray(times).size)
+        self.total_inserts += int(times.size)
+        if times.size == 0:
+            return
+        self._record_commit((key.metric,))
+        if self._listeners:
+            # copies, not the caller's arrays: listeners may buffer the
+            # columns past this call (rollup folds), and the caller is
+            # free to reuse its scratch arrays afterwards
+            self._notify(
+                np.full(times.size, self.registry.id_for(key), dtype=np.int64),
+                times.copy(),
+                values.copy(),
+            )
+
+    def append_batch(
+        self,
+        series_ids: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Columnar bulk commit: rows for many series in one call.
+
+        Rows may arrive in any order; one stable ``lexsort`` groups them
+        by series id with per-series time order, then each series gets a
+        single bulk ring extend — the per-sample cost is a few NumPy
+        slice writes, not a Python call per point.  Ids must come from
+        this store's :attr:`registry`.
+        """
+        series_ids = np.asarray(series_ids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        n = series_ids.size
+        if not (series_ids.shape == times.shape == values.shape):
+            raise ValueError("series_ids, times, values must be parallel 1-D arrays")
+        if n == 0:
+            return
+        ids_s, times_s, values_s, starts, ends = sort_series_columns(
+            series_ids, times, values
+        )
+        touched_metrics = set()
+        id_buffers = self._id_buffers
+        for sid, lo, hi in zip(ids_s[starts].tolist(), starts.tolist(), ends.tolist()):
+            entry = id_buffers.get(sid)
+            if entry is None:
+                entry = self._buffer_for_id(sid)
+            buf, metric = entry
+            buf._extend_sorted(times_s[lo:hi], values_s[lo:hi])
+            touched_metrics.add(metric)
+        self.total_inserts += int(n)
+        self._record_commit(touched_metrics)
+        if self._listeners:
+            self._notify(ids_s, times_s, values_s)
 
     # --------------------------------------------------------------- reading
     def has(self, key: SeriesKey) -> bool:

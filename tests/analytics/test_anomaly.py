@@ -64,6 +64,53 @@ class TestZScoreDetector:
         with pytest.raises(ValueError):
             ZScoreDetector(threshold=0.0)
 
+    def test_scan_matches_sequential_updates(self):
+        rng = np.random.default_rng(7)
+        values = list(rng.normal(10, 1, 300))
+        for spike_at in (120, 200):
+            values[spike_at] = 100.0
+        times = [float(i) for i in range(len(values))]
+        seq = ZScoreDetector(window=50, threshold=4.0)
+        seq_hits = [a.time for t, v in zip(times, values) if (a := seq.update(t, v))]
+        bat = ZScoreDetector(window=50, threshold=4.0)
+        bat_hits = [a.time for a in bat.scan(times, values)]
+        assert bat_hits == seq_hits
+        # window state after scan matches the sequential detector's
+        assert bat.window.values().tolist() == seq.window.values().tolist()
+
+    def test_scan_stable_for_large_mean_series(self):
+        """Regression: shifted accumulators keep variance precision when
+        the series mean dwarfs its spread (counters, byte totals)."""
+        rng = np.random.default_rng(11)
+        values = list(rng.normal(1e8, 1.0, 500))
+        values[300] = 1e8 + 50.0
+        times = [float(i) for i in range(len(values))]
+        seq = ZScoreDetector(window=50, threshold=5.0)
+        seq_hits = [a.time for t, v in zip(times, values) if (a := seq.update(t, v))]
+        bat = ZScoreDetector(window=50, threshold=5.0)
+        bat_hits = [a.time for a in bat.scan(times, values)]
+        assert bat_hits == seq_hits
+        assert 300.0 in bat_hits
+
+    def test_scan_window_of_one_never_flags(self):
+        det = ZScoreDetector(window=1, threshold=4.0)
+        assert det.scan([0.0, 1.0, 2.0], [1.0, 100.0, 1.0]) == []
+
+    def test_scan_resumes_from_prefilled_window(self):
+        """Regression: a scan() after earlier updates (non-empty buffer)
+        must work and agree with the sequential path."""
+        seq = ZScoreDetector(window=10, threshold=4.0)
+        bat = ZScoreDetector(window=10, threshold=4.0)
+        warm = [float(v) for v in range(12)]
+        for i, v in enumerate(warm):
+            seq.update(float(i), v)
+        bat.scan([float(i) for i in range(12)], warm)
+        tail_t = [float(i) for i in range(12, 24)]
+        tail_v = [5.0] * 6 + [500.0] + [5.0] * 5
+        seq_hits = [a.time for t, v in zip(tail_t, tail_v) if (a := seq.update(t, v))]
+        bat_hits = [a.time for a in bat.scan(tail_t, tail_v)]
+        assert bat_hits == seq_hits
+
 
 class TestMadDetector:
     def test_detects_spike_with_contaminated_window(self):

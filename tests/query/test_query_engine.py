@@ -127,6 +127,37 @@ class TestCacheIntegration:
         r = qe.query("mean(node_cpu_util[600s])", at=600.0)
         assert r.source == "raw"
 
+    def test_commit_invalidates_instant_queries(self):
+        """Regression: an instant query re-issued inside the same quantum
+        after a commit must see the new sample, not the cached tail."""
+        store = TimeSeriesStore()
+        key = SeriesKey.of("m")
+        store.insert(key, 0.0, 1.0)
+        qe = QueryEngine(store, instant_quantum_s=1000.0)
+        assert qe.query("last(m)", at=100.0).scalar() == 1.0
+        store.insert(key, 50.0, 42.0)  # lands inside the cached window
+        r = qe.query("last(m)", at=100.0)  # same quantum as the first query
+        assert r.source != "cache"
+        assert r.scalar() == 42.0
+
+    def test_commit_invalidates_range_queries(self):
+        store = make_store()
+        qe = QueryEngine(store)
+        r1 = qe.query("count(node_cpu_util[600s] by 60s)", at=600.0)
+        sid = store.registry.id_for(SeriesKey.of("node_cpu_util", node="node0"))
+        store.append_batch(np.array([sid]), np.array([599.0]), np.array([1.0]))
+        r2 = qe.query("count(node_cpu_util[600s] by 60s)", at=600.0)
+        assert r2.source != "cache"
+        assert float(np.sum(r2.series[0].values)) == float(np.sum(r1.series[0].values)) + 1.0
+
+    def test_unrelated_metric_commit_keeps_cache_warm(self):
+        store = make_store()
+        qe = QueryEngine(store)
+        qe.query("mean(node_cpu_util[600s] by 60s)", at=600.0)
+        store.insert(SeriesKey.of("other_metric"), 599.0, 1.0)
+        r = qe.query("mean(node_cpu_util[600s] by 60s)", at=600.0)
+        assert r.source == "cache"  # per-metric epochs: no cross-invalidation
+
     def test_stats_exposed(self):
         store = make_store()
         qe = QueryEngine(store, rollups=RollupManager(store, resolutions=(60.0,)))

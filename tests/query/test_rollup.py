@@ -161,6 +161,134 @@ class TestStatRing:
         np.testing.assert_array_equal(ring.ordered()["time"], [2.0, 3.0, 4.0, 5.0, 6.0])
 
 
+class TestIngestFedFolding:
+    """Tier-0 folding consumes committed batches, not raw rescans."""
+
+    def _ingested_store_rows(self, chunk_ticks, fold_points):
+        """Insert via the listener path (manager exists first), folding at
+        the given points; return the tier-0 rows."""
+        store = TimeSeriesStore(default_capacity=8192)
+        key = SeriesKey.of("m", node="a")
+        roll = RollupManager(store, resolutions=(10.0,))
+        t = 0.0
+        folds = iter(fold_points)
+        next_fold = next(folds, None)
+        for _ in range(chunk_ticks):
+            store.insert(key, t, np.sin(t))
+            t += 1.0
+            if next_fold is not None and t >= next_fold:
+                roll.fold(next_fold)
+                next_fold = next(folds, None)
+        roll.fold(t)
+        return roll, key
+
+    def test_listener_fed_rows_match_bootstrap_rows(self):
+        # manager-first (pure listener path), folded incrementally…
+        roll_a, key = self._ingested_store_rows(300, (40.0, 123.0, 250.0))
+        # …vs data-first (pure raw bootstrap path), folded once
+        store_b, _ = filled_store()
+        roll_b = RollupManager(store_b, resolutions=(10.0,))
+        roll_b.fold(300.0)
+        rows_a = roll_a.tiers[0].window(key, 0.0, 1e9)
+        rows_b = roll_b.tiers[0].window(key, 0.0, 1e9)
+        for col in rows_a:
+            np.testing.assert_allclose(rows_a[col], rows_b[col], rtol=1e-12)
+
+    def test_fold_does_not_rescan_rings_for_streamed_series(self):
+        """Once listener coverage reaches the watermark, folding must not
+        query raw rings — streamed data is folded from the buffer."""
+        store = TimeSeriesStore(default_capacity=8192)
+        key = SeriesKey.of("m")
+        roll = RollupManager(store, resolutions=(10.0,))
+        times = np.arange(0.0, 50.0)
+        store.insert_batch(key, times, np.ones(50))
+        roll.fold(50.0)  # bootstrap scan
+        calls = []
+        original = store.query
+        store.query = lambda *a, **k: (calls.append(a), original(*a, **k))[1]
+        store.insert_batch(key, np.arange(50.0, 100.0), np.ones(50))
+        roll.fold(100.0)
+        store.query = original
+        assert calls == []  # second fold consumed only the ingest buffer
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], np.arange(0.0, 100.0, 10.0))
+
+    def test_mixed_pre_and_post_manager_data(self):
+        """Data before the manager existed plus streamed data afterwards
+        folds exactly once each."""
+        store = TimeSeriesStore(default_capacity=8192)
+        key = SeriesKey.of("m")
+        store.insert_batch(key, np.arange(0.0, 35.0), np.ones(35))  # pre-manager
+        roll = RollupManager(store, resolutions=(10.0,))
+        store.insert_batch(key, np.arange(35.0, 95.0), np.ones(60))  # streamed
+        roll.fold(95.0)
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], np.arange(0.0, 90.0, 10.0))
+        np.testing.assert_array_equal(rows["count"], np.full(9, 10.0))
+
+    def test_buffer_overflow_drains_complete_bins(self):
+        store = TimeSeriesStore(default_capacity=8192)
+        key = SeriesKey.of("m")
+        roll = RollupManager(store, resolutions=(10.0,), ingest_buffer_cap=64)
+        for t in range(200):  # overflows the 64-sample cap repeatedly
+            store.insert(key, float(t), 1.0)
+        assert roll._buffered_rows <= 64  # drained early, memory bounded
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        assert rows["time"].size >= 18  # complete bins already folded
+        roll.fold(200.0)
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], np.arange(0.0, 200.0, 10.0))
+        np.testing.assert_array_equal(rows["count"], np.full(20, 10.0))
+
+    def test_overflow_drain_handles_time_skewed_series(self):
+        """Regression: drain boundary must use the buffer's true max time
+        even when the last-sorted series carries the oldest timestamps."""
+        store = TimeSeriesStore(default_capacity=8192)
+        a = store.registry.id_for(SeriesKey.of("m", node="a"))  # lower id, newer times
+        b = store.registry.id_for(SeriesKey.of("m", node="b"))  # higher id, older times
+        roll = RollupManager(store, resolutions=(10.0,), ingest_buffer_cap=4)
+        store.append_batch(
+            np.array([a, a, a, a, b, b, b, b]),
+            np.array([100.0, 101.0, 102.0, 103.0, 1.0, 2.0, 3.0, 4.0]),
+            np.ones(8),
+        )
+        assert roll._buffered_rows <= 4  # drain actually released the cap
+        rows = roll.tiers[0].window(SeriesKey.of("m", node="b"), 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], [0.0])
+        np.testing.assert_array_equal(rows["count"], [4.0])
+
+    def test_caller_reusing_arrays_cannot_corrupt_buffer(self):
+        """Regression: the listener must receive copies from insert_batch
+        so a caller mutating its scratch arrays afterwards is harmless."""
+        store = TimeSeriesStore(default_capacity=8192)
+        key = SeriesKey.of("m")
+        roll = RollupManager(store, resolutions=(10.0,))
+        buf_t = np.arange(0.0, 20.0)
+        buf_v = np.ones(20)
+        store.insert_batch(key, buf_t, buf_v)
+        buf_t += 100.0  # caller reuses its scratch arrays
+        buf_v[:] = 999.0
+        roll.fold(20.0)
+        rows = roll.tiers[0].window(key, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], [0.0, 10.0])
+        np.testing.assert_array_equal(rows["sum"], [10.0, 10.0])
+
+    def test_late_samples_are_counted_not_folded(self):
+        store = TimeSeriesStore(default_capacity=8192)
+        key_a = SeriesKey.of("m", node="a")
+        key_b = SeriesKey.of("m", node="b")
+        roll = RollupManager(store, resolutions=(10.0,))
+        store.insert(key_a, 0.0, 1.0)
+        store.insert(key_b, 0.0, 1.0)
+        roll.fold(50.0)  # advances both watermarks to 50
+        store.insert(key_b, 12.0, 99.0)  # arrives behind the watermark
+        store.insert(key_b, 60.0, 2.0)
+        roll.fold(70.0)
+        assert roll.late_samples_dropped == 1
+        rows = roll.tiers[0].window(key_b, 0.0, 1e9)
+        np.testing.assert_array_equal(rows["time"], [0.0, 60.0])  # 12.0 not folded
+
+
 class TestQueryCacheUnit:
     def test_lru_eviction(self):
         cache = QueryCache(max_entries=2)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.sim import Engine, RngRegistry
-from repro.telemetry.collector import Aggregator, CollectionPipeline, Collector
+from repro.telemetry.batch import SampleBatch
+from repro.telemetry.collector import (
+    SAMPLE_WIRE_BYTES,
+    Aggregator,
+    CollectionPipeline,
+    Collector,
+)
 from repro.telemetry.metric import SeriesKey
 from repro.telemetry.sampler import Sample, Sampler
 from repro.telemetry.sensor import CallableSensor, ConstantSensor
@@ -163,6 +169,143 @@ class TestCollector:
         agg.submit([Sample(SeriesKey.of("m"), 0.0, 1.0)])
         assert agg.batches_lost == 1
         assert store.cardinality() == 0
+
+
+def _batch(store_or_reg, metric, times, values, node="a"):
+    registry = getattr(store_or_reg, "registry", store_or_reg)
+    sid = registry.id_for(SeriesKey.of(metric, node=node))
+    times = np.asarray(times, dtype=float)
+    return SampleBatch(np.full(times.size, sid, dtype=np.int64), times, np.asarray(values, dtype=float))
+
+
+class TestBatchPath:
+    def test_collector_commits_batches_bulk(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        coll.submit(_batch(store, "m", [0.0, 1.0], [5.0, 6.0]))
+        times, values = store.query(SeriesKey.of("m", node="a"), 0, 10)
+        np.testing.assert_array_equal(values, [5.0, 6.0])
+        assert coll.samples_ingested == 2
+        assert coll.commits == 1
+
+    def test_lag_is_batch_max_not_last_sample(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store, ingest_latency=1.0)
+        # oldest sample is first: lag must reflect it, not the newest
+        eng.schedule(2.0, coll.submit, _batch(store, "m", [0.0, 2.0], [1.0, 2.0]))
+        eng.run(until=5.0)
+        assert coll.latest_arrival_lag == pytest.approx(3.0)  # 3.0 - 0.0
+        assert coll.samples_ingested == 2
+
+    def test_commit_interval_coalesces_submissions(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store, ingest_latency=0.1, commit_interval_s=10.0)
+        eng.schedule(0.0, coll.submit, _batch(store, "m", [0.0], [1.0]))
+        eng.schedule(5.0, coll.submit, _batch(store, "m", [5.0], [2.0]))
+        eng.run(until=9.0)
+        assert store.total_inserts == 0  # still pending
+        eng.run(until=11.0)
+        assert store.total_inserts == 2
+        assert coll.commits == 1  # one bulk append for both submissions
+        assert coll.batches_received == 2
+
+    def test_flush_drains_pending(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store, commit_interval_s=100.0)
+        coll.submit(_batch(store, "m", [0.0], [1.0]))
+        assert store.total_inserts == 0
+        coll.flush()
+        assert store.total_inserts == 1
+
+    def test_legacy_lists_convert_at_root(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        coll.submit([Sample(SeriesKey.of("m"), 0.0, 7.0)])
+        assert store.latest(SeriesKey.of("m")) == (0.0, 7.0)
+
+
+class TestAggregatorBatchLoss:
+    def test_dropped_batch_counters(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        rng = RngRegistry(seed=5).stream("loss")
+        agg = Aggregator(eng, coll, forward_latency=0.0, loss_prob=1.0, rng=rng)
+        agg.submit(_batch(store, "m", [0.0, 1.0, 2.0], [1.0, 2.0, 3.0]))
+        assert agg.batches_lost == 1
+        assert agg.samples_lost == 3
+        assert agg.bytes_lost == 3 * SAMPLE_WIRE_BYTES
+        assert agg.batches_forwarded == 0
+        assert agg.bytes_forwarded == 0
+        assert store.cardinality() == 0
+
+    def test_loss_and_forward_accounting_balance(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        rng = RngRegistry(seed=8).stream("loss")
+        agg = Aggregator(eng, coll, forward_latency=0.0, loss_prob=0.5, rng=rng)
+        total = 0
+        for i in range(200):
+            agg.submit(_batch(store, "m", [float(i)], [1.0]))
+            total += 1
+        assert agg.batches_lost + agg.batches_received == total
+        assert agg.samples_lost + agg.samples_forwarded == total
+        assert agg.bytes_lost + agg.bytes_forwarded == total * SAMPLE_WIRE_BYTES
+        assert 20 < agg.batches_lost < 180  # both outcomes actually happened
+
+    def test_empty_batch_forwarded_harmlessly(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        agg = Aggregator(eng, coll, forward_latency=0.0)
+        agg.submit(SampleBatch.empty())
+        assert agg.batches_forwarded == 1
+        assert agg.samples_forwarded == 0
+        assert store.total_inserts == 0
+
+    def test_hop_coalesces_same_window_batches(self):
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store)
+        agg = Aggregator(eng, coll, forward_latency=0.5)
+        eng.schedule(0.0, agg.submit, _batch(store, "m", [0.0], [1.0], node="a"))
+        eng.schedule(0.0, agg.submit, _batch(store, "m", [0.0], [2.0], node="b"))
+        eng.run(until=1.0)
+        assert agg.batches_received == 2
+        assert agg.batches_forwarded == 1  # one concatenated hop message
+        assert agg.samples_forwarded == 2
+        assert store.total_inserts == 2
+
+    def test_multi_level_fan_in_deep_topology(self):
+        """leaf aggregators -> mid aggregator -> root, batches all the way."""
+        eng = Engine()
+        store = TimeSeriesStore()
+        coll = Collector(eng, store, ingest_latency=0.1)
+        mid = Aggregator(eng, coll, forward_latency=0.1, name="mid")
+        leaves = [
+            Aggregator(eng, mid, forward_latency=0.1, name=f"leaf-{i}") for i in range(4)
+        ]
+        for i, leaf in enumerate(leaves):
+            eng.schedule(
+                0.0, leaf.submit, _batch(store, "m", [0.0, 1.0], [1.0, 2.0], node=f"n{i}")
+            )
+        eng.run(until=2.0)
+        # every leaf forwarded one batch; mid coalesced all four into one
+        assert all(leaf.batches_forwarded == 1 for leaf in leaves)
+        assert mid.batches_received == 4
+        assert mid.batches_forwarded == 1
+        assert mid.samples_forwarded == 8
+        assert store.total_inserts == 8
+        assert store.cardinality() == 4
+        for i in range(4):
+            _, values = store.query(SeriesKey.of("m", node=f"n{i}"), 0, 10)
+            np.testing.assert_array_equal(values, [1.0, 2.0])
 
 
 class TestCollectionPipeline:

@@ -25,7 +25,22 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 14)]
+    assert ids == [f"E{i}" for i in range(1, 15)]
+
+
+def test_bench_ingest_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_ingest.json"
+    assert main([
+        "bench-ingest", "--nodes", "64", "--metrics", "4",
+        "--horizon", "30", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    import json
+
+    row = json.loads(out_path.read_text())
+    assert row["match"] == 1.0
+    assert row["n_nodes"] == 64.0
 
 
 def test_query_command(capsys):
