@@ -8,8 +8,14 @@
 * ``query "<expr>"`` — run a short simulated shift and evaluate a metric
   query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
   the vectorized query engine with tiered rollups.
+* ``loops`` — run a watch-loop fleet on the unified runtime over a
+  simulated shift and print per-loop stats, fused-query serving
+  counters, and the loops' own self-telemetry queried back out.
 * ``bench-ingest`` — run the E14 ingest benchmark (columnar pipeline vs
   the per-object seed path), optionally writing a JSON artifact.
+* ``bench-loops`` — run the E15 loop-fleet benchmark (fused monitoring
+  vs per-loop ad-hoc scans + runtime hosting overhead), optionally
+  writing a JSON artifact.
 * ``version`` — print the package version.
 """
 
@@ -34,6 +40,7 @@ EXPERIMENT_INDEX = [
     ("E12", "§II i–ii", "component interchange matrix"),
     ("E13", "§IV", "query engine: tiered rollups + cache vs raw scans"),
     ("E14", "§IV", "columnar ingest pipeline vs per-object seed path"),
+    ("E15", "§II/§IV", "loop runtime: fused fleet monitoring vs ad-hoc scans"),
 ]
 
 
@@ -103,6 +110,80 @@ def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
     return 0
 
 
+def cmd_loops(n_loops: int, nodes: int, horizon: float, seed: int) -> int:
+    """Host a watch-loop fleet on the runtime over a simulated cluster shift."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.experiments.loops_exp import watch_fleet_specs
+    from repro.experiments.report import render_table
+    from repro.sim import Engine, RngRegistry
+    from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+    engine = Engine()
+    cluster = Cluster(engine, ClusterConfig(n_nodes=nodes, telemetry_period_s=10.0, seed=seed))
+    generator = WorkloadGenerator(
+        engine,
+        cluster.scheduler,
+        RngRegistry(seed=seed).stream("workload"),
+        WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
+    )
+    generator.start()
+    runtime = cluster.loop_runtime()
+    specs = watch_fleet_specs(
+        "node_cpu_util",
+        cluster.node_ids(),
+        n_loops,
+        period_s=60.0,
+        window_s=300.0,
+        threshold=0.5,
+    )
+    for spec in specs:
+        spec.start_at = 300.0
+    runtime.add_many(specs, start=True)
+    engine.run(until=horizon)
+    runtime.stop()
+
+    print(render_table(runtime.loop_stats()[: min(n_loops, 12)],
+                       title=f"repro loops — {n_loops} watch loops over {nodes} nodes"))
+    print()
+    stats = runtime.stats()
+    print(f"fleet: {stats['iterations_total']:.0f} iterations, "
+          f"{stats['hub_fused_served']:.0f} fused reads, "
+          f"{stats['hub_engine_served_raw'] + stats['hub_engine_served_rollup']:.0f} "
+          f"query executions, cache hit rate "
+          f"{stats.get('hub_engine_cache_hit_rate', 0.0):.0%}")
+    # the loops are themselves monitorable: query their self-telemetry back
+    mean_ms = runtime.query_engine.scalar("mean(loop_iteration_ms)", at=engine.now)
+    if mean_ms is not None:
+        print(f"self-telemetry: mean loop_iteration_ms = {mean_ms:.3f}")
+    return 0
+
+
+def cmd_bench_loops(n_loops: int, ticks: int, json_path: Optional[str]) -> int:
+    """Run the E15 loop-fleet benchmark and print (optionally dump) the rows."""
+    import json
+
+    from repro.experiments.loops_exp import run_loop_fleet_benchmark, run_runtime_overhead
+    from repro.experiments.report import render_table
+
+    fleet = run_loop_fleet_benchmark(n_loops=n_loops, ticks=ticks)
+    overhead = run_runtime_overhead()
+    print(render_table([fleet], title="E15 — fused fleet monitoring vs per-loop ad-hoc scans"))
+    print(render_table([overhead], title="E15b — runtime hosting overhead"))
+    if fleet["match"] != 1.0:
+        print("ERROR: fused and ad-hoc fleets disagreed on analyzer verdicts", file=sys.stderr)
+        return 1
+    print(
+        f"monitor speedup: {fleet['monitor_speedup']:.2f}x "
+        f"({fleet['adhoc_queries']:.0f} -> {fleet['fused_queries']:.0f} query executions); "
+        f"hosting overhead {overhead['overhead_ratio']:.2f}x"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump({"fleet": fleet, "overhead": overhead}, fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
 def cmd_bench_ingest(
     nodes: int, metrics: int, horizon: float, json_path: Optional[str]
 ) -> int:
@@ -146,11 +227,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     qry.add_argument("--nodes", type=int, default=16)
     qry.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
     qry.add_argument("--seed", type=int, default=7)
+    loops = sub.add_parser("loops", help="host a watch-loop fleet on the unified runtime")
+    loops.add_argument("--loops", dest="n_loops", type=int, default=8)
+    loops.add_argument("--nodes", type=int, default=32)
+    loops.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
+    loops.add_argument("--seed", type=int, default=7)
     bench = sub.add_parser("bench-ingest", help="run the E14 ingest benchmark")
     bench.add_argument("--nodes", type=int, default=1024)
     bench.add_argument("--metrics", type=int, default=8, help="metrics per node")
     bench.add_argument("--horizon", type=float, default=180.0, help="simulated seconds")
     bench.add_argument("--json", dest="json_path", default=None, help="write row as JSON")
+    bloops = sub.add_parser("bench-loops", help="run the E15 loop-fleet benchmark")
+    bloops.add_argument("--loops", dest="n_loops", type=int, default=256)
+    bloops.add_argument("--ticks", type=int, default=10)
+    bloops.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
@@ -158,8 +248,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiments(args.quick, args.seeds)
     if args.command == "query":
         return cmd_query(args.expr, args.nodes, args.horizon, args.seed)
+    if args.command == "loops":
+        return cmd_loops(args.n_loops, args.nodes, args.horizon, args.seed)
     if args.command == "bench-ingest":
         return cmd_bench_ingest(args.nodes, args.metrics, args.horizon, args.json_path)
+    if args.command == "bench-loops":
+        return cmd_bench_loops(args.n_loops, args.ticks, args.json_path)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

@@ -73,6 +73,7 @@ class Cluster:
         self.power_model = PowerModel()
         self.samplers: List[SamplingGroup] = []
         self.pipeline: Optional[CollectionPipeline] = None
+        self.runtime = None  # lazily built by loop_runtime()
         if self.config.enable_telemetry:
             self._wire_telemetry()
 
@@ -145,6 +146,31 @@ class Cluster:
             return np.array([util, self.power_model.node_power(node, util)])
 
         return read
+
+    # --------------------------------------------------------------- loops
+    def loop_runtime(self, *, audit=None, runtime_config=None):
+        """The cluster's shared autonomy-loop runtime (lazily built).
+
+        Hosts every loop attached to this cluster over the cluster's
+        telemetry store: one fused query hub, one plan arbiter, one
+        self-telemetry surface.  Case managers join it via their
+        ``runtime=`` parameter.  ``audit``/``runtime_config`` only apply
+        on first construction; passing them again for an existing
+        runtime is a configuration conflict and raises.
+        """
+        if self.runtime is None:
+            from repro.core.runtime import LoopRuntime
+
+            self.runtime = LoopRuntime(
+                self.engine, self.store, audit=audit, config=runtime_config
+            )
+        elif (audit is not None and self.runtime.audit is not audit) or (
+            runtime_config is not None and self.runtime.config != runtime_config
+        ):
+            raise ValueError(
+                "loop runtime already built; audit/runtime_config cannot be changed"
+            )
+        return self.runtime
 
     # ------------------------------------------------------------- shortcuts
     def submit(self, job) -> None:

@@ -174,6 +174,9 @@ class Scheduler:
         self._pass_scheduled = False
         self.on_job_end: List[Callable[[Job], None]] = []
         self.on_job_start: List[Callable[[Job], None]] = []
+        #: hooks invoked after every extension decision (granted or not) —
+        #: telemetry bridges publish deadline changes from here
+        self.on_extension: List[Callable[[Job, ExtensionResponse], None]] = []
 
     # ----------------------------------------------------------- submission
     def submit(self, job: Job) -> None:
@@ -409,6 +412,8 @@ class Scheduler:
         job.record_extension(response.requested_s, response.granted_s, self.engine.now)
         if response.denied:
             self.stats.extensions_denied += 1
+            for hook in self.on_extension:
+                hook(job, response)
             return response
         self.stats.extensions_granted += 1
         if response.shortened:
@@ -420,6 +425,8 @@ class Scheduler:
         self._kill_events[job_id] = self.engine.schedule_at(
             job.deadline, self._walltime_kill, job_id, label=f"kill-{job_id}"
         )
+        for hook in self.on_extension:
+            hook(job, response)
         return response
 
     def _extension_conflict_cap(self, job: Job) -> float:

@@ -14,7 +14,12 @@ This package provides the formalized loop machinery the paper proposes:
   (:mod:`~repro.core.patterns`),
 * decision confidence measures and safety guards (Section IV / trust),
 * human-in-the-loop and human-on-the-loop adapters,
-* an audit trail with explanations.
+* an audit trail with explanations,
+* the unified loop runtime (:mod:`~repro.core.runtime`): declarative
+  :class:`~repro.core.runtime.LoopSpec` descriptions instantiated and
+  multiplexed by a :class:`~repro.core.runtime.LoopRuntime` with fused
+  query-backed monitoring, cross-loop plan arbitration
+  (:mod:`~repro.core.arbiter`), and per-loop self-telemetry.
 """
 
 from repro.core.types import (
@@ -47,6 +52,16 @@ from repro.core.humanloop import (
 )
 from repro.core.persistence import load_knowledge, save_knowledge
 from repro.core.registry import ComponentRegistry
+from repro.core.arbiter import ArbiterGuard, PlanArbiter
+from repro.core.runtime import (
+    LoopHandle,
+    LoopRuntime,
+    LoopSpec,
+    MonitorQuery,
+    QueryHub,
+    QueryMonitor,
+    RuntimeConfig,
+)
 from repro.core.patterns import (
     CoordinatedController,
     DriftingElement,
@@ -62,6 +77,7 @@ __all__ = [
     "ActionKindGuard",
     "AnalysisReport",
     "Analyzer",
+    "ArbiterGuard",
     "Assessor",
     "AuditEvent",
     "AuditTrail",
@@ -78,18 +94,26 @@ __all__ = [
     "HumanOnTheLoopNotifier",
     "HumanResponseModel",
     "KnowledgeBase",
+    "LoopHandle",
     "LoopIteration",
+    "LoopRuntime",
+    "LoopSpec",
     "MAPEKLoop",
     "MasterWorkerController",
     "MessageBus",
     "Monitor",
+    "MonitorQuery",
     "Observation",
     "PatternController",
     "PhaseLatency",
     "Plan",
+    "PlanArbiter",
     "PlanOutcome",
     "Planner",
+    "QueryHub",
+    "QueryMonitor",
     "RateLimitGuard",
+    "RuntimeConfig",
     "Symptom",
     "classical_loop_for",
     "combined_confidence",

@@ -1,0 +1,218 @@
+"""Cross-loop plan arbitration.
+
+Many concurrent autonomy loops share actuation targets: the Maintenance
+and Scheduler cases both checkpoint jobs, two QoS loops may shape the
+same tenant, partition-scoped misconfig loops can overlap.  Left
+uncoordinated, loops fight — the instability risk the paper's Fig. 2c
+discussion raises for decentralized patterns.
+
+:class:`PlanArbiter` is the control plane's conflict resolver.  Every
+non-advisory action a loop plans claims the **resource keys** it
+touches (``(domain, target)`` pairs, e.g. ``("job", "j042")``); a claim
+is held for a TTL.  A second loop planning against a held key within the
+TTL loses by *priority-or-veto*: if its priority does not exceed the
+claim holder's, the action is vetoed — recorded in the loop's iteration,
+counted, and written to the :class:`~repro.core.audit.AuditTrail` with
+phase ``"arbitrate"`` so operators can see every suppressed actuation.
+A strictly higher-priority loop overrides the claim (and that preemption
+is audited too).
+
+The arbiter plugs into the normal guard chain via :class:`ArbiterGuard`,
+which the :class:`~repro.core.runtime.LoopRuntime` appends after the
+loop's own guards — trust controls first, coordination last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.audit import AuditTrail
+from repro.core.guards import Guard
+from repro.core.knowledge import KnowledgeBase
+from repro.core.types import Action, Plan
+
+#: ``(domain, target)`` — the unit of contention between loops.
+ResourceKey = Tuple[str, str]
+
+#: Action kinds that never actuate anything and therefore never conflict.
+ADVISORY_KINDS = frozenset({"notify_user"})
+
+#: Default domain of each built-in action kind; unknown kinds fall back
+#: to the generic ``"target"`` domain so they still collide on equal
+#: target strings.
+KIND_DOMAINS: Dict[str, str] = {
+    "request_extension": "job",
+    "signal_checkpoint": "job",
+    "fix_threads": "job",
+    "fix_library": "job",
+    "set_qos_rate": "tenant",
+    "avoid_osts": "writer",
+}
+
+
+def default_resource_keys(action: Action) -> Tuple[ResourceKey, ...]:
+    """Resource keys an action contends on; empty for advisory kinds."""
+    if action.kind in ADVISORY_KINDS:
+        return ()
+    return ((KIND_DOMAINS.get(action.kind, "target"), action.target),)
+
+
+@dataclass
+class Claim:
+    """One loop's hold on a resource key."""
+
+    loop: str
+    priority: int
+    time: float
+    expires: float
+    kind: str
+
+
+class PlanArbiter:
+    """Priority-or-veto conflict resolution over claimed resource keys."""
+
+    def __init__(self, *, audit: Optional[AuditTrail] = None) -> None:
+        self.audit = audit
+        self._claims: Dict[ResourceKey, Claim] = {}
+        self.conflicts_total = 0
+        self.vetoes_total = 0
+        self.preemptions_total = 0
+        self.vetoes_by_loop: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ resolution
+    def resolve(
+        self,
+        loop: str,
+        priority: int,
+        plan: Plan,
+        now: float,
+        *,
+        ttl_s: float,
+        resource_keys: Callable[[Action], Sequence[ResourceKey]] = default_resource_keys,
+    ) -> Tuple[Plan, List[Action]]:
+        """Filter ``plan`` against current claims; claim what survives.
+
+        Returns ``(filtered_plan, vetoed_actions)`` — the same contract
+        as a guard, which is how the runtime applies it.
+        """
+        if len(self._claims) > 4096:
+            self._sweep(now)
+        vetoed: List[Action] = []
+        for action in plan.actions:
+            keys = tuple(resource_keys(action))
+            blocker: Optional[Tuple[ResourceKey, Claim]] = None
+            for key in keys:
+                claim = self._claims.get(key)
+                if claim is not None and claim.expires <= now:
+                    del self._claims[key]  # lapsed: drop on touch
+                    claim = None
+                if (
+                    claim is not None
+                    and claim.loop != loop
+                    and claim.priority >= priority
+                ):
+                    blocker = (key, claim)
+                    break
+            if blocker is not None:
+                key, claim = blocker
+                vetoed.append(action)
+                self.conflicts_total += 1
+                self.vetoes_total += 1
+                self.vetoes_by_loop[loop] = self.vetoes_by_loop.get(loop, 0) + 1
+                if self.audit is not None:
+                    self.audit.record(
+                        now,
+                        loop,
+                        "arbitrate",
+                        f"vetoed {action.kind}({action.target}): {key[0]}/{key[1]} "
+                        f"claimed by {claim.loop} (prio {claim.priority} >= {priority})",
+                        data={
+                            "winner": claim.loop,
+                            "winner_priority": claim.priority,
+                            "loser_priority": priority,
+                            "resource": f"{key[0]}/{key[1]}",
+                        },
+                    )
+                continue
+            for key in keys:
+                prior = self._claims.get(key)
+                if (
+                    prior is not None
+                    and prior.expires > now
+                    and prior.loop != loop
+                ):
+                    # strictly higher priority: preempt the stale claim
+                    self.conflicts_total += 1
+                    self.preemptions_total += 1
+                    if self.audit is not None:
+                        self.audit.record(
+                            now,
+                            loop,
+                            "arbitrate",
+                            f"preempted {key[0]}/{key[1]} from {prior.loop} "
+                            f"(prio {priority} > {prior.priority})",
+                            data={"preempted": prior.loop, "resource": f"{key[0]}/{key[1]}"},
+                        )
+                self._claims[key] = Claim(loop, priority, now, now + ttl_s, action.kind)
+        return plan.without(vetoed), vetoed
+
+    def _sweep(self, now: float) -> None:
+        """Purge lapsed claims so the table tracks live contention only."""
+        stale = [k for k, c in self._claims.items() if c.expires <= now]
+        for k in stale:
+            del self._claims[k]
+
+    # ------------------------------------------------------------- inspection
+    def active_claims(self, now: float) -> Dict[ResourceKey, Claim]:
+        return {k: c for k, c in self._claims.items() if c.expires > now}
+
+    def release(self, loop: str) -> int:
+        """Drop every claim held by ``loop`` (e.g. when it is removed)."""
+        mine = [k for k, c in self._claims.items() if c.loop == loop]
+        for k in mine:
+            del self._claims[k]
+        return len(mine)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "conflicts_total": float(self.conflicts_total),
+            "vetoes_total": float(self.vetoes_total),
+            "preemptions_total": float(self.preemptions_total),
+        }
+
+
+class ArbiterGuard(Guard):
+    """Adapter exposing one loop's view of the shared arbiter as a Guard.
+
+    Appended by the runtime as the final guard, so a loop's own trust
+    controls run first and cross-loop coordination only sees actions the
+    loop is actually allowed to take.
+    """
+
+    name = "arbiter"
+
+    def __init__(
+        self,
+        arbiter: PlanArbiter,
+        loop: str,
+        priority: int,
+        *,
+        ttl_s: float,
+        resource_keys: Optional[Callable[[Action], Sequence[ResourceKey]]] = None,
+    ) -> None:
+        self.arbiter = arbiter
+        self.loop = loop
+        self.priority = priority
+        self.ttl_s = ttl_s
+        self.resource_keys = resource_keys if resource_keys is not None else default_resource_keys
+
+    def filter(self, plan: Plan, knowledge: KnowledgeBase, now: float):
+        return self.arbiter.resolve(
+            self.loop,
+            self.priority,
+            plan,
+            now,
+            ttl_s=self.ttl_s,
+            resource_keys=self.resource_keys,
+        )

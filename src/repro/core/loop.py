@@ -16,6 +16,7 @@ never executed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -108,25 +109,39 @@ class MAPEKLoop:
         return self._task is not None and not self._task.stopped
 
     # ---------------------------------------------------------------- cycle
+    def run_cycle(self) -> None:
+        """Run one MAPE-K cycle starting now.
+
+        Normally invoked by the loop's own periodic task; the
+        :class:`~repro.core.runtime.LoopRuntime` calls it directly so it
+        can multiplex many loops on shared ticks with priority ordering.
+        """
+        self._begin_cycle()
+
     def _begin_cycle(self) -> None:
+        wall_t0 = time.perf_counter()
         now = self.engine.now
         iteration = LoopIteration(index=self.iterations_run, t_monitor=now)
         self.iterations_run += 1
         observation = self.monitor.observe(now)
         iteration.observation = observation
         if observation is None:
+            iteration.wall_ms += (time.perf_counter() - wall_t0) * 1e3
             iteration.t_complete = now
             self._finish(iteration)
             return
+        iteration.t_observation = observation.time
         if self.assessor is not None:
             self.assessor.assess(observation, self.knowledge)
         delay = self.phase_latency.decision_delay
+        iteration.wall_ms += (time.perf_counter() - wall_t0) * 1e3
         if delay > 0:
             self.engine.schedule(delay, self._decide, iteration, observation, label=f"loop-{self.name}")
         else:
             self._decide(iteration, observation)
 
     def _decide(self, iteration: LoopIteration, observation: Observation) -> None:
+        wall_t0 = time.perf_counter()
         report = self.analyzer.analyze(observation, self.knowledge)
         iteration.report = report
         plan = self.planner.plan(report, self.knowledge)
@@ -136,6 +151,7 @@ class MAPEKLoop:
         self.actions_vetoed += len(iteration.vetoed)
         iteration.plan = plan
         self._audit_decision(iteration)
+        iteration.wall_ms += (time.perf_counter() - wall_t0) * 1e3
         if plan.empty:
             iteration.t_complete = self.engine.now
             self._finish(iteration)
@@ -148,10 +164,13 @@ class MAPEKLoop:
             self._execute(iteration, plan)
 
     def _execute(self, iteration: LoopIteration, plan: Plan) -> None:
+        wall_t0 = time.perf_counter()
+        iteration.t_execute = self.engine.now
         results = self.executor.execute(plan, self.knowledge)
         iteration.results = results
         iteration.t_complete = self.engine.now
         self.actions_executed += len(results)
+        iteration.wall_ms += (time.perf_counter() - wall_t0) * 1e3
         self.knowledge.record_plan(plan, results)
         if self.audit is not None:
             for r in results:

@@ -1,0 +1,561 @@
+"""The unified autonomy-loop runtime.
+
+The paper's contribution is not any single feedback loop but a framework
+for running *many* concurrent loops over shared monitoring data with
+trust controls.  This module is that control plane:
+
+* :class:`LoopSpec` — a declarative description of one loop: name,
+  priority, period, Monitor phase as a list of
+  :class:`~repro.query.model.MetricQuery` expressions (plus a builder
+  that turns their results into an
+  :class:`~repro.core.types.Observation`), factories for the
+  Analyze/Plan/Execute components, guards, and phase latencies.
+* :class:`QueryHub` — the shared Monitor-phase serving layer: every
+  loop's reads go through one vectorized
+  :class:`~repro.query.engine.QueryEngine` + :class:`QueryCache`, and
+  structurally compatible selections are **fused** (see
+  :mod:`repro.query.fuse`) so a fleet of N per-partition loops costs one
+  widened query execution per tick instead of N ad-hoc store scans.
+* :class:`LoopRuntime` — instantiates specs into
+  :class:`~repro.core.loop.MAPEKLoop` instances, multiplexes them on the
+  simulation engine with priority ordering (higher-priority loops run
+  first on shared ticks) and deterministic phase jitter, arbitrates
+  conflicting plans through the shared
+  :class:`~repro.core.arbiter.PlanArbiter`, and publishes per-loop
+  self-telemetry (``loop_iteration_ms``, ``loop_actions_total``,
+  ``loop_vetoes_total``, ``loop_staleness_s``) back into the
+  :class:`~repro.telemetry.tsdb.TimeSeriesStore` — loops are themselves
+  monitorable through the same query path they monitor with.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.arbiter import ArbiterGuard, PlanArbiter, ResourceKey, default_resource_keys
+from repro.core.audit import AuditTrail
+from repro.core.component import Analyzer, Assessor, Executor, Monitor, Planner
+from repro.core.guards import Guard
+from repro.core.knowledge import KnowledgeBase
+from repro.core.loop import MAPEKLoop, PhaseLatency
+from repro.core.types import Action, LoopIteration, Observation
+from repro.query.cache import QueryCache
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.fuse import fusable, widen
+from repro.query.model import MetricQuery
+from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+__all__ = [
+    "LoopHandle",
+    "LoopRuntime",
+    "LoopSpec",
+    "MonitorQuery",
+    "QueryHub",
+    "QueryMonitor",
+    "RuntimeConfig",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared Monitor-phase serving layer
+
+
+class QueryHub:
+    """One query front-end shared by every loop the runtime hosts.
+
+    Wraps a :class:`QueryEngine` with query fusion: a fusable narrow
+    query (matchers ⊆ group_by — see :mod:`repro.query.fuse`) is served
+    by executing its widened form once and filtering the output series.
+    Because the engine's cache is version-keyed on per-metric write
+    epochs, every other loop issuing a compatible selection in the same
+    tick hits the cached widened result — the fused query pass.
+
+    The hub exposes the same read surface monitors already use
+    (``query`` / ``scalar`` / ``samples`` / ``parse`` / ``store``), so
+    existing telemetry-backed monitors run through it unchanged.
+    """
+
+    def __init__(self, engine: QueryEngine, *, fuse: bool = True) -> None:
+        self.engine = engine
+        self.store = engine.store
+        self.fuse = fuse
+        self.fused_served = 0
+        self.direct_served = 0
+        #: narrow-selection memo: query → (series generation, admissible
+        #: output-series labels).  Regex matchers are evaluated once per
+        #: generation; per-tick narrowing is pure set membership.
+        self._narrow_cache: Dict[MetricQuery, Tuple[int, frozenset]] = {}
+
+    def parse(self, expr: str) -> MetricQuery:
+        return self.engine.parse(expr)
+
+    def query(
+        self, q: Union[str, MetricQuery], *, at: float, fuse: Optional[bool] = None
+    ) -> QueryResult:
+        """Evaluate ``q``; ``fuse`` overrides the hub default per call.
+
+        Fusion pays when many loops issue compatible selections at the
+        *same* tick (the widened result is computed once and shared);
+        loops with per-instance phases (e.g. one loop per job, each
+        aligned to its job's start) should pass ``fuse=False`` — an
+        unshared widened execution costs a full-metric pass for a
+        single-series answer.
+        """
+        if isinstance(q, str):
+            q = self.engine.parse(q)
+        # fusion's economics depend on the widened result being cached and
+        # shared; without a cache it would degrade every narrow read into
+        # its own full-metric pass, so an uncached engine never fuses
+        effective = (self.fuse if fuse is None else fuse) and self.engine.cache is not None
+        if effective and fusable(q):
+            self.fused_served += 1
+            wide = self.engine.query(widen(q), at=at)
+            return self._narrow(q, wide)
+        self.direct_served += 1
+        return self.engine.query(q, at=at)
+
+    def _narrow(self, q: MetricQuery, wide: QueryResult) -> QueryResult:
+        """Select ``q``'s series from the widened result by membership.
+
+        Equivalent to :func:`repro.query.fuse.narrow_result` but with the
+        matcher evaluation hoisted out of the per-tick path: the set of
+        admissible output-series labels only changes when a new series
+        of the metric appears (tracked by the store's generation).
+        """
+        gen = self.store.series_generation(q.metric)
+        hit = self._narrow_cache.get(q)
+        if hit is None or hit[0] != gen:
+            allowed = frozenset(q.group_key(key) for key in self.engine.select(q))
+            if len(self._narrow_cache) > 4096:  # unbounded query shapes: reset
+                self._narrow_cache.clear()
+            self._narrow_cache[q] = (gen, allowed)
+        else:
+            allowed = hit[1]
+        kept = tuple(s for s in wide.series if s.labels in allowed)
+        return QueryResult(q, wide.t0, wide.t1, kept, source=f"fused+{wide.source}")
+
+    def scalar(self, q: Union[str, MetricQuery], *, at: float) -> Optional[float]:
+        return self.query(q, at=at).scalar()
+
+    def samples(
+        self, q: Union[str, MetricQuery], *, at: float, since: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.engine.samples(q, at=at, since=since)
+
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "fused_served": float(self.fused_served),
+            "direct_served": float(self.direct_served),
+        }
+        out.update({f"engine_{k}": v for k, v in self.engine.stats().items()})
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Declarative monitors
+
+
+@dataclass(frozen=True)
+class MonitorQuery:
+    """One named read in a spec's Monitor phase.
+
+    ``mode="query"`` evaluates through the hub (fused + cached);
+    ``mode="samples"`` extracts raw points with cursor semantics — each
+    observation sees only samples newer than the previous one (marker
+    streams, transfer logs).  ``fuse`` overrides the hub's fusion
+    default for this read (``False`` for per-instance-phased loops whose
+    widened results would never be shared).
+    """
+
+    slot: str
+    query: Union[str, MetricQuery]
+    mode: str = "query"
+    fuse: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("query", "samples"):
+            raise ValueError(f"unknown MonitorQuery mode {self.mode!r}")
+
+
+#: What a spec's ``build_observation`` receives: ``slot →`` either a
+#: :class:`QueryResult` (mode ``"query"``) or a ``(times, values)`` pair
+#: (mode ``"samples"``).  The reserved ``"_memory"`` slot is a mutable
+#: per-monitor dict that survives across cycles — builders needing state
+#: (e.g. last-seen marker) keep it there, NOT in their spec closure, so
+#: a spec stays instantiable more than once without state bleeding.
+MonitorInputs = Mapping[str, object]
+
+ObservationBuilder = Callable[[float, MonitorInputs], Optional[Observation]]
+
+
+class QueryMonitor(Monitor):
+    """Monitor phase defined entirely by declarative queries.
+
+    Evaluates each :class:`MonitorQuery` through the shared hub and
+    hands the results to the spec's builder.  Holds the per-slot sample
+    cursors, which is the only state a declarative monitor has.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        queries: Sequence[MonitorQuery],
+        build: ObservationBuilder,
+        hub: QueryHub,
+    ) -> None:
+        self.name = name
+        self.queries = [
+            MonitorQuery(
+                mq.slot,
+                hub.parse(mq.query) if isinstance(mq.query, str) else mq.query,
+                mq.mode,
+                mq.fuse,
+            )
+            for mq in queries
+        ]
+        self.build = build
+        self.hub = hub
+        self._cursors: Dict[str, float] = {}
+        self._memory: Dict[str, object] = {}
+
+    def observe(self, now: float) -> Optional[Observation]:
+        inputs: Dict[str, object] = {"_memory": self._memory}
+        advanced: Dict[str, float] = {}
+        for mq in self.queries:
+            if mq.mode == "samples":
+                times, values = self.hub.samples(
+                    mq.query, at=now, since=self._cursors.get(mq.slot)
+                )
+                if times.size:
+                    advanced[mq.slot] = float(times[-1])
+                inputs[mq.slot] = (times, values)
+            else:
+                inputs[mq.slot] = self.hub.query(mq.query, at=now, fuse=mq.fuse)
+        observation = self.build(now, inputs)
+        if observation is not None:
+            # commit cursors only for delivered observations — a builder
+            # that declines the cycle must see the same samples again next
+            # tick, matching the legacy check-then-read monitor contract
+            self._cursors.update(advanced)
+        return observation
+
+
+# ---------------------------------------------------------------------------
+# Loop specification
+
+
+@dataclass
+class LoopSpec:
+    """Declarative description of one autonomy loop.
+
+    The Monitor phase is either declarative (``queries`` +
+    ``build_observation``) or, for monitors whose query set is dynamic
+    (e.g. per-running-job views), a ``monitor_factory`` receiving the
+    runtime so it can read through the shared :class:`QueryHub`.
+    Component factories are zero-argument callables — specs close over
+    their managed-system handles.
+    """
+
+    name: str
+    analyzer_factory: Callable[[], Analyzer]
+    planner_factory: Callable[[], Planner]
+    executor_factory: Callable[[], Executor]
+    queries: Tuple[MonitorQuery, ...] = ()
+    build_observation: Optional[ObservationBuilder] = None
+    monitor_factory: Optional[Callable[["LoopRuntime"], Monitor]] = None
+    knowledge_factory: Optional[Callable[[], KnowledgeBase]] = None
+    assessor_factory: Optional[Callable[[], Assessor]] = None
+    guard_factories: Tuple[Callable[[], Guard], ...] = ()
+    period_s: float = 60.0
+    priority: int = 0
+    start_at: Optional[float] = None  # absolute first-tick time; None = now
+    phase_latency: PhaseLatency = field(default_factory=PhaseLatency)
+    resource_keys: Callable[[Action], Sequence[ResourceKey]] = default_resource_keys
+    claim_ttl_s: Optional[float] = None  # None → period_s
+    keep_iterations: int = 256
+    on_iteration: Optional[Callable[[LoopIteration], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.monitor_factory is None and self.build_observation is None:
+            raise ValueError(
+                f"spec {self.name!r} needs either (queries + build_observation) "
+                "or a monitor_factory"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+
+
+@dataclass
+class RuntimeConfig:
+    """Control-plane knobs shared by every hosted loop."""
+
+    fuse_queries: bool = True
+    enable_cache: bool = True
+    #: deterministic per-loop phase offset as a fraction of the period;
+    #: 0 keeps every loop aligned to period boundaries (legacy timing,
+    #: maximal tick sharing), >0 spreads monitor bursts across the tick
+    phase_jitter_frac: float = 0.0
+    #: publish per-loop self-telemetry into the store
+    self_telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.phase_jitter_frac < 1.0:
+            raise ValueError("phase_jitter_frac must be in [0, 1)")
+
+
+def deterministic_phase(name: str, period_s: float, frac: float) -> float:
+    """Stable per-loop phase offset in ``[0, frac * period)``.
+
+    Hash-derived, so a loop keeps its phase across runs and processes —
+    jitter that spreads fleet monitor bursts without sacrificing
+    reproducibility.
+    """
+    if frac <= 0.0:
+        return 0.0
+    return (zlib.crc32(name.encode()) % 10_000) / 10_000.0 * frac * period_s
+
+
+class LoopHandle:
+    """One hosted loop: its spec, the live MAPEK instance, its schedule."""
+
+    def __init__(self, runtime: "LoopRuntime", spec: LoopSpec, loop: MAPEKLoop) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.loop = loop
+        self._task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError(f"loop {self.spec.name!r} already started")
+        engine = self.runtime.engine
+        first = self.spec.start_at if self.spec.start_at is not None else engine.now
+        first += deterministic_phase(
+            self.spec.name, self.spec.period_s, self.runtime.config.phase_jitter_frac
+        )
+        # Higher-priority loops run earlier on shared ticks: engine events
+        # order by (time, priority, seq) and lower numbers win.
+        self._task = engine.every(
+            self.spec.period_s,
+            self.loop.run_cycle,
+            start_at=max(first, engine.now),
+            priority=-self.spec.priority,
+            label=f"loop-{self.spec.name}",
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.stopped
+
+
+class LoopRuntime:
+    """Hosts a fleet of loops over one engine, store, and arbiter."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        store: Optional[TimeSeriesStore] = None,
+        *,
+        query_engine: Optional[QueryEngine] = None,
+        audit: Optional[AuditTrail] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else RuntimeConfig()
+        if query_engine is None:
+            query_engine = QueryEngine(
+                store if store is not None else TimeSeriesStore(),
+                cache=QueryCache() if self.config.enable_cache else None,
+                enable_cache=self.config.enable_cache,
+            )
+        self.query_engine = query_engine
+        self.store = query_engine.store
+        self.hub = QueryHub(query_engine, fuse=self.config.fuse_queries)
+        self.audit = audit
+        self.arbiter = PlanArbiter(audit=audit)
+        self.handles: Dict[str, LoopHandle] = {}
+        self.iterations_total = 0
+        self.actions_total = 0
+
+    @classmethod
+    def for_case(
+        cls,
+        engine: Engine,
+        *,
+        runtime: Optional["LoopRuntime"] = None,
+        store: Optional[TimeSeriesStore] = None,
+        query_engine: Optional[QueryEngine] = None,
+        audit: Optional[AuditTrail] = None,
+    ) -> "LoopRuntime":
+        """Join a shared runtime or build a private one — case-manager glue.
+
+        Every ``*CaseManager`` resolves its hosting runtime the same way:
+        a passed-in shared runtime wins (and then audit must come from
+        it, not alongside it), otherwise a private runtime is built over
+        the case's store/engine.
+        """
+        if runtime is not None:
+            if audit is not None and runtime.audit is not audit:
+                raise ValueError("pass audit via the shared runtime, not alongside it")
+            if store is not None and runtime.store is not store:
+                raise ValueError("case store differs from the shared runtime's store")
+            if query_engine is not None and runtime.query_engine is not query_engine:
+                raise ValueError("pass the query engine via the shared runtime, not alongside it")
+            return runtime
+        if store is None and query_engine is not None:
+            store = query_engine.store
+        return cls(engine, store, query_engine=query_engine, audit=audit)
+
+    # ---------------------------------------------------------------- fleet
+    def add(self, spec: LoopSpec, *, start: bool = False) -> LoopHandle:
+        """Instantiate a spec into a hosted loop; optionally start it."""
+        if spec.name in self.handles:
+            raise ValueError(f"loop {spec.name!r} already registered")
+        if spec.monitor_factory is not None:
+            monitor: Monitor = spec.monitor_factory(self)
+        else:
+            monitor = QueryMonitor(spec.name, spec.queries, spec.build_observation, self.hub)
+        guards: List[Guard] = [factory() for factory in spec.guard_factories]
+        ttl = spec.claim_ttl_s if spec.claim_ttl_s is not None else spec.period_s
+        guards.append(
+            ArbiterGuard(
+                self.arbiter,
+                spec.name,
+                spec.priority,
+                ttl_s=ttl,
+                resource_keys=spec.resource_keys,
+            )
+        )
+        loop = MAPEKLoop(
+            self.engine,
+            spec.name,
+            monitor=monitor,
+            analyzer=spec.analyzer_factory(),
+            planner=spec.planner_factory(),
+            executor=spec.executor_factory(),
+            knowledge=spec.knowledge_factory() if spec.knowledge_factory is not None else None,
+            assessor=spec.assessor_factory() if spec.assessor_factory is not None else None,
+            guards=guards,
+            period_s=spec.period_s,
+            phase_latency=spec.phase_latency,
+            audit=self.audit,
+            keep_iterations=spec.keep_iterations,
+            on_iteration=self._iteration_hook(spec),
+        )
+        handle = LoopHandle(self, spec, loop)
+        self.handles[spec.name] = handle
+        if start:
+            handle.start()
+        return handle
+
+    def add_many(self, specs: Sequence[LoopSpec], *, start: bool = False) -> List[LoopHandle]:
+        return [self.add(spec, start=start) for spec in specs]
+
+    def remove(self, name: str) -> Optional[LoopHandle]:
+        """Stop and unregister a loop, releasing its arbiter claims."""
+        handle = self.handles.pop(name, None)
+        if handle is not None:
+            handle.stop()
+            self.arbiter.release(name)
+        return handle
+
+    def handle(self, name: str) -> LoopHandle:
+        return self.handles[name]
+
+    def start(self) -> None:
+        """Start every registered loop that is not already running."""
+        for handle in self.handles.values():
+            if not handle.running:
+                handle.start()
+
+    def stop(self) -> None:
+        for handle in self.handles.values():
+            handle.stop()
+
+    def active_loops(self) -> int:
+        return sum(1 for h in self.handles.values() if h.running)
+
+    # ----------------------------------------------------------- telemetry
+    def _iteration_hook(self, spec: LoopSpec) -> Callable[[LoopIteration], None]:
+        """Chain fleet accounting + self-telemetry after the spec's hook."""
+
+        def hook(iteration: LoopIteration) -> None:
+            self.iterations_total += 1
+            self.actions_total += len(iteration.results)
+            if self.config.self_telemetry:
+                self._publish_iteration(spec.name, iteration)
+            if spec.on_iteration is not None:
+                spec.on_iteration(iteration)
+
+        return hook
+
+    def _publish_iteration(self, name: str, iteration: LoopIteration) -> None:
+        """Write one iteration's self-telemetry into the shared store.
+
+        Published through the same store the monitors read, so loops can
+        watch loops: ``mean(loop_iteration_ms[600s]) group by (loop)``
+        is a valid monitor query for a meta-loop.
+        """
+        now = self.engine.now
+        loop = self.handles[name].loop if name in self.handles else None
+        store = self.store
+        store.insert(SeriesKey.of("loop_iteration_ms", loop=name), now, iteration.wall_ms)
+        if loop is not None:
+            store.insert(
+                SeriesKey.of("loop_actions_total", loop=name), now, float(loop.actions_executed)
+            )
+            store.insert(
+                SeriesKey.of("loop_vetoes_total", loop=name), now, float(loop.actions_vetoed)
+            )
+        if iteration.staleness is not None:
+            store.insert(
+                SeriesKey.of("loop_staleness_s", loop=name), now, float(iteration.staleness)
+            )
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "loops": float(len(self.handles)),
+            "loops_running": float(self.active_loops()),
+            "iterations_total": float(self.iterations_total),
+            "actions_total": float(self.actions_total),
+        }
+        out.update({f"hub_{k}": v for k, v in self.hub.stats().items()})
+        out.update({f"arbiter_{k}": v for k, v in self.arbiter.stats().items()})
+        return out
+
+    def loop_stats(self) -> List[Dict[str, float]]:
+        """Per-loop summary rows (CLI / dashboard friendly)."""
+        rows = []
+        for name, handle in sorted(self.handles.items()):
+            loop = handle.loop
+            staleness = [
+                it.staleness for it in loop.iterations if it.staleness is not None
+            ]
+            rows.append(
+                {
+                    "loop": name,
+                    "priority": float(handle.spec.priority),
+                    "period_s": float(handle.spec.period_s),
+                    "iterations": float(loop.iterations_run),
+                    "actions": float(loop.actions_executed),
+                    "vetoes": float(loop.actions_vetoed),
+                    "mean_staleness_s": float(np.mean(staleness)) if staleness else 0.0,
+                }
+            )
+        return rows

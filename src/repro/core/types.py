@@ -127,7 +127,17 @@ class ExecutionResult:
 
 @dataclass
 class LoopIteration:
-    """Record of one full MAPE-K cycle (knowledge + audit payload)."""
+    """Record of one full MAPE-K cycle (knowledge + audit payload).
+
+    Timestamps separate the three moments that matter for staleness
+    accounting: ``t_monitor`` (when the Monitor phase ran),
+    ``t_observation`` (the time the observed data refers to — usually
+    equal to ``t_monitor``, but a telemetry-backed monitor may serve a
+    slightly older snapshot), and ``t_execute`` (when the Execute phase
+    actually actuated).  ``staleness`` — how old the observation was at
+    actuation time — is derivable everywhere instead of being
+    approximated by :attr:`PhaseLatency.decision_delay`.
+    """
 
     index: int
     t_monitor: float
@@ -136,7 +146,10 @@ class LoopIteration:
     plan: Optional[Plan] = None
     results: List[ExecutionResult] = field(default_factory=list)
     vetoed: List[Action] = field(default_factory=list)
+    t_observation: Optional[float] = None
+    t_execute: Optional[float] = None
     t_complete: Optional[float] = None
+    wall_ms: float = 0.0  # host CPU time spent in this cycle's callbacks
 
     @property
     def latency(self) -> Optional[float]:
@@ -144,6 +157,18 @@ class LoopIteration:
         if self.t_complete is None:
             return None
         return self.t_complete - self.t_monitor
+
+    @property
+    def staleness(self) -> Optional[float]:
+        """Age of the observation when the Execute phase ran.
+
+        ``None`` until the cycle reaches Execute (or when it never
+        does — empty plans are not actuated, so they have no decision
+        staleness).
+        """
+        if self.t_execute is None or self.t_observation is None:
+            return None
+        return self.t_execute - self.t_observation
 
     @property
     def acted(self) -> bool:

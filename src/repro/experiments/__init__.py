@@ -22,6 +22,11 @@ from repro.experiments.tsdb_exp import run_knowledge_ops, run_tsdb_ingest, run_t
 from repro.experiments.trust_exp import run_trust_sweep
 from repro.experiments.interchange_exp import run_interchange_matrix
 from repro.experiments.incentives import incentive_report, render_incentives
+from repro.experiments.loops_exp import (
+    run_loop_fleet_benchmark,
+    run_runtime_overhead,
+    watch_fleet_specs,
+)
 
 __all__ = [
     "JobOutcomeSummary",
@@ -44,7 +49,10 @@ __all__ = [
     "run_pattern_scenario",
     "run_pipeline_scenario",
     "run_scheduler_scenario",
+    "run_loop_fleet_benchmark",
+    "run_runtime_overhead",
     "run_trust_sweep",
+    "watch_fleet_specs",
     "run_tsdb_ingest",
     "run_tsdb_queries",
 ]

@@ -15,6 +15,7 @@ from repro.cluster.application import ApplicationProfile, LaunchConfig
 from repro.cluster.job import Job, JobState
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.scheduler import Scheduler
+from repro.core.runtime import LoopRuntime
 from repro.experiments.metrics import detection_metrics
 from repro.loops.misconfig_loop import MisconfigCaseConfig, MisconfigCaseManager
 from repro.sim import Engine, RngRegistry
@@ -45,6 +46,9 @@ def run_misconfig_scenario(
     n_nodes = n_jobs  # one node per job: every job runs immediately
     nodes = [Node(f"n{i:03d}", NodeSpec(cores=32)) for i in range(n_nodes)]
     scheduler = Scheduler(engine, nodes, rng=rngs.stream("scheduler"))
+    # the case joins an explicit control plane: fused per-job utilization
+    # queries, arbitration, and self-telemetry all flow through it
+    control_plane = LoopRuntime(engine, store)
     case = MisconfigCaseManager(
         engine,
         scheduler,
@@ -55,6 +59,7 @@ def run_misconfig_scenario(
             observation_window_s=600.0,
             online_fixes_enabled=with_fixes,
         ),
+        runtime=control_plane,
     )
     case.start()
 
@@ -107,6 +112,7 @@ def run_misconfig_scenario(
     mean_runtime_mis = (
         sum(j.runtime for j in mis_completed) / len(mis_completed) if mis_completed else float("nan")
     )
+    hub_stats = control_plane.hub.stats()
     return {
         "with_fixes": with_fixes,
         "seed": seed,
@@ -119,4 +125,7 @@ def run_misconfig_scenario(
         "notifications": float(case.notifications_sent),
         "completed": float(len(completed)),
         "mean_runtime_misconfigured_s": mean_runtime_mis,
+        "monitor_fused_served": hub_stats["fused_served"],
+        "monitor_queries_executed": hub_stats["engine_served_raw"]
+        + hub_stats["engine_served_rollup"],
     }

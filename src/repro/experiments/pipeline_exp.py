@@ -152,12 +152,19 @@ def run_pipeline_scenario(
     ingest: str = "columnar",
     diagnose: str = "scan",
     commit_interval_s: Optional[float] = None,
+    watch_loops: int = 0,
 ) -> Dict[str, float]:
     """Run E1.  ``ingest`` picks the sample-movement path; ``diagnose``
     picks the anomaly sweep — ``"scan"`` (batch z-score pass) or
     ``"pointwise"`` (the seed idiom: one detector update per sample),
     kept so the E14 scale check can measure the original configuration
-    as its wall-clock budget."""
+    as its wall-clock budget.  ``watch_loops`` > 0 additionally hosts
+    that many per-partition autonomy loops on a
+    :class:`~repro.core.runtime.LoopRuntime` over the live stream
+    (in-situ ODA on the Fig. 1 pipeline) and reports their fleet
+    telemetry; the fleet's Monitor/Analyze work then runs inside the
+    simulated shift, so ``ingest_wall_s`` deliberately includes that
+    in-situ cost — compare rows at equal ``watch_loops`` only."""
     engine = Engine()
     rngs = RngRegistry(seed=seed)
     store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
@@ -192,6 +199,28 @@ def run_pipeline_scenario(
         anomaly_times=anomaly_times,
         anomaly_nodes=anomaly_nodes,
     )
+    runtime = None
+    if watch_loops > 0:
+        from repro.core.runtime import LoopRuntime, RuntimeConfig
+        from repro.experiments.loops_exp import watch_fleet_specs
+
+        # self-telemetry off: the E1 row's series/samples/completeness
+        # metrics must keep measuring the ingest pipeline, not the fleet
+        runtime = LoopRuntime(
+            engine, store, config=RuntimeConfig(self_telemetry=False)
+        )
+        specs = watch_fleet_specs(
+            "metric0",
+            [f"n{i:03d}" for i in range(n_nodes)],
+            watch_loops,
+            period_s=60.0,
+            window_s=300.0,
+            threshold=480.0,  # spikes push metric0 well past its ~400 base
+        )
+        for spec in specs:
+            spec.start_at = 300.0
+        runtime.add_many(specs, start=True)
+
     # clock starts after signal rendering / frontend construction so
     # ingest_wall_s measures sample movement, not synthetic-data setup
     wall_t0 = time.perf_counter()
@@ -254,7 +283,21 @@ def run_pipeline_scenario(
         sum(f.overhead_cpu_frac(horizon_s) * f.agent_count for f in fronts) / n_agents
     )
     expected_samples = n_nodes * metrics_per_node * (horizon_s / sample_period_s)
+    watch_row: Dict[str, float] = {}
+    if runtime is not None:
+        runtime.stop()
+        hub = runtime.hub.stats()
+        watch_row = {
+            "watch_loops": float(watch_loops),
+            "watch_iterations": float(runtime.iterations_total),
+            "watch_flags": float(
+                sum(h.loop.analyzer.flags_total for h in runtime.handles.values())
+            ),
+            "watch_queries_executed": hub["engine_served_raw"] + hub["engine_served_rollup"],
+            "watch_fused_served": hub["fused_served"],
+        }
     return {
+        **watch_row,
         "seed": seed,
         "n_nodes": float(n_nodes),
         "series": float(store.cardinality()),

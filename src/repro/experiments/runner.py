@@ -185,6 +185,19 @@ def run_all(quick: bool = False, seeds: List[int] = (0, 1, 2)) -> None:
         title="E14 — columnar vs per-object ingest",
     ))
 
+    # ------------------------------------------------------------- E15
+    from repro.experiments.loops_exp import run_loop_fleet_benchmark, run_runtime_overhead
+
+    _p(render_table(
+        [run_loop_fleet_benchmark(seed=0, n_loops=64 if quick else 256,
+                                  ticks=6 if quick else 10)],
+        title="E15 — loop fleet: fused monitoring vs per-loop ad-hoc scans",
+    ))
+    _p(render_table(
+        [run_runtime_overhead(seed=0, ticks=100 if quick else 200)],
+        title="E15b — LoopRuntime hosting overhead vs hand-wired loops",
+    ))
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)

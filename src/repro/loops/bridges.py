@@ -1,0 +1,170 @@
+"""Telemetry bridges: publish managed-system state as metric series.
+
+The runtime's premise is that Monitor phases read *telemetry* through
+the query engine, never simulator objects.  Three of the five case
+monitors used to reach directly into the scheduler, the maintenance
+manager, or the filesystem; these bridges close that gap by publishing
+the observables those monitors need into a
+:class:`~repro.telemetry.tsdb.TimeSeriesStore`, event-driven from the
+substrate's own hooks (job start/end, extension decisions, maintenance
+announcements, transfer completions) — so the series are exactly as
+fresh as the state they mirror and the query-backed monitors observe
+bit-identical values to the legacy direct reads.
+
+Published series:
+
+========================  =======================  =========================
+metric                    labels                   value
+========================  =======================  =========================
+``job_running``           ``job``                  1 while running, 0 at end
+``job_deadline_s``        ``job``                  current kill deadline
+``job_time_limit_s``      ``job``                  walltime incl. extensions
+``job_start_time_s``      ``job``                  start timestamp
+``job_node_running``      ``job``, ``node``        1 per assigned node, 0 at end
+``maint_window_start``    ``window``, ``node``     window start time, per node
+``ost_write_bw_mbps``     ``ost``                  achieved-bandwidth EWMA
+========================  =======================  =========================
+
+(Progress markers are mirrored by
+:class:`~repro.telemetry.markers.ProgressMarkerChannel` itself as
+``job_progress_steps`` / ``job_progress_total``.)
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
+from repro.cluster.scheduler import ExtensionResponse, Scheduler
+from repro.cluster.job import Job
+from repro.storage.filesystem import ParallelFileSystem, Transfer
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+__all__ = [
+    "FilesystemTelemetryBridge",
+    "MaintenanceTelemetryBridge",
+    "SchedulerTelemetryBridge",
+]
+
+
+class SchedulerTelemetryBridge:
+    """Publishes per-job lifecycle gauges from scheduler hooks."""
+
+    def __init__(self, scheduler: Scheduler, store: TimeSeriesStore) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        scheduler.on_job_start.append(self._job_started)
+        scheduler.on_job_end.append(self._job_ended)
+        scheduler.on_extension.append(self._extension)
+        # jobs already running when the bridge attaches still get gauges
+        for job in scheduler.running_jobs():
+            self._job_started(job)
+
+    def _now(self) -> float:
+        return self.scheduler.engine.now
+
+    def _job_started(self, job: Job) -> None:
+        now = self._now()
+        self.store.insert(SeriesKey.of("job_running", job=job.job_id), now, 1.0)
+        self.store.insert(
+            SeriesKey.of("job_start_time_s", job=job.job_id), now, float(job.start_time)
+        )
+        self._publish_deadline(job, now)
+
+    def _extension(self, job: Job, response: ExtensionResponse) -> None:
+        self._publish_deadline(job, self._now())
+
+    def _publish_deadline(self, job: Job, now: float) -> None:
+        if job.deadline is not None:
+            self.store.insert(
+                SeriesKey.of("job_deadline_s", job=job.job_id), now, float(job.deadline)
+            )
+        self.store.insert(
+            SeriesKey.of("job_time_limit_s", job=job.job_id), now, float(job.time_limit_s)
+        )
+
+    def _job_ended(self, job: Job) -> None:
+        self.store.insert(SeriesKey.of("job_running", job=job.job_id), self._now(), 0.0)
+
+
+class MaintenanceTelemetryBridge:
+    """Publishes maintenance windows and job-node placement gauges."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        maintenance: MaintenanceManager,
+        store: TimeSeriesStore,
+    ) -> None:
+        self.scheduler = scheduler
+        self.maintenance = maintenance
+        self.store = store
+        maintenance.on_announce.append(self._announced)
+        scheduler.on_job_start.append(self._job_started)
+        scheduler.on_job_end.append(self._job_ended)
+        now = scheduler.engine.now
+        for event in maintenance.events:
+            if event.t_announce <= now:
+                self._announced(event)
+        for job in scheduler.running_jobs():
+            self._job_started(job)
+
+    @staticmethod
+    def window_id(event: MaintenanceEvent) -> str:
+        """Stable id derived from the window's identity, not publish order.
+
+        Multiple bridges feeding one shared store (or a rebuilt bridge)
+        must agree on ids, or distinct windows would merge under a
+        colliding per-instance counter.
+        """
+        digest = zlib.crc32(repr((event.t_start, sorted(event.nodes))).encode())
+        return f"w{digest:08x}"
+
+    def _announced(self, event: MaintenanceEvent) -> None:
+        now = self.scheduler.engine.now
+        window_id = self.window_id(event)
+        for node in sorted(event.nodes):
+            self.store.insert(
+                SeriesKey.of("maint_window_start", window=window_id, node=node),
+                now,
+                float(event.t_start),
+            )
+
+    def _job_started(self, job: Job) -> None:
+        now = self.scheduler.engine.now
+        for node in job.assigned_nodes:
+            self.store.insert(
+                SeriesKey.of("job_node_running", job=job.job_id, node=node), now, 1.0
+            )
+
+    def _job_ended(self, job: Job) -> None:
+        now = self.scheduler.engine.now
+        for node in job.assigned_nodes:
+            self.store.insert(
+                SeriesKey.of("job_node_running", job=job.job_id, node=node), now, 0.0
+            )
+
+
+class FilesystemTelemetryBridge:
+    """Publishes per-OST achieved-bandwidth EWMAs on transfer completion.
+
+    The EWMAs only move when a transfer finishes, so sampling them at
+    completion time gives query-backed monitors the exact value a direct
+    ``fs.ost_bandwidth_mbps()`` read would return at any later instant.
+    """
+
+    def __init__(self, fs: ParallelFileSystem, store: TimeSeriesStore) -> None:
+        self.fs = fs
+        self.store = store
+        fs.on_transfer.append(self._transfer_done)
+
+    def _transfer_done(self, transfer: Transfer) -> None:
+        now = self.fs.engine.now
+        # only the OSTs this transfer touched have moved EWMAs; the rest
+        # would be redundant rows (and spurious epoch bumps) if republished
+        for ost_id in transfer.ost_ids:
+            bw = self.fs.ost_bandwidth_mbps(ost_id)
+            if not math.isnan(bw):
+                self.store.insert(SeriesKey.of("ost_write_bw_mbps", ost=ost_id), now, bw)

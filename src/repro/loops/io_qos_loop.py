@@ -23,6 +23,7 @@ from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop
+from repro.core.runtime import LoopRuntime, LoopSpec
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -124,10 +125,13 @@ class IoLoadMonitor(Monitor):
             return None
         self._ingest(now)
         window = self._window_s(deadline_writer)
+        # `group by (client)` keeps selection inside the output labels, so
+        # a shared QueryHub can fuse these reads across tenant loops
         selector = f'io_write_latency_s{{client="{self.config.deadline_tenant}"}}[{window:g}s]'
-        worst = self.query_engine.scalar(f"max({selector})", at=now)
-        mean = self.query_engine.scalar(f"mean({selector})", at=now)
-        count = self.query_engine.scalar(f"count({selector})", at=now)
+        suffix = " group by (client)"
+        worst = self.query_engine.scalar(f"max({selector}){suffix}", at=now)
+        mean = self.query_engine.scalar(f"mean({selector}){suffix}", at=now)
+        count = self.query_engine.scalar(f"count({selector}){suffix}", at=now)
         if worst is None or mean is None:
             # stalled tenant: no transfer landed inside the window — fall
             # back to its most recent completions so the loop still reacts
@@ -247,8 +251,44 @@ class QosExecutor(Executor):
         return results
 
 
-class IoQosManagerLoop:
-    """Assembled I/O-QoS autonomy loop over a filesystem and its tenants."""
+def io_qos_spec(
+    fs: ParallelFileSystem,
+    writers: Sequence[PeriodicWriter],
+    *,
+    config: Optional[IoQosConfig] = None,
+    name: str = "io-qos-case",
+    priority: int = 0,
+) -> LoopSpec:
+    """Declarative spec for the I/O-QoS case.
+
+    The monitor's query set is dynamic (windows track the deadline
+    tenant's write period), so the spec wires a ``monitor_factory`` that
+    reads through the runtime's shared :class:`~repro.core.runtime.QueryHub`
+    instead of a static query list.
+    """
+    config = config if config is not None else IoQosConfig()
+    background = [w.client_id for w in writers if w.client_id != config.deadline_tenant]
+    return LoopSpec(
+        name=name,
+        priority=priority,
+        monitor_factory=lambda runtime: IoLoadMonitor(
+            fs, writers, config, query_engine=runtime.hub
+        ),
+        analyzer_factory=lambda: QosAnalyzer(config),
+        planner_factory=lambda: AimdQosPlanner(config, background),
+        executor_factory=lambda: QosExecutor(fs),
+        knowledge_factory=KnowledgeBase,
+        period_s=config.loop_period_s,
+    )
+
+
+class IoQosCaseManager:
+    """Assembled I/O-QoS autonomy loop over a filesystem and its tenants.
+
+    Thin compat wrapper hosting :func:`io_qos_spec` on a
+    :class:`~repro.core.runtime.LoopRuntime`; the monitor publishes and
+    queries through the runtime's shared store/hub.
+    """
 
     def __init__(
         self,
@@ -259,32 +299,33 @@ class IoQosManagerLoop:
         config: Optional[IoQosConfig] = None,
         audit: Optional[AuditTrail] = None,
         query_engine: Optional[QueryEngine] = None,
+        runtime: Optional[LoopRuntime] = None,
+        priority: int = 0,
     ) -> None:
         self.config = config if config is not None else IoQosConfig()
-        background = [
-            w.client_id for w in writers if w.client_id != self.config.deadline_tenant
-        ]
-        knowledge = KnowledgeBase()
-        self.monitor = IoLoadMonitor(fs, writers, self.config, query_engine=query_engine)
-        self.query_engine = self.monitor.query_engine
-        self.loop = MAPEKLoop(
-            engine,
-            "io-qos-case",
-            monitor=self.monitor,
-            analyzer=QosAnalyzer(self.config),
-            planner=AimdQosPlanner(self.config, background),
-            executor=QosExecutor(fs),
-            knowledge=knowledge,
-            period_s=self.config.loop_period_s,
-            audit=audit,
+        self.runtime = LoopRuntime.for_case(
+            engine, runtime=runtime, query_engine=query_engine, audit=audit
         )
+        self.handle = self.runtime.add(
+            io_qos_spec(fs, writers, config=self.config, priority=priority)
+        )
+        self.monitor = self.handle.loop.monitor
+        self.query_engine = self.runtime.query_engine
 
     def start(self) -> None:
-        self.loop.start()
+        self.handle.start()
 
     def stop(self) -> None:
-        self.loop.stop()
+        self.handle.stop()
+
+    @property
+    def loop(self) -> MAPEKLoop:
+        return self.handle.loop
 
     @property
     def adjustments(self) -> int:
         return self.loop.actions_executed
+
+
+#: Back-compat alias (pre-runtime name).
+IoQosManagerLoop = IoQosCaseManager

@@ -7,12 +7,21 @@ the checkpoint finishes before the window opens.  The paper notes this
 case "would use equivalent application interaction as invoking
 asynchronous checkpointing" — it shares the checkpoint hook with the
 Scheduler case.
+
+The case runs under the :class:`~repro.core.runtime.LoopRuntime` from
+:func:`maintenance_case_spec`: announced windows and job placement are
+observed as telemetry series (``maint_window_start`` /
+``job_node_running``, published by the
+:class:`~repro.loops.bridges.MaintenanceTelemetryBridge`) through two
+declarative grouped queries, replacing the legacy direct
+scheduler/manager reads (:class:`MaintenanceMonitor`, kept for
+comparison).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.job import JobState
 from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
@@ -21,6 +30,7 @@ from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop
+from repro.core.runtime import LoopRuntime, LoopSpec, MonitorQuery
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -29,7 +39,35 @@ from repro.core.types import (
     Plan,
     Symptom,
 )
+from repro.loops.bridges import MaintenanceTelemetryBridge
 from repro.sim.engine import Engine
+
+
+@dataclass
+class MaintenanceCaseConfig:
+    """Assembly options for the Maintenance case."""
+
+    period_s: float = 120.0
+    lead_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.lead_factor <= 0:
+            raise ValueError("lead_factor must be positive")
+
+
+@dataclass(frozen=True)
+class WindowInfo:
+    """A maintenance window as reconstructed from telemetry.
+
+    Duck-typed stand-in for :class:`MaintenanceEvent` in observation
+    contexts — the analyzer only consumes ``t_start``.
+    """
+
+    window_id: str
+    t_start: float
+    nodes: frozenset
 
 
 class MaintenanceMonitor(Monitor):
@@ -179,8 +217,81 @@ class CheckpointExecutor(Executor):
         return results
 
 
+def maintenance_case_spec(
+    scheduler: Scheduler,
+    *,
+    config: Optional[MaintenanceCaseConfig] = None,
+    name: str = "maintenance-case",
+    priority: int = 0,
+) -> LoopSpec:
+    """Declarative spec for the Maintenance case.
+
+    The monitor joins two grouped queries — announced windows per node
+    and job placement per node — into the same exposure list the legacy
+    direct-read monitor produced.
+    """
+    config = config if config is not None else MaintenanceCaseConfig()
+
+    def build(now: float, inputs) -> Optional[Observation]:
+        windows: Dict[str, WindowInfo] = {}
+        for series in inputs["windows"].series:
+            if not series.values.size:
+                continue
+            wid = series.label("window") or ""
+            t_start = float(series.values[-1])
+            prior = windows.get(wid)
+            nodes = {series.label("node") or ""}
+            if prior is not None:
+                nodes |= set(prior.nodes)
+            windows[wid] = WindowInfo(wid, t_start, frozenset(nodes))
+        upcoming = sorted(
+            (w for w in windows.values() if w.t_start > now),
+            key=lambda w: (w.t_start, w.window_id),
+        )
+        if not upcoming:
+            return None
+        job_nodes: Dict[str, Set[str]] = {}
+        for series in inputs["placement"].series:
+            if series.values.size and series.values[-1] >= 1.0:
+                job_nodes.setdefault(series.label("job") or "", set()).add(
+                    series.label("node") or ""
+                )
+        exposures: List[Tuple[str, WindowInfo]] = []
+        for window in upcoming:
+            for job_id in sorted(job_nodes):
+                if job_nodes[job_id] & window.nodes:
+                    exposures.append((job_id, window))
+        return Observation(
+            now,
+            "maintenance-monitor",
+            values={"upcoming_windows": float(len(upcoming))},
+            context={"exposures": exposures},
+        )
+
+    return LoopSpec(
+        name=name,
+        priority=priority,
+        queries=(
+            MonitorQuery("windows", "last(maint_window_start) group by (window,node)"),
+            MonitorQuery("placement", "last(job_node_running) group by (job,node)"),
+        ),
+        build_observation=build,
+        analyzer_factory=lambda: MaintenanceAnalyzer(scheduler),
+        planner_factory=lambda: MaintenancePlanner(scheduler, lead_factor=config.lead_factor),
+        executor_factory=lambda: CheckpointExecutor(scheduler),
+        period_s=config.period_s,
+    )
+
+
 class MaintenanceCaseManager:
-    """One site-wide loop watching all maintenance announcements."""
+    """One site-wide loop watching all maintenance announcements.
+
+    Thin compat wrapper over :func:`maintenance_case_spec` +
+    :class:`~repro.loops.bridges.MaintenanceTelemetryBridge` hosted on a
+    :class:`~repro.core.runtime.LoopRuntime`.  ``period_s`` and
+    ``lead_factor`` kwargs are kept as shorthand for the corresponding
+    :class:`MaintenanceCaseConfig` fields.
+    """
 
     def __init__(
         self,
@@ -188,26 +299,36 @@ class MaintenanceCaseManager:
         scheduler: Scheduler,
         maintenance: MaintenanceManager,
         *,
-        period_s: float = 120.0,
-        lead_factor: float = 3.0,
+        config: Optional[MaintenanceCaseConfig] = None,
+        period_s: Optional[float] = None,
+        lead_factor: Optional[float] = None,
         audit: Optional[AuditTrail] = None,
+        runtime: Optional[LoopRuntime] = None,
+        priority: int = 0,
     ) -> None:
-        self.loop = MAPEKLoop(
-            engine,
-            "maintenance-case",
-            monitor=MaintenanceMonitor(scheduler, maintenance),
-            analyzer=MaintenanceAnalyzer(scheduler),
-            planner=MaintenancePlanner(scheduler, lead_factor=lead_factor),
-            executor=CheckpointExecutor(scheduler),
-            period_s=period_s,
-            audit=audit,
+        if config is None:
+            config = MaintenanceCaseConfig(
+                period_s=period_s if period_s is not None else 120.0,
+                lead_factor=lead_factor if lead_factor is not None else 3.0,
+            )
+        elif period_s is not None or lead_factor is not None:
+            raise ValueError("pass either config or period_s/lead_factor, not both")
+        self.config = config
+        self.runtime = LoopRuntime.for_case(engine, runtime=runtime, audit=audit)
+        self.bridge = MaintenanceTelemetryBridge(scheduler, maintenance, self.runtime.store)
+        self.handle = self.runtime.add(
+            maintenance_case_spec(scheduler, config=config, priority=priority)
         )
 
     def start(self) -> None:
-        self.loop.start()
+        self.handle.start()
 
     def stop(self) -> None:
-        self.loop.stop()
+        self.handle.stop()
+
+    @property
+    def loop(self) -> MAPEKLoop:
+        return self.handle.loop
 
     @property
     def checkpoints_triggered(self) -> int:

@@ -31,6 +31,7 @@ from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.humanloop import HumanOnTheLoopNotifier
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop
+from repro.core.runtime import LoopRuntime, LoopSpec
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -115,7 +116,11 @@ class JobConfigMonitor(Monitor):
                 range_s=window_s,
                 group_by=("node",),
             )
-            result = self.query_engine.query(query, at=now)
+            # young jobs have age-dependent windows whose widened results
+            # would never be shared across jobs — fuse only once the
+            # window has converged to the configured one
+            converged = window_s >= self.config.observation_window_s
+            result = self.query_engine.query(query, at=now, fuse=None if converged else False)
             utils = [float(s.values[-1]) for s in result.series]
         cpu_util = sum(utils) / len(utils) if utils else float("nan")
         node = self.scheduler.nodes[job.assigned_nodes[0]]
@@ -277,8 +282,44 @@ class FixOrNotifyExecutor(Executor):
         return results
 
 
+def misconfig_case_spec(
+    engine: Engine,
+    scheduler: Scheduler,
+    *,
+    config: Optional[MisconfigCaseConfig] = None,
+    notifier: Optional[HumanOnTheLoopNotifier] = None,
+    name: str = "misconfig-case",
+    priority: int = 0,
+) -> LoopSpec:
+    """Declarative spec for the Misconfiguration case.
+
+    Per-job utilization views need one grouped query per running job
+    with an age-dependent window, so the spec wires a
+    ``monitor_factory`` reading through the runtime's shared hub — the
+    hub fuses the per-job ``node_cpu_util`` selections into one widened
+    pass per tick once job windows converge.
+    """
+    config = config if config is not None else MisconfigCaseConfig()
+    return LoopSpec(
+        name=name,
+        priority=priority,
+        monitor_factory=lambda runtime: JobConfigMonitor(
+            scheduler, runtime.store, config, query_engine=runtime.hub
+        ),
+        analyzer_factory=MisconfigLoopAnalyzer,
+        planner_factory=lambda: InformOrFixPlanner(config),
+        executor_factory=lambda: FixOrNotifyExecutor(engine, scheduler, notifier),
+        period_s=config.loop_period_s,
+    )
+
+
 class MisconfigCaseManager:
-    """Assembled misconfiguration loop over a scheduler + telemetry store."""
+    """Assembled misconfiguration loop over a scheduler + telemetry store.
+
+    Thin compat wrapper hosting :func:`misconfig_case_spec` on a
+    :class:`~repro.core.runtime.LoopRuntime` built over the telemetry
+    store the utilization queries read from.
+    """
 
     def __init__(
         self,
@@ -290,32 +331,34 @@ class MisconfigCaseManager:
         audit: Optional[AuditTrail] = None,
         notifier: Optional[HumanOnTheLoopNotifier] = None,
         query_engine: Optional[QueryEngine] = None,
+        runtime: Optional[LoopRuntime] = None,
+        priority: int = 0,
     ) -> None:
         self.config = config if config is not None else MisconfigCaseConfig()
-        self.query_engine = (
-            query_engine
-            if query_engine is not None
-            else QueryEngine(store, enable_cache=False)
+        self.runtime = LoopRuntime.for_case(
+            engine, runtime=runtime, store=store, query_engine=query_engine, audit=audit
         )
-        self.executor = FixOrNotifyExecutor(engine, scheduler, notifier)
-        self.loop = MAPEKLoop(
-            engine,
-            "misconfig-case",
-            monitor=JobConfigMonitor(
-                scheduler, store, self.config, query_engine=self.query_engine
-            ),
-            analyzer=MisconfigLoopAnalyzer(),
-            planner=InformOrFixPlanner(self.config),
-            executor=self.executor,
-            period_s=self.config.loop_period_s,
-            audit=audit,
+        self.handle = self.runtime.add(
+            misconfig_case_spec(
+                engine,
+                scheduler,
+                config=self.config,
+                notifier=notifier,
+                priority=priority,
+            )
         )
+        self.executor = self.handle.loop.executor
+        self.query_engine = self.runtime.query_engine
 
     def start(self) -> None:
-        self.loop.start()
+        self.handle.start()
 
     def stop(self) -> None:
-        self.loop.stop()
+        self.handle.stop()
+
+    @property
+    def loop(self) -> MAPEKLoop:
+        return self.handle.loop
 
     @property
     def fixes_applied(self) -> int:

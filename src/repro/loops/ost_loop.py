@@ -10,6 +10,14 @@ below ``slow_fraction`` of the fleet median is flagged.  The response
 tells every affected writer to avoid the OST; recovery (bandwidth back
 above ``recover_fraction`` of the median) clears the avoidance for new
 placements.
+
+The case runs under the :class:`~repro.core.runtime.LoopRuntime` from
+:func:`ost_case_spec`: the Monitor phase is a single declarative query
+(``last(ost_write_bw_mbps) group by (ost)``) over series published by
+the :class:`~repro.loops.bridges.FilesystemTelemetryBridge`, replacing
+the legacy direct ``fs.ost_bandwidth_mbps()`` reads
+(:class:`OstBandwidthMonitor`, kept for comparison and component
+interchange).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop
+from repro.core.runtime import LoopRuntime, LoopSpec, MonitorQuery
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -32,6 +41,7 @@ from repro.core.types import (
     Plan,
     Symptom,
 )
+from repro.loops.bridges import FilesystemTelemetryBridge
 from repro.sim.engine import Engine
 from repro.storage.client import PeriodicWriter
 from repro.storage.filesystem import ParallelFileSystem
@@ -166,8 +176,49 @@ class WriterExecutor(Executor):
         return results
 
 
+def ost_case_spec(
+    engine: Engine,
+    fs: ParallelFileSystem,
+    writers: Sequence[PeriodicWriter],
+    *,
+    config: Optional[OstCaseConfig] = None,
+    name: str = "ost-case",
+    priority: int = 0,
+) -> LoopSpec:
+    """Declarative spec for the OST case (monitor = one grouped query)."""
+    config = config if config is not None else OstCaseConfig()
+
+    def build(now: float, inputs) -> Optional[Observation]:
+        result = inputs["bw"]
+        values: Dict[str, float] = {
+            f"bw:{series.label('ost')}": float(series.values[-1])
+            for series in result.series
+            if series.values.size
+        }
+        if not values:
+            return None
+        return Observation(now, "ost-bandwidth-monitor", values=values)
+
+    return LoopSpec(
+        name=name,
+        priority=priority,
+        queries=(MonitorQuery("bw", "last(ost_write_bw_mbps) group by (ost)"),),
+        build_observation=build,
+        analyzer_factory=lambda: SlowOstAnalyzer(config),
+        planner_factory=lambda: AvoidOstPlanner(writers),
+        executor_factory=lambda: WriterExecutor(engine, writers),
+        period_s=config.loop_period_s,
+    )
+
+
 class OstCaseManager:
-    """Assembled OST autonomy loop over one filesystem and its writers."""
+    """Assembled OST autonomy loop over one filesystem and its writers.
+
+    Thin compat wrapper: builds :func:`ost_case_spec`, wires the
+    filesystem telemetry bridge, and hosts the loop on a
+    :class:`~repro.core.runtime.LoopRuntime` (private unless one is
+    passed in).
+    """
 
     def __init__(
         self,
@@ -177,24 +228,25 @@ class OstCaseManager:
         *,
         config: Optional[OstCaseConfig] = None,
         audit: Optional[AuditTrail] = None,
+        runtime: Optional[LoopRuntime] = None,
+        priority: int = 0,
     ) -> None:
         self.config = config if config is not None else OstCaseConfig()
-        self.loop = MAPEKLoop(
-            engine,
-            "ost-case",
-            monitor=OstBandwidthMonitor(fs),
-            analyzer=SlowOstAnalyzer(self.config),
-            planner=AvoidOstPlanner(writers),
-            executor=WriterExecutor(engine, writers),
-            period_s=self.config.loop_period_s,
-            audit=audit,
+        self.runtime = LoopRuntime.for_case(engine, runtime=runtime, audit=audit)
+        self.bridge = FilesystemTelemetryBridge(fs, self.runtime.store)
+        self.handle = self.runtime.add(
+            ost_case_spec(engine, fs, writers, config=self.config, priority=priority)
         )
 
     def start(self) -> None:
-        self.loop.start()
+        self.handle.start()
 
     def stop(self) -> None:
-        self.loop.stop()
+        self.handle.stop()
+
+    @property
+    def loop(self) -> MAPEKLoop:
+        return self.handle.loop
 
     @property
     def failovers(self) -> int:

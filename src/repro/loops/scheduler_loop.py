@@ -20,7 +20,7 @@ One classical MAPE-K loop per running application:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analytics.forecast import Forecaster, make_forecaster
 from repro.cluster.job import Job, JobState
@@ -32,6 +32,7 @@ from repro.core.guards import ActionBudgetGuard, ConfidenceGuard, Guard
 from repro.core.humanloop import HumanOnTheLoopNotifier
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop, PhaseLatency
+from repro.core.runtime import LoopHandle, LoopRuntime, LoopSpec, MonitorQuery
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -41,8 +42,9 @@ from repro.core.types import (
     Symptom,
 )
 from repro.analytics.similarity import JobRecord
+from repro.loops.bridges import SchedulerTelemetryBridge
 from repro.sim.engine import Engine
-from repro.telemetry.markers import ProgressMarkerChannel
+from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
 
 
 class JobProgressMonitor(Monitor):
@@ -238,8 +240,115 @@ class SchedulerCaseConfig:
     phase_latency: PhaseLatency = field(default_factory=PhaseLatency)
 
 
+def scheduler_job_spec(
+    job_id: str,
+    *,
+    config: Optional[SchedulerCaseConfig] = None,
+    knowledge: Optional[KnowledgeBase] = None,
+    executor: Optional[Executor] = None,
+    scheduler: Optional[Scheduler] = None,
+    extra_guard_factories: Sequence = (),
+    on_iteration=None,
+    start_at: Optional[float] = None,
+    priority: int = 0,
+) -> LoopSpec:
+    """Declarative per-job spec for the Scheduler case.
+
+    The Monitor phase is five grouped instant queries over the job's
+    lifecycle gauges (published by
+    :class:`~repro.loops.bridges.SchedulerTelemetryBridge`) plus a
+    cursor-tracked ``samples`` read of the mirrored progress-marker
+    series — the paper's side channel consumed through the query layer.
+    Reads are deliberately unfused: each job's loop is phase-aligned to
+    its own start time, so widened gauge passes would not be shared.
+    """
+    cfg = config if config is not None else SchedulerCaseConfig()
+    if executor is None:
+        if scheduler is None:
+            raise ValueError("pass either an executor or a scheduler to build one from")
+        executor = SchedulerExecutor(scheduler)
+
+    def _gauge(inputs, slot: str) -> Optional[float]:
+        result = inputs[slot]
+        return result.scalar() if result.series else None
+
+    def build(now: float, inputs) -> Optional[Observation]:
+        # per-monitor memory (not a spec-closure dict): the spec can be
+        # instantiated again without inheriting another instance's markers
+        state = inputs["_memory"]
+        running = _gauge(inputs, "running")
+        if running is None or running < 1.0:
+            return None
+        deadline = _gauge(inputs, "deadline")
+        limit = _gauge(inputs, "limit")
+        start = _gauge(inputs, "start")
+        if deadline is None or limit is None or start is None:
+            return None
+        times, steps = inputs["markers"]
+        new_markers = [
+            ProgressMarker(job_id, float(t), float(s)) for t, s in zip(times, steps)
+        ]
+        if times.size:
+            state["last"] = (float(times[-1]), float(steps[-1]))
+        values: Dict[str, float] = {
+            "deadline": deadline,
+            "time_limit_s": limit,
+            "start_time": start,
+        }
+        last = state.get("last")
+        if last is not None:
+            values["last_step"] = last[1]
+            values["last_marker_time"] = last[0]
+            total = _gauge(inputs, "total")
+            if total:
+                values["total_steps"] = total
+        return Observation(
+            now,
+            f"progress-monitor-{job_id}",
+            values=values,
+            context={"new_markers": new_markers, "job_id": job_id},
+        )
+
+    selector = f'{{job="{job_id}"}}'
+    return LoopSpec(
+        name=f"sched-case-{job_id}",
+        priority=priority,
+        # fuse=False: per-job loops are phased to their job's start, so
+        # widened reads would never be shared across loops within a tick
+        queries=(
+            MonitorQuery("running", f"last(job_running{selector}) group by (job)", fuse=False),
+            MonitorQuery("deadline", f"last(job_deadline_s{selector}) group by (job)", fuse=False),
+            MonitorQuery("limit", f"last(job_time_limit_s{selector}) group by (job)", fuse=False),
+            MonitorQuery("start", f"last(job_start_time_s{selector}) group by (job)", fuse=False),
+            MonitorQuery("total", f"last(job_progress_total{selector}) group by (job)", fuse=False),
+            MonitorQuery("markers", f"last(job_progress_steps{selector})", mode="samples"),
+        ),
+        build_observation=build,
+        analyzer_factory=lambda: ProgressAnalyzer(forecaster_name=cfg.forecaster_name),
+        planner_factory=lambda: ExtensionPlanner(
+            safety_margin_s=cfg.safety_margin_s,
+            act_within_s=cfg.act_within_s,
+            checkpoint_fallback=cfg.checkpoint_fallback,
+        ),
+        executor_factory=lambda: executor,
+        knowledge_factory=(lambda: knowledge) if knowledge is not None else None,
+        guard_factories=tuple(extra_guard_factories),
+        period_s=cfg.loop_period_s,
+        phase_latency=cfg.phase_latency,
+        start_at=start_at,
+        on_iteration=on_iteration,
+    )
+
+
 class SchedulerCaseManager:
-    """Spawns one classical loop per running job; assesses at job end."""
+    """Spawns one loop per running job on the runtime; assesses at job end.
+
+    Thin compat wrapper: each job start registers a
+    :func:`scheduler_job_spec` with the hosted
+    :class:`~repro.core.runtime.LoopRuntime`; job end removes it and
+    scores its plans.  The marker channel is mirrored into the runtime's
+    store so the monitors consume markers through the query layer.
+    """
 
     def __init__(
         self,
@@ -252,6 +361,8 @@ class SchedulerCaseManager:
         shared_knowledge: Optional[KnowledgeBase] = None,
         executor_factory=None,
         notifier: Optional[HumanOnTheLoopNotifier] = None,
+        runtime: Optional[LoopRuntime] = None,
+        priority: int = 0,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler
@@ -261,7 +372,22 @@ class SchedulerCaseManager:
         self.shared = shared_knowledge if shared_knowledge is not None else KnowledgeBase()
         self.executor_factory = executor_factory
         self.notifier = notifier
+        self.priority = priority
+        self.runtime = LoopRuntime.for_case(
+            engine, runtime=runtime, store=channel.mirror_store, audit=audit
+        )
+        if channel.mirror_store is None:
+            channel.attach_mirror(self.runtime.store)
+        elif channel.mirror_store is not self.runtime.store:
+            # monitors read markers from the runtime's store; a foreign
+            # mirror would leave them silently blind
+            raise ValueError(
+                "marker channel mirrors into a different store than the "
+                "shared runtime queries"
+            )
+        self.bridge = SchedulerTelemetryBridge(scheduler, self.runtime.store)
         self.loops: Dict[str, MAPEKLoop] = {}
+        self._handles: Dict[str, LoopHandle] = {}
         self.assessments: List[float] = []
         scheduler.on_job_start.append(self._job_started)
         scheduler.on_job_end.append(self._job_ended)
@@ -278,8 +404,8 @@ class SchedulerCaseManager:
         )
         if prior is not None:
             knowledge.remember("runtime_prior", prior[0])
-        guards: List[Guard] = [
-            ActionBudgetGuard(
+        guard_factories = [
+            lambda: ActionBudgetGuard(
                 kinds={"request_extension"},
                 max_actions_per_target=cfg.budget_max_extensions,
                 max_amount_per_target=cfg.budget_max_total_s,
@@ -287,7 +413,7 @@ class SchedulerCaseManager:
             )
         ]
         if cfg.min_confidence > 0:
-            guards.append(ConfidenceGuard(cfg.min_confidence))
+            guard_factories.append(lambda: ConfidenceGuard(cfg.min_confidence))
         executor = (
             self.executor_factory(self.scheduler)
             if self.executor_factory is not None
@@ -307,32 +433,26 @@ class SchedulerCaseManager:
                         honored=any(r.honored for r in iteration.results),
                     )
 
-        loop = MAPEKLoop(
-            self.engine,
-            f"sched-case-{job.job_id}",
-            monitor=JobProgressMonitor(self.channel, self.scheduler, job.job_id),
-            analyzer=ProgressAnalyzer(forecaster_name=cfg.forecaster_name),
-            planner=ExtensionPlanner(
-                safety_margin_s=cfg.safety_margin_s,
-                act_within_s=cfg.act_within_s,
-                checkpoint_fallback=cfg.checkpoint_fallback,
-            ),
-            executor=executor,
+        spec = scheduler_job_spec(
+            job.job_id,
+            config=cfg,
             knowledge=knowledge,
-            guards=guards,
-            period_s=cfg.loop_period_s,
-            phase_latency=cfg.phase_latency,
-            audit=self.audit,
+            executor=executor,
+            extra_guard_factories=guard_factories,
             on_iteration=on_iteration,
+            start_at=self.engine.now + cfg.loop_period_s,
+            priority=self.priority,
         )
-        self.loops[job.job_id] = loop
-        loop.start(start_at=self.engine.now + cfg.loop_period_s)
+        handle = self.runtime.add(spec, start=True)
+        self._handles[job.job_id] = handle
+        self.loops[job.job_id] = handle.loop
 
     def _job_ended(self, job: Job) -> None:
+        handle = self._handles.pop(job.job_id, None)
         loop = self.loops.pop(job.job_id, None)
-        if loop is None:
+        if handle is None or loop is None:
             return
-        loop.stop()
+        self.runtime.remove(handle.spec.name)
         self._assess(job, loop.knowledge)
         self.shared.run_history.add(
             JobRecord(

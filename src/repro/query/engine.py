@@ -115,9 +115,14 @@ class QueryEngine:
         self.cache = cache if cache is not None else (QueryCache() if enable_cache else None)
         self.instant_quantum_s = float(instant_quantum_s)
         self.queries_total = 0
+        self.samples_total = 0
         self.served_raw = 0
         self.served_rollup = 0
         self._parse_cache: Dict[str, MetricQuery] = {}
+        #: matcher resolution memo keyed by the store's per-metric series
+        #: generation — repeated loop queries skip re-matching every key
+        self._select_cache: Dict[MetricQuery, Tuple[int, List[SeriesKey]]] = {}
+        self._expr_cache: Dict[MetricQuery, str] = {}
 
     # -------------------------------------------------------------- public
     def parse(self, expr: str) -> MetricQuery:
@@ -126,12 +131,27 @@ class QueryEngine:
             q = self._parse_cache[expr] = parse_query(expr)
         return q
 
-    def query(self, q: Union[str, MetricQuery], *, at: float) -> QueryResult:
-        """Evaluate ``q`` with its window ending at time ``at``."""
+    def query(
+        self,
+        q: Union[str, MetricQuery],
+        *,
+        at: float,
+        fuse: Optional[bool] = None,
+    ) -> QueryResult:
+        """Evaluate ``q`` with its window ending at time ``at``.
+
+        ``fuse`` is accepted for interface parity with
+        :class:`repro.core.runtime.QueryHub` (monitors can be wired to
+        either) and ignored here — the bare engine never widens.
+        """
         if isinstance(q, str):
             q = self.parse(q)
         self.queries_total += 1
-        expr = q.to_expr()
+        expr = self._expr_cache.get(q)
+        if expr is None:
+            if len(self._expr_cache) > 4096:
+                self._expr_cache.clear()
+            expr = self._expr_cache[q] = q.to_expr()
         quantum = q.step_s if q.step_s is not None else self.instant_quantum_s
         cache_key = None
         if self.cache is not None:
@@ -155,9 +175,66 @@ class QueryEngine:
         """Convenience: single-series instant value, ``None`` when no data."""
         return self.query(q, at=at).scalar()
 
+    def samples(
+        self,
+        q: Union[str, MetricQuery],
+        *,
+        at: float,
+        since: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw sample extraction through the serving layer (no binning).
+
+        Returns the pooled, time-sorted ``(times, values)`` of every
+        sample of the matched series with ``since < t <= at`` (``since``
+        exclusive — cursor semantics for marker-style event streams;
+        ``None`` means full retention).  The query's aggregator is
+        ignored; its metric, matchers, and ``range_s`` define selection
+        and the window floor.  This is how loops consume point streams
+        (progress markers, transfer logs) via label selection instead of
+        reaching into producer objects.
+        """
+        if isinstance(q, str):
+            q = self.parse(q)
+        self.samples_total += 1
+        keys = self.select(q)
+        t1 = float(at)
+        t0 = t1 - q.range_s if q.range_s is not None else self._earliest(keys, t1)
+        if since is not None:
+            t0 = max(t0, since)
+        all_t, all_v = [], []
+        for key in keys:
+            times, values = self.store.query(key, t0, t1)
+            if since is not None and times.size and times[0] <= since:
+                keep = times > since
+                times, values = times[keep], values[keep]
+            if times.size:
+                all_t.append(times)
+                all_v.append(values)
+        if not all_t:
+            return np.empty(0), np.empty(0)
+        times = np.concatenate(all_t)
+        values = np.concatenate(all_v)
+        if len(all_t) > 1:
+            order = np.argsort(times, kind="stable")
+            times, values = times[order], values[order]
+        return times, values
+
     def select(self, q: MetricQuery) -> List[SeriesKey]:
-        """Series keys matching the query's metric + label matchers."""
-        return [k for k in self.store.series_keys(q.metric) if q.matches(k)]
+        """Series keys matching the query's metric + label matchers.
+
+        Memoized against the store's per-metric series generation: the
+        resolution is recomputed only when a new series of the metric
+        appears, not on every evaluation.
+        """
+        gen = self.store.series_generation(q.metric)
+        hit = self._select_cache.get(q)
+        if hit is not None and hit[0] == gen:
+            return hit[1]
+        keys = [k for k in self.store.series_keys(q.metric) if q.matches(k)]
+        if len(self._select_cache) > 4096:  # unbounded query shapes: reset
+            self._select_cache.clear()
+        self._select_cache[q] = (gen, keys)
+        return keys
 
     def stats(self) -> Dict[str, float]:
         out = {
@@ -357,6 +434,10 @@ class QueryEngine:
                 all_v.append(values)
         if not all_t:
             return np.empty(0), np.empty(0)
+        if q.agg == "last" and len(all_t) == 1:
+            # single-series gauge read — the hottest loop-monitor shape;
+            # per-series windows are time-sorted, so skip the bin kernel
+            return np.array([t0]), np.array([all_v[0][-1]])
         times = np.concatenate(all_t)
         values = np.concatenate(all_v)
         _, vals = grouped_aggregate(

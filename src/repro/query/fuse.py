@@ -1,0 +1,64 @@
+"""Query fusion: serve many narrow selections from one wide execution.
+
+A fleet of autonomy loops typically issues *structurally identical*
+queries that differ only in their label selection — one misconfig loop
+per partition asking ``mean(node_cpu_util{node=~"<partition>"}[600s])
+group by (node)``, one scheduler loop per job asking
+``last(job_deadline_s{job="<id>"}) group by (job)``.  Executed
+individually, each query pays a full series-resolution pass plus its own
+window scan: N loops → N store passes per tick.
+
+Fusion rewrites such a query to its **widened** form — same metric,
+aggregator, range, step, and grouping, but *no matchers* — executes that
+once (the engine's cache makes every subsequent compatible query in the
+same tick a pure hit), and answers each narrow query by filtering the
+widened result's output series against the original matchers.
+
+This is exact, not approximate, under one condition: every matcher's
+label must appear in the query's ``group_by``.  Then each output series
+carries concrete values for all matched labels, selection commutes with
+aggregation (no cross-series pooling ever mixes different values of a
+matched label), and filtering output series is equivalent to filtering
+input series.  Queries that do not satisfy the condition are left alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.query.engine import QueryResult
+from repro.query.model import MetricQuery
+
+__all__ = ["fusable", "widen", "narrow_result"]
+
+
+def fusable(q: MetricQuery) -> bool:
+    """Whether ``q`` can be served exactly from its widened form.
+
+    Requires at least one matcher (else the query is already wide) and
+    every matched label present in ``group_by`` (else aggregation pools
+    across values of a matched label and post-filtering would be wrong).
+    """
+    if not q.matchers:
+        return False
+    group = set(q.group_by)
+    return all(m.name in group for m in q.matchers)
+
+
+def widen(q: MetricQuery) -> MetricQuery:
+    """The matcher-free superquery whose result contains ``q``'s answer."""
+    return dataclasses.replace(q, matchers=())
+
+
+def narrow_result(q: MetricQuery, wide: QueryResult) -> QueryResult:
+    """Select ``q``'s answer out of the widened result.
+
+    Output series whose group labels satisfy every matcher are kept
+    verbatim (same frozen arrays — no copy); the rest are dropped.
+    """
+    kept = []
+    for series in wide.series:
+        labels = dict(series.labels)
+        if all(m.matches(labels.get(m.name)) for m in q.matchers):
+            kept.append(series)
+    return QueryResult(q, wide.t0, wide.t1, tuple(kept), source=f"fused+{wide.source}")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analytics.streaming import Ewma
 from repro.sim.engine import Engine
@@ -49,6 +49,8 @@ class Transfer:
     t_start: float
     t_end: float
     physical_rate_mbps: float
+    #: OSTs that physically served this write (stripes at start time)
+    ost_ids: Tuple[str, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -79,6 +81,9 @@ class ParallelFileSystem:
         self.qos = qos if qos is not None else QoSManager()
         self.files: Dict[str, StripedFile] = {}
         self.transfers: List[Transfer] = []
+        #: hooks invoked with every completed Transfer — how telemetry
+        #: bridges publish I/O observables without polling writer objects
+        self.on_transfer: List[Callable[[Transfer], None]] = []
         self._transfer_ids = itertools.count()
         self._placement_cursor = 0
         self._ost_bw_ewma: Dict[str, Ewma] = {
@@ -218,7 +223,9 @@ class ParallelFileSystem:
         on_done: Optional[Callable[[Transfer], None]],
     ) -> None:
         now = self.engine.now
-        transfer = Transfer(tid, client, f.name, size_mb, t_start, now, physical_rate)
+        transfer = Transfer(
+            tid, client, f.name, size_mb, t_start, now, physical_rate, tuple(shares)
+        )
         self.transfers.append(transfer)
         self.bytes_written_mb += size_mb
         stripe_size = size_mb / len(shares)
@@ -232,6 +239,8 @@ class ParallelFileSystem:
                 continue
             ost.bytes_written_mb += stripe_size
             self._ost_bw_ewma[ost_id].update(share)
+        for hook in self.on_transfer:
+            hook(transfer)
         if on_done is not None:
             on_done(transfer)
 

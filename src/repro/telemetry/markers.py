@@ -44,6 +44,20 @@ class ProgressMarkerChannel:
         self._mirror = mirror_store
         self.total_emitted = 0
 
+    @property
+    def mirror_store(self) -> Optional[TimeSeriesStore]:
+        return self._mirror
+
+    def attach_mirror(self, store: TimeSeriesStore) -> None:
+        """Mirror future markers into ``store`` (query-backed monitors).
+
+        Only markers emitted from now on are mirrored; attach before the
+        first job starts for a complete telemetry view.
+        """
+        if self._mirror is not None and self._mirror is not store:
+            raise ValueError("channel already mirrors into a different store")
+        self._mirror = store
+
     def emit(self, marker: ProgressMarker) -> None:
         stream = self._markers.setdefault(marker.job_id, [])
         if stream and marker.time < stream[-1].time:
@@ -57,6 +71,24 @@ class ProgressMarkerChannel:
             self._mirror.insert(
                 SeriesKey.of("job_progress_steps", job=marker.job_id), marker.time, marker.step
             )
+            # Mirror the total on change only (one row per transition, not
+            # per marker).  Truthiness mirrors the monitor contract — a
+            # 0/None total means "totals unavailable, use priors" — and a
+            # producer that STOPS reporting totals must be visible, so the
+            # unavailable state is written as 0.0 rather than skipped.
+            total = float(marker.total_steps) if marker.total_steps else 0.0
+            prev = stream[-2] if len(stream) > 1 else None
+            prev_total = (
+                (float(prev.total_steps) if prev.total_steps else 0.0)
+                if prev is not None
+                else None
+            )
+            if total != prev_total:
+                self._mirror.insert(
+                    SeriesKey.of("job_progress_total", job=marker.job_id),
+                    marker.time,
+                    total,
+                )
 
     def read_all(self, job_id: str) -> List[ProgressMarker]:
         return list(self._markers.get(job_id, ()))

@@ -304,6 +304,12 @@ class TimeSeriesStore:
         self._id_buffers: Dict[int, Tuple[RingBuffer, str]] = {}
         self._capacity_overrides: Dict[str, int] = {}
         self._metric_epoch: Dict[str, int] = {}
+        #: per-metric sorted-key index + generation counter: loop-style
+        #: readers issue the same selection every tick, so key listing
+        #: and matcher evaluation must not rescan the whole series map
+        self._metric_keys: Dict[str, List[SeriesKey]] = {}
+        self._metric_keys_dirty: set = set()
+        self._metric_gen: Dict[str, int] = {}
         self._listeners: List[IngestListener] = []
         self.total_inserts = 0
 
@@ -333,6 +339,10 @@ class TimeSeriesStore:
             cap = self._capacity_overrides.get(key.metric, self.default_capacity)
             buf = RingBuffer(cap)
             self._series[key] = buf
+            metric = key.metric
+            self._metric_keys.setdefault(metric, []).append(key)
+            self._metric_keys_dirty.add(metric)
+            self._metric_gen[metric] = self._metric_gen.get(metric, 0) + 1
         return buf
 
     def _buffer_for_id(self, sid: int) -> Tuple[RingBuffer, str]:
@@ -428,8 +438,24 @@ class TimeSeriesStore:
         return buf is not None and len(buf) > 0
 
     def series_keys(self, metric: Optional[str] = None) -> list[SeriesKey]:
-        keys = (k for k in self._series if metric is None or k.metric == metric)
-        return sorted(keys, key=str)
+        if metric is None:
+            return sorted(self._series, key=str)
+        keys = self._metric_keys.get(metric)
+        if keys is None:
+            return []
+        if metric in self._metric_keys_dirty:
+            keys.sort(key=str)
+            self._metric_keys_dirty.discard(metric)
+        return list(keys)
+
+    def series_generation(self, metric: str) -> int:
+        """Monotone counter bumped when a new series of ``metric`` appears.
+
+        Readers that resolve label matchers to concrete keys can cache
+        the resolution against this generation — selection only changes
+        when the key set does, not on every write.
+        """
+        return self._metric_gen.get(metric, 0)
 
     def cardinality(self) -> int:
         """Number of distinct live series (the Section IV design concern)."""

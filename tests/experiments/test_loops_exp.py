@@ -1,0 +1,60 @@
+"""E15 loop-fleet scenario functions and the E1 in-situ watch path."""
+
+from repro.experiments.loops_exp import (
+    run_loop_fleet_benchmark,
+    run_runtime_overhead,
+    watch_fleet_specs,
+)
+from repro.experiments.pipeline_exp import run_pipeline_scenario
+
+
+class TestWatchFleetSpecs:
+    def test_partitions_cover_all_nodes_once(self):
+        nodes = [f"n{i:04d}" for i in range(10)]
+        specs = watch_fleet_specs("m", nodes, 4)
+        assert len(specs) == 4
+        assert len({s.name for s in specs}) == 4
+        exprs = [s.queries[0].query for s in specs]
+        for node in nodes:
+            assert sum(node in str(e) for e in exprs) == 1
+
+    def test_regex_metacharacters_in_node_ids_escaped(self):
+        specs = watch_fleet_specs("m", ["rack[2]n3", "node+1"], 1)
+        # must parse as a valid query despite the metacharacters
+        assert "rack" in str(specs[0].queries[0].query)
+
+    def test_more_loops_than_nodes(self):
+        specs = watch_fleet_specs("m", ["a", "b"], 5)
+        assert len(specs) == 2  # empty partitions dropped
+
+    def test_cluster_query_slot_optional(self):
+        bare = watch_fleet_specs("m", ["a"], 1)
+        withc = watch_fleet_specs("m", ["a"], 1, cluster_query=True)
+        assert len(bare[0].queries) == 1
+        assert len(withc[0].queries) == 2
+
+
+class TestFleetBenchmarkShape:
+    def test_fused_matches_adhoc_and_executes_fewer_queries(self):
+        row = run_loop_fleet_benchmark(seed=0, n_loops=8, nodes_per_loop=2, ticks=3)
+        assert row["match"] == 1.0
+        assert row["fused_queries"] < row["adhoc_queries"]
+        assert row["iterations"] == 8 * 3
+
+    def test_runtime_overhead_parity(self):
+        row = run_runtime_overhead(seed=0, n_loops=3, ticks=20)
+        assert row["iterations_match"] == 1.0
+        assert row["hosted_wall_s"] > 0.0 and row["legacy_wall_s"] > 0.0
+
+
+class TestPipelineWatchLoops:
+    def test_in_situ_fleet_reports_and_keeps_ingest_metrics_clean(self):
+        base = run_pipeline_scenario(seed=0, n_nodes=16, horizon_s=900.0)
+        watched = run_pipeline_scenario(seed=0, n_nodes=16, horizon_s=900.0, watch_loops=4)
+        assert watched["watch_loops"] == 4.0
+        assert watched["watch_iterations"] > 0.0
+        assert watched["watch_queries_executed"] > 0.0
+        # self-telemetry is disabled for the fleet: the E1 ingest metrics
+        # still measure the pipeline, not the loops
+        assert watched["samples_ingested"] == base["samples_ingested"]
+        assert watched["series"] == base["series"]

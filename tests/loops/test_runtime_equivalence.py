@@ -1,0 +1,365 @@
+"""Equivalence: runtime-hosted loops vs legacy hand-wired managers.
+
+Each of the five cases is run twice on identically seeded scenarios:
+
+* **legacy** — the pre-runtime wiring: a bare ``MAPEKLoop`` assembled
+  from the case's components, with the original direct-read monitors
+  (``OstBandwidthMonitor``, ``MaintenanceMonitor``,
+  ``JobProgressMonitor``) or a private uncached query engine.
+* **runtime** — the shipped ``*CaseManager`` wrappers: declarative
+  specs, telemetry bridges, fused query hub, arbiter, self-telemetry.
+
+The rewire contract is *exact behavioral parity*: identical iteration
+counts and identical executed-action sequences (time, kind, target,
+params, honored).
+"""
+
+import pytest
+
+from repro.cluster.application import ApplicationProfile, LaunchConfig
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.job import Job
+from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler
+from repro.core.guards import ActionBudgetGuard
+from repro.core.knowledge import KnowledgeBase
+from repro.core.loop import MAPEKLoop
+from repro.loops.io_qos_loop import (
+    AimdQosPlanner,
+    IoLoadMonitor,
+    IoQosCaseManager,
+    IoQosConfig,
+    QosAnalyzer,
+    QosExecutor,
+)
+from repro.loops.maintenance_loop import (
+    CheckpointExecutor,
+    MaintenanceAnalyzer,
+    MaintenanceCaseManager,
+    MaintenanceMonitor,
+    MaintenancePlanner,
+)
+from repro.loops.misconfig_loop import (
+    FixOrNotifyExecutor,
+    InformOrFixPlanner,
+    JobConfigMonitor,
+    MisconfigCaseConfig,
+    MisconfigCaseManager,
+    MisconfigLoopAnalyzer,
+)
+from repro.loops.ost_loop import (
+    AvoidOstPlanner,
+    OstBandwidthMonitor,
+    OstCaseConfig,
+    OstCaseManager,
+    SlowOstAnalyzer,
+    WriterExecutor,
+)
+from repro.loops.scheduler_loop import (
+    ExtensionPlanner,
+    JobProgressMonitor,
+    ProgressAnalyzer,
+    SchedulerCaseConfig,
+    SchedulerCaseManager,
+    SchedulerExecutor,
+)
+from repro.query.engine import QueryEngine
+from repro.sim import Engine
+from repro.storage.client import PeriodicWriter
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.ost import OST, OstState
+from repro.telemetry.markers import ProgressMarkerChannel
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def trace(loop: MAPEKLoop):
+    """The comparable behavior of a loop: every executed action."""
+    out = []
+    for it in loop.iterations:
+        for r in it.results:
+            out.append(
+                (
+                    round(it.t_execute, 9),
+                    r.action.kind,
+                    r.action.target,
+                    tuple(sorted((k, round(v, 9)) for k, v in r.action.params.items())),
+                    r.honored,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# OST case
+
+
+def _ost_world(wired: str):
+    engine = Engine()
+    osts = [OST(f"ost{i}", 1000.0) for i in range(6)]
+    fs = ParallelFileSystem(engine, osts)
+    writer = PeriodicWriter(engine, fs, "app", size_mb=500.0, period_s=30.0, stripe_count=2)
+    writer.start()
+    config = OstCaseConfig(loop_period_s=60.0, slow_fraction=0.5)
+    if wired == "legacy":
+        loop = MAPEKLoop(
+            engine,
+            "ost-case",
+            monitor=OstBandwidthMonitor(fs),
+            analyzer=SlowOstAnalyzer(config),
+            planner=AvoidOstPlanner([writer]),
+            executor=WriterExecutor(engine, [writer]),
+            period_s=config.loop_period_s,
+        )
+        loop.start()
+    else:
+        case = OstCaseManager(engine, fs, [writer], config=config)
+        case.start()
+        loop = case.loop
+    engine.schedule_at(500.0, lambda: fs.set_ost_state(writer.file.stripe_osts[0], OstState.DEGRADED, 0.05))
+    engine.run(until=3000.0)
+    return loop
+
+
+def test_ost_case_equivalent_under_runtime():
+    legacy = _ost_world("legacy")
+    hosted = _ost_world("runtime")
+    assert legacy.iterations_run == hosted.iterations_run
+    assert trace(legacy) == trace(hosted)
+    assert trace(hosted)  # scenario actually produced failovers
+
+
+# ---------------------------------------------------------------------------
+# Maintenance case
+
+
+def _maintenance_world(wired: str):
+    engine = Engine()
+    store = CheckpointStore()
+    nodes = [Node(f"n{i}", NodeSpec()) for i in range(2)]
+    sched = Scheduler(engine, nodes, checkpoint_store=store)
+    maint = MaintenanceManager(engine, sched)
+    if wired == "legacy":
+        loop = MAPEKLoop(
+            engine,
+            "maintenance-case",
+            monitor=MaintenanceMonitor(sched, maint),
+            analyzer=MaintenanceAnalyzer(sched),
+            planner=MaintenancePlanner(sched, lead_factor=3.0),
+            executor=CheckpointExecutor(sched),
+            period_s=60.0,
+        )
+        loop.start()
+    else:
+        case = MaintenanceCaseManager(engine, sched, maint, period_s=60.0)
+        case.start()
+        loop = case.loop
+    profile = ApplicationProfile(
+        "app", 10000.0, 1.0, marker_period_s=60.0, checkpoint_cost_s=60.0
+    )
+    sched.submit(Job("j1", "u", profile, walltime_request_s=12000.0))
+    maint.schedule_event(
+        MaintenanceEvent(
+            frozenset({"n0", "n1"}), t_start=3000.0, duration_s=600.0, announce_lead_s=1800.0
+        )
+    )
+    engine.run(until=5000.0)
+    return loop
+
+
+def test_maintenance_case_equivalent_under_runtime():
+    legacy = _maintenance_world("legacy")
+    hosted = _maintenance_world("runtime")
+    assert legacy.iterations_run == hosted.iterations_run
+    assert trace(legacy) == trace(hosted)
+    assert trace(hosted)  # checkpoint actually triggered
+
+
+# ---------------------------------------------------------------------------
+# I/O-QoS case
+
+
+def _ioqos_world(wired: str):
+    engine = Engine()
+    osts = [OST(f"ost{i}", 500.0) for i in range(4)]
+    fs = ParallelFileSystem(engine, osts)
+    workflow = PeriodicWriter(engine, fs, "workflow", size_mb=1000.0, period_s=30.0, stripe_count=2)
+    bg1 = PeriodicWriter(engine, fs, "bg1", size_mb=20000.0, period_s=20.0, stripe_count=4)
+    bg2 = PeriodicWriter(engine, fs, "bg2", size_mb=20000.0, period_s=20.0, stripe_count=4)
+    writers = [workflow, bg1, bg2]
+    workflow.start(start_at=5.0)
+    bg1.start()
+    bg2.start()
+    config = IoQosConfig(latency_target_s=2.0, loop_period_s=60.0)
+    if wired == "legacy":
+        background = [w.client_id for w in writers if w.client_id != config.deadline_tenant]
+        loop = MAPEKLoop(
+            engine,
+            "io-qos-case",
+            monitor=IoLoadMonitor(fs, writers, config),  # private uncached engine
+            analyzer=QosAnalyzer(config),
+            planner=AimdQosPlanner(config, background),
+            executor=QosExecutor(fs),
+            knowledge=KnowledgeBase(),
+            period_s=config.loop_period_s,
+        )
+        loop.start()
+    else:
+        case = IoQosCaseManager(engine, fs, writers, config=config)
+        case.start()
+        loop = case.loop
+    engine.run(until=3000.0)
+    return loop
+
+
+def test_ioqos_case_equivalent_under_runtime():
+    legacy = _ioqos_world("legacy")
+    hosted = _ioqos_world("runtime")
+    assert legacy.iterations_run == hosted.iterations_run
+    assert trace(legacy) == trace(hosted)
+    assert trace(hosted)  # AIMD throttling actually happened
+
+
+# ---------------------------------------------------------------------------
+# Misconfiguration case
+
+
+def _misconfig_world(wired: str):
+    engine = Engine()
+    store = TimeSeriesStore()
+    sched = Scheduler(engine, [Node("n0", NodeSpec(cores=32))])
+    config = MisconfigCaseConfig(loop_period_s=120.0, min_runtime_s=200.0, observation_window_s=300.0)
+    if wired == "legacy":
+        loop = MAPEKLoop(
+            engine,
+            "misconfig-case",
+            monitor=JobConfigMonitor(
+                sched, store, config, query_engine=QueryEngine(store, enable_cache=False)
+            ),
+            analyzer=MisconfigLoopAnalyzer(),
+            planner=InformOrFixPlanner(config),
+            executor=FixOrNotifyExecutor(engine, sched),
+            period_s=config.loop_period_s,
+        )
+        loop.start()
+    else:
+        case = MisconfigCaseManager(engine, sched, store, config=config)
+        case.start()
+        loop = case.loop
+    profile = ApplicationProfile("app", 20000.0, 1.0, marker_period_s=60.0)
+    job = Job("j1", "u", profile, walltime_request_s=30000.0, launch=LaunchConfig(threads=4))
+    sched.submit(job)
+
+    def sample():
+        app = sched.app("j1")
+        util = 0.0
+        if app is not None and app.running:
+            util = min(1.0, app.current_rate() / profile.base_step_rate)
+        store.insert(SeriesKey.of("node_cpu_util", node="n0"), engine.now, util)
+
+    engine.every(30.0, sample)
+    engine.run(until=2000.0)
+    return loop
+
+
+def test_misconfig_case_equivalent_under_runtime():
+    legacy = _misconfig_world("legacy")
+    hosted = _misconfig_world("runtime")
+    assert legacy.iterations_run == hosted.iterations_run
+    assert trace(legacy) == trace(hosted)
+    assert any(kind == "fix_threads" for _, kind, _, _, _ in trace(hosted))
+
+
+# ---------------------------------------------------------------------------
+# Scheduler case (per-job loops, marker side channel through telemetry)
+
+
+def _scheduler_world(wired: str):
+    engine = Engine()
+    channel = ProgressMarkerChannel()
+    sched = Scheduler(engine, [Node("n0", NodeSpec()), Node("n1", NodeSpec())], marker_channel=channel)
+    config = SchedulerCaseConfig(loop_period_s=60.0)
+    loops = {}
+    if wired == "legacy":
+
+        def job_started(job):
+            knowledge = KnowledgeBase()
+            knowledge.remember("job_id", job.job_id)
+            knowledge.remember("supports_checkpoint", job.profile.supports_checkpoint)
+            loop = MAPEKLoop(
+                engine,
+                f"sched-case-{job.job_id}",
+                monitor=JobProgressMonitor(channel, sched, job.job_id),
+                analyzer=ProgressAnalyzer(forecaster_name=config.forecaster_name),
+                planner=ExtensionPlanner(
+                    safety_margin_s=config.safety_margin_s,
+                    act_within_s=config.act_within_s,
+                    checkpoint_fallback=config.checkpoint_fallback,
+                ),
+                executor=SchedulerExecutor(sched),
+                knowledge=knowledge,
+                guards=[
+                    ActionBudgetGuard(
+                        kinds={"request_extension"},
+                        max_actions_per_target=config.budget_max_extensions,
+                        max_amount_per_target=config.budget_max_total_s,
+                        amount_param="extra_s",
+                    )
+                ],
+                period_s=config.loop_period_s,
+            )
+            loops[job.job_id] = loop
+            loop.start(start_at=engine.now + config.loop_period_s)
+
+        def job_ended(job):
+            loop = loops.get(job.job_id)
+            if loop is not None:
+                loop.stop()
+
+        sched.on_job_start.append(job_started)
+        sched.on_job_end.append(job_ended)
+    else:
+        manager = SchedulerCaseManager(engine, sched, channel, config=config)
+        loops = manager.loops  # live dict; entries removed at job end
+
+    profile = ApplicationProfile("app", 2000.0, 1.0, marker_period_s=30.0)
+    job = Job("j1", "alice", profile, walltime_request_s=1500.0)
+    sched.submit(job)
+    # snapshot the per-job loop as soon as it exists
+    snapshot = {}
+
+    def grab():
+        if "j1" in loops and "j1" not in snapshot:
+            snapshot["j1"] = loops["j1"]
+
+    engine.every(10.0, grab)
+    engine.run(until=5000.0)
+    return snapshot["j1"], job
+
+
+def test_scheduler_case_equivalent_under_runtime():
+    legacy_loop, legacy_job = _scheduler_world("legacy")
+    hosted_loop, hosted_job = _scheduler_world("runtime")
+    assert legacy_loop.iterations_run == hosted_loop.iterations_run
+    assert trace(legacy_loop) == trace(hosted_loop)
+    assert any(kind == "request_extension" for _, kind, _, _, _ in trace(hosted_loop))
+    # end state identical: rescued in both worlds with the same deadline
+    assert legacy_job.state is hosted_job.state
+    assert legacy_job.time_limit_s == pytest.approx(hosted_job.time_limit_s)
+    assert legacy_job.end_time == pytest.approx(hosted_job.end_time)
+
+
+def test_scheduler_monitor_observations_match_legacy():
+    """Field-level check: query-backed observation == direct-read observation."""
+    legacy_loop, _ = _scheduler_world("legacy")
+    hosted_loop, _ = _scheduler_world("runtime")
+    legacy_obs = [it.observation for it in legacy_loop.iterations if it.observation]
+    hosted_obs = [it.observation for it in hosted_loop.iterations if it.observation]
+    assert len(legacy_obs) == len(hosted_obs)
+    for lo, ho in zip(legacy_obs, hosted_obs):
+        assert lo.time == ho.time
+        assert dict(lo.values) == pytest.approx(dict(ho.values))
+        l_markers = [(m.time, m.step) for m in lo.context["new_markers"]]
+        h_markers = [(m.time, m.step) for m in ho.context["new_markers"]]
+        assert l_markers == h_markers

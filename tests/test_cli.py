@@ -25,7 +25,28 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 15)]
+    assert ids == [f"E{i}" for i in range(1, 16)]
+
+
+def test_loops_command(capsys):
+    assert main(["loops", "--loops", "4", "--nodes", "8", "--horizon", "900"]) == 0
+    out = capsys.readouterr().out
+    assert "watch-0000" in out
+    assert "fused reads" in out
+    assert "loop_iteration_ms" in out
+
+
+def test_bench_loops_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_loops.json"
+    assert main(["bench-loops", "--loops", "8", "--ticks", "2", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "monitor speedup" in out
+    assert "hosting overhead" in out
+    import json
+
+    data = json.loads(out_path.read_text())
+    assert data["fleet"]["match"] == 1.0
+    assert data["overhead"]["iterations_match"] == 1.0
 
 
 def test_bench_ingest_command(tmp_path, capsys):
