@@ -1,0 +1,42 @@
+"""E16 — sharded store + federated scatter-gather queries (§IV).
+
+Section IV's storage concerns — insert rate and query cost at high
+cardinality — stop scaling on one in-process store.  This benchmark
+partitions 4096 series across 8 shards and checks both directions of
+the facade on identical data:
+
+* federated ``group_by`` queries ≥3× the unsharded engine's throughput,
+  bit-identical to the single-store oracle (the same scatter-gather
+  engine over one shard) and 1e-9-tight against the legacy engine;
+* sharded ingest ≥1× (no regression) vs ``append_batch`` on one store,
+  with bit-identical resulting stores.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.shard_exp import (
+    run_federated_query_benchmark,
+    run_sharded_ingest_benchmark,
+)
+
+
+def test_federated_groupby_3x_at_4096_series(benchmark):
+    row = run_once(benchmark, run_federated_query_benchmark, seed=0)
+    print()
+    print(render_table([row], title="E16 — federated vs unsharded group_by queries (4096 series, 8 shards)"))
+    assert row["n_series"] == 4096
+    assert row["n_shards"] == 8
+    assert row["result_series"] == 4096  # one output series per node
+    assert row["bit_identical"] == 1.0  # vs the single-store oracle
+    assert row["match"] == 1.0  # vs the legacy per-group engine
+    assert row["query_speedup"] >= 3.0
+
+
+def test_sharded_ingest_no_regression(benchmark):
+    row = run_once(benchmark, run_sharded_ingest_benchmark, seed=0)
+    print()
+    print(render_table([row], title="E16 — sharded vs single-store columnar ingest (4096 series, 8 shards)"))
+    assert row["match"] == 1.0  # stores came out bit-identical
+    assert row["shard_balance"] >= 0.5  # hash routing spreads the keys
+    assert row["ingest_speedup"] >= 1.0

@@ -7,7 +7,10 @@
 * ``list`` — enumerate experiments with their paper anchors.
 * ``query "<expr>"`` — run a short simulated shift and evaluate a metric
   query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
-  the vectorized query engine with tiered rollups.
+  the vectorized query engine with tiered rollups.  ``--shards N``
+  partitions the telemetry store and serves the query through the
+  federated scatter-gather engine; ``--stats`` prints cache and
+  federation counters.
 * ``loops`` — run a watch-loop fleet on the unified runtime over a
   simulated shift and print per-loop stats, fused-query serving
   counters, and the loops' own self-telemetry queried back out.
@@ -16,6 +19,10 @@
 * ``bench-loops`` — run the E15 loop-fleet benchmark (fused monitoring
   vs per-loop ad-hoc scans + runtime hosting overhead), optionally
   writing a JSON artifact.
+* ``bench-shard`` — run the E16 sharded-store benchmark (federated
+  scatter-gather queries + routed ingest vs one store), optionally
+  writing a JSON artifact; ``--smoke`` runs a small exactness-only
+  configuration for CI.
 * ``version`` — print the package version.
 """
 
@@ -41,6 +48,7 @@ EXPERIMENT_INDEX = [
     ("E13", "§IV", "query engine: tiered rollups + cache vs raw scans"),
     ("E14", "§IV", "columnar ingest pipeline vs per-object seed path"),
     ("E15", "§II/§IV", "loop runtime: fused fleet monitoring vs ad-hoc scans"),
+    ("E16", "§IV", "sharded store: federated scatter-gather vs one store"),
 ]
 
 
@@ -65,15 +73,21 @@ def cmd_experiments(quick: bool, seeds: List[int]) -> int:
     return 0
 
 
-def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
+def cmd_query(
+    expr: str, nodes: int, horizon: float, seed: int, shards: int, show_stats: bool
+) -> int:
     """Simulate a short shift, then serve ``expr`` from the query engine."""
     from repro.cluster import Cluster, ClusterConfig
-    from repro.query import QueryCache, QueryEngine, QueryParseError, RollupManager
+    from repro.query import QueryParseError
+    from repro.shard import FederatedQueryEngine
     from repro.sim import Engine, RngRegistry
     from repro.workloads import WorkloadGenerator, WorkloadSpec
 
     engine = Engine()
-    cluster = Cluster(engine, ClusterConfig(n_nodes=nodes, telemetry_period_s=10.0, seed=seed))
+    cluster = Cluster(
+        engine,
+        ClusterConfig(n_nodes=nodes, telemetry_period_s=10.0, seed=seed, shards=shards),
+    )
     generator = WorkloadGenerator(
         engine,
         cluster.scheduler,
@@ -81,11 +95,13 @@ def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
         WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
     )
     generator.start()
-    rollups = RollupManager(cluster.store, resolutions=(60.0, 600.0))
-    rollups.attach(engine)
+    qe = cluster.query_engine(rollup_resolutions=(60.0, 600.0))
+    if isinstance(qe, FederatedQueryEngine):
+        qe.attach_rollups(engine)
+    else:
+        qe.rollups.attach(engine)
     engine.run(until=horizon)
 
-    qe = QueryEngine(cluster.store, rollups=rollups, cache=QueryCache())
     try:
         result = qe.query(expr, at=horizon)
     except QueryParseError as exc:
@@ -107,6 +123,19 @@ def cmd_query(expr: str, nodes: int, horizon: float, seed: int) -> int:
     print(f"# engine: raw={stats['served_raw']:.0f} rollup={stats['served_rollup']:.0f} "
           f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
           f"store_series={cluster.store.cardinality()}")
+    if show_stats:
+        print("# stats:")
+        print(f"  cache: hits={stats.get('cache_hits', 0.0):.0f} "
+              f"misses={stats.get('cache_misses', 0.0):.0f} "
+              f"evictions={stats.get('cache_evictions', 0.0):.0f} "
+              f"entries={stats.get('cache_entries', 0.0):.0f} "
+              f"hit_rate={stats.get('cache_hit_rate', 0.0):.0%}")
+        if "shards" in stats:
+            print(f"  federation: shards={stats['shards']:.0f} "
+                  f"queries={stats['federated_queries']:.0f} "
+                  f"fanout_total={stats['fanout_total']:.0f} "
+                  f"fanout_mean={stats['fanout_mean']:.2f}")
+            print(f"  shard series: {cluster.store.shard_cardinalities()}")
     return 0
 
 
@@ -212,6 +241,54 @@ def cmd_bench_ingest(
     return 0
 
 
+def cmd_bench_shard(
+    series: int,
+    shards: int,
+    ticks: int,
+    json_path: Optional[str],
+    smoke: bool,
+) -> int:
+    """Run the E16 sharded-store benchmark and print (optionally dump) rows.
+
+    ``--smoke`` shrinks the workload and checks only exactness (bitwise
+    partition invariance + store equality), not the perf thresholds —
+    the CI wiring check, fast enough for every push.
+    """
+    import json
+
+    from repro.experiments.report import render_table
+    from repro.experiments.shard_exp import run_shard_benchmark
+
+    if smoke:
+        series, ticks, repeats = min(series, 256), min(ticks, 16), 1
+    else:
+        repeats = 3
+    rows = run_shard_benchmark(
+        n_series=series, n_shards=shards, ticks=ticks, repeats=repeats
+    )
+    query, ingest = rows["query"], rows["ingest"]
+    print(render_table([query], title="E16 — federated vs unsharded group_by queries"))
+    print(render_table([ingest], title="E16 — sharded vs single-store columnar ingest"))
+    if query["bit_identical"] != 1.0 or query["match"] != 1.0:
+        print("ERROR: federated results diverged from the single-store oracle", file=sys.stderr)
+        return 1
+    if ingest["match"] != 1.0:
+        print("ERROR: sharded and single-store ingest diverged", file=sys.stderr)
+        return 1
+    print(
+        f"query speedup: {query['query_speedup']:.2f}x "
+        f"({query['single_queries_per_s']:.1f} -> {query['federated_queries_per_s']:.1f} queries/s, "
+        f"fanout {query['fanout_mean']:.1f}); "
+        f"ingest {ingest['ingest_speedup']:.2f}x "
+        f"({ingest['single_samples_per_s']:.0f} -> {ingest['sharded_samples_per_s']:.0f} samples/s)"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +304,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     qry.add_argument("--nodes", type=int, default=16)
     qry.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
     qry.add_argument("--seed", type=int, default=7)
+    qry.add_argument("--shards", type=int, default=1,
+                     help="partition the store and serve through the federated engine")
+    qry.add_argument("--stats", action="store_true",
+                     help="print query-cache and federation counters")
     loops = sub.add_parser("loops", help="host a watch-loop fleet on the unified runtime")
     loops.add_argument("--loops", dest="n_loops", type=int, default=8)
     loops.add_argument("--nodes", type=int, default=32)
@@ -241,19 +322,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     bloops.add_argument("--loops", dest="n_loops", type=int, default=256)
     bloops.add_argument("--ticks", type=int, default=10)
     bloops.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bshard = sub.add_parser("bench-shard", help="run the E16 sharded-store benchmark")
+    bshard.add_argument("--series", type=int, default=4096)
+    bshard.add_argument("--shards", type=int, default=8)
+    bshard.add_argument("--ticks", type=int, default=64, help="commits per store")
+    bshard.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bshard.add_argument("--smoke", action="store_true",
+                        help="small exactness-only run (CI wiring check)")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
     if args.command == "experiments":
         return cmd_experiments(args.quick, args.seeds)
     if args.command == "query":
-        return cmd_query(args.expr, args.nodes, args.horizon, args.seed)
+        return cmd_query(
+            args.expr, args.nodes, args.horizon, args.seed, args.shards, args.stats
+        )
     if args.command == "loops":
         return cmd_loops(args.n_loops, args.nodes, args.horizon, args.seed)
     if args.command == "bench-ingest":
         return cmd_bench_ingest(args.nodes, args.metrics, args.horizon, args.json_path)
     if args.command == "bench-loops":
         return cmd_bench_loops(args.n_loops, args.ticks, args.json_path)
+    if args.command == "bench-shard":
+        return cmd_bench_shard(
+            args.series, args.shards, args.ticks, args.json_path, args.smoke
+        )
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

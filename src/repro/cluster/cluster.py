@@ -39,6 +39,10 @@ class ClusterConfig:
     telemetry_groups: int = 2
     telemetry_hop_latency_s: float = 0.1
     enable_telemetry: bool = True
+    #: >1 hash-partitions the telemetry store across that many shard
+    #: stores; loops and dashboards then read through a federated
+    #: scatter-gather query engine (see :mod:`repro.shard`)
+    shards: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -46,6 +50,8 @@ class ClusterConfig:
             raise ValueError("n_nodes must be positive")
         if self.telemetry_groups <= 0:
             raise ValueError("telemetry_groups must be positive")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
 
 
 class Cluster:
@@ -58,7 +64,15 @@ class Cluster:
         self.nodes: List[Node] = [
             Node(f"n{idx:04d}", self.config.node_spec) for idx in range(self.config.n_nodes)
         ]
-        self.store = TimeSeriesStore()
+        if self.config.shards > 1:
+            from repro.shard import ShardedTimeSeriesStore
+
+            # the collector's commit path routes batches by shard; every
+            # reader goes through query_engine() / loop_runtime(), which
+            # federate reads back across the partitions
+            self.store = ShardedTimeSeriesStore(n_shards=self.config.shards)
+        else:
+            self.store = TimeSeriesStore()
         self.markers = ProgressMarkerChannel(mirror_store=self.store)
         self.checkpoints = CheckpointStore()
         self.scheduler = Scheduler(
@@ -74,6 +88,7 @@ class Cluster:
         self.samplers: List[SamplingGroup] = []
         self.pipeline: Optional[CollectionPipeline] = None
         self.runtime = None  # lazily built by loop_runtime()
+        self._query_engines: Dict = {}  # query_engine() memo per config
         if self.config.enable_telemetry:
             self._wire_telemetry()
 
@@ -147,6 +162,52 @@ class Cluster:
 
         return read
 
+    # --------------------------------------------------------------- queries
+    def query_engine(self, *, rollup_resolutions=None, cache=None, enable_cache=True):
+        """A query engine over this cluster's store.
+
+        Returns the plain vectorized engine for a single-store cluster
+        and a :class:`~repro.shard.FederatedQueryEngine` (optionally
+        with per-shard rollup cascades) when the store is sharded — the
+        one read surface every consumer should use, so callers never
+        need to know how the store is partitioned.  Memoized per
+        configuration: building rollup cascades registers permanent
+        ingest listeners on the store, so repeated calls (dashboard
+        refresh loops) must share one engine, not stack new managers.
+        """
+        if cache is not None:  # caller-managed cache: no sharing
+            return self._build_query_engine(rollup_resolutions, cache, enable_cache)
+        config_key = (
+            tuple(rollup_resolutions) if rollup_resolutions is not None else None,
+            enable_cache,
+        )
+        cached = self._query_engines.get(config_key)
+        if cached is not None:
+            return cached
+        engine = self._build_query_engine(rollup_resolutions, cache, enable_cache)
+        self._query_engines[config_key] = engine
+        return engine
+
+    def _build_query_engine(self, rollup_resolutions, cache, enable_cache):
+        from repro.query import QueryEngine, RollupManager
+        from repro.shard import FederatedQueryEngine, ShardedTimeSeriesStore
+
+        if isinstance(self.store, ShardedTimeSeriesStore):
+            if rollup_resolutions is not None:
+                return FederatedQueryEngine.with_rollups(
+                    self.store,
+                    resolutions=rollup_resolutions,
+                    cache=cache,
+                    enable_cache=enable_cache,
+                )
+            return FederatedQueryEngine(self.store, cache=cache, enable_cache=enable_cache)
+        rollups = None
+        if rollup_resolutions is not None:
+            rollups = RollupManager(self.store, resolutions=rollup_resolutions)
+        return QueryEngine(
+            self.store, rollups=rollups, cache=cache, enable_cache=enable_cache
+        )
+
     # --------------------------------------------------------------- loops
     def loop_runtime(self, *, audit=None, runtime_config=None):
         """The cluster's shared autonomy-loop runtime (lazily built).
@@ -159,10 +220,22 @@ class Cluster:
         runtime is a configuration conflict and raises.
         """
         if self.runtime is None:
-            from repro.core.runtime import LoopRuntime
+            from repro.core.runtime import LoopRuntime, RuntimeConfig
+            from repro.shard import ShardedTimeSeriesStore
 
+            query_engine = None
+            if isinstance(self.store, ShardedTimeSeriesStore):
+                cfg = runtime_config if runtime_config is not None else RuntimeConfig()
+                # monitors read through the federated scatter-gather
+                # engine; the QueryHub's fusion/caching layers work
+                # unchanged on top of it
+                query_engine = self.query_engine(enable_cache=cfg.enable_cache)
             self.runtime = LoopRuntime(
-                self.engine, self.store, audit=audit, config=runtime_config
+                self.engine,
+                self.store,
+                query_engine=query_engine,
+                audit=audit,
+                config=runtime_config,
             )
         elif (audit is not None and self.runtime.audit is not audit) or (
             runtime_config is not None and self.runtime.config != runtime_config

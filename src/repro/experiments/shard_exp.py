@@ -1,0 +1,239 @@
+"""Sharded-store scaling experiment (E16, Section IV).
+
+PR 4 partitions the MODA substrate: series hash-route across N shard
+stores and reads federate back through scatter-gather.  This experiment
+measures both halves at high cardinality on identical data:
+
+* **Query federation** — cross-series ``group_by`` dashboard queries
+  (the shape every per-node watch fleet issues) served by the legacy
+  per-group :class:`~repro.query.engine.QueryEngine` over one store vs
+  the :class:`~repro.shard.FederatedQueryEngine` over 8 shards.  The
+  federated engine must win ≥3× (its scatter stage is one vectorized
+  pass per shard; the gather merges partial rows with lexsort/reduceat
+  instead of a Python loop per group) **and** return bit-identical
+  results to the same engine over a single-shard store — the
+  single-store oracle — plus 1e-9-tight agreement with the legacy
+  engine.
+
+* **Sharded ingest** — the identical columnar commit stream through
+  ``append_batch`` on one store vs the sharded facade's split-and-route
+  path, asserting bit-identical stores and no throughput regression
+  (the facade sorts once globally and hands shards pre-sorted
+  segments).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.model import MetricQuery
+from repro.shard import FederatedQueryEngine, ShardedTimeSeriesStore
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def _series_keys(n_series: int) -> List[SeriesKey]:
+    return [SeriesKey.of("m", node=f"n{i:05d}") for i in range(n_series)]
+
+
+def _tick_columns(
+    keys_n: int, sids: np.ndarray, tick: int, period: float, base: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    times = np.full(keys_n, tick * period)
+    values = base + 0.01 * tick
+    return sids, times, values
+
+
+def _fill(store, sids: np.ndarray, ticks: int, period: float, base: np.ndarray) -> float:
+    """Drive the commit stream; returns the ingest wall-clock."""
+    n = sids.size
+    wall_t0 = time.perf_counter()
+    for tick in range(ticks):
+        store.append_batch(*_tick_columns(n, sids, tick, period, base))
+    return time.perf_counter() - wall_t0
+
+
+def _intern(store, keys: List[SeriesKey]) -> np.ndarray:
+    return np.fromiter(
+        (store.registry.id_for(k) for k in keys), dtype=np.int64, count=len(keys)
+    )
+
+
+def _results_bit_identical(a: QueryResult, b: QueryResult) -> bool:
+    if len(a.series) != len(b.series):
+        return False
+    for sa, sb in zip(a.series, b.series):
+        if sa.labels != sb.labels:
+            return False
+        if not (np.array_equal(sa.times, sb.times) and np.array_equal(sa.values, sb.values)):
+            return False
+    return True
+
+
+def _results_close(a: QueryResult, b: QueryResult, rtol: float = 1e-9) -> bool:
+    if len(a.series) != len(b.series):
+        return False
+    for sa, sb in zip(a.series, b.series):
+        if sa.labels != sb.labels:
+            return False
+        if not (
+            np.allclose(sa.times, sb.times, rtol=0, atol=1e-9)
+            and np.allclose(sa.values, sb.values, rtol=rtol, atol=1e-9)
+        ):
+            return False
+    return True
+
+
+def run_federated_query_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    ticks: int = 64,
+    sample_period_s: float = 10.0,
+    step_s: float = 60.0,
+    n_queries: int = 5,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Federated vs unsharded ``group_by`` query serving at cardinality.
+
+    The workload is the watch-fleet shape: one output series per node
+    over the full retention window.  Exactness is checked two ways —
+    bitwise against the federated engine over a single-shard store (the
+    single-store oracle: same data, same canonical reduction, no
+    partitioning) and 1e-9-tight against the legacy per-group engine.
+    """
+    rng = np.random.default_rng(seed)
+    keys = _series_keys(n_series)
+    base = rng.normal(100.0, 15.0, size=n_series)
+    capacity = ticks + 8
+
+    single = TimeSeriesStore(default_capacity=capacity)
+    sharded = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=capacity)
+    oracle = ShardedTimeSeriesStore(n_shards=1, default_capacity=capacity)
+    for store in (single, sharded, oracle):
+        _fill(store, _intern(store, keys), ticks, sample_period_s, base)
+
+    at = ticks * sample_period_s
+    query = MetricQuery(
+        "m", agg="mean", range_s=at, step_s=step_s, group_by=("node",)
+    )
+    qe = QueryEngine(single, enable_cache=False)
+    fed = FederatedQueryEngine(sharded, enable_cache=False)
+    fed_oracle = FederatedQueryEngine(oracle, enable_cache=False)
+
+    res_single = qe.query(query, at=at)
+    res_fed = fed.query(query, at=at)
+    res_oracle = fed_oracle.query(query, at=at)
+    bit_identical = _results_bit_identical(res_fed, res_oracle)
+    match = _results_close(res_fed, res_single)
+
+    def timed(engine_obj) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for q_i in range(n_queries):
+                # vary the evaluation point so the engines execute (the
+                # benchmark measures serving, not the result cache)
+                engine_obj.query(query, at=at - q_i * sample_period_s)
+            best = min(best, time.perf_counter() - t0)
+        return best / n_queries
+
+    single_s = timed(qe)
+    fed_s = timed(fed)
+    return {
+        "n_series": float(n_series),
+        "n_shards": float(n_shards),
+        "points": float(single.total_inserts),
+        "result_series": float(len(res_fed.series)),
+        "single_query_ms": single_s * 1e3,
+        "federated_query_ms": fed_s * 1e3,
+        "single_queries_per_s": 1.0 / single_s,
+        "federated_queries_per_s": 1.0 / fed_s,
+        "query_speedup": single_s / fed_s,
+        "fanout_mean": fed.stats()["fanout_mean"],
+        "bit_identical": float(bit_identical),
+        "match": float(match),
+    }
+
+
+def run_sharded_ingest_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    ticks: int = 64,
+    sample_period_s: float = 10.0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Identical commit stream into one store vs the sharded facade.
+
+    Best-of-``repeats`` walls on both sides (scheduler-noise guard);
+    stores must come out bit-identical, and the sharded path must not
+    regress — it pays the same single global lexsort and routes
+    pre-sorted segments to shards with no per-shard re-sort.
+    """
+    rng = np.random.default_rng(seed)
+    keys = _series_keys(n_series)
+    base = rng.normal(100.0, 15.0, size=n_series)
+    capacity = ticks + 8
+
+    single_wall = float("inf")
+    sharded_wall = float("inf")
+    single = sharded = None
+    for _ in range(repeats):
+        single = TimeSeriesStore(default_capacity=capacity)
+        single_wall = min(
+            single_wall, _fill(single, _intern(single, keys), ticks, sample_period_s, base)
+        )
+        sharded = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=capacity)
+        sharded_wall = min(
+            sharded_wall, _fill(sharded, _intern(sharded, keys), ticks, sample_period_s, base)
+        )
+
+    match = single.cardinality() == sharded.cardinality()
+    if match:
+        for key in keys:
+            st, sv = single.query(key, -np.inf, np.inf)
+            ft, fv = sharded.query(key, -np.inf, np.inf)
+            if not (np.array_equal(st, ft) and np.array_equal(sv, fv)):
+                match = False
+                break
+
+    samples = float(single.total_inserts)
+    cards = sharded.shard_cardinalities()
+    return {
+        "n_series": float(n_series),
+        "n_shards": float(n_shards),
+        "samples": samples,
+        "single_wall_s": single_wall,
+        "sharded_wall_s": sharded_wall,
+        "single_samples_per_s": samples / single_wall,
+        "sharded_samples_per_s": samples / sharded_wall,
+        "ingest_speedup": single_wall / sharded_wall,
+        "shard_balance": min(cards) / max(cards),
+        "match": float(match),
+    }
+
+
+def run_shard_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    ticks: int = 64,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Both E16 halves with shared sizing (the CLI/CI entry)."""
+    return {
+        "query": run_federated_query_benchmark(
+            seed=seed, n_series=n_series, n_shards=n_shards, ticks=ticks, repeats=repeats
+        ),
+        "ingest": run_sharded_ingest_benchmark(
+            seed=seed, n_series=n_series, n_shards=n_shards, ticks=ticks, repeats=repeats
+        ),
+    }

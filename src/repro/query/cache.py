@@ -39,16 +39,18 @@ class QueryCache:
 
     @staticmethod
     def make_key(
-        expr: str, t0: float, t1: float, quantum: float, version: int = 0
-    ) -> Tuple[str, int, int, int]:
+        expr: str, t0: float, t1: float, quantum: float, version: Hashable = 0
+    ) -> Tuple[str, int, int, Hashable]:
         """Cache key: canonical expression + quantized window + data version.
 
-        ``version`` is the writer-side epoch of the queried data (the
-        store's per-metric write counter); bumping it invalidates every
-        earlier entry for the expression without an explicit purge.
+        ``version`` is the writer-side version of the queried data —
+        the store's per-metric write epoch, extended by the engine with
+        the rollup fold counter for fold-dependent results; any bump
+        invalidates every earlier entry for the expression without an
+        explicit purge.
         """
         q = quantum if quantum > 0 else 1.0
-        return (expr, int(t0 // q), int(t1 // q), int(version))
+        return (expr, int(t0 // q), int(t1 // q), version)
 
     def get(self, key: Hashable):
         entry = self._entries.get(key)

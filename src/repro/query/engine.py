@@ -98,6 +98,45 @@ def _freeze(arr: np.ndarray) -> np.ndarray:
     return arr
 
 
+def instant_tier_partials(
+    store, rollups: RollupManager, key: SeriesKey, t0: float, t1: float
+) -> Optional[Dict[str, float]]:
+    """Partial statistics of an aged-out instant window served from tiers.
+
+    Applies only when the raw ring no longer covers the window (its
+    oldest retained sample is newer than ``t0``): the raw scan and the
+    brute-force reference both see nothing, so answering from the
+    finest tier whose bins lie **fully inside** ``[t0, t1]`` is
+    strictly more history, never a different answer for data the ring
+    still holds.  Partially overlapping bins are excluded — their
+    statistics would mix samples from outside the window.  Returns the
+    pooled ``(sum, count, min, max, last_t, last_v, resolution)`` of
+    the qualifying rows, or ``None``.  Shared by the single-store
+    engine and the federated engine (which applies it per shard).
+    """
+    earliest = store.earliest_time(key)
+    if earliest is None or earliest <= t0:
+        return None
+    for tier in rollups.tiers:  # finest first: freshest detail
+        rows = tier.window(key, t0, t1)
+        if rows is None or not rows["time"].size:
+            continue
+        keep = rows["time"] + tier.resolution_s <= t1
+        if not keep.any():
+            continue
+        return {
+            "sum": float(np.sum(rows["sum"][keep])),
+            "count": float(np.sum(rows["count"][keep])),
+            "min": float(np.min(rows["min"][keep])),
+            "max": float(np.max(rows["max"][keep])),
+            # rows are time-ordered, so the tail is the freshest sample
+            "last_t": float(rows["last_t"][keep][-1]),
+            "last_v": float(rows["last_v"][keep][-1]),
+            "resolution": tier.resolution_s,
+        }
+    return None
+
+
 class QueryEngine:
     """Vectorized metric query engine with tiered rollups and caching."""
 
@@ -161,7 +200,7 @@ class QueryEngine:
             # pre-commit tail.  Old-epoch entries age out of the LRU.
             cache_key = QueryCache.make_key(
                 expr, at - (q.range_s or 0.0), at, quantum,
-                version=self.store.metric_epoch(q.metric),
+                version=self._cache_version(q),
             )
             hit = self.cache.get(cache_key)
             if hit is not None:
@@ -170,6 +209,20 @@ class QueryEngine:
         if self.cache is not None:
             self.cache.put(cache_key, result)
         return result
+
+    def _cache_version(self, q: MetricQuery):
+        """Writer-side version of everything ``q``'s result depends on.
+
+        Range results depend only on committed samples (tier stitching
+        is bit-identical to a raw scan, so folding never changes them)
+        — the metric write epoch suffices.  Instant results can now be
+        served from tiers once the ring ages out, so a fold with no
+        intervening commit *can* change them: mix the fold counter in.
+        """
+        epoch = self.store.metric_epoch(q.metric)
+        if q.step_s is None and self.rollups is not None:
+            return (epoch, self.rollups.folds)
+        return epoch
 
     def scalar(self, q: Union[str, MetricQuery], *, at: float) -> Optional[float]:
         """Convenience: single-series instant value, ``None`` when no data."""
@@ -262,25 +315,28 @@ class QueryEngine:
             tier = self.rollups.tier_for(q.step_s, q.agg)
 
         series: List[ResultSeries] = []
-        used_tier = False
+        tier_res: Optional[float] = None
         for labels in sorted(groups):
             member_keys = sorted(groups[labels], key=str)
             if q.step_s is None:
-                times, values = self._execute_instant(q, member_keys, t0, t1)
+                times, values, inst_res = self._execute_instant(q, member_keys, t0, t1)
+                if inst_res is not None:
+                    tier_res = inst_res
             elif q.agg == "rate":
                 times, values = self._execute_rate(q, member_keys, t0, t1)
             elif q.agg in PARTIAL_AGGS:
                 times, values, group_used_tier = self._execute_partial(
                     q, member_keys, t0, t1, tier
                 )
-                used_tier = used_tier or group_used_tier
+                if group_used_tier and tier is not None:
+                    tier_res = tier.resolution_s
             else:  # percentiles: need the full sample distribution
                 times, values = self._execute_sampled(q, member_keys, t0, t1)
             if times.size:
                 series.append(ResultSeries(labels, _freeze(times), _freeze(values)))
 
-        if used_tier and tier is not None:
-            source = f"rollup:{int(tier.resolution_s)}s"
+        if tier_res is not None:
+            source = f"rollup:{int(tier_res)}s"
             self.served_rollup += 1
         else:
             source = "raw"
@@ -409,12 +465,16 @@ class QueryEngine:
 
     def _execute_instant(
         self, q: MetricQuery, keys: Sequence[SeriesKey], t0: float, t1: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Single-bin aggregate over the inclusive window ``[t0, t1]``."""
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[float]]:
+        """Single-bin aggregate over the inclusive window ``[t0, t1]``.
+
+        The third element is the resolution of the rollup tier that
+        served the group, or ``None`` for a raw-served (or empty) group.
+        """
         if q.agg == "rate":
             span = t1 - t0
             if span <= 0:
-                return np.empty(0), np.empty(0)
+                return np.empty(0), np.empty(0), None
             total = 0.0
             any_delta = False
             for key in keys:
@@ -424,8 +484,8 @@ class QueryEngine:
                     any_delta = True
                     total += float(np.sum(inc))
             if not any_delta:
-                return np.empty(0), np.empty(0)
-            return np.array([t0]), np.array([total / span])
+                return np.empty(0), np.empty(0), None
+            return np.array([t0]), np.array([total / span]), None
         all_t, all_v = [], []
         for key in keys:
             times, values = self.store.query(key, t0, t1)
@@ -433,14 +493,38 @@ class QueryEngine:
                 all_t.append(times)
                 all_v.append(values)
         if not all_t:
-            return np.empty(0), np.empty(0)
+            if len(keys) == 1 and q.agg in PARTIAL_AGGS and self.rollups is not None:
+                value, res = self._instant_from_tiers(q.agg, keys[0], t0, t1)
+                if value is not None:
+                    return np.array([t0]), np.array([value]), res
+            return np.empty(0), np.empty(0), None
         if q.agg == "last" and len(all_t) == 1:
             # single-series gauge read — the hottest loop-monitor shape;
             # per-series windows are time-sorted, so skip the bin kernel
-            return np.array([t0]), np.array([all_v[0][-1]])
+            return np.array([t0]), np.array([all_v[0][-1]]), None
         times = np.concatenate(all_t)
         values = np.concatenate(all_v)
         _, vals = grouped_aggregate(
             np.zeros(values.size, dtype=np.int64), values, q.agg, times=times
         )
-        return np.array([t0]), vals
+        return np.array([t0]), vals, None
+
+    def _instant_from_tiers(
+        self, agg: str, key: SeriesKey, t0: float, t1: float
+    ) -> Tuple[Optional[float], Optional[float]]:
+        row = instant_tier_partials(self.store, self.rollups, key, t0, t1)
+        if row is None:
+            return None, None
+        if agg == "mean":
+            value = row["sum"] / row["count"]
+        elif agg == "sum":
+            value = row["sum"]
+        elif agg == "count":
+            value = row["count"]
+        elif agg == "min":
+            value = row["min"]
+        elif agg == "max":
+            value = row["max"]
+        else:  # last
+            value = row["last_v"]
+        return value, row["resolution"]

@@ -1,0 +1,19 @@
+"""Sharded time-series storage with federated scatter-gather queries.
+
+The MODA substrate scales past a single in-process store by
+hash-partitioning series across N independent shard stores
+(:class:`ShardedTimeSeriesStore`) and federating reads back together
+(:class:`FederatedQueryEngine`).  Routing is deterministic on the
+series key, so a series always lives on exactly one shard; ingest
+splits columnar batches by shard, and queries scatter per-shard
+subqueries whose partial results merge exactly.
+"""
+
+from repro.shard.federated import FederatedQueryEngine
+from repro.shard.store import ShardedTimeSeriesStore, shard_of_key
+
+__all__ = [
+    "FederatedQueryEngine",
+    "ShardedTimeSeriesStore",
+    "shard_of_key",
+]

@@ -1,0 +1,599 @@
+"""Federated scatter-gather query engine over a sharded store.
+
+:class:`FederatedQueryEngine` implements the full
+:class:`~repro.query.engine.QueryEngine` API (``query`` / ``scalar`` /
+``samples`` / ``select`` / caching) over a
+:class:`~repro.shard.store.ShardedTimeSeriesStore`.  Execution is a
+three-stage scatter-gather:
+
+1. **Plan** — resolve matchers to series keys, assign each key its
+   output group (``gidx``) and its canonical rank within the group, and
+   partition the work by owning shard.
+2. **Scatter** — each touched shard computes *per-series partial rows*:
+   windowed reads stitched from the shard's rollup tier plus its raw
+   tail, reduced per ``(series, bin)`` with ``reduceat`` over composite
+   keys (sum/count/min/max/last partials, counter increases for
+   ``rate``, pooled samples for percentiles).  No per-group Python
+   loops — a shard's whole worklist is one vectorized pass.
+3. **Gather** — partial rows from every shard are concatenated, sorted
+   into one **canonical order** ``(group, bin, last_t, source, rank)``
+   that is independent of how series are partitioned, and reduced to
+   output bins with ``reduceat`` kernels.
+
+Because per-series arithmetic happens on exactly one shard (a series
+never splits) and the cross-series reduction runs in a
+partition-independent order, the result is **bit-identical for every
+shard count** — the property tests pin the federated result against the
+same engine running over a single-shard store.  Against the legacy
+per-group :class:`QueryEngine`, results are equal up to floating-point
+association (≤1e-9 relative), since that engine pools samples in a
+different (but equally valid) summation order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.query.engine import (
+    QueryEngine,
+    QueryResult,
+    ResultSeries,
+    instant_tier_partials,
+)
+from repro.query.kernels import PARTIAL_AGGS, counter_increase, grouped_aggregate
+from repro.query.model import MetricQuery
+from repro.query.rollup import RollupManager
+from repro.shard.store import ShardedTimeSeriesStore
+from repro.telemetry.metric import SeriesKey
+
+#: One shard's worklist: ``(key, group index, rank within group)``.
+WorkItem = Tuple[SeriesKey, int, int]
+
+
+def _segment_bounds(comp: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(starts, ends)`` of the runs of a nondecreasing int array."""
+    if comp.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    bounds = np.flatnonzero(comp[1:] != comp[:-1]) + 1
+    return (
+        np.concatenate(([0], bounds)),
+        np.concatenate((bounds, [comp.size])),
+    )
+
+
+def _bin_of(times: np.ndarray, grid_t0: float, step: Optional[float]) -> np.ndarray:
+    if step is None:  # instant query: everything pools into one bin
+        return np.zeros(times.size, dtype=np.int64)
+    return ((times - grid_t0) // step).astype(np.int64)
+
+
+def _sample_entries(
+    t_chunks: List[np.ndarray],
+    v_chunks: List[np.ndarray],
+    gidxs: List[int],
+    ranks: List[int],
+    grid_t0: float,
+    step: Optional[float],
+    n_bins: int,
+) -> Dict[str, np.ndarray]:
+    """Per-``(series, bin)`` partial rows from raw sample windows.
+
+    Chunks are per-series and time-sorted, so the composite key
+    ``series_pos * n_bins + bin`` is nondecreasing over the pooled
+    columns and every statistic reduces with one ``reduceat`` pass —
+    ``last`` falls out of the segment tails (latest time; ties resolve
+    to the later sample, matching the single-store semantics).
+    """
+    lens = np.fromiter((c.size for c in t_chunks), dtype=np.int64, count=len(t_chunks))
+    t = np.concatenate(t_chunks)
+    v = np.concatenate(v_chunks)
+    series_pos = np.repeat(np.arange(lens.size), lens)
+    bins = _bin_of(t, grid_t0, step)
+    starts, ends = _segment_bounds(series_pos * n_bins + bins)
+    sel = series_pos[starts]
+    return {
+        "gidx": np.asarray(gidxs, dtype=np.int64)[sel],
+        "rank": np.asarray(ranks, dtype=np.int64)[sel],
+        "bin": bins[starts],
+        "source": np.ones(starts.size, dtype=np.int64),  # samples beat rows on last_t ties
+        "sum": np.add.reduceat(v, starts),
+        "count": (ends - starts).astype(np.float64),
+        "vmin": np.minimum.reduceat(v, starts),
+        "vmax": np.maximum.reduceat(v, starts),
+        "last_t": t[ends - 1],
+        "last_v": v[ends - 1],
+    }
+
+
+def _row_entries(
+    row_chunks: List[Dict[str, np.ndarray]],
+    gidxs: List[int],
+    ranks: List[int],
+    grid_t0: float,
+    step: float,
+    n_bins: int,
+) -> Dict[str, np.ndarray]:
+    """Per-``(series, bin)`` partial rows from rollup-tier rows."""
+    lens = np.fromiter(
+        (c["time"].size for c in row_chunks), dtype=np.int64, count=len(row_chunks)
+    )
+    cols = {
+        name: np.concatenate([c[name] for c in row_chunks])
+        for name in ("time", "sum", "count", "min", "max", "last_t", "last_v")
+    }
+    series_pos = np.repeat(np.arange(lens.size), lens)
+    bins = _bin_of(cols["time"], grid_t0, step)
+    starts, ends = _segment_bounds(series_pos * n_bins + bins)
+    sel = series_pos[starts]
+    return {
+        "gidx": np.asarray(gidxs, dtype=np.int64)[sel],
+        "rank": np.asarray(ranks, dtype=np.int64)[sel],
+        "bin": bins[starts],
+        "source": np.zeros(starts.size, dtype=np.int64),
+        "sum": np.add.reduceat(cols["sum"], starts),
+        "count": np.add.reduceat(cols["count"], starts),
+        "vmin": np.minimum.reduceat(cols["min"], starts),
+        "vmax": np.maximum.reduceat(cols["max"], starts),
+        # tier rows of one series are time-ordered, so the segment tail
+        # carries the latest underlying sample of the (series, bin)
+        "last_t": cols["last_t"][ends - 1],
+        "last_v": cols["last_v"][ends - 1],
+    }
+
+
+class FederatedQueryEngine(QueryEngine):
+    """Scatter-gather query serving over hash-partitioned shard stores."""
+
+    def __init__(
+        self,
+        store: ShardedTimeSeriesStore,
+        *,
+        rollups: Optional[Sequence[RollupManager]] = None,
+        cache=None,
+        enable_cache: bool = True,
+        instant_quantum_s: float = 1.0,
+    ) -> None:
+        if rollups is not None and len(rollups) != store.n_shards:
+            raise ValueError(
+                f"need one rollup manager per shard: got {len(rollups)} for "
+                f"{store.n_shards} shards"
+            )
+        super().__init__(
+            store,
+            rollups=None,
+            cache=cache,
+            enable_cache=enable_cache,
+            instant_quantum_s=instant_quantum_s,
+        )
+        #: per-shard rollup managers, parallel to ``store.shards``
+        self.shard_rollups = list(rollups) if rollups is not None else None
+        self.federated_queries = 0
+        self.fanout_total = 0
+        self.fanout_last = 0
+        self._fold_task = None
+        #: scatter-plan memo keyed by the store's per-metric series
+        #: generation: group labels, per-shard worklists, group sizes,
+        #: and fanout are recomputed only when the metric's key set
+        #: changes
+        self._plan_cache: Dict[
+            MetricQuery, Tuple[int, List, List[List[WorkItem]], List[int], int]
+        ] = {}
+
+    # ------------------------------------------------------------- rollups
+    @classmethod
+    def with_rollups(
+        cls,
+        store: ShardedTimeSeriesStore,
+        *,
+        resolutions: Sequence[float] = (10.0, 60.0, 600.0),
+        capacity: int = 4096,
+        **kwargs,
+    ) -> "FederatedQueryEngine":
+        """Build the engine plus one rollup cascade per shard."""
+        managers = [
+            RollupManager(shard, resolutions, capacity=capacity) for shard in store.shards
+        ]
+        return cls(store, rollups=managers, **kwargs)
+
+    def fold_rollups(self, now: float) -> int:
+        """Fold every shard's tiers up to ``now``; returns rows written."""
+        return sum(m.fold(now) for m in self.shard_rollups or ())
+
+    def attach_rollups(self, engine, period_s: Optional[float] = None, *, start_at=None) -> None:
+        """Drive per-shard folding from a simulation engine, one task."""
+        if not self.shard_rollups:
+            return
+        if self._fold_task is not None and not self._fold_task.stopped:
+            raise RuntimeError("federated rollups already attached")
+        period = period_s if period_s is not None else self.shard_rollups[0].tiers[0].resolution_s
+        self._fold_task = engine.every(
+            period, lambda: self.fold_rollups(engine.now), start_at=start_at,
+            label="federated-rollup-fold",
+        )
+
+    # ----------------------------------------------------------- execution
+    def _cache_version(self, q: MetricQuery):
+        """Instant results additionally depend on per-shard fold state
+        (the aged-out tier fallback), so mix the summed fold counter in."""
+        epoch = self.store.metric_epoch(q.metric)
+        if q.step_s is None and self.shard_rollups is not None:
+            return (epoch, sum(m.folds for m in self.shard_rollups))
+        return epoch
+
+    def _execute(self, q: MetricQuery, at: float) -> QueryResult:
+        t1 = float(at)
+        gen = self.store.series_generation(q.metric)
+        plan = self._plan_cache.get(q)
+        if plan is not None and plan[0] == gen:
+            _, sorted_labels, work, group_sizes, fanout = plan
+        else:
+            keys = self.select(q)
+            groups: Dict[Tuple[Tuple[str, str], ...], List[SeriesKey]] = {}
+            for key in keys:
+                groups.setdefault(q.group_key(key), []).append(key)
+            sorted_labels = sorted(groups)
+            group_sizes = [len(groups[labels]) for labels in sorted_labels]
+            work = [[] for _ in range(self.store.n_shards)]
+            shard_index = self.store.shard_index
+            for gidx, labels in enumerate(sorted_labels):
+                for rank, key in enumerate(sorted(groups[labels], key=str)):
+                    work[shard_index(key)].append((key, gidx, rank))
+            fanout = sum(1 for wl in work if wl)
+            if len(self._plan_cache) > 4096:  # unbounded query shapes: reset
+                self._plan_cache.clear()
+            self._plan_cache[q] = (gen, sorted_labels, work, group_sizes, fanout)
+        t0 = t1 - q.range_s if q.range_s is not None else self._earliest(self.select(q), t1)
+        self.federated_queries += 1
+        self.fanout_last = fanout
+        self.fanout_total += fanout
+
+        step = q.step_s
+        used_tier = False
+        if step is not None:
+            grid_t0, n_bins = self._grid(t0, t1, step)
+            t1_hi = grid_t0 + n_bins * step  # exclusive right edge
+            if q.agg == "rate":
+                series = self._fed_rate(q, work, sorted_labels, grid_t0, t1_hi, step, n_bins)
+            elif q.agg in PARTIAL_AGGS:
+                series, used_tier = self._fed_partial(
+                    q, work, sorted_labels, grid_t0, t1_hi, step, n_bins, group_sizes
+                )
+            else:
+                series = self._fed_sampled(q, work, sorted_labels, grid_t0, t1_hi, step, n_bins)
+        elif q.agg == "rate":
+            series = self._fed_instant_rate(q, work, sorted_labels, t0, t1)
+        elif q.agg in PARTIAL_AGGS:
+            series, used_tier = self._fed_partial(
+                q, work, sorted_labels, t0, t1, None, 1, group_sizes
+            )
+        else:
+            series = self._fed_sampled(q, work, sorted_labels, t0, t1, None, 1)
+
+        if used_tier:
+            source = "federated:rollup"
+            self.served_rollup += 1
+        else:
+            source = "federated:raw"
+            self.served_raw += 1
+        return QueryResult(q, t0, t1, tuple(series), source)
+
+    def _shard_raw_window(self, shard, key: SeriesKey, lo: float, hi: float, step):
+        """Raw window read on one shard: ``[lo, hi)`` for range queries
+        (half-open bins), ``[lo, hi]`` inclusive for instant queries."""
+        times, values = shard.query(key, lo, hi)
+        if step is not None and times.size and times[-1] >= hi:
+            keep = times < hi
+            times, values = times[keep], values[keep]
+        return times, values
+
+    # --------------------------------------------------- partial-agg path
+    def _fed_partial(
+        self,
+        q: MetricQuery,
+        work: List[List[WorkItem]],
+        sorted_labels: List,
+        grid_t0: float,
+        t1_hi: float,
+        step: Optional[float],
+        n_bins: int,
+        group_sizes: Optional[List[int]] = None,
+    ) -> Tuple[List[ResultSeries], bool]:
+        entries: List[Dict[str, np.ndarray]] = []
+        used_tier = False
+        instant_tiers = (
+            step is None and group_sizes is not None and self.shard_rollups is not None
+        )
+        for s, wl in enumerate(work):
+            if not wl:
+                continue
+            shard = self.store.shards[s]
+            tier = None
+            if step is not None and self.shard_rollups is not None:
+                tier = self.shard_rollups[s].tier_for(step, q.agg)
+            st_chunks: List[np.ndarray] = []
+            sv_chunks: List[np.ndarray] = []
+            s_gidx: List[int] = []
+            s_rank: List[int] = []
+            row_chunks: List[Dict[str, np.ndarray]] = []
+            r_gidx: List[int] = []
+            r_rank: List[int] = []
+            synth: List[Tuple[int, Dict[str, float]]] = []
+            for key, gidx, rank in wl:
+                cut = grid_t0
+                if tier is not None:
+                    wm = tier.watermark(key)
+                    if wm is not None:
+                        cut = min(max(wm, grid_t0), t1_hi)
+                    rows = tier.window(key, grid_t0, cut)
+                    if rows is not None and rows["time"].size:
+                        row_chunks.append(rows)
+                        r_gidx.append(gidx)
+                        r_rank.append(rank)
+                times, values = self._shard_raw_window(shard, key, cut, t1_hi, step)
+                if times.size:
+                    st_chunks.append(times)
+                    sv_chunks.append(values)
+                    s_gidx.append(gidx)
+                    s_rank.append(rank)
+                elif instant_tiers and group_sizes[gidx] == 1:
+                    # mirror the single-store engine: a singleton group
+                    # whose raw ring aged past the window is served from
+                    # the shard's tiers (per-series and shard-local, so
+                    # still partition-invariant)
+                    row = instant_tier_partials(
+                        shard, self.shard_rollups[s], key, grid_t0, t1_hi
+                    )
+                    if row is not None:
+                        synth.append((gidx, row))
+            if row_chunks:
+                used_tier = True
+                entries.append(
+                    _row_entries(row_chunks, r_gidx, r_rank, grid_t0, step, n_bins)
+                )
+            if st_chunks:
+                entries.append(
+                    _sample_entries(st_chunks, sv_chunks, s_gidx, s_rank, grid_t0, step, n_bins)
+                )
+            if synth:
+                used_tier = True
+                entries.append(
+                    {
+                        "gidx": np.array([g for g, _ in synth], dtype=np.int64),
+                        "rank": np.zeros(len(synth), dtype=np.int64),
+                        "bin": np.zeros(len(synth), dtype=np.int64),
+                        "source": np.zeros(len(synth), dtype=np.int64),
+                        "sum": np.array([r["sum"] for _, r in synth]),
+                        "count": np.array([r["count"] for _, r in synth]),
+                        "vmin": np.array([r["min"] for _, r in synth]),
+                        "vmax": np.array([r["max"] for _, r in synth]),
+                        "last_t": np.array([r["last_t"] for _, r in synth]),
+                        "last_v": np.array([r["last_v"] for _, r in synth]),
+                    }
+                )
+        if not entries:
+            return [], used_tier
+        return (
+            self._reduce_partial(entries, q.agg, sorted_labels, grid_t0, step, n_bins),
+            used_tier,
+        )
+
+    def _reduce_partial(
+        self,
+        entries: List[Dict[str, np.ndarray]],
+        agg: str,
+        sorted_labels: List,
+        grid_t0: float,
+        step: Optional[float],
+        n_bins: int,
+    ) -> List[ResultSeries]:
+        """Merge per-series partial rows from every shard into output bins.
+
+        The one canonical ``lexsort`` — ``(group, bin, last_t, source,
+        rank)``, every key partition-independent — fixes both the
+        summation order (bit-stable across shard counts) and the
+        ``last`` winner (latest ``last_t``; ties prefer raw samples
+        over tier rows, then the later-ranked series, exactly the
+        single-store merge rule).
+        """
+        cols = {k: np.concatenate([e[k] for e in entries]) for k in entries[0]}
+        order = np.lexsort(
+            (cols["rank"], cols["source"], cols["last_t"], cols["bin"], cols["gidx"])
+        )
+        gidx = cols["gidx"][order]
+        bins = cols["bin"][order]
+        starts, ends = _segment_bounds(gidx * n_bins + bins)
+        if agg == "mean":
+            vals = np.add.reduceat(cols["sum"][order], starts) / np.add.reduceat(
+                cols["count"][order], starts
+            )
+        elif agg == "sum":
+            vals = np.add.reduceat(cols["sum"][order], starts)
+        elif agg == "count":
+            vals = np.add.reduceat(cols["count"][order], starts)
+        elif agg == "min":
+            vals = np.minimum.reduceat(cols["vmin"][order], starts)
+        elif agg == "max":
+            vals = np.maximum.reduceat(cols["vmax"][order], starts)
+        else:  # last
+            vals = cols["last_v"][order][ends - 1]
+        return self._build_series(gidx[starts], bins[starts], vals, sorted_labels, grid_t0, step)
+
+    # ------------------------------------------------------- sampled path
+    def _fed_sampled(
+        self,
+        q: MetricQuery,
+        work: List[List[WorkItem]],
+        sorted_labels: List,
+        grid_t0: float,
+        t1_hi: float,
+        step: Optional[float],
+        n_bins: int,
+    ) -> List[ResultSeries]:
+        """Percentiles: pool raw samples per ``(group, bin)`` across shards.
+
+        Percentile is a multiset statistic (the kernel value-sorts each
+        bin), so pooling order cannot affect the result — bit-identical
+        for every shard count by construction.
+        """
+        v_chunks: List[np.ndarray] = []
+        comp_chunks: List[np.ndarray] = []
+        for s, wl in enumerate(work):
+            if not wl:
+                continue
+            shard = self.store.shards[s]
+            for key, gidx, rank in wl:
+                times, values = self._shard_raw_window(shard, key, grid_t0, t1_hi, step)
+                if times.size:
+                    v_chunks.append(values)
+                    comp_chunks.append(gidx * n_bins + _bin_of(times, grid_t0, step))
+        if not v_chunks:
+            return []
+        comp = np.concatenate(comp_chunks)
+        nz, vals = grouped_aggregate(comp, np.concatenate(v_chunks), q.agg)
+        return self._build_series(nz // n_bins, nz % n_bins, vals, sorted_labels, grid_t0, step)
+
+    # ---------------------------------------------------------- rate path
+    def _fed_rate(
+        self,
+        q: MetricQuery,
+        work: List[List[WorkItem]],
+        sorted_labels: List,
+        grid_t0: float,
+        t1_hi: float,
+        step: float,
+        n_bins: int,
+    ) -> List[ResultSeries]:
+        """Counter rate: per-series reset-clamped increases, summed per bin."""
+        inc_chunks: List[np.ndarray] = []
+        bin_chunks: List[np.ndarray] = []
+        g_list: List[int] = []
+        r_list: List[int] = []
+        for s, wl in enumerate(work):
+            if not wl:
+                continue
+            shard = self.store.shards[s]
+            for key, gidx, rank in wl:
+                times, values = self._shard_raw_window(shard, key, grid_t0, t1_hi, step)
+                if times.size < 2:
+                    continue
+                inc_chunks.append(counter_increase(values))
+                bin_chunks.append(_bin_of(times[1:], grid_t0, step))
+                g_list.append(gidx)
+                r_list.append(rank)
+        if not inc_chunks:
+            return []
+        lens = np.fromiter((c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks))
+        inc = np.concatenate(inc_chunks)
+        bins = np.concatenate(bin_chunks)
+        series_pos = np.repeat(np.arange(lens.size), lens)
+        starts, ends = _segment_bounds(series_pos * n_bins + bins)
+        sel = series_pos[starts]
+        e_gidx = np.asarray(g_list, dtype=np.int64)[sel]
+        e_rank = np.asarray(r_list, dtype=np.int64)[sel]
+        e_bin = bins[starts]
+        e_inc = np.add.reduceat(inc, starts)
+        order = np.lexsort((e_rank, e_bin, e_gidx))
+        gidx = e_gidx[order]
+        bin_o = e_bin[order]
+        m_starts, _ = _segment_bounds(gidx * n_bins + bin_o)
+        vals = np.add.reduceat(e_inc[order], m_starts) / step
+        return self._build_series(
+            gidx[m_starts], bin_o[m_starts], vals, sorted_labels, grid_t0, step
+        )
+
+    def _fed_instant_rate(
+        self,
+        q: MetricQuery,
+        work: List[List[WorkItem]],
+        sorted_labels: List,
+        t0: float,
+        t1: float,
+    ) -> List[ResultSeries]:
+        span = t1 - t0
+        if span <= 0:
+            return []
+        inc_chunks: List[np.ndarray] = []
+        g_list: List[int] = []
+        r_list: List[int] = []
+        for s, wl in enumerate(work):
+            if not wl:
+                continue
+            shard = self.store.shards[s]
+            for key, gidx, rank in wl:
+                _, values = shard.query(key, t0, t1)
+                inc = counter_increase(values)
+                if inc.size:
+                    inc_chunks.append(inc)
+                    g_list.append(gidx)
+                    r_list.append(rank)
+        if not inc_chunks:
+            return []
+        lens = np.fromiter((c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks))
+        series_pos = np.repeat(np.arange(lens.size), lens)
+        starts, _ = _segment_bounds(series_pos)
+        e_inc = np.add.reduceat(np.concatenate(inc_chunks), starts)
+        e_gidx = np.asarray(g_list, dtype=np.int64)
+        e_rank = np.asarray(r_list, dtype=np.int64)
+        order = np.lexsort((e_rank, e_gidx))
+        gidx = e_gidx[order]
+        m_starts, _ = _segment_bounds(gidx)
+        totals = np.add.reduceat(e_inc[order], m_starts)
+        return self._build_series(
+            gidx[m_starts],
+            np.zeros(m_starts.size, dtype=np.int64),
+            totals / span,
+            sorted_labels,
+            t0,
+            None,
+        )
+
+    # ------------------------------------------------------------- output
+    def _build_series(
+        self,
+        out_gidx: np.ndarray,
+        out_bins: np.ndarray,
+        vals: np.ndarray,
+        sorted_labels: List,
+        grid_t0: float,
+        step: Optional[float],
+    ) -> List[ResultSeries]:
+        """Slice reduced ``(group, bin)`` rows into per-group result series."""
+        series: List[ResultSeries] = []
+        g_starts, g_ends = _segment_bounds(out_gidx)
+        if step is None:
+            times_all = np.full(out_bins.size, grid_t0)
+        else:
+            times_all = grid_t0 + out_bins * step
+        times_all.flags.writeable = False
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        vals.flags.writeable = False
+        for g, lo, hi in zip(
+            out_gidx[g_starts].tolist(), g_starts.tolist(), g_ends.tolist()
+        ):
+            # slices of frozen arrays inherit non-writeability — no
+            # per-group freeze or copy needed
+            series.append(ResultSeries(sorted_labels[g], times_all[lo:hi], vals[lo:hi]))
+        return series
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out["shards"] = float(self.store.n_shards)
+        out["federated_queries"] = float(self.federated_queries)
+        out["fanout_total"] = float(self.fanout_total)
+        out["fanout_mean"] = self.fanout_total / max(1, self.federated_queries)
+        if self.shard_rollups:
+            folds = 0.0
+            tier_rows: Dict[str, float] = {}
+            for manager in self.shard_rollups:
+                for k, v in manager.stats().items():
+                    if k == "folds":
+                        folds += v
+                    else:
+                        tier_rows[k] = tier_rows.get(k, 0.0) + v
+            out["rollup_folds"] = folds
+            out.update({f"rollup_{k}": v for k, v in tier_rows.items()})
+        return out

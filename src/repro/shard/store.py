@@ -1,0 +1,293 @@
+"""Hash-partitioned time-series store: N shards behind one facade.
+
+:class:`ShardedTimeSeriesStore` partitions series across ``n_shards``
+independent :class:`~repro.telemetry.tsdb.TimeSeriesStore` instances.
+Each shard owns the full single-store machinery — its own
+:class:`~repro.telemetry.batch.SeriesRegistry`, ring buffers, per-metric
+write epochs and series generations, ingest listeners, and (when the
+query layer attaches them) rollup tiers — so a shard is exactly the
+storage unit a production deployment would run as one process.
+
+Routing is **deterministic and content-addressed**: a series key always
+maps to the same shard (:func:`shard_of_key`, CRC-32 of the canonical
+key string), independent of insertion order, process, or run.  The
+facade keeps a *global* registry interning keys to dense global ids —
+the currency of the columnar ingest pipeline — plus vectorized routing
+tables ``global id → (shard, local id)``, so splitting a
+:class:`~repro.telemetry.batch.SampleBatch` by shard costs a couple of
+NumPy gathers, not a Python call per row.
+
+The batch commit path sorts the batch **once** (the same
+``(series, time)`` lexsort the single store pays), maps each resulting
+per-series segment to its shard, and hands segments to the shards
+through :meth:`TimeSeriesStore.append_segments` — the trusted pre-sorted
+entry — so sharded ingest does not regress against a single store's
+``append_batch`` on the same rows.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.batch import SeriesRegistry, sort_series_columns
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import IngestListener, SeriesStats, TimeSeriesStore
+
+
+def shard_of_key(key: SeriesKey, n_shards: int) -> int:
+    """Deterministic shard index of a series key.
+
+    CRC-32 over the canonical string form — stable across processes and
+    runs (unlike ``hash()``, which is salted per interpreter), cheap,
+    and well-spread for the ``metric{label=value}`` shapes telemetry
+    produces.
+    """
+    return zlib.crc32(str(key).encode()) % n_shards
+
+
+class ShardedTimeSeriesStore:
+    """Facade over ``n_shards`` single stores with deterministic routing.
+
+    Implements the full read/write surface of
+    :class:`~repro.telemetry.tsdb.TimeSeriesStore` (scalar inserts,
+    per-series bulk inserts, columnar ``append_batch``, window queries,
+    key listing, epochs/generations, listeners), so every existing
+    consumer — collectors, loops, dashboards, the query layer — works
+    unchanged on top of it.  Cross-shard aggregate queries should go
+    through :class:`repro.shard.federated.FederatedQueryEngine`, which
+    scatters per-shard subqueries and merges partial results.
+    """
+
+    def __init__(self, n_shards: int = 4, default_capacity: int = 4096) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = int(n_shards)
+        self.default_capacity = int(default_capacity)
+        self.shards: List[TimeSeriesStore] = [
+            TimeSeriesStore(default_capacity) for _ in range(self.n_shards)
+        ]
+        #: global intern table — the id namespace the ingest pipeline moves
+        self.registry = SeriesRegistry()
+        #: routing tables indexed by global series id (dense, grown lazily)
+        self._shard_of = np.empty(0, dtype=np.int64)
+        self._local_of = np.empty(0, dtype=np.int64)
+        self._routed = 0
+        #: per-shard local id → global id (for translating listener columns)
+        self._global_of: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(self.n_shards)
+        ]
+        self._listeners: List[IngestListener] = []
+
+    # ------------------------------------------------------------- routing
+    def shard_index(self, key: SeriesKey) -> int:
+        """The shard a series key routes to."""
+        return shard_of_key(key, self.n_shards)
+
+    def shard_for(self, key: SeriesKey) -> TimeSeriesStore:
+        return self.shards[shard_of_key(key, self.n_shards)]
+
+    def _ensure_routed(self) -> None:
+        """Extend the routing tables to cover every interned global id.
+
+        Ids are assigned densely by the global registry; each new id is
+        routed once, interned into its shard's registry (shard-local
+        ids are therefore monotone in global id, which keeps per-shard
+        segment streams sorted after a global ``(series, time)`` sort).
+        """
+        n = len(self.registry)
+        if self._routed == n:
+            return
+        if n > self._shard_of.size:
+            cap = max(64, 2 * self._shard_of.size, n)
+            self._shard_of = np.resize(self._shard_of, cap)
+            self._local_of = np.resize(self._local_of, cap)
+        for gid in range(self._routed, n):
+            key = self.registry.key_for(gid)
+            s = shard_of_key(key, self.n_shards)
+            local = self.shards[s].registry.id_for(key)
+            self._shard_of[gid] = s
+            self._local_of[gid] = local
+            g_map = self._global_of[s]
+            if local >= g_map.size:
+                self._global_of[s] = g_map = np.resize(g_map, max(64, 2 * g_map.size, local + 1))
+            g_map[local] = gid
+        self._routed = n
+
+    # ---------------------------------------------------------- management
+    def set_capacity(self, metric: str, capacity: int) -> None:
+        for shard in self.shards:
+            shard.set_capacity(metric, capacity)
+
+    def add_ingest_listener(self, listener: IngestListener) -> None:
+        """Register a facade-level listener over every shard's commits.
+
+        The listener receives **global** series ids (this facade's
+        :attr:`registry` namespace); shard-local ids are translated
+        through the routing tables before delivery.  Components that
+        attach to one shard directly (per-shard rollup managers) keep
+        using that shard's local ids.
+        """
+        self._listeners.append(listener)
+        for s, shard in enumerate(self.shards):
+            shard.add_ingest_listener(self._translating_listener(s, listener))
+
+    def _translating_listener(self, shard_idx: int, listener: IngestListener) -> IngestListener:
+        def on_ingest(ids: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+            self._ensure_routed()
+            listener(self._global_of[shard_idx][ids], times, values)
+
+        return on_ingest
+
+    # --------------------------------------------------------------- writing
+    def insert(self, key: SeriesKey, t: float, value: float) -> None:
+        self.registry.id_for(key)
+        self.shard_for(key).insert(key, t, value)
+
+    def insert_batch(self, key: SeriesKey, times: np.ndarray, values: np.ndarray) -> None:
+        self.registry.id_for(key)
+        self.shard_for(key).insert_batch(key, times, values)
+
+    def append_batch(
+        self,
+        series_ids: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Columnar bulk commit split across shards.
+
+        One global ``(series, time)`` lexsort — the identical sort a
+        single store would pay — then each per-series segment is routed
+        to its shard and committed through the trusted pre-sorted
+        :meth:`TimeSeriesStore.append_segments` path, so the split adds
+        only two O(segments) gathers over the unsharded commit.  Ids
+        must come from this facade's :attr:`registry`.
+        """
+        series_ids = np.asarray(series_ids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (series_ids.shape == times.shape == values.shape):
+            raise ValueError("series_ids, times, values must be parallel 1-D arrays")
+        if series_ids.size == 0:
+            return
+        self._ensure_routed()
+        if int(series_ids.max()) >= self._routed:
+            raise IndexError("series id not interned in this store's registry")
+        ids_s, times_s, values_s, starts, ends = sort_series_columns(
+            series_ids, times, values
+        )
+        seg_gids = ids_s[starts]
+        seg_shards = self._shard_of[seg_gids]
+        seg_locals = self._local_of[seg_gids]
+        if self.n_shards == 1:
+            self.shards[0].append_segments(seg_locals, times_s, values_s, starts, ends)
+            return
+        order = np.argsort(seg_shards, kind="stable")
+        seg_shards_o = seg_shards[order]
+        bounds = np.flatnonzero(seg_shards_o[1:] != seg_shards_o[:-1]) + 1
+        for lo, hi in zip(
+            np.concatenate(([0], bounds)).tolist(),
+            np.concatenate((bounds, [order.size])).tolist(),
+        ):
+            sel = order[lo:hi]
+            self.shards[seg_shards_o[lo]].append_segments(
+                seg_locals[sel], times_s, values_s, starts[sel], ends[sel]
+            )
+
+    # --------------------------------------------------------------- reading
+    def has(self, key: SeriesKey) -> bool:
+        return self.shard_for(key).has(key)
+
+    def series_keys(self, metric: Optional[str] = None) -> List[SeriesKey]:
+        keys: List[SeriesKey] = []
+        for shard in self.shards:
+            keys.extend(shard.series_keys(metric))
+        keys.sort(key=str)
+        return keys
+
+    def series_generation(self, metric: str) -> int:
+        """Monotone: bumps whenever any shard grows a series of ``metric``."""
+        return sum(shard.series_generation(metric) for shard in self.shards)
+
+    def metric_epoch(self, metric: str) -> int:
+        """Monotone: bumps on every commit touching ``metric`` on any shard."""
+        return sum(shard.metric_epoch(metric) for shard in self.shards)
+
+    def cardinality(self) -> int:
+        return sum(shard.cardinality() for shard in self.shards)
+
+    @property
+    def total_inserts(self) -> int:
+        return sum(shard.total_inserts for shard in self.shards)
+
+    def latest(self, key: SeriesKey) -> Optional[Tuple[float, float]]:
+        return self.shard_for(key).latest(key)
+
+    def earliest_time(self, key: SeriesKey) -> Optional[float]:
+        return self.shard_for(key).earliest_time(key)
+
+    def query(self, key: SeriesKey, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        return self.shard_for(key).query(key, t0, t1)
+
+    def stats(self, key: SeriesKey, t0: float, t1: float) -> SeriesStats:
+        return self.shard_for(key).stats(key, t0, t1)
+
+    def rate(self, key: SeriesKey, t0: float, t1: float) -> Optional[float]:
+        return self.shard_for(key).rate(key, t0, t1)
+
+    def downsample(
+        self,
+        key: SeriesKey,
+        t0: float,
+        t1: float,
+        step: float,
+        agg: str = "mean",
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.shard_for(key).downsample(key, t0, t1, step, agg)
+
+    def aggregate_across(
+        self, metric: str, t0: float, t1: float, agg: str = "mean"
+    ) -> Optional[float]:
+        """Aggregate all points of all series of one metric over a window.
+
+        Pools windows in **series-creation order** — the global
+        registry's interning order, which is exactly the insertion
+        order the single store's implementation iterates — so
+        order-sensitive aggregates (``last``, float summation) match a
+        :class:`TimeSeriesStore` holding the same data.
+        """
+        from repro.telemetry.tsdb import _AGGREGATORS
+
+        try:
+            fn = _AGGREGATORS[agg]
+        except KeyError:
+            raise ValueError(f"unknown aggregator {agg!r}") from None
+        self._ensure_routed()
+        chunks = []
+        for gid in range(self._routed):
+            key = self.registry.key_for(gid)
+            if key.metric != metric:
+                continue
+            _, values = self.query(key, t0, t1)
+            if values.size:
+                chunks.append(values)
+        if not chunks:
+            return None
+        return float(fn(np.concatenate(chunks)))
+
+    # ------------------------------------------------------------ telemetry
+    def shard_cardinalities(self) -> List[int]:
+        """Live series per shard (balance diagnostics)."""
+        return [shard.cardinality() for shard in self.shards]
+
+    def shard_stats(self) -> Dict[str, float]:
+        cards = self.shard_cardinalities()
+        return {
+            "shards": float(self.n_shards),
+            "series_total": float(sum(cards)),
+            "series_max_shard": float(max(cards)) if cards else 0.0,
+            "series_min_shard": float(min(cards)) if cards else 0.0,
+            "inserts_total": float(self.total_inserts),
+        }

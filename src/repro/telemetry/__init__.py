@@ -16,7 +16,12 @@ from repro.telemetry.batch import Sample, SampleBatch, SeriesRegistry
 from repro.telemetry.tsdb import RingBuffer, TimeSeriesStore
 from repro.telemetry.sensor import CallableSensor, Sensor, SensorBank
 from repro.telemetry.sampler import Sampler, SamplingGroup
-from repro.telemetry.collector import Aggregator, Collector, CollectionPipeline
+from repro.telemetry.collector import (
+    AdaptiveCommitConfig,
+    Aggregator,
+    Collector,
+    CollectionPipeline,
+)
 from repro.telemetry.markers import ProgressMarker, ProgressMarkerChannel
 from repro.telemetry.synthetic import SyntheticSeriesSpec, render_series
 from repro.telemetry.derived import (
@@ -27,6 +32,7 @@ from repro.telemetry.derived import (
 from repro.telemetry.overhead import MonitoringOverheadModel
 
 __all__ = [
+    "AdaptiveCommitConfig",
     "Aggregator",
     "CallableSensor",
     "CollectionPipeline",

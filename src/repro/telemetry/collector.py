@@ -24,6 +24,7 @@ Topology::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 import numpy as np
@@ -36,6 +37,34 @@ from repro.telemetry.tsdb import TimeSeriesStore
 SAMPLE_WIRE_BYTES = 64
 
 Submission = Union[SampleBatch, List[Sample]]
+
+
+@dataclass(frozen=True)
+class AdaptiveCommitConfig:
+    """Knobs for rate-adaptive commit coalescing at the root collector.
+
+    The collector aims each bulk commit at ``target_batch_samples``
+    rows: after every flush it re-estimates the ingest rate (EWMA over
+    observed per-interval rows) and sets the next interval to
+    ``target / rate``, clamped to ``[min_interval_s, max_interval_s]``.
+    A flood of samples narrows the interval (bounded commit latency and
+    batch memory); a trickle widens it (fewer, fuller commits) — the
+    backpressure half of the PR 2 flow-control follow-up.
+    """
+
+    min_interval_s: float = 0.5
+    max_interval_s: float = 60.0
+    target_batch_samples: int = 4096
+    #: EWMA weight of the newest rate observation, in (0, 1]
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_interval_s <= self.max_interval_s:
+            raise ValueError("need 0 < min_interval_s <= max_interval_s")
+        if self.target_batch_samples <= 0:
+            raise ValueError("target_batch_samples must be positive")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
 
 
 class Collector:
@@ -57,6 +86,7 @@ class Collector:
         *,
         ingest_latency: float = 0.0,
         commit_interval_s: Optional[float] = None,
+        adaptive_commit: Optional[AdaptiveCommitConfig] = None,
         name: str = "root-collector",
     ) -> None:
         if ingest_latency < 0:
@@ -66,14 +96,26 @@ class Collector:
         self.engine = engine
         self.store = store
         self.ingest_latency = ingest_latency
+        self.adaptive = adaptive_commit
+        if commit_interval_s is None and adaptive_commit is not None:
+            # adaptive coalescing implies coalescing: start conservative
+            # (short interval) and let the observed rate widen it
+            commit_interval_s = adaptive_commit.min_interval_s
         self.commit_interval_s = commit_interval_s
         self.name = name
         self.batches_received = 0
         self.commits = 0
         self.samples_ingested = 0
         self.latest_arrival_lag = 0.0
+        self.interval_adjustments = 0
+        self._rate_ewma: Optional[float] = None
+        #: the accumulation window of the currently scheduled flush —
+        #: max(ingest_latency, interval) at schedule time, which is the
+        #: denominator of the rate observation (not the bare interval)
+        self._window_s: Optional[float] = None
         self._pending: List[Submission] = []
         self._flush_scheduled = False
+        self._flush_seq = 0  # invalidates orphaned scheduled flush events
 
     def submit(self, samples: Submission) -> None:
         self.batches_received += 1
@@ -81,8 +123,12 @@ class Collector:
             self._pending.append(samples)
             if not self._flush_scheduled:
                 self._flush_scheduled = True
+                self._flush_seq += 1
                 delay = max(self.ingest_latency, self.commit_interval_s)
-                self.engine.schedule(delay, self._flush_pending, label=self.name)
+                self._window_s = delay  # actual accumulation window
+                self.engine.schedule(
+                    delay, self._scheduled_flush, self._flush_seq, label=self.name
+                )
             return
         if self.ingest_latency > 0:
             self.engine.schedule(self.ingest_latency, self._commit, samples, label=self.name)
@@ -90,14 +136,51 @@ class Collector:
             self._commit(samples)
 
     def flush(self) -> None:
-        """Commit everything pending immediately (end-of-run drain)."""
+        """Commit everything pending immediately (end-of-run drain).
+
+        A manual drain is not an interval-length observation window, so
+        it never feeds the adaptive rate estimate.
+        """
+        self._flush_pending(adapt=False)
+
+    def _scheduled_flush(self, seq: int) -> None:
+        """Interval-flush event; no-op when superseded.
+
+        A manual :meth:`flush` (or a rescheduling after one) can leave
+        this event orphaned in the engine queue — firing it anyway
+        would commit a *newer* window early and feed a wrong-window (or
+        empty) observation into the adaptive rate estimate.
+        """
+        if seq != self._flush_seq or not self._flush_scheduled:
+            return
         self._flush_pending()
 
-    def _flush_pending(self) -> None:
+    def _flush_pending(self, adapt: bool = True) -> None:
         self._flush_scheduled = False
         pending, self._pending = self._pending, []
-        if pending:
-            self._commit(self._merge(pending))
+        merged = self._merge(pending) if pending else None
+        if adapt and self.adaptive is not None and self.commit_interval_s is not None:
+            self._adapt_interval(len(merged) if merged is not None else 0)
+        if merged is not None:
+            self._commit(merged)
+
+    def _adapt_interval(self, n_samples: int) -> None:
+        """Retarget the commit interval from the observed ingest rate."""
+        cfg = self.adaptive
+        window = self._window_s if self._window_s is not None else self.commit_interval_s
+        observed = n_samples / window
+        if self._rate_ewma is None:
+            self._rate_ewma = observed
+        else:
+            self._rate_ewma += cfg.smoothing * (observed - self._rate_ewma)
+        if self._rate_ewma <= 0.0:
+            desired = cfg.max_interval_s  # idle pipeline: widest interval
+        else:
+            desired = cfg.target_batch_samples / self._rate_ewma
+        desired = min(max(desired, cfg.min_interval_s), cfg.max_interval_s)
+        if desired != self.commit_interval_s:
+            self.commit_interval_s = desired
+            self.interval_adjustments += 1
 
     def _merge(self, pending: List[Submission]) -> Submission:
         """Concatenate queued submissions; lists are packed into a batch."""
@@ -240,12 +323,17 @@ class CollectionPipeline:
         hop_latency: float = 0.05,
         ingest_latency: float = 0.05,
         commit_interval_s: Optional[float] = None,
+        adaptive_commit: Optional[AdaptiveCommitConfig] = None,
         loss_prob: float = 0.0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.engine = engine
         self.root = Collector(
-            engine, store, ingest_latency=ingest_latency, commit_interval_s=commit_interval_s
+            engine,
+            store,
+            ingest_latency=ingest_latency,
+            commit_interval_s=commit_interval_s,
+            adaptive_commit=adaptive_commit,
         )
         self.hop_latency = hop_latency
         self.loss_prob = loss_prob

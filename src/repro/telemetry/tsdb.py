@@ -89,15 +89,15 @@ def ring_window_ranges(
     capacity = times.shape[0]
     if count < capacity:
         seg = times[:count]
-        lo = int(np.searchsorted(seg, t0, side="left"))
-        hi = int(np.searchsorted(seg, t1, side=side))
+        lo = int(seg.searchsorted(t0, side="left"))
+        hi = int(seg.searchsorted(t1, side=side))
         return [(lo, hi)]
     seg1, seg2 = times[head:], times[:head]
     return [
-        (head + int(np.searchsorted(seg1, t0, side="left")),
-         head + int(np.searchsorted(seg1, t1, side=side))),
-        (int(np.searchsorted(seg2, t0, side="left")),
-         int(np.searchsorted(seg2, t1, side=side))),
+        (head + int(seg1.searchsorted(t0, side="left")),
+         head + int(seg1.searchsorted(t1, side=side))),
+        (int(seg2.searchsorted(t0, side="left")),
+         int(seg2.searchsorted(t1, side=side))),
     ]
 
 
@@ -431,6 +431,80 @@ class TimeSeriesStore:
         self._record_commit(touched_metrics)
         if self._listeners:
             self._notify(ids_s, times_s, values_s)
+
+    def append_segments(
+        self,
+        seg_ids: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> None:
+        """Trusted commit of pre-sorted per-series segments.
+
+        ``times``/``values`` are shared columns; rows ``[starts[j],
+        ends[j])`` belong to series ``seg_ids[j]`` and are time-sorted
+        (the :func:`~repro.telemetry.batch.sort_series_columns`
+        contract).  This is the shard-router entry: the facade sorts a
+        batch once, then hands each shard only its segments — no
+        per-shard re-sort.  Segments must be ordered by series id and
+        ids must come from this store's :attr:`registry`.
+        """
+        n = 0
+        touched_metrics = set()
+        id_buffers = self._id_buffers
+        for sid, lo, hi in zip(seg_ids.tolist(), starts.tolist(), ends.tolist()):
+            entry = id_buffers.get(sid)
+            if entry is None:
+                entry = self._buffer_for_id(sid)
+            buf, metric = entry
+            # Inlined RingBuffer._extend_sorted: this loop is the router's
+            # per-commit floor (one iteration per live series), and at
+            # 4096-series cardinality the helper's call overhead alone
+            # costs ~10% of commit wall time — the margin of the E16
+            # no-regression gate.  Invariants must match _extend_sorted
+            # exactly; tests/shard/test_sharded_store.py pins the two
+            # implementations to bit-identical stores, including the
+            # wraparound cases.
+            seg_t = times[lo:hi]
+            seg_n = hi - lo
+            count = buf._count
+            capacity = buf.capacity
+            if count and seg_t[0] < buf._times[(buf._head - 1) % capacity]:
+                raise ValueError("bulk append overlaps existing data")
+            seg_v = values[lo:hi]
+            head = buf._head
+            if seg_n >= capacity:
+                buf._times[:] = seg_t[-capacity:]
+                buf._values[:] = seg_v[-capacity:]
+                buf._head, buf._count = 0, capacity
+            else:
+                end = head + seg_n
+                if end <= capacity:
+                    buf._times[head:end] = seg_t
+                    buf._values[head:end] = seg_v
+                    buf._head = end % capacity
+                else:
+                    split = capacity - head
+                    buf._times[head:] = seg_t[:split]
+                    buf._values[head:] = seg_v[:split]
+                    buf._times[: end - capacity] = seg_t[split:]
+                    buf._values[: end - capacity] = seg_v[split:]
+                    buf._head = end - capacity
+                count += seg_n
+                buf._count = count if count < capacity else capacity
+            buf._written += seg_n
+            touched_metrics.add(metric)
+            n += seg_n
+        if n == 0:
+            return
+        self.total_inserts += n
+        self._record_commit(touched_metrics)
+        if self._listeners:
+            lens = ends - starts
+            idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens)
+            idx += np.arange(int(lens.sum()))
+            self._notify(np.repeat(seg_ids, lens), times[idx], values[idx])
 
     # --------------------------------------------------------------- reading
     def has(self, key: SeriesKey) -> bool:

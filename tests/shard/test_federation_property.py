@@ -1,0 +1,215 @@
+"""Federation exactness: property tests against single-store oracles.
+
+Two oracles pin the federated engine down:
+
+* **Partition invariance (bit-identical)** — the same engine over a
+  single-shard store.  Per-series arithmetic happens on exactly one
+  shard and the gather reduction runs in a canonical partition-free
+  order, so results must be *bit-identical* for every shard count.
+* **Semantics (1e-9)** — the legacy per-group :class:`QueryEngine` and
+  the brute-force :func:`evaluate_naive` reference.  These pool samples
+  in a different floating-point association order, so agreement is
+  exact-or-tight-allclose rather than bitwise.
+
+Randomized stores, shard counts, matchers, group-bys, aggregators, and
+rollup fold boundaries; seeded RNG keeps every run deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import MetricQuery, QueryEngine, RollupManager, evaluate_naive
+from repro.shard import FederatedQueryEngine, ShardedTimeSeriesStore
+from repro.telemetry.metric import SeriesKey
+
+from tests.query.test_property import assert_results_match, random_query
+
+HORIZON = 1000.0
+
+
+def build_stores(rng, n_shards, n_series=14, max_points=250, counter=False):
+    """The same random series in a k-shard store, a 1-shard oracle store,
+    and a plain single store."""
+    from repro.telemetry.tsdb import TimeSeriesStore
+
+    sharded = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=4096)
+    oracle = ShardedTimeSeriesStore(n_shards=1, default_capacity=4096)
+    single = TimeSeriesStore(default_capacity=4096)
+    for i in range(n_series):
+        key = SeriesKey.of(
+            "ctr" if counter else "m",
+            node=f"n{i % 5}",
+            shard=str(i),
+            rack=f"r{i % 3}",
+        )
+        n = int(rng.integers(2, max_points))
+        times = np.sort(rng.uniform(0, HORIZON, size=n))
+        if counter:
+            values = np.cumsum(rng.exponential(5.0, size=n))
+        else:
+            values = rng.normal(50.0, 20.0, size=n)
+        for store in (sharded, oracle, single):
+            store.insert_batch(key, times, values)
+    return sharded, oracle, single
+
+
+def assert_bit_identical(got, want):
+    assert len(got.series) == len(want.series), (
+        f"series count {len(got.series)} != {len(want.series)} for {got.query}"
+    )
+    for a, b in zip(got.series, want.series):
+        assert a.labels == b.labels
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.values, b.values), (
+            f"bitwise mismatch for {got.query} {a.labels}"
+        )
+
+
+@pytest.mark.parametrize("seed,n_shards", [(s, k) for s in range(4) for k in (2, 3, 5, 8)])
+def test_federated_bit_identical_to_single_shard_oracle(seed, n_shards):
+    rng = np.random.default_rng(1000 * seed + n_shards)
+    sharded, oracle, single = build_stores(rng, n_shards)
+    fed = FederatedQueryEngine(sharded, enable_cache=False)
+    fed1 = FederatedQueryEngine(oracle, enable_cache=False)
+    qe = QueryEngine(single, enable_cache=False)
+    for _ in range(10):
+        q = random_query(rng)
+        at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+        got = fed.query(q, at=at)
+        assert_bit_identical(got, fed1.query(q, at=at))
+        assert_results_match(got, qe.query(q, at=at))
+        assert_results_match(got, evaluate_naive(single, q, at=at))
+
+
+@pytest.mark.parametrize("seed,n_shards", [(0, 2), (1, 3), (2, 5), (3, 8)])
+def test_federated_bit_identical_with_rollup_boundaries(seed, n_shards):
+    """Tier+raw-tail stitching must stay partition-invariant across
+    random fold boundaries (per-shard tiers fold at the same instant)."""
+    rng = np.random.default_rng(5000 + 100 * seed + n_shards)
+    sharded, oracle, single = build_stores(rng, n_shards)
+    fed = FederatedQueryEngine.with_rollups(sharded, resolutions=(10.0, 50.0), enable_cache=False)
+    fed1 = FederatedQueryEngine.with_rollups(oracle, resolutions=(10.0, 50.0), enable_cache=False)
+    rollups = RollupManager(single, resolutions=(10.0, 50.0))
+    qe = QueryEngine(single, rollups=rollups, enable_cache=False)
+    boundary = float(rng.uniform(HORIZON * 0.5, HORIZON))
+    fed.fold_rollups(boundary)
+    fed1.fold_rollups(boundary)
+    rollups.fold(boundary)
+    served_rollup = 0
+    for _ in range(12):
+        q = random_query(rng)
+        at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+        got = fed.query(q, at=at)
+        assert_bit_identical(got, fed1.query(q, at=at))
+        assert_results_match(got, qe.query(q, at=at))
+        assert_results_match(got, evaluate_naive(single, q, at=at))
+        served_rollup += got.source == "federated:rollup"
+    assert fed.served_rollup == served_rollup
+
+
+@pytest.mark.parametrize("seed,n_shards", [(0, 3), (1, 8)])
+def test_federated_rate_matches_oracles(seed, n_shards):
+    rng = np.random.default_rng(7000 + 10 * seed + n_shards)
+    sharded, oracle, single = build_stores(rng, n_shards, counter=True)
+    fed = FederatedQueryEngine(sharded, enable_cache=False)
+    fed1 = FederatedQueryEngine(oracle, enable_cache=False)
+    qe = QueryEngine(single, enable_cache=False)
+    for _ in range(8):
+        base = random_query(rng, metric="ctr")
+        q = MetricQuery(
+            "ctr", agg="rate", matchers=base.matchers, range_s=base.range_s,
+            step_s=base.step_s, group_by=base.group_by,
+        )
+        at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+        got = fed.query(q, at=at)
+        assert_bit_identical(got, fed1.query(q, at=at))
+        assert_results_match(got, qe.query(q, at=at))
+        assert_results_match(got, evaluate_naive(single, q, at=at))
+
+
+def test_federated_cache_and_fanout_counters():
+    rng = np.random.default_rng(42)
+    sharded, _, _ = build_stores(rng, 4)
+    fed = FederatedQueryEngine(sharded)
+    q = MetricQuery("m", agg="mean", range_s=600.0, step_s=60.0, group_by=("node",))
+    first = fed.query(q, at=900.0)
+    hit = fed.query(q, at=900.0)
+    assert hit.source == "cache"
+    assert_bit_identical(hit, first)
+    stats = fed.stats()
+    assert stats["shards"] == 4.0
+    assert stats["federated_queries"] == 1.0  # cache hit never re-scattered
+    assert 1.0 <= stats["fanout_mean"] <= 4.0
+    assert stats["cache_hits"] == 1.0
+
+
+def test_federated_cache_invalidated_by_any_shard_commit():
+    rng = np.random.default_rng(43)
+    sharded, _, _ = build_stores(rng, 4)
+    fed = FederatedQueryEngine(sharded)
+    q = MetricQuery("m", agg="count", range_s=600.0, step_s=60.0)
+    before = fed.query(q, at=900.0)
+    assert fed.query(q, at=900.0).source == "cache"
+    # a commit on whichever shard owns this key mints a new epoch sum,
+    # so the next evaluation misses the pre-commit entry and re-scatters
+    key = sharded.series_keys("m")[0]
+    last_t, _ = sharded.latest(key)
+    sharded.insert(key, max(last_t, HORIZON) + 100.0, 123.0)
+    after = fed.query(q, at=900.0)
+    assert after.source != "cache"
+    assert_bit_identical(after, before)  # commit landed outside the window
+
+
+def test_federated_serves_aged_out_instant_from_shard_tiers():
+    """Singleton instant queries past ring retention answer from the
+    owning shard's tiers, matching the single-store engine's fallback —
+    and stay partition-invariant."""
+    from repro.telemetry.tsdb import TimeSeriesStore
+
+    key = SeriesKey.of("m", node="n0")
+
+    def filled(store_factory):
+        store = store_factory()
+        store.set_capacity("m", 32)
+        managers = None
+        if isinstance(store, ShardedTimeSeriesStore):
+            fed = FederatedQueryEngine.with_rollups(
+                store, resolutions=(10.0,), enable_cache=False
+            )
+        else:
+            fed = QueryEngine(
+                store, rollups=RollupManager(store, resolutions=(10.0,)), enable_cache=False
+            )
+        for i in range(400):
+            store.insert(key, float(i), float(i))
+            if i % 10 == 9:
+                if isinstance(fed, FederatedQueryEngine):
+                    fed.fold_rollups(float(i))
+                else:
+                    fed.rollups.fold(float(i))
+        return fed
+
+    fed = filled(lambda: ShardedTimeSeriesStore(n_shards=4))
+    fed1 = filled(lambda: ShardedTimeSeriesStore(n_shards=1))
+    qe = filled(lambda: TimeSeriesStore())
+    q = MetricQuery("m", agg="mean", range_s=100.0, group_by=("node",))
+    got = fed.query(q, at=200.0)  # ring holds only ~[368, 399]
+    assert got.source == "federated:rollup"
+    assert_bit_identical(got, fed1.query(q, at=200.0))
+    want = qe.query(q, at=200.0)
+    assert want.source.startswith("rollup:")
+    assert got.series[0].values[0] == want.series[0].values[0]
+
+
+def test_samples_read_matches_plain_engine():
+    from repro.telemetry.tsdb import TimeSeriesStore
+
+    rng = np.random.default_rng(44)
+    sharded, _, single = build_stores(rng, 4)
+    fed = FederatedQueryEngine(sharded, enable_cache=False)
+    qe = QueryEngine(single, enable_cache=False)
+    q = MetricQuery("m", agg="mean", range_s=400.0)
+    ft, fv = fed.samples(q, at=950.0)
+    st, sv = qe.samples(q, at=950.0)
+    assert np.array_equal(ft, st)
+    assert np.array_equal(fv, sv)

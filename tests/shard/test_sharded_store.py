@@ -1,0 +1,158 @@
+"""Sharded store: routing determinism, API parity, ingest equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.shard import ShardedTimeSeriesStore, shard_of_key
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+def _keys(n, metrics=2):
+    return [
+        SeriesKey.of(f"metric{m}", node=f"n{i:03d}")
+        for i in range(n)
+        for m in range(metrics)
+    ]
+
+
+def test_routing_is_deterministic_and_total():
+    keys = _keys(50)
+    for n_shards in (1, 2, 3, 8):
+        first = [shard_of_key(k, n_shards) for k in keys]
+        again = [shard_of_key(k, n_shards) for k in keys]
+        assert first == again
+        assert all(0 <= s < n_shards for s in first)
+
+
+def test_series_land_on_exactly_one_shard():
+    store = ShardedTimeSeriesStore(n_shards=4)
+    for key in _keys(30):
+        store.insert(key, 1.0, 2.0)
+    for key in _keys(30):
+        owners = [s for s in store.shards if s.has(key)]
+        assert len(owners) == 1
+        assert owners[0] is store.shard_for(key)
+    assert store.cardinality() == 60
+    assert sum(store.shard_cardinalities()) == 60
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+def test_append_batch_matches_single_store(n_shards):
+    rng = np.random.default_rng(n_shards)
+    keys = _keys(25, metrics=3)
+    single = TimeSeriesStore(default_capacity=256)
+    sharded = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=256)
+    sid_s = np.array([single.registry.id_for(k) for k in keys])
+    sid_f = np.array([sharded.registry.id_for(k) for k in keys])
+    t = 0.0
+    for _ in range(12):
+        n_rows = int(rng.integers(20, 200))
+        rows = rng.integers(0, len(keys), size=n_rows)
+        times = t + rng.uniform(0, 5.0, size=n_rows)
+        values = rng.normal(size=n_rows)
+        single.append_batch(sid_s[rows], times, values)
+        sharded.append_batch(sid_f[rows], times, values)
+        t += 5.0
+    assert sharded.total_inserts == single.total_inserts
+    assert sharded.series_keys() == single.series_keys()
+    for key in single.series_keys():
+        st, sv = single.query(key, -np.inf, np.inf)
+        ft, fv = sharded.query(key, -np.inf, np.inf)
+        assert np.array_equal(st, ft)
+        assert np.array_equal(sv, fv)
+
+
+def test_append_batch_rejects_foreign_ids():
+    store = ShardedTimeSeriesStore(n_shards=2)
+    store.registry.id_for(SeriesKey.of("m", node="a"))
+    with pytest.raises(IndexError):
+        store.append_batch(
+            np.array([5]), np.array([1.0]), np.array([2.0])
+        )
+
+
+def test_ring_wraparound_matches_single_store():
+    keys = _keys(10)
+    single = TimeSeriesStore(default_capacity=16)
+    sharded = ShardedTimeSeriesStore(n_shards=3, default_capacity=16)
+    sid_s = np.array([single.registry.id_for(k) for k in keys])
+    sid_f = np.array([sharded.registry.id_for(k) for k in keys])
+    for tick in range(40):  # 40 points into capacity-16 rings
+        times = np.full(len(keys), float(tick))
+        values = np.arange(len(keys), dtype=float) + tick
+        single.append_batch(sid_s, times, values)
+        sharded.append_batch(sid_f, times, values)
+    for key in keys:
+        st, sv = single.query(key, -np.inf, np.inf)
+        ft, fv = sharded.query(key, -np.inf, np.inf)
+        assert st.size == 16
+        assert np.array_equal(st, ft)
+        assert np.array_equal(sv, fv)
+
+
+def test_global_listener_sees_all_rows_with_global_ids():
+    store = ShardedTimeSeriesStore(n_shards=4)
+    keys = _keys(20)
+    sids = np.array([store.registry.id_for(k) for k in keys])
+    seen = []
+    store.add_ingest_listener(lambda ids, t, v: seen.append((ids.copy(), t.copy(), v.copy())))
+    store.append_batch(sids, np.zeros(len(keys)), np.arange(len(keys), dtype=float))
+    total = sum(ids.size for ids, _, _ in seen)
+    assert total == len(keys)
+    for ids, times, values in seen:
+        for sid, v in zip(ids, values):
+            key = store.registry.key_for(int(sid))  # global namespace
+            # value encodes the key's position, proving id translation
+            assert keys[int(v)] == key
+
+
+def test_epochs_and_generations_are_monotone():
+    store = ShardedTimeSeriesStore(n_shards=4)
+    key = SeriesKey.of("m", node="x")
+    e0 = store.metric_epoch("m")
+    g0 = store.series_generation("m")
+    store.insert(key, 1.0, 1.0)
+    e1 = store.metric_epoch("m")
+    g1 = store.series_generation("m")
+    assert e1 > e0 and g1 > g0
+    store.insert(key, 2.0, 1.0)
+    assert store.metric_epoch("m") > e1
+    assert store.series_generation("m") == g1  # no new series
+
+
+def test_scalar_reads_route_to_owner():
+    store = ShardedTimeSeriesStore(n_shards=4)
+    key = SeriesKey.of("m", node="y")
+    store.insert_batch(key, np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 30.0]))
+    assert store.has(key)
+    assert store.latest(key) == (3.0, 30.0)
+    assert store.earliest_time(key) == 1.0
+    assert store.stats(key, 0.0, 10.0).count == 3
+    t, v = store.downsample(key, 0.0, 4.0, step=2.0)
+    assert v.size > 0
+    assert store.aggregate_across("m", 0.0, 10.0, agg="sum") == 60.0
+
+
+def test_aggregate_across_matches_single_store_pooling_order():
+    """'last' (and float association) depend on pooling order: the
+    facade must iterate series in creation order like the single store."""
+    single = TimeSeriesStore()
+    sharded = ShardedTimeSeriesStore(n_shards=1)  # drop-in configuration
+    b, a = SeriesKey.of("m", node="b"), SeriesKey.of("m", node="a")
+    for store in (single, sharded):
+        store.insert(b, 1.0, 111.0)  # created first, str-sorts last
+        store.insert(a, 2.0, 222.0)
+    for agg in ("last", "sum", "mean", "min", "max", "count"):
+        assert sharded.aggregate_across("m", 0.0, 10.0, agg) == single.aggregate_across(
+            "m", 0.0, 10.0, agg
+        ), agg
+
+
+def test_set_capacity_applies_to_new_series():
+    store = ShardedTimeSeriesStore(n_shards=2)
+    store.set_capacity("m", 4)
+    key = SeriesKey.of("m", node="z")
+    store.insert_batch(key, np.arange(10.0), np.arange(10.0))
+    t, _ = store.query(key, -np.inf, np.inf)
+    assert t.size == 4  # overwrote oldest

@@ -25,7 +25,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 16)]
+    assert ids == [f"E{i}" for i in range(1, 17)]
 
 
 def test_loops_command(capsys):
@@ -86,3 +86,42 @@ def test_query_command_group_by(capsys):
 def test_query_command_parse_error(capsys):
     assert main(["query", "not a query", "--nodes", "2", "--horizon", "60"]) == 2
     assert "cannot parse" in capsys.readouterr().err
+
+
+def test_query_command_sharded_with_stats(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s) group by (node)",
+        "--nodes", "4", "--horizon", "900", "--shards", "4", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "source=federated" in out
+    assert "federation: shards=4" in out
+    assert "cache: hits=" in out
+    assert "fanout_mean=" in out
+
+
+def test_query_command_stats_unsharded(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s)",
+        "--nodes", "4", "--horizon", "600", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cache: hits=" in out
+    assert "federation:" not in out  # no federation counters on one store
+
+
+def test_bench_shard_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_shard.json"
+    assert main([
+        "bench-shard", "--series", "64", "--shards", "4", "--ticks", "8",
+        "--smoke", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "query speedup" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["query"]["bit_identical"] == 1.0
+    assert rows["query"]["match"] == 1.0
+    assert rows["ingest"]["match"] == 1.0
+    assert rows["query"]["n_shards"] == 4.0
