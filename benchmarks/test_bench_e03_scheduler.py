@@ -6,7 +6,6 @@ static padding, and a human-mediated response; a perfect-information
 oracle bounds achievable efficiency.
 """
 
-from conftest import run_once
 
 from repro.experiments.report import render_table
 from repro.experiments.scheduler_case import (

@@ -5,7 +5,6 @@ preserves nearly all in-flight work (lost node-hours collapse) and the
 affected workload finishes sooner.
 """
 
-from conftest import run_once
 
 from repro.experiments.maintenance_exp import run_maintenance_scenario
 from repro.experiments.report import render_table

@@ -8,7 +8,6 @@ degraded OST bottlenecks every striped write indefinitely.
 
 from math import isinf
 
-from conftest import run_once
 
 from repro.experiments.report import render_table
 from repro.experiments.storage_exp import run_ost_scenario

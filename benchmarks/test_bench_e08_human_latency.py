@@ -5,7 +5,6 @@ monotonically (in shape) with the operator's median reaction latency;
 autonomous response is the zero-latency limit.
 """
 
-from conftest import run_once
 
 from repro.experiments.report import render_table
 from repro.experiments.scheduler_case import (

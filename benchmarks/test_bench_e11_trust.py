@@ -32,17 +32,13 @@ def test_trust_budget_sweep(benchmark):
 
 def test_confidence_gate_blocks_uncertain_actions(benchmark):
     """D3: gating on confidence trades a few rescues for fewer actions."""
-    from repro.experiments.scheduler_case import (
-        SchedulerScenarioConfig,
-        run_scheduler_scenario,
-    )
+    from repro.experiments.scheduler_case import SchedulerScenarioConfig
     from repro.loops.scheduler_loop import SchedulerCaseConfig
 
     def run_two():
         rows = []
         for min_conf in (0.0, 0.9):
             # thread the gate through via a custom config run
-            import repro.experiments.scheduler_case as sc
 
             cfg = SchedulerScenarioConfig(
                 seed=2, mode="autonomous", n_jobs=20, n_nodes=10, horizon_s=300_000.0

@@ -15,7 +15,7 @@ Run:  python examples/holistic_dashboard.py
 import numpy as np
 
 from repro.analytics import OLSForecaster, ZScoreDetector
-from repro.cluster import Cluster, ClusterConfig, Job
+from repro.cluster import Cluster, ClusterConfig
 from repro.query import QueryEngine, RollupManager
 from repro.sim import Engine, RngRegistry
 from repro.telemetry import SeriesKey

@@ -10,7 +10,6 @@ each sample against *its phase's* baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analytics.anomaly import Anomaly, AnomalyDetector

@@ -23,7 +23,16 @@
   scatter-gather queries + routed ingest vs one store), optionally
   writing a JSON artifact; ``--smoke`` runs a small exactness-only
   configuration for CI.
+* ``supervise`` — run a fleet with injected stuck/frozen loops under
+  the meta-loop supervisors and print the healing timeline (healthy →
+  degraded → restored staleness, audited restarts).
+* ``bench-supervise`` — run the E17 fleet-supervision benchmark
+  (self-healing staleness restoration + adaptive fusion vs never-fused
+  monitoring), optionally writing a JSON artifact.
 * ``version`` — print the package version.
+
+Every ``bench-*`` JSON artifact is stamped with the producing commit's
+git SHA and a UTC timestamp so CI rows are comparable across runs.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ EXPERIMENT_INDEX = [
     ("E14", "§IV", "columnar ingest pipeline vs per-object seed path"),
     ("E15", "§II/§IV", "loop runtime: fused fleet monitoring vs ad-hoc scans"),
     ("E16", "§IV", "sharded store: federated scatter-gather vs one store"),
+    ("E17", "§II/§IV", "fleet supervision: meta-loops over loop self-telemetry"),
 ]
 
 
@@ -192,6 +202,7 @@ def cmd_bench_loops(n_loops: int, ticks: int, json_path: Optional[str]) -> int:
     import json
 
     from repro.experiments.loops_exp import run_loop_fleet_benchmark, run_runtime_overhead
+    from repro.experiments.provenance import stamp
     from repro.experiments.report import render_table
 
     fleet = run_loop_fleet_benchmark(n_loops=n_loops, ticks=ticks)
@@ -208,7 +219,79 @@ def cmd_bench_loops(n_loops: int, ticks: int, json_path: Optional[str]) -> int:
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump({"fleet": fleet, "overhead": overhead}, fh, indent=2, sort_keys=True)
+            json.dump(
+                stamp({"fleet": fleet, "overhead": overhead}), fh, indent=2, sort_keys=True
+            )
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_supervise(n_loops: int, seed: int) -> int:
+    """Run a supervised fleet with injected faults; print the healing story."""
+    from repro.experiments.report import render_table
+    from repro.experiments.supervise_exp import run_supervision_scenario
+
+    row = run_supervision_scenario(seed=seed, n_loops=n_loops, supervise=True)
+    trace = row.pop("trace")
+    print(render_table([row], title=f"repro supervise — {n_loops} loops, injected faults"))
+    print()
+    print(f"healthy p95 staleness {row['healthy_p95_s']:.1f}s; after injecting "
+          f"{row['frozen']:.0f} frozen + {row['stuck']:.0f} stuck loops and "
+          f"{row['restarts']:.0f} supervised restarts, final p95 "
+          f"{row['final_p95_s']:.1f}s")
+    print("supervisor actions (audited):")
+    for t, actor, op, target in trace[:20]:
+        print(f"  t={t:8.1f}s {actor}: {op} {target}")
+    if len(trace) > 20:
+        print(f"  … {len(trace) - 20} more")
+    return 0
+
+
+def cmd_bench_supervise(
+    n_loops: int, ticks: int, json_path: Optional[str], smoke: bool
+) -> int:
+    """Run the E17 supervision benchmark and print (optionally dump) rows.
+
+    ``--smoke`` shrinks the fleet and skips the perf gate on adaptive
+    fusion (exactness and healing are still asserted) — the CI wiring
+    check, fast enough for every push.
+    """
+    import json
+
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+    from repro.experiments.supervise_exp import (
+        run_adaptive_fusion_benchmark,
+        run_supervision_benchmark,
+    )
+
+    if smoke:
+        n_loops, ticks = min(n_loops, 64), min(ticks, 12)
+    heal = run_supervision_benchmark(seed=0, n_loops=n_loops)
+    fusion = run_adaptive_fusion_benchmark(seed=0, n_loops=n_loops, ticks=ticks)
+    print(render_table([heal], title="E17 — supervised vs unsupervised fleet under faults"))
+    print(render_table([fusion], title="E17b — adaptive fusion vs never-fused monitoring"))
+    if heal["restores_within_2x"] != 1.0 or heal["control_degrades"] != 1.0:
+        print("ERROR: supervision did not restore fleet staleness within bound",
+              file=sys.stderr)
+        return 1
+    if fusion["match"] != 1.0:
+        print("ERROR: adaptive and unfused fleets disagreed on analyzer verdicts",
+              file=sys.stderr)
+        return 1
+    if not smoke and fusion["monitor_speedup"] < 2.0:
+        print("ERROR: adaptive fusion below the 2x gate", file=sys.stderr)
+        return 1
+    print(
+        f"healing: p95 staleness {heal['healthy_p95_s']:.1f}s healthy -> "
+        f"{heal['unsupervised_p95_s']:.1f}s unsupervised vs "
+        f"{heal['supervised_p95_s']:.1f}s supervised "
+        f"({heal['restarts']:.0f} audited restarts); "
+        f"adaptive fusion {fusion['monitor_speedup']:.2f}x over unfused"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(stamp({"heal": heal, "fusion": fusion}), fh, indent=2, sort_keys=True)
         print(f"wrote {json_path}")
     return 0
 
@@ -220,6 +303,7 @@ def cmd_bench_ingest(
     import json
 
     from repro.experiments.ingest_exp import run_ingest_benchmark
+    from repro.experiments.provenance import stamp
     from repro.experiments.report import render_table
 
     row = run_ingest_benchmark(
@@ -236,7 +320,7 @@ def cmd_bench_ingest(
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump(row, fh, indent=2, sort_keys=True)
+            json.dump(stamp(row), fh, indent=2, sort_keys=True)
         print(f"wrote {json_path}")
     return 0
 
@@ -256,6 +340,7 @@ def cmd_bench_shard(
     """
     import json
 
+    from repro.experiments.provenance import stamp
     from repro.experiments.report import render_table
     from repro.experiments.shard_exp import run_shard_benchmark
 
@@ -284,7 +369,7 @@ def cmd_bench_shard(
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump(rows, fh, indent=2, sort_keys=True)
+            json.dump(stamp(rows), fh, indent=2, sort_keys=True)
         print(f"wrote {json_path}")
     return 0
 
@@ -329,6 +414,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     bshard.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     bshard.add_argument("--smoke", action="store_true",
                         help="small exactness-only run (CI wiring check)")
+    sup = sub.add_parser("supervise", help="run a supervised fleet with injected faults")
+    sup.add_argument("--loops", dest="n_loops", type=int, default=64)
+    sup.add_argument("--seed", type=int, default=0)
+    bsup = sub.add_parser("bench-supervise", help="run the E17 fleet-supervision benchmark")
+    bsup.add_argument("--loops", dest="n_loops", type=int, default=256)
+    bsup.add_argument("--ticks", type=int, default=20, help="adaptive-fusion fleet ticks")
+    bsup.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bsup.add_argument("--smoke", action="store_true",
+                      help="small run without the fusion perf gate (CI wiring check)")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
@@ -348,6 +442,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_shard(
             args.series, args.shards, args.ticks, args.json_path, args.smoke
         )
+    if args.command == "supervise":
+        return cmd_supervise(args.n_loops, args.seed)
+    if args.command == "bench-supervise":
+        return cmd_bench_supervise(args.n_loops, args.ticks, args.json_path, args.smoke)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

@@ -19,7 +19,7 @@ noise, phase changes, and external slowdowns are first-class here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 import numpy as np

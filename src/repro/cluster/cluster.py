@@ -245,6 +245,19 @@ class Cluster:
             )
         return self.runtime
 
+    def attach_supervisors(self, config=None, *, kinds=("health", "tuning", "fusion")):
+        """Attach the meta-loop supervisor family to this cluster's runtime.
+
+        Builds the shared :meth:`loop_runtime` if needed, then hosts the
+        fleet-supervision loops (see :mod:`repro.core.supervisor`) on
+        it: every case loop attached to this cluster becomes a patient
+        of heartbeat/staleness healing, veto-storm quarantine, period
+        retuning, and adaptive query fusion.
+        """
+        from repro.core.supervisor import attach_supervisors
+
+        return attach_supervisors(self.loop_runtime(), config, kinds=kinds)
+
     # ------------------------------------------------------------- shortcuts
     def submit(self, job) -> None:
         self.scheduler.submit(job)

@@ -17,7 +17,7 @@ overhang) can be computed per job.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster.application import ApplicationProfile, LaunchConfig

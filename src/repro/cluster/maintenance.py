@@ -10,8 +10,8 @@ the Maintenance loop acts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List
 
 from repro.cluster.job import JobState
 from repro.cluster.node import NodeState

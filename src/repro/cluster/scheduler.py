@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -247,7 +247,6 @@ class Scheduler:
         self._schedule()
 
     def _schedule(self) -> None:
-        now = self.engine.now
         self._queue.sort(key=lambda j: (-j.priority, j.submit_time, j.job_id))
         started_any = True
         while started_any and self._queue:

@@ -9,7 +9,7 @@ confidence.  ``AuditTrail`` is that record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, List, Mapping, Optional
 
 
 @dataclass(frozen=True)

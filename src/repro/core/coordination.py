@@ -9,7 +9,7 @@ mechanism behind the pattern's instability risks (Fig. 2c discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 def ring_neighbors(n: int, i: int, k: int = 1) -> List[int]:

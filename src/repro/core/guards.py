@@ -10,8 +10,7 @@ time of extensions for a single application" — is
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.knowledge import KnowledgeBase
 from repro.core.types import Action, Plan

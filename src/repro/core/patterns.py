@@ -32,7 +32,7 @@ What the paper claims, and what the benchmark measures:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -428,7 +428,6 @@ class HierarchicalController(PatternController):
             for start in range(0, len(elements), group_size)
         ]
         self.group_alive = [True] * len(self.groups)
-        n_groups = len(self.groups)
         self.group_targets = [
             self.target_total * len(g) / len(elements) for g in self.groups
         ]

@@ -91,6 +91,15 @@ class QueryHub:
         #: output-series labels).  Regex matchers are evaluated once per
         #: generation; per-tick narrowing is pure set membership.
         self._narrow_cache: Dict[MetricQuery, Tuple[int, frozenset]] = {}
+        #: adaptive fusion: per widened-shape fuse overrides (set by the
+        #: fusion supervisor — see :mod:`repro.core.supervisor`), and
+        #: tick-sharing statistics that justify them.  Sharing is
+        #: observed for every fusable read, fused or not, so a hub
+        #: running unfused still *measures* the fusible load.
+        self.fuse_overrides: Dict[MetricQuery, bool] = {}
+        self._shape_stats: Dict[MetricQuery, Dict[str, object]] = {}
+        self._tick_at: Optional[float] = None
+        self._tick_shapes: Dict[MetricQuery, set] = {}
 
     def parse(self, expr: str) -> MetricQuery:
         return self.engine.parse(expr)
@@ -105,20 +114,96 @@ class QueryHub:
         loops with per-instance phases (e.g. one loop per job, each
         aligned to its job's start) should pass ``fuse=False`` — an
         unshared widened execution costs a full-metric pass for a
-        single-series answer.
+        single-series answer.  When neither the call nor the monitor
+        pins ``fuse``, a per-shape override learned from tick-sharing
+        statistics wins over the hub default — adaptive fusion.
         """
         if isinstance(q, str):
             q = self.engine.parse(q)
         # fusion's economics depend on the widened result being cached and
         # shared; without a cache it would degrade every narrow read into
         # its own full-metric pass, so an uncached engine never fuses
-        effective = (self.fuse if fuse is None else fuse) and self.engine.cache is not None
-        if effective and fusable(q):
-            self.fused_served += 1
-            wide = self.engine.query(widen(q), at=at)
-            return self._narrow(q, wide)
+        if fusable(q):
+            shape = widen(q)
+            self._observe_sharing(shape, q, at)
+            if fuse is None:
+                fuse = self.fuse_overrides.get(shape)
+            effective = (self.fuse if fuse is None else fuse) and self.engine.cache is not None
+            if effective:
+                self.fused_served += 1
+                wide = self.engine.query(shape, at=at)
+                return self._narrow(q, wide)
         self.direct_served += 1
         return self.engine.query(q, at=at)
+
+    #: sharing window: ticks of per-shape history kept for the mean —
+    #: long enough to smooth a burst, short enough that a sharing
+    #: collapse shows up within tens of ticks (stale overrides clear)
+    SHARING_WINDOW_TICKS = 32
+
+    # ------------------------------------------------------ adaptive fusion
+    def _observe_sharing(self, shape: MetricQuery, q: MetricQuery, at: float) -> None:
+        """Track how many distinct narrow queries share a shape per tick.
+
+        A "tick" is one exact evaluation time: the widened result is
+        cached per ``at``, so only queries arriving at the same instant
+        can share it.  Loops spread by phase jitter therefore measure —
+        correctly — as unshared: their load is genuinely not fusible,
+        and adaptive fusion leaves them alone.
+        """
+        if self._tick_at is None or at != self._tick_at:
+            self._fold_tick()
+            self._tick_at = at
+        self._tick_shapes.setdefault(shape, set()).add(q)
+
+    def _fold_tick(self) -> None:
+        for shape, narrows in self._tick_shapes.items():
+            row = self._shape_stats.setdefault(
+                shape, {"ticks": 0.0, "recent": [], "max_narrow": 0.0}
+            )
+            row["ticks"] += 1.0
+            recent = row["recent"]
+            recent.append(float(len(narrows)))
+            if len(recent) > self.SHARING_WINDOW_TICKS:
+                del recent[: len(recent) - self.SHARING_WINDOW_TICKS]
+            row["max_narrow"] = max(row["max_narrow"], float(len(narrows)))
+        self._tick_shapes.clear()
+
+    def sharing_stats(self) -> Dict[MetricQuery, Dict[str, float]]:
+        """Per-shape tick-sharing statistics (completed ticks only).
+
+        ``mean_narrow`` is the mean number of *distinct* narrow queries
+        that asked for the shape per tick over the recent window
+        (:data:`SHARING_WINDOW_TICKS`) — the fan-in a single widened
+        execution would serve, tracking the *current* load rather than
+        lifetime history so a sharing collapse surfaces promptly.
+        ``fused`` is the shape's current effective default (override or
+        hub default).
+        """
+        out: Dict[MetricQuery, Dict[str, float]] = {}
+        for shape, row in self._shape_stats.items():
+            recent = row["recent"]
+            out[shape] = {
+                "ticks": row["ticks"],
+                "mean_narrow": sum(recent) / len(recent) if recent else 0.0,
+                "max_narrow": row["max_narrow"],
+                "fused": 1.0 if self.fuse_overrides.get(shape, self.fuse) else 0.0,
+            }
+        return out
+
+    def set_fuse_override(self, shape: Union[str, MetricQuery], on: Optional[bool]) -> None:
+        """Pin (or with ``None`` clear) the fuse decision for one shape.
+
+        ``shape`` is widened before keying, so passing any narrow query
+        of the family is equivalent to passing the shape itself.
+        """
+        if isinstance(shape, str):
+            shape = self.engine.parse(shape)
+        shape = widen(shape) if shape.matchers else shape
+        if on is None:
+            self.fuse_overrides.pop(shape, None)
+        else:
+            self.fuse_overrides[shape] = bool(on)
 
     def _narrow(self, q: MetricQuery, wide: QueryResult) -> QueryResult:
         """Select ``q``'s series from the widened result by membership.
@@ -152,6 +237,8 @@ class QueryHub:
         out = {
             "fused_served": float(self.fused_served),
             "direct_served": float(self.direct_served),
+            "fuse_overrides": float(len(self.fuse_overrides)),
+            "shapes_tracked": float(len(self._shape_stats)),
         }
         out.update({f"engine_{k}": v for k, v in self.engine.stats().items()})
         return out
@@ -326,20 +413,39 @@ def deterministic_phase(name: str, period_s: float, frac: float) -> float:
 
 
 class LoopHandle:
-    """One hosted loop: its spec, the live MAPEK instance, its schedule."""
+    """One hosted loop: its spec, the live MAPEK instance, its schedule.
+
+    The handle is the supervision surface: it survives
+    :meth:`LoopRuntime.restart` (which swaps in a fresh ``loop``),
+    carries the quarantine flag, and remembers the spec's original
+    period so retuning can converge back to it.
+    """
 
     def __init__(self, runtime: "LoopRuntime", spec: LoopSpec, loop: MAPEKLoop) -> None:
         self.runtime = runtime
         self.spec = spec
         self.loop = loop
         self._task: Optional[PeriodicTask] = None
+        self.base_period_s = spec.period_s
+        self.started_at: Optional[float] = None
+        self.first_tick_at: Optional[float] = None
+        self.quarantined = False
+        self.restarts = 0
+        self.last_restart_at: Optional[float] = None
+        self.retunes = 0
 
     # ------------------------------------------------------------- lifecycle
-    def start(self) -> None:
+    def start(self, *, at: Optional[float] = None) -> None:
+        """Schedule the loop; ``at`` overrides the spec's first-tick time."""
         if self.running:
             raise RuntimeError(f"loop {self.spec.name!r} already started")
+        if self.quarantined:
+            raise RuntimeError(f"loop {self.spec.name!r} is quarantined")
         engine = self.runtime.engine
-        first = self.spec.start_at if self.spec.start_at is not None else engine.now
+        if at is not None:
+            first = at
+        else:
+            first = self.spec.start_at if self.spec.start_at is not None else engine.now
         first += deterministic_phase(
             self.spec.name, self.spec.period_s, self.runtime.config.phase_jitter_frac
         )
@@ -352,11 +458,24 @@ class LoopHandle:
             priority=-self.spec.priority,
             label=f"loop-{self.spec.name}",
         )
+        self.started_at = engine.now
+        self.first_tick_at = max(first, engine.now)
 
     def stop(self) -> None:
         if self._task is not None:
             self._task.stop()
             self._task = None
+
+    def wedge(self) -> None:
+        """Chaos hook: cancel the next firing while still reporting running.
+
+        A wedged loop is indistinguishable from a hung one — registered,
+        ``running`` true, never iterating again — which is exactly what
+        heartbeat-based stuck detection must catch.  Used by the E17
+        fault-injection scenarios; a restart clears it.
+        """
+        if self._task is not None and self._task._event is not None:
+            self._task._event.cancel()
 
     @property
     def running(self) -> bool:
@@ -374,6 +493,7 @@ class LoopRuntime:
         query_engine: Optional[QueryEngine] = None,
         audit: Optional[AuditTrail] = None,
         config: Optional[RuntimeConfig] = None,
+        arbiter: Optional[PlanArbiter] = None,
     ) -> None:
         self.engine = engine
         self.config = config if config is not None else RuntimeConfig()
@@ -387,10 +507,13 @@ class LoopRuntime:
         self.store = query_engine.store
         self.hub = QueryHub(query_engine, fuse=self.config.fuse_queries)
         self.audit = audit
-        self.arbiter = PlanArbiter(audit=audit)
+        self.arbiter = arbiter if arbiter is not None else PlanArbiter(audit=audit)
         self.handles: Dict[str, LoopHandle] = {}
         self.iterations_total = 0
         self.actions_total = 0
+        self.restarts_total = 0
+        self.quarantines_total = 0
+        self.retunes_total = 0
 
     @classmethod
     def for_case(
@@ -422,10 +545,8 @@ class LoopRuntime:
         return cls(engine, store, query_engine=query_engine, audit=audit)
 
     # ---------------------------------------------------------------- fleet
-    def add(self, spec: LoopSpec, *, start: bool = False) -> LoopHandle:
-        """Instantiate a spec into a hosted loop; optionally start it."""
-        if spec.name in self.handles:
-            raise ValueError(f"loop {spec.name!r} already registered")
+    def _build_loop(self, spec: LoopSpec) -> MAPEKLoop:
+        """Instantiate the spec's components into a fresh MAPEK loop."""
         if spec.monitor_factory is not None:
             monitor: Monitor = spec.monitor_factory(self)
         else:
@@ -441,7 +562,7 @@ class LoopRuntime:
                 resource_keys=spec.resource_keys,
             )
         )
-        loop = MAPEKLoop(
+        return MAPEKLoop(
             self.engine,
             spec.name,
             monitor=monitor,
@@ -457,7 +578,12 @@ class LoopRuntime:
             keep_iterations=spec.keep_iterations,
             on_iteration=self._iteration_hook(spec),
         )
-        handle = LoopHandle(self, spec, loop)
+
+    def add(self, spec: LoopSpec, *, start: bool = False) -> LoopHandle:
+        """Instantiate a spec into a hosted loop; optionally start it."""
+        if spec.name in self.handles:
+            raise ValueError(f"loop {spec.name!r} already registered")
+        handle = LoopHandle(self, spec, self._build_loop(spec))
         self.handles[spec.name] = handle
         if start:
             handle.start()
@@ -474,13 +600,123 @@ class LoopRuntime:
             self.arbiter.release(name)
         return handle
 
+    # ------------------------------------------------------ fleet operations
+    # The supervision surface (see :mod:`repro.core.supervisor`): every
+    # operation is audited under the acting loop's name so meta-loop
+    # decisions are traceable next to the decisions of the loops they
+    # govern.
+
+    def restart(self, name: str, *, by: str = "runtime", reason: str = "") -> LoopHandle:
+        """Rebuild a loop from its spec and reschedule it from now.
+
+        A restart is the stuck-loop remedy: fresh components (a wedged
+        monitor's state is discarded), released arbiter claims (a held
+        ``(domain, target)`` must not outlive the holder's death), and a
+        first tick one period from now.  Cumulative loop counters reset
+        with the instance; the handle's ``restarts`` counter and the
+        published ``loop_restarts_total`` series carry the history.
+        """
+        handle = self.handles[name]
+        handle.stop()
+        handle.quarantined = False
+        self.arbiter.release(name)
+        handle.loop = self._build_loop(handle.spec)
+        handle.restarts += 1
+        handle.last_restart_at = self.engine.now
+        self.restarts_total += 1
+        handle.start(at=self.engine.now + handle.spec.period_s)
+        now = self.engine.now
+        if self.config.self_telemetry:
+            self.store.insert(
+                SeriesKey.of("loop_restarts_total", loop=name), now, float(handle.restarts)
+            )
+        if self.audit is not None:
+            self.audit.record(
+                now, by, "fleet",
+                f"restarted loop {name}" + (f": {reason}" if reason else ""),
+                data={"op": "restart", "loop": name, "restarts": handle.restarts},
+            )
+        return handle
+
+    def quarantine(self, name: str, *, by: str = "runtime", reason: str = "") -> LoopHandle:
+        """Stop a loop and bar it from starting until unquarantined.
+
+        The remedy for a loop that keeps planning against the fleet
+        (repeatedly vetoed actuations): it stays registered — its spec,
+        history, and telemetry remain inspectable — but cannot tick.
+        Its claims are released so the resources it held drain back.
+        """
+        handle = self.handles[name]
+        handle.stop()
+        handle.quarantined = True
+        self.quarantines_total += 1
+        self.arbiter.release(name)
+        if self.audit is not None:
+            self.audit.record(
+                self.engine.now, by, "fleet",
+                f"quarantined loop {name}" + (f": {reason}" if reason else ""),
+                data={"op": "quarantine", "loop": name},
+            )
+        return handle
+
+    def unquarantine(self, name: str, *, by: str = "runtime", start: bool = True) -> LoopHandle:
+        """Lift a quarantine; by default the loop resumes one period out."""
+        handle = self.handles[name]
+        handle.quarantined = False
+        if start and not handle.running:
+            handle.start(at=self.engine.now + handle.spec.period_s)
+        if self.audit is not None:
+            self.audit.record(
+                self.engine.now, by, "fleet",
+                f"unquarantined loop {name}",
+                data={"op": "unquarantine", "loop": name},
+            )
+        return handle
+
+    def retune(
+        self, name: str, *, period_s: float, by: str = "runtime", reason: str = ""
+    ) -> LoopHandle:
+        """Change a loop's period in place, rescheduling its next tick.
+
+        Loop state (knowledge, iteration history, counters) survives —
+        only the schedule and the arbiter claim TTL (when derived from
+        the period) change.  This is the load-shedding actuator: a
+        supervisor that measures iteration cost can slow an expensive
+        loop down, then speed it back up toward ``base_period_s`` when
+        the pressure clears.
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        handle = self.handles[name]
+        old = handle.spec.period_s
+        handle.spec.period_s = period_s
+        handle.loop.period_s = period_s
+        if handle.spec.claim_ttl_s is None:
+            for guard in handle.loop.guards:
+                if isinstance(guard, ArbiterGuard):
+                    guard.ttl_s = period_s
+        was_running = handle.running
+        handle.stop()
+        handle.retunes += 1
+        self.retunes_total += 1
+        if was_running and not handle.quarantined:
+            handle.start(at=self.engine.now + period_s)
+        if self.audit is not None:
+            self.audit.record(
+                self.engine.now, by, "fleet",
+                f"retuned loop {name}: period {old:g}s -> {period_s:g}s"
+                + (f" ({reason})" if reason else ""),
+                data={"op": "retune", "loop": name, "period_s": period_s},
+            )
+        return handle
+
     def handle(self, name: str) -> LoopHandle:
         return self.handles[name]
 
     def start(self) -> None:
-        """Start every registered loop that is not already running."""
+        """Start every registered, unquarantined loop not already running."""
         for handle in self.handles.values():
-            if not handle.running:
+            if not handle.running and not handle.quarantined:
                 handle.start()
 
     def stop(self) -> None:
@@ -532,8 +768,14 @@ class LoopRuntime:
         out = {
             "loops": float(len(self.handles)),
             "loops_running": float(self.active_loops()),
+            "loops_quarantined": float(
+                sum(1 for h in self.handles.values() if h.quarantined)
+            ),
             "iterations_total": float(self.iterations_total),
             "actions_total": float(self.actions_total),
+            "restarts_total": float(self.restarts_total),
+            "quarantines_total": float(self.quarantines_total),
+            "retunes_total": float(self.retunes_total),
         }
         out.update({f"hub_{k}": v for k, v in self.hub.stats().items()})
         out.update({f"arbiter_{k}": v for k, v in self.arbiter.stats().items()})
@@ -556,6 +798,9 @@ class LoopRuntime:
                     "actions": float(loop.actions_executed),
                     "vetoes": float(loop.actions_vetoed),
                     "mean_staleness_s": float(np.mean(staleness)) if staleness else 0.0,
+                    "restarts": float(handle.restarts),
+                    "state": "quarantined" if handle.quarantined
+                    else ("running" if handle.running else "stopped"),
                 }
             )
         return rows

@@ -11,7 +11,7 @@ executed by any Executor because it is a :class:`Plan` of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ stakeholder, ready for a deployment proposal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,7 @@ def run_interchange_matrix(
         )
         # prove the registry path constructs the component
         forecaster = registry.create("forecaster", name)
-        manager = SchedulerCaseManager(
+        SchedulerCaseManager(
             engine,
             scheduler,
             channel,

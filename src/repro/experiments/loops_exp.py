@@ -330,7 +330,7 @@ def run_runtime_overhead(
     wall_t0 = time.perf_counter()
     engine.run(until=until)
     legacy_wall_s = time.perf_counter() - wall_t0
-    legacy_iterations = sum(l.iterations_run for l in loops)
+    legacy_iterations = sum(lp.iterations_run for lp in loops)
 
     # --- runtime-hosted ---------------------------------------------------
     engine = Engine()

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
 
 from repro.cluster.application import ApplicationProfile
 from repro.cluster.checkpoint import CheckpointStore
@@ -88,7 +87,6 @@ def run_maintenance_scenario(
         lost_steps = max(0.0, (j.final_step or 0.0) - saved)
         lost_node_seconds += (lost_steps / j.profile.base_step_rate) * j.n_nodes
     # completion time of the original workload (including resubmitted clones)
-    all_terminal = [j for j in scheduler.jobs.values() if j.end_time is not None]
     finished_work = [j for j in scheduler.jobs.values() if j.state is JobState.COMPLETED]
     makespan = max((j.end_time for j in finished_work), default=float("nan"))
     return {

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.job import Job, JobState
+from repro.cluster.job import JobState
 from repro.cluster.scheduler import Scheduler
 
 

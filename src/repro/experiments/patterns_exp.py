@@ -70,7 +70,6 @@ def run_pattern_scenario(cfg: PatternScenarioConfig) -> Dict[str, float]:
         e.start_disturbance()
         elements.append(e)
     target_total = 100.0 * cfg.n_elements
-    fair = 100.0
 
     controller, kill, latency = _build(engine, elements, target_total, cfg)
     controller_start = getattr(controller, "start")
@@ -103,7 +102,6 @@ def run_pattern_scenario(cfg: PatternScenarioConfig) -> Dict[str, float]:
         if abs(e.read() - snapshot.get(e.element_id, e.read())) > drift_threshold
     )
     messages = controller.messages_sent() if hasattr(controller, "messages_sent") else 0
-    cycles = max(1, getattr(controller, "cycles", 1))
     return {
         "pattern": cfg.pattern,
         "n": cfg.n_elements,

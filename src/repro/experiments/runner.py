@@ -198,6 +198,22 @@ def run_all(quick: bool = False, seeds: List[int] = (0, 1, 2)) -> None:
         title="E15b — LoopRuntime hosting overhead vs hand-wired loops",
     ))
 
+    # ------------------------------------------------------------- E17
+    from repro.experiments.supervise_exp import (
+        run_adaptive_fusion_benchmark,
+        run_supervision_benchmark,
+    )
+
+    _p(render_table(
+        [run_supervision_benchmark(seed=0, n_loops=64 if quick else 256)],
+        title="E17 — fleet supervision under injected stuck/frozen loops",
+    ))
+    _p(render_table(
+        [run_adaptive_fusion_benchmark(seed=0, n_loops=64 if quick else 256,
+                                       ticks=12 if quick else 20)],
+        title="E17b — adaptive fusion vs never-fused monitoring",
+    ))
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)

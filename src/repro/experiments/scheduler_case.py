@@ -17,7 +17,7 @@ differences come from the response channel, not retry behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cluster.checkpoint import CheckpointStore

@@ -9,7 +9,7 @@ Section IV says MODA storage designs must now balance.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

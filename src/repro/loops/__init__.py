@@ -89,7 +89,21 @@ __all__ = [
 
 def register_components(registry) -> None:
     """Register use-case components for swap-by-name (question ii / E12)."""
+    from repro.core.supervisor import (
+        FleetHealthAnalyzer,
+        FleetHealthPlanner,
+        SupervisorConfig,
+    )
+
     registry.register("monitor", "job-progress", JobProgressMonitor)
     registry.register("analyzer", "progress", ProgressAnalyzer)
     registry.register("planner", "extension", ExtensionPlanner)
     registry.register("executor", "scheduler", SchedulerExecutor)
+    # the meta-loop components speak the same typed contracts, so fleet
+    # supervision is interchangeable like any use-case loop (E12)
+    registry.register(
+        "analyzer", "fleet-health", lambda: FleetHealthAnalyzer(SupervisorConfig())
+    )
+    registry.register(
+        "planner", "fleet-health", lambda: FleetHealthPlanner(SupervisorConfig())
+    )

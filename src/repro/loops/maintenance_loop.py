@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.cluster.job import JobState
 from repro.cluster.maintenance import MaintenanceEvent, MaintenanceManager
 from repro.cluster.scheduler import Scheduler
 from repro.core.audit import AuditTrail

@@ -24,7 +24,6 @@ from repro.analytics.misconfig import (
     MisconfigFinding,
     MisconfigKind,
 )
-from repro.cluster.job import JobState
 from repro.cluster.scheduler import Scheduler
 from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner

@@ -28,7 +28,7 @@ from repro.cluster.scheduler import Scheduler
 from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.confidence import combined_confidence
-from repro.core.guards import ActionBudgetGuard, ConfidenceGuard, Guard
+from repro.core.guards import ActionBudgetGuard, ConfidenceGuard
 from repro.core.humanloop import HumanOnTheLoopNotifier
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop, PhaseLatency

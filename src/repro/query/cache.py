@@ -19,7 +19,7 @@ corrupt another's hit.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 
 class QueryCache:

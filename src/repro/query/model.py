@@ -31,7 +31,7 @@ Semantics (shared by the engine and the brute-force reference):
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.query.kernels import ALL_AGGS

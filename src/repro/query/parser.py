@@ -19,7 +19,7 @@ Examples::
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.query.model import LabelMatcher, MetricQuery
 

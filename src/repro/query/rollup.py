@@ -29,7 +29,6 @@ to the rollups, same as in any real collector.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -15,7 +15,7 @@ close-and-reopen-elsewhere response), and the QoS manager.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analytics.streaming import Ewma

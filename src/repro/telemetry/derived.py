@@ -13,7 +13,7 @@ instant query ``agg(source_metric[window])``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.sim.engine import Engine, PeriodicTask
 from repro.telemetry.metric import SeriesKey

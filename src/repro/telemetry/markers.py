@@ -13,7 +13,7 @@ is provided for loops that prefer TSDB queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.metric import SeriesKey

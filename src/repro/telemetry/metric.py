@@ -9,8 +9,8 @@ the TSDB and the collection pipeline.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 
 class MetricKind(enum.Enum):

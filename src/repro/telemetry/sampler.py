@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.sim.engine import Engine, PeriodicTask
 from repro.telemetry.batch import Sample, SampleBatch
-from repro.telemetry.metric import SeriesKey  # noqa: F401  (re-export convenience)
 from repro.telemetry.sensor import Sensor, SensorBank
 
 __all__ = ["Sample", "SampleSink", "Sampler", "SamplingGroup"]
@@ -73,7 +72,8 @@ class _PeriodicAgentBase:
             raise RuntimeError(f"{type(self).__name__} {self.name!r} already started")
         jitter_fn = None
         if self.jitter_std > 0:
-            jitter_fn = lambda: float(self.rng.normal(0.0, self.jitter_std))
+            def jitter_fn() -> float:
+                return float(self.rng.normal(0.0, self.jitter_std))
         self._task = self.engine.every(
             self.period, self._collect_round, start_at=start_at, jitter_fn=jitter_fn, label=self.name
         )

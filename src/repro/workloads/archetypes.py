@@ -15,7 +15,7 @@ distribution that mimics one class of HPC workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List
 
 import numpy as np
 

@@ -143,7 +143,6 @@ class TestOLSForecaster:
 
 class TestTheilSenForecaster:
     def test_robust_to_outlier_markers(self):
-        rng = np.random.default_rng(5)
         fc_ts = TheilSenForecaster()
         fc_ols = OLSForecaster()
         for i in range(30):
@@ -189,7 +188,6 @@ class TestForecasterEnsemble:
             ForecasterEnsemble(member_names=("ols", "ensemble"))
 
     def test_prefers_robust_member_on_outlier_stream(self):
-        rng = np.random.default_rng(9)
         fc = ForecasterEnsemble(member_names=("ols", "theilsen"))
         for i in range(60):
             t = i * 10.0

@@ -1,6 +1,5 @@
 """Edge-case tests for scheduler reservations, extensions, and accounting."""
 
-import math
 
 import pytest
 

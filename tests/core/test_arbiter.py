@@ -1,17 +1,10 @@
 """Cross-loop plan arbitration: conflicts, priority, TTL, audit."""
 
-import pytest
 
-from repro.core.arbiter import (
-    ADVISORY_KINDS,
-    ArbiterGuard,
-    PlanArbiter,
-    default_resource_keys,
-)
+from repro.core.arbiter import PlanArbiter, default_resource_keys
 from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.guards import ConfidenceGuard
-from repro.core.knowledge import KnowledgeBase
 from repro.core.runtime import LoopRuntime, LoopSpec
 from repro.core.types import Action, AnalysisReport, ExecutionResult, Observation, Plan
 from repro.sim import Engine

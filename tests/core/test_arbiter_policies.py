@@ -1,0 +1,201 @@
+"""Pluggable arbiter policies: merge, queue-behind-claim, policy audit."""
+
+from repro.core.arbiter import (
+    MergePolicy,
+    PlanArbiter,
+    PriorityVetoPolicy,
+    QueuePolicy,
+    cooperative_policies,
+    default_policies,
+)
+from repro.core.audit import AuditTrail
+from repro.core.types import Action, Plan
+
+
+def plan_of(*actions, confidence=1.0):
+    return Plan(0.0, "test", tuple(actions), confidence)
+
+
+def act(kind="signal_checkpoint", target="j1", **params):
+    return Plan(0.0, "test", (Action(kind, target, params=params),))
+
+
+class TestMergePolicy:
+    def arbiter(self, audit=None):
+        return PlanArbiter(audit=audit, policies=(MergePolicy(), PriorityVetoPolicy()))
+
+    def test_compatible_duplicate_absorbed_not_vetoed(self):
+        audit = AuditTrail()
+        arb = self.arbiter(audit)
+        arb.resolve("a", 5, act(rate=2.0), 0.0, ttl_s=60.0)
+        kept, vetoed = arb.resolve("b", 0, act(rate=2.0), 1.0, ttl_s=60.0)
+        # absorbed: dropped from the plan but NOT reported as a veto
+        assert kept.empty and not vetoed
+        assert arb.merged_total == 1 and arb.vetoes_total == 0
+        events = audit.by_phase("arbitrate")
+        assert len(events) == 1
+        assert events[0].data["policy"] == "merge"
+        assert events[0].data["outcome"] == "merge"
+        assert events[0].data["winner"] == "a"
+
+    def test_incompatible_params_rejected(self):
+        audit = AuditTrail()
+        arb = self.arbiter(audit)
+        arb.resolve("a", 5, act(rate=2.0), 0.0, ttl_s=60.0)
+        kept, vetoed = arb.resolve("b", 0, act(rate=9.0), 1.0, ttl_s=60.0)
+        # merge of incompatible plans is rejected: falls through to veto
+        assert kept.empty and len(vetoed) == 1
+        assert arb.merged_total == 0 and arb.vetoes_total == 1
+        assert audit.by_phase("arbitrate")[0].data["policy"] == "priority-veto"
+
+    def test_different_kind_rejected(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act("signal_checkpoint"), 0.0, ttl_s=60.0)
+        _, vetoed = arb.resolve("b", 0, act("request_extension"), 1.0, ttl_s=60.0)
+        assert len(vetoed) == 1 and arb.merged_total == 0
+
+    def test_merge_does_not_inflate_loop_veto_counts(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        arb.resolve("b", 0, act(), 1.0, ttl_s=60.0)
+        assert arb.vetoes_by_loop == {}
+
+    def test_higher_priority_duplicate_absorbed_not_preempted(self):
+        """A duplicate is a duplicate regardless of rank: no double execute."""
+        arb = self.arbiter()
+        arb.resolve("lo", 0, act(rate=2.0), 0.0, ttl_s=60.0)
+        kept, vetoed = arb.resolve("hi", 10, act(rate=2.0), 1.0, ttl_s=60.0)
+        assert kept.empty and not vetoed  # absorbed, not preempted
+        assert arb.merged_total == 1 and arb.preemptions_total == 0
+        # the original claim holder keeps the key
+        assert arb.active_claims(1.0)[("job", "j1")].loop == "lo"
+        # an *incompatible* higher-priority plan still preempts
+        kept, vetoed = arb.resolve("hi", 10, act(rate=9.0), 2.0, ttl_s=60.0)
+        assert len(kept.actions) == 1 and not vetoed
+        assert arb.preemptions_total == 1
+
+
+class TestQueuePolicy:
+    def arbiter(self, *, defer_ttl_s=100.0, audit=None):
+        return PlanArbiter(
+            audit=audit,
+            policies=(QueuePolicy(defer_ttl_s=defer_ttl_s), PriorityVetoPolicy()),
+        )
+
+    def test_blocked_contender_deferred_not_vetoed(self):
+        audit = AuditTrail()
+        arb = self.arbiter(audit=audit)
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        kept, vetoed = arb.resolve("b", 0, act(), 10.0, ttl_s=60.0)
+        # deferred: dropped from the plan, but a polite wait is not a
+        # veto — the health supervisor's storm counter must not see it
+        assert kept.empty and not vetoed
+        assert arb.vetoes_total == 0 and arb.deferred_total == 1
+        event = audit.by_phase("arbitrate")[0]
+        assert event.data["policy"] == "queue"
+        assert event.data["outcome"] == "defer"
+        assert event.data["queue_position"] == 0
+        assert arb.stats()["queued_total"] == 1.0
+
+    def test_queue_head_right_of_way_after_claim_expiry(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=60.0)  # queued behind a
+        # claim expired at 60; c (same priority as b) arrives first but
+        # b holds the reservation
+        kept_c, vetoed_c = arb.resolve("c", 0, act(), 70.0, ttl_s=60.0)
+        assert kept_c.empty and not vetoed_c  # deferred behind b
+        kept_b, vetoed_b = arb.resolve("b", 0, act(), 80.0, ttl_s=60.0)
+        assert not vetoed_b and len(kept_b.actions) == 1
+        assert arb.active_claims(80.0)[("job", "j1")].loop == "b"
+        assert arb.stats()["queue_granted_total"] == 1.0
+
+    def test_claim_expiry_mid_queue_drops_expired_deferral(self):
+        """A queued loop whose deferral lapsed loses its reservation."""
+        arb = self.arbiter(defer_ttl_s=30.0)
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=60.0)  # deferral expires at 40
+        # claim expires at 60; b's reservation already lapsed mid-queue,
+        # so c takes the key immediately
+        kept_c, vetoed_c = arb.resolve("c", 0, act(), 65.0, ttl_s=60.0)
+        assert not vetoed_c and len(kept_c.actions) == 1
+        assert arb.stats()["queue_expired_total"] == 1.0
+
+    def test_fifo_order_among_queued_contenders(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=50.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=50.0)
+        arb.resolve("c", 0, act(), 20.0, ttl_s=50.0)
+        # after expiry, c is still behind b
+        kept_c, _ = arb.resolve("c", 0, act(), 60.0, ttl_s=50.0)
+        assert kept_c.empty
+        kept_b, _ = arb.resolve("b", 0, act(), 61.0, ttl_s=50.0)
+        assert len(kept_b.actions) == 1
+
+    def test_strictly_higher_priority_overrides_reservation(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=50.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=50.0)  # queued, prio 0
+        kept_hi, vetoed_hi = arb.resolve("hi", 10, act(), 60.0, ttl_s=50.0)
+        assert not vetoed_hi and len(kept_hi.actions) == 1
+
+    def test_release_purges_queue_entries(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=50.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=50.0)
+        arb.release("b")
+        kept_c, vetoed_c = arb.resolve("c", 0, act(), 60.0, ttl_s=50.0)
+        assert not vetoed_c and len(kept_c.actions) == 1
+
+    def test_requeue_same_loop_is_idempotent(self):
+        arb = self.arbiter()
+        arb.resolve("a", 5, act(), 0.0, ttl_s=200.0)
+        arb.resolve("b", 0, act(), 10.0, ttl_s=200.0)
+        arb.resolve("b", 0, act(), 20.0, ttl_s=200.0)
+        assert arb.stats()["queued_total"] == 1.0
+
+    def test_drained_queues_are_forgotten(self):
+        """The queue table is bounded by live contention, not key history."""
+        policy = QueuePolicy(defer_ttl_s=50.0)
+        policy.sweep_threshold = 8
+        arb = PlanArbiter(policies=(policy, PriorityVetoPolicy()))
+        # a stream of short-lived contended keys: b queues once per key
+        # and never returns; lapsed entries must not accumulate
+        for i in range(64):
+            t = float(i * 200)
+            arb.resolve("a", 5, act(target=f"j{i}"), t, ttl_s=100.0)
+            arb.resolve("b", 0, act(target=f"j{i}"), t + 1.0, ttl_s=100.0)
+        assert len(policy._queues) <= policy.sweep_threshold + 1
+        # a touched key whose queue drained is dropped immediately
+        policy.sweep(64 * 200.0 + 100.0)
+        assert len(policy._queues) == 0
+
+
+class TestPolicyChains:
+    def test_default_chain_matches_pr3_behavior(self):
+        arb = PlanArbiter()
+        assert [p.name for p in default_policies()] == ["priority-veto"]
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        _, vetoed = arb.resolve("b", 0, act(), 1.0, ttl_s=60.0)
+        assert len(vetoed) == 1
+
+    def test_cooperative_chain_merges_then_queues(self):
+        audit = AuditTrail()
+        arb = PlanArbiter(audit=audit, policies=cooperative_policies(defer_ttl_s=100.0))
+        arb.resolve("a", 5, act(rate=1.0), 0.0, ttl_s=60.0)
+        # duplicate → merged by the first policy in the chain
+        kept, vetoed = arb.resolve("b", 0, act(rate=1.0), 1.0, ttl_s=60.0)
+        assert kept.empty and not vetoed
+        # incompatible → deferred by the second
+        kept, vetoed = arb.resolve("c", 0, act(rate=3.0), 2.0, ttl_s=60.0)
+        assert kept.empty and not vetoed
+        policies = [e.data["policy"] for e in audit.by_phase("arbitrate")]
+        assert policies == ["merge", "queue"]
+        assert arb.decisions_by_policy == {"merge": 1, "queue": 1}
+
+    def test_audit_names_policy_per_conflict(self):
+        audit = AuditTrail()
+        arb = PlanArbiter(audit=audit)
+        arb.resolve("a", 5, act(), 0.0, ttl_s=60.0)
+        arb.resolve("b", 0, act(), 1.0, ttl_s=60.0)
+        assert audit.by_phase("arbitrate")[0].data["policy"] == "priority-veto"

@@ -5,7 +5,6 @@ import pytest
 from repro.core.audit import AuditTrail
 from repro.core.component import Analyzer, Assessor, Executor, Monitor, Planner
 from repro.core.guards import ConfidenceGuard
-from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop, PhaseLatency
 from repro.core.types import (
     Action,

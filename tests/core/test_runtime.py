@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.component import Analyzer, Executor, Planner
-from repro.core.knowledge import KnowledgeBase
-from repro.core.loop import MAPEKLoop, PhaseLatency
+from repro.core.loop import PhaseLatency
 from repro.core.runtime import (
     LoopRuntime,
     LoopSpec,

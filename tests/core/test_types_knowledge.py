@@ -3,15 +3,7 @@
 import pytest
 
 from repro.core.knowledge import KnowledgeBase, ModelEntry
-from repro.core.types import (
-    Action,
-    AnalysisReport,
-    ExecutionResult,
-    LoopIteration,
-    Observation,
-    Plan,
-    Symptom,
-)
+from repro.core.types import Action, AnalysisReport, ExecutionResult, LoopIteration, Plan, Symptom
 
 
 class TestTypes:

@@ -1,6 +1,5 @@
 """Tests for the question-v incentive report."""
 
-import pytest
 
 from repro.experiments.incentives import (
     IncentiveStatement,

@@ -1,0 +1,36 @@
+"""E17 scenario helpers at reduced scale (the benchmark runs at 256)."""
+
+from repro.experiments.provenance import provenance, stamp
+from repro.experiments.supervise_exp import (
+    run_adaptive_fusion_benchmark,
+    run_supervision_benchmark,
+)
+
+
+def test_supervision_benchmark_row_shape():
+    row = run_supervision_benchmark(seed=0, n_loops=32)
+    assert row["restores_within_2x"] == 1.0
+    assert row["control_degrades"] == 1.0
+    assert row["restarts"] == row["frozen"] + row["stuck"]
+    assert row["stuck_recovered"] == row["stuck"]
+    assert row["actions_audited"] >= row["restarts"]
+
+
+def test_adaptive_fusion_exactness_at_small_scale():
+    row = run_adaptive_fusion_benchmark(seed=0, n_loops=32, ticks=10)
+    # perf gate is benchmark-scale only; exactness and the flip always hold
+    assert row["match"] == 1.0
+    assert row["overrides"] >= 1.0
+    assert row["fused_served"] > 0.0
+    assert row["adaptive_queries"] < row["unfused_queries"]
+
+
+def test_provenance_fields():
+    fields = provenance()
+    assert set(fields) == {"git_sha", "generated_at"}
+    assert fields["git_sha"] != ""
+    assert "T" in fields["generated_at"]
+    row = stamp({"x": 1.0})
+    assert row["x"] == 1.0 and "git_sha" in row and "generated_at" in row
+    # the row's own fields win a collision
+    assert stamp({"git_sha": "pinned"})["git_sha"] == "pinned"

@@ -7,7 +7,6 @@ system degrades gracefully: no crashes, failed jobs accounted, surviving
 jobs still rescued, loops cleaned up.
 """
 
-import pytest
 
 from repro.cluster.application import ApplicationProfile
 from repro.cluster.failures import FailureInjector
@@ -81,11 +80,10 @@ def test_loop_handles_job_killed_mid_cycle():
 
 def test_failed_then_resubmitted_job_gets_new_loop():
     engine = Engine()
-    rngs = RngRegistry(seed=17)
     channel = ProgressMarkerChannel()
     scheduler = Scheduler(engine, [Node("n0", NodeSpec()), Node("n1", NodeSpec())],
                           marker_channel=channel)
-    manager = SchedulerCaseManager(
+    SchedulerCaseManager(
         engine, scheduler, channel, config=SchedulerCaseConfig(loop_period_s=60.0)
     )
     ResubmitPolicy(

@@ -7,7 +7,7 @@ from repro.cluster.job import Job, JobState
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.scheduler import Scheduler
 from repro.sim import Engine
-from repro.storage import OST, AppIoClient, ParallelFileSystem, PeriodicWriter
+from repro.storage import OST, AppIoClient, ParallelFileSystem
 
 
 def io_profile(runtime=1000.0, io_every=200.0, io_mb=1000.0, **kw):

@@ -1,6 +1,5 @@
 """Tests for human-on-the-loop notification wiring in the Scheduler case."""
 
-import pytest
 
 from repro.cluster.application import ApplicationProfile
 from repro.cluster.job import Job, JobState

@@ -104,7 +104,6 @@ class TestSchedulerCaseEndToEnd:
         sched.submit(job)
         eng.run(until=5000.0)
         assert job.state is JobState.TIMEOUT  # still killed...
-        loop_knowledge_checkpointed = job.final_step  # ...but after a checkpoint
         # the checkpoint fallback fired: knowledge says so and the app saved state
         assert sched.stats.extensions_denied >= 1
 
@@ -143,7 +142,7 @@ class TestSchedulerCaseEndToEnd:
         eng = Engine()
         channel = ProgressMarkerChannel()
         sched = Scheduler(eng, [Node("n0", NodeSpec())], marker_channel=channel)
-        manager = SchedulerCaseManager(
+        SchedulerCaseManager(
             eng, sched, channel, config=SchedulerCaseConfig(loop_period_s=60.0), audit=audit
         )
         profile = ApplicationProfile("app", 2000.0, 1.0, marker_period_s=30.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.query import MetricQuery, QueryCache, QueryEngine, RollupManager, parse_query
+from repro.query import QueryEngine, RollupManager, parse_query
 from repro.telemetry.metric import SeriesKey
 from repro.telemetry.tsdb import TimeSeriesStore
 

@@ -152,10 +152,11 @@ class TestStatRing:
 
     def test_wraparound_split_write(self):
         ring = _StatRing(5)
-        mk = lambda a: {
-            name: np.asarray(a, dtype=float)
-            for name in ("time", "sum", "count", "min", "max", "last_t", "last_v")
-        }
+        def mk(a):
+            return {
+                name: np.asarray(a, dtype=float)
+                for name in ("time", "sum", "count", "min", "max", "last_t", "last_v")
+            }
         ring.append_rows(mk([0.0, 1.0, 2.0]))
         ring.append_rows(mk([3.0, 4.0, 5.0, 6.0]))
         np.testing.assert_array_equal(ring.ordered()["time"], [2.0, 3.0, 4.0, 5.0, 6.0])

@@ -171,7 +171,6 @@ def test_federated_serves_aged_out_instant_from_shard_tiers():
     def filled(store_factory):
         store = store_factory()
         store.set_capacity("m", 32)
-        managers = None
         if isinstance(store, ShardedTimeSeriesStore):
             fed = FederatedQueryEngine.with_rollups(
                 store, resolutions=(10.0,), enable_cache=False

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the discrete-event engine."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim import Engine

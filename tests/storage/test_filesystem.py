@@ -102,7 +102,7 @@ class TestFileSystem:
 
     def test_ost_telemetry_pinpoints_slow_ost(self):
         eng, fs = make_fs(2, rate=1000.0)
-        f = fs.create_file("a", "u", stripe_count=2)
+        fs.create_file("a", "u", stripe_count=2)
         fs.set_ost_state("ost0", OstState.DEGRADED, 0.1)
         fs.write("u", "a", 1000.0)
         eng.run(until=10.0)

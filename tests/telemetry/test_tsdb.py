@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.telemetry.metric import SeriesKey
-from repro.telemetry.tsdb import RingBuffer, SeriesStats, TimeSeriesStore
+from repro.telemetry.tsdb import RingBuffer, TimeSeriesStore
 
 
 class TestRingBuffer:

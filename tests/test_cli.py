@@ -1,6 +1,5 @@
 """Tests for the CLI."""
 
-import pytest
 
 from repro.cli import EXPERIMENT_INDEX, main
 
@@ -25,7 +24,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 17)]
+    assert ids == [f"E{i}" for i in range(1, 18)]
 
 
 def test_loops_command(capsys):
@@ -108,6 +107,42 @@ def test_query_command_stats_unsharded(capsys):
     out = capsys.readouterr().out
     assert "cache: hits=" in out
     assert "federation:" not in out  # no federation counters on one store
+
+
+def test_supervise_command(capsys):
+    assert main(["supervise", "--loops", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "supervisor actions (audited):" in out
+    assert "restart act-" in out
+    assert "final p95" in out
+
+
+def test_bench_supervise_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_supervise.json"
+    assert main([
+        "bench-supervise", "--loops", "32", "--ticks", "8",
+        "--smoke", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "healing:" in out
+    assert "adaptive fusion" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["heal"]["restores_within_2x"] == 1.0
+    assert rows["fusion"]["match"] == 1.0
+    # bench artifacts are stamped for cross-run comparability
+    assert rows["git_sha"] and rows["generated_at"]
+
+
+def test_bench_loops_artifact_carries_provenance(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_loops.json"
+    assert main(["bench-loops", "--loops", "4", "--ticks", "2", "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    import json
+
+    data = json.loads(out_path.read_text())
+    assert data["git_sha"] and data["generated_at"]
 
 
 def test_bench_shard_smoke_command(tmp_path, capsys):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.checkpoint import CheckpointRecord, CheckpointStore
+from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.job import JobState
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.scheduler import Scheduler
