@@ -1,0 +1,59 @@
+"""E18 — process-parallel shard execution on shared-memory columns (§IV).
+
+PR 7's execution tier moves shard ring buffers into
+``multiprocessing.shared_memory`` and dispatches the per-shard
+scatter/append/fold passes to a persistent worker-process pool, keeping
+the gather as the canonical single-process lexsort/reduceat merge.  The
+benchmark gates both sides of that bargain on identical data:
+
+* parallel federated ``group_by`` scatters ≥2.5× the serial engine at
+  4 workers × 8 shards (4096 series) — skipped below 4 CPU cores, where
+  process parallelism cannot win by construction;
+* shared-memory column layout costs ≤1.2× plain sharded ingest with the
+  pool off (pure layout overhead, CPU-count independent);
+* **bit-identicality is asserted unconditionally**: every check query
+  (range/instant/rate/p95 + raw ``samples()``) must match the serial
+  engine exactly for every worker count, and all three ingest tiers
+  must produce bit-identical stores.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.parallel_exp import (
+    run_parallel_ingest_benchmark,
+    run_parallel_scatter_benchmark,
+)
+from repro.experiments.report import render_table
+
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+
+def test_parallel_scatter_bit_identical_and_speedup(benchmark):
+    row = run_once(benchmark, run_parallel_scatter_benchmark, seed=0)
+    print()
+    print(render_table(
+        [row], title="E18 — parallel vs serial federated scatter (4096 series, 8 shards)"
+    ))
+    assert row["n_series"] == 4096
+    assert row["n_shards"] == 8
+    assert row["workers"] == 4
+    assert row["worker_counts_checked"] >= 4  # 1, 2, 3, and the measured count
+    assert row["bit_identical"] == 1.0  # every query, every worker count
+    if not MULTICORE:
+        pytest.skip("scatter speedup gate needs >= 4 CPU cores")
+    assert row["scatter_speedup"] >= 2.5
+
+
+def test_shared_memory_ingest_overhead(benchmark):
+    row = run_once(benchmark, run_parallel_ingest_benchmark, seed=0)
+    print()
+    print(render_table(
+        [row], title="E18 — shared-memory vs plain sharded ingest (4096 series, 8 shards)"
+    ))
+    assert row["n_series"] == 4096
+    assert row["match"] == 1.0  # serial, shm, and pool-ingested stores identical
+    assert row["parallel_appends"] > 0  # the pool really executed the appends
+    assert row["shm_overhead"] <= 1.2

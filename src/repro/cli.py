@@ -9,8 +9,10 @@
   query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
   the vectorized query engine with tiered rollups.  ``--shards N``
   partitions the telemetry store and serves the query through the
-  federated scatter-gather engine; ``--stats`` prints cache and
-  federation counters.
+  federated scatter-gather engine; ``--parallel W`` additionally backs
+  the shards with shared-memory columns and executes the per-shard
+  scatter/append/fold passes on W worker processes; ``--stats`` prints
+  cache, federation, and worker-pool counters.
 * ``loops`` — run a watch-loop fleet on the unified runtime over a
   simulated shift and print per-loop stats, fused-query serving
   counters, and the loops' own self-telemetry queried back out.
@@ -29,6 +31,17 @@
 * ``bench-supervise`` — run the E17 fleet-supervision benchmark
   (self-healing staleness restoration + adaptive fusion vs never-fused
   monitoring), optionally writing a JSON artifact.
+* ``bench-parallel`` — run the E18 process-parallel shard benchmark
+  (worker-pool scatter speedup, shared-memory layout overhead, and the
+  E15/E17 fleet reruns on the parallel engine), optionally writing a
+  JSON artifact; ``--smoke`` runs a small exactness-only configuration
+  for CI.  ``bench-shard --parallel W`` runs just the two storage
+  halves at E16 sizing.
+* ``bench-diff OLD NEW`` — compare two benchmark JSON artifacts
+  (typically merged ``BENCH_all.json`` files from two runs) and report
+  throughput metrics (``*_per_s``, ``*speedup*``) that regressed beyond
+  ``--threshold`` (default 20%); ``--fail`` turns regressions into a
+  non-zero exit.
 * ``version`` — print the package version.
 
 Every ``bench-*`` JSON artifact is stamped with the producing commit's
@@ -59,6 +72,7 @@ EXPERIMENT_INDEX = [
     ("E15", "§II/§IV", "loop runtime: fused fleet monitoring vs ad-hoc scans"),
     ("E16", "§IV", "sharded store: federated scatter-gather vs one store"),
     ("E17", "§II/§IV", "fleet supervision: meta-loops over loop self-telemetry"),
+    ("E18", "§IV", "process-parallel shards: shared-memory columns + worker pool"),
 ]
 
 
@@ -84,7 +98,13 @@ def cmd_experiments(quick: bool, seeds: List[int]) -> int:
 
 
 def cmd_query(
-    expr: str, nodes: int, horizon: float, seed: int, shards: int, show_stats: bool
+    expr: str,
+    nodes: int,
+    horizon: float,
+    seed: int,
+    shards: int,
+    parallel: int,
+    show_stats: bool,
 ) -> int:
     """Simulate a short shift, then serve ``expr`` from the query engine."""
     from repro.cluster import Cluster, ClusterConfig
@@ -94,58 +114,68 @@ def cmd_query(
     from repro.workloads import WorkloadGenerator, WorkloadSpec
 
     engine = Engine()
-    cluster = Cluster(
+    with Cluster(
         engine,
-        ClusterConfig(n_nodes=nodes, telemetry_period_s=10.0, seed=seed, shards=shards),
-    )
-    generator = WorkloadGenerator(
-        engine,
-        cluster.scheduler,
-        RngRegistry(seed=seed).stream("workload"),
-        WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
-    )
-    generator.start()
-    qe = cluster.query_engine(rollup_resolutions=(60.0, 600.0))
-    if isinstance(qe, FederatedQueryEngine):
-        qe.attach_rollups(engine)
-    else:
-        qe.rollups.attach(engine)
-    engine.run(until=horizon)
+        ClusterConfig(
+            n_nodes=nodes, telemetry_period_s=10.0, seed=seed,
+            shards=shards, parallel=parallel,
+        ),
+    ) as cluster:
+        generator = WorkloadGenerator(
+            engine,
+            cluster.scheduler,
+            RngRegistry(seed=seed).stream("workload"),
+            WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
+        )
+        generator.start()
+        qe = cluster.query_engine(rollup_resolutions=(60.0, 600.0))
+        if isinstance(qe, FederatedQueryEngine):
+            qe.attach_rollups(engine)
+        else:
+            qe.rollups.attach(engine)
+        engine.run(until=horizon)
 
-    try:
-        result = qe.query(expr, at=horizon)
-    except QueryParseError as exc:
-        print(exc, file=sys.stderr)
-        return 2
-    print(f"# {result.query.to_expr()}")
-    print(f"# window=[{result.t0:g}, {result.t1:g}]s source={result.source} "
-          f"series={len(result.series)}")
-    for series in result.series:
-        if series.values.size == 1:
-            print(f"{series!s:30s} {series.values[0]:.4f}")
-            continue
-        head = ", ".join(f"{v:.3f}" for v in series.values[:8])
-        tail = ", …" if series.values.size > 8 else ""
-        print(f"{series!s:30s} n={series.values.size:4d} [{head}{tail}]")
-    if not result.series:
-        print("(no matching data — try `mean(node_cpu_util[600s] by 60s)`)")
-    stats = qe.stats()
-    print(f"# engine: raw={stats['served_raw']:.0f} rollup={stats['served_rollup']:.0f} "
-          f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
-          f"store_series={cluster.store.cardinality()}")
-    if show_stats:
-        print("# stats:")
-        print(f"  cache: hits={stats.get('cache_hits', 0.0):.0f} "
-              f"misses={stats.get('cache_misses', 0.0):.0f} "
-              f"evictions={stats.get('cache_evictions', 0.0):.0f} "
-              f"entries={stats.get('cache_entries', 0.0):.0f} "
-              f"hit_rate={stats.get('cache_hit_rate', 0.0):.0%}")
-        if "shards" in stats:
-            print(f"  federation: shards={stats['shards']:.0f} "
-                  f"queries={stats['federated_queries']:.0f} "
-                  f"fanout_total={stats['fanout_total']:.0f} "
-                  f"fanout_mean={stats['fanout_mean']:.2f}")
-            print(f"  shard series: {cluster.store.shard_cardinalities()}")
+        try:
+            result = qe.query(expr, at=horizon)
+        except QueryParseError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"# {result.query.to_expr()}")
+        print(f"# window=[{result.t0:g}, {result.t1:g}]s source={result.source} "
+              f"series={len(result.series)}")
+        for series in result.series:
+            if series.values.size == 1:
+                print(f"{series!s:30s} {series.values[0]:.4f}")
+                continue
+            head = ", ".join(f"{v:.3f}" for v in series.values[:8])
+            tail = ", …" if series.values.size > 8 else ""
+            print(f"{series!s:30s} n={series.values.size:4d} [{head}{tail}]")
+        if not result.series:
+            print("(no matching data — try `mean(node_cpu_util[600s] by 60s)`)")
+        stats = qe.stats()
+        print(f"# engine: raw={stats['served_raw']:.0f} rollup={stats['served_rollup']:.0f} "
+              f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
+              f"store_series={cluster.store.cardinality()}")
+        if show_stats:
+            print("# stats:")
+            print(f"  cache: hits={stats.get('cache_hits', 0.0):.0f} "
+                  f"misses={stats.get('cache_misses', 0.0):.0f} "
+                  f"evictions={stats.get('cache_evictions', 0.0):.0f} "
+                  f"entries={stats.get('cache_entries', 0.0):.0f} "
+                  f"hit_rate={stats.get('cache_hit_rate', 0.0):.0%}")
+            if "shards" in stats:
+                print(f"  federation: shards={stats['shards']:.0f} "
+                      f"queries={stats['federated_queries']:.0f} "
+                      f"fanout_total={stats['fanout_total']:.0f} "
+                      f"fanout_mean={stats['fanout_mean']:.2f}")
+                print(f"  shard series: {cluster.store.shard_cardinalities()}")
+            if "parallel_scatters" in stats:
+                pool = cluster.store.pool.stats()
+                print(f"  parallel: workers={pool['workers']:.0f} "
+                      f"dispatches={pool['dispatches']:.0f} "
+                      f"scatters={stats['parallel_scatters']:.0f} "
+                      f"appends={cluster.store.parallel_appends} "
+                      f"fallbacks={stats['serial_fallbacks']:.0f}")
     return 0
 
 
@@ -331,12 +361,15 @@ def cmd_bench_shard(
     ticks: int,
     json_path: Optional[str],
     smoke: bool,
+    parallel: int = 0,
 ) -> int:
     """Run the E16 sharded-store benchmark and print (optionally dump) rows.
 
     ``--smoke`` shrinks the workload and checks only exactness (bitwise
     partition invariance + store equality), not the perf thresholds —
-    the CI wiring check, fast enough for every push.
+    the CI wiring check, fast enough for every push.  ``--parallel W``
+    runs the same storage measurements through the process-parallel
+    tier instead (the E18 scatter/ingest halves at this sizing).
     """
     import json
 
@@ -344,6 +377,11 @@ def cmd_bench_shard(
     from repro.experiments.report import render_table
     from repro.experiments.shard_exp import run_shard_benchmark
 
+    if parallel > 0:
+        return _bench_parallel_storage(
+            series=series, shards=shards, workers=parallel, ticks=ticks,
+            json_path=json_path, smoke=smoke,
+        )
     if smoke:
         series, ticks, repeats = min(series, 256), min(ticks, 16), 1
     else:
@@ -374,6 +412,156 @@ def cmd_bench_shard(
     return 0
 
 
+def _bench_parallel_storage(
+    *, series: int, shards: int, workers: int, ticks: int,
+    json_path: Optional[str], smoke: bool,
+) -> int:
+    """The two E18 storage halves (scatter + ingest) at E16-style sizing."""
+    import json
+
+    from repro.experiments.parallel_exp import (
+        run_parallel_ingest_benchmark,
+        run_parallel_scatter_benchmark,
+    )
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+
+    if smoke:
+        series, ticks, repeats = min(series, 256), min(ticks, 16), 1
+        workers = min(workers, 2)
+    else:
+        repeats = 3
+    scatter = run_parallel_scatter_benchmark(
+        n_series=series, n_shards=shards, workers=workers, ticks=ticks, repeats=repeats
+    )
+    ingest = run_parallel_ingest_benchmark(
+        n_series=series, n_shards=shards, workers=min(workers, 2),
+        ticks=ticks, repeats=repeats,
+    )
+    print(render_table([scatter], title="E18 — parallel vs serial federated scatter"))
+    print(render_table([ingest], title="E18 — shared-memory vs plain sharded ingest"))
+    if scatter["bit_identical"] != 1.0 or ingest["match"] != 1.0:
+        print("ERROR: parallel execution diverged from the serial engine", file=sys.stderr)
+        return 1
+    if not smoke and scatter["scatter_speedup"] < 2.5:
+        print("ERROR: parallel scatter below the 2.5x gate", file=sys.stderr)
+        return 1
+    if not smoke and ingest["shm_overhead"] > 1.2:
+        print("ERROR: shared-memory ingest overhead above the 1.2x gate", file=sys.stderr)
+        return 1
+    print(
+        f"scatter speedup: {scatter['scatter_speedup']:.2f}x "
+        f"({scatter['serial_queries_per_s']:.1f} -> "
+        f"{scatter['parallel_queries_per_s']:.1f} queries/s, "
+        f"{scatter['workers']:.0f} workers x {scatter['n_shards']:.0f} shards); "
+        f"shm ingest overhead {ingest['shm_overhead']:.2f}x"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                stamp({"scatter": scatter, "ingest": ingest}), fh, indent=2, sort_keys=True
+            )
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_bench_parallel(
+    series: int,
+    shards: int,
+    workers: int,
+    ticks: int,
+    json_path: Optional[str],
+    smoke: bool,
+) -> int:
+    """Run the E18 process-parallel benchmark and print (optionally dump) rows.
+
+    ``--smoke`` shrinks every section and skips the perf gates (bitwise
+    identicality, store equality, verdict/trace parity are still
+    asserted) — the CI wiring check, fast enough for every push and for
+    single-core runners.
+    """
+    import json
+
+    from repro.experiments.parallel_exp import run_parallel_benchmark
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+
+    if smoke:
+        series, ticks, repeats = min(series, 256), min(ticks, 16), 1
+        workers = min(workers, 2)
+        fleet_loops, supervise_loops = 16, 16
+    else:
+        repeats, fleet_loops, supervise_loops = 3, 64, 32
+    rows = run_parallel_benchmark(
+        n_series=series, n_shards=shards, workers=workers, ticks=ticks,
+        repeats=repeats, fleet_loops=fleet_loops, supervise_loops=supervise_loops,
+    )
+    scatter, ingest = rows["scatter"], rows["ingest"]
+    fleet, supervise = rows["fleet"], rows["supervise"]
+    print(render_table([scatter], title="E18 — parallel vs serial federated scatter"))
+    print(render_table([ingest], title="E18 — shared-memory vs plain sharded ingest"))
+    print(render_table([fleet], title="E18 — E15 watch fleet rerun on the parallel engine"))
+    print(render_table([supervise], title="E18 — E17 supervision rerun on the parallel engine"))
+    if scatter["bit_identical"] != 1.0 or ingest["match"] != 1.0:
+        print("ERROR: parallel execution diverged from the serial engine", file=sys.stderr)
+        return 1
+    if fleet["match"] != 1.0:
+        print("ERROR: fleet verdicts differ between serial and parallel engines",
+              file=sys.stderr)
+        return 1
+    if supervise["trace_match"] != 1.0 or supervise["restores_within_2x"] != 1.0:
+        print("ERROR: supervision diverged on the parallel engine", file=sys.stderr)
+        return 1
+    if not smoke and scatter["scatter_speedup"] < 2.5:
+        print("ERROR: parallel scatter below the 2.5x gate", file=sys.stderr)
+        return 1
+    if not smoke and ingest["shm_overhead"] > 1.2:
+        print("ERROR: shared-memory ingest overhead above the 1.2x gate", file=sys.stderr)
+        return 1
+    print(
+        f"scatter speedup: {scatter['scatter_speedup']:.2f}x "
+        f"({scatter['workers']:.0f} workers x {scatter['n_shards']:.0f} shards); "
+        f"shm ingest overhead {ingest['shm_overhead']:.2f}x; "
+        f"fleet + supervision reruns exact on the parallel engine"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(stamp(rows), fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_bench_diff(old_path: str, new_path: str, threshold: float, fail: bool) -> int:
+    """Diff two benchmark artifacts; warn (or fail) on throughput drops."""
+    from repro.experiments.benchdiff import (
+        artifact_shas,
+        diff_artifacts,
+        load_artifact,
+        render_diff,
+    )
+
+    try:
+        old = load_artifact(old_path)
+        new = load_artifact(new_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench-diff: cannot load artifact: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rows = diff_artifacts(old, new, threshold=threshold)
+    except ValueError as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    old_shas, new_shas = artifact_shas(old), artifact_shas(new)
+    if old_shas or new_shas:
+        print(f"# old: {', '.join(old_shas) or 'unstamped'}")
+        print(f"# new: {', '.join(new_shas) or 'unstamped'}")
+    print(render_diff(rows, threshold=threshold))
+    regressed = [r for r in rows if r["regressed"]]
+    if regressed and fail:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -391,8 +579,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     qry.add_argument("--seed", type=int, default=7)
     qry.add_argument("--shards", type=int, default=1,
                      help="partition the store and serve through the federated engine")
+    qry.add_argument("--parallel", type=int, default=0,
+                     help="worker processes for the shared-memory parallel tier "
+                          "(requires --shards > 1)")
     qry.add_argument("--stats", action="store_true",
-                     help="print query-cache and federation counters")
+                     help="print query-cache, federation, and worker-pool counters")
     loops = sub.add_parser("loops", help="host a watch-loop fleet on the unified runtime")
     loops.add_argument("--loops", dest="n_loops", type=int, default=8)
     loops.add_argument("--nodes", type=int, default=32)
@@ -414,6 +605,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bshard.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     bshard.add_argument("--smoke", action="store_true",
                         help="small exactness-only run (CI wiring check)")
+    bshard.add_argument("--parallel", type=int, default=0,
+                        help="run the storage measurements through the "
+                             "process-parallel tier with this many workers")
     sup = sub.add_parser("supervise", help="run a supervised fleet with injected faults")
     sup.add_argument("--loops", dest="n_loops", type=int, default=64)
     sup.add_argument("--seed", type=int, default=0)
@@ -423,6 +617,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     bsup.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     bsup.add_argument("--smoke", action="store_true",
                       help="small run without the fusion perf gate (CI wiring check)")
+    bpar = sub.add_parser("bench-parallel", help="run the E18 process-parallel benchmark")
+    bpar.add_argument("--series", type=int, default=4096)
+    bpar.add_argument("--shards", type=int, default=8)
+    bpar.add_argument("--workers", type=int, default=4, help="worker processes")
+    bpar.add_argument("--ticks", type=int, default=64, help="commits per store")
+    bpar.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bpar.add_argument("--smoke", action="store_true",
+                      help="small exactness-only run (CI wiring check)")
+    bdiff = sub.add_parser("bench-diff",
+                           help="diff two benchmark artifacts for throughput regressions")
+    bdiff.add_argument("old", help="baseline artifact (e.g. previous BENCH_all.json)")
+    bdiff.add_argument("new", help="candidate artifact")
+    bdiff.add_argument("--threshold", type=float, default=0.2,
+                       help="regression threshold as a fraction (default 0.2 = 20%%)")
+    bdiff.add_argument("--fail", action="store_true",
+                       help="exit non-zero when any metric regressed beyond the threshold")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
@@ -430,7 +640,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiments(args.quick, args.seeds)
     if args.command == "query":
         return cmd_query(
-            args.expr, args.nodes, args.horizon, args.seed, args.shards, args.stats
+            args.expr, args.nodes, args.horizon, args.seed, args.shards,
+            args.parallel, args.stats,
         )
     if args.command == "loops":
         return cmd_loops(args.n_loops, args.nodes, args.horizon, args.seed)
@@ -440,12 +651,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_loops(args.n_loops, args.ticks, args.json_path)
     if args.command == "bench-shard":
         return cmd_bench_shard(
-            args.series, args.shards, args.ticks, args.json_path, args.smoke
+            args.series, args.shards, args.ticks, args.json_path, args.smoke,
+            args.parallel,
         )
     if args.command == "supervise":
         return cmd_supervise(args.n_loops, args.seed)
     if args.command == "bench-supervise":
         return cmd_bench_supervise(args.n_loops, args.ticks, args.json_path, args.smoke)
+    if args.command == "bench-parallel":
+        return cmd_bench_parallel(
+            args.series, args.shards, args.workers, args.ticks, args.json_path,
+            args.smoke,
+        )
+    if args.command == "bench-diff":
+        return cmd_bench_diff(args.old, args.new, args.threshold, args.fail)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

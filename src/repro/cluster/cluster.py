@@ -43,6 +43,12 @@ class ClusterConfig:
     #: stores; loops and dashboards then read through a federated
     #: scatter-gather query engine (see :mod:`repro.shard`)
     shards: int = 1
+    #: >0 backs the shard stores with shared-memory columns and runs
+    #: per-shard ingest/scatter/fold work on that many worker processes
+    #: (see :mod:`repro.shard.parallel`); requires ``shards > 1``.
+    #: The pool starts with the cluster; call :meth:`Cluster.close` (or
+    #: use the cluster as a context manager) to release it.
+    parallel: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -52,6 +58,10 @@ class ClusterConfig:
             raise ValueError("telemetry_groups must be positive")
         if self.shards <= 0:
             raise ValueError("shards must be positive")
+        if self.parallel < 0:
+            raise ValueError("parallel must be non-negative")
+        if self.parallel > 0 and self.shards <= 1:
+            raise ValueError("parallel workers require a sharded store (shards > 1)")
 
 
 class Cluster:
@@ -64,7 +74,17 @@ class Cluster:
         self.nodes: List[Node] = [
             Node(f"n{idx:04d}", self.config.node_spec) for idx in range(self.config.n_nodes)
         ]
-        if self.config.shards > 1:
+        if self.config.parallel > 0:
+            from repro.shard import ParallelShardedStore
+
+            # shared-memory shard columns + worker pool: ingest and
+            # query scatters execute process-parallel, reads still
+            # federate through query_engine() / loop_runtime()
+            self.store = ParallelShardedStore(
+                n_shards=self.config.shards, workers=self.config.parallel
+            )
+            self.store.start_parallel()
+        elif self.config.shards > 1:
             from repro.shard import ShardedTimeSeriesStore
 
             # the collector's commit path routes batches by shard; every
@@ -190,8 +210,21 @@ class Cluster:
 
     def _build_query_engine(self, rollup_resolutions, cache, enable_cache):
         from repro.query import QueryEngine, RollupManager
-        from repro.shard import FederatedQueryEngine, ShardedTimeSeriesStore
+        from repro.shard import (
+            FederatedQueryEngine,
+            ParallelFederatedQueryEngine,
+            ParallelShardedStore,
+            ShardedTimeSeriesStore,
+        )
 
+        if isinstance(self.store, ParallelShardedStore):
+            # tiers live in shared memory and fold inside the workers;
+            # the store enforces one rollup layout for its lifetime
+            if rollup_resolutions is not None:
+                self.store.create_tiersets(rollup_resolutions)
+            return ParallelFederatedQueryEngine(
+                self.store, cache=cache, enable_cache=enable_cache
+            )
         if isinstance(self.store, ShardedTimeSeriesStore):
             if rollup_resolutions is not None:
                 return FederatedQueryEngine.with_rollups(
@@ -267,3 +300,18 @@ class Cluster:
 
     def node_ids(self) -> List[str]:
         return [n.node_id for n in self.nodes]
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release external resources (the parallel tier's worker pool
+        and shared-memory blocks).  Idempotent; a no-op for in-process
+        stores."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,118 @@
+"""Benchmark artifact diffing (the ``repro bench-diff`` command).
+
+CI merges every per-experiment ``BENCH_*.json`` artifact into one
+``BENCH_all.json`` per run, each row stamped with the producing commit's
+``git_sha`` (:mod:`repro.experiments.provenance`).  This module compares
+two such artifacts — typically the previous successful run on ``main``
+against the current one — and flags **throughput regressions**: any
+metric that is higher-is-better (``*_per_s`` rates and ``*speedup*``
+factors) that dropped by more than the threshold.
+
+The walk is schema-agnostic: artifacts are nested dicts/lists (CLI rows,
+pytest-benchmark files, or the merged map of both), and only numeric
+leaves whose key names a throughput metric participate, addressed by
+their dotted path.  Wall-clock noise on shared CI runners is why the
+default threshold is a generous 20% and why the CI step only *warns*
+(``--fail`` upgrades regressions to a non-zero exit for local use).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+#: keys whose values are higher-is-better throughput metrics
+_SUFFIX = "_per_s"
+_INFIX = "speedup"
+
+
+def is_throughput_key(key: str) -> bool:
+    return key.endswith(_SUFFIX) or _INFIX in key
+
+
+def _walk(obj, path: Tuple[str, ...] = ()) -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every throughput leaf."""
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            value = obj[key]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)) and is_throughput_key(str(key)):
+                yield ".".join(path + (str(key),)), float(value)
+            elif isinstance(value, (dict, list)):
+                yield from _walk(value, path + (str(key),))
+    elif isinstance(obj, list):
+        for idx, value in enumerate(obj):
+            yield from _walk(value, path + (str(idx),))
+
+
+def _shas(obj, path: Tuple[str, ...] = ()) -> Iterator[str]:
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if key == "git_sha" and isinstance(value, str):
+                yield value
+            elif isinstance(value, (dict, list)):
+                yield from _shas(value)
+    elif isinstance(obj, list):
+        for value in obj:
+            yield from _shas(value)
+
+
+def load_artifact(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def artifact_shas(artifact: Dict) -> List[str]:
+    """Distinct producing commits stamped anywhere in the artifact."""
+    return sorted(set(_shas(artifact)))
+
+
+def diff_artifacts(old: Dict, new: Dict, *, threshold: float = 0.2) -> List[Dict]:
+    """Throughput deltas between two artifacts.
+
+    Returns one entry per throughput path present in **both** artifacts:
+    ``{"key", "old", "new", "ratio", "regressed"}`` where ``ratio`` is
+    ``new/old`` (>1 got faster) and ``regressed`` marks drops beyond
+    ``threshold``.  Paths only one side has (experiments added/removed)
+    are ignored — a diff tool cannot gate coverage.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0, 1)")
+    old_rows = dict(_walk(old))
+    rows: List[Dict] = []
+    for key, new_v in _walk(new):
+        old_v = old_rows.get(key)
+        if old_v is None or old_v <= 0.0:
+            continue
+        ratio = new_v / old_v
+        rows.append(
+            {
+                "key": key,
+                "old": old_v,
+                "new": new_v,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    rows.sort(key=lambda r: (not r["regressed"], r["ratio"], r["key"]))
+    return rows
+
+
+def render_diff(rows: List[Dict], *, threshold: float = 0.2) -> str:
+    """Human-readable diff report; regressions first."""
+    if not rows:
+        return "bench-diff: no comparable throughput metrics between the artifacts"
+    regressed = [r for r in rows if r["regressed"]]
+    lines = [
+        f"bench-diff: {len(rows)} throughput metric(s) compared, "
+        f"{len(regressed)} regressed beyond {threshold:.0%}"
+    ]
+    width = max(len(r["key"]) for r in rows)
+    for r in rows:
+        marker = "REGRESSED" if r["regressed"] else "ok"
+        lines.append(
+            f"  {r['key']:{width}s}  {r['old']:12.3f} -> {r['new']:12.3f} "
+            f"({r['ratio']:6.2f}x)  {marker}"
+        )
+    return "\n".join(lines)

@@ -182,12 +182,25 @@ def _run_fleet(
     sample_period_s: float,
     hot_fraction: float,
     config: RuntimeConfig,
+    make_store=None,
+    make_query_engine=None,
 ) -> Dict[str, float]:
-    """One fleet run; returns wall time, flag counts, and hub stats."""
+    """One fleet run; returns wall time, flag counts, and hub stats.
+
+    ``make_store(capacity)`` / ``make_query_engine(store, config)``
+    substitute the storage and serving tier (the E18 reruns host the
+    same fleet on the sharded and process-parallel engines); the store
+    is closed after the run when it exposes ``close()``.
+    """
     engine = Engine()
-    store = TimeSeriesStore(default_capacity=int(horizon_s / sample_period_s) + 16)
+    capacity = int(horizon_s / sample_period_s) + 16
+    store = (
+        make_store(capacity) if make_store is not None
+        else TimeSeriesStore(default_capacity=capacity)
+    )
     _fill_store(store, node_ids, "node_cpu_util", horizon_s, sample_period_s, seed, hot_fraction)
-    runtime = LoopRuntime(engine, store, config=config)
+    query_engine = make_query_engine(store, config) if make_query_engine is not None else None
+    runtime = LoopRuntime(engine, store, query_engine=query_engine, config=config)
     specs = watch_fleet_specs(
         "node_cpu_util",
         node_ids,
@@ -223,6 +236,9 @@ def _run_fleet(
         "mean(loop_iteration_ms)", at=engine.now
     )
     out["mean_loop_iteration_ms"] = float(mean_ms) if mean_ms is not None else float("nan")
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()
     return out
 
 

@@ -1,0 +1,405 @@
+"""Process-parallel shard execution experiment (E18, Section IV).
+
+PR 7 moves shard columns into ``multiprocessing.shared_memory`` and runs
+the per-shard scatter/append/fold passes on a persistent worker-process
+pool (:mod:`repro.shard.parallel`).  The gather stays the canonical
+single-process lexsort/reduceat merge, so the parallel tier must be
+**bit-identical** to the serial federated engine for every worker
+count — that is asserted here and property-tested against the
+single-shard oracle in ``tests/shard/test_parallel.py``.  E18 measures
+four things on identical data:
+
+* **Scatter speedup** — the E16 ``group_by`` dashboard query served by
+  the serial :class:`~repro.shard.FederatedQueryEngine` vs the
+  :class:`~repro.shard.ParallelFederatedQueryEngine` dispatching
+  per-shard partial aggregation to the pool.  Gated ≥2.5× at 4 workers
+  × 8 shards (4096 series) on a multi-core host.
+* **Shared-memory layout overhead** — the identical commit stream into
+  plain sharded rings vs shared-memory rings with the pool *off* (the
+  pure layout cost, CPU-count independent).  Gated ≤1.2×.
+* **E15 fleet rerun** — the fused watch fleet hosted once on the serial
+  sharded engine and once on the parallel engine; analyzer verdicts
+  must match exactly.
+* **E17 supervision rerun** — the self-healing scenario supervised over
+  both engines; the audited action traces must be identical and the
+  parallel run must still restore staleness within 2× of healthy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.runtime import RuntimeConfig
+from repro.experiments.loops_exp import _run_fleet
+from repro.experiments.shard_exp import (
+    _fill,
+    _intern,
+    _results_bit_identical,
+    _series_keys,
+)
+from repro.experiments.supervise_exp import run_supervision_scenario
+from repro.query.model import MetricQuery
+from repro.shard import (
+    FederatedQueryEngine,
+    ParallelFederatedQueryEngine,
+    ParallelShardedStore,
+    ShardedTimeSeriesStore,
+)
+
+
+def _check_queries(at: float, step_s: float) -> List[MetricQuery]:
+    """The query shapes every scatter pass must serve bit-identically."""
+    return [
+        MetricQuery("m", agg="mean", range_s=at, step_s=step_s, group_by=("node",)),
+        MetricQuery("m", agg="sum", range_s=at, step_s=step_s),
+        MetricQuery("m", agg="p95", range_s=at, step_s=step_s, group_by=("node",)),
+        MetricQuery("m", agg="rate", range_s=at, step_s=step_s, group_by=("node",)),
+        MetricQuery("m", agg="max", range_s=at / 2.0),
+    ]
+
+
+def run_parallel_scatter_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    workers: int = 4,
+    ticks: int = 64,
+    sample_period_s: float = 10.0,
+    step_s: float = 60.0,
+    n_queries: int = 5,
+    repeats: int = 3,
+    identical_worker_counts=(1, 2, 3),
+) -> Dict[str, float]:
+    """Parallel vs serial federated ``group_by`` serving on identical data.
+
+    Exactness first: for every worker count in
+    ``identical_worker_counts`` plus the measured ``workers``, a fresh
+    parallel store is filled *through the pool* and every check query
+    (range/instant/rate/p95) plus a raw ``samples()`` read must come out
+    bit-identical to the serial federated engine — partition invariance
+    extended across process boundaries.  Then the E16 dashboard query is
+    timed on both engines.
+    """
+    rng = np.random.default_rng(seed)
+    keys = _series_keys(n_series)
+    base = rng.normal(100.0, 15.0, size=n_series)
+    capacity = ticks + 8
+    at = ticks * sample_period_s
+
+    serial_store = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=capacity)
+    _fill(serial_store, _intern(serial_store, keys), ticks, sample_period_s, base)
+    serial = FederatedQueryEngine(serial_store, enable_cache=False)
+    queries = _check_queries(at, step_s)
+    want = [serial.query(q, at=at) for q in queries]
+    want_samples = serial.samples(queries[0], at=at)
+
+    bit_identical = True
+    counts = sorted(set(tuple(identical_worker_counts) + (workers,)))
+    timed_engine = None
+    timed_store = None
+    for w in counts:
+        store = ParallelShardedStore(
+            n_shards=n_shards, default_capacity=capacity, workers=w
+        )
+        store.start_parallel()
+        _fill(store, _intern(store, keys), ticks, sample_period_s, base)
+        engine = ParallelFederatedQueryEngine(store, enable_cache=False)
+        for q, ref in zip(queries, want):
+            if not _results_bit_identical(engine.query(q, at=at), ref):
+                bit_identical = False
+        pt, pv = engine.samples(queries[0], at=at)
+        if not (
+            np.array_equal(pt, want_samples[0]) and np.array_equal(pv, want_samples[1])
+        ):
+            bit_identical = False
+        if engine.serial_fallbacks:
+            bit_identical = False  # a fallback means the pool never ran
+        if w == workers:
+            timed_engine, timed_store = engine, store
+        else:
+            store.close()
+
+    query = queries[0]
+
+    def timed(engine_obj) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for q_i in range(n_queries):
+                engine_obj.query(query, at=at - q_i * sample_period_s)
+            best = min(best, time.perf_counter() - t0)
+        return best / n_queries
+
+    serial_s = timed(serial)
+    parallel_s = timed(timed_engine)
+    scatters = timed_engine.parallel_scatters
+    timed_store.close()
+    return {
+        "n_series": float(n_series),
+        "n_shards": float(n_shards),
+        "workers": float(workers),
+        "points": float(serial_store.total_inserts),
+        "serial_query_ms": serial_s * 1e3,
+        "parallel_query_ms": parallel_s * 1e3,
+        "serial_queries_per_s": 1.0 / serial_s,
+        "parallel_queries_per_s": 1.0 / parallel_s,
+        "scatter_speedup": serial_s / parallel_s,
+        "parallel_scatters": float(scatters),
+        "worker_counts_checked": float(len(counts)),
+        "bit_identical": float(bit_identical),
+    }
+
+
+def run_parallel_ingest_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    workers: int = 2,
+    ticks: int = 64,
+    sample_period_s: float = 10.0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """The identical commit stream through three ingest tiers.
+
+    * plain sharded rings (the PR 4 serial baseline),
+    * shared-memory rings with the pool **off** — the pure layout cost
+      (``shm_overhead``, gated ≤1.2×, independent of CPU count),
+    * shared-memory rings with per-shard appends executing on the pool.
+
+    All three stores must come out bit-identical.
+    """
+    rng = np.random.default_rng(seed)
+    keys = _series_keys(n_series)
+    base = rng.normal(100.0, 15.0, size=n_series)
+    capacity = ticks + 8
+
+    serial_wall = float("inf")
+    serial_store = None
+    for _ in range(repeats):
+        serial_store = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=capacity)
+        serial_wall = min(
+            serial_wall,
+            _fill(serial_store, _intern(serial_store, keys), ticks, sample_period_s, base),
+        )
+
+    def filled_parallel(start_pool: bool):
+        store = ParallelShardedStore(
+            n_shards=n_shards, default_capacity=capacity, workers=workers
+        )
+        if start_pool:
+            store.start_parallel()
+        wall = _fill(store, _intern(store, keys), ticks, sample_period_s, base)
+        return store, wall
+
+    shm_wall = float("inf")
+    shm_store = None
+    for _ in range(repeats):
+        if shm_store is not None:
+            shm_store.close()
+        shm_store, wall = filled_parallel(start_pool=False)
+        shm_wall = min(shm_wall, wall)
+
+    parallel_wall = float("inf")
+    parallel_store = None
+    for _ in range(repeats):
+        if parallel_store is not None:
+            parallel_store.close()
+        parallel_store, wall = filled_parallel(start_pool=True)
+        parallel_wall = min(parallel_wall, wall)
+
+    match = True
+    for key in keys:
+        st, sv = serial_store.query(key, -np.inf, np.inf)
+        for store in (shm_store, parallel_store):
+            t, v = store.query(key, -np.inf, np.inf)
+            if not (np.array_equal(st, t) and np.array_equal(sv, v)):
+                match = False
+                break
+        if not match:
+            break
+    appends = parallel_store.parallel_appends
+    shm_store.close()
+    parallel_store.close()
+
+    samples = float(serial_store.total_inserts)
+    return {
+        "n_series": float(n_series),
+        "n_shards": float(n_shards),
+        "workers": float(workers),
+        "samples": samples,
+        "serial_samples_per_s": samples / serial_wall,
+        "shm_samples_per_s": samples / shm_wall,
+        "parallel_samples_per_s": samples / parallel_wall,
+        "shm_overhead": shm_wall / serial_wall,
+        "parallel_ingest_speedup": serial_wall / parallel_wall,
+        "parallel_appends": float(appends),
+        "match": float(match),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E15/E17 fleet reruns on the parallel engine
+
+
+def _sharded_factories(n_shards: int):
+    def make_store(capacity: int):
+        return ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=capacity)
+
+    def make_engine(store, config):
+        return FederatedQueryEngine(store, enable_cache=config.enable_cache)
+
+    return make_store, make_engine
+
+
+def _parallel_factories(n_shards: int, workers: int, captured: Dict):
+    def make_store(capacity: int):
+        store = ParallelShardedStore(
+            n_shards=n_shards, default_capacity=capacity, workers=workers
+        )
+        store.start_parallel()
+        return store
+
+    def make_engine(store, config):
+        engine = ParallelFederatedQueryEngine(store, enable_cache=config.enable_cache)
+        captured["engine"] = engine
+        return engine
+
+    return make_store, make_engine
+
+
+def run_parallel_fleet_benchmark(
+    *,
+    seed: int = 0,
+    n_loops: int = 64,
+    nodes_per_loop: int = 2,
+    ticks: int = 6,
+    n_shards: int = 4,
+    workers: int = 2,
+    period_s: float = 60.0,
+    window_s: float = 600.0,
+    sample_period_s: float = 10.0,
+    hot_fraction: float = 0.1,
+) -> Dict[str, float]:
+    """E15 rerun: the fused watch fleet hosted on the parallel engine.
+
+    The same fleet runs once over the serial sharded engine and once
+    over the shared-memory/worker-pool engine; analyzer verdicts must
+    match exactly (the fleet cannot tell which tier served it).
+    """
+    n_nodes = n_loops * nodes_per_loop
+    common = dict(
+        node_ids=[f"n{i:04d}" for i in range(n_nodes)],
+        n_loops=n_loops,
+        seed=seed,
+        horizon_s=window_s + ticks * period_s,
+        ticks=ticks,
+        period_s=period_s,
+        window_s=window_s,
+        sample_period_s=sample_period_s,
+        hot_fraction=hot_fraction,
+    )
+    s_store, s_engine = _sharded_factories(n_shards)
+    serial = _run_fleet(
+        config=RuntimeConfig(), make_store=s_store, make_query_engine=s_engine, **common
+    )
+    captured: Dict = {}
+    p_store, p_engine = _parallel_factories(n_shards, workers, captured)
+    parallel = _run_fleet(
+        config=RuntimeConfig(), make_store=p_store, make_query_engine=p_engine, **common
+    )
+    engine = captured["engine"]
+    return {
+        "seed": seed,
+        "n_loops": float(n_loops),
+        "n_shards": float(n_shards),
+        "workers": float(workers),
+        "serial_wall_s": serial["wall_s"],
+        "parallel_wall_s": parallel["wall_s"],
+        "flags_serial": serial["flags"],
+        "flags_parallel": parallel["flags"],
+        "match": 1.0 if serial["flags"] == parallel["flags"] else 0.0,
+        "iterations": parallel["iterations"],
+        "parallel_scatters": float(engine.parallel_scatters),
+        "serial_fallbacks": float(engine.serial_fallbacks),
+    }
+
+
+def run_parallel_supervision_benchmark(
+    *,
+    seed: int = 0,
+    n_loops: int = 32,
+    n_shards: int = 4,
+    workers: int = 2,
+    **kwargs,
+) -> Dict[str, float]:
+    """E17 rerun: self-healing supervision over the parallel engine.
+
+    Both runs are deterministic and both engines serve bit-identical
+    query results, so the supervisors must take the *identical* audited
+    action trace on either tier — asserted here alongside the healing
+    bound itself.
+    """
+    s_store, s_engine = _sharded_factories(n_shards)
+    serial = run_supervision_scenario(
+        seed=seed, n_loops=n_loops, supervise=True,
+        make_store=s_store, make_query_engine=s_engine, **kwargs,
+    )
+    captured: Dict = {}
+    p_store, p_engine = _parallel_factories(n_shards, workers, captured)
+    parallel = run_supervision_scenario(
+        seed=seed, n_loops=n_loops, supervise=True,
+        make_store=p_store, make_query_engine=p_engine, **kwargs,
+    )
+    healthy = float(parallel["healthy_p95_s"])
+    return {
+        "seed": seed,
+        "n_loops": float(n_loops),
+        "n_shards": float(n_shards),
+        "workers": float(workers),
+        "healthy_p95_s": healthy,
+        "final_p95_s": float(parallel["final_p95_s"]),
+        "restores_within_2x": 1.0
+        if parallel["final_p95_s"] <= 2.0 * healthy
+        else 0.0,
+        "restarts": float(parallel["restarts"]),
+        "restarts_match": 1.0 if serial["restarts"] == parallel["restarts"] else 0.0,
+        "trace_match": 1.0 if serial["trace"] == parallel["trace"] else 0.0,
+        "serial_fallbacks": float(captured["engine"].serial_fallbacks),
+    }
+
+
+def run_parallel_benchmark(
+    *,
+    seed: int = 0,
+    n_series: int = 4096,
+    n_shards: int = 8,
+    workers: int = 4,
+    ticks: int = 64,
+    repeats: int = 3,
+    fleet_loops: int = 64,
+    supervise_loops: int = 32,
+) -> Dict[str, Dict[str, float]]:
+    """All four E18 measurements with shared sizing (the CLI/CI entry)."""
+    return {
+        "scatter": run_parallel_scatter_benchmark(
+            seed=seed, n_series=n_series, n_shards=n_shards, workers=workers,
+            ticks=ticks, repeats=repeats,
+        ),
+        "ingest": run_parallel_ingest_benchmark(
+            seed=seed, n_series=n_series, n_shards=n_shards,
+            workers=min(workers, 2), ticks=ticks, repeats=repeats,
+        ),
+        "fleet": run_parallel_fleet_benchmark(
+            seed=seed, n_loops=fleet_loops, n_shards=min(n_shards, 4),
+            workers=min(workers, 2),
+        ),
+        "supervise": run_parallel_supervision_benchmark(
+            seed=seed, n_loops=supervise_loops, n_shards=min(n_shards, 4),
+            workers=min(workers, 2),
+        ),
+    }

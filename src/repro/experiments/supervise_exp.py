@@ -186,6 +186,8 @@ def run_supervision_scenario(
     frozen_frac: float = 1 / 16,
     stuck_frac: float = 1 / 32,
     supervisor: Optional[SupervisorConfig] = None,
+    make_store=None,
+    make_query_engine=None,
 ) -> Dict[str, object]:
     """One fleet run with injected faults; optionally supervised.
 
@@ -194,6 +196,11 @@ def run_supervision_scenario(
     injected, and the run ends ``recover_s`` later.  Fleet staleness
     p95 is measured over ``measure_window_s`` right before injection
     (healthy baseline) and again at the end (recovered or degraded).
+
+    ``make_store(capacity)`` / ``make_query_engine(store, config)``
+    substitute the storage and serving tier (the E18 reruns supervise
+    the same fleet over the sharded and process-parallel engines); the
+    store is closed after the run when it exposes ``close()``.
     """
     n_nodes = n_loops * nodes_per_loop
     node_ids = [f"n{i:04d}" for i in range(n_nodes)]
@@ -201,10 +208,17 @@ def run_supervision_scenario(
     t_inject = t_start + inject_after_s
     t_end = t_inject + recover_s
     engine = Engine()
-    store = TimeSeriesStore(default_capacity=int(t_end / 10.0) + 16)
+    capacity = int(t_end / 10.0) + 16
+    store = (
+        make_store(capacity) if make_store is not None
+        else TimeSeriesStore(default_capacity=capacity)
+    )
     _fill_store(store, node_ids, "node_cpu_util", t_end, 10.0, seed, 0.1)
     audit = AuditTrail()
-    runtime = LoopRuntime(engine, store, audit=audit)
+    query_engine = (
+        make_query_engine(store, RuntimeConfig()) if make_query_engine is not None else None
+    )
+    runtime = LoopRuntime(engine, store, query_engine=query_engine, audit=audit)
     specs = acting_fleet_specs(
         "node_cpu_util",
         node_ids,
@@ -241,6 +255,9 @@ def run_supervision_scenario(
         1 for name in stuck
         if runtime.handles[name].loop.iterations_run > 0 and runtime.handles[name].restarts > 0
     )
+    close = getattr(store, "close", None)
+    if close is not None:
+        close()
     return {
         "seed": seed,
         "n_loops": float(n_loops),

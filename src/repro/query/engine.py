@@ -137,6 +137,39 @@ def instant_tier_partials(
     return None
 
 
+def instant_tier_rate(
+    store, rollups: RollupManager, key: SeriesKey, t0: float, t1: float
+) -> Optional[Tuple[float, float]]:
+    """Counter increase of an aged-out instant window served from tiers.
+
+    The ``rate`` analogue of :func:`instant_tier_partials`, with the same
+    applicability rule: only when the raw ring no longer covers the
+    window, and only from bins fully inside ``[t0, t1]``.  Consecutive
+    bins' ``last_v`` values form the counter's sampled trajectory at
+    tier resolution, so their reset-clamped deltas are the increase the
+    raw scan would have seen at bin boundaries (increases swallowed by
+    an intra-bin reset are lost — rollups keep bin-end values only, so
+    the tier answer is a conservative floor, never an overcount).
+    Returns ``(total_increase, resolution)`` or ``None``; shared by the
+    single-store engine and the federated engine (applied per shard).
+    """
+    from repro.query.kernels import counter_increase
+
+    earliest = store.earliest_time(key)
+    if earliest is None or earliest <= t0:
+        return None
+    for tier in rollups.tiers:  # finest first: most bin boundaries
+        rows = tier.window(key, t0, t1)
+        if rows is None or not rows["time"].size:
+            continue
+        keep = rows["time"] + tier.resolution_s <= t1
+        if int(keep.sum()) < 2:  # need >= 2 bin-end values for a delta
+            continue
+        inc = counter_increase(rows["last_v"][keep])
+        return float(np.sum(inc)), tier.resolution_s
+    return None
+
+
 class QueryEngine:
     """Vectorized metric query engine with tiered rollups and caching."""
 
@@ -484,6 +517,13 @@ class QueryEngine:
                     any_delta = True
                     total += float(np.sum(inc))
             if not any_delta:
+                if len(keys) == 1 and self.rollups is not None:
+                    # aged-out singleton counter: serve the increase from
+                    # rollup tiers, matching the partial-agg tier fallback
+                    hit = instant_tier_rate(self.store, self.rollups, keys[0], t0, t1)
+                    if hit is not None:
+                        total, res = hit
+                        return np.array([t0]), np.array([total / span]), res
                 return np.empty(0), np.empty(0), None
             return np.array([t0]), np.array([total / span]), None
         all_t, all_v = [], []

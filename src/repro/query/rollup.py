@@ -138,6 +138,92 @@ def _partial_to_rows(partial: PartialBins, grid_t0: float, resolution: float) ->
     }
 
 
+# --------------------------------------------------------------------------
+# Fold primitives.  The bin arithmetic of every fold shape lives in these
+# free functions so the key-based RollupManager below and the sid-based
+# worker-side folder (repro.shard.parallel) produce bit-identical tier
+# rows from the same inputs — the parallel tier's exactness oracle.
+
+
+def select_tier_index(
+    resolutions: Sequence[float], step_s: Optional[float], agg: str
+) -> Optional[int]:
+    """Index of the coarsest resolution serving ``(step, agg)`` exactly.
+
+    ``resolutions`` must be sorted ascending (the tier order).  ``None``
+    → the engine scans raw; mirrors :meth:`RollupManager.tier_for`.
+    """
+    if step_s is None or agg not in PARTIAL_AGGS:
+        return None
+    best = None
+    for idx, res in enumerate(resolutions):
+        if res <= step_s and step_s % res == 0.0:
+            best = idx
+    return best
+
+
+def fold_segment_rows(
+    times: np.ndarray, values: np.ndarray, wm: float, resolution: float
+) -> Tuple[Optional[Dict[str, np.ndarray]], int]:
+    """Rows from one series' buffered columns (time-sorted, all below the
+    fold boundary); returns ``(rows, late_samples_dropped)``.
+
+    Samples older than the watermark ``wm`` are late — their bin already
+    folded — and are dropped, same as any real collector.
+    """
+    if times[-1] < wm:
+        return None, int(times.size)
+    dropped = 0
+    if times[0] < wm:
+        cut = int(np.searchsorted(times, wm, side="left"))
+        dropped = cut
+        times, values = times[cut:], values[cut:]
+    bin_idx = np.floor(times / resolution).astype(np.int64)
+    base = int(bin_idx[0])
+    partial = PartialBins(int(bin_idx[-1]) - base + 1)
+    partial.add_samples(bin_idx - base, times, values)
+    return _partial_to_rows(partial, base * resolution, resolution), dropped
+
+
+def fold_rawscan_rows(
+    times: np.ndarray, values: np.ndarray, start: float, boundary: float, resolution: float
+) -> Optional[Dict[str, np.ndarray]]:
+    """Rows from a raw-ring window scan of ``[start, boundary)``.
+
+    ``times``/``values`` come from an inclusive window query over
+    ``[start, boundary]``; the boundary sample (start of the still-open
+    bin) is excluded here.  ``None`` when nothing complete remains.
+    """
+    keep = times < boundary  # half-open bins; window queries are inclusive
+    times, values = times[keep], values[keep]
+    if times.size == 0:
+        return None
+    n_bins = int(round((boundary - start) / resolution))
+    bin_idx = np.floor((times - start) / resolution).astype(np.int64)
+    partial = PartialBins(n_bins)
+    partial.add_samples(bin_idx, times, values)
+    return _partial_to_rows(partial, start, resolution)
+
+
+def fold_cascade_rows(
+    rows: Dict[str, np.ndarray], start: float, boundary: float, resolution: float
+) -> Dict[str, np.ndarray]:
+    """Coarse rows folded from fine-tier rows of ``[start, boundary)``."""
+    n_bins = int(round((boundary - start) / resolution))
+    bin_idx = np.floor((rows["time"] - start) / resolution).astype(np.int64)
+    partial = PartialBins(n_bins)
+    partial.add_rows(
+        bin_idx,
+        rows["sum"],
+        rows["count"],
+        rows["min"],
+        rows["max"],
+        rows["last_t"],
+        rows["last_v"],
+    )
+    return _partial_to_rows(partial, start, resolution)
+
+
 class RollupManager:
     """A cascade of rollup tiers continuously folded from ingested batches."""
 
@@ -265,20 +351,10 @@ class RollupManager:
     ) -> int:
         """Fold one series' buffered columns (time-sorted, all < boundary)."""
         tier = self.tiers[0]
-        res = tier.resolution_s
-        wm = tier.watermark(key)
-        if times[-1] < wm:
-            self.late_samples_dropped += int(times.size)
+        rows, dropped = fold_segment_rows(times, values, tier.watermark(key), tier.resolution_s)
+        self.late_samples_dropped += dropped
+        if rows is None:
             return 0
-        if times[0] < wm:
-            cut = int(np.searchsorted(times, wm, side="left"))
-            self.late_samples_dropped += cut
-            times, values = times[cut:], values[cut:]
-        bin_idx = np.floor(times / res).astype(np.int64)
-        base = int(bin_idx[0])
-        partial = PartialBins(int(bin_idx[-1]) - base + 1)
-        partial.add_samples(bin_idx - base, times, values)
-        rows = _partial_to_rows(partial, base * res, res)
         tier._append(key, rows, boundary)
         return int(rows["time"].size)
 
@@ -295,16 +371,10 @@ class RollupManager:
         if boundary <= start:
             return 0
         times, values = self.store.query(key, start, boundary)
-        keep = times < boundary  # half-open bins; query() is inclusive
-        times, values = times[keep], values[keep]
-        if times.size == 0:
+        rows = fold_rawscan_rows(times, values, start, boundary, res)
+        if rows is None:
             tier._watermark[key] = boundary
             return 0
-        n_bins = int(round((boundary - start) / res))
-        bin_idx = np.floor((times - start) / res).astype(np.int64)
-        partial = PartialBins(n_bins)
-        partial.add_samples(bin_idx, times, values)
-        rows = _partial_to_rows(partial, start, res)
         tier._append(key, rows, boundary)
         return int(rows["time"].size)
 
@@ -326,19 +396,7 @@ class RollupManager:
         if rows is None or rows["time"].size == 0:
             coarse._watermark[key] = boundary
             return 0
-        n_bins = int(round((boundary - start) / res))
-        bin_idx = np.floor((rows["time"] - start) / res).astype(np.int64)
-        partial = PartialBins(n_bins)
-        partial.add_rows(
-            bin_idx,
-            rows["sum"],
-            rows["count"],
-            rows["min"],
-            rows["max"],
-            rows["last_t"],
-            rows["last_v"],
-        )
-        out = _partial_to_rows(partial, start, res)
+        out = fold_cascade_rows(rows, start, boundary, res)
         coarse._append(key, out, boundary)
         return int(out["time"].size)
 
@@ -364,13 +422,8 @@ class RollupManager:
         multiple of the tier resolution and the aggregator is servable
         from partial statistics.  ``None`` → the engine scans raw.
         """
-        if step_s is None or agg not in PARTIAL_AGGS:
-            return None
-        best = None
-        for tier in self.tiers:
-            if tier.resolution_s <= step_s and step_s % tier.resolution_s == 0.0:
-                best = tier
-        return best
+        idx = select_tier_index([t.resolution_s for t in self.tiers], step_s, agg)
+        return None if idx is None else self.tiers[idx]
 
     def stats(self) -> Dict[str, float]:
         """Rows and watermark coverage per tier (for dashboards/benchmarks)."""

@@ -20,6 +20,15 @@ three-stage scatter-gather:
    that is independent of how series are partitioned, and reduced to
    output bins with ``reduceat`` kernels.
 
+The per-shard scatter passes are module-level functions parameterized by
+a **shard reader** (:class:`KeyShardReader` here; the sid-addressed
+worker-side reader in :mod:`repro.shard.parallel`), so the serial loop
+below and the process-parallel tier execute literally the same pass code
+— the engine's only serial/parallel difference is *where* the pass runs.
+:meth:`FederatedQueryEngine._scatter` is that seam: the parallel engine
+overrides it to dispatch the passes to worker processes over
+shared-memory columns.
+
 Because per-series arithmetic happens on exactly one shard (a series
 never splits) and the cross-series reduction runs in a
 partition-independent order, the result is **bit-identical for every
@@ -32,7 +41,7 @@ different (but equally valid) summation order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,15 +50,18 @@ from repro.query.engine import (
     QueryResult,
     ResultSeries,
     instant_tier_partials,
+    instant_tier_rate,
 )
 from repro.query.kernels import PARTIAL_AGGS, counter_increase, grouped_aggregate
 from repro.query.model import MetricQuery
-from repro.query.rollup import RollupManager
+from repro.query.rollup import RollupManager, select_tier_index
 from repro.shard.store import ShardedTimeSeriesStore
 from repro.telemetry.metric import SeriesKey
 
-#: One shard's worklist: ``(key, group index, rank within group)``.
-WorkItem = Tuple[SeriesKey, int, int]
+#: One shard's worklist as parallel columns: ``(items, group indices,
+#: ranks within group)``.  Items are series keys for the in-process
+#: reader and shard-local series ids for the worker-side reader.
+ShardWork = Tuple[list, List[int], List[int]]
 
 
 def _segment_bounds(comp: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -144,6 +156,279 @@ def _row_entries(
     }
 
 
+# --------------------------------------------------------------------------
+# Shard readers: the data-access surface the scatter passes run against.
+
+
+class KeyShardReader:
+    """Key-addressed reader over one in-process shard store.
+
+    ``tier`` is the pre-selected rollup tier for the running query (or
+    ``None``); ``manager`` is the shard's rollup cascade for the
+    instant-query aged-out fallbacks (or ``None``).
+    """
+
+    __slots__ = ("shard", "manager", "tier")
+
+    def __init__(self, shard, manager, tier) -> None:
+        self.shard = shard
+        self.manager = manager
+        self.tier = tier
+
+    def window(self, item, lo: float, hi: float):
+        """Inclusive raw window ``[lo, hi]`` of one series."""
+        return self.shard.query(item, lo, hi)
+
+    def watermark(self, item) -> Optional[float]:
+        return self.tier.watermark(item)
+
+    def rows(self, item, lo: float, hi: float):
+        """Selected-tier rows with bin start in ``[lo, hi)``."""
+        return self.tier.window(item, lo, hi)
+
+    def instant_partials(self, item, t0: float, t1: float):
+        if self.manager is None:
+            return None
+        return instant_tier_partials(self.shard, self.manager, item, t0, t1)
+
+    def instant_rate(self, item, t0: float, t1: float):
+        if self.manager is None:
+            return None
+        return instant_tier_rate(self.shard, self.manager, item, t0, t1)
+
+
+def _read_window(reader, item, lo: float, hi: float, right_exclusive: bool):
+    """Raw window read: ``[lo, hi)`` for range queries (half-open bins),
+    ``[lo, hi]`` inclusive for instant queries."""
+    times, values = reader.window(item, lo, hi)
+    if right_exclusive and times.size and times[-1] >= hi:
+        keep = times < hi
+        times, values = times[keep], values[keep]
+    return times, values
+
+
+# --------------------------------------------------------------------------
+# Scatter passes.  Each computes one shard's contribution to one query
+# kind from a reader + worklist columns, returning plain dict-of-array
+# partials that the parent gathers.  Everything here must stay
+# shard-local and partition-invariant — these functions run serially
+# in-process *and* inside pool workers against shared-memory columns.
+
+
+def scatter_partial(
+    reader, items: list, gidxs: List[int], ranks: List[int],
+    singleton: Optional[list], p: Dict,
+) -> Optional[Tuple[List[Dict[str, np.ndarray]], bool]]:
+    """Partial-aggregate pass: tier rows + raw tails + aged-out synth."""
+    grid_t0, t1_hi, step, n_bins = p["grid_t0"], p["t1_hi"], p["step"], p["n_bins"]
+    instant_tiers = p["instant_tiers"]
+    tier = reader.tier
+    st_chunks: List[np.ndarray] = []
+    sv_chunks: List[np.ndarray] = []
+    s_gidx: List[int] = []
+    s_rank: List[int] = []
+    row_chunks: List[Dict[str, np.ndarray]] = []
+    r_gidx: List[int] = []
+    r_rank: List[int] = []
+    synth: List[Tuple[int, Dict[str, float]]] = []
+    used_tier = False
+    for i, item in enumerate(items):
+        gidx, rank = gidxs[i], ranks[i]
+        cut = grid_t0
+        if tier is not None:
+            wm = reader.watermark(item)
+            if wm is not None:
+                cut = min(max(wm, grid_t0), t1_hi)
+            rows = reader.rows(item, grid_t0, cut)
+            if rows is not None and rows["time"].size:
+                row_chunks.append(rows)
+                r_gidx.append(gidx)
+                r_rank.append(rank)
+        times, values = _read_window(reader, item, cut, t1_hi, step is not None)
+        if times.size:
+            st_chunks.append(times)
+            sv_chunks.append(values)
+            s_gidx.append(gidx)
+            s_rank.append(rank)
+        elif instant_tiers and singleton is not None and singleton[i]:
+            # mirror the single-store engine: a singleton group whose raw
+            # ring aged past the window is served from the shard's tiers
+            # (per-series and shard-local, so still partition-invariant)
+            row = reader.instant_partials(item, grid_t0, t1_hi)
+            if row is not None:
+                synth.append((gidx, row))
+    entries: List[Dict[str, np.ndarray]] = []
+    if row_chunks:
+        used_tier = True
+        entries.append(_row_entries(row_chunks, r_gidx, r_rank, grid_t0, step, n_bins))
+    if st_chunks:
+        entries.append(
+            _sample_entries(st_chunks, sv_chunks, s_gidx, s_rank, grid_t0, step, n_bins)
+        )
+    if synth:
+        used_tier = True
+        entries.append(
+            {
+                "gidx": np.array([g for g, _ in synth], dtype=np.int64),
+                "rank": np.zeros(len(synth), dtype=np.int64),
+                "bin": np.zeros(len(synth), dtype=np.int64),
+                "source": np.zeros(len(synth), dtype=np.int64),
+                "sum": np.array([r["sum"] for _, r in synth]),
+                "count": np.array([r["count"] for _, r in synth]),
+                "vmin": np.array([r["min"] for _, r in synth]),
+                "vmax": np.array([r["max"] for _, r in synth]),
+                "last_t": np.array([r["last_t"] for _, r in synth]),
+                "last_v": np.array([r["last_v"] for _, r in synth]),
+            }
+        )
+    if not entries and not used_tier:
+        return None
+    return entries, used_tier
+
+
+def scatter_rate(
+    reader, items: list, gidxs: List[int], ranks: List[int],
+    singleton: Optional[list], p: Dict,
+) -> Optional[Dict[str, np.ndarray]]:
+    """Range-rate pass: per-``(series, bin)`` reset-clamped increases."""
+    grid_t0, t1_hi, step, n_bins = p["grid_t0"], p["t1_hi"], p["step"], p["n_bins"]
+    inc_chunks: List[np.ndarray] = []
+    bin_chunks: List[np.ndarray] = []
+    g_list: List[int] = []
+    r_list: List[int] = []
+    for i, item in enumerate(items):
+        times, values = _read_window(reader, item, grid_t0, t1_hi, True)
+        if times.size < 2:
+            continue
+        inc_chunks.append(counter_increase(values))
+        bin_chunks.append(_bin_of(times[1:], grid_t0, step))
+        g_list.append(gidxs[i])
+        r_list.append(ranks[i])
+    if not inc_chunks:
+        return None
+    lens = np.fromiter((c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks))
+    inc = np.concatenate(inc_chunks)
+    bins = np.concatenate(bin_chunks)
+    series_pos = np.repeat(np.arange(lens.size), lens)
+    starts, _ = _segment_bounds(series_pos * n_bins + bins)
+    sel = series_pos[starts]
+    return {
+        "gidx": np.asarray(g_list, dtype=np.int64)[sel],
+        "rank": np.asarray(r_list, dtype=np.int64)[sel],
+        "bin": bins[starts],
+        "inc": np.add.reduceat(inc, starts),
+    }
+
+
+def scatter_instant_rate(
+    reader, items: list, gidxs: List[int], ranks: List[int],
+    singleton: Optional[list], p: Dict,
+) -> Optional[Tuple[Dict[str, np.ndarray], bool]]:
+    """Instant-rate pass: per-series total increases (+ tier fallback)."""
+    t0, t1 = p["t0"], p["t1"]
+    inc_chunks: List[np.ndarray] = []
+    g_list: List[int] = []
+    r_list: List[int] = []
+    synth_g: List[int] = []
+    synth_r: List[int] = []
+    synth_total: List[float] = []
+    used_tier = False
+    for i, item in enumerate(items):
+        _, values = reader.window(item, t0, t1)
+        inc = counter_increase(values)
+        if inc.size:
+            inc_chunks.append(inc)
+            g_list.append(gidxs[i])
+            r_list.append(ranks[i])
+        elif p["tier_fallback"] and singleton is not None and singleton[i]:
+            # aged-out singleton counter: the increase comes from rollup
+            # bin-end values (see instant_tier_rate) — shard-local, so
+            # still partition-invariant
+            hit = reader.instant_rate(item, t0, t1)
+            if hit is not None:
+                synth_g.append(gidxs[i])
+                synth_r.append(ranks[i])
+                synth_total.append(hit[0])
+                used_tier = True
+    if not inc_chunks and not synth_total:
+        return None
+    if inc_chunks:
+        lens = np.fromiter(
+            (c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks)
+        )
+        series_pos = np.repeat(np.arange(lens.size), lens)
+        starts, _ = _segment_bounds(series_pos)
+        totals = np.add.reduceat(np.concatenate(inc_chunks), starts)
+    else:
+        totals = np.empty(0)
+    return {
+        "gidx": np.concatenate(
+            (np.asarray(g_list, dtype=np.int64), np.asarray(synth_g, dtype=np.int64))
+        ),
+        "rank": np.concatenate(
+            (np.asarray(r_list, dtype=np.int64), np.asarray(synth_r, dtype=np.int64))
+        ),
+        "total": np.concatenate((totals, np.asarray(synth_total, dtype=np.float64))),
+    }, used_tier
+
+
+def scatter_sampled(
+    reader, items: list, gidxs: List[int], ranks: List[int],
+    singleton: Optional[list], p: Dict,
+) -> Optional[Dict[str, np.ndarray]]:
+    """Percentile pass: pooled raw samples keyed by ``(group, bin)``."""
+    grid_t0, t1_hi, step, n_bins = p["grid_t0"], p["t1_hi"], p["step"], p["n_bins"]
+    v_chunks: List[np.ndarray] = []
+    comp_chunks: List[np.ndarray] = []
+    for i, item in enumerate(items):
+        times, values = _read_window(reader, item, grid_t0, t1_hi, step is not None)
+        if times.size:
+            v_chunks.append(values)
+            comp_chunks.append(gidxs[i] * n_bins + _bin_of(times, grid_t0, step))
+    if not v_chunks:
+        return None
+    return {"comp": np.concatenate(comp_chunks), "v": np.concatenate(v_chunks)}
+
+
+def scatter_samples(
+    reader, items: list, gidxs: List[int], ranks: List[int],
+    singleton: Optional[list], p: Dict,
+) -> Optional[Dict[str, list]]:
+    """Raw-sample extraction pass (``samples()`` fan-out).
+
+    ``gidxs`` carries each item's position in the engine's selection
+    order; per-series chunks come back labeled with it so the gather
+    can reproduce the single-store pooling order exactly.
+    """
+    t0, t1, since = p["t0"], p["t1"], p["since"]
+    sels: List[int] = []
+    t_chunks: List[np.ndarray] = []
+    v_chunks: List[np.ndarray] = []
+    for i, item in enumerate(items):
+        times, values = reader.window(item, t0, t1)
+        if since is not None and times.size and times[0] <= since:
+            keep = times > since
+            times, values = times[keep], values[keep]
+        if times.size:
+            sels.append(gidxs[i])
+            t_chunks.append(times)
+            v_chunks.append(values)
+    if not sels:
+        return None
+    return {"sel": sels, "times": t_chunks, "values": v_chunks}
+
+
+#: Scatter pass per query kind; the worker-side task handler indexes
+#: this same table, so serial and parallel execution share one code path.
+SCATTER_FNS = {
+    "partial": scatter_partial,
+    "rate": scatter_rate,
+    "instant_rate": scatter_instant_rate,
+    "sampled": scatter_sampled,
+    "samples": scatter_samples,
+}
+
+
 class FederatedQueryEngine(QueryEngine):
     """Scatter-gather query serving over hash-partitioned shard stores."""
 
@@ -170,6 +455,11 @@ class FederatedQueryEngine(QueryEngine):
         )
         #: per-shard rollup managers, parallel to ``store.shards``
         self.shard_rollups = list(rollups) if rollups is not None else None
+        self._tier_resolutions: Optional[List[float]] = (
+            [t.resolution_s for t in self.shard_rollups[0].tiers]
+            if self.shard_rollups
+            else None
+        )
         self.federated_queries = 0
         self.fanout_total = 0
         self.fanout_last = 0
@@ -179,7 +469,7 @@ class FederatedQueryEngine(QueryEngine):
         #: and fanout are recomputed only when the metric's key set
         #: changes
         self._plan_cache: Dict[
-            MetricQuery, Tuple[int, List, List[List[WorkItem]], List[int], int]
+            MetricQuery, Tuple[int, List, List[ShardWork], List[int], int]
         ] = {}
 
     # ------------------------------------------------------------- rollups
@@ -208,7 +498,7 @@ class FederatedQueryEngine(QueryEngine):
             return
         if self._fold_task is not None and not self._fold_task.stopped:
             raise RuntimeError("federated rollups already attached")
-        period = period_s if period_s is not None else self.shard_rollups[0].tiers[0].resolution_s
+        period = period_s if period_s is not None else self._tier_resolutions[0]
         self._fold_task = engine.every(
             period, lambda: self.fold_rollups(engine.now), start_at=start_at,
             label="federated-rollup-fold",
@@ -223,28 +513,35 @@ class FederatedQueryEngine(QueryEngine):
             return (epoch, sum(m.folds for m in self.shard_rollups))
         return epoch
 
-    def _execute(self, q: MetricQuery, at: float) -> QueryResult:
-        t1 = float(at)
+    def _plan(self, q: MetricQuery) -> Tuple[List, List[ShardWork], List[int], int]:
+        """Grouped, shard-partitioned worklists for ``q`` (memoized)."""
         gen = self.store.series_generation(q.metric)
         plan = self._plan_cache.get(q)
         if plan is not None and plan[0] == gen:
-            _, sorted_labels, work, group_sizes, fanout = plan
-        else:
-            keys = self.select(q)
-            groups: Dict[Tuple[Tuple[str, str], ...], List[SeriesKey]] = {}
-            for key in keys:
-                groups.setdefault(q.group_key(key), []).append(key)
-            sorted_labels = sorted(groups)
-            group_sizes = [len(groups[labels]) for labels in sorted_labels]
-            work = [[] for _ in range(self.store.n_shards)]
-            shard_index = self.store.shard_index
-            for gidx, labels in enumerate(sorted_labels):
-                for rank, key in enumerate(sorted(groups[labels], key=str)):
-                    work[shard_index(key)].append((key, gidx, rank))
-            fanout = sum(1 for wl in work if wl)
-            if len(self._plan_cache) > 4096:  # unbounded query shapes: reset
-                self._plan_cache.clear()
-            self._plan_cache[q] = (gen, sorted_labels, work, group_sizes, fanout)
+            return plan[1], plan[2], plan[3], plan[4]
+        keys = self.select(q)
+        groups: Dict[Tuple[Tuple[str, str], ...], List[SeriesKey]] = {}
+        for key in keys:
+            groups.setdefault(q.group_key(key), []).append(key)
+        sorted_labels = sorted(groups)
+        group_sizes = [len(groups[labels]) for labels in sorted_labels]
+        work: List[ShardWork] = [([], [], []) for _ in range(self.store.n_shards)]
+        shard_index = self.store.shard_index
+        for gidx, labels in enumerate(sorted_labels):
+            for rank, key in enumerate(sorted(groups[labels], key=str)):
+                wl = work[shard_index(key)]
+                wl[0].append(key)
+                wl[1].append(gidx)
+                wl[2].append(rank)
+        fanout = sum(1 for wl in work if wl[0])
+        if len(self._plan_cache) > 4096:  # unbounded query shapes: reset
+            self._plan_cache.clear()
+        self._plan_cache[q] = (gen, sorted_labels, work, group_sizes, fanout)
+        return sorted_labels, work, group_sizes, fanout
+
+    def _execute(self, q: MetricQuery, at: float) -> QueryResult:
+        t1 = float(at)
+        sorted_labels, work, group_sizes, fanout = self._plan(q)
         t0 = t1 - q.range_s if q.range_s is not None else self._earliest(self.select(q), t1)
         self.federated_queries += 1
         self.fanout_last = fanout
@@ -264,7 +561,9 @@ class FederatedQueryEngine(QueryEngine):
             else:
                 series = self._fed_sampled(q, work, sorted_labels, grid_t0, t1_hi, step, n_bins)
         elif q.agg == "rate":
-            series = self._fed_instant_rate(q, work, sorted_labels, t0, t1)
+            series, used_tier = self._fed_instant_rate(
+                q, work, sorted_labels, t0, t1, group_sizes
+            )
         elif q.agg in PARTIAL_AGGS:
             series, used_tier = self._fed_partial(
                 q, work, sorted_labels, t0, t1, None, 1, group_sizes
@@ -280,20 +579,40 @@ class FederatedQueryEngine(QueryEngine):
             self.served_raw += 1
         return QueryResult(q, t0, t1, tuple(series), source)
 
-    def _shard_raw_window(self, shard, key: SeriesKey, lo: float, hi: float, step):
-        """Raw window read on one shard: ``[lo, hi)`` for range queries
-        (half-open bins), ``[lo, hi]`` inclusive for instant queries."""
-        times, values = shard.query(key, lo, hi)
-        if step is not None and times.size and times[-1] >= hi:
-            keep = times < hi
-            times, values = times[keep], values[keep]
-        return times, values
+    # ----------------------------------------------------- scatter dispatch
+    def _scatter(self, kind: str, work: List[ShardWork], params: Dict) -> List:
+        """Run one scatter pass over every touched shard, serially
+        in-process.  The process-parallel engine overrides exactly this
+        method to dispatch the same passes (same functions, sid-addressed
+        readers) to its worker pool — plan and gather stay identical.
+        """
+        fn = SCATTER_FNS[kind]
+        tier_idx = params.get("tier_idx")
+        group_sizes = params.get("group_sizes")
+        out: List = [None] * len(work)
+        for s, wl in enumerate(work):
+            items, gidxs, ranks = wl
+            if not items:
+                continue
+            manager = self.shard_rollups[s] if self.shard_rollups is not None else None
+            tier = manager.tiers[tier_idx] if manager is not None and tier_idx is not None else None
+            reader = KeyShardReader(self.store.shards[s], manager, tier)
+            singleton = (
+                [group_sizes[g] == 1 for g in gidxs] if group_sizes is not None else None
+            )
+            out[s] = fn(reader, items, gidxs, ranks, singleton, params)
+        return out
+
+    def _tier_index(self, step: Optional[float], agg: str) -> Optional[int]:
+        if self._tier_resolutions is None:
+            return None
+        return select_tier_index(self._tier_resolutions, step, agg)
 
     # --------------------------------------------------- partial-agg path
     def _fed_partial(
         self,
         q: MetricQuery,
-        work: List[List[WorkItem]],
+        work: List[ShardWork],
         sorted_labels: List,
         grid_t0: float,
         t1_hi: float,
@@ -301,78 +620,25 @@ class FederatedQueryEngine(QueryEngine):
         n_bins: int,
         group_sizes: Optional[List[int]] = None,
     ) -> Tuple[List[ResultSeries], bool]:
-        entries: List[Dict[str, np.ndarray]] = []
-        used_tier = False
         instant_tiers = (
             step is None and group_sizes is not None and self.shard_rollups is not None
         )
-        for s, wl in enumerate(work):
-            if not wl:
+        params = {
+            "grid_t0": grid_t0,
+            "t1_hi": t1_hi,
+            "step": step,
+            "n_bins": n_bins,
+            "tier_idx": self._tier_index(step, q.agg) if step is not None else None,
+            "instant_tiers": instant_tiers,
+            "group_sizes": group_sizes if instant_tiers else None,
+        }
+        entries: List[Dict[str, np.ndarray]] = []
+        used_tier = False
+        for res in self._scatter("partial", work, params):
+            if res is None:
                 continue
-            shard = self.store.shards[s]
-            tier = None
-            if step is not None and self.shard_rollups is not None:
-                tier = self.shard_rollups[s].tier_for(step, q.agg)
-            st_chunks: List[np.ndarray] = []
-            sv_chunks: List[np.ndarray] = []
-            s_gidx: List[int] = []
-            s_rank: List[int] = []
-            row_chunks: List[Dict[str, np.ndarray]] = []
-            r_gidx: List[int] = []
-            r_rank: List[int] = []
-            synth: List[Tuple[int, Dict[str, float]]] = []
-            for key, gidx, rank in wl:
-                cut = grid_t0
-                if tier is not None:
-                    wm = tier.watermark(key)
-                    if wm is not None:
-                        cut = min(max(wm, grid_t0), t1_hi)
-                    rows = tier.window(key, grid_t0, cut)
-                    if rows is not None and rows["time"].size:
-                        row_chunks.append(rows)
-                        r_gidx.append(gidx)
-                        r_rank.append(rank)
-                times, values = self._shard_raw_window(shard, key, cut, t1_hi, step)
-                if times.size:
-                    st_chunks.append(times)
-                    sv_chunks.append(values)
-                    s_gidx.append(gidx)
-                    s_rank.append(rank)
-                elif instant_tiers and group_sizes[gidx] == 1:
-                    # mirror the single-store engine: a singleton group
-                    # whose raw ring aged past the window is served from
-                    # the shard's tiers (per-series and shard-local, so
-                    # still partition-invariant)
-                    row = instant_tier_partials(
-                        shard, self.shard_rollups[s], key, grid_t0, t1_hi
-                    )
-                    if row is not None:
-                        synth.append((gidx, row))
-            if row_chunks:
-                used_tier = True
-                entries.append(
-                    _row_entries(row_chunks, r_gidx, r_rank, grid_t0, step, n_bins)
-                )
-            if st_chunks:
-                entries.append(
-                    _sample_entries(st_chunks, sv_chunks, s_gidx, s_rank, grid_t0, step, n_bins)
-                )
-            if synth:
-                used_tier = True
-                entries.append(
-                    {
-                        "gidx": np.array([g for g, _ in synth], dtype=np.int64),
-                        "rank": np.zeros(len(synth), dtype=np.int64),
-                        "bin": np.zeros(len(synth), dtype=np.int64),
-                        "source": np.zeros(len(synth), dtype=np.int64),
-                        "sum": np.array([r["sum"] for _, r in synth]),
-                        "count": np.array([r["count"] for _, r in synth]),
-                        "vmin": np.array([r["min"] for _, r in synth]),
-                        "vmax": np.array([r["max"] for _, r in synth]),
-                        "last_t": np.array([r["last_t"] for _, r in synth]),
-                        "last_v": np.array([r["last_v"] for _, r in synth]),
-                    }
-                )
+            entries.extend(res[0])
+            used_tier = used_tier or res[1]
         if not entries:
             return [], used_tier
         return (
@@ -425,7 +691,7 @@ class FederatedQueryEngine(QueryEngine):
     def _fed_sampled(
         self,
         q: MetricQuery,
-        work: List[List[WorkItem]],
+        work: List[ShardWork],
         sorted_labels: List,
         grid_t0: float,
         t1_hi: float,
@@ -438,28 +704,20 @@ class FederatedQueryEngine(QueryEngine):
         bin), so pooling order cannot affect the result — bit-identical
         for every shard count by construction.
         """
-        v_chunks: List[np.ndarray] = []
-        comp_chunks: List[np.ndarray] = []
-        for s, wl in enumerate(work):
-            if not wl:
-                continue
-            shard = self.store.shards[s]
-            for key, gidx, rank in wl:
-                times, values = self._shard_raw_window(shard, key, grid_t0, t1_hi, step)
-                if times.size:
-                    v_chunks.append(values)
-                    comp_chunks.append(gidx * n_bins + _bin_of(times, grid_t0, step))
-        if not v_chunks:
+        params = {"grid_t0": grid_t0, "t1_hi": t1_hi, "step": step, "n_bins": n_bins}
+        parts = [r for r in self._scatter("sampled", work, params) if r is not None]
+        if not parts:
             return []
-        comp = np.concatenate(comp_chunks)
-        nz, vals = grouped_aggregate(comp, np.concatenate(v_chunks), q.agg)
+        comp = np.concatenate([r["comp"] for r in parts])
+        vals_in = np.concatenate([r["v"] for r in parts])
+        nz, vals = grouped_aggregate(comp, vals_in, q.agg)
         return self._build_series(nz // n_bins, nz % n_bins, vals, sorted_labels, grid_t0, step)
 
     # ---------------------------------------------------------- rate path
     def _fed_rate(
         self,
         q: MetricQuery,
-        work: List[List[WorkItem]],
+        work: List[ShardWork],
         sorted_labels: List,
         grid_t0: float,
         t1_hi: float,
@@ -467,34 +725,14 @@ class FederatedQueryEngine(QueryEngine):
         n_bins: int,
     ) -> List[ResultSeries]:
         """Counter rate: per-series reset-clamped increases, summed per bin."""
-        inc_chunks: List[np.ndarray] = []
-        bin_chunks: List[np.ndarray] = []
-        g_list: List[int] = []
-        r_list: List[int] = []
-        for s, wl in enumerate(work):
-            if not wl:
-                continue
-            shard = self.store.shards[s]
-            for key, gidx, rank in wl:
-                times, values = self._shard_raw_window(shard, key, grid_t0, t1_hi, step)
-                if times.size < 2:
-                    continue
-                inc_chunks.append(counter_increase(values))
-                bin_chunks.append(_bin_of(times[1:], grid_t0, step))
-                g_list.append(gidx)
-                r_list.append(rank)
-        if not inc_chunks:
+        params = {"grid_t0": grid_t0, "t1_hi": t1_hi, "step": step, "n_bins": n_bins}
+        parts = [r for r in self._scatter("rate", work, params) if r is not None]
+        if not parts:
             return []
-        lens = np.fromiter((c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks))
-        inc = np.concatenate(inc_chunks)
-        bins = np.concatenate(bin_chunks)
-        series_pos = np.repeat(np.arange(lens.size), lens)
-        starts, ends = _segment_bounds(series_pos * n_bins + bins)
-        sel = series_pos[starts]
-        e_gidx = np.asarray(g_list, dtype=np.int64)[sel]
-        e_rank = np.asarray(r_list, dtype=np.int64)[sel]
-        e_bin = bins[starts]
-        e_inc = np.add.reduceat(inc, starts)
+        e_gidx = np.concatenate([r["gidx"] for r in parts])
+        e_rank = np.concatenate([r["rank"] for r in parts])
+        e_bin = np.concatenate([r["bin"] for r in parts])
+        e_inc = np.concatenate([r["inc"] for r in parts])
         order = np.lexsort((e_rank, e_bin, e_gidx))
         gidx = e_gidx[order]
         bin_o = e_bin[order]
@@ -507,40 +745,38 @@ class FederatedQueryEngine(QueryEngine):
     def _fed_instant_rate(
         self,
         q: MetricQuery,
-        work: List[List[WorkItem]],
+        work: List[ShardWork],
         sorted_labels: List,
         t0: float,
         t1: float,
-    ) -> List[ResultSeries]:
+        group_sizes: Optional[List[int]] = None,
+    ) -> Tuple[List[ResultSeries], bool]:
         span = t1 - t0
         if span <= 0:
-            return []
-        inc_chunks: List[np.ndarray] = []
-        g_list: List[int] = []
-        r_list: List[int] = []
-        for s, wl in enumerate(work):
-            if not wl:
+            return [], False
+        tier_fallback = group_sizes is not None and self.shard_rollups is not None
+        params = {
+            "t0": t0,
+            "t1": t1,
+            "tier_fallback": tier_fallback,
+            "group_sizes": group_sizes if tier_fallback else None,
+        }
+        parts = []
+        used_tier = False
+        for res in self._scatter("instant_rate", work, params):
+            if res is None:
                 continue
-            shard = self.store.shards[s]
-            for key, gidx, rank in wl:
-                _, values = shard.query(key, t0, t1)
-                inc = counter_increase(values)
-                if inc.size:
-                    inc_chunks.append(inc)
-                    g_list.append(gidx)
-                    r_list.append(rank)
-        if not inc_chunks:
-            return []
-        lens = np.fromiter((c.size for c in inc_chunks), dtype=np.int64, count=len(inc_chunks))
-        series_pos = np.repeat(np.arange(lens.size), lens)
-        starts, _ = _segment_bounds(series_pos)
-        e_inc = np.add.reduceat(np.concatenate(inc_chunks), starts)
-        e_gidx = np.asarray(g_list, dtype=np.int64)
-        e_rank = np.asarray(r_list, dtype=np.int64)
+            parts.append(res[0])
+            used_tier = used_tier or res[1]
+        if not parts:
+            return [], used_tier
+        e_gidx = np.concatenate([r["gidx"] for r in parts])
+        e_rank = np.concatenate([r["rank"] for r in parts])
+        e_total = np.concatenate([r["total"] for r in parts])
         order = np.lexsort((e_rank, e_gidx))
         gidx = e_gidx[order]
         m_starts, _ = _segment_bounds(gidx)
-        totals = np.add.reduceat(e_inc[order], m_starts)
+        totals = np.add.reduceat(e_total[order], m_starts)
         return self._build_series(
             gidx[m_starts],
             np.zeros(m_starts.size, dtype=np.int64),
@@ -548,7 +784,54 @@ class FederatedQueryEngine(QueryEngine):
             sorted_labels,
             t0,
             None,
-        )
+        ), used_tier
+
+    # ------------------------------------------------------- samples path
+    def samples(
+        self,
+        q: Union[str, MetricQuery],
+        *,
+        at: float,
+        since: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw sample extraction fanned out across shards.
+
+        Scatters per-shard window reads, then merges chunks back in the
+        engine's **selection order** before the one stable time sort —
+        reproducing the single-store pooling order exactly, so the
+        result is bit-identical to :meth:`QueryEngine.samples` over the
+        same data (cursor semantics included).
+        """
+        if isinstance(q, str):
+            q = self.parse(q)
+        self.samples_total += 1
+        keys = self.select(q)
+        t1 = float(at)
+        t0 = t1 - q.range_s if q.range_s is not None else self._earliest(keys, t1)
+        if since is not None:
+            t0 = max(t0, since)
+        work: List[ShardWork] = [([], [], []) for _ in range(self.store.n_shards)]
+        shard_index = self.store.shard_index
+        for sel_idx, key in enumerate(keys):
+            wl = work[shard_index(key)]
+            wl[0].append(key)
+            wl[1].append(sel_idx)  # selection position, not a group index
+            wl[2].append(0)
+        params = {"t0": t0, "t1": t1, "since": since}
+        chunks: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for res in self._scatter("samples", work, params):
+            if res is None:
+                continue
+            chunks.extend(zip(res["sel"], res["times"], res["values"]))
+        if not chunks:
+            return np.empty(0), np.empty(0)
+        chunks.sort(key=lambda c: c[0])
+        times = np.concatenate([c[1] for c in chunks])
+        values = np.concatenate([c[2] for c in chunks])
+        if len(chunks) > 1:
+            order = np.argsort(times, kind="stable")
+            times, values = times[order], values[order]
+        return times, values
 
     # ------------------------------------------------------------- output
     def _build_series(

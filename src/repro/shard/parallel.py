@@ -1,0 +1,1735 @@
+"""Process-parallel shard execution over shared-memory columns.
+
+This module is the parallel tier of the shard stack: shard ring buffers
+and rollup tiers are relocated into ``multiprocessing.shared_memory``
+blocks, and a persistent pool of worker processes executes per-shard
+work — scatter passes for federated queries, segment appends plus tier-0
+rollup folds for ingest, and full tier cascades — directly against those
+columns.  Only task metadata and per-shard *partial results* cross the
+process boundary; the sample columns themselves never move.
+
+Layering (parent process owns everything above the pipe):
+
+* :class:`SharedArena` / :class:`_BlockCache` — bump-pointer allocation
+  of NumPy arrays inside shared-memory blocks, addressed by portable
+  descriptors ``(block, offset, count, dtype)`` that any process can
+  attach on demand.
+* :class:`SharedRingBuffer` / :class:`SharedStatRing` — the existing
+  ring structures with storage relocated into an arena and their mutable
+  ints (head/count/written) mirrored in a tiny shared meta array, synced
+  at mutation boundaries so either side sees the other's writes.
+* :class:`SharedTimeSeriesStore` — a per-shard
+  :class:`~repro.telemetry.tsdb.TimeSeriesStore` whose rings live in the
+  arena; ring creation is announced to the worker through a per-shard
+  **event log** so the worker's sid-addressed mirror stays consistent.
+* :class:`TierFolder` — sid-addressed rollup folding built on the fold
+  primitives of :mod:`repro.query.rollup`; runs inside workers (and in
+  the parent when degraded) and produces bit-identical tier rows to
+  :class:`~repro.query.rollup.RollupManager` on the same inputs.
+* :class:`ShardWorkerPool` — worker lifecycle, the per-shard event logs,
+  batched task dispatch with crash detection, and shared-memory result
+  transport.
+* :class:`ParallelShardedStore` / :class:`ParallelFederatedQueryEngine`
+  — the sharded store facade and federated engine with ingest and
+  scatter dispatched to the pool; every parallel path degrades to the
+  inherited serial implementation when the pool is unavailable or a
+  worker dies, so correctness never depends on the pool being healthy.
+
+Determinism: workers compute exactly the per-shard passes the serial
+engine runs (same :data:`~repro.shard.federated.SCATTER_FNS` functions,
+sid-addressed readers), and the parent's gather is the canonical
+partition-invariant merge — so parallel results are **bit-identical** to
+serial execution for every worker count.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import traceback
+from multiprocessing import get_context, resource_tracker, shared_memory
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.query.engine import instant_tier_partials, instant_tier_rate
+from repro.query.rollup import (
+    ROW_COLUMNS,
+    _StatRing,
+    fold_cascade_rows,
+    fold_rawscan_rows,
+    fold_segment_rows,
+)
+from repro.shard.federated import SCATTER_FNS, FederatedQueryEngine, ShardWork
+from repro.shard.store import ShardedTimeSeriesStore
+from repro.telemetry.batch import sort_series_columns
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import (
+    RingBuffer,
+    TimeSeriesStore,
+    segment_notify_columns,
+)
+
+#: Sentinel dispatch result for tasks lost to a dead worker.
+WORKER_DIED = object()
+
+#: Arrays at or above this many bytes travel through shared memory;
+#: smaller ones are pickled inline with the reply (cheaper than a block).
+_INLINE_MAX = 1 << 14
+
+
+def _unregister_shm(shm: shared_memory.SharedMemory, name: str) -> None:
+    """Detach a block from this process's resource tracker.
+
+    Attachers (and creators whose blocks outlive them, like worker
+    arenas the parent unlinks later) must not let the tracker unlink
+    the block when this process exits — on 3.10–3.12 every
+    ``SharedMemory`` is registered unconditionally, so a dying worker
+    would otherwise tear down blocks the parent still maps.
+    """
+    try:
+        resource_tracker.unregister(getattr(shm, "_name", name), "shared_memory")
+    except Exception:
+        pass
+
+
+#: Whether attaching a block must be followed by a tracker unregister.
+#: True in any process with its *own* resource tracker (the parent, and
+#: spawn-started workers): there, an attach-registration would make this
+#: process's tracker unlink the block when the process dies, tearing
+#: down storage another process still maps.  Fork-started workers set
+#: this False in ``_worker_main``: they share the parent's tracker, its
+#: cache is a plain set, and the extra unregister would cancel the
+#: creator's registration.
+_UNREGISTER_ON_ATTACH = True
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name)
+    if _UNREGISTER_ON_ATTACH:
+        _unregister_shm(shm, name)
+    return shm
+
+
+def _unlink_block(name: str) -> None:
+    """Best-effort unlink of a block by name (idempotent).
+
+    No manual tracker bookkeeping here: on the Pythons this targets the
+    attach registers with the resource tracker and ``unlink`` issues the
+    matching unregister, so the pair stays balanced.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:
+        pass
+
+
+class SharedArena:
+    """Bump-pointer allocator of NumPy arrays inside shared-memory blocks.
+
+    Allocations return ``(array, descriptor)`` where the descriptor
+    ``(block_name, offset, count, dtype_str)`` lets any process attach
+    the same storage via :class:`_BlockCache`.  Blocks are zero-filled
+    on creation (fresh pages), never reused or freed individually; the
+    arena is the allocation unit for long-lived ring storage and for
+    per-batch result transport.
+    """
+
+    def __init__(self, prefix: str, block_bytes: int = 1 << 22, *, untrack: bool = False) -> None:
+        self.prefix = prefix
+        self.block_bytes = int(block_bytes)
+        self._blocks: List[Tuple[str, shared_memory.SharedMemory]] = []
+        self._cur: Optional[shared_memory.SharedMemory] = None
+        self._cur_name = ""
+        self._off = 0
+        self._seq = 0
+        #: names of blocks created since the last :meth:`drain_new_names`
+        self._new_names: List[str] = []
+        self._untrack = untrack
+
+    @property
+    def block_names(self) -> List[str]:
+        return [name for name, _ in self._blocks]
+
+    def drain_new_names(self) -> List[str]:
+        names, self._new_names = self._new_names, []
+        return names
+
+    def alloc(self, count: int, dtype=np.float64) -> Tuple[np.ndarray, Tuple[str, int, int, str]]:
+        dt = np.dtype(dtype)
+        nbytes = int(count) * dt.itemsize
+        aligned = (nbytes + 7) & ~7
+        if self._cur is None or self._off + aligned > self._cur.size:
+            size = max(self.block_bytes, aligned, 8)
+            name = f"{self.prefix}.{os.getpid()}.{self._seq}"
+            self._seq += 1
+            shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+            if self._untrack:
+                _unregister_shm(shm, name)
+            self._blocks.append((name, shm))
+            self._new_names.append(name)
+            self._cur, self._cur_name, self._off = shm, name, 0
+        arr = np.ndarray((int(count),), dtype=dt, buffer=self._cur.buf, offset=self._off)
+        desc = (self._cur_name, self._off, int(count), dt.str)
+        self._off += aligned
+        return arr, desc
+
+    def close(self, *, unlink: bool) -> None:
+        for name, shm in self._blocks:
+            try:
+                shm.close()
+            except BufferError:
+                pass  # a view is still alive; the mapping outlives us
+            if unlink:
+                # unlink even while mapped (POSIX keeps live mappings
+                # valid) — skipping it would leak the block and leave a
+                # stale resource-tracker registration
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+        self._blocks = []
+        self._cur = None
+
+
+class _BlockCache:
+    """Name → attached ``SharedMemory`` map with descriptor views."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, desc: Tuple[str, int, int, str]) -> np.ndarray:
+        name, off, count, dt = desc
+        shm = self._blocks.get(name)
+        if shm is None:
+            shm = self._blocks[name] = _attach_block(name)
+        return np.ndarray((count,), dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+
+    def close(self) -> None:
+        for shm in self._blocks.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._blocks = {}
+
+
+# --------------------------------------------------------------------------
+# Shared ring structures.
+
+
+class SharedRingBuffer(RingBuffer):
+    """A :class:`RingBuffer` whose columns and mutable ints live in shm.
+
+    The buffer-relocatable base already stores samples in caller-provided
+    arrays; this subclass adds a 3-slot ``int64`` meta array —
+    ``(head, count, written)``.  While ``lazy`` is set (workers always;
+    the parent once the pool is live) every mutation syncs the meta
+    **into** the Python ints first and **out of** them after, and every
+    read re-syncs in, so writes from either side of the process boundary
+    are immediately visible to the other.  Before the pool is live the
+    ring behaves exactly like the in-process base — no per-operation
+    loads or stores — and :meth:`SharedTimeSeriesStore.mark_shared`
+    publishes the accumulated state in one flush when the mode flips.
+    """
+
+    __slots__ = ("_meta", "_lazy", "descs")
+
+    META_SLOTS = 3
+
+    def __init__(
+        self,
+        capacity: int,
+        times: np.ndarray,
+        values: np.ndarray,
+        meta: np.ndarray,
+        *,
+        lazy: bool = False,
+        descs: Tuple = (),
+    ) -> None:
+        super().__init__(capacity, times=times, values=values)
+        self._meta = meta
+        self._lazy = lazy
+        self.descs = descs
+        self._sync_in()
+
+    @classmethod
+    def create(cls, arena: SharedArena, capacity: int) -> "SharedRingBuffer":
+        t_arr, t_desc = arena.alloc(capacity)
+        v_arr, v_desc = arena.alloc(capacity)
+        m_arr, m_desc = arena.alloc(cls.META_SLOTS, dtype=np.int64)
+        return cls(capacity, t_arr, v_arr, m_arr, descs=(t_desc, v_desc, m_desc))
+
+    @classmethod
+    def attach(
+        cls, cache: _BlockCache, capacity: int, t_desc, v_desc, m_desc
+    ) -> "SharedRingBuffer":
+        return cls(
+            capacity,
+            cache.view(t_desc),
+            cache.view(v_desc),
+            cache.view(m_desc),
+            lazy=True,
+            descs=(t_desc, v_desc, m_desc),
+        )
+
+    def _sync_in(self) -> None:
+        m = self._meta
+        self._head = int(m[0])
+        self._count = int(m[1])
+        self._written = int(m[2])
+
+    def _sync_out(self) -> None:
+        m = self._meta
+        m[0] = self._head
+        m[1] = self._count
+        m[2] = self._written
+
+    # mutations: in shared mode, pick up the other side's state, write,
+    # publish.  Before the pool is live (``lazy`` unset) the Python ints
+    # are authoritative and no cross-process reader exists, so mutations
+    # skip the meta round-trip entirely — ``mark_shared()`` flushes the
+    # final pre-pool state exactly once when the mode flips.
+    def append(self, t: float, v: float) -> None:
+        if not self._lazy:
+            super().append(t, v)
+            return
+        self._sync_in()
+        super().append(t, v)
+        self._sync_out()
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        if not self._lazy:
+            super().extend(times, values)
+            return
+        self._sync_in()
+        super().extend(times, values)
+        self._sync_out()
+
+    def _extend_sorted(self, times: np.ndarray, values: np.ndarray) -> None:
+        if not self._lazy:
+            super()._extend_sorted(times, values)
+            return
+        self._sync_in()
+        super()._extend_sorted(times, values)
+        self._sync_out()
+
+    # reads: re-sync only while cross-process writers exist
+    def __len__(self) -> int:
+        if self._lazy:
+            self._sync_in()
+        return self._count
+
+    @property
+    def total_appended(self) -> int:
+        if self._lazy:
+            self._sync_in()
+        return self._written
+
+    def arrays(self):
+        if self._lazy:
+            self._sync_in()
+        return super().arrays()
+
+    def first_time(self) -> float:
+        if self._lazy:
+            self._sync_in()
+        return super().first_time()
+
+    def last_time(self) -> float:
+        if self._lazy:
+            self._sync_in()
+        return super().last_time()
+
+    def last_value(self) -> float:
+        if self._lazy:
+            self._sync_in()
+        return super().last_value()
+
+    def window(self, t0: float, t1: float):
+        if self._lazy:
+            self._sync_in()
+        return super().window(t0, t1)
+
+
+class SharedStatRing(_StatRing):
+    """A rollup row ring with columns and ``(head, count)`` in shm.
+
+    Rollup rings are touched once per fold, not per sample, so every
+    operation unconditionally syncs — no lazy mode needed.
+    """
+
+    __slots__ = ("_meta", "descs")
+
+    def __init__(self, capacity: int, cols: Dict[str, np.ndarray], meta: np.ndarray,
+                 descs: Tuple = ()) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._cols = cols
+        self._meta = meta
+        self.descs = descs
+        self._head = int(meta[0])
+        self._count = int(meta[1])
+
+    @classmethod
+    def create(cls, arena: SharedArena, capacity: int) -> "SharedStatRing":
+        cols = {}
+        descs = []
+        for name in ROW_COLUMNS:
+            arr, desc = arena.alloc(capacity)
+            cols[name] = arr
+            descs.append(desc)
+        m_arr, m_desc = arena.alloc(2, dtype=np.int64)
+        descs.append(m_desc)
+        return cls(capacity, cols, m_arr, descs=tuple(descs))
+
+    @classmethod
+    def attach(cls, cache: _BlockCache, capacity: int, descs: Tuple) -> "SharedStatRing":
+        cols = {name: cache.view(d) for name, d in zip(ROW_COLUMNS, descs)}
+        return cls(capacity, cols, cache.view(descs[-1]), descs=tuple(descs))
+
+    def _sync_in(self) -> None:
+        self._head = int(self._meta[0])
+        self._count = int(self._meta[1])
+
+    def append_rows(self, cols: Dict[str, np.ndarray]) -> None:
+        self._sync_in()
+        super().append_rows(cols)
+        self._meta[0] = self._head
+        self._meta[1] = self._count
+
+    def __len__(self) -> int:
+        self._sync_in()
+        return self._count
+
+    def window(self, t0: float, t1: float) -> Dict[str, np.ndarray]:
+        self._sync_in()
+        return super().window(t0, t1)
+
+
+class SharedTimeSeriesStore(TimeSeriesStore):
+    """Per-shard store whose ring buffers live in a shared arena.
+
+    Ring creation announces ``("ring", sid, capacity, *descs)`` through
+    ``on_event`` so the owning worker attaches the same storage by
+    descriptor before its next task.  The base class's inlined
+    ``append_segments`` fast path bypasses the ring's sync discipline,
+    so once :meth:`mark_shared` flips the store to cross-process mode it
+    is replaced by the (synced) ``_extend_sorted`` loop; before that the
+    inlined path runs unchanged over the shm-backed arrays.
+    """
+
+    def __init__(self, default_capacity: int, arena: SharedArena,
+                 on_event: Callable[[Tuple], None]) -> None:
+        super().__init__(default_capacity)
+        self._arena = arena
+        self._on_event = on_event
+        self._shared_lazy = False
+
+    def mark_shared(self) -> None:
+        """Enable cross-process syncing (call once the pool is live).
+
+        Flushes every ring's Python-side state to its shm meta block —
+        pre-pool mutations skip that publish — then flips the rings to
+        sync on every subsequent operation.
+        """
+        self._shared_lazy = True
+        for buf in self._series.values():
+            buf._sync_out()
+            buf._lazy = True
+
+    def _make_buffer(self, key: SeriesKey, capacity: int) -> RingBuffer:
+        ring = SharedRingBuffer.create(self._arena, capacity)
+        ring._lazy = self._shared_lazy
+        sid = self.registry.id_for(key)
+        self._on_event(("ring", sid, capacity) + ring.descs)
+        return ring
+
+    def append_segments(self, seg_ids, times, values, starts, ends) -> None:
+        if not self._shared_lazy:
+            # pool not live: the Python ints are authoritative and the
+            # base class's inlined fast path is sync-correct as-is —
+            # this is what keeps the shm layout inside the E18 ≤1.2×
+            # ingest-overhead gate
+            super().append_segments(seg_ids, times, values, starts, ends)
+            return
+        n = 0
+        touched = set()
+        id_buffers = self._id_buffers
+        for sid, lo, hi in zip(seg_ids.tolist(), starts.tolist(), ends.tolist()):
+            entry = id_buffers.get(sid)
+            if entry is None:
+                entry = self._buffer_for_id(sid)
+            buf, metric = entry
+            buf._extend_sorted(times[lo:hi], values[lo:hi])
+            touched.add(metric)
+            n += hi - lo
+        if n == 0:
+            return
+        self.total_inserts += n
+        self._record_commit(touched)
+        if self._listeners:
+            self._notify(*segment_notify_columns(seg_ids, times, values, starts, ends))
+
+
+# --------------------------------------------------------------------------
+# Sid-addressed rollup folding (worker-side, and parent-side when degraded).
+
+
+class TierFolder:
+    """Rollup folding over sid-addressed shared tier storage.
+
+    A structural twin of :class:`~repro.query.rollup.RollupManager`'s
+    fold paths with every ``SeriesKey`` replaced by a shard-local series
+    id: buffered ingest columns fold through the segment path once a
+    series' listener floor lies below its watermark, everything else
+    bootstraps with a raw-ring scan, and coarser tiers cascade from the
+    tier below.  All bin arithmetic is the shared fold primitives, so
+    rows are bit-identical to the key-based manager on the same inputs.
+
+    Storage access is injected: ``ring_of(sid)`` / ``known_sids()`` for
+    raw rings, ``wm_of(tier_idx)`` for the shared watermark table
+    (``NaN`` = unset; parent-allocated, so sids beyond the current table
+    are simply deferred to a later fold), and ``tier_ring`` /
+    ``make_tier_ring`` for rollup row rings.
+    """
+
+    def __init__(
+        self,
+        resolutions: Sequence[float],
+        *,
+        ring_of: Callable[[int], Optional[RingBuffer]],
+        known_sids: Callable[[], Iterable[int]],
+        wm_of: Callable[[int], np.ndarray],
+        tier_ring: Callable[[int, int], Optional[SharedStatRing]],
+        make_tier_ring: Callable[[int, int], SharedStatRing],
+        buffer_cap: int = 1 << 18,
+    ) -> None:
+        self.resolutions = [float(r) for r in resolutions]
+        self._ring_of = ring_of
+        self._known_sids = known_sids
+        self._wm_of = wm_of
+        self._tier_ring = tier_ring
+        self._make_tier_ring = make_tier_ring
+        self._buffer_cap = int(buffer_cap)
+        self._buffered: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered_rows = 0
+        self._floors: Dict[int, float] = {}
+        self.late_dropped = 0
+        self.rows_written = 0
+
+    def on_columns(self, ids: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        self._buffered.append((ids, times, values))
+        self._buffered_rows += int(ids.size)
+        if self._buffered_rows > self._buffer_cap:
+            res = self.resolutions[0]
+            max_t = max(float(c[1].max()) for c in self._buffered if c[1].size)
+            self._fold_tier0(math.floor(max_t / res) * res)
+
+    def fold(self, boundary: float) -> int:
+        """Fold complete tier-0 bins up to ``boundary`` and cascade."""
+        written = self._fold_tier0(boundary)
+        for ti in range(len(self.resolutions) - 1):
+            wm_f = self._wm_of(ti)
+            wm_c = self._wm_of(ti + 1)
+            for sid in self._known_sids():
+                written += self._fold_cascade(ti, sid, wm_f, wm_c)
+        self.rows_written += written
+        return written
+
+    def _append_rows(self, tier_idx: int, sid: int, rows: Dict[str, np.ndarray]) -> int:
+        ring = self._tier_ring(tier_idx, sid)
+        if ring is None:
+            ring = self._make_tier_ring(tier_idx, sid)
+        ring.append_rows(rows)
+        return int(rows["time"].size)
+
+    def _fold_tier0(self, boundary: float) -> int:
+        res = self.resolutions[0]
+        wm0 = self._wm_of(0)
+        written = 0
+        if self._buffered:
+            chunks, self._buffered = self._buffered, []
+            self._buffered_rows = 0
+            if len(chunks) == 1:
+                ids, times, values = chunks[0]
+            else:
+                ids = np.concatenate([c[0] for c in chunks])
+                times = np.concatenate([c[1] for c in chunks])
+                values = np.concatenate([c[2] for c in chunks])
+            complete = times < boundary
+            if not complete.all():
+                keep = ~complete
+                self._buffered.append((ids[keep], times[keep], values[keep]))
+                self._buffered_rows = int(keep.sum())
+                ids, times, values = ids[complete], times[complete], values[complete]
+            if ids.size:
+                ids, times, values, starts, ends = sort_series_columns(ids, times, values)
+                for lo, hi in zip(starts.tolist(), ends.tolist()):
+                    sid = int(ids[lo])
+                    floor_t = self._floors.get(sid)
+                    if floor_t is None:
+                        floor_t = float(times[lo])
+                        self._floors[sid] = floor_t
+                    if sid >= wm0.size:
+                        continue  # table not grown yet; rawscan later
+                    wm = float(wm0[sid])
+                    if wm == wm and floor_t < wm:
+                        rows, dropped = fold_segment_rows(
+                            times[lo:hi], values[lo:hi], wm, res
+                        )
+                        self.late_dropped += dropped
+                        if rows is not None:
+                            written += self._append_rows(0, sid, rows)
+                            wm0[sid] = boundary
+        for sid in self._known_sids():
+            if sid >= wm0.size:
+                continue
+            wm = float(wm0[sid])
+            if wm == wm and wm >= boundary:
+                continue
+            floor_t = self._floors.get(sid)
+            if wm == wm and floor_t is not None and floor_t < wm:
+                wm0[sid] = boundary  # buffer path covered it
+            else:
+                written += self._fold_tier0_rawscan(sid, wm, boundary, wm0)
+        return written
+
+    def _fold_tier0_rawscan(
+        self, sid: int, wm: float, boundary: float, wm0: np.ndarray
+    ) -> int:
+        res = self.resolutions[0]
+        ring = self._ring_of(sid)
+        start = wm
+        if start != start:  # NaN: never folded
+            if ring is None or len(ring) == 0:
+                return 0
+            start = math.floor(ring.first_time() / res) * res
+        if boundary <= start or ring is None:
+            return 0
+        times, values = ring.window(start, boundary)
+        rows = fold_rawscan_rows(times, values, start, boundary, res)
+        if rows is None:
+            wm0[sid] = boundary
+            return 0
+        written = self._append_rows(0, sid, rows)
+        wm0[sid] = boundary
+        return written
+
+    def _fold_cascade(self, ti: int, sid: int, wm_f: np.ndarray, wm_c: np.ndarray) -> int:
+        if sid >= wm_f.size or sid >= wm_c.size:
+            return 0
+        fine_wm = float(wm_f[sid])
+        if fine_wm != fine_wm:
+            return 0
+        res = self.resolutions[ti + 1]
+        boundary = math.floor(fine_wm / res) * res
+        start = float(wm_c[sid])
+        fine_ring = self._tier_ring(ti, sid)
+        if start != start:  # NaN: find the first fine row
+            if fine_ring is None or len(fine_ring) == 0:
+                return 0
+            rows = fine_ring.window(-np.inf, np.inf)
+            if rows["time"].size == 0:
+                return 0
+            start = math.floor(rows["time"][0] / res) * res
+        if boundary <= start:
+            return 0
+        rows = fine_ring.window(start, boundary) if fine_ring is not None else None
+        if rows is None or rows["time"].size == 0:
+            wm_c[sid] = boundary
+            return 0
+        out = fold_cascade_rows(rows, start, boundary, res)
+        written = self._append_rows(ti + 1, sid, out)
+        wm_c[sid] = boundary
+        return written
+
+
+# --------------------------------------------------------------------------
+# Result transport: nested structures with large arrays relocated into a
+# per-batch shared-memory arena, everything else pickled inline.
+
+
+def _pack(obj, alloc: Optional[Callable[[np.ndarray], Optional[Tuple]]]):
+    if isinstance(obj, np.ndarray):
+        if alloc is not None:
+            desc = alloc(obj)
+            if desc is not None:
+                return ("S", desc)
+        return ("A", obj)
+    if isinstance(obj, dict):
+        return ("D", [(k, _pack(v, alloc)) for k, v in obj.items()])
+    if isinstance(obj, tuple):
+        return ("T", [_pack(v, alloc) for v in obj])
+    if isinstance(obj, list):
+        return ("L", [_pack(v, alloc) for v in obj])
+    return ("V", obj)
+
+
+def _unpack(enc, view: Callable[[Tuple], np.ndarray]):
+    tag, payload = enc
+    if tag == "S":
+        return view(payload).copy()  # copy: result outlives the scratch block
+    if tag == "A":
+        return payload
+    if tag == "D":
+        return {k: _unpack(v, view) for k, v in payload}
+    if tag == "T":
+        return tuple(_unpack(v, view) for v in payload)
+    if tag == "L":
+        return [_unpack(v, view) for v in payload]
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Worker process.
+
+
+class _SidTierView:
+    """Worker-side tier view addressed by shard-local series id."""
+
+    __slots__ = ("rings", "resolution_s")
+
+    def __init__(self, rings: Dict[int, SharedStatRing], resolution_s: float) -> None:
+        self.rings = rings
+        self.resolution_s = resolution_s
+
+    def window(self, sid: int, t0: float, t1: float) -> Optional[Dict[str, np.ndarray]]:
+        ring = self.rings.get(sid)
+        if ring is None or len(ring) == 0:
+            return None
+        return ring.window(t0, t1)
+
+
+class _SidStoreView:
+    """Worker-side raw-store view for the instant-query tier fallbacks."""
+
+    __slots__ = ("rings",)
+
+    def __init__(self, rings: List[Optional[SharedRingBuffer]]) -> None:
+        self.rings = rings
+
+    def earliest_time(self, sid: int) -> Optional[float]:
+        ring = self.rings[sid] if sid < len(self.rings) else None
+        if ring is None or len(ring) == 0:
+            return None
+        return ring.first_time()
+
+
+class _SidTiers:
+    __slots__ = ("tiers",)
+
+    def __init__(self, tiers: List[_SidTierView]) -> None:
+        self.tiers = tiers
+
+
+class SidShardReader:
+    """Scatter-pass reader addressed by shard-local series id.
+
+    The exact worker-side counterpart of
+    :class:`~repro.shard.federated.KeyShardReader`: the scatter pass
+    functions run unchanged against it, with ``item`` a sid instead of a
+    key.
+    """
+
+    __slots__ = ("_shard", "tier", "_tier_idx", "_store_view", "_tiers_view")
+
+    def __init__(self, shard: "_WorkerShard", tier_idx: Optional[int]) -> None:
+        self._shard = shard
+        self._tier_idx = tier_idx
+        self.tier = shard.tier_views[tier_idx] if tier_idx is not None else None
+        self._store_view = _SidStoreView(shard.rings)
+        self._tiers_view = _SidTiers(shard.tier_views) if shard.tier_views else None
+
+    def window(self, sid: int, lo: float, hi: float):
+        ring = self._shard.rings[sid] if sid < len(self._shard.rings) else None
+        if ring is None:
+            return np.empty(0), np.empty(0)
+        return ring.window(lo, hi)
+
+    def watermark(self, sid: int) -> Optional[float]:
+        wm = self._shard.wm[self._tier_idx]
+        if wm is None or sid >= wm.size:
+            return None
+        w = float(wm[sid])
+        return None if w != w else w
+
+    def rows(self, sid: int, lo: float, hi: float):
+        return self.tier.window(sid, lo, hi)
+
+    def instant_partials(self, sid: int, t0: float, t1: float):
+        if self._tiers_view is None:
+            return None
+        return instant_tier_partials(self._store_view, self._tiers_view, sid, t0, t1)
+
+    def instant_rate(self, sid: int, t0: float, t1: float):
+        if self._tiers_view is None:
+            return None
+        return instant_tier_rate(self._store_view, self._tiers_view, sid, t0, t1)
+
+
+class _WorkerShard:
+    """One shard's sid-addressed mirror inside a worker process."""
+
+    def __init__(self, cache: _BlockCache, arena: SharedArena) -> None:
+        self._cache = cache
+        self._arena = arena
+        self.rings: List[Optional[SharedRingBuffer]] = []
+        self.wm: List[Optional[np.ndarray]] = []
+        self.tier_rings: List[Dict[int, SharedStatRing]] = []
+        self.tier_views: List[_SidTierView] = []
+        self.tier_capacity = 0
+        self.folder: Optional[TierFolder] = None
+        #: tier rings created since the last reply: ``(tier_idx, sid,
+        #: capacity, descs)`` for the parent to attach
+        self.pending_trings: List[Tuple] = []
+
+    # ------------------------------------------------------------- events
+    def apply_event(self, ev: Tuple) -> None:
+        kind = ev[0]
+        if kind == "ring":
+            _, sid, capacity, t_desc, v_desc, m_desc = ev
+            while len(self.rings) <= sid:
+                self.rings.append(None)
+            self.rings[sid] = SharedRingBuffer.attach(
+                self._cache, capacity, t_desc, v_desc, m_desc
+            )
+        elif kind == "wm":
+            _, tier_idx, desc = ev
+            while len(self.wm) <= tier_idx:
+                self.wm.append(None)
+            self.wm[tier_idx] = self._cache.view(desc)
+        elif kind == "tiers":
+            _, resolutions, tier_capacity, buffer_cap = ev
+            self.tier_capacity = tier_capacity
+            self.tier_rings = [dict() for _ in resolutions]
+            self.tier_views = [
+                _SidTierView(rings, res) for rings, res in zip(self.tier_rings, resolutions)
+            ]
+            self.folder = TierFolder(
+                resolutions,
+                ring_of=lambda sid: self.rings[sid] if sid < len(self.rings) else None,
+                known_sids=lambda: [
+                    sid for sid, r in enumerate(self.rings) if r is not None
+                ],
+                wm_of=lambda ti: self.wm[ti],
+                tier_ring=lambda ti, sid: self.tier_rings[ti].get(sid),
+                make_tier_ring=self._make_tier_ring,
+                buffer_cap=buffer_cap,
+            )
+        elif kind == "cols":
+            _, ids, times, values = ev
+            if self.folder is not None:
+                self.folder.on_columns(ids, times, values)
+
+    def _make_tier_ring(self, tier_idx: int, sid: int) -> SharedStatRing:
+        ring = SharedStatRing.create(self._arena, self.tier_capacity)
+        self.tier_rings[tier_idx][sid] = ring
+        self.pending_trings.append((tier_idx, sid, self.tier_capacity, ring.descs))
+        return ring
+
+    def take_trings(self) -> List[Tuple]:
+        out, self.pending_trings = self.pending_trings, []
+        return out
+
+    # -------------------------------------------------------------- tasks
+    def run(self, kind: str, payload: Dict):
+        if kind == "scatter":
+            reader = SidShardReader(self, payload["params"].get("tier_idx"))
+            fn = SCATTER_FNS[payload["kind"]]
+            return fn(
+                reader,
+                payload["sids"],
+                payload["gidxs"],
+                payload["ranks"],
+                payload.get("singleton"),
+                payload["params"],
+            )
+        if kind == "append":
+            ids, times, values = payload["ids"], payload["times"], payload["values"]
+            bounds = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+            starts = np.concatenate(([0], bounds))
+            ends = np.concatenate((bounds, [ids.size]))
+            for sid, lo, hi in zip(ids[starts].tolist(), starts.tolist(), ends.tolist()):
+                self.rings[sid]._extend_sorted(times[lo:hi], values[lo:hi])
+            if self.folder is not None:
+                self.folder.on_columns(ids, times, values)
+            return {"n": int(ids.size)}
+        if kind == "fold":
+            if self.folder is None:
+                return {"written": 0, "late": 0}
+            written = self.folder.fold(payload["boundary"])
+            return {"written": written, "late": self.folder.late_dropped}
+        raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _worker_main(conn, worker_idx: int, prefix: str, shared_tracker: bool) -> None:
+    """Worker process entry: attach-on-demand mirrors + task loop.
+
+    One message per dispatch batch: ``[(shard, events, kind, payload),
+    ...]`` in, ``("ok", scratch_blocks, persist_blocks, replies)`` out.
+    Large reply arrays travel through a per-batch scratch arena whose
+    blocks the parent unlinks after copying; tier rings live in this
+    worker's persistent arena, whose block names ride along in replies
+    so the parent can unlink them at pool close.
+    """
+    global _UNREGISTER_ON_ATTACH
+    if shared_tracker:  # fork: one tracker for the whole pool
+        _UNREGISTER_ON_ATTACH = False
+    cache = _BlockCache()
+    arena = SharedArena(f"{prefix}.w{worker_idx}", untrack=True)
+    shards: Dict[int, _WorkerShard] = {}
+    old_scratch: List[shared_memory.SharedMemory] = []
+    conn.send(("hello", worker_idx))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        if msg == "__crash__":
+            os._exit(1)
+        for shm in old_scratch:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        old_scratch = []
+        scratch: List[SharedArena] = []
+
+        def alloc(arr: np.ndarray) -> Optional[Tuple]:
+            if arr.nbytes < _INLINE_MAX or arr.ndim != 1 or not arr.flags.c_contiguous:
+                return None  # small / non-flat arrays ride inline
+            if not scratch:
+                scratch.append(SharedArena(f"{prefix}.s{worker_idx}", untrack=True))
+            dst, desc = scratch[0].alloc(arr.size, arr.dtype)
+            dst[:] = arr
+            return desc
+
+        try:
+            replies = []
+            for shard_idx, events, kind, payload in msg:
+                state = shards.get(shard_idx)
+                if state is None:
+                    state = shards[shard_idx] = _WorkerShard(cache, arena)
+                for ev in events:
+                    state.apply_event(ev)
+                data = state.run(kind, payload)
+                replies.append(_pack({"trings": state.take_trings(), "data": data}, alloc))
+            scratch_names = scratch[0].block_names if scratch else []
+            if scratch:
+                old_scratch = [shm for _, shm in scratch[0]._blocks]
+            conn.send(("ok", scratch_names, arena.drain_new_names(), replies))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+# --------------------------------------------------------------------------
+# Parent-side pool.
+
+
+class ShardWorkerPool:
+    """Persistent worker pool with per-shard event logs and crash handling.
+
+    Shards have **static ownership**: shard ``s`` always executes on
+    worker ``s % n_workers``, so a shard's event stream and its
+    shared-ring mutations are seen by exactly one worker in order.
+    ``dispatch`` is synchronous — all tasks are sent, then one batched
+    reply per worker is collected — so the parent and workers never
+    race on the same ring.  A dead or hung worker marks the whole pool
+    :attr:`broken`; callers degrade to their serial implementations
+    (parent-side state is authoritative and shm-readable throughout).
+    """
+
+    def __init__(self, n_workers: int, n_shards: int, *, timeout_s: float = 60.0) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = int(n_workers)
+        self.n_shards = int(n_shards)
+        self.timeout_s = float(timeout_s)
+        self.prefix = f"repro.{os.getpid()}.{id(self) & 0xFFFF:x}"
+        self._events: List[List[Tuple]] = [[] for _ in range(n_shards)]
+        self._procs: List = []
+        self._conns: List = []
+        self.started = False
+        self.broken = False
+        self.dispatches = 0
+        self.tasks_sent = 0
+        #: worker-owned persistent blocks to unlink at close
+        self._worker_blocks: List[str] = []
+
+    def worker_of(self, shard: int) -> int:
+        return shard % self.n_workers
+
+    @property
+    def active(self) -> bool:
+        return self.started and not self.broken
+
+    def log_event(self, shard: int, ev: Tuple) -> None:
+        self._events[shard].append(ev)
+
+    def start(self) -> None:
+        if self.started:
+            return
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = get_context(method)
+        if method == "fork":
+            # Spawn the parent's resource-tracker daemon *before* forking:
+            # children then inherit its live fd and share it, instead of
+            # each lazily spawning a private tracker whose cache would
+            # hold (and unlink, on worker exit) the parent's blocks.
+            try:
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+        for w in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, w, self.prefix, method == "fork"),
+                daemon=True,
+                name=f"repro-shard-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        for w in range(self.n_workers):
+            reply = self._recv(w, timeout_s=30.0)
+            if reply is None or reply[0] != "hello":
+                self.broken = True
+                raise RuntimeError(f"shard worker {w} failed to start")
+        self.started = True
+
+    def _recv(self, w: int, timeout_s: Optional[float] = None):
+        """One message from worker ``w``; ``None`` if it died or hung."""
+        conn, proc = self._conns[w], self._procs[w]
+        deadline = timeout_s if timeout_s is not None else self.timeout_s
+        waited = 0.0
+        while True:
+            try:
+                if conn.poll(0.05):
+                    return conn.recv()
+            except (EOFError, OSError):
+                return None
+            if not proc.is_alive():
+                # drain anything flushed before death
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                return None
+            waited += 0.05
+            if waited >= deadline:
+                proc.terminate()
+                return None
+
+    def dispatch(self, tasks: List[Tuple[int, str, Dict]]) -> List:
+        """Run ``(shard, kind, payload)`` tasks; one batched send+recv per
+        worker.  Returns per-task results in order; tasks owned by a dead
+        worker yield :data:`WORKER_DIED` (and the pool turns broken)."""
+        if not self.active:
+            raise RuntimeError("pool is not active")
+        self.dispatches += 1
+        self.tasks_sent += len(tasks)
+        per_worker: Dict[int, List[Tuple[int, int]]] = {}
+        messages: Dict[int, List] = {}
+        for pos, (shard, kind, payload) in enumerate(tasks):
+            w = self.worker_of(shard)
+            events = self._events[shard]
+            if events:
+                self._events[shard] = []
+            per_worker.setdefault(w, []).append((pos, shard))
+            messages.setdefault(w, []).append((shard, events, kind, payload))
+        for w, msg in messages.items():
+            try:
+                self._conns[w].send(msg)
+            except (BrokenPipeError, OSError):
+                pass  # surfaces as a dead recv below
+        results: List = [WORKER_DIED] * len(tasks)
+        for w in per_worker:
+            reply = self._recv(w)
+            if reply is None:
+                self.broken = True
+                continue
+            status = reply[0]
+            if status == "err":
+                self.broken = True
+                raise RuntimeError(f"shard worker {w} task failed:\n{reply[1]}")
+            _, scratch_names, persist_names, replies = reply
+            self._worker_blocks.extend(persist_names)
+            scratch = _BlockCache()
+            try:
+                for (pos, _shard), enc in zip(per_worker[w], replies):
+                    results[pos] = _unpack(enc, scratch.view)
+            finally:
+                scratch.close()
+                for name in scratch_names:
+                    _unlink_block(name)
+        return results
+
+    def inject_crash(self, worker_idx: int) -> None:
+        """Kill one worker (tests: exercises degradation paths)."""
+        try:
+            self._conns[worker_idx].send("__crash__")
+        except (BrokenPipeError, OSError):
+            pass
+        self._procs[worker_idx].join(timeout=5.0)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+        self.started = False
+        for name in self._worker_blocks:
+            _unlink_block(name)
+        self._worker_blocks = []
+        # backstop: unlink worker-owned blocks (persist + scratch arenas)
+        # a crashed worker left behind — those are untracked, so nothing
+        # else will ever reclaim them.  Parent-owned blocks are excluded;
+        # their arena closes (and unlinks) through its own handles.
+        try:
+            for entry in os.listdir("/dev/shm"):
+                if entry.startswith(f"{self.prefix}.w") or entry.startswith(
+                    f"{self.prefix}.s"
+                ):
+                    _unlink_block(entry)
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "workers": float(self.n_workers),
+            "dispatches": float(self.dispatches),
+            "tasks_sent": float(self.tasks_sent),
+            "broken": float(self.broken),
+        }
+
+
+# --------------------------------------------------------------------------
+# Parent-side shared rollup tiers.
+
+
+class _SharedTierViewKeyed:
+    """Key-addressed view of one shared tier (parent-side engine surface).
+
+    Duck-types :class:`~repro.query.rollup.RollupTier`'s read methods so
+    the inherited serial scatter path and the instant-query tier
+    fallbacks work unchanged against worker-folded tiers.
+    """
+
+    __slots__ = ("_tierset", "_idx", "resolution_s")
+
+    def __init__(self, tierset: "SharedTierSet", idx: int, resolution_s: float) -> None:
+        self._tierset = tierset
+        self._idx = idx
+        self.resolution_s = resolution_s
+
+    def _sid(self, key: SeriesKey) -> Optional[int]:
+        return self._tierset.store.registry.get(key)
+
+    def watermark(self, key: SeriesKey) -> Optional[float]:
+        sid = self._sid(key)
+        if sid is None:
+            return None
+        wm = self._tierset.wm[self._idx]
+        if sid >= wm.size:
+            return None
+        w = float(wm[sid])
+        return None if w != w else w
+
+    def window(self, key: SeriesKey, t0: float, t1: float) -> Optional[Dict[str, np.ndarray]]:
+        sid = self._sid(key)
+        if sid is None:
+            return None
+        ring = self._tierset.tier_rings[self._idx].get(sid)
+        if ring is None or len(ring) == 0:
+            return None
+        return ring.window(t0, t1)
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._tierset.tier_rings[self._idx].values())
+
+
+class SharedTierSet:
+    """One shard's rollup cascade over shared storage (parent side).
+
+    Presents the :class:`~repro.query.rollup.RollupManager` read surface
+    (``tiers`` / ``folds`` / ``fold`` / ``stats``) while the folding
+    itself normally runs inside the owning worker: the parent allocates
+    the shared per-tier watermark tables (``NaN`` = unset) and announces
+    them through the shard's event log; workers create tier row rings on
+    demand and report them back for the parent to attach.  When the pool
+    degrades, :meth:`fold` builds a parent-side :class:`TierFolder` over
+    the same storage and folding continues in-process — watermarks make
+    every fold idempotent, so a half-finished worker fold re-folds
+    safely.
+    """
+
+    def __init__(
+        self,
+        store: SharedTimeSeriesStore,
+        shard_idx: int,
+        resolutions: Sequence[float],
+        tier_capacity: int,
+        arena: SharedArena,
+        cache: _BlockCache,
+        log_event: Callable[[Tuple], None],
+        pool_active: Callable[[], bool],
+        buffer_cap: int = 1 << 18,
+    ) -> None:
+        res = sorted(float(r) for r in resolutions)
+        if len(set(res)) != len(res) or not res:
+            raise ValueError("need distinct rollup resolutions")
+        for fine, coarse in zip(res, res[1:]):
+            if coarse % fine != 0.0:
+                raise ValueError(
+                    f"each tier must be a multiple of the previous: {coarse} % {fine} != 0"
+                )
+        self.store = store
+        self.shard_idx = shard_idx
+        self.resolutions = res
+        self.tier_capacity = int(tier_capacity)
+        self._arena = arena
+        self._cache = cache
+        self._log_event = log_event
+        self._pool_active = pool_active
+        self._buffer_cap = int(buffer_cap)
+        self.folds = 0
+        self.late_dropped = 0
+        self.wm: List[np.ndarray] = []
+        self.tier_rings: List[Dict[int, SharedStatRing]] = [dict() for _ in res]
+        self.tiers = [_SharedTierViewKeyed(self, i, r) for i, r in enumerate(res)]
+        self._folder: Optional[TierFolder] = None
+        log_event(("tiers", tuple(res), self.tier_capacity, self._buffer_cap))
+        for ti in range(len(res)):
+            self._grow_wm(ti, 64)
+        store.add_ingest_listener(self._on_shard_columns)
+
+    # -------------------------------------------------------------- plumbing
+    def _grow_wm(self, tier_idx: int, n: int) -> None:
+        arr, desc = self._arena.alloc(n)
+        arr.fill(np.nan)
+        if tier_idx < len(self.wm):
+            old = self.wm[tier_idx]
+            arr[: old.size] = old
+            self.wm[tier_idx] = arr
+        else:
+            self.wm.append(arr)
+        self._log_event(("wm", tier_idx, desc))
+
+    def ensure_wm(self, n: int) -> None:
+        """Grow every watermark table to cover ``n`` sids (parent-only,
+        called between dispatches so no worker holds the old view)."""
+        for ti, arr in enumerate(self.wm):
+            if n > arr.size:
+                self._grow_wm(ti, max(64, 2 * arr.size, n))
+
+    def _on_shard_columns(self, ids: np.ndarray, times: np.ndarray, values: np.ndarray) -> None:
+        """Shard ingest listener: serial-path commits (scalar inserts,
+        degraded appends) feed the owning worker's folder through the
+        event log — or the parent folder once degraded."""
+        if self._pool_active():
+            self._log_event(("cols", ids, times, values))
+        else:
+            self._parent_folder().on_columns(ids, times, values)
+
+    def attach_tring(self, tier_idx: int, sid: int, capacity: int, descs: Tuple) -> None:
+        """Attach a worker-created tier ring reported in a task reply."""
+        self.tier_rings[tier_idx][sid] = SharedStatRing.attach(self._cache, capacity, descs)
+
+    # ------------------------------------------------------- degraded folding
+    def _known_sids(self) -> List[int]:
+        registry = self.store.registry
+        out = []
+        for sid in range(len(registry)):
+            if self.store._series.get(registry.key_for(sid)) is not None:
+                out.append(sid)
+        return out
+
+    def _raw_ring(self, sid: int) -> Optional[RingBuffer]:
+        return self.store._series.get(self.store.registry.key_for(sid))
+
+    def _make_tier_ring(self, tier_idx: int, sid: int) -> SharedStatRing:
+        ring = SharedStatRing.create(self._arena, self.tier_capacity)
+        self.tier_rings[tier_idx][sid] = ring
+        return ring
+
+    def _parent_folder(self) -> TierFolder:
+        if self._folder is None:
+            self._folder = TierFolder(
+                self.resolutions,
+                ring_of=self._raw_ring,
+                known_sids=self._known_sids,
+                wm_of=lambda ti: self.wm[ti],
+                tier_ring=lambda ti, sid: self.tier_rings[ti].get(sid),
+                make_tier_ring=self._make_tier_ring,
+                buffer_cap=self._buffer_cap,
+            )
+        return self._folder
+
+    def fold(self, now: float) -> int:
+        """Parent-side fold (pool down or never started): same cadence
+        contract as :meth:`RollupManager.fold`."""
+        self.ensure_wm(len(self.store.registry))
+        res = self.resolutions[0]
+        folder = self._parent_folder()
+        written = folder.fold(math.floor(now / res) * res)
+        self.late_dropped = folder.late_dropped
+        self.folds += 1
+        return written
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"folds": float(self.folds)}
+        for view in self.tiers:
+            out[f"tier_{int(view.resolution_s)}s_rows"] = float(len(view))
+        return out
+
+
+# --------------------------------------------------------------------------
+# Parallel store facade.
+
+
+class ParallelShardedStore(ShardedTimeSeriesStore):
+    """Sharded store with ingest executed by the worker pool.
+
+    Shard ring buffers live in one parent-owned :class:`SharedArena`;
+    :meth:`append_batch` routes segments exactly like the serial facade,
+    then ships each shard's compact columns to its owning worker, which
+    writes the shared rings and feeds its tier-0 folder in-process.  The
+    parent keeps all bookkeeping (registries, epochs, generations,
+    facade listeners) authoritative, so reads and serial fallbacks never
+    depend on worker state.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        default_capacity: int = 4096,
+        *,
+        workers: int = 2,
+        pool_timeout_s: float = 60.0,
+    ) -> None:
+        self.pool = ShardWorkerPool(workers, n_shards, timeout_s=pool_timeout_s)
+        self.arena = SharedArena(f"{self.pool.prefix}.p")
+        self.attach_cache = _BlockCache()
+        self.tiersets: Optional[List[SharedTierSet]] = None
+        self.parallel_appends = 0
+        self.serial_appends = 0
+        self.append_recoveries = 0
+        self._closed = False
+        super().__init__(n_shards, default_capacity)
+
+    def _make_shard(self, idx: int) -> TimeSeriesStore:
+        return SharedTimeSeriesStore(
+            self.default_capacity,
+            self.arena,
+            on_event=lambda ev, s=idx: self.pool.log_event(s, ev),
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def create_tiersets(
+        self,
+        resolutions: Sequence[float],
+        *,
+        tier_capacity: int = 4096,
+        ingest_buffer_cap: int = 1 << 18,
+    ) -> List[SharedTierSet]:
+        """Build one shared rollup cascade per shard.
+
+        One rollup configuration per store: the tier layout is baked
+        into every worker's mirror, so a second call with a different
+        layout raises instead of silently forking the config.
+        """
+        if self.tiersets is not None:
+            if [t.resolution_s for t in self.tiersets[0].tiers] == sorted(
+                float(r) for r in resolutions
+            ):
+                return self.tiersets
+            raise RuntimeError(
+                "parallel store already has rollup tiers with a different "
+                "layout; one rollup configuration per store"
+            )
+        self.tiersets = [
+            SharedTierSet(
+                self.shards[s],
+                s,
+                resolutions,
+                tier_capacity,
+                self.arena,
+                self.attach_cache,
+                log_event=lambda ev, s=s: self.pool.log_event(s, ev),
+                pool_active=lambda: self.pool.active,
+                buffer_cap=ingest_buffer_cap,
+            )
+            for s in range(self.n_shards)
+        ]
+        return self.tiersets
+
+    def start_parallel(self) -> None:
+        """Start the worker pool and switch rings to cross-process mode."""
+        self.pool.start()
+        for shard in self.shards:
+            shard.mark_shared()
+
+    @property
+    def parallel_active(self) -> bool:
+        return self.pool.active
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.pool.started:
+            self.pool.close()
+        self.attach_cache.close()
+        self.arena.close(unlink=True)
+
+    def __enter__(self) -> "ParallelShardedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- plumbing
+    def ensure_wm_capacity(self) -> None:
+        if self.tiersets is None:
+            return
+        for s, ts in enumerate(self.tiersets):
+            ts.ensure_wm(len(self.shards[s].registry))
+
+    def apply_envelope(self, shard: int, reply):
+        """Unwrap one task reply: attach reported tier rings, return data."""
+        if reply is WORKER_DIED:
+            return WORKER_DIED
+        if self.tiersets is not None:
+            for tier_idx, sid, capacity, descs in reply["trings"]:
+                self.tiersets[shard].attach_tring(tier_idx, sid, capacity, descs)
+        return reply["data"]
+
+    # -------------------------------------------------------------- writing
+    def append_batch(self, series_ids, times, values) -> None:
+        if not self.pool.active:
+            self.serial_appends += 1
+            super().append_batch(series_ids, times, values)
+            return
+        series_ids = np.asarray(series_ids, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (series_ids.shape == times.shape == values.shape):
+            raise ValueError("series_ids, times, values must be parallel 1-D arrays")
+        if series_ids.size == 0:
+            return
+        self._ensure_routed()
+        if int(series_ids.max()) >= self._routed:
+            raise IndexError("series id not interned in this store's registry")
+        ids_s, times_s, values_s, starts, ends = sort_series_columns(
+            series_ids, times, values
+        )
+        seg_gids = ids_s[starts]
+        seg_shards = self._shard_of[seg_gids]
+        seg_locals = self._local_of[seg_gids]
+        order = np.argsort(seg_shards, kind="stable")
+        seg_shards_o = seg_shards[order]
+        bounds = np.flatnonzero(seg_shards_o[1:] != seg_shards_o[:-1]) + 1
+        shard_slices: List[Tuple[int, np.ndarray]] = []
+        tasks: List[Tuple[int, str, Dict]] = []
+        for lo, hi in zip(
+            np.concatenate(([0], bounds)).tolist(),
+            np.concatenate((bounds, [order.size])).tolist(),
+        ):
+            sel = order[lo:hi]
+            s = int(seg_shards_o[lo])
+            shard = self.shards[s]
+            # pre-create buffers parent-side so ring events precede the
+            # task in the shard's event stream and parent bookkeeping
+            # (metric keys, generations) stays authoritative
+            for sid in seg_locals[sel].tolist():
+                if sid not in shard._id_buffers:
+                    shard._buffer_for_id(sid)
+            ids_c, t_c, v_c = segment_notify_columns(
+                seg_locals[sel], times_s, values_s, starts[sel], ends[sel]
+            )
+            shard_slices.append((s, sel))
+            tasks.append((s, "append", {"ids": ids_c, "times": t_c, "values": v_c}))
+        self.ensure_wm_capacity()
+        results = self.pool.dispatch(tasks)
+        self.parallel_appends += 1
+        failed: List[Tuple[int, np.ndarray]] = []
+        for (s, sel), res in zip(shard_slices, results):
+            data = self.apply_envelope(s, res)
+            if data is WORKER_DIED:
+                failed.append((s, sel))
+                continue
+            self._commit_bookkeeping(s, seg_locals[sel], starts[sel], ends[sel],
+                                     times_s, values_s)
+        for s, sel in failed:
+            self.append_recoveries += 1
+            self._reapply_segments(s, seg_locals[sel], times_s, values_s,
+                                   starts[sel], ends[sel])
+
+    def _commit_bookkeeping(self, s, seg_sids, seg_starts, seg_ends, times_s, values_s):
+        """Parent-side commit accounting for rows a worker wrote."""
+        shard = self.shards[s]
+        n = int((seg_ends - seg_starts).sum())
+        shard.total_inserts += n
+        shard._record_commit(
+            {shard._id_buffers[sid][1] for sid in seg_sids.tolist()}
+        )
+        if self._listeners:
+            ids_c, t_c, v_c = segment_notify_columns(
+                seg_sids, times_s, values_s, seg_starts, seg_ends
+            )
+            gids = self._global_of[s][ids_c]
+            for listener in self._listeners:
+                listener(gids, t_c, v_c)
+
+    def _reapply_segments(self, s, seg_sids, times_s, values_s, seg_starts, seg_ends):
+        """Serial re-apply after a worker died mid-append.
+
+        The worker may have committed any prefix of its segments, so
+        each segment is trimmed at the ring's current last timestamp
+        before re-writing — best-effort dedup (rows sharing the exact
+        boundary timestamp are treated as already applied).
+        """
+        shard = self.shards[s]
+        touched = set()
+        n = 0
+        for sid, lo, hi in zip(seg_sids.tolist(), seg_starts.tolist(), seg_ends.tolist()):
+            buf, metric = shard._id_buffers[sid]
+            seg_t = times_s[lo:hi]
+            seg_v = values_s[lo:hi]
+            if len(buf):
+                cut = int(np.searchsorted(seg_t, buf.last_time(), side="right"))
+                seg_t, seg_v = seg_t[cut:], seg_v[cut:]
+            if seg_t.size:
+                buf._extend_sorted(seg_t, seg_v)
+                n += int(seg_t.size)
+            touched.add(metric)
+        shard.total_inserts += n
+        shard._record_commit(touched)
+        # the shard's own listener chain (tier feed — degraded now — plus
+        # the facade's translating wrappers) gets the full payload: the
+        # worker died before any notification happened
+        ids_c, t_c, v_c = segment_notify_columns(
+            seg_sids, times_s, values_s, seg_starts, seg_ends
+        )
+        shard._notify(ids_c, t_c, v_c)
+
+    def shard_stats(self) -> Dict[str, float]:
+        out = super().shard_stats()
+        out["parallel_appends"] = float(self.parallel_appends)
+        out["serial_appends"] = float(self.serial_appends)
+        out["append_recoveries"] = float(self.append_recoveries)
+        out.update({f"pool_{k}": v for k, v in self.pool.stats().items()})
+        return out
+
+
+# --------------------------------------------------------------------------
+# Parallel federated engine.
+
+
+class ParallelFederatedQueryEngine(FederatedQueryEngine):
+    """Federated engine whose scatter passes run on the worker pool.
+
+    Overrides exactly the :meth:`_scatter` seam: worklists are
+    translated to shard-local sid columns (memoized against the plan
+    cache), shipped to the shard's owning worker, and executed there by
+    the very same pass functions the serial loop runs — the gather is
+    untouched, so results are bit-identical to serial execution for any
+    worker count.  Every failure path falls back to the inherited serial
+    scatter over the same shared storage.
+    """
+
+    def __init__(self, store: ParallelShardedStore, **kwargs) -> None:
+        super().__init__(store, rollups=store.tiersets, **kwargs)
+        self.parallel_scatters = 0
+        self.parallel_folds = 0
+        self.serial_fallbacks = 0
+        #: id(work) → (work, per-shard sid columns, per-shard singleton)
+        self._sid_plans: Dict[int, Tuple] = {}
+
+    def _sid_work(self, work: List[ShardWork], group_sizes: Optional[List[int]]):
+        cached = self._sid_plans.get(id(work))
+        if cached is not None and cached[0] is work:
+            _, sid_work, singleton = cached
+        else:
+            sid_work = []
+            for s, (items, gidxs, ranks) in enumerate(work):
+                registry = self.store.shards[s].registry
+                sid_work.append([registry.get(k) for k in items])
+            singleton = None
+        if group_sizes is not None and singleton is None:
+            singleton = [
+                [group_sizes[g] == 1 for g in gidxs] for (_, gidxs, _) in work
+            ]
+        if len(self._sid_plans) > 4096:
+            self._sid_plans.clear()
+        self._sid_plans[id(work)] = (work, sid_work, singleton)
+        return sid_work, singleton
+
+    def _scatter(self, kind: str, work: List[ShardWork], params: Dict) -> List:
+        pool = self.store.pool
+        if not pool.active:
+            self.serial_fallbacks += 1
+            return super()._scatter(kind, work, params)
+        group_sizes = params.get("group_sizes")
+        sid_work, singleton = self._sid_work(work, group_sizes)
+        wire_params = {k: v for k, v in params.items() if k != "group_sizes"}
+        tasks = []
+        task_shards = []
+        for s, (items, gidxs, ranks) in enumerate(work):
+            if not items:
+                continue
+            tasks.append(
+                (
+                    s,
+                    "scatter",
+                    {
+                        "kind": kind,
+                        "sids": sid_work[s],
+                        "gidxs": gidxs,
+                        "ranks": ranks,
+                        "singleton": singleton[s] if singleton is not None else None,
+                        "params": wire_params,
+                    },
+                )
+            )
+            task_shards.append(s)
+        if not tasks:
+            return [None] * len(work)
+        results = pool.dispatch(tasks)
+        out: List = [None] * len(work)
+        for s, res in zip(task_shards, results):
+            data = self.store.apply_envelope(s, res)
+            if data is WORKER_DIED:
+                # pool is broken now; recompute the whole pass serially —
+                # reads are idempotent and parent state is authoritative
+                self.serial_fallbacks += 1
+                return super()._scatter(kind, work, params)
+            out[s] = data
+        self.parallel_scatters += 1
+        return out
+
+    def fold_rollups(self, now: float) -> int:
+        tiersets = self.shard_rollups
+        if not tiersets:
+            return 0
+        pool = self.store.pool
+        if not pool.active:
+            return sum(ts.fold(now) for ts in tiersets)
+        res0 = tiersets[0].resolutions[0]
+        boundary = math.floor(now / res0) * res0
+        self.store.ensure_wm_capacity()
+        tasks = [(s, "fold", {"boundary": boundary}) for s in range(self.store.n_shards)]
+        results = pool.dispatch(tasks)
+        total = 0
+        for s, res in enumerate(results):
+            data = self.store.apply_envelope(s, res)
+            if data is WORKER_DIED:
+                # re-fold this shard in-process: watermarks make the
+                # half-finished worker fold idempotent
+                total += tiersets[s].fold(now)
+                continue
+            total += data["written"]
+            tiersets[s].late_dropped = data["late"]
+            tiersets[s].folds += 1
+        self.parallel_folds += 1
+        return total
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out["parallel_scatters"] = float(self.parallel_scatters)
+        out["parallel_folds"] = float(self.parallel_folds)
+        out["serial_fallbacks"] = float(self.serial_fallbacks)
+        out.update({f"pool_{k}": v for k, v in self.store.pool.stats().items()})
+        return out
+
+
+class ParallelShardContext:
+    """One-stop construction of the parallel tier: store + pool + engine.
+
+    ``with ParallelShardContext(shards=8, workers=4) as ctx:`` yields a
+    running pool; ``ctx.store`` and ``ctx.engine`` are drop-in
+    replacements for the serial sharded store and federated engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 8,
+        workers: int = 2,
+        capacity: int = 4096,
+        rollup_resolutions: Optional[Sequence[float]] = None,
+        tier_capacity: int = 4096,
+        cache=None,
+        enable_cache: bool = True,
+        start: bool = True,
+        pool_timeout_s: float = 60.0,
+    ) -> None:
+        self.store = ParallelShardedStore(
+            shards, capacity, workers=workers, pool_timeout_s=pool_timeout_s
+        )
+        if rollup_resolutions is not None:
+            self.store.create_tiersets(rollup_resolutions, tier_capacity=tier_capacity)
+        self.engine = ParallelFederatedQueryEngine(
+            self.store, cache=cache, enable_cache=enable_cache
+        )
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        self.store.start_parallel()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "ParallelShardContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "WORKER_DIED",
+    "SharedArena",
+    "SharedRingBuffer",
+    "SharedStatRing",
+    "SharedTimeSeriesStore",
+    "SharedTierSet",
+    "TierFolder",
+    "ShardWorkerPool",
+    "SidShardReader",
+    "ParallelShardedStore",
+    "ParallelFederatedQueryEngine",
+    "ParallelShardContext",
+]

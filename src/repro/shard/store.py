@@ -67,7 +67,7 @@ class ShardedTimeSeriesStore:
         self.n_shards = int(n_shards)
         self.default_capacity = int(default_capacity)
         self.shards: List[TimeSeriesStore] = [
-            TimeSeriesStore(default_capacity) for _ in range(self.n_shards)
+            self._make_shard(idx) for idx in range(self.n_shards)
         ]
         #: global intern table — the id namespace the ingest pipeline moves
         self.registry = SeriesRegistry()
@@ -80,6 +80,12 @@ class ShardedTimeSeriesStore:
             np.empty(0, dtype=np.int64) for _ in range(self.n_shards)
         ]
         self._listeners: List[IngestListener] = []
+
+    def _make_shard(self, idx: int) -> TimeSeriesStore:
+        """Build the per-shard store.  Subclasses override to relocate
+        shard columns (e.g. :class:`repro.shard.parallel.SharedTimeSeriesStore`
+        over shared memory for the process-parallel tier)."""
+        return TimeSeriesStore(self.default_capacity)
 
     # ------------------------------------------------------------- routing
     def shard_index(self, key: SeriesKey) -> int:

@@ -21,7 +21,7 @@ batches at the collection root.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -91,6 +91,10 @@ class SeriesRegistry:
             self._ids[key] = sid
             self._keys.append(key)
         return sid
+
+    def get(self, key: SeriesKey) -> Optional[int]:
+        """The interned id of ``key`` without interning; ``None`` if unseen."""
+        return self._ids.get(key)
 
     def ids_for(self, keys: Iterable[SeriesKey]) -> np.ndarray:
         """Vector of interned ids for ``keys`` (int64)."""

@@ -111,6 +111,26 @@ def ring_gather(arr: np.ndarray, ranges: Iterable[Tuple[int, int]]) -> np.ndarra
     return np.concatenate(parts)
 
 
+def segment_notify_columns(
+    seg_ids: np.ndarray,
+    times: np.ndarray,
+    values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact listener columns ``(ids, times, values)`` for segment rows.
+
+    Segments select rows ``[starts[j], ends[j])`` of shared columns;
+    the result repeats each segment's id over its rows and gathers the
+    rows into dense arrays — the shape ingest listeners (and the
+    parallel shard tier's task payloads) consume.
+    """
+    lens = ends - starts
+    idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens)
+    idx += np.arange(int(lens.sum()))
+    return np.repeat(seg_ids, lens), times[idx], values[idx]
+
+
 _AGGREGATORS: Dict[str, Callable[[np.ndarray], float]] = {
     "mean": np.mean,
     "min": np.min,
@@ -134,12 +154,29 @@ class RingBuffer:
 
     __slots__ = ("capacity", "_times", "_values", "_head", "_count", "_written")
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        *,
+        times: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
-        self._times = np.empty(self.capacity, dtype=np.float64)
-        self._values = np.empty(self.capacity, dtype=np.float64)
+        if times is None:
+            times = np.empty(self.capacity, dtype=np.float64)
+        if values is None:
+            values = np.empty(self.capacity, dtype=np.float64)
+        if times.shape != (self.capacity,) or values.shape != (self.capacity,):
+            raise ValueError("preallocated ring arrays must be 1-D of length capacity")
+        # Buffer-relocatable layout: the ring never reallocates or aliases
+        # beyond these two arrays, so callers may back them with any
+        # float64 storage — including multiprocessing shared memory (see
+        # repro.shard.parallel.SharedRingBuffer) — and the ring works
+        # unchanged from any process mapping the same buffers.
+        self._times = times
+        self._values = values
         self._head = 0  # next write position
         self._count = 0  # valid entries
         self._written = 0  # total appends ever
@@ -333,11 +370,20 @@ class TimeSeriesStore:
         """Monotone counter bumped by every write touching ``metric``."""
         return self._metric_epoch.get(metric, 0)
 
+    def _make_buffer(self, key: SeriesKey, capacity: int) -> RingBuffer:
+        """Allocate the ring buffer backing a new series.
+
+        Subclasses override this to relocate ring storage (e.g. into
+        shared memory for the process-parallel shard tier) without
+        touching the interning/epoch bookkeeping in :meth:`_buffer`.
+        """
+        return RingBuffer(capacity)
+
     def _buffer(self, key: SeriesKey) -> RingBuffer:
         buf = self._series.get(key)
         if buf is None:
             cap = self._capacity_overrides.get(key.metric, self.default_capacity)
-            buf = RingBuffer(cap)
+            buf = self._make_buffer(key, cap)
             self._series[key] = buf
             metric = key.metric
             self._metric_keys.setdefault(metric, []).append(key)
@@ -501,10 +547,7 @@ class TimeSeriesStore:
         self.total_inserts += n
         self._record_commit(touched_metrics)
         if self._listeners:
-            lens = ends - starts
-            idx = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens)
-            idx += np.arange(int(lens.sum()))
-            self._notify(np.repeat(seg_ids, lens), times[idx], values[idx])
+            self._notify(*segment_notify_columns(seg_ids, times, values, starts, ends))
 
     # --------------------------------------------------------------- reading
     def has(self, key: SeriesKey) -> bool:

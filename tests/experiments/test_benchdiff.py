@@ -1,0 +1,81 @@
+"""Unit tests for the benchmark-artifact diff (``repro bench-diff``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.benchdiff import (
+    artifact_shas,
+    diff_artifacts,
+    is_throughput_key,
+    load_artifact,
+    render_diff,
+)
+
+
+def test_is_throughput_key():
+    assert is_throughput_key("samples_per_s")
+    assert is_throughput_key("serial_queries_per_s")
+    assert is_throughput_key("scatter_speedup")
+    assert is_throughput_key("speedup_vs_baseline")
+    assert not is_throughput_key("query_ms")
+    assert not is_throughput_key("n_series")
+    assert not is_throughput_key("persistence")  # no accidental infix match
+
+
+def test_diff_flags_regressions_beyond_threshold():
+    old = {"ingest": {"samples_per_s": 1000.0, "scatter_speedup": 3.0}}
+    new = {"ingest": {"samples_per_s": 700.0, "scatter_speedup": 2.9}}
+    rows = diff_artifacts(old, new, threshold=0.2)
+    by_key = {r["key"]: r for r in rows}
+    assert by_key["ingest.samples_per_s"]["regressed"]  # 0.70 < 0.80
+    assert not by_key["ingest.scatter_speedup"]["regressed"]  # 0.97
+    assert rows[0]["regressed"]  # regressions sort first
+    assert by_key["ingest.samples_per_s"]["ratio"] == pytest.approx(0.7)
+
+
+def test_diff_ignores_one_sided_and_non_throughput_and_bools():
+    old = {"a": {"x_per_s": 10.0, "gone_per_s": 5.0, "wall_ms": 3.0}}
+    new = {"a": {"x_per_s": 10.0, "added_per_s": 5.0, "wall_ms": 9.0, "ok_per_s": True}}
+    rows = diff_artifacts(old, new)
+    assert [r["key"] for r in rows] == ["a.x_per_s"]
+
+
+def test_diff_walks_lists_and_skips_nonpositive_baselines():
+    old = {"runs": [{"q_per_s": 0.0}, {"q_per_s": 4.0}]}
+    new = {"runs": [{"q_per_s": 9.0}, {"q_per_s": 2.0}]}
+    rows = diff_artifacts(old, new, threshold=0.4)
+    assert [r["key"] for r in rows] == ["runs.1.q_per_s"]
+    assert rows[0]["regressed"]  # ratio 0.5 < 0.6
+
+
+def test_diff_threshold_validation():
+    with pytest.raises(ValueError):
+        diff_artifacts({}, {}, threshold=1.0)
+    with pytest.raises(ValueError):
+        diff_artifacts({}, {}, threshold=-0.1)
+    assert diff_artifacts({}, {}, threshold=0.0) == []
+
+
+def test_render_diff_and_empty_case():
+    rows = diff_artifacts(
+        {"a_per_s": 10.0, "b_per_s": 10.0}, {"a_per_s": 5.0, "b_per_s": 11.0}
+    )
+    text = render_diff(rows)
+    assert "2 throughput metric(s) compared, 1 regressed beyond 20%" in text
+    assert "REGRESSED" in text and "ok" in text
+    assert text.index("a_per_s") < text.index("b_per_s")  # regression listed first
+    assert "no comparable throughput metrics" in render_diff([])
+
+
+def test_load_artifact_and_shas(tmp_path):
+    artifact = {
+        "E16": [{"git_sha": "abc1234", "samples_per_s": 1.0}],
+        "E18": {"rows": [{"git_sha": "def5678"}], "git_sha": "abc1234"},
+        "meta": {"git_sha": 42},  # non-string ignored
+    }
+    path = tmp_path / "BENCH_all.json"
+    path.write_text(json.dumps(artifact))
+    loaded = load_artifact(str(path))
+    assert loaded == artifact
+    assert artifact_shas(loaded) == ["abc1234", "def5678"]

@@ -1,0 +1,333 @@
+"""Process-parallel shard execution: exactness, degradation, lifecycle.
+
+The parallel tier's contract is *bit-identicality*: the worker pool runs
+the very same per-shard pass functions the serial loop runs and the
+gather is untouched, so results must equal serial federated execution
+exactly — for every worker count, for every query shape, with rollup
+tiers folded inside the workers, and across every degradation path
+(worker crash during append, scatter, or fold).  These tests pin all of
+that to the serial engine and the single-shard oracle, plus the
+``append_segments`` edge cases and the ``ClusterConfig(parallel=)``
+wiring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import MetricQuery
+from repro.shard import (
+    FederatedQueryEngine,
+    ParallelFederatedQueryEngine,
+    ParallelShardContext,
+    ParallelShardedStore,
+    ShardedTimeSeriesStore,
+)
+from repro.telemetry.metric import SeriesKey
+
+from tests.query.test_property import random_query
+from tests.shard.test_federation_property import assert_bit_identical
+
+HORIZON = 1000.0
+
+
+def series_data(seed, n_series=12, max_points=60, counter=False):
+    """Deterministic per-series columns shared by every store under test."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n_series):
+        key = SeriesKey.of(
+            "ctr" if counter else "m", node=f"n{i % 4}", shard=str(i)
+        )
+        n = int(rng.integers(2, max_points))
+        times = np.sort(rng.uniform(0, HORIZON, size=n))
+        if counter:
+            values = np.cumsum(rng.exponential(5.0, size=n))
+        else:
+            values = rng.normal(50.0, 20.0, size=n)
+        out.append((key, times, values))
+    return out
+
+
+def fill_serial(store, data):
+    for key, times, values in data:
+        store.insert_batch(key, times, values)
+
+
+def fill_through_pool(store, data):
+    """Commit through ``append_batch`` so the pool executes the appends
+    (single-series batches — also an ``append_segments`` edge case)."""
+    for key, times, values in data:
+        gid = store.registry.id_for(key)
+        store.append_batch(np.full(times.size, gid, dtype=np.int64), times, values)
+
+
+def parallel_store(data, n_shards, workers, *, resolutions=None):
+    store = ParallelShardedStore(n_shards=n_shards, default_capacity=4096, workers=workers)
+    if resolutions is not None:
+        store.create_tiersets(resolutions)
+    store.start_parallel()
+    fill_through_pool(store, data)
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Bit-identicality properties
+
+
+@pytest.mark.parametrize("workers,n_shards", [(1, 3), (2, 4), (3, 5)])
+def test_parallel_bit_identical_to_serial_across_worker_counts(workers, n_shards):
+    data = series_data(100 * workers + n_shards)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=n_shards, default_capacity=4096)
+    oracle = ShardedTimeSeriesStore(n_shards=1, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    fill_serial(oracle, data)
+    with parallel_store(data, n_shards, workers) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        ser = FederatedQueryEngine(serial_sharded, enable_cache=False)
+        orc = FederatedQueryEngine(oracle, enable_cache=False)
+        rng = np.random.default_rng(workers)
+        for _ in range(10):
+            q = random_query(rng)
+            at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+            got = par.query(q, at=at)
+            assert_bit_identical(got, ser.query(q, at=at))
+            assert_bit_identical(got, orc.query(q, at=at))
+        assert par.parallel_scatters > 0
+        assert par.serial_fallbacks == 0
+        assert store.parallel_appends == len(data)
+
+
+def test_parallel_samples_and_rate_match_serial():
+    data = series_data(7, counter=True)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    with parallel_store(data, 4, 2) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        ser = FederatedQueryEngine(serial_sharded, enable_cache=False)
+        q = MetricQuery("ctr", agg="rate", range_s=400.0, step_s=60.0, group_by=("node",))
+        assert_bit_identical(par.query(q, at=950.0), ser.query(q, at=950.0))
+        q_samples = MetricQuery("ctr", agg="mean", range_s=400.0)
+        pt, pv = par.samples(q_samples, at=950.0)
+        st, sv = ser.samples(q_samples, at=950.0)
+        assert np.array_equal(pt, st)
+        assert np.array_equal(pv, sv)
+
+
+def test_parallel_rollup_folds_match_serial():
+    """Worker-side tier folds + the parallel fold fan-out must be
+    bit-identical to the serial per-shard RollupManager cascades —
+    including which source (raw vs rollup) serves each query."""
+    data = series_data(11)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    ser = FederatedQueryEngine.with_rollups(
+        serial_sharded, resolutions=(10.0, 50.0), enable_cache=False
+    )
+    with parallel_store(data, 4, 2, resolutions=(10.0, 50.0)) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        for boundary in (HORIZON * 0.4, HORIZON * 0.8):
+            assert par.fold_rollups(boundary) == ser.fold_rollups(boundary)
+        rng = np.random.default_rng(5)
+        for _ in range(12):
+            q = random_query(rng)
+            at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+            got, want = par.query(q, at=at), ser.query(q, at=at)
+            assert got.source.replace("federated:", "") == want.source.replace(
+                "federated:", ""
+            )
+            assert_bit_identical(got, want)
+        assert par.parallel_folds == 2
+
+
+# ---------------------------------------------------------------------------
+# Worker-crash degradation
+
+
+def test_worker_crash_append_recovery_and_serial_fallback():
+    data = series_data(21, n_series=10)
+    halves = [
+        [(k, t[: t.size // 2], v[: v.size // 2]) for k, t, v in data],
+        [(k, t[t.size // 2:], v[v.size // 2:]) for k, t, v in data],
+    ]
+    reference = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    fill_serial(reference, data)
+    with ParallelShardedStore(n_shards=4, default_capacity=4096, workers=2) as store:
+        store.start_parallel()
+        fill_through_pool(store, halves[0])
+        store.pool.inject_crash(0)
+        # the next commit sees the dead worker: its shards' segments are
+        # re-applied by the parent against the same shared rings
+        fill_through_pool(store, halves[1])
+        assert store.pool.broken
+        assert store.append_recoveries > 0
+        assert store.serial_appends > 0  # post-crash commits run serially
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        ser = FederatedQueryEngine(reference, enable_cache=False)
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            q = random_query(rng)
+            at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+            assert_bit_identical(par.query(q, at=at), ser.query(q, at=at))
+        assert par.serial_fallbacks > 0
+        assert par.parallel_scatters == 0
+
+
+def test_worker_crash_degraded_fold_matches_serial():
+    data = series_data(31)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    ser = FederatedQueryEngine.with_rollups(
+        serial_sharded, resolutions=(10.0, 50.0), enable_cache=False
+    )
+    with parallel_store(data, 4, 2, resolutions=(10.0, 50.0)) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        store.pool.inject_crash(1)
+        # fold fan-out hits the dead worker: its shards re-fold in the
+        # parent from the shared rings (watermarks make this idempotent)
+        assert par.fold_rollups(HORIZON * 0.8) == ser.fold_rollups(HORIZON * 0.8)
+        rng = np.random.default_rng(9)
+        for _ in range(8):
+            q = random_query(rng)
+            at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+            assert_bit_identical(par.query(q, at=at), ser.query(q, at=at))
+
+
+def test_crash_then_more_ingest_and_parent_folds_stay_exact():
+    """Post-crash serial ingest + parent-side folding over the shared
+    rings must keep matching the serial engine (full degraded mode)."""
+    data = series_data(41, n_series=8)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=3, default_capacity=4096)
+    ser = FederatedQueryEngine.with_rollups(
+        serial_sharded, resolutions=(20.0,), enable_cache=False
+    )
+    with parallel_store(data[:4], 3, 2, resolutions=(20.0,)) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        store.pool.inject_crash(0)
+        fill_through_pool(store, data[4:])  # lands serially after the crash
+        fill_serial(serial_sharded, data)
+        assert par.fold_rollups(HORIZON * 0.9) == ser.fold_rollups(HORIZON * 0.9)
+        q = MetricQuery("m", agg="mean", range_s=HORIZON, step_s=50.0, group_by=("node",))
+        assert_bit_identical(par.query(q, at=HORIZON), ser.query(q, at=HORIZON))
+
+
+# ---------------------------------------------------------------------------
+# append_segments / append_batch edge cases
+
+
+@pytest.mark.parametrize("start_pool", [False, True])
+def test_append_batch_empty_is_noop(start_pool):
+    with ParallelShardedStore(n_shards=3, default_capacity=64, workers=2) as store:
+        if start_pool:
+            store.start_parallel()
+        empty = np.empty(0, dtype=np.int64)
+        store.append_batch(empty, np.empty(0), np.empty(0))
+        assert store.total_inserts == 0
+        assert store.parallel_appends == 0
+
+
+def test_append_segments_empty_segment_arrays_are_noop():
+    with ParallelShardedStore(n_shards=2, default_capacity=64, workers=1) as store:
+        shard = store.shards[0]
+        empty_i = np.empty(0, dtype=np.int64)
+        shard.append_segments(empty_i, np.empty(0), np.empty(0), empty_i, empty_i)
+        assert shard.total_inserts == 0
+
+
+@pytest.mark.parametrize("start_pool", [False, True])
+def test_append_batch_single_series_matches_serial(start_pool):
+    key = SeriesKey.of("m", node="n0")
+    times = np.arange(0.0, 50.0, 1.0)
+    values = np.sin(times)
+    with ParallelShardedStore(n_shards=3, default_capacity=64, workers=2) as store:
+        if start_pool:
+            store.start_parallel()
+        gid = store.registry.id_for(key)
+        store.append_batch(np.full(times.size, gid, dtype=np.int64), times, values)
+        t, v = store.query(key, -np.inf, np.inf)
+        assert np.array_equal(t, times)
+        assert np.array_equal(v, values)
+        assert store.total_inserts == times.size
+
+
+@pytest.mark.parametrize("start_pool", [False, True])
+def test_append_batch_rejects_uninterned_ids(start_pool):
+    with ParallelShardedStore(n_shards=3, default_capacity=64, workers=2) as store:
+        if start_pool:
+            store.start_parallel()
+        store.registry.id_for(SeriesKey.of("m", node="n0"))  # gid 0 exists
+        with pytest.raises(IndexError):
+            store.append_batch(
+                np.array([0, 7], dtype=np.int64), np.array([1.0, 2.0]), np.ones(2)
+            )
+        assert store.total_inserts == 0  # nothing partially committed
+
+
+def test_shard_append_segments_rejects_out_of_range_sid():
+    with ParallelShardedStore(n_shards=2, default_capacity=64, workers=1) as store:
+        shard = store.shards[0]
+        with pytest.raises(IndexError):
+            shard.append_segments(
+                np.array([99], dtype=np.int64),
+                np.array([1.0]),
+                np.array([2.0]),
+                np.array([0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle and cluster wiring
+
+
+def test_context_lifecycle_and_stats():
+    data = series_data(51, n_series=6)
+    with ParallelShardContext(shards=3, workers=2, capacity=256) as ctx:
+        fill_through_pool(ctx.store, data)
+        q = MetricQuery("m", agg="mean", range_s=HORIZON, step_s=100.0, group_by=("node",))
+        ctx.engine.query(q, at=HORIZON)
+        stats = ctx.engine.stats()
+        assert stats["parallel_scatters"] >= 1.0
+        assert stats["serial_fallbacks"] == 0.0
+        assert stats["pool_workers"] == 2.0
+        assert stats["pool_dispatches"] >= 1.0
+        store_stats = ctx.store.shard_stats()
+        assert store_stats["parallel_appends"] == float(len(data))
+    ctx.close()  # idempotent after the context manager already closed
+
+
+def test_cluster_config_validation():
+    from repro.cluster import ClusterConfig
+
+    with pytest.raises(ValueError):
+        ClusterConfig(parallel=-1)
+    with pytest.raises(ValueError):
+        ClusterConfig(shards=1, parallel=2)
+    ClusterConfig(shards=4, parallel=2)  # valid
+
+
+def test_cluster_parallel_matches_serial_sharded():
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.sim import Engine
+
+    results = {}
+    for parallel in (0, 2):
+        engine = Engine()
+        with Cluster(
+            engine,
+            ClusterConfig(
+                n_nodes=6, telemetry_period_s=10.0, seed=3, shards=4, parallel=parallel
+            ),
+        ) as cluster:
+            if parallel:
+                assert isinstance(cluster.store, ParallelShardedStore)
+                assert cluster.store.parallel_active
+            qe = cluster.query_engine(rollup_resolutions=(30.0, 120.0))
+            engine.run(until=240.0)
+            qe.fold_rollups(engine.now)
+            results[parallel] = qe.query(
+                "mean(node_cpu_util[120s] by 30s) group by (node)", at=engine.now
+            )
+        if parallel:
+            assert not cluster.store.pool.active  # close() released the pool
+    assert results[2].series  # the shift produced data
+    assert_bit_identical(results[2], results[0])

@@ -24,7 +24,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 18)]
+    assert ids == [f"E{i}" for i in range(1, 19)]
 
 
 def test_loops_command(capsys):
@@ -160,3 +160,88 @@ def test_bench_shard_smoke_command(tmp_path, capsys):
     assert rows["query"]["match"] == 1.0
     assert rows["ingest"]["match"] == 1.0
     assert rows["query"]["n_shards"] == 4.0
+
+
+def test_query_command_parallel_with_stats(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s) group by (node)",
+        "--nodes", "4", "--horizon", "900", "--shards", "4", "--parallel", "2", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "source=federated" in out
+    assert "federation: shards=4" in out
+    assert "parallel: workers=2" in out
+
+
+def test_bench_shard_parallel_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_parallel_storage.json"
+    assert main([
+        "bench-shard", "--series", "64", "--shards", "4", "--ticks", "8",
+        "--parallel", "2", "--smoke", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scatter speedup" in out
+    assert "shm ingest overhead" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["scatter"]["bit_identical"] == 1.0
+    assert rows["ingest"]["match"] == 1.0
+    assert rows["git_sha"] and rows["generated_at"]
+
+
+def test_bench_parallel_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_parallel.json"
+    assert main([
+        "bench-parallel", "--series", "64", "--shards", "4", "--workers", "2",
+        "--ticks", "8", "--smoke", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scatter speedup" in out
+    assert "fleet + supervision reruns exact" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["scatter"]["bit_identical"] == 1.0
+    assert rows["ingest"]["match"] == 1.0
+    assert rows["fleet"]["match"] == 1.0
+    assert rows["supervise"]["trace_match"] == 1.0
+    assert rows["supervise"]["restores_within_2x"] == 1.0
+    assert rows["git_sha"] and rows["generated_at"]
+
+
+def test_bench_diff_command(tmp_path, capsys):
+    import json
+
+    old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+    old_path.write_text(json.dumps(
+        {"ingest": {"samples_per_s": 1000.0, "git_sha": "aaa111"}, "wall_ms": 5.0}
+    ))
+    new_path.write_text(json.dumps(
+        {"ingest": {"samples_per_s": 700.0, "git_sha": "bbb222"}, "wall_ms": 9.0}
+    ))
+    # default: warn only, exit 0
+    assert main(["bench-diff", str(old_path), str(new_path)]) == 0
+    out = capsys.readouterr().out
+    assert "# old: aaa111" in out and "# new: bbb222" in out
+    assert "1 regressed beyond 20%" in out
+    assert "REGRESSED" in out
+    # --fail upgrades regressions to exit 1
+    assert main(["bench-diff", str(old_path), str(new_path), "--fail"]) == 1
+    capsys.readouterr()
+    # within threshold: no regression even with --fail
+    assert main([
+        "bench-diff", str(old_path), str(new_path), "--threshold", "0.5", "--fail",
+    ]) == 0
+    assert "0 regressed" in capsys.readouterr().out
+
+
+def test_bench_diff_command_errors(tmp_path, capsys):
+    import json
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"x_per_s": 1.0}))
+    assert main(["bench-diff", str(tmp_path / "missing.json"), str(good)]) == 2
+    assert "cannot load artifact" in capsys.readouterr().err
+    assert main(["bench-diff", str(good), str(good), "--threshold", "1.5"]) == 2
+    assert "threshold" in capsys.readouterr().err
