@@ -1,0 +1,61 @@
+"""E19 — standing queries: O(new samples) incremental monitor serving (§IV).
+
+PR 8 compiles hot fused monitor shapes into standing queries: per-series
+partial-aggregate state (count/sum/min/max/sumsq plus rate increases per
+time bin) maintained from the store's ingest listeners, so a hub tick
+reads maintained state instead of re-scanning window x fleet samples.
+The benchmark gates both sides of that bargain on a streamed commit
+sequence at the E17b watch-fleet sizing (256 loops x 4096 series):
+
+* hub serving from standing state ≥5× the PR 5 fused baseline — the
+  standing side must *auto-register* the hot shape from tick-sharing
+  statistics, and its burn-in ticks count against it;
+* the per-commit partial-aggregate update costs ≤1.1× plain columnar
+  ingest (paired per-commit walls, stall-trimmed pairwise);
+* **exactness is asserted unconditionally**: sampled loops on sampled
+  ticks must match an uncached batch engine on both sides, and the
+  standing side must serve from state (no scan fallbacks).
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.standing_exp import (
+    run_standing_hub_benchmark,
+    run_standing_ingest_overhead,
+)
+
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+
+def test_standing_hub_serving_exact_and_fast(benchmark):
+    row = run_once(benchmark, run_standing_hub_benchmark, seed=0)
+    print()
+    print(render_table(
+        [row], title="E19 — standing vs fused hub serving (256 loops, 4096 series)"
+    ))
+    assert row["n_loops"] == 256
+    assert row["n_series"] == 4096
+    assert row["match"] == 1.0  # both sides vs the uncached batch engine
+    assert row["auto_registered_shapes"] == 1.0  # hot shape found by the hub
+    assert row["standing_fallbacks"] == 0.0  # every standing read from state
+    assert row["standing_updates"] > 0
+    if not MULTICORE:
+        pytest.skip("hub serving gate needs an unloaded multicore host")
+    assert row["hub_speedup"] >= 5.0
+
+
+def test_standing_ingest_overhead(benchmark):
+    row = run_once(benchmark, run_standing_ingest_overhead, seed=0)
+    print()
+    print(render_table(
+        [row], title="E19 — standing-update overhead on columnar ingest (4096 series)"
+    ))
+    assert row["n_series"] == 4096
+    assert row["commits"] > 0
+    if not MULTICORE:
+        pytest.skip("ingest overhead gate needs an unloaded multicore host")
+    assert row["standing_overhead"] <= 1.1

@@ -37,11 +37,20 @@
   JSON artifact; ``--smoke`` runs a small exactness-only configuration
   for CI.  ``bench-shard --parallel W`` runs just the two storage
   halves at E16 sizing.
+* ``bench-standing`` — run the E19 standing-query benchmark (hub
+  serving from maintained partial aggregates vs PR 5 fused re-scans,
+  plus the per-commit ingest-listener overhead), optionally writing a
+  JSON artifact; ``--smoke`` runs a small exactness-only configuration
+  for CI.
 * ``bench-diff OLD NEW`` — compare two benchmark JSON artifacts
   (typically merged ``BENCH_all.json`` files from two runs) and report
   throughput metrics (``*_per_s``, ``*speedup*``) that regressed beyond
   ``--threshold`` (default 20%); ``--fail`` turns regressions into a
   non-zero exit.
+* ``bench-trend ARTIFACT...`` — fold two or more merged artifacts
+  (oldest first) into a per-metric throughput trend table, written as
+  markdown to ``--out`` (default ``BENCH_trend.md``) — the slow-drift
+  complement of the pairwise diff, warn-only by design.
 * ``version`` — print the package version.
 
 Every ``bench-*`` JSON artifact is stamped with the producing commit's
@@ -73,6 +82,7 @@ EXPERIMENT_INDEX = [
     ("E16", "§IV", "sharded store: federated scatter-gather vs one store"),
     ("E17", "§II/§IV", "fleet supervision: meta-loops over loop self-telemetry"),
     ("E18", "§IV", "process-parallel shards: shared-memory columns + worker pool"),
+    ("E19", "§IV", "standing queries: O(new samples) incremental monitor serving"),
 ]
 
 
@@ -135,11 +145,20 @@ def cmd_query(
             qe.rollups.attach(engine)
         engine.run(until=horizon)
 
+        from repro.query.standing import StandingQueryEngine
+
         try:
-            result = qe.query(expr, at=horizon)
+            parsed = qe.parse(expr)
         except QueryParseError as exc:
             print(exc, file=sys.stderr)
             return 2
+        # eligible shapes demonstrate the standing path: register, serve
+        # from state backfilled off the retained rings, fall back to the
+        # batch engine otherwise
+        standing = StandingQueryEngine(qe)
+        result = standing.query(parsed, at=horizon) if standing.register(parsed) else None
+        if result is None:
+            result = qe.query(parsed, at=horizon)
         print(f"# {result.query.to_expr()}")
         print(f"# window=[{result.t0:g}, {result.t1:g}]s source={result.source} "
               f"series={len(result.series)}")
@@ -175,7 +194,14 @@ def cmd_query(
                       f"dispatches={pool['dispatches']:.0f} "
                       f"scatters={stats['parallel_scatters']:.0f} "
                       f"appends={cluster.store.parallel_appends} "
-                      f"fallbacks={stats['serial_fallbacks']:.0f}")
+                      f"fallbacks={stats['serial_fallbacks']:.0f} "
+                      f"respawns={pool['respawns_total']:.0f}")
+            sstats = standing.stats()
+            print(f"  standing: shapes={sstats['registered_shapes']:.0f} "
+                  f"reads={sstats['reads_served']:.0f} "
+                  f"updates_applied={sstats['updates_applied']:.0f} "
+                  f"scan_fallbacks={sstats['scan_fallbacks']:.0f} "
+                  f"late_dropped={sstats['late_dropped']:.0f}")
     return 0
 
 
@@ -362,6 +388,7 @@ def cmd_bench_shard(
     json_path: Optional[str],
     smoke: bool,
     parallel: int = 0,
+    show_stats: bool = False,
 ) -> int:
     """Run the E16 sharded-store benchmark and print (optionally dump) rows.
 
@@ -380,7 +407,7 @@ def cmd_bench_shard(
     if parallel > 0:
         return _bench_parallel_storage(
             series=series, shards=shards, workers=parallel, ticks=ticks,
-            json_path=json_path, smoke=smoke,
+            json_path=json_path, smoke=smoke, show_stats=show_stats,
         )
     if smoke:
         series, ticks, repeats = min(series, 256), min(ticks, 16), 1
@@ -395,9 +422,21 @@ def cmd_bench_shard(
     if query["bit_identical"] != 1.0 or query["match"] != 1.0:
         print("ERROR: federated results diverged from the single-store oracle", file=sys.stderr)
         return 1
+    if query["standing_match"] != 1.0:
+        print("ERROR: standing-query results diverged from the batch engine", file=sys.stderr)
+        return 1
     if ingest["match"] != 1.0:
         print("ERROR: sharded and single-store ingest diverged", file=sys.stderr)
         return 1
+    if show_stats:
+        print("# stats:")
+        print(f"  federation: shards={query['n_shards']:.0f} "
+              f"fanout_mean={query['fanout_mean']:.1f} "
+              f"result_series={query['result_series']:.0f}")
+        print(f"  standing: shapes={query['standing_registered_shapes']:.0f} "
+              f"updates_applied={query['standing_updates_applied']:.0f} "
+              f"scan_fallbacks={query['standing_scan_fallbacks']:.0f} "
+              f"speedup_vs_single={query['standing_speedup']:.2f}x")
     print(
         f"query speedup: {query['query_speedup']:.2f}x "
         f"({query['single_queries_per_s']:.1f} -> {query['federated_queries_per_s']:.1f} queries/s, "
@@ -414,7 +453,7 @@ def cmd_bench_shard(
 
 def _bench_parallel_storage(
     *, series: int, shards: int, workers: int, ticks: int,
-    json_path: Optional[str], smoke: bool,
+    json_path: Optional[str], smoke: bool, show_stats: bool = False,
 ) -> int:
     """The two E18 storage halves (scatter + ingest) at E16-style sizing."""
     import json
@@ -449,6 +488,11 @@ def _bench_parallel_storage(
     if not smoke and ingest["shm_overhead"] > 1.2:
         print("ERROR: shared-memory ingest overhead above the 1.2x gate", file=sys.stderr)
         return 1
+    if show_stats:
+        print("# stats:")
+        print(f"  pool: workers={scatter['workers']:.0f} "
+              f"scatters={scatter['parallel_scatters']:.0f} "
+              f"appends={ingest['parallel_appends']:.0f}")
     print(
         f"scatter speedup: {scatter['scatter_speedup']:.2f}x "
         f"({scatter['serial_queries_per_s']:.1f} -> "
@@ -531,6 +575,70 @@ def cmd_bench_parallel(
     return 0
 
 
+def cmd_bench_standing(
+    n_loops: int,
+    nodes_per_loop: int,
+    ticks: int,
+    json_path: Optional[str],
+    smoke: bool,
+    show_stats: bool = False,
+) -> int:
+    """Run the E19 standing-query benchmark and print (optionally dump) rows.
+
+    ``--smoke`` shrinks the fleet and checks only exactness (standing
+    results vs the uncached batch engine on sampled ticks), not the
+    perf gates — the CI wiring check.  The full run gates hub serving
+    at ≥5× fused throughput and the per-commit partial-aggregate update
+    at ≤1.1× plain columnar ingest.
+    """
+    import json
+
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+    from repro.experiments.standing_exp import run_standing_benchmark
+
+    if smoke:
+        n_loops = min(n_loops, 32)
+        nodes_per_loop = min(nodes_per_loop, 8)
+        ticks = min(ticks, 8)
+    rows = run_standing_benchmark(
+        n_loops=n_loops, nodes_per_loop=nodes_per_loop, ticks=ticks
+    )
+    hub, ingest = rows["hub"], rows["ingest"]
+    print(render_table([hub], title="E19 — standing vs fused hub serving"))
+    print(render_table([ingest], title="E19 — standing-update overhead on columnar ingest"))
+    if hub["match"] != 1.0:
+        print("ERROR: standing results diverged from the uncached batch engine",
+              file=sys.stderr)
+        return 1
+    if hub["auto_registered_shapes"] < 1.0:
+        print("ERROR: the hub never auto-registered the hot shape", file=sys.stderr)
+        return 1
+    if not smoke and hub["hub_speedup"] < 5.0:
+        print("ERROR: standing hub serving below the 5x gate", file=sys.stderr)
+        return 1
+    if not smoke and ingest["standing_overhead"] > 1.1:
+        print("ERROR: standing ingest overhead above the 1.1x gate", file=sys.stderr)
+        return 1
+    if show_stats:
+        print("# stats:")
+        print(f"  standing: shapes={hub['auto_registered_shapes']:.0f} "
+              f"served={hub['standing_served']:.0f} "
+              f"updates_applied={hub['standing_updates']:.0f} "
+              f"scan_fallbacks={hub['standing_fallbacks']:.0f}")
+    print(
+        f"hub speedup: {hub['hub_speedup']:.2f}x "
+        f"({hub['fused_queries_per_s']:.0f} -> {hub['standing_queries_per_s']:.0f} queries/s); "
+        f"ingest overhead {ingest['standing_overhead']:.2f}x "
+        f"({ingest['plain_samples_per_s']:.0f} -> {ingest['standing_samples_per_s']:.0f} samples/s)"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(stamp(rows), fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
 def cmd_bench_diff(old_path: str, new_path: str, threshold: float, fail: bool) -> int:
     """Diff two benchmark artifacts; warn (or fail) on throughput drops."""
     from repro.experiments.benchdiff import (
@@ -559,6 +667,41 @@ def cmd_bench_diff(old_path: str, new_path: str, threshold: float, fail: bool) -
     regressed = [r for r in rows if r["regressed"]]
     if regressed and fail:
         return 1
+    return 0
+
+
+def cmd_bench_trend(paths: List[str], out: str, threshold: float) -> int:
+    """Fold merged artifacts (oldest first) into a markdown trend table."""
+    from repro.experiments.benchdiff import (
+        artifact_label,
+        load_artifact,
+        render_trend,
+        trend_artifacts,
+    )
+
+    artifacts = []
+    labels = []
+    for idx, path in enumerate(paths):
+        try:
+            artifact = load_artifact(path)
+        except (OSError, ValueError) as exc:
+            print(f"bench-trend: cannot load artifact: {exc}", file=sys.stderr)
+            return 2
+        artifacts.append(artifact)
+        labels.append(artifact_label(artifact, fallback=f"run{idx}"))
+    try:
+        rows = trend_artifacts(artifacts, threshold=threshold)
+    except ValueError as exc:
+        print(f"bench-trend: {exc}", file=sys.stderr)
+        return 2
+    report = render_trend(rows, labels, threshold=threshold)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(report)
+    regressed = [r for r in rows if r["regressed"]]
+    print(f"bench-trend: {len(rows)} metric(s) across {len(paths)} run(s), "
+          f"{len(regressed)} drifted beyond {threshold:.0%}; wrote {out}")
+    for r in regressed:
+        print(f"  DRIFTED {r['key']} ({r['ratio']:.2f}x over the window)")
     return 0
 
 
@@ -608,6 +751,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     bshard.add_argument("--parallel", type=int, default=0,
                         help="run the storage measurements through the "
                              "process-parallel tier with this many workers")
+    bshard.add_argument("--stats", action="store_true",
+                        help="print standing-query / federation / pool counters")
     sup = sub.add_parser("supervise", help="run a supervised fleet with injected faults")
     sup.add_argument("--loops", dest="n_loops", type=int, default=64)
     sup.add_argument("--seed", type=int, default=0)
@@ -625,6 +770,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     bpar.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     bpar.add_argument("--smoke", action="store_true",
                       help="small exactness-only run (CI wiring check)")
+    bstand = sub.add_parser("bench-standing",
+                            help="run the E19 standing-query benchmark")
+    bstand.add_argument("--loops", dest="n_loops", type=int, default=256)
+    bstand.add_argument("--nodes-per-loop", dest="nodes_per_loop", type=int, default=16)
+    bstand.add_argument("--ticks", type=int, default=60, help="hub serving ticks")
+    bstand.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bstand.add_argument("--smoke", action="store_true",
+                        help="small exactness-only run (CI wiring check)")
+    bstand.add_argument("--stats", action="store_true",
+                        help="print standing-query engine counters")
     bdiff = sub.add_parser("bench-diff",
                            help="diff two benchmark artifacts for throughput regressions")
     bdiff.add_argument("old", help="baseline artifact (e.g. previous BENCH_all.json)")
@@ -633,6 +788,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="regression threshold as a fraction (default 0.2 = 20%%)")
     bdiff.add_argument("--fail", action="store_true",
                        help="exit non-zero when any metric regressed beyond the threshold")
+    btrend = sub.add_parser("bench-trend",
+                            help="fold merged artifacts into a throughput trend table")
+    btrend.add_argument("artifacts", nargs="+",
+                        help="two or more merged BENCH_all.json files, oldest first")
+    btrend.add_argument("--out", default="BENCH_trend.md",
+                        help="markdown output path (default BENCH_trend.md)")
+    btrend.add_argument("--threshold", type=float, default=0.2,
+                        help="drift threshold as a fraction (default 0.2 = 20%%)")
     sub.add_parser("version", help="print the package version")
     args = parser.parse_args(argv)
 
@@ -652,7 +815,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench-shard":
         return cmd_bench_shard(
             args.series, args.shards, args.ticks, args.json_path, args.smoke,
-            args.parallel,
+            args.parallel, args.stats,
         )
     if args.command == "supervise":
         return cmd_supervise(args.n_loops, args.seed)
@@ -663,8 +826,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.series, args.shards, args.workers, args.ticks, args.json_path,
             args.smoke,
         )
+    if args.command == "bench-standing":
+        return cmd_bench_standing(
+            args.n_loops, args.nodes_per_loop, args.ticks, args.json_path,
+            args.smoke, args.stats,
+        )
     if args.command == "bench-diff":
         return cmd_bench_diff(args.old, args.new, args.threshold, args.fail)
+    if args.command == "bench-trend":
+        return cmd_bench_trend(args.artifacts, args.out, args.threshold)
     if args.command == "list":
         return cmd_list()
     if args.command == "version":

@@ -47,6 +47,7 @@ from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine, QueryResult
 from repro.query.fuse import fusable, widen
 from repro.query.model import MetricQuery
+from repro.query.standing import StandingQueryEngine
 from repro.sim.engine import Engine, PeriodicTask
 from repro.telemetry.metric import SeriesKey
 from repro.telemetry.tsdb import TimeSeriesStore
@@ -81,16 +82,24 @@ class QueryHub:
     existing telemetry-backed monitors run through it unchanged.
     """
 
-    def __init__(self, engine: QueryEngine, *, fuse: bool = True) -> None:
+    def __init__(self, engine: QueryEngine, *, fuse: bool = True, standing=None) -> None:
         self.engine = engine
         self.store = engine.store
         self.fuse = fuse
+        #: optional StandingQueryEngine: registered hot shapes answer
+        #: from incrementally-maintained state instead of a widened scan
+        self.standing = standing
         self.fused_served = 0
         self.direct_served = 0
+        self.standing_served = 0
         #: narrow-selection memo: query → (series generation, admissible
         #: output-series labels).  Regex matchers are evaluated once per
         #: generation; per-tick narrowing is pure set membership.
         self._narrow_cache: Dict[MetricQuery, Tuple[int, frozenset]] = {}
+        #: per-widened-result label index (see :meth:`_narrow`); keyed by
+        #: object identity with the result kept referenced so ids stay
+        #: valid, bounded by reset — a tick touches only a few shapes
+        self._wide_index: Dict[int, Tuple[QueryResult, Dict]] = {}
         #: adaptive fusion: per widened-shape fuse overrides (set by the
         #: fusion supervisor — see :mod:`repro.core.supervisor`), and
         #: tick-sharing statistics that justify them.  Sharing is
@@ -126,6 +135,11 @@ class QueryHub:
         if fusable(q):
             shape = widen(q)
             self._observe_sharing(shape, q, at)
+            if self.standing is not None:
+                wide = self._standing_read(shape, at)
+                if wide is not None:
+                    self.standing_served += 1
+                    return self._narrow(q, wide)
             if fuse is None:
                 fuse = self.fuse_overrides.get(shape)
             effective = (self.fuse if fuse is None else fuse) and self.engine.cache is not None
@@ -135,6 +149,34 @@ class QueryHub:
                 return self._narrow(q, wide)
         self.direct_served += 1
         return self.engine.query(q, at=at)
+
+    #: auto-registration thresholds for standing queries: a shape whose
+    #: widened execution is shared by this many narrow readers per tick,
+    #: for this many completed ticks, is hot enough that maintaining it
+    #: incrementally beats re-scanning its window every tick
+    STANDING_MIN_SHARING = 2.0
+    STANDING_MIN_TICKS = 2.0
+
+    def _standing_read(self, shape: MetricQuery, at: float):
+        """Serve a fused shape from standing state when it is registered
+        (or hot enough to auto-register); ``None`` -> batch path."""
+        st = self.standing
+        if shape not in st.shapes and not self._auto_register(shape):
+            return None
+        return st.query(shape, at=at)
+
+    def _auto_register(self, shape: MetricQuery) -> bool:
+        st = self.standing
+        if not st.eligible(shape):
+            return False
+        row = self._shape_stats.get(shape)
+        if row is None or row["ticks"] < self.STANDING_MIN_TICKS:
+            return False
+        recent = row["recent"]
+        mean_narrow = sum(recent) / len(recent) if recent else 0.0
+        if mean_narrow < self.STANDING_MIN_SHARING:
+            return False
+        return st.register(shape)
 
     #: sharing window: ticks of per-shape history kept for the mean —
     #: long enough to smooth a burst, short enough that a sharing
@@ -222,7 +264,23 @@ class QueryHub:
             self._narrow_cache[q] = (gen, allowed)
         else:
             allowed = hit[1]
-        kept = tuple(s for s in wide.series if s.labels in allowed)
+        # index the widened result once per series tuple: every loop
+        # narrowing the same tick's wide result then pays O(its own
+        # series), not O(fleet series).  Keyed on the *series* identity —
+        # cache hits rebuild the QueryResult wrapper but share the tuple
+        entry = self._wide_index.get(id(wide.series))
+        if entry is None:
+            if len(self._wide_index) > 16:
+                self._wide_index.clear()
+            index = {s.labels: i for i, s in enumerate(wide.series)}
+            self._wide_index[id(wide.series)] = (wide.series, index)
+        else:
+            index = entry[1]
+        if len(allowed) < len(wide.series):
+            pos = sorted(index[lab] for lab in allowed if lab in index)
+            kept = tuple(wide.series[i] for i in pos)
+        else:
+            kept = tuple(s for s in wide.series if s.labels in allowed)
         return QueryResult(q, wide.t0, wide.t1, kept, source=f"fused+{wide.source}")
 
     def scalar(self, q: Union[str, MetricQuery], *, at: float) -> Optional[float]:
@@ -237,9 +295,12 @@ class QueryHub:
         out = {
             "fused_served": float(self.fused_served),
             "direct_served": float(self.direct_served),
+            "standing_served": float(self.standing_served),
             "fuse_overrides": float(len(self.fuse_overrides)),
             "shapes_tracked": float(len(self._shape_stats)),
         }
+        if self.standing is not None:
+            out.update({f"standing_{k}": v for k, v in self.standing.stats().items()})
         out.update({f"engine_{k}": v for k, v in self.engine.stats().items()})
         return out
 
@@ -388,6 +449,11 @@ class RuntimeConfig:
 
     fuse_queries: bool = True
     enable_cache: bool = True
+    #: maintain hot fused shapes as standing queries: O(new samples)
+    #: incremental updates on commit instead of per-tick window scans
+    #: (see :mod:`repro.query.standing`).  Opt-in: cold/ad-hoc queries
+    #: still take the batch path either way.
+    standing_queries: bool = False
     #: deterministic per-loop phase offset as a fraction of the period;
     #: 0 keeps every loop aligned to period boundaries (legacy timing,
     #: maximal tick sharing), >0 spreads monitor bursts across the tick
@@ -505,7 +571,10 @@ class LoopRuntime:
             )
         self.query_engine = query_engine
         self.store = query_engine.store
-        self.hub = QueryHub(query_engine, fuse=self.config.fuse_queries)
+        standing = None
+        if self.config.standing_queries:
+            standing = StandingQueryEngine(query_engine)
+        self.hub = QueryHub(query_engine, fuse=self.config.fuse_queries, standing=standing)
         self.audit = audit
         self.arbiter = arbiter if arbiter is not None else PlanArbiter(audit=audit)
         self.handles: Dict[str, LoopHandle] = {}

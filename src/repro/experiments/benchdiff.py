@@ -14,12 +14,17 @@ leaves whose key names a throughput metric participate, addressed by
 their dotted path.  Wall-clock noise on shared CI runners is why the
 default threshold is a generous 20% and why the CI step only *warns*
 (``--fail`` upgrades regressions to a non-zero exit for local use).
+
+Beyond the pairwise diff, :func:`trend_artifacts` folds the last N
+merged artifacts (oldest first) into one table per throughput metric —
+the ``BENCH_trend.md`` CI artifact — so a slow drift that never trips
+the pairwise threshold is still visible across runs.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: keys whose values are higher-is-better throughput metrics
 _SUFFIX = "_per_s"
@@ -97,6 +102,84 @@ def diff_artifacts(old: Dict, new: Dict, *, threshold: float = 0.2) -> List[Dict
         )
     rows.sort(key=lambda r: (not r["regressed"], r["ratio"], r["key"]))
     return rows
+
+
+def _generated_ats(obj) -> Iterator[str]:
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if key == "generated_at" and isinstance(value, str):
+                yield value
+            elif isinstance(value, (dict, list)):
+                yield from _generated_ats(value)
+    elif isinstance(obj, list):
+        for value in obj:
+            yield from _generated_ats(value)
+
+
+def artifact_label(artifact: Dict, fallback: str) -> str:
+    """Short provenance label for one artifact column: sha@date."""
+    shas = artifact_shas(artifact)
+    sha = shas[0][:7] if shas else fallback
+    stamps = sorted(set(_generated_ats(artifact)))
+    return f"{sha}@{stamps[0][:10]}" if stamps else sha
+
+
+def trend_artifacts(artifacts: List[Dict], *, threshold: float = 0.2) -> List[Dict]:
+    """Per-metric throughput across a run sequence (oldest first).
+
+    Returns one entry per throughput path present in the **newest**
+    artifact: ``{"key", "values", "ratio", "regressed"}`` where
+    ``values`` holds one float-or-None per artifact and ``ratio`` is
+    newest over the *oldest present* value (None when the metric only
+    appears in the newest run).  ``regressed`` flags a drop beyond
+    ``threshold`` across the whole window — the slow-drift complement
+    of the pairwise diff.
+    """
+    if len(artifacts) < 2:
+        raise ValueError("trend needs at least two artifacts")
+    walked = [dict(_walk(a)) for a in artifacts]
+    rows: List[Dict] = []
+    for key in sorted(walked[-1]):
+        values: List[Optional[float]] = [w.get(key) for w in walked]
+        first = next((v for v in values[:-1] if v is not None and v > 0.0), None)
+        ratio = values[-1] / first if first is not None else None
+        rows.append(
+            {
+                "key": key,
+                "values": values,
+                "ratio": ratio,
+                "regressed": ratio is not None and ratio < 1.0 - threshold,
+            }
+        )
+    rows.sort(key=lambda r: (not r["regressed"], r["ratio"] or 2.0, r["key"]))
+    return rows
+
+
+def render_trend(
+    rows: List[Dict], labels: List[str], *, threshold: float = 0.2
+) -> str:
+    """Markdown trend table (the ``BENCH_trend.md`` content)."""
+    if not rows:
+        return "bench-trend: no throughput metrics in the newest artifact\n"
+    regressed = [r for r in rows if r["regressed"]]
+    lines = [
+        "# Benchmark throughput trend",
+        "",
+        f"{len(rows)} metric(s) across {len(labels)} run(s), oldest first; "
+        f"{len(regressed)} dropped beyond {threshold:.0%} over the window.",
+        "",
+        "| metric | " + " | ".join(labels) + " | trend |",
+        "|---|" + "---|" * (len(labels) + 1),
+    ]
+    for r in rows:
+        cells = ["-" if v is None else f"{v:.3g}" for v in r["values"]]
+        trend = (
+            "new"
+            if r["ratio"] is None
+            else f"{r['ratio']:.2f}x" + (" ⚠" if r["regressed"] else "")
+        )
+        lines.append(f"| `{r['key']}` | " + " | ".join(cells) + f" | {trend} |")
+    return "\n".join(lines) + "\n"
 
 
 def render_diff(rows: List[Dict], *, threshold: float = 0.2) -> str:

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from functools import lru_cache
+from typing import FrozenSet, Optional, Tuple
 
 from repro.query.kernels import ALL_AGGS
 from repro.telemetry.metric import SeriesKey
@@ -43,6 +44,22 @@ QUERY_AGGS = ALL_AGGS + ("rate",)
 _MATCH_OPS = ("=", "!=", "=~", "!~")
 
 _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+#: a regex that is really just ``lit1|lit2|...`` — no metacharacters
+_LITERAL_ALT_RE = re.compile(r"[A-Za-z0-9_:-]+(?:\|[A-Za-z0-9_:-]+)*\Z")
+
+
+@lru_cache(maxsize=4096)
+def _literal_alternates(pattern: str) -> Optional[FrozenSet[str]]:
+    """The alternate set of a pure literal alternation, else ``None``.
+
+    Selection regexes from watch fleets are overwhelmingly literal
+    alternations of member names; fullmatch against one is exactly set
+    membership, which turns the per-series regex engine call into a
+    hash lookup."""
+    if _LITERAL_ALT_RE.match(pattern):
+        return frozenset(pattern.split("|"))
+    return None
 
 
 @dataclass(frozen=True)
@@ -71,7 +88,11 @@ class LabelMatcher:
             return actual == self.value
         if self.op == "!=":
             return actual != self.value
-        matched = re.fullmatch(self.value, actual) is not None
+        alts = _literal_alternates(self.value)
+        if alts is not None:
+            matched = actual in alts
+        else:
+            matched = re.fullmatch(self.value, actual) is not None
         return matched if self.op == "=~" else not matched
 
     def __str__(self) -> str:

@@ -15,11 +15,12 @@ running the per-shard scatter/append/fold passes concurrently
 to the serial implementations whenever the pool is unavailable.
 """
 
-from repro.shard.federated import FederatedQueryEngine
+from repro.shard.federated import FederatedQueryEngine, FederatedStandingProvider
 from repro.shard.parallel import (
     ParallelFederatedQueryEngine,
     ParallelShardContext,
     ParallelShardedStore,
+    ParallelStandingProvider,
     SharedTimeSeriesStore,
     ShardWorkerPool,
 )
@@ -27,9 +28,11 @@ from repro.shard.store import ShardedTimeSeriesStore, shard_of_key
 
 __all__ = [
     "FederatedQueryEngine",
+    "FederatedStandingProvider",
     "ParallelFederatedQueryEngine",
     "ParallelShardContext",
     "ParallelShardedStore",
+    "ParallelStandingProvider",
     "ShardWorkerPool",
     "ShardedTimeSeriesStore",
     "SharedTimeSeriesStore",

@@ -55,6 +55,7 @@ from repro.query.engine import (
 from repro.query.kernels import PARTIAL_AGGS, counter_increase, grouped_aggregate
 from repro.query.model import MetricQuery
 from repro.query.rollup import RollupManager, select_tier_index
+from repro.query.standing import StoreStandingProvider, concat_entries
 from repro.shard.store import ShardedTimeSeriesStore
 from repro.telemetry.metric import SeriesKey
 
@@ -429,6 +430,79 @@ SCATTER_FNS = {
 }
 
 
+class FederatedStandingProvider:
+    """Shard-local standing state behind the single provider seam.
+
+    One :class:`StoreStandingProvider` per shard store: every grid is
+    fed by its own shard's ingest listener with shard-local series ids,
+    so registration and incremental updates never cross the partition.
+    Reads route the planned selection with the same hash partition as
+    the scatter passes and concatenate the per-shard row chunks — the
+    engine-side assembler's canonical lexsort+reduceat merge is
+    partition-invariant, so the gathered result matches the single-store
+    provider for every shard count.
+    """
+
+    def __init__(self, store: ShardedTimeSeriesStore) -> None:
+        self.store = store
+        self.shard_providers = [StoreStandingProvider(s) for s in store.shards]
+
+    def register(self, metric: str, step: float, n_slots: int, *, want_rate: bool) -> None:
+        for provider in self.shard_providers:
+            provider.register(metric, step, n_slots, want_rate=want_rate)
+
+    def entries(
+        self,
+        metric: str,
+        step: float,
+        keys: Sequence[SeriesKey],
+        gidxs: np.ndarray,
+        ranks: np.ndarray,
+        b0: int,
+        b1: int,
+        *,
+        want_rate: bool = False,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Scatter the planned selection, gather per-shard partial rows.
+
+        Any shard that cannot cover the window fails the whole read
+        (``None`` -> batch fallback) — partial coverage would silently
+        drop that shard's series from the merge.
+        """
+        work: List[ShardWork] = [([], [], []) for _ in range(self.store.n_shards)]
+        shard_index = self.store.shard_index
+        for i, key in enumerate(keys):
+            wl = work[shard_index(key)]
+            wl[0].append(key)
+            wl[1].append(int(gidxs[i]))
+            wl[2].append(int(ranks[i]))
+        chunks: List[Dict[str, np.ndarray]] = []
+        for s, (s_keys, s_gidxs, s_ranks) in enumerate(work):
+            if not s_keys:
+                continue
+            ent = self.shard_providers[s].entries(
+                metric,
+                step,
+                s_keys,
+                np.asarray(s_gidxs, dtype=np.int64),
+                np.asarray(s_ranks, dtype=np.int64),
+                b0,
+                b1,
+                want_rate=want_rate,
+            )
+            if ent is None:
+                return None
+            chunks.append(ent)
+        return concat_entries(chunks)
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for provider in self.shard_providers:
+            for k, v in provider.stats().items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+
 class FederatedQueryEngine(QueryEngine):
     """Scatter-gather query serving over hash-partitioned shard stores."""
 
@@ -503,6 +577,11 @@ class FederatedQueryEngine(QueryEngine):
             period, lambda: self.fold_rollups(engine.now), start_at=start_at,
             label="federated-rollup-fold",
         )
+
+    # ------------------------------------------------------------ standing
+    def make_standing_provider(self) -> FederatedStandingProvider:
+        """Shard-local standing state for :class:`StandingQueryEngine`."""
+        return FederatedStandingProvider(self.store)
 
     # ----------------------------------------------------------- execution
     def _cache_version(self, q: MetricQuery):

@@ -60,6 +60,7 @@ from repro.query.rollup import (
     fold_rawscan_rows,
     fold_segment_rows,
 )
+from repro.query.standing import StandingGrid, concat_entries
 from repro.shard.federated import SCATTER_FNS, FederatedQueryEngine, ShardWork
 from repro.shard.store import ShardedTimeSeriesStore
 from repro.telemetry.batch import sort_series_columns
@@ -786,6 +787,10 @@ class _WorkerShard:
         self.tier_views: List[_SidTierView] = []
         self.tier_capacity = 0
         self.folder: Optional[TierFolder] = None
+        #: standing-query grids by step, fed from this shard's column
+        #: stream; worker grids track every sid (no registry here, and
+        #: reads only request the sids the parent planned)
+        self.standing: Dict[float, StandingGrid] = {}
         #: tier rings created since the last reply: ``(tier_idx, sid,
         #: capacity, descs)`` for the parent to attach
         self.pending_trings: List[Tuple] = []
@@ -823,10 +828,55 @@ class _WorkerShard:
                 make_tier_ring=self._make_tier_ring,
                 buffer_cap=buffer_cap,
             )
+        elif kind == "tring":
+            # crash-respawn replay: attach a tier ring a previous worker
+            # incarnation created, instead of recreating it (the parent
+            # still reads the original storage)
+            _, tier_idx, sid, capacity, descs = ev
+            self.tier_rings[tier_idx][sid] = SharedStatRing.attach(
+                self._cache, capacity, descs
+            )
+        elif kind == "streg":
+            _, step, n_slots, want_rate = ev
+            self._register_standing(step, n_slots, want_rate)
         elif kind == "cols":
             _, ids, times, values = ev
             if self.folder is not None:
                 self.folder.on_columns(ids, times, values)
+            for grid in self.standing.values():
+                grid.ingest(ids, times, values)
+
+    def _register_standing(self, step: float, n_slots: int, want_rate: bool) -> None:
+        """Create (or widen) the standing grid for ``step``, bootstrapped
+        from the shared rings.  The backfill floor is each ring's current
+        last timestamp: column events queued behind this registration
+        carry samples already in the rings, and the floor keeps them from
+        double-counting (exact-boundary ties resolve as already applied —
+        the same best-effort semantics as crash re-apply)."""
+        grid = self.standing.get(step)
+        if (
+            grid is not None
+            and n_slots <= grid.n_slots
+            and (not want_rate or grid.track_rate)
+        ):
+            return
+        grid = StandingGrid(
+            step,
+            max(n_slots, grid.n_slots if grid is not None else 0),
+            track_rate=want_rate or (grid.track_rate if grid is not None else False),
+        )
+        self.standing[step] = grid
+        for sid, ring in enumerate(self.rings):
+            if ring is None:
+                continue
+            times, values = ring.arrays()
+            grid.backfill_series(
+                sid,
+                times,
+                values,
+                evicted=ring.total_appended > len(ring),
+                floor=float(times[-1]) if times.size else None,
+            )
 
     def _make_tier_ring(self, tier_idx: int, sid: int) -> SharedStatRing:
         ring = SharedStatRing.create(self._arena, self.tier_capacity)
@@ -860,7 +910,24 @@ class _WorkerShard:
                 self.rings[sid]._extend_sorted(times[lo:hi], values[lo:hi])
             if self.folder is not None:
                 self.folder.on_columns(ids, times, values)
+            for grid in self.standing.values():
+                grid.ingest(ids, times, values)
             return {"n": int(ids.size)}
+        if kind == "standing":
+            grid = self.standing.get(payload["step"])
+            if grid is None:
+                return {"ok": False}
+            sids = np.asarray(payload["sids"], dtype=np.int64)
+            b0, b1 = payload["b0"], payload["b1"]
+            for sid in grid.incomplete(sids, b0).tolist():
+                ring = self.rings[sid] if sid < len(self.rings) else None
+                if ring is not None and len(ring) > 0:
+                    return {"ok": False}
+            rows = grid.rows(sids, b0, b1, want_rate=payload["want_rate"])
+            spos = rows.pop("spos")
+            rows["gidx"] = np.asarray(payload["gidxs"], dtype=np.int64)[spos]
+            rows["rank"] = np.asarray(payload["ranks"], dtype=np.int64)[spos]
+            return {"ok": True, "rows": rows, "stats": grid.stats()}
         if kind == "fold":
             if self.folder is None:
                 return {"written": 0, "late": 0}
@@ -952,12 +1019,20 @@ class ShardWorkerPool:
     (parent-side state is authoritative and shm-readable throughout).
     """
 
-    def __init__(self, n_workers: int, n_shards: int, *, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        n_shards: int,
+        *,
+        timeout_s: float = 60.0,
+        respawn: bool = True,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = int(n_workers)
         self.n_shards = int(n_shards)
         self.timeout_s = float(timeout_s)
+        self.respawn = bool(respawn)
         self.prefix = f"repro.{os.getpid()}.{id(self) & 0xFFFF:x}"
         self._events: List[List[Tuple]] = [[] for _ in range(n_shards)]
         self._procs: List = []
@@ -966,6 +1041,11 @@ class ShardWorkerPool:
         self.broken = False
         self.dispatches = 0
         self.tasks_sent = 0
+        self.respawns_total = 0
+        #: shard -> full replay event list reconstructing the worker-side
+        #: mirror from parent-authoritative shared state; required for
+        #: respawn (without it a crash still breaks the pool)
+        self.replay_provider: Optional[Callable[[int], List[Tuple]]] = None
         #: worker-owned persistent blocks to unlink at close
         self._worker_blocks: List[str] = []
 
@@ -979,9 +1059,7 @@ class ShardWorkerPool:
     def log_event(self, shard: int, ev: Tuple) -> None:
         self._events[shard].append(ev)
 
-    def start(self) -> None:
-        if self.started:
-            return
+    def _spawn_worker(self, w: int) -> Tuple:
         import multiprocessing as mp
 
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -995,16 +1073,22 @@ class ShardWorkerPool:
                 resource_tracker.ensure_running()
             except Exception:
                 pass
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, w, self.prefix, method == "fork"),
+            daemon=True,
+            name=f"repro-shard-worker-{w}",
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def start(self) -> None:
+        if self.started:
+            return
         for w in range(self.n_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, w, self.prefix, method == "fork"),
-                daemon=True,
-                name=f"repro-shard-worker-{w}",
-            )
-            proc.start()
-            child_conn.close()
+            proc, parent_conn = self._spawn_worker(w)
             self._procs.append(proc)
             self._conns.append(parent_conn)
         for w in range(self.n_workers):
@@ -1064,7 +1148,7 @@ class ShardWorkerPool:
         for w in per_worker:
             reply = self._recv(w)
             if reply is None:
-                self.broken = True
+                self._handle_death(w, messages[w])
                 continue
             status = reply[0]
             if status == "err":
@@ -1081,6 +1165,56 @@ class ShardWorkerPool:
                 for name in scratch_names:
                     _unlink_block(name)
         return results
+
+    def _handle_death(self, w: int, sent: List) -> None:
+        """Recover from worker ``w`` dying mid-dispatch.
+
+        The batch's tasks stay :data:`WORKER_DIED` either way (callers
+        re-apply or recompute against parent-authoritative shared state).
+        With a replay provider the worker is respawned and every shard it
+        owns gets a fresh mirror: the replay events (tier config, shared
+        watermark tables, ring and tier-ring attaches, standing
+        registrations) are queued first, then the events the dead worker
+        may never have applied — watermarks, ring authority, and standing
+        backfill floors make re-delivery idempotent.  Without a provider
+        the pool turns broken, exactly the pre-respawn behavior.
+        """
+        if not self.respawn or self.replay_provider is None or not self._respawn(w):
+            self.broken = True
+            return
+        requeue: Dict[int, List[Tuple]] = {}
+        for shard, events, _kind, _payload in sent:
+            if events:
+                requeue.setdefault(shard, []).extend(events)
+        for shard in range(self.n_shards):
+            if self.worker_of(shard) != w:
+                continue
+            replay = self.replay_provider(shard)
+            self._events[shard] = (
+                replay + requeue.get(shard, []) + self._events[shard]
+            )
+
+    def _respawn(self, w: int) -> bool:
+        proc = self._procs[w]
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        try:
+            self._conns[w].close()
+        except OSError:
+            pass
+        try:
+            proc_new, conn_new = self._spawn_worker(w)
+        except Exception:
+            return False
+        self._procs[w] = proc_new
+        self._conns[w] = conn_new
+        reply = self._recv(w, timeout_s=30.0)
+        if reply is None or reply[0] != "hello":
+            return False
+        self.respawns_total += 1
+        return True
 
     def inject_crash(self, worker_idx: int) -> None:
         """Kill one worker (tests: exercises degradation paths)."""
@@ -1131,6 +1265,7 @@ class ShardWorkerPool:
             "dispatches": float(self.dispatches),
             "tasks_sent": float(self.tasks_sent),
             "broken": float(self.broken),
+            "respawns_total": float(self.respawns_total),
         }
 
 
@@ -1226,6 +1361,8 @@ class SharedTierSet:
         self.folds = 0
         self.late_dropped = 0
         self.wm: List[np.ndarray] = []
+        #: latest per-tier watermark-table descriptor (crash-respawn replay)
+        self.wm_descs: List[Tuple] = []
         self.tier_rings: List[Dict[int, SharedStatRing]] = [dict() for _ in res]
         self.tiers = [_SharedTierViewKeyed(self, i, r) for i, r in enumerate(res)]
         self._folder: Optional[TierFolder] = None
@@ -1242,8 +1379,10 @@ class SharedTierSet:
             old = self.wm[tier_idx]
             arr[: old.size] = old
             self.wm[tier_idx] = arr
+            self.wm_descs[tier_idx] = desc
         else:
             self.wm.append(arr)
+            self.wm_descs.append(desc)
         self._log_event(("wm", tier_idx, desc))
 
     def ensure_wm(self, n: int) -> None:
@@ -1337,11 +1476,18 @@ class ParallelShardedStore(ShardedTimeSeriesStore):
         *,
         workers: int = 2,
         pool_timeout_s: float = 60.0,
+        respawn: bool = True,
     ) -> None:
-        self.pool = ShardWorkerPool(workers, n_shards, timeout_s=pool_timeout_s)
+        self.pool = ShardWorkerPool(
+            workers, n_shards, timeout_s=pool_timeout_s, respawn=respawn
+        )
+        self.pool.replay_provider = self._replay_events
         self.arena = SharedArena(f"{self.pool.prefix}.p")
         self.attach_cache = _BlockCache()
         self.tiersets: Optional[List[SharedTierSet]] = None
+        #: standing registrations ``(metric, step, n_slots, want_rate)``,
+        #: kept for crash-respawn replay
+        self.standing_regs: List[Tuple] = []
         self.parallel_appends = 0
         self.serial_appends = 0
         self.append_recoveries = 0
@@ -1420,6 +1566,37 @@ class ParallelShardedStore(ShardedTimeSeriesStore):
         self.close()
 
     # ------------------------------------------------------------- plumbing
+    def _replay_events(self, s: int) -> List[Tuple]:
+        """Full event list rebuilding shard ``s``'s worker mirror.
+
+        Everything is reconstructed from parent-authoritative shared
+        state: tier layout and watermark tables first, then ring
+        attaches, then tier-ring attaches (the respawned worker must
+        reuse the rings the parent already reads, not recreate them),
+        then standing registrations — whose worker-side backfill reads
+        the shm rings at apply time, so it also covers any columns the
+        dead worker half-applied.
+        """
+        shard = self.shards[s]
+        events: List[Tuple] = []
+        ts = self.tiersets[s] if self.tiersets is not None else None
+        if ts is not None:
+            events.append(
+                ("tiers", tuple(ts.resolutions), ts.tier_capacity, ts._buffer_cap)
+            )
+            for ti, desc in enumerate(ts.wm_descs):
+                events.append(("wm", ti, desc))
+        registry = shard.registry
+        for key, buf in shard._series.items():
+            events.append(("ring", registry.id_for(key), buf.capacity) + buf.descs)
+        if ts is not None:
+            for ti, rings in enumerate(ts.tier_rings):
+                for sid, ring in rings.items():
+                    events.append(("tring", ti, sid, ring.capacity, ring.descs))
+        for _metric, step, n_slots, want_rate in self.standing_regs:
+            events.append(("streg", step, n_slots, want_rate))
+        return events
+
     def ensure_wm_capacity(self) -> None:
         if self.tiersets is None:
             return
@@ -1665,12 +1842,120 @@ class ParallelFederatedQueryEngine(FederatedQueryEngine):
         self.parallel_folds += 1
         return total
 
+    def make_standing_provider(self) -> "ParallelStandingProvider":
+        """Worker-side standing state (overrides the parent-listener
+        provider, which would never see pool-written appends)."""
+        return ParallelStandingProvider(self.store)
+
     def stats(self) -> Dict[str, float]:
         out = super().stats()
         out["parallel_scatters"] = float(self.parallel_scatters)
         out["parallel_folds"] = float(self.parallel_folds)
         out["serial_fallbacks"] = float(self.serial_fallbacks)
         out.update({f"pool_{k}": v for k, v in self.store.pool.stats().items()})
+        return out
+
+
+class ParallelStandingProvider:
+    """Standing-query provider whose grids live inside the workers.
+
+    Registration logs a ``("streg", step, n_slots, want_rate)`` event to
+    every shard — the owning worker builds and backfills the grid from
+    the shared rings before its next task — and records the registration
+    parent-side for crash-respawn replay.  Reads fan one ``"standing"``
+    task per touched shard to its owning worker and gather the per-shard
+    partial rows; the engine-side merge is partition-invariant, so
+    results match the single-store provider.  While the pool is down the
+    provider reports no coverage (``None``) and the hub falls back to
+    the batch engine, which itself degrades serially as usual.
+    """
+
+    def __init__(self, store: ParallelShardedStore) -> None:
+        self.store = store
+        self.standing_scatters = 0
+        #: last grid stats reported per shard (piggybacked on reads)
+        self._grid_stats: Dict[int, Dict[str, float]] = {}
+
+    def register(self, metric: str, step: float, n_slots: int, *, want_rate: bool) -> None:
+        reg = (metric, float(step), int(n_slots), bool(want_rate))
+        self.store.standing_regs.append(reg)
+        for s in range(self.store.n_shards):
+            self.store.pool.log_event(s, ("streg",) + reg[1:])
+
+    def entries(
+        self,
+        metric: str,
+        step: float,
+        keys: Sequence[SeriesKey],
+        gidxs: np.ndarray,
+        ranks: np.ndarray,
+        b0: int,
+        b1: int,
+        *,
+        want_rate: bool = False,
+    ) -> Optional[Dict[str, np.ndarray]]:
+        pool = self.store.pool
+        if not pool.active:
+            return None
+        work: List[Tuple[List[int], List[int], List[int]]] = [
+            ([], [], []) for _ in range(self.store.n_shards)
+        ]
+        shard_index = self.store.shard_index
+        shards = self.store.shards
+        for i, key in enumerate(keys):
+            s = shard_index(key)
+            sid = shards[s].registry.get(key)
+            if sid is None:
+                continue  # never interned on its shard: holds no data
+            wl = work[s]
+            wl[0].append(sid)
+            wl[1].append(int(gidxs[i]))
+            wl[2].append(int(ranks[i]))
+        tasks: List[Tuple[int, str, Dict]] = []
+        task_shards: List[int] = []
+        for s, (sids, g, r) in enumerate(work):
+            if not sids:
+                continue
+            tasks.append(
+                (
+                    s,
+                    "standing",
+                    {
+                        "step": float(step),
+                        "sids": sids,
+                        "gidxs": g,
+                        "ranks": r,
+                        "b0": int(b0),
+                        "b1": int(b1),
+                        "want_rate": bool(want_rate),
+                    },
+                )
+            )
+            task_shards.append(s)
+        if not tasks:
+            return concat_entries([])
+        results = pool.dispatch(tasks)
+        chunks: List[Dict[str, np.ndarray]] = []
+        for s, res in zip(task_shards, results):
+            data = self.store.apply_envelope(s, res)
+            if data is WORKER_DIED or not data["ok"]:
+                return None
+            self._grid_stats[s] = data["stats"]
+            chunks.append(data["rows"])
+        self.standing_scatters += 1
+        return concat_entries(chunks)
+
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "grids": 0.0,
+            "standing_scatters": float(self.standing_scatters),
+            "updates_applied": 0.0,
+            "late_dropped": 0.0,
+        }
+        for shard_stats in self._grid_stats.values():
+            for k, v in shard_stats.items():
+                out[k] = out.get(k, 0.0) + v
+        out["grids"] = float(len(self._grid_stats))
         return out
 
 
@@ -1731,5 +2016,6 @@ __all__ = [
     "SidShardReader",
     "ParallelShardedStore",
     "ParallelFederatedQueryEngine",
+    "ParallelStandingProvider",
     "ParallelShardContext",
 ]

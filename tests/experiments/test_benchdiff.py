@@ -5,11 +5,14 @@ import json
 import pytest
 
 from repro.experiments.benchdiff import (
+    artifact_label,
     artifact_shas,
     diff_artifacts,
     is_throughput_key,
     load_artifact,
     render_diff,
+    render_trend,
+    trend_artifacts,
 )
 
 
@@ -66,6 +69,42 @@ def test_render_diff_and_empty_case():
     assert "REGRESSED" in text and "ok" in text
     assert text.index("a_per_s") < text.index("b_per_s")  # regression listed first
     assert "no comparable throughput metrics" in render_diff([])
+
+
+def test_trend_tracks_drift_across_runs():
+    runs = [
+        {"q_per_s": 100.0, "gone_per_s": 9.0},
+        {"q_per_s": 90.0},
+        {"q_per_s": 70.0, "fresh_per_s": 5.0},
+    ]
+    rows = trend_artifacts(runs, threshold=0.2)
+    by_key = {r["key"]: r for r in rows}
+    assert set(by_key) == {"q_per_s", "fresh_per_s"}  # newest artifact decides
+    assert by_key["q_per_s"]["values"] == [100.0, 90.0, 70.0]
+    assert by_key["q_per_s"]["ratio"] == pytest.approx(0.7)  # vs oldest present
+    assert by_key["q_per_s"]["regressed"]  # 30% drift across the window
+    assert by_key["fresh_per_s"]["ratio"] is None  # brand new: no baseline
+    assert not by_key["fresh_per_s"]["regressed"]
+    assert rows[0]["key"] == "q_per_s"  # drifted metrics sort first
+
+
+def test_trend_requires_two_artifacts_and_renders_markdown():
+    with pytest.raises(ValueError):
+        trend_artifacts([{"q_per_s": 1.0}])
+    rows = trend_artifacts([{"q_per_s": 8.0}, {"q_per_s": 10.0}])
+    text = render_trend(rows, ["runA", "runB"])
+    assert "| metric | runA | runB | trend |" in text
+    assert "`q_per_s`" in text and "1.25x" in text
+    assert "no throughput metrics" in render_trend([], ["runA"])
+
+
+def test_artifact_label_prefers_sha_and_date():
+    artifact = {
+        "rows": [{"git_sha": "abcdef0123456789",
+                  "generated_at": "2026-08-07T01:02:03+00:00"}]
+    }
+    assert artifact_label(artifact, "run0") == "abcdef0@2026-08-07"
+    assert artifact_label({}, "run0") == "run0"
 
 
 def test_load_artifact_and_shas(tmp_path):

@@ -61,8 +61,10 @@ def fill_through_pool(store, data):
         store.append_batch(np.full(times.size, gid, dtype=np.int64), times, values)
 
 
-def parallel_store(data, n_shards, workers, *, resolutions=None):
-    store = ParallelShardedStore(n_shards=n_shards, default_capacity=4096, workers=workers)
+def parallel_store(data, n_shards, workers, *, resolutions=None, respawn=True):
+    store = ParallelShardedStore(
+        n_shards=n_shards, default_capacity=4096, workers=workers, respawn=respawn
+    )
     if resolutions is not None:
         store.create_tiersets(resolutions)
     store.start_parallel()
@@ -151,7 +153,9 @@ def test_worker_crash_append_recovery_and_serial_fallback():
     ]
     reference = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
     fill_serial(reference, data)
-    with ParallelShardedStore(n_shards=4, default_capacity=4096, workers=2) as store:
+    with ParallelShardedStore(
+        n_shards=4, default_capacity=4096, workers=2, respawn=False
+    ) as store:
         store.start_parallel()
         fill_through_pool(store, halves[0])
         store.pool.inject_crash(0)
@@ -179,7 +183,7 @@ def test_worker_crash_degraded_fold_matches_serial():
     ser = FederatedQueryEngine.with_rollups(
         serial_sharded, resolutions=(10.0, 50.0), enable_cache=False
     )
-    with parallel_store(data, 4, 2, resolutions=(10.0, 50.0)) as store:
+    with parallel_store(data, 4, 2, resolutions=(10.0, 50.0), respawn=False) as store:
         par = ParallelFederatedQueryEngine(store, enable_cache=False)
         store.pool.inject_crash(1)
         # fold fan-out hits the dead worker: its shards re-fold in the
@@ -200,7 +204,7 @@ def test_crash_then_more_ingest_and_parent_folds_stay_exact():
     ser = FederatedQueryEngine.with_rollups(
         serial_sharded, resolutions=(20.0,), enable_cache=False
     )
-    with parallel_store(data[:4], 3, 2, resolutions=(20.0,)) as store:
+    with parallel_store(data[:4], 3, 2, resolutions=(20.0,), respawn=False) as store:
         par = ParallelFederatedQueryEngine(store, enable_cache=False)
         store.pool.inject_crash(0)
         fill_through_pool(store, data[4:])  # lands serially after the crash
@@ -208,6 +212,44 @@ def test_crash_then_more_ingest_and_parent_folds_stay_exact():
         assert par.fold_rollups(HORIZON * 0.9) == ser.fold_rollups(HORIZON * 0.9)
         q = MetricQuery("m", agg="mean", range_s=HORIZON, step_s=50.0, group_by=("node",))
         assert_bit_identical(par.query(q, at=HORIZON), ser.query(q, at=HORIZON))
+
+
+def test_worker_respawn_restores_parallel_execution():
+    """With respawn on (the default), a crash costs one dispatch: the
+    dead worker's tasks are recovered by the parent, the worker is
+    respawned with its shard meta replayed from shm, and subsequent
+    appends, scatters, and folds run parallel again — bit-identical to
+    serial throughout."""
+    data = series_data(51, n_series=10)
+    halves = [
+        [(k, t[: t.size // 2], v[: v.size // 2]) for k, t, v in data],
+        [(k, t[t.size // 2:], v[v.size // 2:]) for k, t, v in data],
+    ]
+    serial_sharded = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    ser = FederatedQueryEngine.with_rollups(
+        serial_sharded, resolutions=(10.0, 50.0), enable_cache=False
+    )
+    with parallel_store(halves[0], 4, 2, resolutions=(10.0, 50.0)) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        par.fold_rollups(HORIZON * 0.3)  # worker-side tier rings exist
+        store.pool.inject_crash(0)
+        fill_through_pool(store, halves[1])  # detects death, recovers, respawns
+        fill_serial(serial_sharded, data)
+        assert store.pool.respawns_total == 1
+        assert not store.pool.broken
+        assert store.append_recoveries > 0  # the detecting batch was lost
+        assert store.serial_appends == 0  # later commits ran parallel again
+        ser.fold_rollups(HORIZON * 0.3)
+        assert par.fold_rollups(HORIZON * 0.9) == ser.fold_rollups(HORIZON * 0.9)
+        scatters_before = par.parallel_scatters
+        rng = np.random.default_rng(13)
+        for _ in range(8):
+            q = random_query(rng)
+            at = float(rng.uniform(HORIZON * 0.5, HORIZON * 1.1))
+            assert_bit_identical(par.query(q, at=at), ser.query(q, at=at))
+        assert par.parallel_scatters > scatters_before
+        assert par.serial_fallbacks == 0
+        assert store.shard_stats()["pool_respawns_total"] == 1.0
 
 
 # ---------------------------------------------------------------------------

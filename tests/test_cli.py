@@ -24,7 +24,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 19)]
+    assert ids == [f"E{i}" for i in range(1, 20)]
 
 
 def test_loops_command(capsys):
@@ -93,10 +93,12 @@ def test_query_command_sharded_with_stats(capsys):
         "--nodes", "4", "--horizon", "900", "--shards", "4", "--stats",
     ]) == 0
     out = capsys.readouterr().out
-    assert "source=federated" in out
+    assert "source=standing" in out  # eligible shape served from standing state
     assert "federation: shards=4" in out
     assert "cache: hits=" in out
     assert "fanout_mean=" in out
+    assert "standing: shapes=1" in out
+    assert "scan_fallbacks=0" in out
 
 
 def test_query_command_stats_unsharded(capsys):
@@ -168,9 +170,10 @@ def test_query_command_parallel_with_stats(capsys):
         "--nodes", "4", "--horizon", "900", "--shards", "4", "--parallel", "2", "--stats",
     ]) == 0
     out = capsys.readouterr().out
-    assert "source=federated" in out
+    assert "source=standing" in out  # eligible shape served from standing state
     assert "federation: shards=4" in out
     assert "parallel: workers=2" in out
+    assert "standing: shapes=1" in out
 
 
 def test_bench_shard_parallel_smoke_command(tmp_path, capsys):
