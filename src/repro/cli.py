@@ -42,6 +42,16 @@
   plus the per-commit ingest-listener overhead), optionally writing a
   JSON artifact; ``--smoke`` runs a small exactness-only configuration
   for CI.
+* ``trace`` — run a watch-loop fleet with span tracing enabled and
+  export the span ring as Chrome-trace JSON (loads in Perfetto /
+  ``chrome://tracing``); ``--shards``/``--parallel`` exercise the
+  federated and worker-process paths, whose worker-side spans arrive
+  parented under the dispatching scatter span.
+* ``bench-obs`` — run the E20 observability-overhead benchmark
+  (disabled-mode and enabled-mode tracing costs on the E14 ingest and
+  E19 standing-serving paths, priced ≤2% / ≤5%), optionally writing a
+  JSON artifact; ``--smoke`` runs a small exactness-only configuration
+  for CI.
 * ``bench-diff OLD NEW`` — compare two benchmark JSON artifacts
   (typically merged ``BENCH_all.json`` files from two runs) and report
   throughput metrics (``*_per_s``, ``*speedup*``) that regressed beyond
@@ -83,6 +93,7 @@ EXPERIMENT_INDEX = [
     ("E17", "§II/§IV", "fleet supervision: meta-loops over loop self-telemetry"),
     ("E18", "§IV", "process-parallel shards: shared-memory columns + worker pool"),
     ("E19", "§IV", "standing queries: O(new samples) incremental monitor serving"),
+    ("E20", "§IV", "observability: span tracing + metrics priced on the hot paths"),
 ]
 
 
@@ -176,32 +187,19 @@ def cmd_query(
               f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
               f"store_series={cluster.store.cardinality()}")
         if show_stats:
-            print("# stats:")
-            print(f"  cache: hits={stats.get('cache_hits', 0.0):.0f} "
-                  f"misses={stats.get('cache_misses', 0.0):.0f} "
-                  f"evictions={stats.get('cache_evictions', 0.0):.0f} "
-                  f"entries={stats.get('cache_entries', 0.0):.0f} "
-                  f"hit_rate={stats.get('cache_hit_rate', 0.0):.0%}")
-            if "shards" in stats:
-                print(f"  federation: shards={stats['shards']:.0f} "
-                      f"queries={stats['federated_queries']:.0f} "
-                      f"fanout_total={stats['fanout_total']:.0f} "
-                      f"fanout_mean={stats['fanout_mean']:.2f}")
-                print(f"  shard series: {cluster.store.shard_cardinalities()}")
+            from repro.obs import MetricsRegistry, collect_metrics
+
+            reg = MetricsRegistry()
+            collect_metrics(engine=qe, standing=standing, registry=reg)
             if "parallel_scatters" in stats:
-                pool = cluster.store.pool.stats()
-                print(f"  parallel: workers={pool['workers']:.0f} "
-                      f"dispatches={pool['dispatches']:.0f} "
-                      f"scatters={stats['parallel_scatters']:.0f} "
-                      f"appends={cluster.store.parallel_appends} "
-                      f"fallbacks={stats['serial_fallbacks']:.0f} "
-                      f"respawns={pool['respawns_total']:.0f}")
-            sstats = standing.stats()
-            print(f"  standing: shapes={sstats['registered_shapes']:.0f} "
-                  f"reads={sstats['reads_served']:.0f} "
-                  f"updates_applied={sstats['updates_applied']:.0f} "
-                  f"scan_fallbacks={sstats['scan_fallbacks']:.0f} "
-                  f"late_dropped={sstats['late_dropped']:.0f}")
+                reg.record("parallel.appends",
+                           float(cluster.store.parallel_appends),
+                           alias="parallel_appends")
+            print("# stats:")
+            for line in reg.render():
+                print(f"  {line}")
+            if "shards" in stats:
+                print(f"  # shard series: {cluster.store.shard_cardinalities()}")
     return 0
 
 
@@ -429,14 +427,21 @@ def cmd_bench_shard(
         print("ERROR: sharded and single-store ingest diverged", file=sys.stderr)
         return 1
     if show_stats:
+        from repro.obs import MetricsRegistry, absorb_stats
+
+        reg = MetricsRegistry()
+        absorb_stats(reg, {
+            "shards": query["n_shards"],
+            "fanout_mean": query["fanout_mean"],
+            "result_series": query["result_series"],
+            "standing_registered_shapes": query["standing_registered_shapes"],
+            "standing_updates_applied": query["standing_updates_applied"],
+            "standing_scan_fallbacks": query["standing_scan_fallbacks"],
+            "standing_speedup": query["standing_speedup"],
+        }, "engine")
         print("# stats:")
-        print(f"  federation: shards={query['n_shards']:.0f} "
-              f"fanout_mean={query['fanout_mean']:.1f} "
-              f"result_series={query['result_series']:.0f}")
-        print(f"  standing: shapes={query['standing_registered_shapes']:.0f} "
-              f"updates_applied={query['standing_updates_applied']:.0f} "
-              f"scan_fallbacks={query['standing_scan_fallbacks']:.0f} "
-              f"speedup_vs_single={query['standing_speedup']:.2f}x")
+        for line in reg.render():
+            print(f"  {line}")
     print(
         f"query speedup: {query['query_speedup']:.2f}x "
         f"({query['single_queries_per_s']:.1f} -> {query['federated_queries_per_s']:.1f} queries/s, "
@@ -489,10 +494,17 @@ def _bench_parallel_storage(
         print("ERROR: shared-memory ingest overhead above the 1.2x gate", file=sys.stderr)
         return 1
     if show_stats:
+        from repro.obs import MetricsRegistry, absorb_stats
+
+        reg = MetricsRegistry()
+        absorb_stats(reg, {
+            "pool_workers": scatter["workers"],
+            "parallel_scatters": scatter["parallel_scatters"],
+            "parallel_appends": ingest["parallel_appends"],
+        }, "engine")
         print("# stats:")
-        print(f"  pool: workers={scatter['workers']:.0f} "
-              f"scatters={scatter['parallel_scatters']:.0f} "
-              f"appends={ingest['parallel_appends']:.0f}")
+        for line in reg.render():
+            print(f"  {line}")
     print(
         f"scatter speedup: {scatter['scatter_speedup']:.2f}x "
         f"({scatter['serial_queries_per_s']:.1f} -> "
@@ -621,16 +633,144 @@ def cmd_bench_standing(
         print("ERROR: standing ingest overhead above the 1.1x gate", file=sys.stderr)
         return 1
     if show_stats:
+        from repro.obs import MetricsRegistry, absorb_stats
+
+        reg = MetricsRegistry()
+        absorb_stats(reg, {
+            "standing_registered_shapes": hub["auto_registered_shapes"],
+            "standing_served": hub["standing_served"],
+            "standing_updates_applied": hub["standing_updates"],
+            "standing_scan_fallbacks": hub["standing_fallbacks"],
+        }, "engine")
         print("# stats:")
-        print(f"  standing: shapes={hub['auto_registered_shapes']:.0f} "
-              f"served={hub['standing_served']:.0f} "
-              f"updates_applied={hub['standing_updates']:.0f} "
-              f"scan_fallbacks={hub['standing_fallbacks']:.0f}")
+        for line in reg.render():
+            print(f"  {line}")
     print(
         f"hub speedup: {hub['hub_speedup']:.2f}x "
         f"({hub['fused_queries_per_s']:.0f} -> {hub['standing_queries_per_s']:.0f} queries/s); "
         f"ingest overhead {ingest['standing_overhead']:.2f}x "
         f"({ingest['plain_samples_per_s']:.0f} -> {ingest['standing_samples_per_s']:.0f} samples/s)"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(stamp(rows), fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_trace(
+    n_loops: int,
+    nodes: int,
+    horizon: float,
+    seed: int,
+    shards: int,
+    parallel: int,
+    out: str,
+) -> int:
+    """Run a traced fleet shift and export the span ring as Chrome JSON."""
+    import json
+
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.experiments.loops_exp import watch_fleet_specs
+    from repro.obs.trace import TRACER
+    from repro.sim import Engine, RngRegistry
+    from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+    engine = Engine()
+    with Cluster(
+        engine,
+        ClusterConfig(
+            n_nodes=nodes, telemetry_period_s=10.0, seed=seed,
+            shards=shards, parallel=parallel,
+        ),
+    ) as cluster:
+        generator = WorkloadGenerator(
+            engine,
+            cluster.scheduler,
+            RngRegistry(seed=seed).stream("workload"),
+            WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
+        )
+        generator.start()
+        runtime = cluster.loop_runtime()
+        specs = watch_fleet_specs(
+            "node_cpu_util", cluster.node_ids(), n_loops,
+            period_s=60.0, window_s=300.0, threshold=0.5,
+        )
+        for spec in specs:
+            spec.start_at = 300.0
+        runtime.add_many(specs, start=True)
+        TRACER.enable()
+        TRACER.reset()
+        try:
+            engine.run(until=horizon)
+            runtime.stop()
+            doc = TRACER.export_chrome()
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    events = doc["traceEvents"]
+    main_pid = doc["otherData"]["main_pid"]
+    worker_events = sum(1 for e in events if e["pid"] != main_pid)
+    names: dict = {}
+    for e in events:
+        names[e["name"]] = names.get(e["name"], 0) + 1
+    print(f"traced {len(events)} spans across "
+          f"{len({e['pid'] for e in events})} process(es) "
+          f"({worker_events} worker-side); wrote {out}")
+    for name in sorted(names):
+        print(f"  {name:20s} x{names[name]}")
+    return 0
+
+
+def cmd_bench_obs(
+    series: int,
+    n_loops: int,
+    ticks: int,
+    json_path: Optional[str],
+    smoke: bool,
+) -> int:
+    """Run the E20 observability-overhead benchmark and print (dump) rows.
+
+    ``--smoke`` shrinks both halves and checks only exactness (traced
+    and untraced sweeps must return identical results), not the
+    overhead gates — the CI wiring check.  The full run gates disabled
+    tracing at ≤1.02× and enabled tracing at ≤1.05× on both the ingest
+    and standing-serving paths.
+    """
+    import json
+
+    from repro.experiments.obs_exp import run_obs_benchmark
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+
+    if smoke:
+        series, n_loops, ticks = min(series, 256), min(n_loops, 16), min(ticks, 6)
+    rows = run_obs_benchmark(n_series=series, n_loops=n_loops, ticks=ticks)
+    ingest, standing = rows["ingest"], rows["standing"]
+    print(render_table([ingest], title="E20 — tracing overhead on columnar ingest"))
+    print(render_table([standing], title="E20 — tracing overhead on standing hub serving"))
+    if standing["match"] != 1.0:
+        print("ERROR: traced and untraced sweeps returned different results",
+              file=sys.stderr)
+        return 1
+    if not smoke:
+        for half, row in (("ingest", ingest), ("standing", standing)):
+            if row["disabled_overhead"] > 1.02:
+                print(f"ERROR: disabled tracing above the 2% gate on {half}",
+                      file=sys.stderr)
+                return 1
+            if row["enabled_overhead"] > 1.05:
+                print(f"ERROR: enabled tracing above the 5% gate on {half}",
+                      file=sys.stderr)
+                return 1
+    print(
+        f"ingest: disabled {ingest['disabled_overhead']:.3f}x "
+        f"enabled {ingest['enabled_overhead']:.3f}x; "
+        f"standing: disabled {standing['disabled_overhead']:.3f}x "
+        f"enabled {standing['enabled_overhead']:.3f}x "
+        f"({standing['spans_recorded']:.0f} spans recorded)"
     )
     if json_path:
         with open(json_path, "w", encoding="utf-8") as fh:
@@ -780,6 +920,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="small exactness-only run (CI wiring check)")
     bstand.add_argument("--stats", action="store_true",
                         help="print standing-query engine counters")
+    trc = sub.add_parser("trace",
+                         help="run a traced fleet and export Chrome-trace JSON")
+    trc.add_argument("--loops", dest="n_loops", type=int, default=256)
+    trc.add_argument("--nodes", type=int, default=32)
+    trc.add_argument("--horizon", type=float, default=900.0, help="simulated seconds")
+    trc.add_argument("--seed", type=int, default=7)
+    trc.add_argument("--shards", type=int, default=1,
+                     help="partition the store and trace the federated scatter path")
+    trc.add_argument("--parallel", type=int, default=0,
+                     help="worker processes (traces cross-process shard spans)")
+    trc.add_argument("--out", default="trace.json",
+                     help="Chrome-trace JSON output path (default trace.json)")
+    bobs = sub.add_parser("bench-obs",
+                          help="run the E20 observability-overhead benchmark")
+    bobs.add_argument("--series", type=int, default=4096)
+    bobs.add_argument("--loops", dest="n_loops", type=int, default=64)
+    bobs.add_argument("--ticks", type=int, default=30)
+    bobs.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bobs.add_argument("--smoke", action="store_true",
+                      help="small exactness-only run (CI wiring check)")
     bdiff = sub.add_parser("bench-diff",
                            help="diff two benchmark artifacts for throughput regressions")
     bdiff.add_argument("old", help="baseline artifact (e.g. previous BENCH_all.json)")
@@ -830,6 +990,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_standing(
             args.n_loops, args.nodes_per_loop, args.ticks, args.json_path,
             args.smoke, args.stats,
+        )
+    if args.command == "trace":
+        return cmd_trace(
+            args.n_loops, args.nodes, args.horizon, args.seed, args.shards,
+            args.parallel, args.out,
+        )
+    if args.command == "bench-obs":
+        return cmd_bench_obs(
+            args.series, args.n_loops, args.ticks, args.json_path, args.smoke,
         )
     if args.command == "bench-diff":
         return cmd_bench_diff(args.old, args.new, args.threshold, args.fail)

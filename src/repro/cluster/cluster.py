@@ -291,6 +291,25 @@ class Cluster:
 
         return attach_supervisors(self.loop_runtime(), config, kinds=kinds)
 
+    def collect_metrics(self, *, registry=None):
+        """Absorb every live subsystem's stats into one obs registry.
+
+        Covers whatever exists on this cluster: every built query
+        engine, the loop runtime (which embeds hub and arbiter stats),
+        and a sharded store's per-shard counters.  Returns the registry
+        (the process-wide :data:`repro.obs.METRICS` by default) — the
+        one-call path from a cluster to the unified ``--stats`` taxonomy
+        and the ``obs_*`` self-publication series.
+        """
+        from repro.obs import METRICS, collect_metrics
+
+        reg = registry if registry is not None else METRICS
+        for engine in self._query_engines.values():
+            collect_metrics(engine=engine, registry=reg)
+        if self.runtime is not None:
+            collect_metrics(runtime=self.runtime, registry=reg)
+        return reg
+
     # ------------------------------------------------------------- shortcuts
     def submit(self, job) -> None:
         self.scheduler.submit(job)

@@ -49,6 +49,7 @@ from repro.core.audit import AuditTrail
 from repro.core.guards import Guard
 from repro.core.knowledge import KnowledgeBase
 from repro.core.types import Action, Plan
+from repro.obs.trace import TRACER
 
 #: ``(domain, target)`` — the unit of contention between loops.
 ResourceKey = Tuple[str, str]
@@ -426,6 +427,24 @@ class PlanArbiter:
         policy *merged* are removed from the plan but not reported as
         vetoed: their effect is already in flight behind the claim.
         """
+        if TRACER.enabled:
+            with TRACER.span("arbiter.resolve", loop=loop,
+                             actions=len(plan.actions)):
+                return self._resolve(loop, priority, plan, now,
+                                     ttl_s=ttl_s, resource_keys=resource_keys)
+        return self._resolve(loop, priority, plan, now,
+                             ttl_s=ttl_s, resource_keys=resource_keys)
+
+    def _resolve(
+        self,
+        loop: str,
+        priority: int,
+        plan: Plan,
+        now: float,
+        *,
+        ttl_s: float,
+        resource_keys: Callable[[Action], Sequence[ResourceKey]],
+    ) -> Tuple[Plan, List[Action]]:
         if len(self._claims) > 4096:
             self._sweep(now)
         vetoed: List[Action] = []

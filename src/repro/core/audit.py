@@ -9,7 +9,7 @@ confidence.  ``AuditTrail`` is that record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -66,3 +66,16 @@ class AuditTrail:
 
     def tail(self, n: int = 10) -> List[AuditEvent]:
         return self.events[-n:]
+
+    def flight_dumps(self) -> List[AuditEvent]:
+        """Events that carry a flight-recorder dump reference.
+
+        Fleet interventions (``restart_loop`` / ``quarantine_loop``)
+        attach the id of the span-ring snapshot taken at the moment of
+        the decision (see :mod:`repro.obs.flight`); this surfaces them
+        so an operator can go from "what was done" to "what led to it".
+        """
+        return [e for e in self.events if "flight_dump" in e.data]
+
+    def stats(self) -> Dict[str, float]:
+        return {"events": float(len(self.events)), "dropped": float(self.dropped)}

@@ -25,6 +25,7 @@ from repro.core.component import Analyzer, Assessor, Executor, Monitor, Planner
 from repro.core.guards import Guard
 from repro.core.knowledge import KnowledgeBase
 from repro.core.types import LoopIteration, Observation, Plan
+from repro.obs.trace import TRACER
 from repro.sim.engine import Engine, PeriodicTask
 
 
@@ -119,6 +120,18 @@ class MAPEKLoop:
         self._begin_cycle()
 
     def _begin_cycle(self) -> None:
+        # one span per phase entry point: with zero phase latency the
+        # decide/execute spans nest synchronously under ``loop.cycle``;
+        # with simulated latency they surface as their own roots at the
+        # engine times they actually run — either way the trace shows
+        # where the cycle's wall-clock went
+        if TRACER.enabled:
+            with TRACER.span("loop.cycle", loop=self.name):
+                self._begin_cycle_impl()
+        else:
+            self._begin_cycle_impl()
+
+    def _begin_cycle_impl(self) -> None:
         wall_t0 = time.perf_counter()
         now = self.engine.now
         iteration = LoopIteration(index=self.iterations_run, t_monitor=now)
@@ -141,6 +154,13 @@ class MAPEKLoop:
             self._decide(iteration, observation)
 
     def _decide(self, iteration: LoopIteration, observation: Observation) -> None:
+        if TRACER.enabled:
+            with TRACER.span("loop.decide", loop=self.name):
+                self._decide_impl(iteration, observation)
+        else:
+            self._decide_impl(iteration, observation)
+
+    def _decide_impl(self, iteration: LoopIteration, observation: Observation) -> None:
         wall_t0 = time.perf_counter()
         report = self.analyzer.analyze(observation, self.knowledge)
         iteration.report = report
@@ -164,6 +184,13 @@ class MAPEKLoop:
             self._execute(iteration, plan)
 
     def _execute(self, iteration: LoopIteration, plan: Plan) -> None:
+        if TRACER.enabled:
+            with TRACER.span("plan.execute", loop=self.name):
+                self._execute_impl(iteration, plan)
+        else:
+            self._execute_impl(iteration, plan)
+
+    def _execute_impl(self, iteration: LoopIteration, plan: Plan) -> None:
         wall_t0 = time.perf_counter()
         iteration.t_execute = self.engine.now
         results = self.executor.execute(plan, self.knowledge)

@@ -43,6 +43,9 @@ from repro.core.guards import Guard
 from repro.core.knowledge import KnowledgeBase
 from repro.core.loop import MAPEKLoop, PhaseLatency
 from repro.core.types import Action, LoopIteration, Observation
+from repro.obs.flight import FLIGHT
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine, QueryResult
 from repro.query.fuse import fusable, widen
@@ -129,6 +132,14 @@ class QueryHub:
         """
         if isinstance(q, str):
             q = self.engine.parse(q)
+        if TRACER.enabled:
+            with TRACER.span("hub.query", metric=q.metric):
+                return self._query(q, at, fuse)
+        return self._query(q, at, fuse)
+
+    def _query(
+        self, q: MetricQuery, at: float, fuse: Optional[bool]
+    ) -> QueryResult:
         # fusion's economics depend on the widened result being cached and
         # shared; without a cache it would degrade every narrow read into
         # its own full-metric pass, so an uncached engine never fuses
@@ -460,10 +471,16 @@ class RuntimeConfig:
     phase_jitter_frac: float = 0.0
     #: publish per-loop self-telemetry into the store
     self_telemetry: bool = True
+    #: period for publishing the runtime's metrics-registry snapshot into
+    #: the store as ``obs_*`` series (monitor-the-monitor, see
+    #: :mod:`repro.obs.metrics`); 0 disables the publisher
+    obs_publish_period_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.phase_jitter_frac < 1.0:
             raise ValueError("phase_jitter_frac must be in [0, 1)")
+        if self.obs_publish_period_s < 0.0:
+            raise ValueError("obs_publish_period_s must be >= 0")
 
 
 def deterministic_phase(name: str, period_s: float, frac: float) -> float:
@@ -583,6 +600,18 @@ class LoopRuntime:
         self.restarts_total = 0
         self.quarantines_total = 0
         self.retunes_total = 0
+        #: the runtime's own view into the obs taxonomy — refreshed and
+        #: published by the periodic task below (when configured) or on
+        #: demand via :meth:`publish_obs`
+        self.obs_registry = MetricsRegistry()
+        self.obs_publishes = 0
+        self._obs_task: Optional[PeriodicTask] = None
+        if self.config.obs_publish_period_s > 0:
+            self._obs_task = engine.every(
+                self.config.obs_publish_period_s,
+                self.publish_obs,
+                label="obs-publish",
+            )
 
     @classmethod
     def for_case(
@@ -700,10 +729,16 @@ class LoopRuntime:
                 SeriesKey.of("loop_restarts_total", loop=name), now, float(handle.restarts)
             )
         if self.audit is not None:
+            data = {"op": "restart", "loop": name, "restarts": handle.restarts}
+            # attach the causal trace: the spans that preceded this
+            # intervention (slow ticks, stalled scatters, deferrals)
+            flight = FLIGHT.dump("restart_loop", loop=name, by=by, reason=reason)
+            if flight is not None:
+                data["flight_dump"] = flight
             self.audit.record(
                 now, by, "fleet",
                 f"restarted loop {name}" + (f": {reason}" if reason else ""),
-                data={"op": "restart", "loop": name, "restarts": handle.restarts},
+                data=data,
             )
         return handle
 
@@ -721,10 +756,14 @@ class LoopRuntime:
         self.quarantines_total += 1
         self.arbiter.release(name)
         if self.audit is not None:
+            data = {"op": "quarantine", "loop": name}
+            flight = FLIGHT.dump("quarantine_loop", loop=name, by=by, reason=reason)
+            if flight is not None:
+                data["flight_dump"] = flight
             self.audit.record(
                 self.engine.now, by, "fleet",
                 f"quarantined loop {name}" + (f": {reason}" if reason else ""),
-                data={"op": "quarantine", "loop": name},
+                data=data,
             )
         return handle
 
@@ -791,6 +830,9 @@ class LoopRuntime:
     def stop(self) -> None:
         for handle in self.handles.values():
             handle.stop()
+        if self._obs_task is not None:
+            self._obs_task.stop()
+            self._obs_task = None
 
     def active_loops(self) -> int:
         return sum(1 for h in self.handles.values() if h.running)
@@ -831,6 +873,23 @@ class LoopRuntime:
             store.insert(
                 SeriesKey.of("loop_staleness_s", loop=name), now, float(iteration.staleness)
             )
+
+    def publish_obs(self) -> int:
+        """Refresh the obs registry from live stats and publish it.
+
+        Writes one sample per canonical metric into the store as
+        ``obs_<namespace>_<name>`` series (``obs_cache_hits``,
+        ``obs_pool_respawns_total`` …), making the monitoring stack
+        itself monitorable: a meta-loop can watch
+        ``rate(obs_pool_respawns_total[600s])`` with the same machinery
+        fleet loops use on node telemetry.  Returns the series count.
+        """
+        from repro.obs import collect_metrics
+
+        collect_metrics(runtime=self, registry=self.obs_registry)
+        written = self.obs_registry.publish(self.store, self.engine.now)
+        self.obs_publishes += 1
+        return len(written)
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> Dict[str, float]:

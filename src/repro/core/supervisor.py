@@ -43,6 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.component import Analyzer, Executor, Monitor, Planner
 from repro.core.knowledge import KnowledgeBase
 from repro.core.runtime import LoopHandle, LoopRuntime, LoopSpec, MonitorQuery
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.core.types import (
     Action,
     AnalysisReport,
@@ -176,6 +178,14 @@ class FleetExecutor(Executor):
         return results
 
     def _apply(self, action: Action) -> str:
+        if TRACER.enabled:
+            with TRACER.span("supervisor.apply", kind=action.kind,
+                             target=action.target):
+                return self._apply_impl(action)
+        return self._apply_impl(action)
+
+    def _apply_impl(self, action: Action) -> str:
+        METRICS.counter(f"supervisor.applied.{action.kind}").inc()
         runtime, name = self.runtime, action.target
         if action.kind == "restart_loop":
             handle = runtime.restart(name, by=self.by, reason=action.rationale)

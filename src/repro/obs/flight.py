@@ -1,0 +1,86 @@
+"""Flight recorder — the last N seconds of spans, dumped on intervention.
+
+The span ring (:mod:`repro.obs.trace`) already holds the recent past;
+the flight recorder is the policy layer that snapshots it **at the
+moment a supervisor intervenes** (``restart_loop`` / ``quarantine_loop``
+in :class:`~repro.core.runtime.LoopRuntime`), so the audit record that
+says *what* was done carries the causal trace of *why* — the slow tick,
+the stalled scatter, the arbiter deferral that preceded the decision.
+
+Dumps are bounded (oldest evicted) and referenced from audit records by
+id, keeping :class:`~repro.core.audit.AuditLog` rows JSON-light.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import TRACER, Span, Tracer
+
+__all__ = ["FlightRecorder", "FLIGHT"]
+
+
+class FlightRecorder:
+    """Snapshot the tracer ring around supervisor interventions."""
+
+    def __init__(self, tracer: Optional[Tracer] = None, *,
+                 window_s: float = 30.0, max_dumps: int = 16):
+        self.tracer = tracer if tracer is not None else TRACER
+        self.window_s = float(window_s)
+        self._dumps: deque = deque(maxlen=int(max_dumps))
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def dump(self, trigger: str, **context: Any) -> Optional[str]:
+        """Snapshot spans whose end falls inside the window; return the
+        dump id (``flight-<n>``) for the audit record, or None when
+        tracing is off (nothing recorded ⇒ nothing to attach)."""
+        if not self.tracer.enabled:
+            return None
+        now_us = time.time() * 1e6
+        horizon_us = now_us - self.window_s * 1e6
+        spans = [s for s in self.tracer.spans() if s[4] + s[5] >= horizon_us]
+        self._seq += 1
+        dump_id = f"flight-{self._seq:04d}"
+        self._dumps.append({
+            "id": dump_id,
+            "reason": trigger,
+            "at": now_us / 1e6,
+            "window_s": self.window_s,
+            "n_spans": len(spans),
+            "context": dict(context),
+            "spans": spans,
+        })
+        return dump_id
+
+    def dumps(self) -> List[Dict[str, Any]]:
+        return list(self._dumps)
+
+    def get(self, dump_id: str) -> Optional[Dict[str, Any]]:
+        for d in self._dumps:
+            if d["id"] == dump_id:
+                return d
+        return None
+
+    def spans_of(self, dump_id: str) -> List[Span]:
+        d = self.get(dump_id)
+        return list(d["spans"]) if d else []
+
+    def export_json(self, dump_id: str) -> Optional[str]:
+        """One dump as Chrome-trace JSON (loads in Perfetto as-is)."""
+        d = self.get(dump_id)
+        if d is None:
+            return None
+        doc = self.tracer.export_chrome(list(d["spans"]))
+        doc["otherData"].update(reason=d["reason"], dump_id=d["id"])
+        return json.dumps(doc)
+
+
+#: Process-wide recorder over the process-wide tracer.
+FLIGHT = FlightRecorder()

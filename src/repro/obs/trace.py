@@ -1,0 +1,198 @@
+"""Span tracing for the autonomy path (PR 9, observability tentpole).
+
+The tracer records **nested spans** — named wall-clock intervals with
+parent/child structure — into a bounded ring.  One process-wide
+singleton (:data:`TRACER`) keeps instrumentation call sites trivial and
+makes the disabled mode a true no-op shim: every hot-path site guards on
+``TRACER.enabled`` (a plain attribute load + branch) before touching any
+span machinery, so tracing that is switched off costs one predicted
+branch per site (priced by the E20 benchmark).
+
+Design points, in the order they matter:
+
+* **Bounded ring** — spans land in a ``deque(maxlen=capacity)``; a
+  long-running fleet can trace forever and keep only the recent past,
+  which is exactly what the flight recorder (:mod:`repro.obs.flight`)
+  wants to dump on a supervisor intervention.
+* **Cross-process parenting** — worker processes run their own module
+  singleton (fresh interpreter ⇒ fresh ring).  The dispatching side
+  passes ``TRACER.current_id()`` across the pipe; the worker adopts it
+  via :meth:`Tracer.adopt` so worker-side spans parent under the
+  dispatch-side scatter span, then ships its drained spans back in the
+  reply for :meth:`Tracer.ingest`.  Span ids embed the pid so ids from
+  different processes can never collide.
+* **Two clocks** — span *placement* uses ``time.time()`` (comparable
+  across processes, needed to line worker spans up under the parent
+  timeline) while span *duration* uses ``time.perf_counter()`` (what
+  the repo's benchmarks trust).  Chrome's trace viewer only needs the
+  start to be roughly aligned; the duration is exact.
+
+The export format is the Chrome trace-event JSON (``chrome://tracing``
+/ Perfetto ``legacy JSON``): one ``ph="X"`` complete event per span,
+with ``span_id`` / ``parent_id`` carried in ``args`` so tests (and
+humans) can reconstruct exact parentage, not just visual nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "TRACER"]
+
+# A finished span, as stored in the ring.  Tuples, not dataclasses: the
+# enabled-mode hot path appends one per span and the flight recorder
+# serialises them wholesale.
+#   (name, pid, span_id, parent_id, ts_us, dur_us, args)
+Span = Tuple[str, int, int, Optional[int], float, float, Dict[str, Any]]
+
+_PID_BITS = 22  # span_id = (seq << _PID_BITS) | (pid & mask); pids fit
+
+
+class _SpanCtx:
+    """Context manager for one open span (cheap: slots, no closures)."""
+
+    __slots__ = ("_tracer", "name", "span_id", "args", "_wall_t0", "_perf_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.args = args
+        self._wall_t0 = 0.0
+        self._perf_t0 = 0.0
+
+    def __enter__(self) -> "_SpanCtx":
+        self._wall_t0 = time.time()
+        self._perf_t0 = time.perf_counter()
+        self._tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_us = (time.perf_counter() - self._perf_t0) * 1e6
+        tracer = self._tracer
+        stack = tracer._stack
+        # tolerate a reset() between enter and exit (tests, flight dumps)
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        parent = stack[-1] if stack else tracer._adopted_parent
+        tracer._ring.append((
+            self.name, tracer._pid, self.span_id, parent,
+            self._wall_t0 * 1e6, dur_us, self.args,
+        ))
+
+
+class _NullCtx:
+    """Shared do-nothing context returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullCtx":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CTX = _NullCtx()
+
+
+class Tracer:
+    """Bounded-ring span tracer with cross-process id propagation."""
+
+    def __init__(self, capacity: int = 65536):
+        self.enabled = False
+        self._capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self._capacity)
+        self._stack: List[int] = []
+        self._seq = 0
+        self._pid = os.getpid()
+        self._adopted_parent: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and int(capacity) != self._capacity:
+            self._capacity = int(capacity)
+            self._ring = deque(self._ring, maxlen=self._capacity)
+        self._pid = os.getpid()  # re-check: may be enabled post-fork
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self._stack.clear()
+        self._adopted_parent = None
+
+    def adopt(self, parent_id: Optional[int]) -> None:
+        """Parent subsequent top-level spans under a remote span id."""
+        self._adopted_parent = parent_id
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, **args: Any):
+        if not self.enabled:
+            return _NULL_CTX
+        self._seq += 1
+        span_id = (self._seq << _PID_BITS) | (self._pid & ((1 << _PID_BITS) - 1))
+        return _SpanCtx(self, name, span_id, args)
+
+    def current_id(self) -> Optional[int]:
+        """Id of the innermost open span (for cross-process propagation)."""
+        return self._stack[-1] if self._stack else self._adopted_parent
+
+    # -- collection ------------------------------------------------------
+    def spans(self) -> List[Span]:
+        return list(self._ring)
+
+    def drain(self) -> List[Span]:
+        out = list(self._ring)
+        self._ring.clear()
+        return out
+
+    def ingest(self, spans: List[Span]) -> None:
+        """Merge spans drained from another process into this ring."""
+        self._ring.extend(tuple(s) for s in spans)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- export ----------------------------------------------------------
+    def export_chrome(self, spans: Optional[List[Span]] = None) -> Dict[str, Any]:
+        """Chrome trace-event JSON (``{"traceEvents": [...]}``).
+
+        Each span becomes one ``ph="X"`` complete event; ``span_id`` and
+        ``parent_id`` ride in ``args`` so parentage survives the export
+        exactly (the viewer nests by time, tools can nest by id).
+        """
+        events: List[Dict[str, Any]] = []
+        main_pid = self._pid
+        for name, pid, span_id, parent_id, ts_us, dur_us, args in (
+                self.spans() if spans is None else spans):
+            ev_args: Dict[str, Any] = {"span_id": span_id}
+            if parent_id is not None:
+                ev_args["parent_id"] = parent_id
+            if args:
+                ev_args.update(args)
+            events.append({
+                "name": name, "ph": "X", "pid": pid, "tid": pid,
+                "ts": ts_us, "dur": max(dur_us, 0.01), "cat": "repro",
+                "args": ev_args,
+            })
+        events.sort(key=lambda e: e["ts"])
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs", "main_pid": main_pid},
+        }
+
+    def export_chrome_json(self, spans: Optional[List[Span]] = None) -> str:
+        return json.dumps(self.export_chrome(spans), indent=None)
+
+
+#: Process-wide tracer.  Hot call sites MUST guard: ``if TRACER.enabled:``.
+TRACER = Tracer()

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import TRACER
 from repro.query.cache import QueryCache
 from repro.query.kernels import (
     PARTIAL_AGGS,
@@ -218,6 +219,12 @@ class QueryEngine:
         """
         if isinstance(q, str):
             q = self.parse(q)
+        if TRACER.enabled:
+            with TRACER.span("engine.query", metric=q.metric, agg=q.agg):
+                return self._query(q, at)
+        return self._query(q, at)
+
+    def _query(self, q: MetricQuery, at: float) -> QueryResult:
         self.queries_total += 1
         expr = self._expr_cache.get(q)
         if expr is None:
@@ -238,7 +245,11 @@ class QueryEngine:
             hit = self.cache.get(cache_key)
             if hit is not None:
                 return dataclasses.replace(hit, source="cache")
-        result = self._execute(q, at)
+        if TRACER.enabled:
+            with TRACER.span("engine.execute"):
+                result = self._execute(q, at)
+        else:
+            result = self._execute(q, at)
         if self.cache is not None:
             self.cache.put(cache_key, result)
         return result

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.obs.trace import TRACER
 from repro.query.engine import QueryResult
 from repro.query.model import MetricQuery
 
@@ -56,6 +57,13 @@ def narrow_result(q: MetricQuery, wide: QueryResult) -> QueryResult:
     Output series whose group labels satisfy every matcher are kept
     verbatim (same frozen arrays — no copy); the rest are dropped.
     """
+    if TRACER.enabled:
+        with TRACER.span("fuse.narrow", metric=q.metric):
+            return _narrow(q, wide)
+    return _narrow(q, wide)
+
+
+def _narrow(q: MetricQuery, wide: QueryResult) -> QueryResult:
     kept = []
     for series in wide.series:
         labels = dict(series.labels)

@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import TRACER
 from repro.query.engine import GroupLabels, QueryEngine, QueryResult, ResultSeries, _freeze
 from repro.query.kernels import PARTIAL_AGGS
 from repro.query.model import MetricQuery
@@ -790,6 +791,12 @@ class StandingQueryEngine:
         """Serve ``q`` from standing state, or ``None`` for batch fallback."""
         if q not in self.shapes:
             return None
+        if TRACER.enabled:
+            with TRACER.span("standing.read", metric=q.metric):
+                return self._query(q, at=at)
+        return self._query(q, at=at)
+
+    def _query(self, q: MetricQuery, *, at: float) -> Optional[QueryResult]:
         version = (
             at,
             self.store.metric_epoch(q.metric),

@@ -52,6 +52,7 @@ from repro.query.engine import (
     instant_tier_partials,
     instant_tier_rate,
 )
+from repro.obs.trace import TRACER
 from repro.query.kernels import PARTIAL_AGGS, counter_increase, grouped_aggregate
 from repro.query.model import MetricQuery
 from repro.query.rollup import RollupManager, select_tier_index
@@ -480,16 +481,17 @@ class FederatedStandingProvider:
         for s, (s_keys, s_gidxs, s_ranks) in enumerate(work):
             if not s_keys:
                 continue
-            ent = self.shard_providers[s].entries(
-                metric,
-                step,
-                s_keys,
-                np.asarray(s_gidxs, dtype=np.int64),
-                np.asarray(s_ranks, dtype=np.int64),
-                b0,
-                b1,
-                want_rate=want_rate,
-            )
+            with TRACER.span("standing.shard", shard=s, items=len(s_keys)):
+                ent = self.shard_providers[s].entries(
+                    metric,
+                    step,
+                    s_keys,
+                    np.asarray(s_gidxs, dtype=np.int64),
+                    np.asarray(s_ranks, dtype=np.int64),
+                    b0,
+                    b1,
+                    want_rate=want_rate,
+                )
             if ent is None:
                 return None
             chunks.append(ent)
@@ -660,7 +662,24 @@ class FederatedQueryEngine(QueryEngine):
 
     # ----------------------------------------------------- scatter dispatch
     def _scatter(self, kind: str, work: List[ShardWork], params: Dict) -> List:
-        """Run one scatter pass over every touched shard, serially
+        """Run one scatter pass over every touched shard.
+
+        Always exactly one ``federated.scatter`` span per pass (when
+        tracing), with per-shard ``scatter.shard`` children — the
+        process-parallel engine overrides :meth:`_scatter_impl`, not
+        this wrapper, so a serial pass, a pool dispatch, and a
+        worker-death fallback all produce the same span tree shape.
+        """
+        if TRACER.enabled:
+            with TRACER.span(
+                "federated.scatter", kind=kind,
+                fanout=sum(1 for wl in work if wl[0]),
+            ):
+                return self._scatter_impl(kind, work, params)
+        return self._scatter_impl(kind, work, params)
+
+    def _scatter_impl(self, kind: str, work: List[ShardWork], params: Dict) -> List:
+        """One scatter pass over every touched shard, serially
         in-process.  The process-parallel engine overrides exactly this
         method to dispatch the same passes (same functions, sid-addressed
         readers) to its worker pool — plan and gather stay identical.
@@ -668,6 +687,7 @@ class FederatedQueryEngine(QueryEngine):
         fn = SCATTER_FNS[kind]
         tier_idx = params.get("tier_idx")
         group_sizes = params.get("group_sizes")
+        traced = TRACER.enabled
         out: List = [None] * len(work)
         for s, wl in enumerate(work):
             items, gidxs, ranks = wl
@@ -679,7 +699,11 @@ class FederatedQueryEngine(QueryEngine):
             singleton = (
                 [group_sizes[g] == 1 for g in gidxs] if group_sizes is not None else None
             )
-            out[s] = fn(reader, items, gidxs, ranks, singleton, params)
+            if traced:
+                with TRACER.span("scatter.shard", shard=s, items=len(items)):
+                    out[s] = fn(reader, items, gidxs, ranks, singleton, params)
+            else:
+                out[s] = fn(reader, items, gidxs, ranks, singleton, params)
         return out
 
     def _tier_index(self, step: Optional[float], agg: str) -> Optional[int]:

@@ -52,6 +52,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import TRACER
 from repro.query.engine import instant_tier_partials, instant_tier_rate
 from repro.query.rollup import (
     ROW_COLUMNS,
@@ -936,19 +937,40 @@ class _WorkerShard:
         raise ValueError(f"unknown task kind {kind!r}")
 
 
+#: worker-side span name per task kind — mirrors the serial engine's
+#: in-process span names so serial and parallel traces share one shape
+_TASK_SPANS = {
+    "scatter": "scatter.shard",
+    "standing": "standing.shard",
+    "append": "ingest.shard",
+    "fold": "fold.shard",
+}
+
+
 def _worker_main(conn, worker_idx: int, prefix: str, shared_tracker: bool) -> None:
     """Worker process entry: attach-on-demand mirrors + task loop.
 
-    One message per dispatch batch: ``[(shard, events, kind, payload),
-    ...]`` in, ``("ok", scratch_blocks, persist_blocks, replies)`` out.
+    One message per dispatch batch: ``(trace_parent,
+    [(shard, events, kind, payload), ...])`` in,
+    ``("ok", scratch_blocks, persist_blocks, replies, spans)`` out.
     Large reply arrays travel through a per-batch scratch arena whose
     blocks the parent unlinks after copying; tier rings live in this
     worker's persistent arena, whose block names ride along in replies
     so the parent can unlink them at pool close.
+
+    ``trace_parent`` is the dispatching side's innermost open span id
+    (or ``None`` when tracing is off): the worker adopts it as the
+    parent of its per-task spans and ships the drained spans back in
+    the reply, so worker-side work parents correctly under the parent
+    process's scatter/append span.
     """
     global _UNREGISTER_ON_ATTACH
     if shared_tracker:  # fork: one tracker for the whole pool
         _UNREGISTER_ON_ATTACH = False
+    # a fork-started worker inherits the parent's tracer state (ring,
+    # stack, pid) — drop it; tracing re-arms per batch from trace_parent
+    TRACER.enabled = False
+    TRACER.reset()
     cache = _BlockCache()
     arena = SharedArena(f"{prefix}.w{worker_idx}", untrack=True)
     shards: Dict[int, _WorkerShard] = {}
@@ -963,6 +985,13 @@ def _worker_main(conn, worker_idx: int, prefix: str, shared_tracker: bool) -> No
             break
         if msg == "__crash__":
             os._exit(1)
+        trace_parent, batch = msg
+        if trace_parent is not None:
+            TRACER.enable()
+            TRACER.reset()
+            TRACER.adopt(trace_parent)
+        else:
+            TRACER.enabled = False
         for shm in old_scratch:
             try:
                 shm.close()
@@ -982,18 +1011,25 @@ def _worker_main(conn, worker_idx: int, prefix: str, shared_tracker: bool) -> No
 
         try:
             replies = []
-            for shard_idx, events, kind, payload in msg:
+            for shard_idx, events, kind, payload in batch:
                 state = shards.get(shard_idx)
                 if state is None:
                     state = shards[shard_idx] = _WorkerShard(cache, arena)
                 for ev in events:
                     state.apply_event(ev)
-                data = state.run(kind, payload)
+                if TRACER.enabled:
+                    with TRACER.span(
+                        _TASK_SPANS.get(kind, "task.shard"), shard=shard_idx
+                    ):
+                        data = state.run(kind, payload)
+                else:
+                    data = state.run(kind, payload)
                 replies.append(_pack({"trings": state.take_trings(), "data": data}, alloc))
             scratch_names = scratch[0].block_names if scratch else []
             if scratch:
                 old_scratch = [shm for _, shm in scratch[0]._blocks]
-            conn.send(("ok", scratch_names, arena.drain_new_names(), replies))
+            spans = TRACER.drain() if TRACER.enabled else []
+            conn.send(("ok", scratch_names, arena.drain_new_names(), replies, spans))
         except Exception:
             conn.send(("err", traceback.format_exc()))
     try:
@@ -1125,11 +1161,18 @@ class ShardWorkerPool:
     def dispatch(self, tasks: List[Tuple[int, str, Dict]]) -> List:
         """Run ``(shard, kind, payload)`` tasks; one batched send+recv per
         worker.  Returns per-task results in order; tasks owned by a dead
-        worker yield :data:`WORKER_DIED` (and the pool turns broken)."""
+        worker yield :data:`WORKER_DIED` (and the pool turns broken).
+
+        When tracing is enabled the dispatching span's id rides along in
+        each batch message and every worker's per-task spans come back
+        in its reply — dispatch ingests them into the parent ring, so a
+        cross-process scatter traces exactly like a serial one.
+        """
         if not self.active:
             raise RuntimeError("pool is not active")
         self.dispatches += 1
         self.tasks_sent += len(tasks)
+        trace_parent = TRACER.current_id() if TRACER.enabled else None
         per_worker: Dict[int, List[Tuple[int, int]]] = {}
         messages: Dict[int, List] = {}
         for pos, (shard, kind, payload) in enumerate(tasks):
@@ -1141,7 +1184,7 @@ class ShardWorkerPool:
             messages.setdefault(w, []).append((shard, events, kind, payload))
         for w, msg in messages.items():
             try:
-                self._conns[w].send(msg)
+                self._conns[w].send((trace_parent, msg))
             except (BrokenPipeError, OSError):
                 pass  # surfaces as a dead recv below
         results: List = [WORKER_DIED] * len(tasks)
@@ -1154,8 +1197,10 @@ class ShardWorkerPool:
             if status == "err":
                 self.broken = True
                 raise RuntimeError(f"shard worker {w} task failed:\n{reply[1]}")
-            _, scratch_names, persist_names, replies = reply
+            _, scratch_names, persist_names, replies, spans = reply
             self._worker_blocks.extend(persist_names)
+            if spans:
+                TRACER.ingest(spans)
             scratch = _BlockCache()
             try:
                 for (pos, _shard), enc in zip(per_worker[w], replies):
@@ -1614,6 +1659,13 @@ class ParallelShardedStore(ShardedTimeSeriesStore):
 
     # -------------------------------------------------------------- writing
     def append_batch(self, series_ids, times, values) -> None:
+        if TRACER.enabled:
+            with TRACER.span("store.append", samples=len(series_ids)):
+                self._append_batch_impl(series_ids, times, values)
+        else:
+            self._append_batch_impl(series_ids, times, values)
+
+    def _append_batch_impl(self, series_ids, times, values) -> None:
         if not self.pool.active:
             self.serial_appends += 1
             super().append_batch(series_ids, times, values)
@@ -1773,11 +1825,14 @@ class ParallelFederatedQueryEngine(FederatedQueryEngine):
         self._sid_plans[id(work)] = (work, sid_work, singleton)
         return sid_work, singleton
 
-    def _scatter(self, kind: str, work: List[ShardWork], params: Dict) -> List:
+    def _scatter_impl(self, kind: str, work: List[ShardWork], params: Dict) -> List:
+        # overrides the base class's dispatch seam *under* its
+        # ``federated.scatter`` span wrapper: pool dispatch, serial
+        # fallback, and the in-process path all trace identically
         pool = self.store.pool
         if not pool.active:
             self.serial_fallbacks += 1
-            return super()._scatter(kind, work, params)
+            return super()._scatter_impl(kind, work, params)
         group_sizes = params.get("group_sizes")
         sid_work, singleton = self._sid_work(work, group_sizes)
         wire_params = {k: v for k, v in params.items() if k != "group_sizes"}
@@ -1811,7 +1866,7 @@ class ParallelFederatedQueryEngine(FederatedQueryEngine):
                 # pool is broken now; recompute the whole pass serially —
                 # reads are idempotent and parent state is authoritative
                 self.serial_fallbacks += 1
-                return super()._scatter(kind, work, params)
+                return super()._scatter_impl(kind, work, params)
             out[s] = data
         self.parallel_scatters += 1
         return out

@@ -1,0 +1,163 @@
+"""Flight recorder: windowed dumps, audit attachment on interventions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.audit import AuditTrail
+from repro.core.runtime import LoopRuntime, LoopSpec, MonitorQuery, RuntimeConfig
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.trace import TRACER, Tracer
+from repro.sim import Engine
+from repro.telemetry.metric import SeriesKey
+from repro.telemetry.tsdb import TimeSeriesStore
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+class TestRecorder:
+    def test_dump_returns_none_when_tracing_off(self):
+        rec = FlightRecorder(Tracer())
+        assert rec.dump("restart_loop", loop="a") is None
+        assert rec.dumps() == []
+
+    def test_dump_snapshots_recent_spans_with_context(self):
+        t = Tracer()
+        t.enable()
+        with t.span("loop.cycle", loop="a"):
+            pass
+        rec = FlightRecorder(t, window_s=30.0)
+        dump_id = rec.dump("quarantine_loop", loop="a", by="supervisor")
+        assert dump_id == "flight-0001"
+        d = rec.get(dump_id)
+        assert d["reason"] == "quarantine_loop"
+        assert d["context"] == {"loop": "a", "by": "supervisor"}
+        assert d["n_spans"] == 1
+        assert rec.spans_of(dump_id)[0][0] == "loop.cycle"
+
+    def test_window_excludes_old_spans(self):
+        t = Tracer()
+        t.enable()
+        with t.span("recent"):
+            pass
+        # an artificially ancient span (ended an hour ago)
+        t.ingest([("old", 1, 1, None, 0.0, 1.0, {})])
+        rec = FlightRecorder(t, window_s=30.0)
+        names = [s[0] for s in rec.spans_of(rec.dump("restart_loop"))]
+        assert names == ["recent"]
+
+    def test_dumps_are_bounded(self):
+        t = Tracer()
+        t.enable()
+        rec = FlightRecorder(t, max_dumps=3)
+        ids = [rec.dump("restart_loop") for _ in range(5)]
+        kept = [d["id"] for d in rec.dumps()]
+        assert kept == ids[2:]
+        assert rec.get(ids[0]) is None
+
+    def test_export_json_is_chrome_trace(self):
+        t = Tracer()
+        t.enable()
+        with t.span("loop.decide"):
+            pass
+        rec = FlightRecorder(t)
+        dump_id = rec.dump("restart_loop", loop="a")
+        doc = json.loads(rec.export_json(dump_id))
+        assert doc["otherData"]["reason"] == "restart_loop"
+        assert doc["otherData"]["dump_id"] == dump_id
+        assert [e["name"] for e in doc["traceEvents"]] == ["loop.decide"]
+        assert rec.export_json("flight-9999") is None
+
+
+def _spec(name):
+    from repro.core.component import Analyzer, Executor, Planner
+    from repro.core.types import AnalysisReport, ExecutionResult, Observation, Plan
+
+    class A(Analyzer):
+        name = "a"
+
+        def analyze(self, observation, knowledge):
+            return AnalysisReport(observation.time, self.name)
+
+    class P(Planner):
+        name = "p"
+
+        def plan(self, report, knowledge):
+            return Plan(report.time, self.name, ())
+
+    class E(Executor):
+        name = "e"
+
+        def execute(self, plan, knowledge):
+            return [ExecutionResult(a, plan.time, honored=True) for a in plan.actions]
+
+    def build(now, inputs):
+        return Observation(now, name, values={"v": 1.0})
+
+    return LoopSpec(
+        name=name,
+        queries=(MonitorQuery("u", 'mean(util{node="n0"}[300s])'),),
+        build_observation=build,
+        analyzer_factory=A,
+        planner_factory=P,
+        executor_factory=E,
+        period_s=30.0,
+    )
+
+
+class TestInterventionAttachment:
+    def _runtime(self, audit):
+        engine = Engine()
+        store = TimeSeriesStore()
+        times = np.arange(0.0, 2000.0, 10.0)
+        store.insert_batch(SeriesKey.of("util", node="n0"), times,
+                           np.full(times.size, 0.5))
+        runtime = LoopRuntime(engine, store, audit=audit,
+                              config=RuntimeConfig())
+        runtime.add(_spec("watch-a"), start=True)
+        return engine, runtime
+
+    def test_quarantine_attaches_flight_dump_to_audit(self):
+        audit = AuditTrail()
+        engine, runtime = self._runtime(audit)
+        TRACER.enable()
+        TRACER.reset()
+        engine.run(until=120.0)  # a few traced cycles land in the ring
+        runtime.quarantine("watch-a", by="meta-loop", reason="vetoed")
+        events = audit.flight_dumps()
+        assert len(events) == 1
+        dump_id = events[0].data["flight_dump"]
+        dump = FLIGHT.get(dump_id)
+        assert dump is not None
+        assert dump["reason"] == "quarantine_loop"
+        assert dump["context"]["loop"] == "watch-a"
+        # the dump carries the causal trace: the loop's own cycles
+        assert any(s[0] == "loop.cycle" for s in dump["spans"])
+        assert audit.stats()["events"] >= 1
+
+    def test_restart_attaches_flight_dump_to_audit(self):
+        audit = AuditTrail()
+        engine, runtime = self._runtime(audit)
+        TRACER.enable()
+        TRACER.reset()
+        engine.run(until=120.0)
+        runtime.restart("watch-a", by="meta-loop", reason="stale")
+        events = audit.flight_dumps()
+        assert len(events) == 1
+        assert FLIGHT.get(events[0].data["flight_dump"])["reason"] == "restart_loop"
+
+    def test_untraced_intervention_audits_without_flight_dump(self):
+        audit = AuditTrail()
+        engine, runtime = self._runtime(audit)
+        engine.run(until=120.0)
+        runtime.quarantine("watch-a")
+        assert audit.flight_dumps() == []
+        assert any(e.data.get("op") == "quarantine" for e in audit.events)

@@ -1,0 +1,120 @@
+"""Span-tree parity: serial, pool-dispatched, and crash-fallback scatter
+passes must produce the same span tree shape (names + parentage) for an
+identical federated query — the guarantee that a trace reads the same
+whether the fleet ran ``--parallel`` or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import TRACER
+from repro.query import MetricQuery
+from repro.shard import (
+    FederatedQueryEngine,
+    ParallelFederatedQueryEngine,
+    ShardedTimeSeriesStore,
+)
+from tests.shard.test_parallel import fill_serial, parallel_store, series_data
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+QUERY = MetricQuery("m", agg="mean", range_s=400.0, step_s=60.0, group_by=("node",))
+
+
+def tree_shape(spans):
+    """Every span as its root-to-leaf name path, sorted — parentage and
+    multiplicity, independent of ids, pids, and timing."""
+    by_id = {s[2]: s for s in spans}
+
+    def path(s):
+        names = [s[0]]
+        parent = s[3]
+        while parent is not None and parent in by_id:
+            parent_span = by_id[parent]
+            names.append(parent_span[0])
+            parent = parent_span[3]
+        return tuple(reversed(names))
+
+    return sorted(path(s) for s in spans)
+
+
+def traced_query(engine, at=950.0):
+    TRACER.enable()
+    TRACER.reset()
+    result = engine.query(QUERY, at=at)
+    spans = TRACER.drain()
+    TRACER.disable()
+    return result, spans
+
+
+def test_serial_and_parallel_produce_identical_span_trees():
+    data = series_data(11)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=4, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    ser = FederatedQueryEngine(serial_sharded, enable_cache=False)
+    _, serial_spans = traced_query(ser)
+    serial_shape = tree_shape(serial_spans)
+
+    # the serial trace has the full hierarchy: query -> execute ->
+    # scatter -> per-shard leaves
+    assert ("engine.query",) in serial_shape
+    assert ("engine.query", "engine.execute", "federated.scatter",
+            "scatter.shard") in serial_shape
+
+    with parallel_store(data, 4, 2) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        _, parallel_spans = traced_query(par)
+        assert par.serial_fallbacks == 0  # genuinely pool-dispatched
+    assert tree_shape(parallel_spans) == serial_shape
+
+    # the shard leaves really crossed a process boundary
+    import os
+    worker_pids = {s[1] for s in parallel_spans if s[0] == "scatter.shard"}
+    assert worker_pids and os.getpid() not in worker_pids
+
+
+def test_worker_crash_fallback_keeps_the_same_span_tree():
+    data = series_data(23)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=3, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    ser = FederatedQueryEngine(serial_sharded, enable_cache=False)
+    _, serial_spans = traced_query(ser)
+
+    # workers=1, no respawn: the injected crash forces the WORKER_DIED
+    # serial fallback inside the already-open federated.scatter span
+    with parallel_store(data, 3, 1, respawn=False) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        store.pool.inject_crash(0)
+        result, fallback_spans = traced_query(par)
+        assert par.serial_fallbacks > 0
+    assert tree_shape(fallback_spans) == tree_shape(serial_spans)
+    # the fallback ran in-process — every span from this pid
+    import os
+    assert {s[1] for s in fallback_spans} == {os.getpid()}
+    # and still answered correctly
+    want = ser.query(QUERY, at=950.0)
+    assert len(result.series) == len(want.series)
+    for a, b in zip(result.series, want.series):
+        assert a.labels == b.labels
+        assert np.array_equal(a.values, b.values)
+
+
+def test_disabled_tracing_records_nothing_on_either_engine():
+    data = series_data(5)
+    serial_sharded = ShardedTimeSeriesStore(n_shards=2, default_capacity=4096)
+    fill_serial(serial_sharded, data)
+    ser = FederatedQueryEngine(serial_sharded, enable_cache=False)
+    ser.query(QUERY, at=950.0)
+    assert len(TRACER) == 0
+    with parallel_store(data, 2, 1) as store:
+        par = ParallelFederatedQueryEngine(store, enable_cache=False)
+        par.query(QUERY, at=950.0)
+    assert len(TRACER) == 0

@@ -1,0 +1,152 @@
+"""Span tracer unit behaviour: nesting, ring bound, cross-process ids."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TRACER, Tracer, _NullCtx
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+def span_names(tracer):
+    return [s[0] for s in tracer.spans()]
+
+
+class TestRecording:
+    def test_disabled_tracer_records_nothing_and_returns_null_ctx(self):
+        t = Tracer()
+        ctx = t.span("x")
+        assert isinstance(ctx, _NullCtx)
+        with ctx:
+            pass
+        assert len(t) == 0
+        # the null context is shared — no allocation per disabled call
+        assert t.span("y") is ctx
+
+    def test_nesting_establishes_parentage(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("sibling"):
+                pass
+        spans = {s[0]: s for s in t.spans()}
+        assert spans["outer"][3] is None
+        assert spans["inner"][3] == spans["outer"][2]
+        assert spans["sibling"][3] == spans["outer"][2]
+        # children closed (and landed in the ring) before the parent
+        assert span_names(t) == ["inner", "sibling", "outer"]
+
+    def test_span_ids_unique_and_embed_pid(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(10):
+            with t.span("a"):
+                pass
+        ids = [s[2] for s in t.spans()]
+        assert len(set(ids)) == 10
+        import os
+        for sid in ids:
+            assert sid & ((1 << 22) - 1) == os.getpid() & ((1 << 22) - 1)
+
+    def test_args_ride_on_the_span(self):
+        t = Tracer()
+        t.enable()
+        with t.span("q", metric="cpu", shard=3):
+            pass
+        assert t.spans()[0][6] == {"metric": "cpu", "shard": 3}
+
+    def test_ring_is_bounded(self):
+        t = Tracer(capacity=8)
+        t.enable()
+        for i in range(20):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t) == 8
+        assert span_names(t) == [f"s{i}" for i in range(12, 20)]
+
+    def test_reset_mid_span_does_not_crash(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            t.reset()
+        assert span_names(t) == ["outer"]
+        assert t.spans()[0][3] is None
+
+
+class TestCrossProcess:
+    def test_adopt_parents_top_level_spans(self):
+        t = Tracer()
+        t.enable()
+        t.adopt(12345)
+        with t.span("worker-task"):
+            pass
+        assert t.spans()[0][3] == 12345
+        assert t.current_id() == 12345  # adopted id exposed between spans
+
+    def test_drain_then_ingest_round_trip(self):
+        worker = Tracer()
+        worker.enable()
+        with worker.span("remote"):
+            pass
+        shipped = worker.drain()
+        assert len(worker) == 0
+
+        parent = Tracer()
+        parent.enable()
+        parent.ingest(shipped)
+        assert span_names(parent) == ["remote"]
+
+    def test_current_id_reflects_innermost_open_span(self):
+        t = Tracer()
+        t.enable()
+        assert t.current_id() is None
+        with t.span("a") as a:
+            assert t.current_id() == a.span_id
+            with t.span("b") as b:
+                assert t.current_id() == b.span_id
+            assert t.current_id() == a.span_id
+
+
+class TestChromeExport:
+    def test_export_is_valid_chrome_trace_json(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer", loop="l1"):
+            with t.span("inner"):
+                pass
+        doc = json.loads(t.export_chrome_json())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]  # ts-sorted
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["dur"] > 0
+            assert "span_id" in e["args"]
+        outer, inner = events
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["loop"] == "l1"
+        assert "parent_id" not in outer["args"]
+
+    def test_enable_can_grow_capacity(self):
+        t = Tracer(capacity=4)
+        t.enable()
+        for i in range(6):
+            with t.span(f"s{i}"):
+                pass
+        t.enable(capacity=16)  # re-enable with a bigger ring keeps spans
+        assert span_names(t) == ["s2", "s3", "s4", "s5"]
+        for i in range(6, 12):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t) == 10

@@ -24,7 +24,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 20)]
+    assert ids == [f"E{i}" for i in range(1, 21)]
 
 
 def test_loops_command(capsys):
@@ -94,11 +94,13 @@ def test_query_command_sharded_with_stats(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "source=standing" in out  # eligible shape served from standing state
-    assert "federation: shards=4" in out
-    assert "cache: hits=" in out
-    assert "fanout_mean=" in out
-    assert "standing: shapes=1" in out
-    assert "scan_fallbacks=0" in out
+    assert "federation.shards = 4" in out
+    assert "cache.hits = " in out
+    assert "federation.fanout_mean = " in out
+    assert "standing.registered_shapes = 1" in out
+    assert "standing.scan_fallbacks = 0" in out
+    # legacy flat names survive as aliases next to the canonical ones
+    assert "[cache_hits]" in out
 
 
 def test_query_command_stats_unsharded(capsys):
@@ -107,8 +109,8 @@ def test_query_command_stats_unsharded(capsys):
         "--nodes", "4", "--horizon", "600", "--stats",
     ]) == 0
     out = capsys.readouterr().out
-    assert "cache: hits=" in out
-    assert "federation:" not in out  # no federation counters on one store
+    assert "cache.hits = " in out
+    assert "federation." not in out  # no federation counters on one store
 
 
 def test_supervise_command(capsys):
@@ -164,6 +166,21 @@ def test_bench_shard_smoke_command(tmp_path, capsys):
     assert rows["query"]["n_shards"] == 4.0
 
 
+def test_bench_obs_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_obs.json"
+    assert main(["bench-obs", "--smoke", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ingest: disabled" in out
+    assert "spans recorded" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["standing"]["match"] == 1.0  # spans never perturb results
+    assert rows["standing"]["spans_recorded"] > 0
+    assert rows["ingest"]["commits"] > 0
+    assert rows["git_sha"] and rows["generated_at"]
+
+
 def test_query_command_parallel_with_stats(capsys):
     assert main([
         "query", "mean(node_cpu_util[600s] by 60s) group by (node)",
@@ -171,9 +188,9 @@ def test_query_command_parallel_with_stats(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "source=standing" in out  # eligible shape served from standing state
-    assert "federation: shards=4" in out
-    assert "parallel: workers=2" in out
-    assert "standing: shapes=1" in out
+    assert "federation.shards = 4" in out
+    assert "pool.workers = 2" in out
+    assert "standing.registered_shapes = 1" in out
 
 
 def test_bench_shard_parallel_smoke_command(tmp_path, capsys):
