@@ -1,0 +1,65 @@
+"""E21 — multi-tenant serving front door (§IV).
+
+PR 10 puts admission control (token-bucket quotas, bounded queues,
+in-flight caps), a degrade ladder, and priority shedding between
+external callers and the query engines, behind the public
+``repro.api.Client``.  The benchmark drives sustained mixed traffic
+(closed-loop tenant drivers + a concurrent ingest pump sharing the
+serving write gate) and gates what must hold on any host:
+
+* **exactness** — answers served for a tenant that forbids degradation
+  are bit-identical to direct engine execution;
+* **accounting** — per-tenant conservation: every submitted request
+  lands in exactly one of admitted/rejected/shed, and every admitted
+  one in served/expired/errored;
+* **quota enforcement** — a greedy flood's excess bounces off its
+  token bucket.
+
+The wall-clock gates (aggregate QPS in the thousands, served p99 below
+the request deadline, quiet-tenant p99 inflation ≤2x under a greedy
+flood) need an unloaded multicore host and are skipped elsewhere.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.serve_exp import (
+    run_quota_isolation_benchmark,
+    run_serve_load_benchmark,
+)
+
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+LOAD_KW = dict(seed=0, n_nodes=32, duration_s=1.5, n_drivers=4)
+ISO_KW = dict(seed=0, n_nodes=32, duration_s=1.0, greedy_drivers=4)
+
+
+def test_serve_mixed_load(benchmark):
+    row = run_once(benchmark, run_serve_load_benchmark, **LOAD_KW)
+    print()
+    print(render_table([row], title="E21 — sustained mixed multi-tenant serving"))
+    assert row["submitted"] > 0
+    assert row["served"] > 0
+    assert row["errors"] == 0
+    assert row["match"] == 1.0  # non-degraded answers are engine-exact
+    assert row["accounting_ok"] == 1.0  # every request in exactly one bin
+    if not MULTICORE:
+        pytest.skip("QPS/p99 gates need an unloaded multicore host")
+    assert row["qps"] >= 2000.0
+    assert row["p99_ms"] <= row["deadline_ms"]
+
+
+def test_serve_quota_isolation(benchmark):
+    row = run_once(benchmark, run_quota_isolation_benchmark, **ISO_KW)
+    print()
+    print(render_table([row], title="E21b — quota isolation under a greedy flood"))
+    assert row["quiet_served"] > 0
+    assert row["greedy_served"] > 0
+    assert row["accounting_ok"] == 1.0
+    if not MULTICORE:
+        pytest.skip("isolation gate needs an unloaded multicore host")
+    assert row["isolation_ok"] == 1.0  # quiet p99 within 2x of its solo run
+    assert row["greedy_rejected"] > 0  # the token bucket actually throttled

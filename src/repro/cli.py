@@ -5,14 +5,20 @@
 * ``experiments [--quick] [--seeds ...]`` — regenerate every experiment
   table (the EXPERIMENTS.md content).
 * ``list`` — enumerate experiments with their paper anchors.
-* ``query "<expr>"`` — run a short simulated shift and evaluate a metric
+* ``query "<expr>"`` — run a short simulated shift and serve a metric
   query expression (e.g. ``mean(node_cpu_util[600s] by 60s)``) through
-  the vectorized query engine with tiered rollups.  ``--shards N``
-  partitions the telemetry store and serves the query through the
-  federated scatter-gather engine; ``--parallel W`` additionally backs
-  the shards with shared-memory columns and executes the per-shard
-  scatter/append/fold passes on W worker processes; ``--stats`` prints
-  cache, federation, and worker-pool counters.
+  the multi-tenant front door over the vectorized query engine with
+  tiered rollups.  ``--shards N`` partitions the telemetry store and
+  serves the query through the federated scatter-gather engine;
+  ``--parallel W`` additionally backs the shards with shared-memory
+  columns and executes the per-shard scatter/append/fold passes on W
+  worker processes.  ``query``, ``serve``, and ``bench-serve`` share
+  one serving flag group: ``--tenant`` / ``--qps`` / ``--deadline-ms``
+  / ``--stats`` (the unified metrics registry, ``serve.*`` included).
+* ``serve`` — run a sustained multi-tenant serving demo: driver threads
+  for an interactive, a batch, and a best-effort tenant hammer the
+  front door while ingest keeps committing under the write gate; prints
+  the per-tenant admission/degrade/shed/p99 table.
 * ``loops`` — run a watch-loop fleet on the unified runtime over a
   simulated shift and print per-loop stats, fused-query serving
   counters, and the loops' own self-telemetry queried back out.
@@ -52,6 +58,11 @@
   E19 standing-serving paths, priced ≤2% / ≤5%), optionally writing a
   JSON artifact; ``--smoke`` runs a small exactness-only configuration
   for CI.
+* ``bench-serve`` — run the E21 multi-tenant serving benchmark
+  (sustained mixed load with admission/degrade/shed accounting and
+  exactness gates, plus quota isolation of a quiet tenant under a
+  greedy flood), optionally writing a JSON artifact; ``--smoke`` runs a
+  small exactness-and-accounting-only configuration for CI.
 * ``bench-diff OLD NEW`` — compare two benchmark JSON artifacts
   (typically merged ``BENCH_all.json`` files from two runs) and report
   throughput metrics (``*_per_s``, ``*speedup*``) that regressed beyond
@@ -94,6 +105,7 @@ EXPERIMENT_INDEX = [
     ("E18", "§IV", "process-parallel shards: shared-memory columns + worker pool"),
     ("E19", "§IV", "standing queries: O(new samples) incremental monitor serving"),
     ("E20", "§IV", "observability: span tracing + metrics priced on the hot paths"),
+    ("E21", "§IV", "serving front door: multi-tenant admission, degrade, shed"),
 ]
 
 
@@ -118,6 +130,43 @@ def cmd_experiments(quick: bool, seeds: List[int]) -> int:
     return 0
 
 
+def _shift_client(
+    *,
+    nodes: int,
+    horizon: float,
+    seed: int,
+    shards: int = 1,
+    parallel: int = 0,
+    tenants=(),
+    rollup_resolutions=(60.0, 600.0),
+):
+    """One served cluster + workload shift — the shared construction every
+    serving command uses (this replaced per-command engine wiring)."""
+    from repro.api import Client, ClusterConfig
+    from repro.sim import Engine, RngRegistry
+    from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+    sim = Engine()
+    client = Client.from_config(
+        ClusterConfig(
+            n_nodes=nodes, telemetry_period_s=10.0, seed=seed,
+            shards=shards, parallel=parallel,
+        ),
+        sim=sim,
+        tenants=tenants,
+        rollup_resolutions=rollup_resolutions,
+    )
+    generator = WorkloadGenerator(
+        sim,
+        client.cluster.scheduler,
+        RngRegistry(seed=seed).stream("workload"),
+        WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
+    )
+    generator.start()
+    client.run(until=horizon)
+    return client
+
+
 def cmd_query(
     expr: str,
     nodes: int,
@@ -126,52 +175,41 @@ def cmd_query(
     shards: int,
     parallel: int,
     show_stats: bool,
+    tenant: str = "default",
+    qps: float = 1000.0,
+    deadline_ms: Optional[float] = None,
 ) -> int:
-    """Simulate a short shift, then serve ``expr`` from the query engine."""
-    from repro.cluster import Cluster, ClusterConfig
-    from repro.query import QueryParseError
-    from repro.shard import FederatedQueryEngine
-    from repro.sim import Engine, RngRegistry
-    from repro.workloads import WorkloadGenerator, WorkloadSpec
+    """Simulate a short shift, then serve ``expr`` through the front door."""
+    from repro.api import TenantSpec
 
-    engine = Engine()
-    with Cluster(
-        engine,
-        ClusterConfig(
-            n_nodes=nodes, telemetry_period_s=10.0, seed=seed,
-            shards=shards, parallel=parallel,
-        ),
-    ) as cluster:
-        generator = WorkloadGenerator(
-            engine,
-            cluster.scheduler,
-            RngRegistry(seed=seed).stream("workload"),
-            WorkloadSpec(n_jobs=max(4, nodes // 2), arrival_rate_per_s=1 / 120.0),
-        )
-        generator.start()
-        qe = cluster.query_engine(rollup_resolutions=(60.0, 600.0))
-        if isinstance(qe, FederatedQueryEngine):
-            qe.attach_rollups(engine)
-        else:
-            qe.rollups.attach(engine)
-        engine.run(until=horizon)
-
-        from repro.query.standing import StandingQueryEngine
-
-        try:
-            parsed = qe.parse(expr)
-        except QueryParseError as exc:
-            print(exc, file=sys.stderr)
+    client = _shift_client(
+        nodes=nodes, horizon=horizon, seed=seed, shards=shards, parallel=parallel,
+        tenants=[TenantSpec(tenant, qps=qps, max_inflight=8, queue_depth=256)],
+    )
+    with client:
+        fd = client.front_door
+        if fd.standing is not None:
+            # a one-shot CLI query never crosses the promotion threshold:
+            # register eligible shapes up front so the invocation
+            # demonstrates the standing serving path (parse errors are
+            # surfaced by the serving path below, not here)
+            try:
+                with fd.write_gate():
+                    fd.standing.register(client.engine.parse(expr))
+            except Exception:
+                pass
+        result = client.query(expr, tenant=tenant, deadline_ms=deadline_ms)
+        if result.status == "error":
+            print(result.reason, file=sys.stderr)
             return 2
-        # eligible shapes demonstrate the standing path: register, serve
-        # from state backfilled off the retained rings, fall back to the
-        # batch engine otherwise
-        standing = StandingQueryEngine(qe)
-        result = standing.query(parsed, at=horizon) if standing.register(parsed) else None
-        if result is None:
-            result = qe.query(parsed, at=horizon)
-        print(f"# {result.query.to_expr()}")
-        print(f"# window=[{result.t0:g}, {result.t1:g}]s source={result.source} "
+        if not result.ok:
+            print(f"{result.status}: {result.reason} (tenant={result.tenant})",
+                  file=sys.stderr)
+            return 2
+        er = result.engine_result
+        print(f"# {er.query.to_expr()}")
+        print(f"# window=[{er.t0:g}, {er.t1:g}]s source={result.source} "
+              f"tenant={result.tenant} latency={result.latency_ms:.2f}ms "
               f"series={len(result.series)}")
         for series in result.series:
             if series.values.size == 1:
@@ -182,24 +220,163 @@ def cmd_query(
             print(f"{series!s:30s} n={series.values.size:4d} [{head}{tail}]")
         if not result.series:
             print("(no matching data — try `mean(node_cpu_util[600s] by 60s)`)")
-        stats = qe.stats()
+        stats = client.engine.stats()
         print(f"# engine: raw={stats['served_raw']:.0f} rollup={stats['served_rollup']:.0f} "
               f"cache_hit_rate={stats.get('cache_hit_rate', 0.0):.0%} "
-              f"store_series={cluster.store.cardinality()}")
+              f"store_series={client.cluster.store.cardinality()}")
         if show_stats:
-            from repro.obs import MetricsRegistry, collect_metrics
+            from repro.obs import MetricsRegistry
 
-            reg = MetricsRegistry()
-            collect_metrics(engine=qe, standing=standing, registry=reg)
+            reg = client.metrics(MetricsRegistry())
             if "parallel_scatters" in stats:
                 reg.record("parallel.appends",
-                           float(cluster.store.parallel_appends),
+                           float(client.cluster.store.parallel_appends),
                            alias="parallel_appends")
             print("# stats:")
             for line in reg.render():
                 print(f"  {line}")
             if "shards" in stats:
-                print(f"  # shard series: {cluster.store.shard_cardinalities()}")
+                print(f"  # shard series: {client.cluster.store.shard_cardinalities()}")
+    return 0
+
+
+def cmd_serve(
+    nodes: int,
+    horizon: float,
+    seed: int,
+    duration: float,
+    drivers: int,
+    tenant: str,
+    qps: float,
+    deadline_ms: Optional[float],
+    show_stats: bool,
+) -> int:
+    """Serve a sustained multi-tenant load; print the admission story."""
+    from repro.api import TenantSpec
+    from repro.experiments.serve_exp import build_client, run_mixed_load
+
+    tenants = [
+        TenantSpec(tenant, qps=qps, max_inflight=8, queue_depth=256, priority=2),
+        TenantSpec("batch", qps=qps / 2.0, max_inflight=4, queue_depth=64,
+                   priority=1),
+        TenantSpec("besteffort", qps=qps / 2.0, max_inflight=2, queue_depth=16,
+                   priority=0),
+    ]
+    client = build_client(seed=seed, n_nodes=nodes, horizon_s=horizon,
+                          tenants=tenants)
+    with client:
+        plan = [
+            (tenant, drivers, 0.0, deadline_ms),
+            ("batch", max(1, drivers // 2), 0.0,
+             deadline_ms * 2.0 if deadline_ms is not None else None),
+            ("besteffort", max(1, drivers // 2), 0.0, deadline_ms),
+        ]
+        run_mixed_load(client, plan, duration_s=duration)
+        stats = client.front_door.stats()
+        print(f"served {stats['served']:.0f}/{stats['submitted']:.0f} requests "
+              f"in {duration:.1f}s wall "
+              f"(hot {stats['hot_hits']:.0f}, standing {stats['standing_served']:.0f}, "
+              f"degraded {stats['degraded']:.0f}); rejected: "
+              f"quota {stats['rejected_quota']:.0f}, "
+              f"queue_full {stats['rejected_queue_full']:.0f}, "
+              f"shed {stats['shed']:.0f}, expired {stats['expired']:.0f}")
+        print(f"{'tenant':12s} {'prio':>4s} {'submitted':>9s} {'served':>7s} "
+              f"{'degraded':>8s} {'shed':>5s} {'rejected':>8s} {'expired':>7s} "
+              f"{'p99_ms':>8s}")
+        for key in sorted(k for k in stats if k.startswith("tenant_")):
+            t = stats[key]
+            rejected = t["rejected_quota"] + t["rejected_queue_full"]
+            print(f"{key[len('tenant_'):]:12s} {t['priority']:4.0f} "
+                  f"{t['submitted']:9.0f} {t['served']:7.0f} {t['degraded']:8.0f} "
+                  f"{t['shed']:5.0f} {rejected:8.0f} {t['expired']:7.0f} "
+                  f"{t['p99_ms']:8.2f}")
+        if show_stats:
+            from repro.obs import MetricsRegistry
+
+            reg = client.metrics(MetricsRegistry())
+            print("# stats:")
+            for line in reg.render():
+                print(f"  {line}")
+    return 0
+
+
+def cmd_bench_serve(
+    nodes: int,
+    duration: float,
+    drivers: int,
+    json_path: Optional[str],
+    smoke: bool,
+    tenant: str = "default",
+    qps: float = 4000.0,
+    deadline_ms: float = 250.0,
+    show_stats: bool = False,
+) -> int:
+    """Run the E21 serving benchmark and print (optionally dump) rows.
+
+    ``--smoke`` shrinks both halves and checks only exactness and
+    admission accounting, not the QPS/p99/isolation gates — the CI
+    wiring check.  The full run additionally gates served p99 at the
+    request deadline, quiet-tenant p99 inflation at 2x under a greedy
+    flood, and (multi-core hosts only) aggregate throughput at
+    2000 QPS.
+    """
+    import json
+    import os
+
+    from repro.experiments.provenance import stamp
+    from repro.experiments.report import render_table
+    from repro.experiments.serve_exp import run_serve_benchmark
+
+    if smoke:
+        nodes, duration, drivers = min(nodes, 16), min(duration, 0.8), min(drivers, 2)
+    rows = run_serve_benchmark(
+        seed=0, n_nodes=nodes, duration_s=duration, n_drivers=drivers,
+        tenant=tenant, qps_quota=qps,
+        deadline_ms=deadline_ms if deadline_ms is not None else 250.0,
+    )
+    load, isolation = rows["load"], rows["isolation"]
+    print(render_table([load], title="E21 — sustained mixed multi-tenant serving"))
+    print(render_table([isolation], title="E21b — quota isolation under a greedy flood"))
+    if load["match"] != 1.0:
+        print("ERROR: non-degraded served answers diverged from direct engine execution",
+              file=sys.stderr)
+        return 1
+    if load["accounting_ok"] != 1.0 or isolation["accounting_ok"] != 1.0:
+        print("ERROR: per-tenant admission accounting does not add up", file=sys.stderr)
+        return 1
+    if not smoke:
+        if load["p99_ms"] > load["deadline_ms"]:
+            print("ERROR: served p99 above the request deadline", file=sys.stderr)
+            return 1
+        if isolation["isolation_ok"] != 1.0:
+            print("ERROR: greedy tenant inflated the quiet tenant's p99 beyond 2x",
+                  file=sys.stderr)
+            return 1
+        if (os.cpu_count() or 1) >= 4 and load["qps"] < 2000.0:
+            print("ERROR: aggregate serving throughput below the 2000 QPS gate",
+                  file=sys.stderr)
+            return 1
+    if show_stats:
+        from repro.obs import MetricsRegistry, absorb_stats
+
+        reg = MetricsRegistry()
+        absorb_stats(reg, load, "serve")
+        print("# stats:")
+        for line in reg.render():
+            print(f"  {line}")
+    print(
+        f"served {load['qps']:.0f} QPS aggregate, p99 {load['p99_ms']:.2f}ms "
+        f"(deadline {load['deadline_ms']:.0f}ms, "
+        f"hot {load['hot_hits']:.0f} / standing {load['standing_served']:.0f} / "
+        f"degraded {load['degraded']:.0f} / shed {load['shed']:.0f}); "
+        f"quiet-tenant p99 {isolation['quiet_solo_p99_ms']:.2f}ms solo -> "
+        f"{isolation['quiet_contended_p99_ms']:.2f}ms contended "
+        f"({isolation['greedy_rejected']:.0f} greedy rejections)"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(stamp(rows), fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
     return 0
 
 
@@ -845,6 +1022,23 @@ def cmd_bench_trend(paths: List[str], out: str, threshold: float) -> int:
     return 0
 
 
+def _add_serving_args(parser, *, deadline_default: Optional[float] = None,
+                      qps_default: float = 1000.0) -> None:
+    """The one shared serving flag group (``query`` / ``serve`` /
+    ``bench-serve``) — every serving command bills requests to a tenant
+    on the front door instead of constructing its own engine."""
+    grp = parser.add_argument_group("serving", "multi-tenant front-door options")
+    grp.add_argument("--tenant", default="default",
+                     help="tenant name requests are billed to")
+    grp.add_argument("--qps", type=float, default=qps_default,
+                     help="tenant token-bucket quota in queries/s")
+    grp.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                     default=deadline_default,
+                     help="per-request deadline; expired requests are rejected")
+    grp.add_argument("--stats", action="store_true",
+                     help="print the unified metrics registry (serve.* included)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -865,8 +1059,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     qry.add_argument("--parallel", type=int, default=0,
                      help="worker processes for the shared-memory parallel tier "
                           "(requires --shards > 1)")
-    qry.add_argument("--stats", action="store_true",
-                     help="print query-cache, federation, and worker-pool counters")
+    _add_serving_args(qry)
+    srv = sub.add_parser("serve",
+                         help="serve a sustained multi-tenant load over a shift")
+    srv.add_argument("--nodes", type=int, default=32)
+    srv.add_argument("--horizon", type=float, default=1800.0, help="simulated seconds")
+    srv.add_argument("--seed", type=int, default=7)
+    srv.add_argument("--duration", type=float, default=2.0,
+                     help="wall-clock serving seconds")
+    srv.add_argument("--drivers", type=int, default=4,
+                     help="driver threads for the primary tenant")
+    _add_serving_args(srv, deadline_default=250.0, qps_default=4000.0)
     loops = sub.add_parser("loops", help="host a watch-loop fleet on the unified runtime")
     loops.add_argument("--loops", dest="n_loops", type=int, default=8)
     loops.add_argument("--nodes", type=int, default=32)
@@ -940,6 +1143,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     bobs.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
     bobs.add_argument("--smoke", action="store_true",
                       help="small exactness-only run (CI wiring check)")
+    bsrv = sub.add_parser("bench-serve",
+                          help="run the E21 multi-tenant serving benchmark")
+    bsrv.add_argument("--nodes", type=int, default=64)
+    bsrv.add_argument("--duration", type=float, default=3.0,
+                      help="wall-clock seconds for the mixed-load phase")
+    bsrv.add_argument("--drivers", type=int, default=4,
+                      help="unpaced driver threads per greedy traffic class")
+    bsrv.add_argument("--json", dest="json_path", default=None, help="write rows as JSON")
+    bsrv.add_argument("--smoke", action="store_true",
+                      help="small exactness-and-accounting-only run (CI wiring check)")
+    _add_serving_args(bsrv, deadline_default=250.0, qps_default=4000.0)
     bdiff = sub.add_parser("bench-diff",
                            help="diff two benchmark artifacts for throughput regressions")
     bdiff.add_argument("old", help="baseline artifact (e.g. previous BENCH_all.json)")
@@ -964,7 +1178,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "query":
         return cmd_query(
             args.expr, args.nodes, args.horizon, args.seed, args.shards,
-            args.parallel, args.stats,
+            args.parallel, args.stats, args.tenant, args.qps, args.deadline_ms,
+        )
+    if args.command == "serve":
+        return cmd_serve(
+            args.nodes, args.horizon, args.seed, args.duration, args.drivers,
+            args.tenant, args.qps, args.deadline_ms, args.stats,
+        )
+    if args.command == "bench-serve":
+        return cmd_bench_serve(
+            args.nodes, args.duration, args.drivers, args.json_path, args.smoke,
+            args.tenant, args.qps, args.deadline_ms, args.stats,
         )
     if args.command == "loops":
         return cmd_loops(args.n_loops, args.nodes, args.horizon, args.seed)

@@ -64,6 +64,10 @@ class ClusterConfig:
             raise ValueError("parallel workers require a sharded store (shards > 1)")
 
 
+#: warn-once flag for the deprecated public ``query_engine`` entry point
+_QUERY_ENGINE_WARNED = False
+
+
 class Cluster:
     """Assembled simulated HPC system."""
 
@@ -184,16 +188,42 @@ class Cluster:
 
     # --------------------------------------------------------------- queries
     def query_engine(self, *, rollup_resolutions=None, cache=None, enable_cache=True):
-        """A query engine over this cluster's store.
+        """Deprecated raw-engine access — use :class:`repro.api.Client`.
+
+        The engine this returns still works exactly as before (it is the
+        same memoized engine the client uses internally), but external
+        consumers should now go through ``Client.from_config`` /
+        ``Client.from_cluster``, which adds admission control, typed
+        request/response, and the serving fast paths.  Warns once per
+        process.
+        """
+        global _QUERY_ENGINE_WARNED
+        if not _QUERY_ENGINE_WARNED:
+            _QUERY_ENGINE_WARNED = True
+            import warnings
+
+            warnings.warn(
+                "Cluster.query_engine() is deprecated as a public entry point; "
+                "build a repro.api.Client (Client.from_config / Client.from_cluster) "
+                "and use client.query()/client.engine instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self._query_engine(
+            rollup_resolutions=rollup_resolutions, cache=cache, enable_cache=enable_cache
+        )
+
+    def _query_engine(self, *, rollup_resolutions=None, cache=None, enable_cache=True):
+        """A query engine over this cluster's store (internal seam).
 
         Returns the plain vectorized engine for a single-store cluster
         and a :class:`~repro.shard.FederatedQueryEngine` (optionally
         with per-shard rollup cascades) when the store is sharded — the
-        one read surface every consumer should use, so callers never
-        need to know how the store is partitioned.  Memoized per
-        configuration: building rollup cascades registers permanent
-        ingest listeners on the store, so repeated calls (dashboard
-        refresh loops) must share one engine, not stack new managers.
+        one read surface, so callers never need to know how the store is
+        partitioned.  Memoized per configuration: building rollup
+        cascades registers permanent ingest listeners on the store, so
+        repeated calls (dashboard refresh loops) must share one engine,
+        not stack new managers.
         """
         if cache is not None:  # caller-managed cache: no sharing
             return self._build_query_engine(rollup_resolutions, cache, enable_cache)
@@ -262,7 +292,7 @@ class Cluster:
                 # monitors read through the federated scatter-gather
                 # engine; the QueryHub's fusion/caching layers work
                 # unchanged on top of it
-                query_engine = self.query_engine(enable_cache=cfg.enable_cache)
+                query_engine = self._query_engine(enable_cache=cfg.enable_cache)
             self.runtime = LoopRuntime(
                 self.engine,
                 self.store,

@@ -129,6 +129,8 @@ def collect_metrics(
     runtime: Optional[Any] = None,
     standing: Optional[Any] = None,
     pool: Optional[Any] = None,
+    serve: Optional[Any] = None,
+    ingest: Optional[Any] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> MetricsRegistry:
     """Absorb every reachable ``stats()`` dict into one registry.
@@ -148,4 +150,8 @@ def collect_metrics(
         absorb_stats(reg, standing.stats(), "standing")
     if pool is not None:
         absorb_stats(reg, pool.stats(), "pool")
+    if serve is not None:
+        absorb_stats(reg, serve.stats(), "serve")
+    if ingest is not None:
+        absorb_stats(reg, ingest.stats(), "ingest")
     return reg

@@ -333,6 +333,18 @@ class QueryEngine:
         self._select_cache[q] = (gen, keys)
         return keys
 
+    def tier_resolutions(self) -> List[float]:
+        """Rollup tier resolutions (seconds, finest first); empty if none.
+
+        The serving layer's degrade ladder uses this to pick the
+        coarsest tier a request can be downgraded to; exposing it here
+        keeps front-door code engine-shape-agnostic (the federated
+        engine overrides with its per-shard tier list).
+        """
+        if self.rollups is None:
+            return []
+        return [t.resolution_s for t in self.rollups.tiers]
+
     def stats(self) -> Dict[str, float]:
         out = {
             "queries_total": float(self.queries_total),

@@ -1,0 +1,30 @@
+"""Multi-tenant query serving: the front door, admission, shedding.
+
+Public surface of the serving tentpole (consumed through
+:mod:`repro.api` by external callers):
+
+* :class:`~repro.serve.model.TenantSpec`,
+  :class:`~repro.serve.model.QueryRequest`,
+  :class:`~repro.serve.model.QueryResult` — the typed boundary.
+* :class:`~repro.serve.frontdoor.QueryFrontDoor` — admission + fast
+  paths + worker execution over any engine shape.
+* :class:`~repro.serve.admission.AdmissionController` /
+  :class:`~repro.serve.shed.LoadShedder` — the policy pieces, importable
+  for tests and tuning.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.frontdoor import QueryFrontDoor
+from repro.serve.model import QueryRequest, QueryResult, TenantSpec
+from repro.serve.shed import LoadShedder, ShedConfig
+
+__all__ = [
+    "AdmissionController",
+    "LoadShedder",
+    "QueryFrontDoor",
+    "QueryRequest",
+    "QueryResult",
+    "ShedConfig",
+    "TenantSpec",
+    "TokenBucket",
+]

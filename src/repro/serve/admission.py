@@ -1,0 +1,247 @@
+"""Per-tenant admission control: token buckets, bounded queues, deadlines.
+
+The :class:`AdmissionController` is the front door's gatekeeper.  Each
+tenant gets
+
+* a **token bucket** refilled at its ``qps`` quota (burst-capped), so a
+  greedy tenant's excess requests bounce with 429-style ``quota``
+  rejections instead of swamping the queue;
+* a **bounded admission queue** — requests that pass the bucket wait
+  here for a serving slot; when it is full, new requests bounce with
+  ``queue_full`` (the queue *is* the backpressure signal the load
+  shedder reads);
+* an **in-flight cap** — at most ``max_inflight`` of the tenant's
+  queries execute concurrently, so one tenant cannot occupy every
+  serving worker.
+
+Scheduling is deadline-aware round-robin: :meth:`next_ready` rotates
+through tenants (fair across them regardless of per-tenant arrival
+rate — this is what the quota-isolation gate leans on), skips tenants
+at their in-flight cap, and expires queue entries whose wall-clock
+deadline passed instead of wasting execution on answers nobody can use.
+
+The controller is clock-agnostic (every method takes ``now`` in
+seconds) and does no locking of its own — the front door serializes
+access under its scheduler lock; unit tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.serve.model import (
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+    QueryRequest,
+    TenantSpec,
+)
+
+#: admission decisions
+ADMIT = "admit"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capped at ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def refill(self, now: float) -> None:
+        if self._last is None:
+            self._last = now
+            return
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        self.refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+@dataclass
+class PendingRequest:
+    """One admitted-but-not-yet-executing queue entry."""
+
+    request: QueryRequest
+    enqueued_at: float
+    #: absolute wall deadline (``enqueued_at + deadline``), or ``None``
+    expires_at: Optional[float]
+    #: resolved by the front door when the request completes; the
+    #: controller never touches it (kept generic so unit tests can pass
+    #: anything)
+    future: object = None
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+@dataclass
+class TenantState:
+    """Mutable admission state + accounting for one tenant."""
+
+    spec: TenantSpec
+    bucket: TokenBucket
+    queue: Deque[PendingRequest] = field(default_factory=deque)
+    inflight: int = 0
+    # -- accounting (all monotonic) --------------------------------------
+    submitted: int = 0
+    admitted: int = 0
+    rejected_quota: int = 0
+    rejected_queue_full: int = 0
+    shed: int = 0
+    expired: int = 0
+    served: int = 0
+    degraded: int = 0
+    errors: int = 0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "submitted": float(self.submitted),
+            "admitted": float(self.admitted),
+            "rejected_quota": float(self.rejected_quota),
+            "rejected_queue_full": float(self.rejected_queue_full),
+            "shed": float(self.shed),
+            "expired": float(self.expired),
+            "served": float(self.served),
+            "degraded": float(self.degraded),
+            "errors": float(self.errors),
+            "queue_depth": float(len(self.queue)),
+            "inflight": float(self.inflight),
+        }
+
+
+class AdmissionController:
+    """Token-bucket quotas + bounded queues + fair deadline-aware dispatch."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, TenantState] = {}
+        #: round-robin cursor over the tenant order
+        self._rr = 0
+
+    # ------------------------------------------------------------- tenants
+    def add_tenant(self, spec: TenantSpec) -> TenantState:
+        if spec.name in self._tenants:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        state = TenantState(spec, TokenBucket(spec.qps, spec.bucket_burst))
+        self._tenants[spec.name] = state
+        return state
+
+    def tenant(self, name: str) -> Optional[TenantState]:
+        return self._tenants.get(name)
+
+    def tenants(self) -> List[TenantState]:
+        return list(self._tenants.values())
+
+    def min_priority(self) -> Optional[int]:
+        """The lowest (first-shed) priority class currently registered."""
+        if not self._tenants:
+            return None
+        return min(s.spec.priority for s in self._tenants.values())
+
+    # ----------------------------------------------------------- admission
+    def try_admit(self, state: TenantState, now: float) -> str:
+        """Bucket + queue check for one arriving request.
+
+        Returns :data:`ADMIT` (caller must :meth:`enqueue`), or a
+        rejection reason.  Accounting for the reject paths happens here;
+        ``admitted`` is counted by :meth:`enqueue` so callers cannot
+        admit without queuing.
+        """
+        state.submitted += 1
+        if not state.bucket.try_take(now):
+            state.rejected_quota += 1
+            return REJECT_QUOTA
+        if len(state.queue) >= state.spec.queue_depth:
+            state.rejected_queue_full += 1
+            return REJECT_QUEUE_FULL
+        return ADMIT
+
+    def enqueue(self, state: TenantState, pending: PendingRequest) -> None:
+        state.queue.append(pending)
+        state.admitted += 1
+
+    # ------------------------------------------------------------ dispatch
+    def next_ready(
+        self, now: float
+    ) -> Tuple[Optional[Tuple[TenantState, PendingRequest]], List[Tuple[TenantState, PendingRequest]]]:
+        """The next executable entry, plus every entry that expired.
+
+        Rotates the round-robin cursor across tenants so back-to-back
+        calls interleave tenants fairly; a tenant at its in-flight cap
+        is skipped (its queue ages, and deadline expiry — not this
+        scheduler — bounds how long).  The chosen entry's tenant has its
+        ``inflight`` incremented; the caller must :meth:`release` it.
+        """
+        expired: List[Tuple[TenantState, PendingRequest]] = []
+        states = list(self._tenants.values())
+        n = len(states)
+        chosen: Optional[Tuple[TenantState, PendingRequest]] = None
+        for off in range(n):
+            state = states[(self._rr + off) % n]
+            # expiry sweep happens even for capped tenants: their queued
+            # entries must still time out on schedule
+            while state.queue and state.queue[0].expired(now):
+                entry = state.queue.popleft()
+                state.expired += 1
+                expired.append((state, entry))
+            if chosen is None and state.queue and state.inflight < state.spec.max_inflight:
+                chosen = (state, state.queue.popleft())
+                state.inflight += 1
+                self._rr = (self._rr + off + 1) % n
+        return chosen, expired
+
+    def release(self, state: TenantState) -> None:
+        state.inflight -= 1
+
+    # ------------------------------------------------------------ pressure
+    def pressure(self) -> float:
+        """Queue-fill fraction in [0, 1] — the load shedder's input.
+
+        The *maximum* per-tenant fill, not the mean: one saturated
+        tenant queue is a pressure event even when others idle (it is
+        exactly the tenant the degrade ladder should act on).
+        """
+        worst = 0.0
+        for state in self._tenants.values():
+            fill = len(state.queue) / state.spec.queue_depth
+            if fill > worst:
+                worst = fill
+        return min(worst, 1.0)
+
+    def queued_total(self) -> int:
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    def drain(self) -> List[Tuple[TenantState, PendingRequest]]:
+        """Pop every queued entry (front-door shutdown path)."""
+        out: List[Tuple[TenantState, PendingRequest]] = []
+        for state in self._tenants.values():
+            while state.queue:
+                out.append((state, state.queue.popleft()))
+        return out
+
+    # ------------------------------------------------------------- readout
+    def stats(self) -> Dict[str, float]:
+        totals = {
+            "tenants": float(len(self._tenants)),
+            "queued": float(self.queued_total()),
+            "pressure": self.pressure(),
+        }
+        for key in (
+            "submitted", "admitted", "rejected_quota", "rejected_queue_full",
+            "shed", "expired", "served", "degraded", "errors",
+        ):
+            totals[key] = float(sum(getattr(s, key) for s in self._tenants.values()))
+        return totals

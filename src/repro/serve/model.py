@@ -1,0 +1,187 @@
+"""Typed request/response model for the serving boundary.
+
+Everything crossing the front door is a :class:`QueryRequest` in and a
+:class:`QueryResult` out — never a bare engine tuple.  The engine
+internals (:class:`repro.query.engine.QueryResult` and its frozen
+arrays) stay unchanged and bit-identical; this module only re-shapes the
+*public* boundary so responses carry the serving metadata operators
+need: which tenant asked, which deadline applied, where the answer came
+from (``standing`` / ``cache`` / ``rollup:<res>s`` / ``raw``), and
+whether pressure degraded it to a coarser rollup tier.
+
+Status taxonomy (HTTP-flavored, since the front door is the proxy for a
+production serving API):
+
+==============  =====================================================
+``ok``          answered; ``degraded`` says whether exactly
+``rejected``    never admitted — ``reason`` is ``quota`` (token
+                bucket empty), ``queue_full`` (bounded admission
+                queue at capacity), or ``shed`` (load shedder
+                dropped the tenant's priority class) — all 429-style
+``expired``     admitted but its deadline passed while queued or
+                before execution finished (504-style)
+``error``       the engine raised; ``reason`` carries the message
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.query.engine import QueryResult as EngineResult
+from repro.query.engine import ResultSeries
+from repro.query.model import MetricQuery
+
+#: statuses a response can carry
+STATUSES = ("ok", "rejected", "expired", "error")
+
+#: rejection reasons (the ``reason`` field of a ``rejected`` response)
+REJECT_QUOTA = "quota"
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_SHED = "shed"
+REJECT_DEADLINE = "deadline"
+REJECT_UNKNOWN_TENANT = "unknown_tenant"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Admission contract for one named tenant.
+
+    ``qps`` and ``burst`` parameterize the token bucket (requests per
+    wall-clock second; ``burst`` defaults to one second of quota),
+    ``max_inflight`` caps the tenant's concurrently executing queries,
+    ``queue_depth`` bounds its admission queue, and ``priority`` orders
+    load shedding — the *lowest* priority class present is shed first.
+    ``allow_degraded`` opts the tenant into coarser-rollup answers under
+    pressure; tenants that need exact answers set it ``False`` and keep
+    full execution (they shed earlier instead).
+    """
+
+    name: str
+    qps: float = 100.0
+    burst: Optional[float] = None
+    max_inflight: int = 4
+    queue_depth: int = 64
+    priority: int = 1
+    allow_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError("burst must be positive when set")
+        if self.max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+
+    @property
+    def bucket_burst(self) -> float:
+        return self.burst if self.burst is not None else max(self.qps, 1.0)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query on behalf of a tenant, with its serving contract.
+
+    ``query`` is an expression string or a parsed
+    :class:`~repro.query.model.MetricQuery`; ``at`` is the window end in
+    store time (``None`` → the front door's current default, usually
+    the simulation clock); ``deadline_ms`` is a *wall-clock* budget from
+    submission — expire rather than answer late; ``priority`` overrides
+    the tenant's shed priority for this request only.
+    """
+
+    query: Union[str, MetricQuery]
+    tenant: str = "default"
+    at: Optional[float] = None
+    deadline_ms: Optional[float] = None
+    priority: Optional[int] = None
+
+    def expr(self) -> str:
+        return self.query if isinstance(self.query, str) else self.query.to_expr()
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The serving-boundary response (wraps, never re-shapes, engine output).
+
+    ``series`` aliases the engine result's frozen arrays — a non-degraded
+    ``ok`` response is bit-identical to direct engine execution.
+    ``source`` tells where the answer came from (``standing``, ``cache``,
+    ``raw``, ``rollup:<res>s``); ``degraded`` marks answers the load
+    shedder downgraded to a coarser rollup tier than requested.
+    """
+
+    request: QueryRequest
+    status: str
+    series: Tuple[ResultSeries, ...] = ()
+    t0: float = 0.0
+    t1: float = 0.0
+    source: str = ""
+    degraded: bool = False
+    reason: Optional[str] = None
+    tenant: str = "default"
+    latency_ms: float = 0.0
+    engine_result: Optional[EngineResult] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown status {self.status!r}; choose from {STATUSES}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def rejected(self) -> bool:
+        return self.status in ("rejected", "expired")
+
+    def scalar(self) -> Optional[float]:
+        """Single value of a one-series instant answer (None when empty)."""
+        if self.engine_result is None:
+            return None
+        return self.engine_result.scalar()
+
+    @classmethod
+    def from_engine(
+        cls,
+        request: QueryRequest,
+        result: EngineResult,
+        *,
+        source: Optional[str] = None,
+        degraded: bool = False,
+        latency_ms: float = 0.0,
+    ) -> "QueryResult":
+        return cls(
+            request=request,
+            status="ok",
+            series=result.series,
+            t0=result.t0,
+            t1=result.t1,
+            source=source if source is not None else result.source,
+            degraded=degraded,
+            tenant=request.tenant,
+            latency_ms=latency_ms,
+            engine_result=result,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        request: QueryRequest,
+        status: str,
+        reason: str,
+        *,
+        latency_ms: float = 0.0,
+    ) -> "QueryResult":
+        return cls(
+            request=request,
+            status=status,
+            reason=reason,
+            tenant=request.tenant,
+            latency_ms=latency_ms,
+        )

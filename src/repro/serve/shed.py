@@ -1,0 +1,128 @@
+"""Pressure-graded load shedding for the query front door.
+
+The shedder turns the admission controller's queue-fill ``pressure``
+reading into a three-step degradation ladder — the serving analogue of
+the ingest pipeline's adaptive commit interval:
+
+=====  ==============  ====================================================
+level  name            behaviour
+=====  ==============  ====================================================
+0      ``normal``      full execution; standing/cache fast paths are
+                       opportunistic accelerations only
+1      ``degrade``     tenants with ``allow_degraded`` get answers
+                       downgraded to the coarsest rollup tier (marked
+                       ``degraded=True``, ``source="rollup:<res>s"``);
+                       exact-only tenants keep full execution
+2      ``shed``        additionally, arriving requests from the lowest
+                       priority class present are rejected outright with
+                       429-style ``shed`` responses before they touch the
+                       bucket or queue
+=====  ==============  ====================================================
+
+Hysteresis: the level *enters* at ``degrade_pressure``/``shed_pressure``
+and *exits* a notch lower (``hysteresis`` below the threshold), so a
+queue oscillating around the boundary does not flap between exact and
+degraded answers on every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.serve.model import TenantSpec
+
+#: shed levels
+NORMAL = 0
+DEGRADE = 1
+SHED = 2
+
+_LEVEL_NAMES = {NORMAL: "normal", DEGRADE: "degrade", SHED: "shed"}
+
+
+@dataclass(frozen=True)
+class ShedConfig:
+    """Thresholds of the degradation ladder (fractions of queue fill)."""
+
+    degrade_pressure: float = 0.5
+    shed_pressure: float = 0.85
+    hysteresis: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degrade_pressure <= 1.0:
+            raise ValueError("degrade_pressure must be in (0, 1]")
+        if not self.degrade_pressure <= self.shed_pressure <= 1.0:
+            raise ValueError("shed_pressure must be in [degrade_pressure, 1]")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+
+class LoadShedder:
+    """Maps pressure to a shed level and decides who gets degraded/shed."""
+
+    def __init__(self, config: Optional[ShedConfig] = None) -> None:
+        self.config = config or ShedConfig()
+        self._level = NORMAL
+        # -- accounting ---------------------------------------------------
+        self.transitions = 0
+        self.degraded_served = 0
+        self.shed_rejections = 0
+
+    # -------------------------------------------------------------- level
+    @property
+    def level(self) -> int:
+        return self._level
+
+    @property
+    def level_name(self) -> str:
+        return _LEVEL_NAMES[self._level]
+
+    def observe(self, pressure: float) -> int:
+        """Fold one pressure reading into the ladder; returns the level."""
+        cfg = self.config
+        level = self._level
+        if level < SHED and pressure >= cfg.shed_pressure:
+            level = SHED
+        elif level < DEGRADE and pressure >= cfg.degrade_pressure:
+            level = DEGRADE
+        elif level == SHED and pressure < cfg.shed_pressure - cfg.hysteresis:
+            level = DEGRADE if pressure >= cfg.degrade_pressure else NORMAL
+        elif level == DEGRADE and pressure < cfg.degrade_pressure - cfg.hysteresis:
+            level = NORMAL
+        if level != self._level:
+            self.transitions += 1
+            self._level = level
+        return self._level
+
+    # ----------------------------------------------------------- decisions
+    def should_degrade(self, spec: TenantSpec) -> bool:
+        """Downgrade this tenant's answers to the coarsest rollup tier?"""
+        return self._level >= DEGRADE and spec.allow_degraded
+
+    def should_shed(self, spec: TenantSpec, min_priority: Optional[int]) -> bool:
+        """Reject this tenant's arriving request outright?
+
+        Only the *lowest* priority class present is shed; higher classes
+        keep (possibly degraded) service.  When every tenant shares one
+        priority, everyone is in the lowest class and all shed together —
+        that is intentional: uniform priorities mean nobody volunteered
+        to be more important.
+        """
+        return self.should_shed_priority(spec.priority, min_priority)
+
+    def should_shed_priority(self, priority: int, min_priority: Optional[int]) -> bool:
+        """Same decision against an effective (request-overridden) priority."""
+        return (
+            self._level >= SHED
+            and min_priority is not None
+            and priority <= min_priority
+        )
+
+    # ------------------------------------------------------------- readout
+    def stats(self) -> Dict[str, float]:
+        return {
+            "level": float(self._level),
+            "transitions": float(self.transitions),
+            "degraded_served": float(self.degraded_served),
+            "shed_rejections": float(self.shed_rejections),
+        }

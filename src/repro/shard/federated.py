@@ -580,6 +580,10 @@ class FederatedQueryEngine(QueryEngine):
             label="federated-rollup-fold",
         )
 
+    def tier_resolutions(self) -> List[float]:
+        """Per-shard rollup resolutions (identical across shards)."""
+        return list(self._tier_resolutions) if self._tier_resolutions else []
+
     # ------------------------------------------------------------ standing
     def make_standing_provider(self) -> FederatedStandingProvider:
         """Shard-local standing state for :class:`StandingQueryEngine`."""

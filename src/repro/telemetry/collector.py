@@ -87,12 +87,15 @@ class Collector:
         ingest_latency: float = 0.0,
         commit_interval_s: Optional[float] = None,
         adaptive_commit: Optional[AdaptiveCommitConfig] = None,
+        max_pending_samples: Optional[int] = None,
         name: str = "root-collector",
     ) -> None:
         if ingest_latency < 0:
             raise ValueError("ingest_latency must be >= 0")
         if commit_interval_s is not None and commit_interval_s <= 0:
             raise ValueError("commit_interval_s must be positive when set")
+        if max_pending_samples is not None and max_pending_samples <= 0:
+            raise ValueError("max_pending_samples must be positive when set")
         self.engine = engine
         self.store = store
         self.ingest_latency = ingest_latency
@@ -102,12 +105,20 @@ class Collector:
             # (short interval) and let the observed rate widen it
             commit_interval_s = adaptive_commit.min_interval_s
         self.commit_interval_s = commit_interval_s
+        #: queue limit (samples) on the coalescing window — the root's
+        #: half of the aggregation-tree backpressure story.  ``None``
+        #: keeps the historical unbounded behaviour.
+        self.max_pending_samples = max_pending_samples
         self.name = name
         self.batches_received = 0
         self.commits = 0
         self.samples_ingested = 0
         self.latest_arrival_lag = 0.0
         self.interval_adjustments = 0
+        self.dropped_batches = 0
+        self.dropped_samples = 0
+        self.dropped_bytes = 0
+        self._pending_samples = 0
         self._rate_ewma: Optional[float] = None
         #: the accumulation window of the currently scheduled flush —
         #: max(ingest_latency, interval) at schedule time, which is the
@@ -118,9 +129,24 @@ class Collector:
         self._flush_seq = 0  # invalidates orphaned scheduled flush events
 
     def submit(self, samples: Submission) -> None:
-        self.batches_received += 1
         if self.commit_interval_s is not None:
+            # Tail-drop backpressure: once the coalescing window holds
+            # the cap, arriving submissions bounce whole (a single
+            # oversized submission into an empty window still commits —
+            # otherwise it could never drain).  Dropping *new* arrivals
+            # keeps the oldest data flowing, bounding worst-case lag.
+            if (
+                self.max_pending_samples is not None
+                and self._pending_samples >= self.max_pending_samples
+            ):
+                n = len(samples)
+                self.dropped_batches += 1
+                self.dropped_samples += n
+                self.dropped_bytes += n * SAMPLE_WIRE_BYTES
+                return
+            self.batches_received += 1
             self._pending.append(samples)
+            self._pending_samples += len(samples)
             if not self._flush_scheduled:
                 self._flush_scheduled = True
                 self._flush_seq += 1
@@ -130,6 +156,7 @@ class Collector:
                     delay, self._scheduled_flush, self._flush_seq, label=self.name
                 )
             return
+        self.batches_received += 1
         if self.ingest_latency > 0:
             self.engine.schedule(self.ingest_latency, self._commit, samples, label=self.name)
         else:
@@ -158,6 +185,7 @@ class Collector:
     def _flush_pending(self, adapt: bool = True) -> None:
         self._flush_scheduled = False
         pending, self._pending = self._pending, []
+        self._pending_samples = 0
         merged = self._merge(pending) if pending else None
         if adapt and self.adaptive is not None and self.commit_interval_s is not None:
             self._adapt_interval(len(merged) if merged is not None else 0)
@@ -218,6 +246,19 @@ class Collector:
         # sample happened to be last in submission order.
         self.latest_arrival_lag = float(self.engine.now - oldest)
 
+    def stats(self) -> dict:
+        return {
+            "batches_received": float(self.batches_received),
+            "commits": float(self.commits),
+            "samples_ingested": float(self.samples_ingested),
+            "latest_arrival_lag": self.latest_arrival_lag,
+            "interval_adjustments": float(self.interval_adjustments),
+            "dropped_batches": float(self.dropped_batches),
+            "dropped_samples": float(self.dropped_samples),
+            "dropped_bytes": float(self.dropped_bytes),
+            "pending_samples": float(self._pending_samples),
+        }
+
 
 class Aggregator:
     """Intermediate hop: concatenates child batches, forwards after a delay.
@@ -241,6 +282,7 @@ class Aggregator:
         forward_latency: float = 0.05,
         loss_prob: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        max_pending_samples: Optional[int] = None,
         name: str = "aggregator",
     ) -> None:
         if forward_latency < 0:
@@ -249,12 +291,17 @@ class Aggregator:
             raise ValueError("loss_prob must be within [0, 1]")
         if loss_prob > 0 and rng is None:
             raise ValueError("rng required when loss_prob is set")
+        if max_pending_samples is not None and max_pending_samples <= 0:
+            raise ValueError("max_pending_samples must be positive when set")
         self.engine = engine
         self.downstream = downstream
         self.forward_latency = forward_latency
         self.loss_prob = loss_prob
         self.rng = rng
         self.name = name
+        #: queue limit (samples) on the forwarding window — per-hop
+        #: backpressure; ``None`` keeps the historical unbounded queue.
+        self.max_pending_samples = max_pending_samples
         self.batches_received = 0
         self.batches_forwarded = 0
         self.batches_lost = 0
@@ -262,7 +309,11 @@ class Aggregator:
         self.bytes_lost = 0
         self.samples_forwarded = 0
         self.samples_lost = 0
+        self.dropped_batches = 0
+        self.dropped_samples = 0
+        self.dropped_bytes = 0
         self._pending: List[Submission] = []
+        self._pending_samples = 0
         self._flush_scheduled = False
 
     def submit(self, samples: Submission) -> None:
@@ -272,11 +323,25 @@ class Aggregator:
             self.samples_lost += n
             self.bytes_lost += n * SAMPLE_WIRE_BYTES
             return
-        self.batches_received += 1
         if self.forward_latency <= 0:
+            self.batches_received += 1
             self._forward([samples])
             return
+        # Tail-drop backpressure (same rule as the root collector): a
+        # full forwarding window bounces whole arriving submissions —
+        # the drop counters are the hop's overload signal, distinct from
+        # the random-loss counters above.
+        if (
+            self.max_pending_samples is not None
+            and self._pending_samples >= self.max_pending_samples
+        ):
+            self.dropped_batches += 1
+            self.dropped_samples += n
+            self.dropped_bytes += n * SAMPLE_WIRE_BYTES
+            return
+        self.batches_received += 1
         self._pending.append(samples)
+        self._pending_samples += n
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self.engine.schedule(self.forward_latency, self._flush, label=self.name)
@@ -284,8 +349,24 @@ class Aggregator:
     def _flush(self) -> None:
         self._flush_scheduled = False
         pending, self._pending = self._pending, []
+        self._pending_samples = 0
         if pending:
             self._forward(pending)
+
+    def stats(self) -> dict:
+        return {
+            "batches_received": float(self.batches_received),
+            "batches_forwarded": float(self.batches_forwarded),
+            "batches_lost": float(self.batches_lost),
+            "samples_forwarded": float(self.samples_forwarded),
+            "samples_lost": float(self.samples_lost),
+            "bytes_forwarded": float(self.bytes_forwarded),
+            "bytes_lost": float(self.bytes_lost),
+            "dropped_batches": float(self.dropped_batches),
+            "dropped_samples": float(self.dropped_samples),
+            "dropped_bytes": float(self.dropped_bytes),
+            "pending_samples": float(self._pending_samples),
+        }
 
     def _forward(self, pending: List[Submission]) -> None:
         lists = [s for s in pending if not isinstance(s, SampleBatch)]
@@ -326,6 +407,8 @@ class CollectionPipeline:
         adaptive_commit: Optional[AdaptiveCommitConfig] = None,
         loss_prob: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        max_pending_samples: Optional[int] = None,
+        hop_max_pending_samples: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self.root = Collector(
@@ -334,10 +417,12 @@ class CollectionPipeline:
             ingest_latency=ingest_latency,
             commit_interval_s=commit_interval_s,
             adaptive_commit=adaptive_commit,
+            max_pending_samples=max_pending_samples,
         )
         self.hop_latency = hop_latency
         self.loss_prob = loss_prob
         self.rng = rng
+        self.hop_max_pending_samples = hop_max_pending_samples
         self.aggregators: List[Aggregator] = []
 
     @property
@@ -354,6 +439,7 @@ class CollectionPipeline:
                 forward_latency=self.hop_latency,
                 loss_prob=self.loss_prob,
                 rng=self.rng,
+                max_pending_samples=self.hop_max_pending_samples,
                 name=f"agg-{i}",
             )
             for i in range(n_groups)
@@ -367,3 +453,20 @@ class CollectionPipeline:
 
     def total_bytes(self) -> int:
         return sum(a.bytes_forwarded for a in self.aggregators)
+
+    def total_dropped_samples(self) -> int:
+        """Samples dropped by backpressure anywhere in the tree."""
+        return self.root.dropped_samples + sum(a.dropped_samples for a in self.aggregators)
+
+    def stats(self) -> dict:
+        """Tree-wide flow accounting, one nested dict per stage.
+
+        Shaped for ``absorb_stats(METRICS, pipeline.stats(), "ingest")``:
+        keys land as ``ingest.root.<k>`` and ``ingest.hops.<k>`` (hop
+        counters summed across aggregators).
+        """
+        hops: dict = {}
+        for agg in self.aggregators:
+            for k, v in agg.stats().items():
+                hops[k] = hops.get(k, 0.0) + v
+        return {"root": self.root.stats(), "hops": hops}

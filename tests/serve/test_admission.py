@@ -1,0 +1,187 @@
+"""Deterministic unit tests for per-tenant admission control.
+
+The controller is clock-agnostic (every method takes ``now``), so these
+tests drive it with explicit timestamps — no sleeping, no wall clock.
+"""
+
+import pytest
+
+from repro.serve.admission import (
+    ADMIT,
+    AdmissionController,
+    PendingRequest,
+    TokenBucket,
+)
+from repro.serve.model import (
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+    QueryRequest,
+    TenantSpec,
+)
+
+
+def _pending(tenant, now=0.0, deadline_s=None):
+    expires = None if deadline_s is None else now + deadline_s
+    return PendingRequest(QueryRequest("mean(m)", tenant=tenant), now, expires)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        b = TokenBucket(rate=2.0, burst=3.0)
+        assert [b.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        b = TokenBucket(rate=2.0, burst=2.0)
+        assert b.try_take(0.0) and b.try_take(0.0)
+        assert not b.try_take(0.0)
+        assert not b.try_take(0.4)  # 0.8 tokens accrued — not enough
+        assert b.try_take(0.5)  # 1.0 accrued exactly
+        assert b.try_take(10.0)  # long idle refills (capped) tokens
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=100.0, burst=2.0)
+        b.try_take(0.0)
+        b.refill(1000.0)
+        assert b.tokens == 2.0
+
+    def test_first_observation_anchors_clock(self):
+        # lazy ``_last`` init: a bucket first observed late in a run must
+        # not be granted the whole elapsed history as refill
+        b = TokenBucket(rate=1.0, burst=2.0)
+        assert b.try_take(1e6) and b.try_take(1e6)
+        assert not b.try_take(1e6)
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_rejects_non_positive_parameters(self, rate, burst):
+        with pytest.raises(ValueError, match="must be positive"):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestAdmission:
+    def test_quota_rejection_and_recovery(self):
+        ctl = AdmissionController()
+        state = ctl.add_tenant(TenantSpec("t", qps=2.0, burst=2.0))
+        assert ctl.try_admit(state, 0.0) is ADMIT
+        assert ctl.try_admit(state, 0.0) is ADMIT
+        assert ctl.try_admit(state, 0.0) == REJECT_QUOTA
+        assert state.submitted == 3
+        assert state.rejected_quota == 1
+        # one second later the 2 qps quota has refilled
+        assert ctl.try_admit(state, 1.0) is ADMIT
+
+    def test_queue_full_rejection(self):
+        ctl = AdmissionController()
+        state = ctl.add_tenant(TenantSpec("t", qps=100.0, queue_depth=2))
+        for _ in range(2):
+            assert ctl.try_admit(state, 0.0) is ADMIT
+            ctl.enqueue(state, _pending("t"))
+        assert ctl.try_admit(state, 0.0) == REJECT_QUEUE_FULL
+        assert state.rejected_queue_full == 1
+        assert state.admitted == 2  # only enqueue() counts admissions
+
+    def test_duplicate_tenant_rejected(self):
+        ctl = AdmissionController()
+        ctl.add_tenant(TenantSpec("t"))
+        with pytest.raises(ValueError, match="already registered"):
+            ctl.add_tenant(TenantSpec("t"))
+
+    def test_min_priority(self):
+        ctl = AdmissionController()
+        assert ctl.min_priority() is None
+        ctl.add_tenant(TenantSpec("a", priority=2))
+        ctl.add_tenant(TenantSpec("b", priority=0))
+        assert ctl.min_priority() == 0
+
+
+class TestDispatch:
+    def test_round_robin_interleaves_tenants(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0))
+        b = ctl.add_tenant(TenantSpec("b", qps=100.0))
+        for state in (a, b):
+            ctl.enqueue(state, _pending(state.spec.name))
+            ctl.enqueue(state, _pending(state.spec.name))
+        order = []
+        for _ in range(4):
+            chosen, expired = ctl.next_ready(0.0)
+            assert expired == []
+            order.append(chosen[0].spec.name)
+        # fair interleave despite equal queue depths and arrival order
+        assert order == ["a", "b", "a", "b"]
+        assert a.inflight == 2 and b.inflight == 2
+        assert ctl.next_ready(0.0)[0] is None
+
+    def test_inflight_cap_skips_tenant(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0, max_inflight=1))
+        b = ctl.add_tenant(TenantSpec("b", qps=100.0))
+        ctl.enqueue(a, _pending("a"))
+        ctl.enqueue(a, _pending("a"))
+        ctl.enqueue(b, _pending("b"))
+        assert ctl.next_ready(0.0)[0][0] is a
+        # a is at its cap: its second entry waits, b gets the slot
+        assert ctl.next_ready(0.0)[0][0] is b
+        assert ctl.next_ready(0.0)[0] is None
+        ctl.release(a)
+        assert ctl.next_ready(0.0)[0][0] is a
+
+    def test_expiry_sweep_runs_for_capped_tenants(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0, max_inflight=1))
+        ctl.enqueue(a, _pending("a"))
+        chosen, _ = ctl.next_ready(0.0)
+        assert chosen[0] is a  # a now at its in-flight cap
+        ctl.enqueue(a, _pending("a", now=0.0, deadline_s=1.0))
+        chosen, expired = ctl.next_ready(5.0)
+        assert chosen is None
+        assert len(expired) == 1 and expired[0][0] is a
+        assert a.expired == 1
+
+    def test_expired_entries_never_dispatch(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0))
+        ctl.enqueue(a, _pending("a", now=0.0, deadline_s=1.0))
+        ctl.enqueue(a, _pending("a", now=0.0))  # no deadline
+        chosen, expired = ctl.next_ready(2.0)
+        assert len(expired) == 1
+        assert chosen is not None and chosen[1].expires_at is None
+
+
+class TestPressureAndDrain:
+    def test_pressure_is_worst_tenant_fill(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0, queue_depth=4))
+        b = ctl.add_tenant(TenantSpec("b", qps=100.0, queue_depth=10))
+        assert ctl.pressure() == 0.0
+        ctl.enqueue(a, _pending("a"))
+        ctl.enqueue(a, _pending("a"))
+        ctl.enqueue(b, _pending("b"))
+        assert ctl.pressure() == pytest.approx(0.5)  # max(2/4, 1/10)
+
+    def test_drain_empties_every_queue(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=100.0))
+        b = ctl.add_tenant(TenantSpec("b", qps=100.0))
+        ctl.enqueue(a, _pending("a"))
+        ctl.enqueue(b, _pending("b"))
+        drained = ctl.drain()
+        assert len(drained) == 2
+        assert ctl.queued_total() == 0
+
+    def test_stats_sums_tenants(self):
+        ctl = AdmissionController()
+        a = ctl.add_tenant(TenantSpec("a", qps=1.0, burst=1.0, queue_depth=4))
+        b = ctl.add_tenant(TenantSpec("b", qps=100.0, queue_depth=4))
+        assert ctl.try_admit(a, 0.0) is ADMIT
+        ctl.enqueue(a, _pending("a"))
+        assert ctl.try_admit(a, 0.0) == REJECT_QUOTA
+        assert ctl.try_admit(b, 0.0) is ADMIT
+        ctl.enqueue(b, _pending("b"))
+        stats = ctl.stats()
+        assert stats["tenants"] == 2.0
+        assert stats["submitted"] == 3.0
+        assert stats["admitted"] == 2.0
+        assert stats["rejected_quota"] == 1.0
+        assert stats["queued"] == 2.0
+        assert stats["pressure"] == pytest.approx(0.25)
+        assert a.stats()["queue_depth"] == 1.0

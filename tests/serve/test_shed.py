@@ -1,0 +1,129 @@
+"""Unit tests for the pressure-graded load shedder and its hysteresis."""
+
+import pytest
+
+from repro.serve.model import TenantSpec
+from repro.serve.shed import DEGRADE, NORMAL, SHED, LoadShedder, ShedConfig
+
+
+def _shedder(degrade=0.5, shed=0.85, hysteresis=0.1):
+    return LoadShedder(ShedConfig(degrade, shed, hysteresis))
+
+
+class TestLadder:
+    def test_starts_normal(self):
+        s = _shedder()
+        assert s.level == NORMAL
+        assert s.level_name == "normal"
+
+    def test_enters_degrade_at_threshold(self):
+        s = _shedder()
+        assert s.observe(0.49) == NORMAL
+        assert s.observe(0.5) == DEGRADE
+        assert s.level_name == "degrade"
+
+    def test_enters_shed_at_threshold(self):
+        s = _shedder()
+        assert s.observe(0.85) == SHED
+        assert s.level_name == "shed"
+
+    def test_normal_jumps_straight_to_shed(self):
+        s = _shedder()
+        assert s.observe(0.99) == SHED
+        assert s.transitions == 1
+
+    def test_shed_holds_inside_hysteresis_band(self):
+        s = _shedder()
+        s.observe(0.9)
+        assert s.observe(0.8) == SHED  # exit threshold is 0.85 - 0.1
+        assert s.observe(0.75) == SHED
+
+    def test_shed_exits_to_degrade(self):
+        s = _shedder()
+        s.observe(0.9)
+        assert s.observe(0.7) == DEGRADE
+
+    def test_shed_exits_straight_to_normal_when_pressure_collapses(self):
+        s = _shedder()
+        s.observe(0.9)
+        assert s.observe(0.1) == NORMAL
+
+    def test_degrade_holds_inside_hysteresis_band(self):
+        s = _shedder()
+        s.observe(0.6)
+        assert s.observe(0.45) == DEGRADE  # exit threshold is 0.5 - 0.1
+        assert s.observe(0.39) == NORMAL
+
+    def test_transitions_count_changes_only(self):
+        s = _shedder()
+        for p in (0.1, 0.2, 0.3):
+            s.observe(p)
+        assert s.transitions == 0
+        s.observe(0.6)  # -> degrade
+        s.observe(0.6)  # holds
+        s.observe(0.9)  # -> shed
+        s.observe(0.1)  # -> normal
+        assert s.transitions == 3
+
+
+class TestDecisions:
+    def test_should_degrade_requires_level_and_opt_in(self):
+        s = _shedder()
+        flex = TenantSpec("flex")
+        exact = TenantSpec("exact", allow_degraded=False)
+        assert not s.should_degrade(flex)
+        s.observe(0.6)
+        assert s.should_degrade(flex)
+        assert not s.should_degrade(exact)
+        s.observe(0.9)
+        assert s.should_degrade(flex)  # shed level still degrades
+
+    def test_only_lowest_priority_class_sheds(self):
+        s = _shedder()
+        low = TenantSpec("low", priority=0)
+        high = TenantSpec("high", priority=1)
+        s.observe(0.9)
+        assert s.should_shed(low, min_priority=0)
+        assert not s.should_shed(high, min_priority=0)
+
+    def test_no_shedding_below_shed_level(self):
+        s = _shedder()
+        s.observe(0.6)  # degrade only
+        assert not s.should_shed(TenantSpec("low", priority=0), min_priority=0)
+
+    def test_no_shedding_without_registered_tenants(self):
+        s = _shedder()
+        s.observe(1.0)
+        assert not s.should_shed_priority(0, None)
+
+    def test_request_priority_override(self):
+        s = _shedder()
+        s.observe(1.0)
+        assert s.should_shed_priority(0, 0)
+        assert not s.should_shed_priority(5, 0)
+
+    def test_stats_shape(self):
+        s = _shedder()
+        s.observe(0.9)
+        stats = s.stats()
+        assert stats["level"] == float(SHED)
+        assert stats["transitions"] == 1.0
+        assert set(stats) == {
+            "level", "transitions", "degraded_served", "shed_rejections",
+        }
+
+
+class TestConfigValidation:
+    def test_degrade_pressure_bounds(self):
+        with pytest.raises(ValueError, match="degrade_pressure"):
+            ShedConfig(degrade_pressure=0.0)
+        with pytest.raises(ValueError, match="degrade_pressure"):
+            ShedConfig(degrade_pressure=1.5)
+
+    def test_shed_pressure_ordering(self):
+        with pytest.raises(ValueError, match="shed_pressure"):
+            ShedConfig(degrade_pressure=0.8, shed_pressure=0.5)
+
+    def test_negative_hysteresis(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            ShedConfig(hysteresis=-0.1)

@@ -24,7 +24,7 @@ def test_no_command_prints_help(capsys):
 
 def test_index_covers_all_experiments():
     ids = [e[0] for e in EXPERIMENT_INDEX]
-    assert ids == [f"E{i}" for i in range(1, 21)]
+    assert ids == [f"E{i}" for i in range(1, 22)]
 
 
 def test_loops_command(capsys):
@@ -265,3 +265,50 @@ def test_bench_diff_command_errors(tmp_path, capsys):
     assert "cannot load artifact" in capsys.readouterr().err
     assert main(["bench-diff", str(good), str(good), "--threshold", "1.5"]) == 2
     assert "threshold" in capsys.readouterr().err
+
+
+def test_query_command_serving_flags(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s)",
+        "--nodes", "4", "--horizon", "900",
+        "--tenant", "dashboards", "--qps", "50", "--deadline-ms", "60000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tenant=dashboards" in out
+    assert "latency=" in out
+
+
+def test_query_command_stats_include_serving(capsys):
+    assert main([
+        "query", "mean(node_cpu_util[600s] by 60s)",
+        "--nodes", "4", "--horizon", "600", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serve.submitted = " in out
+    assert "serve.tenant_default.served = " in out
+
+
+def test_serve_command(capsys):
+    assert main([
+        "serve", "--nodes", "8", "--horizon", "900",
+        "--duration", "0.3", "--drivers", "2", "--qps", "500",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tenant" in out and "p99_ms" in out
+    assert "besteffort" in out  # the three-tenant demo mix
+
+
+def test_bench_serve_smoke_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_serve.json"
+    assert main([
+        "bench-serve", "--nodes", "8", "--duration", "0.4", "--drivers", "2",
+        "--smoke", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "E21" in out
+    import json
+
+    rows = json.loads(out_path.read_text())
+    assert rows["load"]["match"] == 1.0
+    assert rows["load"]["accounting_ok"] == 1.0
+    assert rows["isolation"]["accounting_ok"] == 1.0

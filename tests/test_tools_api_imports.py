@@ -1,0 +1,50 @@
+"""The public-API import-boundary lint must pass on the current tree.
+
+``tools/check_api_imports.py`` fails (exit 1) when the CLI or an
+experiment driver imports engine internals instead of going through
+``repro.api``; pre-existing offenders are grandfathered and only warn.
+This test keeps the tree at zero *new* violations and pins the
+forbidden-import predicate itself.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "tools" / "check_api_imports.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_api_imports", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_tree_has_no_new_violations():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 new violation(s)" in proc.stdout
+
+
+def test_forbidden_predicate():
+    checker = _load_checker()
+    assert checker._is_forbidden("repro.query.engine", ())
+    assert checker._is_forbidden("repro.query.standing", ("StandingQueryEngine",))
+    assert checker._is_forbidden("repro.shard", ())
+    assert checker._is_forbidden("repro.shard.federated", ())
+    assert checker._is_forbidden("repro.query", ("QueryEngine",))
+    # the public surface stays importable
+    assert not checker._is_forbidden("repro.query", ("MetricQuery",))
+    assert not checker._is_forbidden("repro.api", ("Client",))
+    assert not checker._is_forbidden("repro.serve", ("TenantSpec",))
+    # prefix match is dotted, not textual
+    assert not checker._is_forbidden("repro.sharding", ())

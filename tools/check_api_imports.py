@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Public-API import boundary check (PR 10).
+
+External-facing code — the CLI and the experiment drivers — should talk
+to the stack through :mod:`repro.api` (the ``Client`` facade and the
+typed serving boundary), not construct engines from the internals.
+This script AST-scans ``src/repro/cli.py`` and
+``src/repro/experiments/*.py`` for imports of engine internals:
+
+* ``repro.query.engine`` / ``repro.query.standing`` — batch and
+  standing engine construction;
+* ``repro.shard`` — federated / process-parallel engine construction;
+* ``QueryEngine`` re-exported through ``repro.query``.
+
+Pre-existing offenders are **grandfathered** (listed below) and only
+warn — they predate the facade and migrate opportunistically.  Any NEW
+violation fails the lint (exit 1): new code starts on the public
+surface.
+
+Run from the repository root: ``python tools/check_api_imports.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: module prefixes that are engine internals (dotted-prefix match)
+FORBIDDEN_PREFIXES = (
+    "repro.query.engine",
+    "repro.query.standing",
+    "repro.shard",
+)
+
+#: names that are internals even when imported off the package root
+FORBIDDEN_FROM_QUERY = frozenset({"QueryEngine"})
+
+#: (path relative to src/, forbidden module) pairs that predate the
+#: repro.api facade — these warn instead of failing; shrink, never grow
+GRANDFATHERED = {
+    ("repro/experiments/loops_exp.py", "repro.query.engine"),
+    ("repro/experiments/obs_exp.py", "repro.query"),
+    ("repro/experiments/obs_exp.py", "repro.query.standing"),
+    ("repro/experiments/parallel_exp.py", "repro.shard"),
+    ("repro/experiments/query_exp.py", "repro.query.engine"),
+    ("repro/experiments/shard_exp.py", "repro.query.engine"),
+    ("repro/experiments/shard_exp.py", "repro.query.standing"),
+    ("repro/experiments/shard_exp.py", "repro.shard"),
+    ("repro/experiments/standing_exp.py", "repro.query"),
+    ("repro/experiments/standing_exp.py", "repro.query.standing"),
+}
+
+
+def _is_forbidden(module: str, names: Tuple[str, ...]) -> bool:
+    for prefix in FORBIDDEN_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    if module == "repro.query" and FORBIDDEN_FROM_QUERY.intersection(names):
+        return True
+    return False
+
+
+def _violations(path: Path) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_forbidden(alias.name, ()):
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            names = tuple(alias.name for alias in node.names)
+            if _is_forbidden(node.module, names):
+                yield node.lineno, node.module
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent.parent / "src"
+    targets: List[Path] = [src / "repro" / "cli.py"]
+    targets += sorted((src / "repro" / "experiments").glob("*.py"))
+    warned = failed = 0
+    for path in targets:
+        rel = path.relative_to(src).as_posix()
+        for lineno, module in _violations(path):
+            if (rel, module) in GRANDFATHERED:
+                warned += 1
+                print(f"warning: {rel}:{lineno}: grandfathered import of "
+                      f"{module} (migrate to repro.api)")
+            else:
+                failed += 1
+                print(f"error: {rel}:{lineno}: imports engine internal "
+                      f"{module} — use repro.api instead", file=sys.stderr)
+    print(f"check_api_imports: {len(targets)} file(s), "
+          f"{warned} grandfathered warning(s), {failed} new violation(s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
